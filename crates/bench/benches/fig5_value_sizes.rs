@@ -1,0 +1,121 @@
+//! **Figure 5** — throughput across value sizes 16 B – 16 KiB, for a
+//! read-only workload (5a) and an update-mostly workload (5b), 50 clients.
+//!
+//! Paper shape: Precursor stays ≈flat (≈1.2 M read-only, ≈720 K
+//! update-mostly) until the NIC bandwidth bends it at large values; the
+//! server-encryption variant loses ≈34 % at small and ≈49 % at large sizes;
+//! ShieldStore stays low (121 K → 77 K read-only, 99 K → 22 K
+//! update-mostly).
+
+use precursor_bench::{banner, kops, print_table, repeat, write_csv, Scale};
+use precursor_sim::CostModel;
+use precursor_ycsb::driver::{BenchSession, SystemKind};
+use precursor_ycsb::workload::WorkloadSpec;
+
+const CLIENTS: usize = 50;
+const SIZES: [usize; 7] = [16, 64, 128, 512, 1024, 4096, 16384];
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 5: throughput vs value size (read-only and update-mostly, 50 clients)",
+        "Precursor ~flat then NIC-bound; server-enc -34%/-49%; ShieldStore 121→77 / 99→22 Kops",
+        &scale,
+    );
+    let cost = CostModel::default();
+    // Large values make warmup expensive; scale the keyspace down with size
+    // so the bench stays tractable (chain lengths / EPC pressure barely
+    // change the ≥4 KiB points).
+    let keys_for = |size: usize| -> u64 {
+        if size <= 1024 {
+            scale.warmup_keys
+        } else {
+            (scale.warmup_keys / (size as u64 / 512)).max(10_000)
+        }
+    };
+
+    let systems = [
+        SystemKind::Precursor,
+        SystemKind::PrecursorServerEnc,
+        SystemKind::ShieldStore,
+    ];
+    let mut rows = Vec::new();
+    let mut read_only: Vec<Vec<f64>> = vec![vec![0.0; SIZES.len()]; 3];
+    let mut update_mostly: Vec<Vec<f64>> = vec![vec![0.0; SIZES.len()]; 3];
+
+    for (si, system) in systems.into_iter().enumerate() {
+        for (zi, &size) in SIZES.iter().enumerate() {
+            let keys = keys_for(size);
+            let mut session =
+                BenchSession::new(system, size, keys, keys, CLIENTS, 0xF15, &cost);
+            let ro_spec = WorkloadSpec::workload_c(size, keys);
+            let um_spec = WorkloadSpec::update_mostly(size, keys);
+            let ops = if size >= 4096 {
+                scale.measure_ops / 2
+            } else {
+                scale.measure_ops
+            };
+            let (ro, _) = repeat(scale.repetitions, |_| {
+                session.measure(&ro_spec, CLIENTS, ops).throughput_ops
+            });
+            let (um, _) = repeat(scale.repetitions, |_| {
+                session.measure(&um_spec, CLIENTS, ops).throughput_ops
+            });
+            read_only[si][zi] = ro;
+            update_mostly[si][zi] = um;
+            rows.push(vec![
+                system.name().to_string(),
+                format!("{size}"),
+                kops(ro),
+                kops(um),
+            ]);
+        }
+    }
+    print_table(
+        &["system", "value(B)", "read-only Kops", "update-mostly Kops"],
+        &rows,
+    );
+    write_csv(
+        "fig5_value_sizes",
+        &["system", "value_bytes", "read_only_kops", "update_mostly_kops"],
+        &rows,
+    );
+
+    println!();
+    // Shape checks from the paper's text (§5.2).
+    let p_small = read_only[0][0];
+    let p_large = read_only[0][SIZES.len() - 1];
+    let idx_4k = SIZES.iter().position(|&s| s == 4096).expect("4KiB point");
+    let se_small_drop = 1.0 - read_only[1][0] / read_only[0][0];
+    let se_4k_drop = 1.0 - read_only[1][idx_4k] / read_only[0][idx_4k];
+    println!(
+        "Precursor read-only: {} Kops @16B -> {} Kops @16KiB (NIC-bound: 40Gb/16.4KB ≈ 305 Kops)",
+        kops(p_small),
+        kops(p_large)
+    );
+    println!(
+        "server-enc drop: {:.0}% @16B (paper ~34%), {:.0}% @4KiB (paper ~49%; at 16KiB both          systems are NIC-bound in the model)",
+        se_small_drop * 100.0,
+        se_4k_drop * 100.0
+    );
+    println!(
+        "ShieldStore read-only: {} -> {} Kops (paper 121 -> 77)",
+        kops(read_only[2][0]),
+        kops(read_only[2][SIZES.len() - 1])
+    );
+    println!(
+        "ShieldStore update-mostly: {} -> {} Kops (paper 99 -> 22)",
+        kops(update_mostly[2][0]),
+        kops(update_mostly[2][SIZES.len() - 1])
+    );
+    assert!(se_4k_drop > se_small_drop, "server-enc must degrade faster with size");
+    // The 16 KiB read-only point must sit at the NIC ceiling.
+    let nic_bound_kops = 40.0e9 / 8.0 / 16_500.0 / 1_000.0;
+    assert!(
+        (p_large / 1_000.0 - nic_bound_kops).abs() / nic_bound_kops < 0.15,
+        "16KiB point should be NIC-bound (got {} Kops, NIC ceiling ≈ {:.0} Kops)",
+        kops(p_large),
+        nic_bound_kops
+    );
+    assert!(read_only[0].iter().all(|&t| t > read_only[2][0]), "Precursor above ShieldStore");
+}

@@ -1,0 +1,87 @@
+//! **Figure 6** — read-only throughput while the client count grows from 10
+//! to 100 (32 B values).
+//!
+//! Paper shape: Precursor peaks around 55 clients and then *declines* —
+//! "the decline is due to the resource contention and cache misses in the
+//! RNIC" (§5.2) — while ShieldStore stays flat and low.
+
+use precursor_bench::{banner, kops, print_table, repeat, write_csv, Scale};
+use precursor_sim::CostModel;
+use precursor_ycsb::driver::{BenchSession, SystemKind};
+use precursor_ycsb::workload::WorkloadSpec;
+
+const VALUE: usize = 32;
+const COUNTS: [usize; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 6: read-only throughput vs client count (32 B values)",
+        "Precursor peaks ≈55 clients then declines (RNIC cache misses); ShieldStore flat-low",
+        &scale,
+    );
+    let cost = CostModel::default();
+    let spec = WorkloadSpec::workload_c(VALUE, scale.warmup_keys);
+
+    let systems = [
+        SystemKind::Precursor,
+        SystemKind::PrecursorServerEnc,
+        SystemKind::ShieldStore,
+    ];
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut rows = Vec::new();
+    for (si, system) in systems.into_iter().enumerate() {
+        let mut session = BenchSession::new(
+            system,
+            VALUE,
+            scale.warmup_keys,
+            scale.warmup_keys,
+            *COUNTS.last().expect("nonempty"),
+            0xF16,
+            &cost,
+        );
+        for &n in &COUNTS {
+            let (mean, _) = repeat(scale.repetitions, |_| {
+                session.measure(&spec, n, scale.measure_ops).throughput_ops
+            });
+            series[si].push(mean);
+        }
+    }
+    for (ci, &n) in COUNTS.iter().enumerate() {
+        rows.push(vec![
+            format!("{n}"),
+            kops(series[0][ci]),
+            kops(series[1][ci]),
+            kops(series[2][ci]),
+        ]);
+    }
+    print_table(
+        &["clients", "Precursor Kops", "server-enc Kops", "ShieldStore Kops"],
+        &rows,
+    );
+    write_csv(
+        "fig6_client_scaling",
+        &["clients", "precursor_kops", "server_enc_kops", "shieldstore_kops"],
+        &rows,
+    );
+
+    println!();
+    let (peak_idx, peak) = series[0]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("nonempty");
+    let at_100 = *series[0].last().expect("nonempty");
+    println!(
+        "Precursor peak: {} Kops at {} clients (paper: ≈55); at 100 clients {} Kops ({:+.0}% vs peak)",
+        kops(*peak),
+        COUNTS[peak_idx],
+        kops(at_100),
+        (at_100 / peak - 1.0) * 100.0
+    );
+    assert!(
+        COUNTS[peak_idx] >= 40 && COUNTS[peak_idx] <= 70,
+        "peak should fall near the paper's ~55 clients"
+    );
+    assert!(at_100 < *peak, "throughput must decline past the peak");
+}

@@ -1,0 +1,90 @@
+//! **Figure 8** — average get() latency split into *networking* and
+//! *server processing*, for value sizes 16 B – 8 KiB under a read-only
+//! workload.
+//!
+//! Paper observations (§5.3): ShieldStore's server processing is 1.34×
+//! slower than Precursor's at small values, growing to 2.15× at large ones
+//! (full-payload decryption/re-encryption and copies), its in-enclave
+//! latency keeps increasing with the buffer size while Precursor's remains
+//! constant, and the RDMA-vs-TCP networking gap is ≈26×.
+
+use precursor_bench::{banner, print_table, write_csv, Scale};
+use precursor_sim::{CostModel, Nanos};
+use precursor_ycsb::driver::{BenchSession, SystemKind};
+use precursor_ycsb::workload::WorkloadSpec;
+
+const CLIENTS: usize = 8;
+const SIZES: [usize; 7] = [16, 64, 128, 512, 1024, 4096, 8192];
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 8: average get() latency breakdown, networking vs server (read-only)",
+        "ShieldStore server 1.34x (→2.15x) slower; networking ≈26x slower over TCP",
+        &scale,
+    );
+    let cost = CostModel::default();
+
+    let mut rows = Vec::new();
+    let mut precursor_server: Vec<Nanos> = Vec::new();
+    let mut shield_server: Vec<Nanos> = Vec::new();
+    let mut precursor_net: Vec<Nanos> = Vec::new();
+    let mut shield_net: Vec<Nanos> = Vec::new();
+
+    for system in [SystemKind::Precursor, SystemKind::ShieldStore] {
+        for &size in &SIZES {
+            let keys = (scale.warmup_keys / ((size as u64 / 512).max(1))).max(10_000);
+            let mut session =
+                BenchSession::new(system, size, keys, keys, CLIENTS, 0xF18, &cost);
+            let spec = WorkloadSpec::workload_c(size, keys);
+            let r = session.measure(&spec, CLIENTS, scale.measure_ops);
+            match system {
+                SystemKind::Precursor => {
+                    precursor_server.push(r.avg_server);
+                    precursor_net.push(r.avg_network);
+                }
+                _ => {
+                    shield_server.push(r.avg_server);
+                    shield_net.push(r.avg_network);
+                }
+            }
+            rows.push(vec![
+                system.name().to_string(),
+                format!("{size}"),
+                format!("{}", r.avg_network),
+                format!("{}", r.avg_server),
+                format!("{}", r.avg_client),
+                format!("{}", r.latency.mean()),
+            ]);
+        }
+    }
+    print_table(
+        &["system", "value(B)", "networking", "server", "client", "total avg"],
+        &rows,
+    );
+    write_csv(
+        "fig8_latency_breakdown",
+        &["system", "value_bytes", "network_ns", "server_ns", "client_ns", "total_ns"],
+        &rows,
+    );
+
+    println!();
+    let ratio_small = shield_server[0].0 as f64 / precursor_server[0].0 as f64;
+    let last = SIZES.len() - 1;
+    let ratio_large = shield_server[last].0 as f64 / precursor_server[last].0 as f64;
+    let net_ratio = shield_net[0].0 as f64 / precursor_net[0].0 as f64;
+    println!(
+        "server processing ratio: {ratio_small:.2}x @16B (paper 1.34x), {ratio_large:.2}x @8KiB (paper 2.15x)"
+    );
+    println!("networking ratio @16B: {net_ratio:.0}x (paper ≈26x)");
+    let precursor_growth =
+        precursor_server[last].0 as f64 / precursor_server[0].0 as f64;
+    let shield_growth = shield_server[last].0 as f64 / shield_server[0].0 as f64;
+    println!(
+        "server-time growth 16B→8KiB: Precursor {precursor_growth:.2}x (paper: 'remains the same'), \
+         ShieldStore {shield_growth:.2}x (paper: 'keeps increasing')"
+    );
+    assert!(ratio_large > ratio_small, "ShieldStore must degrade faster with size");
+    assert!(shield_growth > precursor_growth, "Precursor server time must stay flatter");
+    assert!(net_ratio > 5.0, "TCP networking must be far slower than RDMA");
+}

@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the substrate data structures and
+//! primitives (wall-clock, not simulated time): the Robin Hood table the
+//! enclave hosts, the ring buffers on the RDMA path, the Merkle tree of the
+//! baseline, and the software crypto.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use precursor_crypto::{cmac, gcm, salsa20, sha256, Key128, Key256, Nonce12, Nonce8};
+use precursor_shieldstore::merkle::MerkleTree;
+use precursor_storage::ring::{RingConsumer, RingProducer};
+use precursor_storage::robinhood::RobinHoodMap;
+
+fn bench_robinhood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("robinhood");
+    g.bench_function("insert_10k", |b| {
+        b.iter_batched(
+            || RobinHoodMap::<u64, u64>::with_capacity(16_384),
+            |mut m| {
+                for i in 0..10_000u64 {
+                    m.insert(i, i);
+                }
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut filled = RobinHoodMap::with_capacity(16_384);
+    for i in 0..10_000u64 {
+        filled.insert(i, i);
+    }
+    g.bench_function("get_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7) % 10_000;
+            std::hint::black_box(filled.get(&k))
+        })
+    });
+    g.bench_function("get_miss", |b| {
+        let mut k = 10_000u64;
+        b.iter(|| {
+            k += 1;
+            std::hint::black_box(filled.get(&k))
+        })
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    for len in [64usize, 1024, 16_384] {
+        let data = vec![0xA5u8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_function(format!("aes_gcm_seal_{len}"), |b| {
+            let key = Key128::from_bytes([1; 16]);
+            let mut ctr = 0u64;
+            b.iter(|| {
+                ctr += 1;
+                gcm::seal(&key, &Nonce12::from_counter(ctr), &[], &data)
+            })
+        });
+        g.bench_function(format!("salsa20_{len}"), |b| {
+            let key = Key256::from_bytes([2; 32]);
+            let nonce = Nonce8::from_bytes([3; 8]);
+            let mut buf = data.clone();
+            b.iter(|| salsa20::xor_keystream(&key, &nonce, 0, &mut buf))
+        });
+        g.bench_function(format!("cmac_{len}"), |b| {
+            let key = Key128::from_bytes([4; 16]);
+            b.iter(|| cmac::mac(&key, &data))
+        });
+        g.bench_function(format!("sha256_{len}"), |b| {
+            b.iter(|| sha256::digest(&data))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    g.bench_function("push_pop_64B", |b| {
+        let cap = 1 << 16;
+        let mut buf = vec![0u8; cap];
+        let mut tx = RingProducer::new(cap);
+        let mut rx = RingConsumer::new(cap);
+        let payload = [7u8; 64];
+        b.iter(|| {
+            tx.push(&mut buf, &payload).expect("fits");
+            let got = rx.pop(&mut buf).expect("present");
+            tx.update_credits(rx.consumed());
+            got
+        })
+    });
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    for leaves in [1usize << 10, 1 << 16] {
+        let mut tree = MerkleTree::new(leaves);
+        let mut i = 0usize;
+        g.bench_function(format!("update_{leaves}_leaves"), |b| {
+            b.iter(|| {
+                i = (i + 1) % leaves;
+                tree.update(i, [i as u8; 32])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_robinhood, bench_crypto, bench_ring, bench_merkle);
+criterion_main!(benches);

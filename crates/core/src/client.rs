@@ -1,0 +1,600 @@
+//! The Precursor client: the "precursor" that carries the cryptographic
+//! workload (§3.2).
+//!
+//! For a put (Algorithm 1) the client generates a fresh one-time key
+//! `K_operation`, encrypts the value with Salsa20, MACs the ciphertext with
+//! AES-CMAC, seals the control data (key, `K_operation`, `oid`) under the
+//! session key, and writes the framed request into its server-side ring with
+//! one-sided RDMA WRITEs. For a get it sends control data only and — on
+//! reply — *verifies the payload itself*: recompute the CMAC under the
+//! returned `K_operation` and compare with the returned MAC (§3.7).
+
+use std::collections::HashMap;
+
+use precursor_crypto::keys::{Key128, Key256, Nonce8, Tag};
+use precursor_crypto::{cmac, gcm, salsa20};
+use precursor_rdma::mr::{Memory, RemoteKey};
+use precursor_rdma::qp::QueuePair;
+use precursor_sim::meter::{Meter, Stage};
+use precursor_sim::time::Cycles;
+use precursor_sim::CostModel;
+use precursor_storage::ring::{RingConsumer, RingProducer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::EncryptionMode;
+use crate::error::StoreError;
+use crate::server::{cmac_key_of, ClientBundle, PrecursorServer};
+use crate::wire::{
+    payload_reply_nonce, payload_request_nonce, reply_nonce, request_aad, request_nonce, Opcode,
+    ReplyControl, ReplyFrame, RequestControl, RequestFrame, Status,
+};
+
+/// A finished operation, as observed by the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedOp {
+    /// The operation's sequence number.
+    pub oid: u64,
+    /// The operation kind.
+    pub opcode: Opcode,
+    /// Server-reported status.
+    pub status: Status,
+    /// Decrypted value for successful gets.
+    pub value: Option<Vec<u8>>,
+    /// Client-side verification failure, if any — e.g.
+    /// [`StoreError::IntegrityViolation`] when the recomputed CMAC does not
+    /// match (§3.7 "Query data").
+    pub error: Option<StoreError>,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    opcode: Opcode,
+    key: Vec<u8>,
+}
+
+/// A connected Precursor client.
+///
+/// See the [crate docs](crate) for a quickstart.
+#[derive(Debug)]
+pub struct PrecursorClient {
+    client_id: u32,
+    session_key: Key128,
+    mode: EncryptionMode,
+    cost: CostModel,
+
+    qp: QueuePair,
+    request_rkey: RemoteKey,
+    request_producer: RingProducer,
+    credit_word: Memory,
+    reply_ring: Memory,
+    reply_consumer: RingConsumer,
+    reply_credit_rkey: RemoteKey,
+
+    oid: u64,
+    next_reply_seq: u64,
+    rng: StdRng,
+    meter: Meter,
+    pending: HashMap<u64, Pending>,
+    completed: HashMap<u64, CompletedOp>,
+    posts_since_signal: u32,
+    signal_interval: u32,
+}
+
+impl PrecursorClient {
+    /// Connects to `server`: runs the modelled attestation handshake and
+    /// receives the ring locations (§3.6). `seed` makes the client's key
+    /// generation deterministic for reproducible runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PrecursorServer::add_client`] failures.
+    pub fn connect(server: &mut PrecursorServer, seed: u64) -> Result<PrecursorClient, StoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nonce = [0u8; 16];
+        rand::RngCore::fill_bytes(&mut rng, &mut nonce);
+        let bundle = server.add_client(nonce)?;
+        Ok(PrecursorClient::from_bundle(bundle, server.cost().clone(), rng))
+    }
+
+    /// Builds a client from an attestation bundle (for multi-process style
+    /// setups where the bundle is produced elsewhere).
+    pub fn from_bundle(bundle: ClientBundle, cost: CostModel, rng: StdRng) -> PrecursorClient {
+        let ClientBundle {
+            client_id,
+            session_key,
+            qp,
+            request_ring_rkey,
+            reply_ring,
+            credit_word,
+            reply_credit_rkey,
+            ring_bytes,
+            mode,
+        } = bundle;
+        PrecursorClient {
+            client_id,
+            session_key,
+            mode,
+            cost,
+            qp,
+            request_rkey: request_ring_rkey,
+            request_producer: RingProducer::new(ring_bytes),
+            credit_word,
+            reply_ring,
+            reply_consumer: RingConsumer::new(ring_bytes),
+            reply_credit_rkey,
+            oid: 0,
+            next_reply_seq: 1,
+            rng,
+            meter: Meter::new(),
+            pending: HashMap::new(),
+            completed: HashMap::new(),
+            posts_since_signal: 0,
+            // Selective signaling (§4, "RDMA optimizations"): push a single
+            // completion after a batch of requests instead of one per WRITE.
+            signal_interval: 16,
+        }
+    }
+
+    /// This client's id at the server.
+    pub fn client_id(&self) -> u32 {
+        self.client_id
+    }
+
+    /// Number of requests sent but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Takes the cost meter accumulated since the last call (client CPU and
+    /// RDMA post accounting).
+    pub fn take_meter(&mut self) -> Meter {
+        self.meter.take()
+    }
+
+    /// Issues a put (Algorithm 1). Returns the operation's `oid`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RingFull`] when the request ring lacks credits, and
+    /// [`StoreError::Rdma`] if the connection was revoked.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<u64, StoreError> {
+        let cost = self.cost.clone();
+        self.oid += 1;
+        let oid = self.oid;
+
+        let (payload, mac, control) = match self.mode {
+            EncryptionMode::ClientSide => {
+                // K_operation ← KeyGen(); *v ← E(K_operation, v);
+                // mac ← MAC(K_operation, *v)                  (lines 2-4)
+                let k_op = Key256::generate(&mut self.rng);
+                let payload_nonce = Nonce8::generate(&mut self.rng);
+                self.charge_client(Cycles(cost.keygen_cycles));
+                let mut payload = value.to_vec();
+                salsa20::xor_keystream(&k_op, &payload_nonce, 0, &mut payload);
+                self.charge_client(cost.salsa20(value.len()));
+                let mac = cmac::mac(&cmac_key_of(&k_op), &payload);
+                self.charge_client(cost.cmac(payload.len()));
+                self.meter.counters_mut().crypto_bytes += value.len() as u64;
+                (
+                    payload,
+                    mac,
+                    RequestControl {
+                        oid,
+                        key: key.to_vec(),
+                        k_op: Some(k_op),
+                        payload_nonce: Some(payload_nonce),
+                    },
+                )
+            }
+            EncryptionMode::ServerSide => {
+                // Conventional scheme: the whole value is transport-encrypted
+                // to the enclave; no client-side one-time key.
+                let payload =
+                    gcm::seal(&self.session_key, &payload_request_nonce(oid), &[], value);
+                self.charge_client(cost.aes_gcm(value.len()));
+                self.meter.counters_mut().crypto_bytes += value.len() as u64;
+                (
+                    payload,
+                    Tag::default(),
+                    RequestControl {
+                        oid,
+                        key: key.to_vec(),
+                        k_op: None,
+                        payload_nonce: None,
+                    },
+                )
+            }
+        };
+
+        self.send_frame(Opcode::Put, control, mac, payload)?;
+        self.pending.insert(
+            oid,
+            Pending {
+                opcode: Opcode::Put,
+                key: key.to_vec(),
+            },
+        );
+        Ok(oid)
+    }
+
+    /// Issues a get. Returns the operation's `oid`; the decrypted, verified
+    /// value is available from [`take_completed`](Self::take_completed)
+    /// after the reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`put`](Self::put).
+    pub fn get(&mut self, key: &[u8]) -> Result<u64, StoreError> {
+        self.oid += 1;
+        let oid = self.oid;
+        let control = RequestControl {
+            oid,
+            key: key.to_vec(),
+            k_op: None,
+            payload_nonce: None,
+        };
+        self.send_frame(Opcode::Get, control, Tag::default(), Vec::new())?;
+        self.pending.insert(
+            oid,
+            Pending {
+                opcode: Opcode::Get,
+                key: key.to_vec(),
+            },
+        );
+        Ok(oid)
+    }
+
+    /// Issues a delete. Returns the operation's `oid`.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`put`](Self::put).
+    pub fn delete(&mut self, key: &[u8]) -> Result<u64, StoreError> {
+        self.oid += 1;
+        let oid = self.oid;
+        let control = RequestControl {
+            oid,
+            key: key.to_vec(),
+            k_op: None,
+            payload_nonce: None,
+        };
+        self.send_frame(Opcode::Delete, control, Tag::default(), Vec::new())?;
+        self.pending.insert(
+            oid,
+            Pending {
+                opcode: Opcode::Delete,
+                key: key.to_vec(),
+            },
+        );
+        Ok(oid)
+    }
+
+    fn send_frame(
+        &mut self,
+        opcode: Opcode,
+        control: RequestControl,
+        mac: Tag,
+        payload: Vec<u8>,
+    ) -> Result<(), StoreError> {
+        let cost = self.cost.clone();
+        let iv = request_nonce(control.oid);
+        let control_bytes = control.encode();
+        self.charge_client(cost.aes_gcm(control_bytes.len()));
+        let sealed = gcm::seal(
+            &self.session_key,
+            &iv,
+            &request_aad(opcode, self.client_id),
+            &control_bytes,
+        );
+        let frame = RequestFrame {
+            opcode,
+            client_id: self.client_id,
+            iv,
+            sealed_control: sealed,
+            mac,
+            payload,
+        };
+        let bytes = frame.encode();
+        self.charge_client(cost.memcpy(bytes.len()));
+
+        // Learn the server's consumed counter (credits it wrote back).
+        let credits = u64::from_le_bytes(self.credit_word.read(0, 8).try_into().expect("8 bytes"));
+        self.request_producer.update_credits(credits);
+
+        // One (or two, on wrap) one-sided WRITEs into the server-side ring.
+        // Selective signaling: only every `signal_interval`-th WRITE asks
+        // for a completion; the rest run unsignaled (§4).
+        self.posts_since_signal += 1;
+        let signaled = self.posts_since_signal >= self.signal_interval;
+        if signaled {
+            self.posts_since_signal = 0;
+        }
+        let qp = &mut self.qp;
+        let rkey = self.request_rkey;
+        let mut rdma_err = None;
+        let pushed = self.request_producer.push_with(&bytes, |off, chunk| {
+            if let Err(e) = qp.post_write(rkey, off, chunk, signaled) {
+                rdma_err = Some(e);
+            }
+        });
+        if signaled {
+            // Reap the batch's single completion (amortized cost).
+            let _ = qp.poll_cq(1);
+            self.charge_client(Cycles(cost.rdma_poll_cycles));
+        }
+        if let Some(e) = rdma_err {
+            return Err(StoreError::Rdma(e));
+        }
+        if pushed.is_none() {
+            // Roll the oid back so the caller can retry the same operation.
+            self.oid -= 1;
+            return Err(StoreError::RingFull);
+        }
+        self.meter.counters_mut().rdma_posts += 1;
+        self.meter.counters_mut().tx_bytes += bytes.len() as u64;
+        self.charge_client(Cycles(cost.rdma_post_cycles));
+        Ok(())
+    }
+
+    /// Drains the reply ring, verifying and decrypting each reply; returns
+    /// how many operations completed. Completed results are retrieved with
+    /// [`take_completed`](Self::take_completed).
+    pub fn poll_replies(&mut self) -> usize {
+        let mut n = 0;
+        loop {
+            let reply_ring = self.reply_ring.clone();
+            let record = reply_ring.with_mut(|buf| self.reply_consumer.pop(buf));
+            let Some(record) = record else { break };
+            self.handle_reply(&record);
+            n += 1;
+        }
+        if n > 0 {
+            // Report reply-ring consumption back to the server so its
+            // producer regains credits.
+            let consumed = self.reply_consumer.consumed();
+            let _ = self
+                .qp
+                .post_write(self.reply_credit_rkey, 0, &consumed.to_le_bytes(), false);
+        }
+        n
+    }
+
+    fn handle_reply(&mut self, record: &[u8]) {
+        let cost = self.cost.clone();
+        self.charge_client(cost.memcpy(record.len()));
+        let Ok(frame) = ReplyFrame::decode(record) else {
+            // Malformed reply: drop — a real client would tear the session.
+            return;
+        };
+        // Replies arrive in server order; the expected sequence selects the
+        // nonce and doubles as rollback protection on the reply channel.
+        let seq = frame.reply_seq;
+        if seq != self.next_reply_seq {
+            return;
+        }
+        self.next_reply_seq += 1;
+
+        self.charge_client(cost.aes_gcm(frame.sealed_control.len()));
+        let Ok(control_bytes) = gcm::open(
+            &self.session_key,
+            &reply_nonce(seq),
+            &[],
+            &frame.sealed_control,
+        ) else {
+            return;
+        };
+        let Ok(control) = ReplyControl::decode(&control_bytes) else {
+            return;
+        };
+
+        // Error replies (replay / not-found / malformed) carry oid 0: they
+        // complete the *oldest* pending op, matching the in-order rings.
+        let oid = if control.oid != 0 {
+            control.oid
+        } else {
+            match self.pending.keys().min() {
+                Some(&o) => o,
+                None => return,
+            }
+        };
+        let Some(pending) = self.pending.remove(&oid) else {
+            return;
+        };
+
+        let mut completed = CompletedOp {
+            oid,
+            opcode: pending.opcode,
+            status: frame.status,
+            value: None,
+            error: None,
+        };
+
+        if frame.status == Status::Ok && pending.opcode == Opcode::Get {
+            match self.mode {
+                EncryptionMode::ClientSide => {
+                    match (&control.k_op, &control.payload_nonce, &control.mac) {
+                        (Some(k_op), Some(pn), Some(mac)) => {
+                            // Verify integrity: recompute the MAC over the
+                            // encrypted value with K_operation (§3.7).
+                            self.charge_client(cost.cmac(frame.payload.len()));
+                            if !cmac::verify(&cmac_key_of(k_op), &frame.payload, mac) {
+                                completed.error = Some(StoreError::IntegrityViolation);
+                            } else {
+                                let mut value = frame.payload.clone();
+                                salsa20::xor_keystream(k_op, pn, 0, &mut value);
+                                self.charge_client(cost.salsa20(value.len()));
+                                self.meter.counters_mut().crypto_bytes += value.len() as u64;
+                                completed.value = Some(value);
+                            }
+                        }
+                        _ => completed.error = Some(StoreError::MalformedFrame),
+                    }
+                }
+                EncryptionMode::ServerSide => {
+                    self.charge_client(cost.aes_gcm(frame.payload.len()));
+                    match gcm::open(
+                        &self.session_key,
+                        &payload_reply_nonce(seq),
+                        &[],
+                        &frame.payload,
+                    ) {
+                        Ok(value) => {
+                            self.meter.counters_mut().crypto_bytes += value.len() as u64;
+                            completed.value = Some(value);
+                        }
+                        Err(_) => completed.error = Some(StoreError::IntegrityViolation),
+                    }
+                }
+            }
+        }
+
+        self.completed.insert(oid, completed);
+    }
+
+    /// Takes the completed result for `oid`, if its reply has arrived.
+    pub fn take_completed(&mut self, oid: u64) -> Option<CompletedOp> {
+        self.completed.remove(&oid)
+    }
+
+    /// Takes all completed results, in `oid` order.
+    pub fn take_all_completed(&mut self) -> Vec<CompletedOp> {
+        let mut all: Vec<CompletedOp> = self.completed.drain().map(|(_, v)| v).collect();
+        all.sort_by_key(|c| c.oid);
+        all
+    }
+
+    /// Convenience: put and wait for the ack by pumping `server`.
+    ///
+    /// # Errors
+    ///
+    /// Send failures from [`put`](Self::put), or the reply's error status.
+    pub fn put_sync(
+        &mut self,
+        server: &mut PrecursorServer,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), StoreError> {
+        let oid = self.put(key, value)?;
+        server.poll();
+        self.poll_replies();
+        match self.take_completed(oid) {
+            Some(c) if c.status == Status::Ok => Ok(()),
+            Some(c) => Err(c.error.unwrap_or(match c.status {
+                Status::Replay => StoreError::ReplayDetected,
+                Status::NotFound => StoreError::NotFound,
+                _ => StoreError::MalformedFrame,
+            })),
+            None => Err(StoreError::MalformedFrame),
+        }
+    }
+
+    /// Convenience: get and wait for the verified value by pumping `server`.
+    ///
+    /// # Errors
+    ///
+    /// Send failures, [`StoreError::NotFound`], or the client-side
+    /// verification error ([`StoreError::IntegrityViolation`]).
+    pub fn get_sync(
+        &mut self,
+        server: &mut PrecursorServer,
+        key: &[u8],
+    ) -> Result<Vec<u8>, StoreError> {
+        let oid = self.get(key)?;
+        server.poll();
+        self.poll_replies();
+        match self.take_completed(oid) {
+            Some(c) => {
+                if let Some(e) = c.error {
+                    return Err(e);
+                }
+                match c.status {
+                    Status::Ok => Ok(c.value.expect("ok get carries a value")),
+                    Status::NotFound => Err(StoreError::NotFound),
+                    Status::Replay => Err(StoreError::ReplayDetected),
+                    Status::Error => Err(StoreError::MalformedFrame),
+                }
+            }
+            None => Err(StoreError::MalformedFrame),
+        }
+    }
+
+    /// Convenience: delete and wait for the ack by pumping `server`.
+    ///
+    /// # Errors
+    ///
+    /// Send failures, or [`StoreError::NotFound`].
+    pub fn delete_sync(
+        &mut self,
+        server: &mut PrecursorServer,
+        key: &[u8],
+    ) -> Result<(), StoreError> {
+        let oid = self.delete(key)?;
+        server.poll();
+        self.poll_replies();
+        match self.take_completed(oid) {
+            Some(c) if c.status == Status::Ok => Ok(()),
+            Some(c) if c.status == Status::NotFound => Err(StoreError::NotFound),
+            _ => Err(StoreError::MalformedFrame),
+        }
+    }
+
+    fn charge_client(&mut self, c: Cycles) {
+        let t = self.cost.client_freq.cycles_to_nanos(c);
+        self.meter.charge(Stage::ClientCpu, t);
+    }
+
+    /// Attack hook for security tests: re-sends the raw bytes of the *last*
+    /// frame this client produced — a network-level replay. The genuine
+    /// server must reject it via the oid check (Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RingFull`] if the ring lacks space for the duplicate.
+    pub fn replay_last_frame(&mut self) -> Result<(), StoreError> {
+        // Rebuild a frame for the current oid (already consumed): a byte-
+        // exact replay of the newest request.
+        let oid = self.oid;
+        let pending = self
+            .pending
+            .get(&oid)
+            .cloned()
+            .unwrap_or(Pending {
+                opcode: Opcode::Get,
+                key: Vec::new(),
+            });
+        let control = RequestControl {
+            oid,
+            key: pending.key,
+            k_op: None,
+            payload_nonce: None,
+        };
+        let iv = request_nonce(oid);
+        let control_bytes = control.encode();
+        let sealed = gcm::seal(
+            &self.session_key,
+            &iv,
+            &request_aad(pending.opcode, self.client_id),
+            &control_bytes,
+        );
+        let frame = RequestFrame {
+            opcode: pending.opcode,
+            client_id: self.client_id,
+            iv,
+            sealed_control: sealed,
+            mac: Tag::default(),
+            payload: Vec::new(),
+        };
+        let bytes = frame.encode();
+        let credits = u64::from_le_bytes(self.credit_word.read(0, 8).try_into().expect("8 bytes"));
+        self.request_producer.update_credits(credits);
+        let qp = &mut self.qp;
+        let rkey = self.request_rkey;
+        self.request_producer
+            .push_with(&bytes, |off, chunk| {
+                let _ = qp.post_write(rkey, off, chunk, false);
+            })
+            .ok_or(StoreError::RingFull)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,102 @@
+//! Store configuration.
+
+/// Where payload encryption happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncryptionMode {
+    /// The paper's design (§3): clients encrypt values under one-time keys;
+    /// the payload never enters the enclave.
+    #[default]
+    ClientSide,
+    /// The conventional baseline (§2.4, §5.1): the full payload is
+    /// transport-encrypted into the enclave, verified, re-encrypted under a
+    /// server storage key, and stored back out. Used as the "Precursor
+    /// server-encryption" comparison system.
+    ServerSide,
+}
+
+/// Configuration of a Precursor server instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Payload encryption scheme.
+    pub mode: EncryptionMode,
+    /// Capacity of each per-client request and reply ring, in bytes.
+    pub ring_bytes: usize,
+    /// Initial size of the untrusted payload pool, in bytes; the pool grows
+    /// by the same amount per modelled ocall when exhausted (§3.8).
+    pub pool_bytes: usize,
+    /// Maximum concurrent clients.
+    pub max_clients: usize,
+    /// Largest accepted key, in bytes.
+    pub max_key_bytes: usize,
+    /// Largest accepted value, in bytes.
+    pub max_value_bytes: usize,
+    /// Modelled bytes per enclave hash-table slot, used for EPC accounting
+    /// (key 16 B + K_op 32 B + oid/client 8 B + pointer 12 B + hash & padding
+    /// ≈ 88 B — yields Table 1's ≈11.6 MiB at 100 k keys).
+    pub model_slot_bytes: usize,
+    /// Initial enclave hash-table slots ("only a subset of the hash table"
+    /// is initialized up front, §5.4).
+    pub initial_table_slots: usize,
+    /// Values of at most this many bytes are stored directly *inside* the
+    /// enclave instead of the untrusted pool — the paper's proposed future
+    /// extension for values smaller than the control data (§5.2: "one could
+    /// as an alternative store the value directly inside the trusted
+    /// memory... We consider this as a future extension"). `0` disables it
+    /// (the paper's evaluated configuration).
+    pub inline_value_max: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            mode: EncryptionMode::ClientSide,
+            ring_bytes: 1 << 20,
+            pool_bytes: 64 << 20,
+            max_clients: 128,
+            max_key_bytes: 256,
+            max_value_bytes: 256 << 10,
+            model_slot_bytes: 88,
+            initial_table_slots: 2048,
+            inline_value_max: 0,
+        }
+    }
+}
+
+impl Config {
+    /// Enables the small-value in-enclave extension with the paper's ≈56 B
+    /// control-data threshold (§5.2).
+    pub fn with_small_value_inlining() -> Config {
+        Config {
+            inline_value_max: 56,
+            ..Config::default()
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with the server-encryption baseline enabled.
+    pub fn server_encryption() -> Config {
+        Config {
+            mode: EncryptionMode::ServerSide,
+            ..Config::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_client_side() {
+        assert_eq!(Config::default().mode, EncryptionMode::ClientSide);
+    }
+
+    #[test]
+    fn server_encryption_flips_only_mode() {
+        let a = Config::default();
+        let b = Config::server_encryption();
+        assert_eq!(b.mode, EncryptionMode::ServerSide);
+        assert_eq!(a.ring_bytes, b.ring_bytes);
+    }
+}

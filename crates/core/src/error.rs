@@ -1,0 +1,103 @@
+//! Error types of the Precursor store.
+
+use std::error::Error;
+use std::fmt;
+
+use precursor_crypto::CryptoError;
+use precursor_rdma::RdmaError;
+
+/// Errors surfaced by the client or server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A cryptographic operation failed (bad tag, bad lengths).
+    Crypto(CryptoError),
+    /// An RDMA verb failed.
+    Rdma(RdmaError),
+    /// The request ring has no space; wait for credits and retry.
+    RingFull,
+    /// A request's `oid` did not match the expected sequence number —
+    /// replay (or reordering) detected by the enclave (Algorithm 2).
+    ReplayDetected,
+    /// The key does not exist.
+    NotFound,
+    /// A frame failed structural validation (signs, lengths, opcode).
+    MalformedFrame,
+    /// The payload MAC did not verify — integrity violation detected by the
+    /// client.
+    IntegrityViolation,
+    /// Attestation failed; no session was established.
+    AttestationFailed,
+    /// The server has reached its configured client limit.
+    TooManyClients,
+    /// Key or value exceeds the configured maximum size.
+    OversizedItem,
+    /// A sealed snapshot failed verification: wrong version (rollback),
+    /// tampered bytes, or a foreign platform/enclave.
+    SnapshotRejected,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            StoreError::Rdma(e) => write!(f, "rdma failure: {e}"),
+            StoreError::RingFull => f.write_str("request ring full"),
+            StoreError::ReplayDetected => f.write_str("replay detected"),
+            StoreError::NotFound => f.write_str("key not found"),
+            StoreError::MalformedFrame => f.write_str("malformed frame"),
+            StoreError::IntegrityViolation => f.write_str("payload integrity violation"),
+            StoreError::AttestationFailed => f.write_str("attestation failed"),
+            StoreError::TooManyClients => f.write_str("too many clients"),
+            StoreError::OversizedItem => f.write_str("key or value too large"),
+            StoreError::SnapshotRejected => f.write_str("snapshot rejected (rollback or tampering)"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Crypto(e) => Some(e),
+            StoreError::Rdma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for StoreError {
+    fn from(e: CryptoError) -> StoreError {
+        StoreError::Crypto(e)
+    }
+}
+
+impl From<RdmaError> for StoreError {
+    fn from(e: RdmaError) -> StoreError {
+        StoreError::Rdma(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(StoreError::ReplayDetected.to_string().contains("replay"));
+        assert!(StoreError::from(CryptoError::InvalidTag).to_string().contains("tag"));
+        assert!(StoreError::from(RdmaError::InvalidRkey).to_string().contains("rdma"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = StoreError::from(CryptoError::InvalidTag);
+        assert!(e.source().is_some());
+        assert!(StoreError::NotFound.source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<StoreError>();
+    }
+}

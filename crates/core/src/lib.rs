@@ -1,0 +1,63 @@
+//! # Precursor
+//!
+//! A reproduction of **"Precursor: A Fast, Client-Centric and Trusted
+//! Key-Value Store using RDMA and Intel SGX"** (Messadi et al., Middleware
+//! '21) as a Rust library over simulated SGX and RDMA substrates.
+//!
+//! Precursor splits every request into **control data** (key, one-time key
+//! `K_operation`, sequence number `oid`) — transport-encrypted under the
+//! per-client session key whose secure endpoint is *inside* the enclave —
+//! and **payload data** (the value), encrypted *by the client* under
+//! `K_operation` and placed in the server's *untrusted* memory via one-sided
+//! RDMA WRITE, never entering the enclave. The enclave keeps only a small
+//! Robin Hood hash table mapping each key to its `K_operation`, replay
+//! counter and untrusted-payload pointer.
+//!
+//! ## Modules
+//!
+//! * [`wire`] — the request/reply framing (opcode, `start_sign`/`end_sign`,
+//!   sealed control segment, payload MAC, payload).
+//! * [`client`] — [`PrecursorClient`]: Algorithm 1 (put), gets, reply
+//!   verification, and the attack surface used by the security tests.
+//! * [`server`] — [`PrecursorServer`]: trusted polling threads, the enclave
+//!   hash table, the untrusted payload pool, reply writing (Algorithm 2).
+//! * [`config`] — store configuration, including the
+//!   [`EncryptionMode`]: the paper's client-
+//!   encryption design or the conventional server-encryption baseline.
+//! * [`error`] — error types.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use precursor::{Config, PrecursorClient, PrecursorServer};
+//! use precursor_sim::CostModel;
+//!
+//! let cost = CostModel::default();
+//! let mut server = PrecursorServer::new(Config::default(), &cost);
+//! let mut client = PrecursorClient::connect(&mut server, 42).unwrap();
+//!
+//! client.put(b"greeting", b"hello enclave").unwrap();
+//! server.poll();          // the trusted thread sweeps the request rings
+//! client.poll_replies();  // replies landed in the client's reply ring
+//!
+//! let oid = client.get(b"greeting").unwrap();
+//! server.poll();
+//! client.poll_replies();
+//! let reply = client.take_completed(oid).unwrap();
+//! assert_eq!(reply.value.unwrap(), b"hello enclave");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use client::{CompletedOp, PrecursorClient};
+pub use config::{Config, EncryptionMode};
+pub use error::StoreError;
+pub use server::{OpReport, PrecursorServer};

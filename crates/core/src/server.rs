@@ -1,0 +1,1152 @@
+//! The Precursor server: untrusted plumbing + trusted request processing.
+//!
+//! The server side is "subdivided into two parts, the trusted and the
+//! untrusted environment" (§3.5). Here:
+//!
+//! * **Untrusted**: per-client request rings (written remotely by one-sided
+//!   RDMA WRITE), per-client reply writing, the pre-allocated payload pool,
+//!   and the credit write-backs.
+//! * **Trusted** (accounted through the [`Enclave`] model): the Robin Hood
+//!   hash table of `(key → K_operation, pointer)` entries, the per-client
+//!   expected-`oid` array, control-segment decryption and reply sealing —
+//!   Algorithm 2 of the paper.
+//!
+//! Each processed request produces an [`OpReport`] whose [`Meter`] carries
+//! the virtual cost of every step; the YCSB driver replays those charges
+//! through contended resources.
+
+use precursor_crypto::keys::{Key128, Key256, Nonce8, Tag};
+use precursor_crypto::{cmac, gcm};
+use precursor_rdma::mr::{Memory, RemoteKey};
+use precursor_rdma::qp::{connect_pair, QueuePair};
+use precursor_sgx::attest::AttestationService;
+use precursor_sgx::enclave::{Enclave, RegionId};
+use precursor_sim::meter::{Meter, Stage};
+use precursor_sim::time::Cycles;
+use precursor_sim::CostModel;
+use precursor_storage::pool::{PoolRange, SlabPool};
+use precursor_storage::ring::{RingConsumer, RingProducer};
+use precursor_storage::robinhood::RobinHoodMap;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::config::{Config, EncryptionMode};
+use crate::error::StoreError;
+use crate::wire::{
+    payload_reply_nonce, payload_request_nonce, reply_nonce, request_aad, Opcode, ReplyControl,
+    ReplyFrame, RequestControl, RequestFrame, Status,
+};
+
+/// Per-operation outcome + cost accounting, consumed by the benchmark
+/// driver.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// Client that issued the operation.
+    pub client_id: u32,
+    /// Operation kind.
+    pub opcode: Opcode,
+    /// Outcome.
+    pub status: Status,
+    /// Payload bytes involved (request payload for puts, reply payload for
+    /// gets).
+    pub value_len: usize,
+    /// Cost charges accumulated while processing this request server-side.
+    pub meter: Meter,
+}
+
+/// What the server hands a connecting client after attestation (§3.6): the
+/// session key, ring locations/rkeys, and the client's end of the QP.
+#[derive(Debug)]
+pub struct ClientBundle {
+    /// Assigned client id.
+    pub client_id: u32,
+    /// The shared session key established during attestation.
+    pub session_key: Key128,
+    /// Client end of the reliable connection.
+    pub qp: QueuePair,
+    /// rkey of the server-side request ring (client WRITEs requests here).
+    pub request_ring_rkey: RemoteKey,
+    /// Client-local reply ring memory (server WRITEs replies here).
+    pub reply_ring: Memory,
+    /// Client-local credit word (server WRITEs its consumed counter here).
+    pub credit_word: Memory,
+    /// rkey of the server-side reply-credit word (client WRITEs its reply
+    /// consumption counter here).
+    pub reply_credit_rkey: RemoteKey,
+    /// Ring capacity in bytes (both rings).
+    pub ring_bytes: usize,
+    /// Payload encryption mode the server runs in.
+    pub mode: EncryptionMode,
+}
+
+// Trusted per-entry metadata: what the paper keeps in the enclave hash table
+// ("the key item and a value pair composed of the K_operation and an
+// associated pointer ptr", §3.7).
+// Where a value's bytes live.
+#[derive(Debug, Clone)]
+enum ValueStorage {
+    /// In the untrusted payload pool (the paper's evaluated design).
+    Untrusted(PoolRange),
+    /// Inside the enclave (ciphertext ‖ MAC) — the small-value extension
+    /// the paper proposes for values below the control-data size (§5.2).
+    InEnclave(Vec<u8>),
+}
+
+#[derive(Debug, Clone)]
+struct EntryMeta {
+    k_op: Key256,
+    payload_nonce: Nonce8,
+    storage_seq: u64, // server-encryption mode: storage GCM nonce counter
+    client_id: u32,
+    storage: ValueStorage,
+    payload_len: usize,
+}
+
+// Trusted per-client session state (expected oid per Algorithm 2).
+#[derive(Debug)]
+struct Session {
+    session_key: Key128,
+    expected_oid: u64,
+    reply_seq: u64,
+    active: bool,
+}
+
+// Untrusted per-client plumbing.
+#[derive(Debug)]
+struct ClientPort {
+    qp: QueuePair, // server end
+    request_ring: Memory,
+    request_consumer: RingConsumer,
+    reply_producer: RingProducer,
+    reply_ring_rkey: RemoteKey,
+    credit_rkey: RemoteKey,
+    reply_credit: Memory,
+}
+
+/// The Precursor key-value store server.
+///
+/// See the [crate docs](crate) for a quickstart.
+#[derive(Debug)]
+pub struct PrecursorServer {
+    config: Config,
+    cost: CostModel,
+    rng: StdRng,
+    attestation: AttestationService,
+
+    // trusted side
+    enclave: Enclave,
+    table: RobinHoodMap<Vec<u8>, EntryMeta>,
+    sessions: Vec<Session>,
+    storage_key: Key128,
+    storage_seq: u64,
+
+    // modelled enclave regions
+    static_region: RegionId,
+    table_region: RegionId,
+    misc_region: RegionId,
+    client_region: RegionId,
+    misc_touched: bool,
+    table_resizes_seen: u64,
+
+    // untrusted side
+    payload_mem: Memory,
+    pool: SlabPool,
+    ports: Vec<ClientPort>,
+    reports: Vec<OpReport>,
+    polls: u64,
+}
+
+impl PrecursorServer {
+    /// Creates a server with the given configuration and cost model. The
+    /// enclave is initialized (static data + the initial subset of the hash
+    /// table are touched — the paper's 52-page baseline working set, §5.4).
+    pub fn new(config: Config, cost: &CostModel) -> PrecursorServer {
+        let mut rng = StdRng::seed_from_u64(0x9e3779b97f4a7c15);
+        let attestation = AttestationService::new(&mut rng);
+        let mut enclave = Enclave::new(cost);
+
+        let static_region = enclave.alloc_region("static", 8 * cost.page_bytes);
+        let table = RobinHoodMap::with_capacity(config.initial_table_slots);
+        let table_region = enclave.alloc_region(
+            "hash-table",
+            (table.capacity() * config.model_slot_bytes) as u64,
+        );
+        let misc_region = enclave.alloc_region("heap-misc", 13 * cost.page_bytes);
+        let client_region =
+            enclave.alloc_region("client-state", (config.max_clients * 64).max(64) as u64);
+
+        // Enclave initialization: code/data plus the initial table subset.
+        let mut init_meter = Meter::new();
+        enclave.touch_all(static_region, &mut init_meter, cost);
+        enclave.touch_all(table_region, &mut init_meter, cost);
+
+        let storage_key = Key128::generate(&mut rng);
+        PrecursorServer {
+            config: config.clone(),
+            cost: cost.clone(),
+            rng,
+            attestation,
+            enclave,
+            table,
+            sessions: Vec::new(),
+            storage_key,
+            storage_seq: 0,
+            static_region,
+            table_region,
+            misc_region,
+            client_region,
+            misc_touched: false,
+            table_resizes_seen: 0,
+            payload_mem: Memory::zeroed(config.pool_bytes),
+            pool: SlabPool::new(config.pool_bytes),
+            ports: Vec::new(),
+            reports: Vec::new(),
+            polls: 0,
+        }
+    }
+
+    /// The configured cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.len() == 0
+    }
+
+    /// Number of connected clients.
+    pub fn client_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// The attestation service of the platform (clients verify quotes
+    /// against it).
+    pub fn attestation(&self) -> &AttestationService {
+        &self.attestation
+    }
+
+    /// The enclave's measurement, which clients pin.
+    pub fn measurement(&self) -> [u8; 32] {
+        self.enclave.measurement()
+    }
+
+    /// The last writer of `key`, if present — the 4-byte client identifier
+    /// the paper keeps in the enclave hash table (§4).
+    pub fn owner_of(&self, key: &[u8]) -> Option<u32> {
+        self.table.get(&key.to_vec()).map(|e| e.client_id)
+    }
+
+    /// The modelled enclave heap regions and their sizes in bytes
+    /// (diagnostics for the EPC analysis of §5.4).
+    pub fn enclave_regions(&self) -> Vec<(&'static str, u64)> {
+        [self.static_region, self.table_region, self.misc_region, self.client_region]
+            .into_iter()
+            .map(|r| (self.enclave.region_name(r), self.enclave.region_bytes(r)))
+            .collect()
+    }
+
+    /// An sgx-perf style report of the enclave (Table 1).
+    pub fn sgx_report(&self) -> precursor_sgx::SgxPerfReport {
+        self.enclave.report()
+    }
+
+    /// Pool statistics (ocall growth events, bytes in use).
+    pub fn pool_stats(&self) -> precursor_storage::pool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Admits a new client: performs the modelled attestation handshake
+    /// (§3.6), allocates its rings, and returns the bundle the client needs.
+    /// This is one of the paper's three ecalls ("add a new client", §4).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::TooManyClients`] beyond the configured limit;
+    /// [`StoreError::AttestationFailed`] if the handshake fails.
+    pub fn add_client(&mut self, client_nonce: [u8; 16]) -> Result<ClientBundle, StoreError> {
+        if self.ports.len() >= self.config.max_clients {
+            return Err(StoreError::TooManyClients);
+        }
+        let client_id = self.ports.len() as u32;
+
+        // The "add a new client" ecall.
+        let mut meter = Meter::new();
+        self.enclave.ecall(&mut meter, &self.cost);
+
+        let mut enclave_nonce = [0u8; 16];
+        self.rng.fill_bytes(&mut enclave_nonce);
+        let session_key = self
+            .attestation
+            .establish_session(
+                &self.enclave,
+                self.enclave.measurement(),
+                client_nonce,
+                enclave_nonce,
+            )
+            .map_err(|_| StoreError::AttestationFailed)?;
+
+        let (client_end, server_end) = connect_pair(self.cost.rdma_inline_max);
+
+        // Server-side request ring, remotely writable by the client.
+        let request_ring = Memory::zeroed(self.config.ring_bytes);
+        let request_ring_rkey = server_end.register(request_ring.clone(), true);
+        // Server-side reply-credit word, remotely writable by the client.
+        let reply_credit = Memory::zeroed(8);
+        let reply_credit_rkey = server_end.register(reply_credit.clone(), true);
+        // Client-side reply ring + credit word, remotely writable by the
+        // server.
+        let reply_ring = Memory::zeroed(self.config.ring_bytes);
+        let reply_ring_rkey = client_end.register(reply_ring.clone(), true);
+        let credit_word = Memory::zeroed(8);
+        let credit_rkey = client_end.register(credit_word.clone(), true);
+
+        self.sessions.push(Session {
+            session_key: session_key.clone(),
+            expected_oid: 1,
+            reply_seq: 1,
+            active: true,
+        });
+        self.ports.push(ClientPort {
+            qp: server_end,
+            request_ring,
+            request_consumer: RingConsumer::new(self.config.ring_bytes),
+            reply_producer: RingProducer::new(self.config.ring_bytes),
+            reply_ring_rkey,
+            credit_rkey,
+            reply_credit,
+        });
+        // Per-client trusted state (oid slot) lives in the client region.
+        self.enclave.touch(
+            self.client_region,
+            client_id as u64 * 64,
+            64,
+            &mut meter,
+            &self.cost,
+        );
+
+        Ok(ClientBundle {
+            client_id,
+            session_key,
+            qp: client_end,
+            request_ring_rkey,
+            reply_ring: reply_ring.clone(),
+            credit_word,
+            reply_credit_rkey,
+            ring_bytes: self.config.ring_bytes,
+            mode: self.config.mode,
+        })
+    }
+
+    /// Revokes a client: its QP transitions to the error state (§3.9) and
+    /// its requests are no longer processed.
+    pub fn revoke_client(&mut self, client_id: u32) {
+        if let Some(port) = self.ports.get(client_id as usize) {
+            port.qp.set_error();
+        }
+        if let Some(s) = self.sessions.get_mut(client_id as usize) {
+            s.active = false;
+        }
+    }
+
+    /// One polling sweep of a trusted thread over all client rings (§3.8):
+    /// consumes every available request, processes it, writes the reply into
+    /// the client's reply ring with a one-sided WRITE, and periodically
+    /// updates credits. Returns the number of requests processed.
+    pub fn poll(&mut self) -> usize {
+        self.polls += 1;
+        let mut processed = 0;
+        for idx in 0..self.ports.len() {
+            if !self.sessions[idx].active {
+                continue;
+            }
+            loop {
+                // Update reply credits from the client-written word.
+                let consumed =
+                    u64::from_le_bytes(self.ports[idx].reply_credit.read(0, 8).try_into().expect("8 bytes"));
+                self.ports[idx].reply_producer.update_credits(consumed);
+
+                let record = {
+                    let port = &mut self.ports[idx];
+                    let ring = port.request_ring.clone();
+                    ring.with_mut(|buf| port.request_consumer.pop(buf))
+                };
+                let Some(record) = record else { break };
+                self.process_record(idx, record);
+                processed += 1;
+            }
+            // Credit write-back: one small one-sided WRITE per sweep (§3.8,
+            // "periodically, these threads update clients about the newly
+            // available buffer slots using one-sided writes").
+            let consumed = self.ports[idx].request_consumer.consumed();
+            let credit_rkey = self.ports[idx].credit_rkey;
+            let _ = self.ports[idx]
+                .qp
+                .post_write(credit_rkey, 0, &consumed.to_le_bytes(), false);
+        }
+        processed
+    }
+
+    /// Takes the per-operation reports accumulated by [`poll`](Self::poll).
+    pub fn take_reports(&mut self) -> Vec<OpReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    fn process_record(&mut self, idx: usize, record: Vec<u8>) {
+        let mut meter = Meter::new();
+        let cost = self.cost.clone();
+
+        // Untrusted: the record was copied out of the ring by the poller.
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(cost.memcpy(record.len())),
+        );
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(Cycles(cost.rdma_poll_cycles)),
+        );
+
+        let (status, opcode, value_len, reply) = match self.handle_frame(idx, &record, &mut meter) {
+            Ok((status, opcode, value_len, reply)) => (status, opcode, value_len, reply),
+            Err(_) => {
+                // Structurally invalid record: emit an error reply that at
+                // least unblocks the client.
+                let session = &mut self.sessions[idx];
+                let seq = session.reply_seq;
+                session.reply_seq += 1;
+                let control = ReplyControl {
+                    oid: 0,
+                    k_op: None,
+                    payload_nonce: None,
+                    mac: None,
+                }
+                .encode();
+                let sealed =
+                    gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control);
+                meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(control.len())));
+                (
+                    Status::Error,
+                    Opcode::Get,
+                    0,
+                    ReplyFrame {
+                        status: Status::Error,
+                        opcode: Opcode::Get,
+                        reply_seq: seq,
+                        sealed_control: sealed,
+                        payload: Vec::new(),
+                    },
+                )
+            }
+        };
+
+        // Fixed per-op occupancy (fitted constants; DESIGN.md §4): part of it
+        // is on the request's critical path, the rest is polling overhead.
+        let mut fixed = cost.precursor_get_fixed;
+        if opcode == Opcode::Put {
+            fixed += cost.precursor_put_extra;
+        }
+        if self.config.mode == EncryptionMode::ServerSide {
+            fixed += cost.server_enc_extra;
+        }
+        let critical = cost.critical_part(Cycles(fixed));
+        meter.charge(Stage::ServerCritical, cost.server_time(critical));
+        meter.charge(
+            Stage::ServerOverhead,
+            cost.server_time(Cycles(fixed - critical.0)),
+        );
+
+        // Write the reply into the client's reply ring (one-sided WRITE by
+        // the untrusted worker, §3.8).
+        let bytes = reply.encode();
+        let port = &mut self.ports[idx];
+        let rkey = port.reply_ring_rkey;
+        let qp = &mut port.qp;
+        let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
+            let _ = qp.post_write(rkey, off, chunk, false);
+        });
+        meter.counters_mut().rdma_posts += 1;
+        meter.counters_mut().tx_bytes += bytes.len() as u64;
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(Cycles(cost.rdma_post_cycles)),
+        );
+        if pushed.is_none() {
+            // Reply ring full: in the real system the worker would retry
+            // after the next credit update; the simulation's rings are sized
+            // to make this unreachable under the drivers.
+            debug_assert!(false, "reply ring full");
+        }
+
+        self.reports.push(OpReport {
+            client_id: idx as u32,
+            opcode,
+            status,
+            value_len,
+            meter,
+        });
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn handle_frame(
+        &mut self,
+        idx: usize,
+        record: &[u8],
+        meter: &mut Meter,
+    ) -> Result<(Status, Opcode, usize, ReplyFrame), StoreError> {
+        let cost = self.cost.clone();
+        let frame = RequestFrame::decode(record)?;
+        if frame.client_id as usize != idx {
+            return Err(StoreError::MalformedFrame);
+        }
+        let opcode = frame.opcode;
+
+        // Only the control segment crosses into the enclave (§3.7 step 3).
+        self.enclave
+            .copy_across_boundary(frame.sealed_control.len(), meter, &cost);
+
+        // Trusted: decrypt + authenticate the control data (Algorithm 2,
+        // lines 2-3).
+        let session_key = self.sessions[idx].session_key.clone();
+        let aad = request_aad(opcode, frame.client_id);
+        meter.charge(
+            Stage::Enclave,
+            cost.server_time(cost.aes_gcm(frame.sealed_control.len())),
+        );
+        let control_plain = match gcm::open(&session_key, &frame.iv, &aad, &frame.sealed_control) {
+            Ok(p) => p,
+            Err(_) => return Ok((Status::Error, opcode, 0, self.error_reply(idx, opcode, Status::Error, 0, meter))),
+        };
+        let control = match RequestControl::decode(&control_plain) {
+            Ok(c) => c,
+            Err(_) => return Ok((Status::Error, opcode, 0, self.error_reply(idx, opcode, Status::Error, 0, meter))),
+        };
+
+        // Replay detection (Algorithm 2, lines 4-5): the per-client oid slot
+        // lives in trusted memory.
+        self.enclave.touch(
+            self.client_region,
+            idx as u64 * 64,
+            64,
+            meter,
+            &cost,
+        );
+        if control.oid != self.sessions[idx].expected_oid {
+            return Ok((
+                Status::Replay,
+                opcode,
+                0,
+                self.error_reply(idx, opcode, Status::Replay, control.oid, meter),
+            ));
+        }
+        self.sessions[idx].expected_oid += 1;
+
+        if control.key.len() > self.config.max_key_bytes
+            || frame.payload.len() > self.config.max_value_bytes + gcm::TAG_LEN
+        {
+            return Ok((
+                Status::Error,
+                opcode,
+                0,
+                self.error_reply(idx, opcode, Status::Error, 0, meter),
+            ));
+        }
+
+        match (opcode, self.config.mode) {
+            (Opcode::Put, EncryptionMode::ClientSide) => {
+                let (Some(k_op), Some(pn)) = (control.k_op.clone(), control.payload_nonce) else {
+                    return Ok((
+                        Status::Error,
+                        opcode,
+                        0,
+                        self.error_reply(idx, opcode, Status::Error, 0, meter),
+                    ));
+                };
+                let value_len = frame.payload.len();
+                let storage = if value_len <= self.config.inline_value_max {
+                    // Small-value extension: the encrypted value (and its
+                    // MAC) stay inside the enclave — no pool slot, no
+                    // untrusted read on get (§5.2).
+                    let mut data = frame.payload.clone();
+                    data.extend_from_slice(frame.mac.as_bytes());
+                    self.enclave.copy_across_boundary(data.len(), meter, &cost);
+                    ValueStorage::InEnclave(data)
+                } else {
+                    let range = self.store_payload(&frame.payload, Some(&frame.mac), meter)?;
+                    ValueStorage::Untrusted(range)
+                };
+                self.table_insert(
+                    control.key,
+                    EntryMeta {
+                        k_op,
+                        payload_nonce: pn,
+                        storage_seq: 0,
+                        client_id: idx as u32,
+                        storage,
+                        payload_len: value_len,
+                    },
+                    meter,
+                );
+                Ok((
+                    Status::Ok,
+                    opcode,
+                    value_len,
+                    self.ok_reply(idx, opcode, control.oid, None, meter),
+                ))
+            }
+            (Opcode::Put, EncryptionMode::ServerSide) => {
+                // Conventional scheme (§2.4): full payload crosses into the
+                // enclave, is decrypted, verified, re-encrypted for storage.
+                self.enclave
+                    .copy_across_boundary(frame.payload.len(), meter, &cost);
+                meter.charge(
+                    Stage::Enclave,
+                    cost.server_time(cost.aes_gcm(frame.payload.len())),
+                );
+                let plain = match gcm::open(
+                    &session_key,
+                    &payload_request_nonce(control.oid),
+                    &[],
+                    &frame.payload,
+                ) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        return Ok((
+                            Status::Error,
+                            opcode,
+                            0,
+                            self.error_reply(idx, opcode, Status::Error, 0, meter),
+                        ))
+                    }
+                };
+                let value_len = plain.len();
+                self.storage_seq += 1;
+                let seq = self.storage_seq;
+                meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(plain.len())));
+                let stored = gcm::seal(
+                    &self.storage_key,
+                    &precursor_crypto::Nonce12::from_counter(seq),
+                    &[],
+                    &plain,
+                );
+                self.enclave.copy_across_boundary(stored.len(), meter, &cost);
+                let range = self.store_payload(&stored, None, meter)?;
+                self.table_insert(
+                    control.key,
+                    EntryMeta {
+                        k_op: Key256::from_bytes([0; 32]),
+                        payload_nonce: Nonce8::default(),
+                        storage_seq: seq,
+                        client_id: idx as u32,
+                        storage: ValueStorage::Untrusted(range),
+                        payload_len: stored.len(),
+                    },
+                    meter,
+                );
+                Ok((
+                    Status::Ok,
+                    opcode,
+                    value_len,
+                    self.ok_reply(idx, opcode, control.oid, None, meter),
+                ))
+            }
+            (Opcode::Get, mode) => {
+                let (found, stats) = self.table.get_tracked(&control.key);
+                let found = found.cloned();
+                self.charge_table_op(&stats, meter);
+                match found {
+                    None => Ok((
+                        Status::NotFound,
+                        opcode,
+                        0,
+                        self.error_reply(idx, opcode, Status::NotFound, control.oid, meter),
+                    )),
+                    Some(entry) => match mode {
+                        EncryptionMode::ClientSide => {
+                            // Payload + its stored MAC leave untrusted memory
+                            // as-is; only the tiny control reply is sealed in
+                            // the enclave (§3.7 "Query data"). Inlined small
+                            // values come out of the enclave instead.
+                            let stored = match &entry.storage {
+                                ValueStorage::Untrusted(range) => {
+                                    let stored = self
+                                        .payload_mem
+                                        .read(range.offset, entry.payload_len + Tag::LEN);
+                                    meter.charge(
+                                        Stage::ServerCritical,
+                                        cost.server_time(cost.memcpy(stored.len())),
+                                    );
+                                    stored
+                                }
+                                ValueStorage::InEnclave(data) => {
+                                    let data = data.clone();
+                                    self.enclave.copy_across_boundary(data.len(), meter, &cost);
+                                    data
+                                }
+                            };
+                            let (payload, mac_bytes) = stored.split_at(entry.payload_len);
+                            let mac = Tag::try_from(mac_bytes).expect("stored MAC is 16 bytes");
+                            let reply = self.ok_reply(
+                                idx,
+                                opcode,
+                                control.oid,
+                                Some((entry.clone(), payload.to_vec(), mac)),
+                                meter,
+                            );
+                            Ok((Status::Ok, opcode, entry.payload_len, reply))
+                        }
+                        EncryptionMode::ServerSide => {
+                            // Storage ciphertext crosses into the enclave, is
+                            // decrypted and re-encrypted for transport.
+                            let ValueStorage::Untrusted(range) = &entry.storage else {
+                                unreachable!("server-encryption mode never inlines");
+                            };
+                            let stored = self.payload_mem.read(range.offset, entry.payload_len);
+                            self.enclave.copy_across_boundary(stored.len(), meter, &cost);
+                            meter.charge(
+                                Stage::Enclave,
+                                cost.server_time(cost.aes_gcm(stored.len())),
+                            );
+                            let plain = gcm::open(
+                                &self.storage_key,
+                                &precursor_crypto::Nonce12::from_counter(entry.storage_seq),
+                                &[],
+                                &stored,
+                            )
+                            .expect("storage ciphertext is server-controlled");
+                            let session = &mut self.sessions[idx];
+                            let seq = session.reply_seq;
+                            session.reply_seq += 1;
+                            meter.charge(
+                                Stage::Enclave,
+                                cost.server_time(cost.aes_gcm(plain.len())),
+                            );
+                            let transport =
+                                gcm::seal(&session_key, &payload_reply_nonce(seq), &[], &plain);
+                            self.enclave
+                                .copy_across_boundary(transport.len(), meter, &cost);
+                            let control_reply = ReplyControl {
+                                oid: control.oid,
+                                k_op: None,
+                                payload_nonce: None,
+                                mac: None,
+                            }
+                            .encode();
+                            meter.charge(
+                                Stage::Enclave,
+                                cost.server_time(cost.aes_gcm(control_reply.len())),
+                            );
+                            let sealed = gcm::seal(
+                                &session_key,
+                                &reply_nonce(seq),
+                                &[],
+                                &control_reply,
+                            );
+                            Ok((
+                                Status::Ok,
+                                opcode,
+                                plain.len(),
+                                ReplyFrame {
+                                    status: Status::Ok,
+                                    opcode,
+                                    reply_seq: seq,
+                                    sealed_control: sealed,
+                                    payload: transport,
+                                },
+                            ))
+                        }
+                    },
+                }
+            }
+            (Opcode::Delete, _) => {
+                let (removed, stats) = self.table.remove_tracked(&control.key);
+                self.charge_table_op(&stats, meter);
+                match removed {
+                    None => Ok((
+                        Status::NotFound,
+                        opcode,
+                        0,
+                        self.error_reply(idx, opcode, Status::NotFound, control.oid, meter),
+                    )),
+                    Some(entry) => {
+                        if let ValueStorage::Untrusted(range) = entry.storage {
+                            self.pool.free(range);
+                        }
+                        Ok((
+                            Status::Ok,
+                            opcode,
+                            0,
+                            self.ok_reply(idx, opcode, control.oid, None, meter),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    // Stores payload (+ optional MAC) into the untrusted pool, growing it
+    // with a modelled ocall when exhausted (§3.8).
+    fn store_payload(
+        &mut self,
+        payload: &[u8],
+        mac: Option<&Tag>,
+        meter: &mut Meter,
+    ) -> Result<PoolRange, StoreError> {
+        let total = payload.len() + mac.map_or(0, |_| Tag::LEN);
+        let cost = self.cost.clone();
+        let range = match self.pool.alloc(total) {
+            Some(r) => r,
+            None => {
+                // Single batched ocall to enlarge the pre-allocated list (§4).
+                self.enclave.ocall(meter, &cost);
+                self.payload_mem.grow(self.config.pool_bytes);
+                self.pool.grow(self.config.pool_bytes);
+                self.pool.alloc(total).ok_or(StoreError::OversizedItem)?
+            }
+        };
+        self.payload_mem.write(range.offset, payload);
+        if let Some(mac) = mac {
+            self.payload_mem
+                .write(range.offset + payload.len(), mac.as_bytes());
+        }
+        meter.charge(Stage::ServerCritical, cost.server_time(cost.memcpy(total)));
+        Ok(range)
+    }
+
+    fn table_insert(&mut self, key: Vec<u8>, meta: EntryMeta, meter: &mut Meter) {
+        // First insert also touches the auxiliary heap structures once
+        // (reply queues, pool directory — the paper's 0→1-key jump in
+        // Table 1).
+        if !self.misc_touched {
+            self.misc_touched = true;
+            let cost = self.cost.clone();
+            self.enclave.touch_all(self.misc_region, meter, &cost);
+        }
+        let (old, stats) = self.table.insert_tracked(key, meta);
+        if let Some(old) = old {
+            // Overwrite: the old payload slot is released; the fresh
+            // K_operation in the new entry revokes earlier readers (§3.3).
+            if let ValueStorage::Untrusted(range) = old.storage {
+                self.pool.free(range);
+            }
+        }
+        // Resize the modelled region before charging slot touches — the
+        // insert may have grown the table, and the touched slot indices
+        // refer to the *new* capacity.
+        self.sync_table_region(meter);
+        self.charge_table_op(&stats, meter);
+    }
+
+    fn charge_table_op(&mut self, stats: &precursor_storage::robinhood::OpStats, meter: &mut Meter) {
+        let cost = self.cost.clone();
+        meter.charge(Stage::Enclave, cost.server_time(cost.ht_op(stats.probes)));
+        let slot_bytes = self.config.model_slot_bytes as u64;
+        for &slot in &stats.slots {
+            self.enclave
+                .touch(self.table_region, slot as u64 * slot_bytes, slot_bytes, meter, &cost);
+        }
+    }
+
+    // After table growth, the modelled region grows and the rehash touches
+    // every page of the new table.
+    fn sync_table_region(&mut self, meter: &mut Meter) {
+        if self.table.resizes() != self.table_resizes_seen {
+            self.table_resizes_seen = self.table.resizes();
+            let cost = self.cost.clone();
+            let bytes = (self.table.capacity() * self.config.model_slot_bytes) as u64;
+            self.enclave.resize_region(self.table_region, bytes);
+            self.enclave.touch_all(self.table_region, meter, &cost);
+        }
+    }
+
+    fn ok_reply(
+        &mut self,
+        idx: usize,
+        opcode: Opcode,
+        oid: u64,
+        get_payload: Option<(EntryMeta, Vec<u8>, Tag)>,
+        meter: &mut Meter,
+    ) -> ReplyFrame {
+        let cost = self.cost.clone();
+        let session = &mut self.sessions[idx];
+        let seq = session.reply_seq;
+        session.reply_seq += 1;
+        let (control, payload) = match get_payload {
+            Some((entry, payload, mac)) => (
+                ReplyControl {
+                    oid,
+                    k_op: Some(entry.k_op),
+                    payload_nonce: Some(entry.payload_nonce),
+                    mac: Some(mac),
+                },
+                payload,
+            ),
+            None => (
+                ReplyControl {
+                    oid,
+                    k_op: None,
+                    payload_nonce: None,
+                    mac: None,
+                },
+                Vec::new(),
+            ),
+        };
+        let control_bytes = control.encode();
+        meter.charge(
+            Stage::Enclave,
+            cost.server_time(cost.aes_gcm(control_bytes.len())),
+        );
+        self.enclave
+            .copy_across_boundary(control_bytes.len(), meter, &cost);
+        let sealed = gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control_bytes);
+        ReplyFrame {
+            status: Status::Ok,
+            opcode,
+            reply_seq: seq,
+            sealed_control: sealed,
+            payload,
+        }
+    }
+
+    fn error_reply(
+        &mut self,
+        idx: usize,
+        opcode: Opcode,
+        status: Status,
+        oid: u64,
+        meter: &mut Meter,
+    ) -> ReplyFrame {
+        let cost = self.cost.clone();
+        let session = &mut self.sessions[idx];
+        let seq = session.reply_seq;
+        session.reply_seq += 1;
+        let control = ReplyControl {
+            oid,
+            k_op: None,
+            payload_nonce: None,
+            mac: None,
+        }
+        .encode();
+        meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(control.len())));
+        let sealed = gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control);
+        ReplyFrame {
+            status,
+            opcode,
+            reply_seq: seq,
+            sealed_control: sealed,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Verifies the integrity of a stored value against the enclave
+    /// metadata, mimicking what a *client* would detect: recomputes the CMAC
+    /// of the untrusted bytes under the enclave-held `K_operation`. Used by
+    /// tests and the attack-demo example.
+    pub fn audit_key(&self, key: &[u8]) -> Option<bool> {
+        let entry = self.table.get(&key.to_vec())?;
+        match self.config.mode {
+            EncryptionMode::ClientSide => {
+                let stored = match &entry.storage {
+                    ValueStorage::Untrusted(range) => self
+                        .payload_mem
+                        .read(range.offset, entry.payload_len + Tag::LEN),
+                    ValueStorage::InEnclave(data) => data.clone(),
+                };
+                let (payload, mac_bytes) = stored.split_at(entry.payload_len);
+                let mac = Tag::try_from(mac_bytes).expect("16 bytes");
+                Some(cmac::verify(
+                    &cmac_key_of(&entry.k_op),
+                    payload,
+                    &mac,
+                ))
+            }
+            EncryptionMode::ServerSide => {
+                let ValueStorage::Untrusted(range) = &entry.storage else {
+                    return Some(false);
+                };
+                let stored = self.payload_mem.read(range.offset, entry.payload_len);
+                Some(
+                    gcm::open(
+                        &self.storage_key,
+                        &precursor_crypto::Nonce12::from_counter(entry.storage_seq),
+                        &[],
+                        &stored,
+                    )
+                    .is_ok(),
+                )
+            }
+        }
+    }
+
+    // --- snapshot/restore plumbing (see crate::snapshot) ---
+
+    pub(crate) fn snapshot_body(&self) -> crate::snapshot::SnapshotBody {
+        let mut entries = Vec::with_capacity(self.table.len());
+        for (key, meta) in self.table.iter() {
+            let stored_bytes = match &meta.storage {
+                ValueStorage::Untrusted(range) => {
+                    let len = match self.config.mode {
+                        EncryptionMode::ClientSide => meta.payload_len + Tag::LEN,
+                        EncryptionMode::ServerSide => meta.payload_len,
+                    };
+                    self.payload_mem.read(range.offset, len)
+                }
+                ValueStorage::InEnclave(data) => data.clone(),
+            };
+            entries.push(crate::snapshot::SnapshotEntry {
+                key: key.clone(),
+                k_op: meta.k_op.clone(),
+                payload_nonce: meta.payload_nonce,
+                storage_seq: meta.storage_seq,
+                client_id: meta.client_id,
+                payload_len: meta.payload_len,
+                stored_bytes,
+            });
+        }
+        crate::snapshot::SnapshotBody {
+            mode: self.config.mode,
+            storage_key: self.storage_key.clone(),
+            storage_seq: self.storage_seq,
+            entries,
+        }
+    }
+
+    pub(crate) fn sealing_key(&self) -> Key128 {
+        self.attestation.sealing_key(&self.enclave)
+    }
+
+    pub(crate) fn seal_with_rng(&mut self, key: &Key128, version: u64, body: &[u8]) -> Vec<u8> {
+        precursor_sgx::sealing::seal(key, version, body, &mut self.rng)
+    }
+
+    pub(crate) fn restore_body(
+        &mut self,
+        body: crate::snapshot::SnapshotBody,
+    ) -> Result<(), StoreError> {
+        self.storage_key = body.storage_key;
+        self.storage_seq = body.storage_seq;
+        let mut meter = Meter::new();
+        for e in body.entries {
+            let storage = if self.config.mode == EncryptionMode::ClientSide
+                && e.payload_len <= self.config.inline_value_max
+            {
+                ValueStorage::InEnclave(e.stored_bytes)
+            } else {
+                let range = match self.pool.alloc(e.stored_bytes.len()) {
+                    Some(r) => r,
+                    None => {
+                        self.enclave.ocall(&mut meter, &self.cost.clone());
+                        self.payload_mem.grow(self.config.pool_bytes);
+                        self.pool.grow(self.config.pool_bytes);
+                        self.pool
+                            .alloc(e.stored_bytes.len())
+                            .ok_or(StoreError::OversizedItem)?
+                    }
+                };
+                self.payload_mem.write(range.offset, &e.stored_bytes);
+                ValueStorage::Untrusted(range)
+            };
+            self.table_insert(
+                e.key,
+                EntryMeta {
+                    k_op: e.k_op,
+                    payload_nonce: e.payload_nonce,
+                    storage_seq: e.storage_seq,
+                    client_id: e.client_id,
+                    storage,
+                    payload_len: e.payload_len,
+                },
+                &mut meter,
+            );
+        }
+        Ok(())
+    }
+
+    /// Tamper hook for security tests: flips a bit of the *untrusted* stored
+    /// payload of `key`, as a rogue administrator with physical/DMA access
+    /// could (§2.3). Returns `false` if the key does not exist.
+    pub fn corrupt_stored_payload(&mut self, key: &[u8]) -> bool {
+        let Some(entry) = self.table.get(&key.to_vec()) else {
+            return false;
+        };
+        match &entry.storage {
+            ValueStorage::Untrusted(range) => {
+                let offset = range.offset;
+                self.payload_mem.with_mut(|buf| buf[offset] ^= 0x01);
+                true
+            }
+            // In-enclave values are outside the attacker's reach — even a
+            // rogue admin cannot touch EPC memory.
+            ValueStorage::InEnclave(_) => false,
+        }
+    }
+}
+
+/// Derives the AES-128 key used for CMAC from the 256-bit `K_operation`
+/// (the SGX SDK's `sgx_rijndael128_cmac_msg` takes a 128-bit key; the paper
+/// MACs with the operation key, so we use its first half — both sides agree).
+pub(crate) fn cmac_key_of(k_op: &Key256) -> Key128 {
+    let mut k = [0u8; 16];
+    k.copy_from_slice(&k_op.as_bytes()[..16]);
+    Key128::from_bytes(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_initial_working_set_is_the_table_subset() {
+        let cost = CostModel::default();
+        let server = PrecursorServer::new(Config::default(), &cost);
+        let report = server.sgx_report();
+        // 8 static pages + ceil(2048 slots × 88 B / 4 KiB) = 8 + 44 = 52 —
+        // Table 1's 0-key row.
+        assert_eq!(report.working_set_pages, 52);
+    }
+
+    #[test]
+    fn add_client_assigns_ids_and_respects_limit() {
+        let cost = CostModel::default();
+        let config = Config {
+            max_clients: 2,
+            ..Config::default()
+        };
+        let mut server = PrecursorServer::new(config, &cost);
+        let a = server.add_client([1; 16]).unwrap();
+        let b = server.add_client([2; 16]).unwrap();
+        assert_eq!(a.client_id, 0);
+        assert_eq!(b.client_id, 1);
+        assert_eq!(
+            server.add_client([3; 16]).unwrap_err(),
+            StoreError::TooManyClients
+        );
+    }
+
+    #[test]
+    fn sessions_have_distinct_keys() {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::default(), &cost);
+        let a = server.add_client([1; 16]).unwrap();
+        let b = server.add_client([2; 16]).unwrap();
+        assert_ne!(a.session_key, b.session_key);
+    }
+
+    #[test]
+    fn poll_on_idle_server_is_a_noop() {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::default(), &cost);
+        server.add_client([1; 16]).unwrap();
+        assert_eq!(server.poll(), 0);
+        assert!(server.take_reports().is_empty());
+    }
+}

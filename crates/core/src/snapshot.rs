@@ -1,0 +1,323 @@
+//! Sealed snapshots with rollback detection.
+//!
+//! Precursor is an in-memory store; for persistence the paper points at
+//! SGX's trusted monotonic counters to "detect state rollback attacks and
+//! forking" (§2.1, deferring to Brandenburger et al. and SPEICHER). This
+//! module provides that integration: [`PrecursorServer::snapshot`] seals
+//! the key-value state (enclave metadata *and* the untrusted ciphertexts)
+//! under the enclave's platform-bound sealing key, binding in a fresh
+//! monotonic-counter version; [`PrecursorServer::restore`] only accepts the
+//! blob matching the counter's *current* value, so replaying an older
+//! snapshot — the classic rollback attack — is rejected.
+//!
+//! The snapshot carries ciphertexts exactly as stored (values remain
+//! protected by their one-time keys); the sealed layer protects the enclave
+//! metadata (`K_operation`s, the storage key) and the snapshot's integrity.
+
+use precursor_crypto::keys::{Key128, Key256, Nonce8};
+use precursor_sgx::counters::MonotonicCounter;
+use precursor_sgx::sealing;
+use precursor_sim::CostModel;
+
+use crate::config::{Config, EncryptionMode};
+use crate::error::StoreError;
+use crate::server::PrecursorServer;
+
+// One serialized entry of the snapshot body.
+pub(crate) struct SnapshotEntry {
+    pub key: Vec<u8>,
+    pub k_op: Key256,
+    pub payload_nonce: Nonce8,
+    pub storage_seq: u64,
+    pub client_id: u32,
+    pub payload_len: usize,
+    pub stored_bytes: Vec<u8>, // ciphertext ‖ MAC (client mode) or GCM blob
+}
+
+pub(crate) struct SnapshotBody {
+    pub mode: EncryptionMode,
+    pub storage_key: Key128,
+    pub storage_seq: u64,
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl SnapshotBody {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(match self.mode {
+            EncryptionMode::ClientSide => 0u8,
+            EncryptionMode::ServerSide => 1u8,
+        });
+        out.extend_from_slice(self.storage_key.as_bytes());
+        out.extend_from_slice(&self.storage_seq.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&(e.key.len() as u16).to_le_bytes());
+            out.extend_from_slice(&e.key);
+            out.extend_from_slice(e.k_op.as_bytes());
+            out.extend_from_slice(e.payload_nonce.as_bytes());
+            out.extend_from_slice(&e.storage_seq.to_le_bytes());
+            out.extend_from_slice(&e.client_id.to_le_bytes());
+            out.extend_from_slice(&(e.payload_len as u32).to_le_bytes());
+            out.extend_from_slice(&(e.stored_bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&e.stored_bytes);
+        }
+        out
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> Result<SnapshotBody, StoreError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+            if *pos + n > buf.len() {
+                return Err(StoreError::MalformedFrame);
+            }
+            let s = &buf[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let mode = match take(&mut pos, 1)?[0] {
+            0 => EncryptionMode::ClientSide,
+            1 => EncryptionMode::ServerSide,
+            _ => return Err(StoreError::MalformedFrame),
+        };
+        let storage_key =
+            Key128::try_from(take(&mut pos, 16)?).map_err(|_| StoreError::MalformedFrame)?;
+        let storage_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let key_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2")) as usize;
+            let key = take(&mut pos, key_len)?.to_vec();
+            let k_op =
+                Key256::try_from(take(&mut pos, 32)?).map_err(|_| StoreError::MalformedFrame)?;
+            let payload_nonce =
+                Nonce8::try_from(take(&mut pos, 8)?).map_err(|_| StoreError::MalformedFrame)?;
+            let entry_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+            let client_id = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+            let payload_len =
+                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let stored_len =
+                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let stored_bytes = take(&mut pos, stored_len)?.to_vec();
+            entries.push(SnapshotEntry {
+                key,
+                k_op,
+                payload_nonce,
+                storage_seq: entry_seq,
+                client_id,
+                payload_len,
+                stored_bytes,
+            });
+        }
+        if pos != buf.len() {
+            return Err(StoreError::MalformedFrame);
+        }
+        Ok(SnapshotBody {
+            mode,
+            storage_key,
+            storage_seq,
+            entries,
+        })
+    }
+}
+
+impl PrecursorServer {
+    /// Seals the current key-value state into a snapshot blob, incrementing
+    /// the trusted monotonic `counter` so the new version supersedes every
+    /// older snapshot.
+    pub fn snapshot(&mut self, counter: &mut MonotonicCounter) -> Vec<u8> {
+        let version = counter.increment();
+        let body = self.snapshot_body();
+        let key = self.sealing_key();
+        self.seal_with_rng(&key, version, &body.encode())
+    }
+
+    /// Restores a server from a sealed snapshot, verifying it matches the
+    /// trusted counter's *current* value (rollback detection).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotRejected`] when the blob was sealed at a
+    /// different version (a rolled-back or forked snapshot), is tampered
+    /// with, or comes from a different platform/enclave;
+    /// [`StoreError::MalformedFrame`] when the sealed body does not parse;
+    /// [`StoreError::MalformedFrame`] also when the snapshot's mode differs
+    /// from `config.mode`.
+    pub fn restore(
+        config: Config,
+        cost: &CostModel,
+        sealed: &[u8],
+        counter: &MonotonicCounter,
+    ) -> Result<PrecursorServer, StoreError> {
+        let mut server = PrecursorServer::new(config, cost);
+        let key = server.sealing_key();
+        let body_bytes = sealing::unseal(&key, counter.read(), sealed)
+            .map_err(|_| StoreError::SnapshotRejected)?;
+        let body = SnapshotBody::decode(&body_bytes)?;
+        if body.mode != server.config().mode {
+            return Err(StoreError::MalformedFrame);
+        }
+        server.restore_body(body)?;
+        Ok(server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PrecursorClient;
+
+    fn loaded_server() -> (PrecursorServer, PrecursorClient) {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::default(), &cost);
+        let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
+        for i in 0..50u32 {
+            client
+                .put_sync(&mut server, &i.to_le_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
+        }
+        (server, client)
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let cost = CostModel::default();
+        let (mut server, _client) = loaded_server();
+        let mut counter = MonotonicCounter::new();
+        let blob = server.snapshot(&mut counter);
+
+        let mut restored =
+            PrecursorServer::restore(Config::default(), &cost, &blob, &counter).unwrap();
+        assert_eq!(restored.len(), 50);
+        // a fresh client can read every restored key
+        let mut client = PrecursorClient::connect(&mut restored, 9).unwrap();
+        for i in 0..50u32 {
+            assert_eq!(
+                client.get_sync(&mut restored, &i.to_le_bytes()).unwrap(),
+                format!("value-{i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn rolled_back_snapshot_is_rejected() {
+        let cost = CostModel::default();
+        let (mut server, mut client) = loaded_server();
+        let mut counter = MonotonicCounter::new();
+        let old_blob = server.snapshot(&mut counter);
+        // state advances and a newer snapshot is taken
+        client.put_sync(&mut server, b"new-key", b"new").unwrap();
+        let _new_blob = server.snapshot(&mut counter);
+
+        // an attacker presents the old snapshot
+        assert_eq!(
+            PrecursorServer::restore(Config::default(), &cost, &old_blob, &counter).unwrap_err(),
+            StoreError::SnapshotRejected
+        );
+    }
+
+    #[test]
+    fn latest_snapshot_restores_after_rollback_attempt() {
+        let cost = CostModel::default();
+        let (mut server, mut client) = loaded_server();
+        let mut counter = MonotonicCounter::new();
+        let _old = server.snapshot(&mut counter);
+        client.put_sync(&mut server, b"new-key", b"new").unwrap();
+        let latest = server.snapshot(&mut counter);
+        let mut restored =
+            PrecursorServer::restore(Config::default(), &cost, &latest, &counter).unwrap();
+        assert_eq!(restored.len(), 51);
+        let mut c = PrecursorClient::connect(&mut restored, 2).unwrap();
+        assert_eq!(c.get_sync(&mut restored, b"new-key").unwrap(), b"new");
+    }
+
+    #[test]
+    fn tampered_snapshot_is_rejected() {
+        let cost = CostModel::default();
+        let (mut server, _client) = loaded_server();
+        let mut counter = MonotonicCounter::new();
+        let mut blob = server.snapshot(&mut counter);
+        blob[40] ^= 1;
+        assert_eq!(
+            PrecursorServer::restore(Config::default(), &cost, &blob, &counter).unwrap_err(),
+            StoreError::SnapshotRejected
+        );
+    }
+
+    #[test]
+    fn snapshot_preserves_integrity_protection() {
+        // tampering with restored untrusted memory is still detected
+        let cost = CostModel::default();
+        let (mut server, _client) = loaded_server();
+        let mut counter = MonotonicCounter::new();
+        let blob = server.snapshot(&mut counter);
+        let mut restored =
+            PrecursorServer::restore(Config::default(), &cost, &blob, &counter).unwrap();
+        assert!(restored.corrupt_stored_payload(&3u32.to_le_bytes()));
+        let mut client = PrecursorClient::connect(&mut restored, 3).unwrap();
+        assert_eq!(
+            client.get_sync(&mut restored, &3u32.to_le_bytes()),
+            Err(StoreError::IntegrityViolation)
+        );
+        assert_eq!(restored.audit_key(&3u32.to_le_bytes()), Some(false));
+    }
+
+    #[test]
+    fn server_encryption_mode_snapshots_too() {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::server_encryption(), &cost);
+        let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
+        client.put_sync(&mut server, b"k", b"server-enc value").unwrap();
+        let mut counter = MonotonicCounter::new();
+        let blob = server.snapshot(&mut counter);
+        let mut restored =
+            PrecursorServer::restore(Config::server_encryption(), &cost, &blob, &counter)
+                .unwrap();
+        let mut c = PrecursorClient::connect(&mut restored, 2).unwrap();
+        assert_eq!(c.get_sync(&mut restored, b"k").unwrap(), b"server-enc value");
+    }
+
+    #[test]
+    fn mode_mismatch_is_rejected() {
+        let cost = CostModel::default();
+        let (mut server, _client) = loaded_server();
+        let mut counter = MonotonicCounter::new();
+        let blob = server.snapshot(&mut counter);
+        assert!(
+            PrecursorServer::restore(Config::server_encryption(), &cost, &blob, &counter)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn inlined_values_survive_snapshots() {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::with_small_value_inlining(), &cost);
+        let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
+        client.put_sync(&mut server, b"tiny", b"x").unwrap();
+        client.put_sync(&mut server, b"big", &[7u8; 500]).unwrap();
+        let mut counter = MonotonicCounter::new();
+        let blob = server.snapshot(&mut counter);
+        let mut restored = PrecursorServer::restore(
+            Config::with_small_value_inlining(),
+            &cost,
+            &blob,
+            &counter,
+        )
+        .unwrap();
+        let mut c = PrecursorClient::connect(&mut restored, 2).unwrap();
+        assert_eq!(c.get_sync(&mut restored, b"tiny").unwrap(), b"x");
+        assert_eq!(c.get_sync(&mut restored, b"big").unwrap(), vec![7u8; 500]);
+    }
+
+    #[test]
+    fn empty_store_snapshots() {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::default(), &cost);
+        let mut counter = MonotonicCounter::new();
+        let blob = server.snapshot(&mut counter);
+        let restored =
+            PrecursorServer::restore(Config::default(), &cost, &blob, &counter).unwrap();
+        assert!(restored.is_empty());
+    }
+}

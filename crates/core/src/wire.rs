@@ -1,0 +1,555 @@
+//! Request/reply framing and control-segment encoding.
+//!
+//! Each request carries (§4): an opcode, `start_sign` and `end_sign`
+//! operands delimiting the record, the client id, the *sealed control
+//! segment* (AES-128-GCM under `K_session`, authenticated together with the
+//! opcode and client id as AAD), the payload CMAC, and the encrypted
+//! payload. Only the control segment ever enters the enclave.
+//!
+//! GCM nonces are derived from the per-direction sequence numbers (`oid`
+//! client→server, `reply_seq` server→client) with distinct direction tags,
+//! so no (key, nonce) pair ever repeats within a session.
+
+use precursor_crypto::keys::{Key256, Nonce12, Nonce8, Tag};
+
+use crate::error::StoreError;
+
+/// Start-of-record operand (§4).
+pub const START_SIGN: u16 = 0x5A5A;
+/// End-of-record operand (§4).
+pub const END_SIGN: u16 = 0xA5A5;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Insert or update a key (Algorithm 1/2).
+    Put = 1,
+    /// Query a key.
+    Get = 2,
+    /// Remove a key.
+    Delete = 3,
+}
+
+impl Opcode {
+    fn from_u8(v: u8) -> Option<Opcode> {
+        match v {
+            1 => Some(Opcode::Put),
+            2 => Some(Opcode::Get),
+            3 => Some(Opcode::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Reply status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Success.
+    Ok = 0,
+    /// Key absent.
+    NotFound = 1,
+    /// Sequence-number check failed (Algorithm 2, line 5).
+    Replay = 2,
+    /// Other failure (malformed control, oversized item, …).
+    Error = 3,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Option<Status> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::NotFound),
+            2 => Some(Status::Replay),
+            3 => Some(Status::Error),
+            _ => None,
+        }
+    }
+}
+
+/// GCM nonce for a client→server control segment.
+pub fn request_nonce(oid: u64) -> Nonce12 {
+    let mut b = [0u8; 12];
+    b[0] = 0x01;
+    b[4..].copy_from_slice(&oid.to_be_bytes());
+    Nonce12::from_bytes(b)
+}
+
+/// GCM nonce for a server→client control segment.
+pub fn reply_nonce(reply_seq: u64) -> Nonce12 {
+    let mut b = [0u8; 12];
+    b[0] = 0x02;
+    b[4..].copy_from_slice(&reply_seq.to_be_bytes());
+    Nonce12::from_bytes(b)
+}
+
+/// AAD binding a request's sealed control to its clear header.
+pub fn request_aad(opcode: Opcode, client_id: u32) -> [u8; 5] {
+    let mut aad = [0u8; 5];
+    aad[0] = opcode as u8;
+    aad[1..].copy_from_slice(&client_id.to_le_bytes());
+    aad
+}
+
+/// A parsed request frame (clear parts + opaque sealed control).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestFrame {
+    /// Operation requested.
+    pub opcode: Opcode,
+    /// Issuing client.
+    pub client_id: u32,
+    /// Fresh GCM IV for the control segment; travels in the clear as the
+    /// paper notes ("a newly generated initialization vector is necessary",
+    /// §3.7), since the server needs it before it can decrypt the control.
+    pub iv: Nonce12,
+    /// AES-GCM-sealed control segment (opaque outside the enclave).
+    pub sealed_control: Vec<u8>,
+    /// CMAC over the encrypted payload (zeroes for control-only requests).
+    pub mac: Tag,
+    /// Encrypted payload (empty for control-only requests).
+    pub payload: Vec<u8>,
+}
+
+impl RequestFrame {
+    /// Serializes the frame into ring-record bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(43 + self.sealed_control.len() + self.payload.len());
+        out.push(self.opcode as u8);
+        out.extend_from_slice(&START_SIGN.to_le_bytes());
+        out.extend_from_slice(&self.client_id.to_le_bytes());
+        out.extend_from_slice(self.iv.as_bytes());
+        out.extend_from_slice(&(self.sealed_control.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.sealed_control);
+        out.extend_from_slice(self.mac.as_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&END_SIGN.to_le_bytes());
+        out
+    }
+
+    /// Parses a frame, validating signs, opcode and lengths.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MalformedFrame`] on any structural violation.
+    pub fn decode(buf: &[u8]) -> Result<RequestFrame, StoreError> {
+        let mut r = Reader::new(buf);
+        let opcode = Opcode::from_u8(r.u8()?).ok_or(StoreError::MalformedFrame)?;
+        if r.u16()? != START_SIGN {
+            return Err(StoreError::MalformedFrame);
+        }
+        let client_id = r.u32()?;
+        let iv = Nonce12::try_from(r.bytes(12)?).map_err(|_| StoreError::MalformedFrame)?;
+        let control_len = r.u16()? as usize;
+        let sealed_control = r.bytes(control_len)?.to_vec();
+        let mac = Tag::try_from(r.bytes(16)?).map_err(|_| StoreError::MalformedFrame)?;
+        let payload_len = r.u32()? as usize;
+        let payload = r.bytes(payload_len)?.to_vec();
+        if r.u16()? != END_SIGN || !r.is_empty() {
+            return Err(StoreError::MalformedFrame);
+        }
+        Ok(RequestFrame {
+            opcode,
+            client_id,
+            iv,
+            sealed_control,
+            mac,
+            payload,
+        })
+    }
+}
+
+/// GCM nonce for a transport-encrypted *payload* in server-encryption mode
+/// (distinct direction tag so it can never collide with control nonces).
+pub fn payload_request_nonce(oid: u64) -> Nonce12 {
+    let mut b = [0u8; 12];
+    b[0] = 0x03;
+    b[4..].copy_from_slice(&oid.to_be_bytes());
+    Nonce12::from_bytes(b)
+}
+
+/// GCM nonce for a transport-encrypted payload in a server-encryption-mode
+/// *reply*.
+pub fn payload_reply_nonce(reply_seq: u64) -> Nonce12 {
+    let mut b = [0u8; 12];
+    b[0] = 0x04;
+    b[4..].copy_from_slice(&reply_seq.to_be_bytes());
+    Nonce12::from_bytes(b)
+}
+
+/// A parsed reply frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyFrame {
+    /// Outcome of the operation.
+    pub status: Status,
+    /// Echo of the request opcode.
+    pub opcode: Opcode,
+    /// Server→client sequence number (selects the reply GCM nonce).
+    pub reply_seq: u64,
+    /// AES-GCM-sealed control reply.
+    pub sealed_control: Vec<u8>,
+    /// Stored encrypted payload, sent as-is from untrusted memory (get only).
+    pub payload: Vec<u8>,
+}
+
+impl ReplyFrame {
+    /// Serializes the reply into ring-record bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.sealed_control.len() + self.payload.len());
+        out.push(self.status as u8);
+        out.push(self.opcode as u8);
+        out.extend_from_slice(&self.reply_seq.to_le_bytes());
+        out.extend_from_slice(&(self.sealed_control.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.sealed_control);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MalformedFrame`] on any structural violation.
+    pub fn decode(buf: &[u8]) -> Result<ReplyFrame, StoreError> {
+        let mut r = Reader::new(buf);
+        let status = Status::from_u8(r.u8()?).ok_or(StoreError::MalformedFrame)?;
+        let opcode = Opcode::from_u8(r.u8()?).ok_or(StoreError::MalformedFrame)?;
+        let reply_seq = r.u64()?;
+        let control_len = r.u16()? as usize;
+        let sealed_control = r.bytes(control_len)?.to_vec();
+        let payload_len = r.u32()? as usize;
+        let payload = r.bytes(payload_len)?.to_vec();
+        if !r.is_empty() {
+            return Err(StoreError::MalformedFrame);
+        }
+        Ok(ReplyFrame {
+            status,
+            opcode,
+            reply_seq,
+            sealed_control,
+            payload,
+        })
+    }
+}
+
+/// Plaintext of a request control segment (decrypted only in the enclave).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestControl {
+    /// Per-client operation sequence number.
+    pub oid: u64,
+    /// The key item.
+    pub key: Vec<u8>,
+    /// One-time payload key (put in client-encryption mode only).
+    pub k_op: Option<Key256>,
+    /// Salsa20 nonce for the payload (put in client-encryption mode only).
+    pub payload_nonce: Option<Nonce8>,
+}
+
+impl RequestControl {
+    /// Serializes the control plaintext.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(11 + self.key.len() + 40);
+        out.extend_from_slice(&self.oid.to_le_bytes());
+        out.extend_from_slice(&(self.key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        match (&self.k_op, &self.payload_nonce) {
+            (Some(k), Some(n)) => {
+                out.push(1);
+                out.extend_from_slice(k.as_bytes());
+                out.extend_from_slice(n.as_bytes());
+            }
+            _ => out.push(0),
+        }
+        out
+    }
+
+    /// Parses a control plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MalformedFrame`] on any structural violation.
+    pub fn decode(buf: &[u8]) -> Result<RequestControl, StoreError> {
+        let mut r = Reader::new(buf);
+        let oid = r.u64()?;
+        let key_len = r.u16()? as usize;
+        let key = r.bytes(key_len)?.to_vec();
+        let (k_op, payload_nonce) = match r.u8()? {
+            0 => (None, None),
+            1 => {
+                let k = Key256::try_from(r.bytes(32)?).map_err(|_| StoreError::MalformedFrame)?;
+                let n = Nonce8::try_from(r.bytes(8)?).map_err(|_| StoreError::MalformedFrame)?;
+                (Some(k), Some(n))
+            }
+            _ => return Err(StoreError::MalformedFrame),
+        };
+        if !r.is_empty() {
+            return Err(StoreError::MalformedFrame);
+        }
+        Ok(RequestControl {
+            oid,
+            key,
+            k_op,
+            payload_nonce,
+        })
+    }
+
+    /// Wire size of a control segment for a key of `key_len` bytes carrying
+    /// a one-time key — the paper's "≈56 B" control-data estimate (§5.2).
+    pub fn encoded_len(key_len: usize, with_key_material: bool) -> usize {
+        8 + 2 + key_len + 1 + if with_key_material { 40 } else { 0 }
+    }
+}
+
+/// Plaintext of a reply control segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyControl {
+    /// Echo of the request `oid` (lets the client match and order replies).
+    pub oid: u64,
+    /// One-time key of the returned value (get replies).
+    pub k_op: Option<Key256>,
+    /// Salsa20 nonce of the returned value (get replies).
+    pub payload_nonce: Option<Nonce8>,
+    /// Stored CMAC of the returned encrypted value (get replies).
+    pub mac: Option<Tag>,
+}
+
+impl ReplyControl {
+    /// Serializes the reply control plaintext.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 + 56);
+        out.extend_from_slice(&self.oid.to_le_bytes());
+        match (&self.k_op, &self.payload_nonce, &self.mac) {
+            (Some(k), Some(n), Some(m)) => {
+                out.push(1);
+                out.extend_from_slice(k.as_bytes());
+                out.extend_from_slice(n.as_bytes());
+                out.extend_from_slice(m.as_bytes());
+            }
+            _ => out.push(0),
+        }
+        out
+    }
+
+    /// Parses a reply control plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MalformedFrame`] on any structural violation.
+    pub fn decode(buf: &[u8]) -> Result<ReplyControl, StoreError> {
+        let mut r = Reader::new(buf);
+        let oid = r.u64()?;
+        let (k_op, payload_nonce, mac) = match r.u8()? {
+            0 => (None, None, None),
+            1 => {
+                let k = Key256::try_from(r.bytes(32)?).map_err(|_| StoreError::MalformedFrame)?;
+                let n = Nonce8::try_from(r.bytes(8)?).map_err(|_| StoreError::MalformedFrame)?;
+                let m = Tag::try_from(r.bytes(16)?).map_err(|_| StoreError::MalformedFrame)?;
+                (Some(k), Some(n), Some(m))
+            }
+            _ => return Err(StoreError::MalformedFrame),
+        };
+        if !r.is_empty() {
+            return Err(StoreError::MalformedFrame);
+        }
+        Ok(ReplyControl {
+            oid,
+            k_op,
+            payload_nonce,
+            mac,
+        })
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.pos + n > self.buf.len() {
+            return Err(StoreError::MalformedFrame);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("len 8")))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> RequestFrame {
+        RequestFrame {
+            opcode: Opcode::Put,
+            client_id: 7,
+            iv: Nonce12::from_bytes([8; 12]),
+            sealed_control: vec![1, 2, 3, 4, 5],
+            mac: Tag::from_bytes([9; 16]),
+            payload: vec![0xAA; 37],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let f = sample_request();
+        assert_eq!(RequestFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn request_roundtrip_empty_payload() {
+        let f = RequestFrame {
+            opcode: Opcode::Get,
+            client_id: 0,
+            iv: Nonce12::from_bytes([0; 12]),
+            sealed_control: vec![],
+            mac: Tag::default(),
+            payload: vec![],
+        };
+        assert_eq!(RequestFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn request_rejects_bad_signs_opcode_and_trailing() {
+        let f = sample_request();
+        let good = f.encode();
+
+        let mut bad_op = good.clone();
+        bad_op[0] = 99;
+        assert_eq!(RequestFrame::decode(&bad_op), Err(StoreError::MalformedFrame));
+
+        let mut bad_start = good.clone();
+        bad_start[1] ^= 0xFF;
+        assert_eq!(RequestFrame::decode(&bad_start), Err(StoreError::MalformedFrame));
+
+        let mut bad_end = good.clone();
+        let n = bad_end.len();
+        bad_end[n - 1] ^= 0xFF;
+        assert_eq!(RequestFrame::decode(&bad_end), Err(StoreError::MalformedFrame));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(RequestFrame::decode(&trailing), Err(StoreError::MalformedFrame));
+
+        assert_eq!(RequestFrame::decode(&good[..10]), Err(StoreError::MalformedFrame));
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let f = ReplyFrame {
+            status: Status::Ok,
+            opcode: Opcode::Get,
+            reply_seq: 12345,
+            sealed_control: vec![7; 60],
+            payload: vec![1; 100],
+        };
+        assert_eq!(ReplyFrame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn reply_rejects_bad_status() {
+        let f = ReplyFrame {
+            status: Status::NotFound,
+            opcode: Opcode::Get,
+            reply_seq: 1,
+            sealed_control: vec![],
+            payload: vec![],
+        };
+        let mut bytes = f.encode();
+        bytes[0] = 42;
+        assert_eq!(ReplyFrame::decode(&bytes), Err(StoreError::MalformedFrame));
+    }
+
+    #[test]
+    fn request_control_roundtrip_with_and_without_key_material() {
+        let with = RequestControl {
+            oid: 55,
+            key: b"user-key".to_vec(),
+            k_op: Some(Key256::from_bytes([3; 32])),
+            payload_nonce: Some(Nonce8::from_bytes([4; 8])),
+        };
+        assert_eq!(RequestControl::decode(&with.encode()).unwrap(), with);
+
+        let without = RequestControl {
+            oid: 56,
+            key: b"k".to_vec(),
+            k_op: None,
+            payload_nonce: None,
+        };
+        assert_eq!(RequestControl::decode(&without.encode()).unwrap(), without);
+    }
+
+    #[test]
+    fn reply_control_roundtrip() {
+        let c = ReplyControl {
+            oid: 9,
+            k_op: Some(Key256::from_bytes([1; 32])),
+            payload_nonce: Some(Nonce8::from_bytes([2; 8])),
+            mac: Some(Tag::from_bytes([3; 16])),
+        };
+        assert_eq!(ReplyControl::decode(&c.encode()).unwrap(), c);
+        let minimal = ReplyControl {
+            oid: 10,
+            k_op: None,
+            payload_nonce: None,
+            mac: None,
+        };
+        assert_eq!(ReplyControl::decode(&minimal.encode()).unwrap(), minimal);
+    }
+
+    #[test]
+    fn control_size_matches_paper_estimate() {
+        // 16-byte keys with key material: 8 + 2 + 16 + 1 + 40 = 67 bytes of
+        // plaintext — the paper's "≈56 B" order of magnitude.
+        assert_eq!(RequestControl::encoded_len(16, true), 67);
+        let c = RequestControl {
+            oid: 1,
+            key: vec![0; 16],
+            k_op: Some(Key256::from_bytes([0; 32])),
+            payload_nonce: Some(Nonce8::from_bytes([0; 8])),
+        };
+        assert_eq!(c.encode().len(), 67);
+    }
+
+    #[test]
+    fn nonces_never_collide_across_directions() {
+        for i in 0..1000u64 {
+            assert_ne!(request_nonce(i), reply_nonce(i));
+            if i > 0 {
+                assert_ne!(request_nonce(i), request_nonce(i - 1));
+                assert_ne!(reply_nonce(i), reply_nonce(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn aad_binds_opcode_and_client() {
+        assert_ne!(request_aad(Opcode::Put, 1), request_aad(Opcode::Get, 1));
+        assert_ne!(request_aad(Opcode::Put, 1), request_aad(Opcode::Put, 2));
+    }
+}

@@ -1,0 +1,63 @@
+//! Fuzz-style property tests of the wire codecs: arbitrary bytes must never
+//! panic the decoders, and valid frames survive mutation detection.
+
+use proptest::prelude::*;
+
+use precursor::wire::{ReplyControl, ReplyFrame, RequestControl, RequestFrame};
+use precursor_crypto::keys::{Key256, Nonce12, Nonce8, Tag};
+
+proptest! {
+    #[test]
+    fn request_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = RequestFrame::decode(&bytes);
+    }
+
+    #[test]
+    fn reply_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ReplyFrame::decode(&bytes);
+    }
+
+    #[test]
+    fn control_decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = RequestControl::decode(&bytes);
+        let _ = ReplyControl::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_valid_frames_are_rejected_not_panicking(
+        control in prop::collection::vec(any::<u8>(), 0..100),
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+        cut in any::<usize>(),
+    ) {
+        let frame = RequestFrame {
+            opcode: precursor::wire::Opcode::Put,
+            client_id: 3,
+            iv: Nonce12::from_counter(9),
+            sealed_control: control,
+            mac: Tag::from_bytes([5; 16]),
+            payload,
+        };
+        let bytes = frame.encode();
+        let cut = cut % bytes.len();
+        if cut < bytes.len() {
+            // any strict prefix must fail decoding
+            prop_assert!(RequestFrame::decode(&bytes[..cut]).is_err());
+        }
+        prop_assert_eq!(RequestFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn request_control_roundtrips(
+        oid in any::<u64>(),
+        key in prop::collection::vec(any::<u8>(), 0..64),
+        with_material in any::<bool>(),
+    ) {
+        let c = RequestControl {
+            oid,
+            key,
+            k_op: with_material.then(|| Key256::from_bytes([1; 32])),
+            payload_nonce: with_material.then(|| Nonce8::from_bytes([2; 8])),
+        };
+        prop_assert_eq!(RequestControl::decode(&c.encode()).unwrap(), c);
+    }
+}

@@ -1,0 +1,59 @@
+//! Timing-resistant comparison helper.
+//!
+//! [`ct_eq`] folds the XOR of every byte pair before comparing against zero,
+//! so the comparison does not early-exit on the first mismatching byte. (The
+//! rest of the crate is *not* constant-time — see the crate docs — but tag
+//! comparison is the one place where a naive `==` would be an outright
+//! protocol bug, so it gets the standard treatment.)
+
+/// Compares two byte slices without early exit.
+///
+/// Returns `false` when lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use precursor_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[0xff; 32], &[0xff; 32]));
+    }
+
+    #[test]
+    fn detects_single_bit_difference() {
+        let a = [0u8; 16];
+        for i in 0..16 {
+            for bit in 0..8 {
+                let mut b = a;
+                b[i] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b), "missed flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_unequal() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+        assert!(!ct_eq(&[], &[0]));
+    }
+}

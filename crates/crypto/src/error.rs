@@ -1,0 +1,42 @@
+//! Error type shared by all primitives in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// Authenticated decryption failed: the tag did not verify.
+    InvalidTag,
+    /// An input had an invalid length (e.g. ciphertext shorter than a tag).
+    InvalidLength,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidTag => f.write_str("authentication tag mismatch"),
+            CryptoError::InvalidLength => f.write_str("invalid input length"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CryptoError::InvalidTag.to_string(), "authentication tag mismatch");
+        assert_eq!(CryptoError::InvalidLength.to_string(), "invalid input length");
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CryptoError>();
+    }
+}

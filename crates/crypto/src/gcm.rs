@@ -1,0 +1,246 @@
+//! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! This is the paper's transport ("session") encryption: control data is
+//! sealed under the per-client `K_session` with the request's AAD, giving
+//! confidentiality, integrity and client authenticity in one pass (§3.4, §4).
+
+use crate::aes::Aes128;
+use crate::ct::ct_eq;
+use crate::error::CryptoError;
+use crate::keys::{Key128, Nonce12, Tag};
+
+/// GCM tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+fn gf_mult(x: u128, y: u128) -> u128 {
+    // Bit 0 is the most significant bit per the GCM spec.
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= 0xE1u128 << 120;
+        }
+    }
+    z
+}
+
+fn block_to_u128(b: &[u8]) -> u128 {
+    let mut arr = [0u8; 16];
+    arr[..b.len()].copy_from_slice(b);
+    u128::from_be_bytes(arr)
+}
+
+fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
+    let mut y = 0u128;
+    for chunk in aad.chunks(16) {
+        y = gf_mult(y ^ block_to_u128(chunk), h);
+    }
+    for chunk in ct.chunks(16) {
+        y = gf_mult(y ^ block_to_u128(chunk), h);
+    }
+    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+    gf_mult(y ^ lens, h)
+}
+
+fn inc32(counter: &mut [u8; 16]) {
+    let mut c = u32::from_be_bytes([counter[12], counter[13], counter[14], counter[15]]);
+    c = c.wrapping_add(1);
+    counter[12..].copy_from_slice(&c.to_be_bytes());
+}
+
+fn ctr_xor(cipher: &Aes128, j0: &[u8; 16], data: &mut [u8]) {
+    let mut counter = *j0;
+    for chunk in data.chunks_mut(16) {
+        inc32(&mut counter);
+        let ks = cipher.encrypt_block(counter);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+fn compute_tag(cipher: &Aes128, h: u128, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> Tag {
+    let s = ghash(h, aad, ct);
+    let ekj0 = block_to_u128(&cipher.encrypt_block(*j0));
+    Tag::from_bytes((s ^ ekj0).to_be_bytes())
+}
+
+fn setup(key: &Key128, nonce: &Nonce12) -> (Aes128, u128, [u8; 16]) {
+    let cipher = Aes128::new(key);
+    let h = block_to_u128(&cipher.encrypt_block([0u8; 16]));
+    let mut j0 = [0u8; 16];
+    j0[..12].copy_from_slice(nonce.as_bytes());
+    j0[15] = 1;
+    (cipher, h, j0)
+}
+
+/// Encrypts `plaintext` and authenticates it together with `aad`.
+///
+/// Returns `ciphertext ‖ tag` (tag is the trailing [`TAG_LEN`] bytes).
+///
+/// # Example
+///
+/// ```
+/// use precursor_crypto::gcm;
+/// use precursor_crypto::keys::{Key128, Nonce12};
+/// let key = Key128::from_bytes([0; 16]);
+/// let nonce = Nonce12::from_bytes([0; 12]);
+/// let sealed = gcm::seal(&key, &nonce, b"", b"hello");
+/// assert_eq!(sealed.len(), 5 + gcm::TAG_LEN);
+/// ```
+pub fn seal(key: &Key128, nonce: &Nonce12, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let (cipher, h, j0) = setup(key, nonce);
+    let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+    out.extend_from_slice(plaintext);
+    ctr_xor(&cipher, &j0, &mut out);
+    let tag = compute_tag(&cipher, h, &j0, aad, &out);
+    out.extend_from_slice(tag.as_bytes());
+    out
+}
+
+/// Decrypts `sealed` (`ciphertext ‖ tag`) and verifies the tag over the
+/// ciphertext and `aad`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] if `sealed` is shorter than a tag
+/// and [`CryptoError::InvalidTag`] if authentication fails (wrong key, wrong
+/// nonce, tampered ciphertext or tampered AAD).
+pub fn open(key: &Key128, nonce: &Nonce12, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if sealed.len() < TAG_LEN {
+        return Err(CryptoError::InvalidLength);
+    }
+    let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let (cipher, h, j0) = setup(key, nonce);
+    let expected = compute_tag(&cipher, h, &j0, aad, ct);
+    if !ct_eq(expected.as_bytes(), tag) {
+        return Err(CryptoError::InvalidTag);
+    }
+    let mut pt = ct.to_vec();
+    ctr_xor(&cipher, &j0, &mut pt);
+    Ok(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h2b(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn key(s: &str) -> Key128 {
+        Key128::try_from(h2b(s).as_slice()).unwrap()
+    }
+
+    fn nonce(s: &str) -> Nonce12 {
+        Nonce12::try_from(h2b(s).as_slice()).unwrap()
+    }
+
+    #[test]
+    fn nist_test_case_1_empty() {
+        // GCM spec test case 1: zero key/IV, empty everything.
+        let sealed = seal(&key("00000000000000000000000000000000"), &nonce("000000000000000000000000"), b"", b"");
+        assert_eq!(sealed, h2b("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    #[test]
+    fn nist_test_case_2_one_block() {
+        let k = key("00000000000000000000000000000000");
+        let n = nonce("000000000000000000000000");
+        let pt = h2b("00000000000000000000000000000000");
+        let sealed = seal(&k, &n, b"", &pt);
+        assert_eq!(
+            sealed,
+            h2b("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
+        );
+        assert_eq!(open(&k, &n, b"", &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn nist_test_case_3_four_blocks() {
+        let k = key("feffe9928665731c6d6a8f9467308308");
+        let n = nonce("cafebabefacedbaddecaf888");
+        let pt = h2b(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let sealed = seal(&k, &n, b"", &pt);
+        let expected_ct = h2b(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+        );
+        assert_eq!(&sealed[..64], &expected_ct[..]);
+        assert_eq!(&sealed[64..], &h2b("4d5c2af327cd64a62cf35abd2ba6fab4")[..]);
+    }
+
+    #[test]
+    fn roundtrip_with_aad_various_lengths() {
+        let k = Key128::from_bytes([9; 16]);
+        for len in [0usize, 1, 15, 16, 17, 32, 100, 1000] {
+            let n = Nonce12::from_counter(len as u64);
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let aad = b"control header";
+            let sealed = seal(&k, &n, aad, &pt);
+            assert_eq!(open(&k, &n, aad, &sealed).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let k = Key128::from_bytes([1; 16]);
+        let n = Nonce12::from_counter(1);
+        let mut sealed = seal(&k, &n, b"a", b"payload");
+        sealed[0] ^= 1;
+        assert_eq!(open(&k, &n, b"a", &sealed), Err(CryptoError::InvalidTag));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let k = Key128::from_bytes([1; 16]);
+        let n = Nonce12::from_counter(1);
+        let mut sealed = seal(&k, &n, b"", b"payload");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert_eq!(open(&k, &n, b"", &sealed), Err(CryptoError::InvalidTag));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let k = Key128::from_bytes([1; 16]);
+        let n = Nonce12::from_counter(1);
+        let sealed = seal(&k, &n, b"aad-1", b"payload");
+        assert_eq!(open(&k, &n, b"aad-2", &sealed), Err(CryptoError::InvalidTag));
+    }
+
+    #[test]
+    fn wrong_key_or_nonce_rejected() {
+        let k = Key128::from_bytes([1; 16]);
+        let n = Nonce12::from_counter(1);
+        let sealed = seal(&k, &n, b"", b"payload");
+        assert!(open(&Key128::from_bytes([2; 16]), &n, b"", &sealed).is_err());
+        assert!(open(&k, &Nonce12::from_counter(2), b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn short_input_is_invalid_length() {
+        let k = Key128::from_bytes([1; 16]);
+        let n = Nonce12::from_counter(1);
+        assert_eq!(open(&k, &n, b"", &[0u8; 15]), Err(CryptoError::InvalidLength));
+    }
+
+    #[test]
+    fn different_nonces_give_different_ciphertexts() {
+        let k = Key128::from_bytes([3; 16]);
+        let a = seal(&k, &Nonce12::from_counter(1), b"", b"same plaintext");
+        let b = seal(&k, &Nonce12::from_counter(2), b"", b"same plaintext");
+        assert_ne!(a, b);
+    }
+}

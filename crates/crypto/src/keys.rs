@@ -1,0 +1,226 @@
+//! Key, nonce and tag newtypes.
+//!
+//! Distinct newtypes keep the protocol code honest: a Salsa20 one-time key
+//! (`K_operation`, 256 bit) can never be passed where an AES session key
+//! (`K_session`, 128 bit) is expected, and nonces of the two ciphers are
+//! likewise incompatible. `Debug` impls redact secret material.
+
+use std::fmt;
+
+use rand::RngCore;
+
+macro_rules! secret_bytes {
+    ($(#[$doc:meta])* $name:ident, $len:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        pub struct $name([u8; $len]);
+
+        impl $name {
+            /// Wraps raw bytes.
+            pub fn from_bytes(b: [u8; $len]) -> $name {
+                $name(b)
+            }
+
+            /// Generates fresh random material from `rng`.
+            pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> $name {
+                let mut b = [0u8; $len];
+                rng.fill_bytes(&mut b);
+                $name(b)
+            }
+
+            /// The raw bytes.
+            pub fn as_bytes(&self) -> &[u8; $len] {
+                &self.0
+            }
+
+            /// Length in bytes.
+            pub const LEN: usize = $len;
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "(<{} secret bytes>)"), $len)
+            }
+        }
+
+        impl TryFrom<&[u8]> for $name {
+            type Error = crate::CryptoError;
+            fn try_from(v: &[u8]) -> Result<Self, Self::Error> {
+                let arr: [u8; $len] =
+                    v.try_into().map_err(|_| crate::CryptoError::InvalidLength)?;
+                Ok($name(arr))
+            }
+        }
+    };
+}
+
+secret_bytes!(
+    /// A 128-bit AES key (the paper's `K_session` transport key).
+    Key128,
+    16
+);
+
+secret_bytes!(
+    /// A 256-bit Salsa20 key (the paper's one-time `K_operation`).
+    Key256,
+    32
+);
+
+/// A 96-bit AES-GCM initialization vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Nonce12([u8; 12]);
+
+impl Nonce12 {
+    /// Length in bytes.
+    pub const LEN: usize = 12;
+
+    /// Wraps raw bytes.
+    pub fn from_bytes(b: [u8; 12]) -> Nonce12 {
+        Nonce12(b)
+    }
+
+    /// Generates a fresh random IV.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Nonce12 {
+        let mut b = [0u8; 12];
+        rng.fill_bytes(&mut b);
+        Nonce12(b)
+    }
+
+    /// A counter-derived IV (for protocols that use sequence numbers as
+    /// nonces; unique per key as long as the counter never repeats).
+    pub fn from_counter(counter: u64) -> Nonce12 {
+        let mut b = [0u8; 12];
+        b[4..].copy_from_slice(&counter.to_be_bytes());
+        Nonce12(b)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 12] {
+        &self.0
+    }
+}
+
+impl TryFrom<&[u8]> for Nonce12 {
+    type Error = crate::CryptoError;
+    fn try_from(v: &[u8]) -> Result<Self, Self::Error> {
+        let arr: [u8; 12] = v.try_into().map_err(|_| crate::CryptoError::InvalidLength)?;
+        Ok(Nonce12(arr))
+    }
+}
+
+/// A 64-bit Salsa20 nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Nonce8([u8; 8]);
+
+impl Nonce8 {
+    /// Length in bytes.
+    pub const LEN: usize = 8;
+
+    /// Wraps raw bytes.
+    pub fn from_bytes(b: [u8; 8]) -> Nonce8 {
+        Nonce8(b)
+    }
+
+    /// Generates a fresh random nonce.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Nonce8 {
+        let mut b = [0u8; 8];
+        rng.fill_bytes(&mut b);
+        Nonce8(b)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 8] {
+        &self.0
+    }
+}
+
+impl TryFrom<&[u8]> for Nonce8 {
+    type Error = crate::CryptoError;
+    fn try_from(v: &[u8]) -> Result<Self, Self::Error> {
+        let arr: [u8; 8] = v.try_into().map_err(|_| crate::CryptoError::InvalidLength)?;
+        Ok(Nonce8(arr))
+    }
+}
+
+/// A 128-bit authentication tag (GCM tag or CMAC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Tag([u8; 16]);
+
+impl Tag {
+    /// Length in bytes.
+    pub const LEN: usize = 16;
+
+    /// Wraps raw bytes.
+    pub fn from_bytes(b: [u8; 16]) -> Tag {
+        Tag(b)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Compares against another tag without early exit.
+    pub fn verify(&self, other: &Tag) -> bool {
+        crate::ct::ct_eq(&self.0, &other.0)
+    }
+}
+
+impl TryFrom<&[u8]> for Tag {
+    type Error = crate::CryptoError;
+    fn try_from(v: &[u8]) -> Result<Self, Self::Error> {
+        let arr: [u8; 16] = v.try_into().map_err(|_| crate::CryptoError::InvalidLength)?;
+        Ok(Tag(arr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn debug_redacts_secrets() {
+        let k = Key256::from_bytes([0x42; 32]);
+        let s = format!("{k:?}");
+        assert!(s.contains("secret"));
+        assert!(!s.contains("42"));
+    }
+
+    #[test]
+    fn generate_is_seed_deterministic() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(Key128::generate(&mut a), Key128::generate(&mut b));
+    }
+
+    #[test]
+    fn generate_differs_between_calls() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        assert_ne!(Key256::generate(&mut rng), Key256::generate(&mut rng));
+    }
+
+    #[test]
+    fn try_from_checks_length() {
+        assert!(Key128::try_from(&[0u8; 16][..]).is_ok());
+        assert!(Key128::try_from(&[0u8; 15][..]).is_err());
+        assert!(Tag::try_from(&[0u8; 17][..]).is_err());
+        assert!(Nonce8::try_from(&[0u8; 8][..]).is_ok());
+        assert!(Nonce12::try_from(&[0u8; 11][..]).is_err());
+    }
+
+    #[test]
+    fn counter_nonces_are_unique() {
+        assert_ne!(Nonce12::from_counter(1), Nonce12::from_counter(2));
+    }
+
+    #[test]
+    fn tag_verify() {
+        let a = Tag::from_bytes([7; 16]);
+        let b = Tag::from_bytes([7; 16]);
+        let mut c = [7; 16];
+        c[15] ^= 1;
+        assert!(a.verify(&b));
+        assert!(!a.verify(&Tag::from_bytes(c)));
+    }
+}

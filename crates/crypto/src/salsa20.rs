@@ -1,0 +1,184 @@
+//! Salsa20 stream cipher (D. J. Bernstein's specification).
+//!
+//! This is the paper's client-side payload cipher: Libsodium's secretbox
+//! construction encrypts with (X)Salsa20 under the 256-bit one-time
+//! `K_operation` (§4). Encryption and decryption are the same keystream XOR.
+
+use crate::keys::{Key256, Nonce8};
+
+const SIGMA: [u32; 4] = [
+    u32::from_le_bytes(*b"expa"),
+    u32::from_le_bytes(*b"nd 3"),
+    u32::from_le_bytes(*b"2-by"),
+    u32::from_le_bytes(*b"te k"),
+];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[b] ^= state[a].wrapping_add(state[d]).rotate_left(7);
+    state[c] ^= state[b].wrapping_add(state[a]).rotate_left(9);
+    state[d] ^= state[c].wrapping_add(state[b]).rotate_left(13);
+    state[a] ^= state[d].wrapping_add(state[c]).rotate_left(18);
+}
+
+fn double_round(s: &mut [u32; 16]) {
+    // column round
+    quarter_round(s, 0, 4, 8, 12);
+    quarter_round(s, 5, 9, 13, 1);
+    quarter_round(s, 10, 14, 2, 6);
+    quarter_round(s, 15, 3, 7, 11);
+    // row round
+    quarter_round(s, 0, 1, 2, 3);
+    quarter_round(s, 5, 6, 7, 4);
+    quarter_round(s, 10, 11, 8, 9);
+    quarter_round(s, 15, 12, 13, 14);
+}
+
+fn keystream_block(key: &Key256, nonce: &Nonce8, counter: u64) -> [u8; 64] {
+    let kb = key.as_bytes();
+    let nb = nonce.as_bytes();
+    let word = |bytes: &[u8], i: usize| {
+        u32::from_le_bytes([bytes[4 * i], bytes[4 * i + 1], bytes[4 * i + 2], bytes[4 * i + 3]])
+    };
+    let mut s = [0u32; 16];
+    s[0] = SIGMA[0];
+    for i in 0..4 {
+        s[1 + i] = word(kb, i);
+    }
+    s[5] = SIGMA[1];
+    s[6] = word(nb, 0);
+    s[7] = word(nb, 1);
+    s[8] = counter as u32;
+    s[9] = (counter >> 32) as u32;
+    s[10] = SIGMA[2];
+    for i in 0..4 {
+        s[11 + i] = word(kb, 4 + i);
+    }
+    s[15] = SIGMA[3];
+
+    let input = s;
+    for _ in 0..10 {
+        double_round(&mut s);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = s[i].wrapping_add(input[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the Salsa20 keystream into `data` in place, starting at block
+/// `counter_start`. Applying it twice with the same parameters restores the
+/// original data.
+///
+/// # Example
+///
+/// ```
+/// use precursor_crypto::salsa20::xor_keystream;
+/// use precursor_crypto::keys::{Key256, Nonce8};
+/// let key = Key256::from_bytes([1; 32]);
+/// let nonce = Nonce8::from_bytes([2; 8]);
+/// let mut data = *b"attack at dawn";
+/// xor_keystream(&key, &nonce, 0, &mut data);
+/// assert_ne!(&data, b"attack at dawn");
+/// xor_keystream(&key, &nonce, 0, &mut data);
+/// assert_eq!(&data, b"attack at dawn");
+/// ```
+pub fn xor_keystream(key: &Key256, nonce: &Nonce8, counter_start: u64, data: &mut [u8]) {
+    let mut counter = counter_start;
+    for chunk in data.chunks_mut(64) {
+        let ks = keystream_block(key, nonce, counter);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Encrypts `plaintext` (allocating) — a convenience over [`xor_keystream`].
+pub fn encrypt(key: &Key256, nonce: &Nonce8, plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    xor_keystream(key, nonce, 0, &mut out);
+    out
+}
+
+/// Decrypts `ciphertext` (allocating). Identical to [`encrypt`].
+pub fn decrypt(key: &Key256, nonce: &Nonce8, ciphertext: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, ciphertext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_quarter_round_vector() {
+        // From the Salsa20 specification: quarterround(1,0,0,0).
+        let mut s = [0u32; 16];
+        s[0] = 1;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0x08008145);
+        assert_eq!(s[1], 0x00000080);
+        assert_eq!(s[2], 0x00010200);
+        assert_eq!(s[3], 0x20500000);
+    }
+
+    #[test]
+    fn spec_quarter_round_zero_fixed_point() {
+        let mut s = [0u32; 16];
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(&s[..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn keystream_blocks_differ_by_counter() {
+        let k = Key256::from_bytes([3; 32]);
+        let n = Nonce8::from_bytes([4; 8]);
+        assert_ne!(keystream_block(&k, &n, 0), keystream_block(&k, &n, 1));
+    }
+
+    #[test]
+    fn keystream_differs_by_nonce_and_key() {
+        let k = Key256::from_bytes([3; 32]);
+        let n1 = Nonce8::from_bytes([4; 8]);
+        let n2 = Nonce8::from_bytes([5; 8]);
+        assert_ne!(keystream_block(&k, &n1, 0), keystream_block(&k, &n2, 0));
+        let k2 = Key256::from_bytes([9; 32]);
+        assert_ne!(keystream_block(&k, &n1, 0), keystream_block(&k2, &n1, 0));
+    }
+
+    #[test]
+    fn roundtrip_all_lengths_around_block_boundary() {
+        let k = Key256::from_bytes([7; 32]);
+        let n = Nonce8::from_bytes([8; 8]);
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ct = encrypt(&k, &n, &pt);
+            assert_eq!(decrypt(&k, &n, &ct), pt, "len {len}");
+            if len > 0 {
+                assert_ne!(ct, pt, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_with_counter_matches_contiguous_stream() {
+        // Encrypting [0,128) in one call must equal encrypting the second
+        // block separately with counter_start = 1.
+        let k = Key256::from_bytes([1; 32]);
+        let n = Nonce8::from_bytes([2; 8]);
+        let mut whole = vec![0u8; 128];
+        xor_keystream(&k, &n, 0, &mut whole);
+        let mut second = vec![0u8; 64];
+        xor_keystream(&k, &n, 1, &mut second);
+        assert_eq!(&whole[64..], &second[..]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let k = Key256::from_bytes([1; 32]);
+        let n = Nonce8::from_bytes([2; 8]);
+        assert_eq!(encrypt(&k, &n, b"abc"), encrypt(&k, &n, b"abc"));
+    }
+}

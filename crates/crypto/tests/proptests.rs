@@ -1,0 +1,118 @@
+//! Property-based tests over the crypto primitives.
+
+use proptest::prelude::*;
+
+use precursor_crypto::keys::{Key128, Key256, Nonce12, Nonce8, Tag};
+use precursor_crypto::{aes::Aes128, cmac, ct::ct_eq, gcm, hmac::hmac_sha256, salsa20, sha256};
+
+proptest! {
+    #[test]
+    fn aes_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                     block in prop::array::uniform16(any::<u8>())) {
+        let c = Aes128::new(&Key128::from_bytes(key));
+        prop_assert_eq!(c.decrypt_block(c.encrypt_block(block)), block);
+    }
+
+    #[test]
+    fn aes_is_a_permutation(key in prop::array::uniform16(any::<u8>()),
+                            a in prop::array::uniform16(any::<u8>()),
+                            b in prop::array::uniform16(any::<u8>())) {
+        let c = Aes128::new(&Key128::from_bytes(key));
+        prop_assert_eq!(a == b, c.encrypt_block(a) == c.encrypt_block(b));
+    }
+
+    #[test]
+    fn gcm_roundtrip(key in prop::array::uniform16(any::<u8>()),
+                     nonce in prop::array::uniform12(any::<u8>()),
+                     aad in prop::collection::vec(any::<u8>(), 0..64),
+                     pt in prop::collection::vec(any::<u8>(), 0..512)) {
+        let k = Key128::from_bytes(key);
+        let n = Nonce12::from_bytes(nonce);
+        let sealed = gcm::seal(&k, &n, &aad, &pt);
+        prop_assert_eq!(sealed.len(), pt.len() + gcm::TAG_LEN);
+        prop_assert_eq!(gcm::open(&k, &n, &aad, &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn gcm_detects_any_single_bit_flip(key in prop::array::uniform16(any::<u8>()),
+                                       pt in prop::collection::vec(any::<u8>(), 1..64),
+                                       flip_bit in 0usize..8,
+                                       flip_pos_seed in any::<usize>()) {
+        let k = Key128::from_bytes(key);
+        let n = Nonce12::from_counter(7);
+        let mut sealed = gcm::seal(&k, &n, b"", &pt);
+        let pos = flip_pos_seed % sealed.len();
+        sealed[pos] ^= 1 << flip_bit;
+        prop_assert!(gcm::open(&k, &n, b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn cmac_tamper_detection(key in prop::array::uniform16(any::<u8>()),
+                             msg in prop::collection::vec(any::<u8>(), 1..128),
+                             flip_bit in 0usize..8,
+                             flip_pos_seed in any::<usize>()) {
+        let k = Key128::from_bytes(key);
+        let tag = cmac::mac(&k, &msg);
+        let mut tampered = msg.clone();
+        let pos = flip_pos_seed % tampered.len();
+        tampered[pos] ^= 1 << flip_bit;
+        prop_assert!(!cmac::verify(&k, &tampered, &tag));
+        prop_assert!(cmac::verify(&k, &msg, &tag));
+    }
+
+    #[test]
+    fn salsa20_roundtrip(key in prop::array::uniform32(any::<u8>()),
+                         nonce in prop::array::uniform8(any::<u8>()),
+                         data in prop::collection::vec(any::<u8>(), 0..1024)) {
+        let k = Key256::from_bytes(key);
+        let n = Nonce8::from_bytes(nonce);
+        let ct = salsa20::encrypt(&k, &n, &data);
+        prop_assert_eq!(salsa20::decrypt(&k, &n, &ct), data);
+    }
+
+    #[test]
+    fn salsa20_keystream_seek_consistency(key in prop::array::uniform32(any::<u8>()),
+                                          nonce in prop::array::uniform8(any::<u8>()),
+                                          blocks in 1u64..8) {
+        let k = Key256::from_bytes(key);
+        let n = Nonce8::from_bytes(nonce);
+        let len = (blocks as usize) * 64;
+        let mut whole = vec![0u8; len + 64];
+        salsa20::xor_keystream(&k, &n, 0, &mut whole);
+        let mut tail = vec![0u8; 64];
+        salsa20::xor_keystream(&k, &n, blocks, &mut tail);
+        prop_assert_eq!(&whole[len..], &tail[..]);
+    }
+
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..4096),
+                                       split_seed in any::<usize>()) {
+        let split = if data.is_empty() { 0 } else { split_seed % data.len() };
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finish(), sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_distinguishes_keys(k1 in prop::collection::vec(any::<u8>(), 1..64),
+                               k2 in prop::collection::vec(any::<u8>(), 1..64),
+                               msg in prop::collection::vec(any::<u8>(), 0..128)) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+    }
+
+    #[test]
+    fn ct_eq_matches_plain_eq(a in prop::collection::vec(any::<u8>(), 0..64),
+                              b in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn tag_verify_matches_eq(a in prop::array::uniform16(any::<u8>()),
+                             b in prop::array::uniform16(any::<u8>())) {
+        let ta = Tag::from_bytes(a);
+        let tb = Tag::from_bytes(b);
+        prop_assert_eq!(ta.verify(&tb), a == b);
+    }
+}

@@ -1,0 +1,49 @@
+//! Simulated RDMA verbs for the Precursor reproduction.
+//!
+//! No RDMA hardware is available here, so this crate reimplements the
+//! libibverbs programming model the paper builds on (§2.2, §4) as an
+//! in-process functional simulation:
+//!
+//! * [`mr`] — registered memory regions with remote keys and permissions;
+//!   one-sided accesses really move bytes between buffers, and a region can
+//!   be *pinned against DMA* to enforce the SGX rule that enclave memory is
+//!   unreachable from the NIC.
+//! * [`qp`] — reliable-connected queue pairs: one-sided `WRITE`/`READ`
+//!   bypassing the remote CPU, two-sided `SEND`/`RECV`, completion queues,
+//!   selective signaling, and inline sends (≤912 B on the paper's NICs).
+//! * [`nic`] — the RNIC's QP-state cache; with more connections than cache
+//!   entries, per-op misses appear — the contention that bends the paper's
+//!   Figure 6 beyond ~55 clients.
+//! * [`tcp`] — the kernel-TCP baseline transport used by ShieldStore, with
+//!   per-message syscall/interrupt costs charged by the cost model.
+//!
+//! Timing is charged to a [`Meter`](precursor_sim::Meter) (CPU cost of
+//! posting/polling) while byte counts are exposed so the closed-loop driver
+//! can model link contention with [`Link`](precursor_sim::Link) resources.
+//!
+//! # Example
+//!
+//! ```
+//! use precursor_rdma::mr::Memory;
+//! use precursor_rdma::qp::connect_pair;
+//!
+//! // Server registers a buffer; client writes into it one-sidedly.
+//! let server_mem = Memory::zeroed(4096);
+//! let (mut client_qp, server_qp) = connect_pair(912);
+//! let rkey = server_qp.register(server_mem.clone(), true);
+//! client_qp.post_write(rkey, 100, b"hello", true).unwrap();
+//! assert_eq!(server_mem.read(100, 5), b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mr;
+pub mod nic;
+pub mod qp;
+pub mod tcp;
+
+pub use mr::{Memory, RemoteKey};
+pub use nic::RnicCache;
+pub use qp::{connect_pair, QueuePair, RdmaError, WorkCompletion};
+pub use tcp::SimTcp;

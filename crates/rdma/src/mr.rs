@@ -1,0 +1,144 @@
+//! Shared buffers and registered memory regions.
+//!
+//! A [`Memory`] is a byte buffer that can be shared between the two ends of a
+//! simulated connection (like physical memory both the CPU and the NIC can
+//! address). Registering it with a queue pair yields a [`RemoteKey`] the
+//! peer presents with one-sided operations — the `rkey` of real verbs. A
+//! region registered without DMA permission models enclave memory: the
+//! (simulated) NIC refuses to touch it, which is why Precursor must place
+//! payload data in *untrusted* memory (§1).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A shared, growable byte buffer.
+///
+/// Cloning shares the underlying storage (like two views of the same DRAM).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Memory {
+    /// Allocates `len` zeroed bytes.
+    pub fn zeroed(len: usize) -> Memory {
+        Memory {
+            buf: Arc::new(Mutex::new(vec![0u8; len])),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies `data` into the buffer at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&self, offset: usize, data: &[u8]) {
+        let mut buf = self.buf.lock();
+        buf[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let buf = self.buf.lock();
+        buf[offset..offset + len].to_vec()
+    }
+
+    /// Runs `f` with mutable access to the raw bytes (local CPU access —
+    /// rings and pools operate through this).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+        f(&mut self.buf.lock())
+    }
+
+    /// Runs `f` with shared access to the raw bytes.
+    pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.buf.lock())
+    }
+
+    /// Extends the buffer by `extra` zero bytes (the grown payload pool).
+    pub fn grow(&self, extra: usize) {
+        let mut buf = self.buf.lock();
+        let new_len = buf.len() + extra;
+        buf.resize(new_len, 0);
+    }
+
+    /// Whether two handles share storage.
+    pub fn same_as(&self, other: &Memory) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+/// The remote key of a registered memory region, presented by a peer with
+/// one-sided operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteKey(pub(crate) u64);
+
+/// A registered region: buffer + permissions, kept in the registering QP's
+/// table.
+#[derive(Debug, Clone)]
+pub(crate) struct Registration {
+    pub mem: Memory,
+    /// Remote peers may WRITE (and READ). False models registration of
+    /// read-only windows.
+    pub remote_write: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let m = Memory::zeroed(64);
+        m.write(10, b"abc");
+        assert_eq!(m.read(10, 3), b"abc");
+        assert_eq!(m.read(0, 1), [0]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Memory::zeroed(16);
+        let b = a.clone();
+        b.write(0, &[42]);
+        assert_eq!(a.read(0, 1), [42]);
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&Memory::zeroed(16)));
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let m = Memory::zeroed(8);
+        m.write(0, &[1, 2, 3]);
+        m.grow(8);
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.read(0, 3), [1, 2, 3]);
+        assert_eq!(m.read(8, 8), [0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        Memory::zeroed(4).write(2, &[0; 4]);
+    }
+
+    #[test]
+    fn with_mut_allows_in_place_ops() {
+        let m = Memory::zeroed(8);
+        m.with_mut(|b| b[7] = 9);
+        assert_eq!(m.with(|b| b[7]), 9);
+    }
+}

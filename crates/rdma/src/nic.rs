@@ -1,0 +1,164 @@
+//! RNIC queue-pair state cache.
+//!
+//! RDMA NICs cache per-connection (QP) state on-chip; with more active
+//! connections than cache entries, state is re-fetched over PCIe, adding
+//! latency per operation. The paper attributes the throughput decline past
+//! ~55 clients in Figure 6 to exactly this "resource contention and cache
+//! misses in the RNIC" (§5.2, citing Chen et al.). [`RnicCache`] is an LRU
+//! set of QP ids; the driver consults it per op and adds the miss penalty
+//! from the cost model.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An LRU cache of active queue-pair ids.
+///
+/// # Example
+///
+/// ```
+/// use precursor_rdma::nic::RnicCache;
+/// let mut cache = RnicCache::new(2);
+/// assert!(!cache.access(1)); // cold miss
+/// assert!(cache.access(1));  // hit
+/// cache.access(2);
+/// cache.access(3);           // evicts 1
+/// assert!(!cache.access(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnicCache {
+    capacity: usize,
+    entries: HashMap<u64, u64>, // qp -> stamp
+    lru: BTreeMap<u64, u64>,    // stamp -> qp
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl RnicCache {
+    /// Creates a cache with room for `capacity` QPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> RnicCache {
+        assert!(capacity > 0, "cache capacity must be nonzero");
+        RnicCache {
+            capacity,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Touches `qp`; returns `true` on a hit, `false` on a miss (the caller
+    /// should charge the miss penalty).
+    pub fn access(&mut self, qp: u64) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let hit = if let Some(old) = self.entries.insert(qp, stamp) {
+            self.lru.remove(&old);
+            true
+        } else {
+            if self.entries.len() > self.capacity {
+                let (&old_stamp, &victim) = self.lru.iter().next().expect("nonempty");
+                self.lru.remove(&old_stamp);
+                self.entries.remove(&victim);
+            }
+            false
+        };
+        self.lru.insert(stamp, qp);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all accesses (zero when unused).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Number of QPs currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_capacity_everything_hits_after_warmup() {
+        let mut c = RnicCache::new(8);
+        for qp in 0..8 {
+            assert!(!c.access(qp));
+        }
+        for _ in 0..10 {
+            for qp in 0..8 {
+                assert!(c.access(qp));
+            }
+        }
+        assert_eq!(c.misses(), 8);
+    }
+
+    #[test]
+    fn round_robin_over_capacity_thrashes() {
+        let mut c = RnicCache::new(4);
+        // cyclic access over 8 QPs with LRU: every access misses
+        for i in 0..80u64 {
+            c.access(i % 8);
+        }
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn lru_keeps_hot_entries() {
+        let mut c = RnicCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 1 is now MRU
+        c.access(3); // evicts 2
+        assert!(c.access(1));
+        assert!(!c.access(2));
+    }
+
+    #[test]
+    fn occupancy_bounded() {
+        let mut c = RnicCache::new(16);
+        for qp in 0..100 {
+            c.access(qp);
+            assert!(c.occupancy() <= 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = RnicCache::new(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Remote attestation model.
+//!
+//! Precursor clients attest the server enclave before connecting: they obtain
+//! a *quote* certifying the enclave's initial code and data and the
+//! genuineness of the hardware, and establish a shared secret used as the
+//! transport key `K_session` (§3.6). This module models the *outcome* of the
+//! EPID/DCAP protocols rather than their asymmetric cryptography (none of
+//! which the paper evaluates): quotes are MACs under a platform key held by
+//! the [`AttestationService`], which plays the role of Intel's attestation
+//! service that both parties already trust.
+
+use precursor_crypto::hmac::{derive_key_pair, hmac_sha256};
+use precursor_crypto::Key128;
+
+use crate::enclave::Enclave;
+
+/// Errors from quote verification / session establishment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttestationError {
+    /// The quote's MAC did not verify — not produced on this platform.
+    BadQuote,
+    /// The enclave measurement is not the expected binary.
+    WrongMeasurement,
+}
+
+impl std::fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestationError::BadQuote => f.write_str("quote verification failed"),
+            AttestationError::WrongMeasurement => f.write_str("unexpected enclave measurement"),
+        }
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+/// A quote: the enclave's measurement and caller-chosen report data,
+/// authenticated by the platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// MRENCLAVE analogue of the quoted enclave.
+    pub measurement: [u8; 32],
+    /// 32 bytes of caller data bound into the quote (here: a hash of the
+    /// session nonces).
+    pub report_data: [u8; 32],
+    mac: [u8; 32],
+}
+
+/// The modelled attestation service + platform quoting key.
+#[derive(Debug)]
+pub struct AttestationService {
+    platform_key: [u8; 32],
+}
+
+impl AttestationService {
+    /// The raw platform key (crate-internal: sealing-key derivation).
+    pub(crate) fn platform_key_bytes(&self) -> &[u8] {
+        &self.platform_key
+    }
+
+    /// Creates a service with a fresh platform key.
+    pub fn new<R: rand::RngCore + ?Sized>(rng: &mut R) -> AttestationService {
+        let mut platform_key = [0u8; 32];
+        rng.fill_bytes(&mut platform_key);
+        AttestationService { platform_key }
+    }
+
+    /// Produces a quote for `enclave` over `report_data` — the hardware
+    /// quoting enclave's job, available only on the platform itself.
+    pub fn quote(&self, enclave: &Enclave, report_data: [u8; 32]) -> Quote {
+        let measurement = enclave.measurement();
+        let mut msg = Vec::with_capacity(64);
+        msg.extend_from_slice(&measurement);
+        msg.extend_from_slice(&report_data);
+        Quote {
+            measurement,
+            report_data,
+            mac: hmac_sha256(&self.platform_key, &msg),
+        }
+    }
+
+    /// Verifies a quote and checks it certifies `expected_measurement`.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestationError::BadQuote`] if the MAC fails,
+    /// [`AttestationError::WrongMeasurement`] if the measurement differs.
+    pub fn verify(&self, quote: &Quote, expected_measurement: [u8; 32]) -> Result<(), AttestationError> {
+        let mut msg = Vec::with_capacity(64);
+        msg.extend_from_slice(&quote.measurement);
+        msg.extend_from_slice(&quote.report_data);
+        let expected = hmac_sha256(&self.platform_key, &msg);
+        if !precursor_crypto::ct::ct_eq(&expected, &quote.mac) {
+            return Err(AttestationError::BadQuote);
+        }
+        if quote.measurement != expected_measurement {
+            return Err(AttestationError::WrongMeasurement);
+        }
+        Ok(())
+    }
+
+    /// Runs the full modelled handshake for one client: verifies the
+    /// enclave's quote over both nonces and derives the shared `K_session`.
+    /// Both sides of a successful handshake compute the same key; any
+    /// party with a different platform, measurement or nonce pair fails.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::verify`] failures.
+    pub fn establish_session(
+        &self,
+        enclave: &Enclave,
+        expected_measurement: [u8; 32],
+        client_nonce: [u8; 16],
+        enclave_nonce: [u8; 16],
+    ) -> Result<Key128, AttestationError> {
+        let mut nonces = Vec::with_capacity(32);
+        nonces.extend_from_slice(&client_nonce);
+        nonces.extend_from_slice(&enclave_nonce);
+        let report_data = precursor_crypto::sha256::digest(&nonces);
+        let quote = self.quote(enclave, report_data);
+        self.verify(&quote, expected_measurement)?;
+        // The RA key exchange's result: a secret derived from the platform
+        // key and both nonces, known only to the enclave and this client.
+        let mut secret_input = nonces;
+        secret_input.extend_from_slice(&quote.measurement);
+        let shared = hmac_sha256(&self.platform_key, &secret_input);
+        let (session, _mac_key) = derive_key_pair(&shared, b"precursor-session");
+        Ok(Key128::from_bytes(session))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precursor_sim::CostModel;
+    use rand::SeedableRng;
+
+    fn service() -> AttestationService {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        AttestationService::new(&mut rng)
+    }
+
+    #[test]
+    fn quote_verifies_on_same_platform() {
+        let svc = service();
+        let enclave = Enclave::new(&CostModel::default());
+        let quote = svc.quote(&enclave, [7u8; 32]);
+        assert!(svc.verify(&quote, enclave.measurement()).is_ok());
+    }
+
+    #[test]
+    fn quote_from_other_platform_rejected() {
+        let svc_a = service();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let svc_b = AttestationService::new(&mut rng);
+        let enclave = Enclave::new(&CostModel::default());
+        let quote = svc_b.quote(&enclave, [7u8; 32]);
+        assert_eq!(
+            svc_a.verify(&quote, enclave.measurement()),
+            Err(AttestationError::BadQuote)
+        );
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let svc = service();
+        let enclave = Enclave::new(&CostModel::default());
+        let quote = svc.quote(&enclave, [7u8; 32]);
+        assert_eq!(
+            svc.verify(&quote, [0u8; 32]),
+            Err(AttestationError::WrongMeasurement)
+        );
+    }
+
+    #[test]
+    fn tampered_report_data_rejected() {
+        let svc = service();
+        let enclave = Enclave::new(&CostModel::default());
+        let mut quote = svc.quote(&enclave, [7u8; 32]);
+        quote.report_data[0] ^= 1;
+        assert_eq!(
+            svc.verify(&quote, enclave.measurement()),
+            Err(AttestationError::BadQuote)
+        );
+    }
+
+    #[test]
+    fn session_keys_are_per_nonce_pair() {
+        let svc = service();
+        let enclave = Enclave::new(&CostModel::default());
+        let m = enclave.measurement();
+        let k1 = svc.establish_session(&enclave, m, [1; 16], [2; 16]).unwrap();
+        let k1_again = svc.establish_session(&enclave, m, [1; 16], [2; 16]).unwrap();
+        let k2 = svc.establish_session(&enclave, m, [3; 16], [2; 16]).unwrap();
+        assert_eq!(k1, k1_again, "both sides derive the same key");
+        assert_ne!(k1, k2, "different clients get different keys");
+    }
+
+    #[test]
+    fn session_fails_for_wrong_measurement() {
+        let svc = service();
+        let enclave = Enclave::new(&CostModel::default());
+        assert_eq!(
+            svc.establish_session(&enclave, [9u8; 32], [1; 16], [2; 16]),
+            Err(AttestationError::WrongMeasurement)
+        );
+    }
+}

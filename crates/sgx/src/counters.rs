@@ -1,0 +1,74 @@
+//! Trusted monotonic counters.
+//!
+//! SGX provides monotonic counters and trusted time to detect state rollback
+//! and forking when data is persisted (§2.1). Precursor is an in-memory
+//! store, so the paper only notes that prior prevention techniques "can be
+//! integrated into our design"; this module provides that integration point.
+
+/// A trusted monotonic counter: reads never observe a smaller value than any
+/// earlier read, and increments are atomic with respect to the model.
+///
+/// # Example
+///
+/// ```
+/// use precursor_sgx::counters::MonotonicCounter;
+/// let mut c = MonotonicCounter::new();
+/// assert_eq!(c.increment(), 1);
+/// assert_eq!(c.increment(), 2);
+/// assert_eq!(c.read(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonotonicCounter {
+    value: u64,
+}
+
+impl MonotonicCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> MonotonicCounter {
+        MonotonicCounter { value: 0 }
+    }
+
+    /// Increments and returns the new value.
+    pub fn increment(&mut self) -> u64 {
+        self.value += 1;
+        self.value
+    }
+
+    /// Reads the current value.
+    pub fn read(&self) -> u64 {
+        self.value
+    }
+
+    /// Validates a stored state version against the counter: stale versions
+    /// (smaller than the counter) indicate a rollback attack.
+    pub fn check_freshness(&self, stored_version: u64) -> bool {
+        stored_version >= self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_monotonically() {
+        let mut c = MonotonicCounter::new();
+        let mut prev = c.read();
+        for _ in 0..100 {
+            let v = c.increment();
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn freshness_check_detects_rollback() {
+        let mut c = MonotonicCounter::new();
+        c.increment();
+        c.increment();
+        let stale = 1; // an old persisted version
+        assert!(!c.check_freshness(stale));
+        assert!(c.check_freshness(2));
+        assert!(c.check_freshness(3));
+    }
+}

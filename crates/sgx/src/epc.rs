@@ -1,0 +1,220 @@
+//! Enclave Page Cache model.
+//!
+//! Tracks which enclave pages are *resident* in the EPC (bounded, LRU
+//! eviction — the SGX driver's behaviour abstracted) and which have ever been
+//! *touched* (the working set sgx-perf reports). Touching a non-resident
+//! page is an EPC fault; the paper estimates ≈20,000 cycles per fault until
+//! execution continues (§2.1).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A page identifier: region id in the high bits, page index in the low.
+pub type PageId = u64;
+
+/// Builds a [`PageId`] from a region number and page index within it.
+pub fn page_id(region: u32, page_index: u64) -> PageId {
+    ((region as u64) << 40) | (page_index & ((1 << 40) - 1))
+}
+
+/// EPC residency and working-set tracker.
+///
+/// # Example
+///
+/// ```
+/// use precursor_sgx::epc::{page_id, EpcTracker};
+///
+/// let mut epc = EpcTracker::new(2, 4096); // tiny EPC: two resident pages
+/// assert_eq!(epc.touch_pages(page_id(0, 0), 1), 1); // cold fault
+/// assert_eq!(epc.touch_pages(page_id(0, 0), 1), 0); // now resident
+/// epc.touch_pages(page_id(0, 1), 1);
+/// epc.touch_pages(page_id(0, 2), 1); // evicts page 0 (LRU)
+/// assert_eq!(epc.touch_pages(page_id(0, 0), 1), 1); // faults again
+/// assert_eq!(epc.working_set_pages(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpcTracker {
+    capacity_pages: u64,
+    page_bytes: u64,
+    resident: HashMap<PageId, u64>, // page -> last-use stamp
+    lru: BTreeMap<u64, PageId>,     // stamp -> page
+    stamp: u64,
+    touched: HashMap<PageId, u64>, // page -> touch count (working set)
+    faults: u64,
+    evictions: u64,
+}
+
+impl EpcTracker {
+    /// Creates a tracker with room for `capacity_pages` resident pages of
+    /// `page_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pages` or `page_bytes` is zero.
+    pub fn new(capacity_pages: u64, page_bytes: u64) -> EpcTracker {
+        assert!(capacity_pages > 0 && page_bytes > 0, "EPC must be nonempty");
+        EpcTracker {
+            capacity_pages,
+            page_bytes,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            stamp: 0,
+            touched: HashMap::new(),
+            faults: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Touches `count` consecutive pages starting at `first`; returns the
+    /// number of EPC faults incurred (pages that were not resident).
+    pub fn touch_pages(&mut self, first: PageId, count: u64) -> u64 {
+        let mut faults = 0;
+        for i in 0..count {
+            let page = first + i;
+            *self.touched.entry(page).or_insert(0) += 1;
+            self.stamp += 1;
+            let stamp = self.stamp;
+            if let Some(old) = self.resident.insert(page, stamp) {
+                self.lru.remove(&old);
+            } else {
+                faults += 1;
+                if self.resident.len() as u64 > self.capacity_pages {
+                    // Evict the least-recently-used page.
+                    let (&old_stamp, &victim) =
+                        self.lru.iter().next().expect("lru nonempty when over capacity");
+                    self.lru.remove(&old_stamp);
+                    self.resident.remove(&victim);
+                    self.evictions += 1;
+                }
+            }
+            self.lru.insert(stamp, page);
+        }
+        self.faults += faults;
+        faults
+    }
+
+    /// Touches the pages covering `bytes[offset .. offset+len)` of a region.
+    /// Returns the number of faults.
+    pub fn touch_range(&mut self, region: u32, offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first_page = offset / self.page_bytes;
+        let last_page = (offset + len - 1) / self.page_bytes;
+        self.touch_pages(page_id(region, first_page), last_page - first_page + 1)
+    }
+
+    /// Distinct pages touched since creation — sgx-perf's working-set metric.
+    pub fn working_set_pages(&self) -> u64 {
+        self.touched.len() as u64
+    }
+
+    /// Working set in bytes.
+    pub fn working_set_bytes(&self) -> u64 {
+        self.working_set_pages() * self.page_bytes
+    }
+
+    /// Pages currently resident in the EPC.
+    pub fn resident_pages(&self) -> u64 {
+        self.resident.len() as u64
+    }
+
+    /// Total faults so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Usable EPC capacity in pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    /// Whether the working set exceeds the EPC capacity (paging territory).
+    pub fn is_oversubscribed(&self) -> bool {
+        self.working_set_pages() > self.capacity_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_touches_fault_once() {
+        let mut epc = EpcTracker::new(100, 4096);
+        assert_eq!(epc.touch_pages(page_id(0, 0), 10), 10);
+        assert_eq!(epc.touch_pages(page_id(0, 0), 10), 0);
+        assert_eq!(epc.faults(), 10);
+        assert_eq!(epc.working_set_pages(), 10);
+        assert_eq!(epc.resident_pages(), 10);
+    }
+
+    #[test]
+    fn touch_range_page_math() {
+        let mut epc = EpcTracker::new(100, 4096);
+        // 1 byte at offset 0 => 1 page
+        assert_eq!(epc.touch_range(0, 0, 1), 1);
+        // crossing one page boundary => 1 new page
+        assert_eq!(epc.touch_range(0, 4090, 10), 1);
+        // zero-length touch is free
+        assert_eq!(epc.touch_range(0, 0, 0), 0);
+        assert_eq!(epc.working_set_pages(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut epc = EpcTracker::new(3, 4096);
+        epc.touch_pages(page_id(0, 0), 1);
+        epc.touch_pages(page_id(0, 1), 1);
+        epc.touch_pages(page_id(0, 2), 1);
+        // refresh page 0 so page 1 is the LRU
+        epc.touch_pages(page_id(0, 0), 1);
+        epc.touch_pages(page_id(0, 3), 1); // evicts page 1
+        assert_eq!(epc.touch_pages(page_id(0, 0), 1), 0, "page 0 stayed");
+        assert_eq!(epc.touch_pages(page_id(0, 1), 1), 1, "page 1 was evicted");
+        assert!(epc.evictions() >= 1);
+    }
+
+    #[test]
+    fn residency_never_exceeds_capacity() {
+        let mut epc = EpcTracker::new(16, 4096);
+        for i in 0..1000 {
+            epc.touch_pages(page_id(0, i % 64), 1);
+            assert!(epc.resident_pages() <= 16);
+        }
+        assert!(epc.is_oversubscribed());
+    }
+
+    #[test]
+    fn regions_do_not_collide() {
+        let mut epc = EpcTracker::new(100, 4096);
+        epc.touch_range(1, 0, 4096);
+        epc.touch_range(2, 0, 4096);
+        assert_eq!(epc.working_set_pages(), 2);
+    }
+
+    #[test]
+    fn working_set_is_monotonic_and_includes_evicted() {
+        let mut epc = EpcTracker::new(2, 4096);
+        for i in 0..50 {
+            epc.touch_pages(page_id(0, i), 1);
+        }
+        assert_eq!(epc.working_set_pages(), 50);
+        assert_eq!(epc.resident_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "EPC must be nonempty")]
+    fn zero_capacity_rejected() {
+        let _ = EpcTracker::new(0, 4096);
+    }
+}

@@ -1,0 +1,50 @@
+//! A software model of Intel SGX for the Precursor reproduction.
+//!
+//! Real SGX hardware is unavailable in this environment, so this crate models
+//! the *performance-relevant mechanisms* the paper's design revolves around
+//! (see DESIGN.md §2 for the substitution argument):
+//!
+//! * [`epc`] — the Enclave Page Cache: ~93 MiB of usable protected memory
+//!   (§2.1); pages beyond that are evicted and re-faulting one costs
+//!   ≈20,000 cycles. The tracker also measures the enclave *working set*
+//!   exactly like the sgx-perf tool the paper uses for Table 1.
+//! * [`enclave`] — enclave transitions (ecall/ocall ≈13,100 cycles, §2.1),
+//!   named heap regions whose page touches feed the EPC tracker, and the
+//!   isolation rule that the surrounding code can only reach enclave state
+//!   through explicit calls.
+//! * [`attest`] — remote attestation: quotes binding a measurement and
+//!   report data under a platform key, verified by a modelled attestation
+//!   service, yielding the shared session key `K_session` (§3.6).
+//! * [`counters`] — trusted monotonic counters (rollback detection, §2.1).
+//! * [`sealing`] — sealed storage bound to platform + measurement + version.
+//! * [`perf`] — sgx-perf style working-set reports (Table 1).
+//!
+//! # Example
+//!
+//! ```
+//! use precursor_sgx::enclave::Enclave;
+//! use precursor_sim::{CostModel, Meter};
+//!
+//! let cost = CostModel::default();
+//! let mut enclave = Enclave::new(&cost);
+//! let table = enclave.alloc_region("hash-table", 180 * 1024);
+//! let mut meter = Meter::new();
+//! enclave.ecall(&mut meter, &cost);           // charged ~13,100 cycles
+//! enclave.touch(table, 0, 4096, &mut meter, &cost);
+//! assert!(enclave.report().working_set_pages >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod counters;
+pub mod enclave;
+pub mod epc;
+pub mod perf;
+pub mod sealing;
+
+pub use attest::{AttestationError, AttestationService, Quote};
+pub use enclave::{Enclave, RegionId};
+pub use epc::EpcTracker;
+pub use perf::SgxPerfReport;

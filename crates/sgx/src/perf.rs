@@ -1,0 +1,90 @@
+//! sgx-perf style reporting.
+//!
+//! The paper measures enclave working sets with sgx-perf (Weichbrodt et al.,
+//! Middleware '18) to produce Table 1. [`SgxPerfReport`] carries the same
+//! numbers: pages touched, bytes, transitions, faults.
+
+use std::fmt;
+
+/// A snapshot of an enclave's performance-relevant state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SgxPerfReport {
+    /// Distinct EPC pages ever touched (the working set).
+    pub working_set_pages: u64,
+    /// Working set in bytes.
+    pub working_set_bytes: u64,
+    /// Pages currently resident in the EPC.
+    pub resident_pages: u64,
+    /// Usable EPC capacity in pages.
+    pub epc_capacity_pages: u64,
+    /// ecall/ocall transitions performed.
+    pub transitions: u64,
+    /// EPC faults incurred.
+    pub epc_faults: u64,
+    /// EPC evictions performed.
+    pub evictions: u64,
+}
+
+impl SgxPerfReport {
+    /// Working set in MiB (Table 1's unit).
+    pub fn working_set_mib(&self) -> f64 {
+        self.working_set_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Whether the working set exceeds the EPC (paging expected).
+    pub fn paging_expected(&self) -> bool {
+        self.working_set_pages > self.epc_capacity_pages
+    }
+}
+
+impl fmt::Display for SgxPerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pages ({:.2} MiB), {} resident, {} transitions, {} faults",
+            self.working_set_pages,
+            self.working_set_mib(),
+            self.resident_pages,
+            self.transitions,
+            self.epc_faults
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SgxPerfReport {
+        SgxPerfReport {
+            working_set_pages: 52,
+            working_set_bytes: 52 * 4096,
+            resident_pages: 52,
+            epc_capacity_pages: 23_808,
+            transitions: 3,
+            epc_faults: 52,
+            evictions: 0,
+        }
+    }
+
+    #[test]
+    fn mib_conversion() {
+        let r = report();
+        assert!((r.working_set_mib() - 0.203).abs() < 0.01);
+    }
+
+    #[test]
+    fn paging_detection() {
+        let mut r = report();
+        assert!(!r.paging_expected());
+        r.working_set_pages = 30_000;
+        assert!(r.paging_expected());
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let s = report().to_string();
+        assert!(s.contains("52 pages"));
+        assert!(s.contains("transitions"));
+    }
+}

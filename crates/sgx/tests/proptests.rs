@@ -1,0 +1,89 @@
+//! Property tests of the SGX model: EPC residency against a reference LRU,
+//! working-set monotonicity, sealing round trips.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use precursor_sgx::epc::{page_id, EpcTracker};
+use precursor_sgx::sealing;
+use precursor_sim::CostModel;
+use rand::SeedableRng;
+
+// A straightforward reference LRU for cross-checking the tracker.
+struct RefLru {
+    cap: usize,
+    order: VecDeque<u64>, // front = LRU
+}
+
+impl RefLru {
+    fn touch(&mut self, page: u64) -> bool {
+        if let Some(pos) = self.order.iter().position(|&p| p == page) {
+            self.order.remove(pos);
+            self.order.push_back(page);
+            true
+        } else {
+            if self.order.len() == self.cap {
+                self.order.pop_front();
+            }
+            self.order.push_back(page);
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn epc_tracker_matches_reference_lru(
+        pages in prop::collection::vec(0u64..64, 1..500),
+        cap in 1u64..32,
+    ) {
+        let mut sut = EpcTracker::new(cap, 4096);
+        let mut reference = RefLru { cap: cap as usize, order: VecDeque::new() };
+        let mut faults = 0u64;
+        for &p in &pages {
+            let hit = reference.touch(p);
+            let f = sut.touch_pages(page_id(0, p), 1);
+            prop_assert_eq!(f == 0, hit, "page {} divergence", p);
+            faults += f;
+        }
+        prop_assert_eq!(sut.faults(), faults);
+        prop_assert!(sut.resident_pages() <= cap);
+        let distinct = {
+            let mut v = pages.clone();
+            v.sort_unstable();
+            v.dedup();
+            v.len() as u64
+        };
+        prop_assert_eq!(sut.working_set_pages(), distinct);
+    }
+
+    #[test]
+    fn working_set_is_monotone(ranges in prop::collection::vec((0u64..1_000_000, 1u64..10_000), 1..100)) {
+        let mut epc = EpcTracker::new(1_000, 4096);
+        let mut prev = 0;
+        for (off, len) in ranges {
+            epc.touch_range(0, off, len);
+            let ws = epc.working_set_pages();
+            prop_assert!(ws >= prev);
+            prev = ws;
+        }
+    }
+
+    #[test]
+    fn sealing_roundtrips_and_rejects_other_versions(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        version in any::<u64>(),
+        other in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let svc = precursor_sgx::AttestationService::new(&mut rng);
+        let enclave = precursor_sgx::Enclave::new(&CostModel::default());
+        let key = svc.sealing_key(&enclave);
+        let blob = sealing::seal(&key, version, &data, &mut rng);
+        prop_assert_eq!(sealing::unseal(&key, version, &blob).unwrap(), data);
+        if other != version {
+            prop_assert!(sealing::unseal(&key, other, &blob).is_err());
+        }
+    }
+}

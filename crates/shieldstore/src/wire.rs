@@ -1,0 +1,158 @@
+//! ShieldStore's TCP message formats.
+//!
+//! Requests and replies are single messages over the kernel-TCP transport,
+//! sealed end-to-end with the client's session key (the entire payload is
+//! transport-encrypted — the server-encryption scheme of §2.4).
+
+use precursor_crypto::keys::Nonce12;
+
+/// Operations supported by the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShieldOp {
+    /// Insert or update.
+    Put = 1,
+    /// Query.
+    Get = 2,
+    /// Remove.
+    Delete = 3,
+}
+
+impl ShieldOp {
+    /// Parses an opcode byte.
+    pub fn from_u8(v: u8) -> Option<ShieldOp> {
+        match v {
+            1 => Some(ShieldOp::Put),
+            2 => Some(ShieldOp::Get),
+            3 => Some(ShieldOp::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Reply status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShieldStatus {
+    /// Success.
+    Ok = 0,
+    /// Key absent.
+    NotFound = 1,
+    /// Authentication or framing failure.
+    Error = 2,
+}
+
+impl ShieldStatus {
+    /// Parses a status byte.
+    pub fn from_u8(v: u8) -> Option<ShieldStatus> {
+        match v {
+            0 => Some(ShieldStatus::Ok),
+            1 => Some(ShieldStatus::NotFound),
+            2 => Some(ShieldStatus::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Request plaintext: `op ‖ oid ‖ key_len ‖ key ‖ value`.
+pub fn encode_request(op: ShieldOp, oid: u64, key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(11 + key.len() + value.len());
+    out.push(op as u8);
+    out.extend_from_slice(&oid.to_le_bytes());
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    out
+}
+
+/// Parses a request plaintext. Returns `(op, oid, key, value)`.
+pub fn decode_request(buf: &[u8]) -> Option<(ShieldOp, u64, &[u8], &[u8])> {
+    if buf.len() < 11 {
+        return None;
+    }
+    let op = ShieldOp::from_u8(buf[0])?;
+    let oid = u64::from_le_bytes(buf[1..9].try_into().ok()?);
+    let key_len = u16::from_le_bytes(buf[9..11].try_into().ok()?) as usize;
+    if buf.len() < 11 + key_len {
+        return None;
+    }
+    Some((op, oid, &buf[11..11 + key_len], &buf[11 + key_len..]))
+}
+
+/// Reply plaintext: `status ‖ value`.
+pub fn encode_reply(status: ShieldStatus, value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + value.len());
+    out.push(status as u8);
+    out.extend_from_slice(value);
+    out
+}
+
+/// Parses a reply plaintext.
+pub fn decode_reply(buf: &[u8]) -> Option<(ShieldStatus, &[u8])> {
+    Some((ShieldStatus::from_u8(*buf.first()?)?, &buf[1..]))
+}
+
+/// Frames a sealed message with its clear IV: `iv ‖ sealed`.
+pub fn frame_sealed(iv: &Nonce12, sealed: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + sealed.len());
+    out.extend_from_slice(iv.as_bytes());
+    out.extend_from_slice(sealed);
+    out
+}
+
+/// Splits a framed message into IV and sealed bytes.
+pub fn unframe_sealed(buf: &[u8]) -> Option<(Nonce12, &[u8])> {
+    if buf.len() < 12 {
+        return None;
+    }
+    let iv = Nonce12::try_from(&buf[..12]).ok()?;
+    Some((iv, &buf[12..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let bytes = encode_request(ShieldOp::Put, 42, b"key", b"value bytes");
+        let (op, oid, key, value) = decode_request(&bytes).unwrap();
+        assert_eq!(op, ShieldOp::Put);
+        assert_eq!(oid, 42);
+        assert_eq!(key, b"key");
+        assert_eq!(value, b"value bytes");
+    }
+
+    #[test]
+    fn request_empty_value() {
+        let bytes = encode_request(ShieldOp::Get, 1, b"k", b"");
+        let (_, _, key, value) = decode_request(&bytes).unwrap();
+        assert_eq!(key, b"k");
+        assert!(value.is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(decode_request(&[]).is_none());
+        assert!(decode_request(&[9; 11]).is_none()); // bad opcode
+        let mut short = encode_request(ShieldOp::Get, 1, b"long-key", b"");
+        short.truncate(12); // key_len says 8 but fewer bytes remain
+        assert!(decode_request(&short).is_none());
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let bytes = encode_reply(ShieldStatus::Ok, b"v");
+        assert_eq!(decode_reply(&bytes).unwrap(), (ShieldStatus::Ok, &b"v"[..]));
+        assert!(decode_reply(&[77]).is_none());
+        assert!(decode_reply(&[]).is_none());
+    }
+
+    #[test]
+    fn sealed_framing_roundtrip() {
+        let iv = Nonce12::from_counter(5);
+        let framed = frame_sealed(&iv, b"ciphertext");
+        let (iv2, sealed) = unframe_sealed(&framed).unwrap();
+        assert_eq!(iv, iv2);
+        assert_eq!(sealed, b"ciphertext");
+        assert!(unframe_sealed(&[0; 5]).is_none());
+    }
+}

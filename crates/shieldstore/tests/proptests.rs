@@ -1,0 +1,111 @@
+//! Property tests of the ShieldStore baseline: full-stack random-operation
+//! agreement with a `HashMap` model over the TCP transport, and Merkle-tree
+//! consistency under random update sequences.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use precursor_shieldstore::merkle::MerkleTree;
+use precursor_shieldstore::wire::ShieldStatus;
+use precursor_shieldstore::{client::ShieldClient, server::ShieldConfig, ShieldServer};
+use precursor_sim::CostModel;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..100))
+            .prop_map(|(k, v)| Op::Put(k % 20, v)),
+        any::<u8>().prop_map(|k| Op::Get(k % 20)),
+        any::<u8>().prop_map(|k| Op::Delete(k % 20)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shieldstore_matches_hashmap_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let cost = CostModel::default();
+        let config = ShieldConfig {
+            num_buckets: 8, // force chains
+            ..ShieldConfig::default()
+        };
+        let mut server = ShieldServer::new(config, &cost);
+        let mut client = ShieldClient::connect(&mut server, 5);
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    prop_assert_eq!(client.put_sync(&mut server, &[k], &v), ShieldStatus::Ok);
+                    model.insert(k, v);
+                }
+                Op::Get(k) => {
+                    let got = client.get_sync(&mut server, &[k]);
+                    prop_assert_eq!(got.as_ref(), model.get(&k));
+                }
+                Op::Delete(k) => {
+                    let status = client.delete_sync(&mut server, &[k]);
+                    if model.remove(&k).is_some() {
+                        prop_assert_eq!(status, ShieldStatus::Ok);
+                    } else {
+                        prop_assert_eq!(status, ShieldStatus::NotFound);
+                    }
+                }
+            }
+            prop_assert_eq!(server.len(), model.len());
+        }
+        // every surviving key audits clean
+        for k in model.keys() {
+            prop_assert_eq!(server.audit_key(&[*k]), Some(true));
+        }
+    }
+
+    #[test]
+    fn merkle_root_is_order_independent(
+        updates in prop::collection::vec((0usize..64, any::<[u8; 32]>()), 1..50)
+    ) {
+        // applying the same final leaf assignment in any order yields the
+        // same root
+        let mut final_leaves: HashMap<usize, [u8; 32]> = HashMap::new();
+        for (i, leaf) in &updates {
+            final_leaves.insert(*i, *leaf);
+        }
+        let mut a = MerkleTree::new(64);
+        for (i, leaf) in &updates {
+            a.update(*i, *leaf);
+        }
+        let mut b = MerkleTree::new(64);
+        let mut sorted: Vec<_> = final_leaves.iter().collect();
+        sorted.sort_by_key(|(i, _)| **i);
+        for (i, leaf) in sorted {
+            b.update(*i, *leaf);
+        }
+        prop_assert_eq!(a.root(), b.root());
+        for (i, leaf) in final_leaves {
+            prop_assert!(a.verify(i, leaf));
+        }
+    }
+
+    #[test]
+    fn merkle_detects_any_single_leaf_substitution(
+        seed_leaves in prop::collection::vec(any::<[u8; 32]>(), 8..16),
+        victim_seed in any::<usize>(),
+        forged in any::<[u8; 32]>(),
+    ) {
+        let mut t = MerkleTree::new(16);
+        for (i, leaf) in seed_leaves.iter().enumerate() {
+            t.update(i, *leaf);
+        }
+        let victim = victim_seed % seed_leaves.len();
+        prop_assume!(forged != seed_leaves[victim]);
+        prop_assert!(!t.verify(victim, forged));
+        prop_assert!(t.verify(victim, seed_leaves[victim]));
+    }
+}

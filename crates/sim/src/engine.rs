@@ -1,0 +1,148 @@
+//! A minimal token-based event queue.
+//!
+//! The closed-loop drivers process *tokens* (e.g. "client 7 issues its next
+//! operation") in virtual-time order. [`EventQueue`] is a thin wrapper over a
+//! binary heap that breaks ties deterministically by insertion sequence, so
+//! identical seeds always produce identical schedules.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// A time-ordered queue of tokens of type `T`.
+///
+/// # Example
+///
+/// ```
+/// use precursor_sim::engine::EventQueue;
+/// use precursor_sim::time::Nanos;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Nanos(20), "b");
+/// q.push(Nanos(10), "a");
+/// assert_eq!(q.pop(), Some((Nanos(10), "a")));
+/// assert_eq!(q.pop(), Some((Nanos(20), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: Nanos,
+    seq: u64,
+    token: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `token` at virtual time `at`.
+    pub fn push(&mut self, at: Nanos, token: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, token }));
+    }
+
+    /// Removes and returns the earliest token (FIFO among equal times).
+    pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.token))
+    }
+
+    /// The time of the earliest token without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending tokens.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no tokens are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(3), 3);
+        q.push(Nanos(1), 1);
+        q.push(Nanos(2), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(Nanos(5), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Nanos(9), ());
+        q.push(Nanos(4), ());
+        assert_eq!(q.peek_time(), Some(Nanos(4)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(10), "late");
+        q.push(Nanos(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(Nanos(5), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic discrete-event simulation kernel used by the Precursor
+//! reproduction.
+//!
+//! The crate provides the building blocks every simulated subsystem shares:
+//!
+//! * [`time`] — virtual time ([`Nanos`]) and CPU work ([`Cycles`]) newtypes
+//!   plus clock-frequency conversion ([`Freq`]).
+//! * [`cost`] — the single, documented [`CostModel`] holding
+//!   every calibrated constant (crypto cycles/byte, SGX transition costs, NIC
+//!   latencies, …).
+//! * [`resource`] — FIFO queueing resources: a single server
+//!   ([`Resource`]), a multi-server pool
+//!   ([`Pool`]) and a network [`Link`].
+//! * [`meter`] — per-operation stage accounting
+//!   ([`Meter`]/[`Stage`]); functional protocol
+//!   code charges costs here and the closed-loop driver replays them through
+//!   resources.
+//! * [`rng`] — a small deterministic RNG family (SplitMix64 / Xoshiro256**)
+//!   with the distribution helpers the workloads need.
+//! * [`histogram`] — log-bucketed latency histograms with percentile and CDF
+//!   extraction.
+//! * [`stats`] — running summary statistics.
+//! * [`engine`] — a tiny generic event queue for token-based simulations.
+//!
+//! # Example
+//!
+//! ```
+//! use precursor_sim::resource::Resource;
+//! use precursor_sim::time::Nanos;
+//!
+//! // A single-server FIFO resource: two jobs arriving at t=0 queue up.
+//! let mut cpu = Resource::new("cpu");
+//! let first = cpu.acquire(Nanos(0), Nanos(100));
+//! let second = cpu.acquire(Nanos(0), Nanos(100));
+//! assert_eq!(first.end, Nanos(100));
+//! assert_eq!(second.start, Nanos(100));
+//! assert_eq!(second.end, Nanos(200));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod engine;
+pub mod histogram;
+pub mod meter;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use cost::CostModel;
+pub use histogram::Histogram;
+pub use meter::{Meter, Stage};
+pub use resource::{Link, Pool, Resource};
+pub use rng::SimRng;
+pub use time::{Cycles, Freq, Nanos};

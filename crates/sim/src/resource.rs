@@ -1,0 +1,412 @@
+//! FIFO queueing resources.
+//!
+//! The closed-loop benchmark driver models contended hardware — server CPU
+//! threads, NIC links, the enclave — as non-preemptive FIFO servers. A job
+//! asks a resource for `duration` of service starting no earlier than
+//! `ready`; the resource returns the granted `[start, end)` window and
+//! remembers its new availability.
+//!
+//! Jobs must be offered to a resource in nondecreasing `ready` order for the
+//! FIFO discipline to be exact; the driver guarantees this by processing
+//! simulation tokens in time order.
+
+use crate::time::Nanos;
+
+/// The service window granted by a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service began (≥ the requested ready time).
+    pub start: Nanos,
+    /// When service completed.
+    pub end: Nanos,
+}
+
+impl Grant {
+    /// Time spent waiting in the queue before service started.
+    pub fn queueing(&self, ready: Nanos) -> Nanos {
+        self.start.saturating_sub(ready)
+    }
+}
+
+/// A single-server FIFO resource (e.g. one polling thread, one DMA engine).
+///
+/// # Example
+///
+/// ```
+/// use precursor_sim::resource::Resource;
+/// use precursor_sim::time::Nanos;
+/// let mut r = Resource::new("link");
+/// let g = r.acquire(Nanos(10), Nanos(5));
+/// assert_eq!((g.start, g.end), (Nanos(10), Nanos(15)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: &'static str,
+    free_at: Nanos,
+    busy: Nanos,
+    jobs: u64,
+}
+
+impl Resource {
+    /// Creates an idle resource with a diagnostic name.
+    pub fn new(name: &'static str) -> Resource {
+        Resource {
+            name,
+            free_at: Nanos::ZERO,
+            busy: Nanos::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Grants `duration` of exclusive service starting no earlier than
+    /// `ready`, queueing FIFO behind earlier jobs.
+    pub fn acquire(&mut self, ready: Nanos, duration: Nanos) -> Grant {
+        let start = ready.max(self.free_at);
+        let end = start + duration;
+        self.free_at = end;
+        self.busy += duration;
+        self.jobs += 1;
+        Grant { start, end }
+    }
+
+    /// The instant after which the resource is idle.
+    pub fn free_at(&self) -> Nanos {
+        self.free_at
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn busy_time(&self) -> Nanos {
+        self.busy
+    }
+
+    /// Number of jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over `[0, horizon)`; clamped to `[0, 1]`.
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        if horizon == Nanos::ZERO {
+            0.0
+        } else {
+            (self.busy.0 as f64 / horizon.0 as f64).min(1.0)
+        }
+    }
+
+    /// Resets accounting and availability to time zero.
+    pub fn reset(&mut self) {
+        self.free_at = Nanos::ZERO;
+        self.busy = Nanos::ZERO;
+        self.jobs = 0;
+    }
+}
+
+/// A pool of `k` identical FIFO servers (e.g. 12 server hyper-threads).
+///
+/// Each job is dispatched to the server that can start it earliest,
+/// which models a shared run queue.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    name: &'static str,
+    servers: Vec<Nanos>,
+    busy: Nanos,
+    jobs: u64,
+}
+
+impl Pool {
+    /// Creates a pool of `k` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(name: &'static str, k: usize) -> Pool {
+        assert!(k > 0, "pool must have at least one server");
+        Pool {
+            name,
+            servers: vec![Nanos::ZERO; k],
+            busy: Nanos::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// The diagnostic name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of servers in the pool.
+    pub fn size(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Grants `duration` of service on the earliest-available server.
+    pub fn acquire(&mut self, ready: Nanos, duration: Nanos) -> Grant {
+        let idx = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("pool is nonempty");
+        let start = ready.max(self.servers[idx]);
+        let end = start + duration;
+        self.servers[idx] = end;
+        self.busy += duration;
+        self.jobs += 1;
+        Grant { start, end }
+    }
+
+    /// Grants service where only the first `critical` portion delays the
+    /// job, while the server stays occupied for the full `occupancy`
+    /// (post-processing and polling overhead happen after the request has
+    /// departed). Returns `(departure, end_of_occupancy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `critical > occupancy`.
+    pub fn acquire_partial(
+        &mut self,
+        ready: Nanos,
+        critical: Nanos,
+        occupancy: Nanos,
+    ) -> (Nanos, Nanos) {
+        assert!(critical <= occupancy, "critical part exceeds occupancy");
+        let g = self.acquire(ready, occupancy);
+        (g.start + critical, g.end)
+    }
+
+    /// Grants `duration` of service on a *specific* server (for pinned
+    /// threads, e.g. a trusted poller owning a subset of client rings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn acquire_on(&mut self, server: usize, ready: Nanos, duration: Nanos) -> Grant {
+        let start = ready.max(self.servers[server]);
+        let end = start + duration;
+        self.servers[server] = end;
+        self.busy += duration;
+        self.jobs += 1;
+        Grant { start, end }
+    }
+
+    /// Total busy time across all servers.
+    pub fn busy_time(&self) -> Nanos {
+        self.busy
+    }
+
+    /// Number of jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Mean utilization of the pool over `[0, horizon)`.
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        if horizon == Nanos::ZERO {
+            0.0
+        } else {
+            (self.busy.0 as f64 / (horizon.0 as f64 * self.servers.len() as f64)).min(1.0)
+        }
+    }
+
+    /// Resets accounting and availability to time zero.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            *s = Nanos::ZERO;
+        }
+        self.busy = Nanos::ZERO;
+        self.jobs = 0;
+    }
+}
+
+/// A network link with propagation latency and serialization bandwidth.
+///
+/// Transfer of an `n`-byte message occupies the link for `n / bandwidth`
+/// (serialization) and the message arrives one propagation latency after
+/// serialization completes — the standard store-and-forward pipe model.
+/// Links are full-duplex: create one `Link` per direction.
+#[derive(Debug, Clone)]
+pub struct Link {
+    pipe: Resource,
+    latency: Nanos,
+    gbits_per_sec: f64,
+    bytes: u64,
+}
+
+impl Link {
+    /// Creates a link with the given one-way propagation latency and
+    /// bandwidth in gigabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbits_per_sec` is not strictly positive.
+    pub fn new(name: &'static str, latency: Nanos, gbits_per_sec: f64) -> Link {
+        assert!(gbits_per_sec > 0.0, "bandwidth must be positive");
+        Link {
+            pipe: Resource::new(name),
+            latency,
+            gbits_per_sec,
+            bytes: 0,
+        }
+    }
+
+    /// Serialization time for `bytes` at this link's bandwidth.
+    pub fn serialization(&self, bytes: usize) -> Nanos {
+        Nanos(((bytes as f64 * 8.0) / self.gbits_per_sec).round() as u64)
+    }
+
+    /// Sends `bytes` starting no earlier than `ready`; returns the arrival
+    /// time at the far end.
+    pub fn transfer(&mut self, ready: Nanos, bytes: usize) -> Nanos {
+        let tx = self.pipe.acquire(ready, self.serialization(bytes));
+        self.bytes += bytes as u64;
+        tx.end + self.latency
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> Nanos {
+        self.latency
+    }
+
+    /// Configured bandwidth in gigabits per second.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.gbits_per_sec
+    }
+
+    /// Total bytes carried so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Achieved goodput in gigabits per second over `[0, horizon)`.
+    pub fn goodput_gbps(&self, horizon: Nanos) -> f64 {
+        if horizon == Nanos::ZERO {
+            0.0
+        } else {
+            self.bytes as f64 * 8.0 / horizon.0 as f64
+        }
+    }
+
+    /// Utilization of the serialization pipe over `[0, horizon)`.
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        self.pipe.utilization(horizon)
+    }
+
+    /// Resets accounting and availability to time zero.
+    pub fn reset(&mut self) {
+        self.pipe.reset();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_fifo_queues() {
+        let mut r = Resource::new("r");
+        let a = r.acquire(Nanos(0), Nanos(10));
+        let b = r.acquire(Nanos(2), Nanos(10));
+        let c = r.acquire(Nanos(50), Nanos(10));
+        assert_eq!(a, Grant { start: Nanos(0), end: Nanos(10) });
+        assert_eq!(b, Grant { start: Nanos(10), end: Nanos(20) });
+        // idle gap before c
+        assert_eq!(c, Grant { start: Nanos(50), end: Nanos(60) });
+        assert_eq!(r.busy_time(), Nanos(30));
+        assert_eq!(r.jobs(), 3);
+    }
+
+    #[test]
+    fn grant_queueing_time() {
+        let mut r = Resource::new("r");
+        r.acquire(Nanos(0), Nanos(100));
+        let g = r.acquire(Nanos(30), Nanos(10));
+        assert_eq!(g.queueing(Nanos(30)), Nanos(70));
+    }
+
+    #[test]
+    fn resource_utilization() {
+        let mut r = Resource::new("r");
+        r.acquire(Nanos(0), Nanos(25));
+        assert!((r.utilization(Nanos(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(r.utilization(Nanos::ZERO), 0.0);
+    }
+
+    #[test]
+    fn pool_runs_jobs_in_parallel() {
+        let mut p = Pool::new("cpu", 2);
+        let a = p.acquire(Nanos(0), Nanos(10));
+        let b = p.acquire(Nanos(0), Nanos(10));
+        let c = p.acquire(Nanos(0), Nanos(10));
+        assert_eq!(a.start, Nanos(0));
+        assert_eq!(b.start, Nanos(0));
+        assert_eq!(c.start, Nanos(10)); // third job waits for a server
+        assert_eq!(p.jobs(), 3);
+    }
+
+    #[test]
+    fn pool_pinned_server() {
+        let mut p = Pool::new("cpu", 3);
+        let a = p.acquire_on(1, Nanos(0), Nanos(10));
+        let b = p.acquire_on(1, Nanos(0), Nanos(10));
+        assert_eq!(a.start, Nanos(0));
+        assert_eq!(b.start, Nanos(10)); // same server serializes
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn pool_rejects_empty() {
+        let _ = Pool::new("cpu", 0);
+    }
+
+    #[test]
+    fn link_serialization_matches_bandwidth() {
+        // 40 Gbit/s: 1 byte = 0.2 ns, so 1000 bytes = 200 ns.
+        let l = Link::new("l", Nanos(900), 40.0);
+        assert_eq!(l.serialization(1000), Nanos(200));
+    }
+
+    #[test]
+    fn link_transfer_adds_latency_and_contends() {
+        let mut l = Link::new("l", Nanos(1000), 8.0); // 1 B/ns
+        let first = l.transfer(Nanos(0), 500);
+        assert_eq!(first, Nanos(1500));
+        // second message queues behind first's serialization
+        let second = l.transfer(Nanos(0), 500);
+        assert_eq!(second, Nanos(2000));
+        assert_eq!(l.bytes_carried(), 1000);
+    }
+
+    #[test]
+    fn link_goodput() {
+        let mut l = Link::new("l", Nanos(0), 8.0);
+        l.transfer(Nanos(0), 1000);
+        // 1000 B in 1000 ns = 8 Gbit/s
+        assert!((l.goodput_gbps(Nanos(1000)) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resets_clear_state() {
+        let mut r = Resource::new("r");
+        r.acquire(Nanos(0), Nanos(10));
+        r.reset();
+        assert_eq!(r.free_at(), Nanos::ZERO);
+        assert_eq!(r.busy_time(), Nanos::ZERO);
+
+        let mut p = Pool::new("p", 2);
+        p.acquire(Nanos(0), Nanos(10));
+        p.reset();
+        assert_eq!(p.busy_time(), Nanos::ZERO);
+
+        let mut l = Link::new("l", Nanos(0), 1.0);
+        l.transfer(Nanos(0), 10);
+        l.reset();
+        assert_eq!(l.bytes_carried(), 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Storage substrates for the Precursor reproduction.
+//!
+//! * [`robinhood`] — the open-addressing Robin Hood hash table the paper
+//!   hosts *inside* the enclave (§4, citing Celis et al.): open addressing
+//!   with backward-shift deletion, no chaining pointers, and explicit probe
+//!   and memory accounting so the SGX model can charge EPC page touches.
+//! * [`pool`] — the pre-allocated *untrusted* payload pool the server hands
+//!   out slots from; growing the pool is the paper's single batched ocall.
+//! * [`ring`] — per-client circular buffers for incoming requests and
+//!   outgoing replies, written remotely with one-sided RDMA WRITEs; the
+//!   producer tracks credits so clients never overwrite unprocessed data
+//!   (§3.5, §3.7).
+//!
+//! # Example
+//!
+//! ```
+//! use precursor_storage::robinhood::RobinHoodMap;
+//!
+//! let mut map = RobinHoodMap::new();
+//! map.insert(b"k1".to_vec(), 42u32);
+//! assert_eq!(map.get(&b"k1".to_vec()), Some(&42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod ring;
+pub mod robinhood;
+
+pub use pool::{PoolRange, SlabPool};
+pub use ring::{RingConsumer, RingProducer};
+pub use robinhood::RobinHoodMap;

@@ -1,0 +1,230 @@
+//! Pre-allocated untrusted payload pool.
+//!
+//! Precursor's trusted threads need slots in *untrusted* memory to store
+//! client payloads. Calling out of the enclave per allocation would cost an
+//! ocall (~13,100 cycles) each time, so the paper pre-allocates a memory pool
+//! and issues a *single batched ocall* only when the pool must grow (§3.8,
+//! §4). [`SlabPool`] reproduces that: it manages offsets within an
+//! externally-owned buffer using size-class free lists plus a bump pointer,
+//! and reports when the caller has to grow the buffer (the modelled ocall).
+
+/// A byte range handed out by the pool. This is the paper's `ptr` stored in
+/// the enclave hash table, pointing at untrusted payload memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolRange {
+    /// Offset of the slot within the pooled buffer.
+    pub offset: usize,
+    /// Usable length in bytes (the requested length).
+    pub len: usize,
+    /// Size class the slot was carved from (capacity ≥ `len`).
+    class: u8,
+}
+
+impl PoolRange {
+    /// End offset (exclusive) of the usable range.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+/// Allocation statistics for diagnostics and the EPC/ocall accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Successful allocations.
+    pub allocations: u64,
+    /// Frees returned to the size-class lists.
+    pub frees: u64,
+    /// Times the pool ran out of space (each is one modelled ocall).
+    pub grow_events: u64,
+    /// Bytes currently handed out (by slot capacity, not request size).
+    pub bytes_in_use: usize,
+}
+
+const MIN_CLASS_SHIFT: u32 = 4; // 16-byte smallest slot
+const NUM_CLASSES: usize = 16; // 16 B … 512 KiB
+
+fn class_of(len: usize) -> Option<u8> {
+    let len = len.max(1);
+    let bits = usize::BITS - (len - 1).leading_zeros();
+    let class = bits.saturating_sub(MIN_CLASS_SHIFT);
+    if (class as usize) < NUM_CLASSES {
+        Some(class as u8)
+    } else {
+        None
+    }
+}
+
+fn class_size(class: u8) -> usize {
+    1usize << (class as u32 + MIN_CLASS_SHIFT)
+}
+
+/// Offset allocator over an external buffer.
+///
+/// # Example
+///
+/// ```
+/// use precursor_storage::pool::SlabPool;
+///
+/// let mut pool = SlabPool::new(4096);
+/// let a = pool.alloc(100).unwrap();
+/// let b = pool.alloc(100).unwrap();
+/// assert_ne!(a.offset, b.offset);
+/// let a_offset = a.offset;
+/// pool.free(a);
+/// // freed slots are recycled for the same size class
+/// let c = pool.alloc(100).unwrap();
+/// assert_eq!(c.offset, a_offset);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlabPool {
+    capacity: usize,
+    bump: usize,
+    free_lists: [Vec<usize>; NUM_CLASSES],
+    stats: PoolStats,
+}
+
+impl SlabPool {
+    /// Creates a pool managing `capacity` bytes of external buffer.
+    pub fn new(capacity: usize) -> SlabPool {
+        SlabPool {
+            capacity,
+            bump: 0,
+            free_lists: std::array::from_fn(|_| Vec::new()),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Total managed bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes not yet carved out by the bump pointer (free-list slots are
+    /// additional reusable space).
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.bump
+    }
+
+    /// Allocation statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Allocates a slot of at least `len` bytes.
+    ///
+    /// Returns `None` when the pool is exhausted (or `len` exceeds the
+    /// largest size class); the caller should [`grow`](Self::grow) the
+    /// backing buffer — that is the modelled ocall — and retry.
+    pub fn alloc(&mut self, len: usize) -> Option<PoolRange> {
+        let class = class_of(len)?;
+        let size = class_size(class);
+        let offset = if let Some(off) = self.free_lists[class as usize].pop() {
+            off
+        } else {
+            if self.bump + size > self.capacity {
+                self.stats.grow_events += 1;
+                return None;
+            }
+            let off = self.bump;
+            self.bump += size;
+            off
+        };
+        self.stats.allocations += 1;
+        self.stats.bytes_in_use += size;
+        Some(PoolRange { offset, len, class })
+    }
+
+    /// Returns a slot to its size class for reuse.
+    pub fn free(&mut self, range: PoolRange) {
+        self.stats.frees += 1;
+        self.stats.bytes_in_use -= class_size(range.class);
+        self.free_lists[range.class as usize].push(range.offset);
+    }
+
+    /// Extends the managed capacity by `extra` bytes (after the caller grew
+    /// the backing buffer via the modelled ocall).
+    pub fn grow(&mut self, extra: usize) {
+        self.capacity += extra;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes_round_up_to_power_of_two() {
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(16), Some(0));
+        assert_eq!(class_of(17), Some(1));
+        assert_eq!(class_of(32), Some(1));
+        assert_eq!(class_of(100), Some(3)); // 128-byte class
+        assert_eq!(class_size(3), 128);
+        assert_eq!(class_of(512 * 1024), Some(15));
+        assert_eq!(class_of(512 * 1024 + 1), None);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut pool = SlabPool::new(1 << 20);
+        let mut ranges = Vec::new();
+        for len in [10usize, 100, 1000, 16, 64, 64, 4096] {
+            ranges.push(pool.alloc(len).unwrap());
+        }
+        for (i, a) in ranges.iter().enumerate() {
+            for b in &ranges[i + 1..] {
+                assert!(
+                    a.end() <= b.offset || b.end() <= a.offset,
+                    "overlap: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn free_recycles_same_class() {
+        let mut pool = SlabPool::new(4096);
+        let a = pool.alloc(100).unwrap();
+        let a_off = a.offset;
+        pool.free(a);
+        let b = pool.alloc(120).unwrap(); // same 128-byte class
+        assert_eq!(b.offset, a_off);
+    }
+
+    #[test]
+    fn exhaustion_reports_grow_event_and_grow_restores() {
+        let mut pool = SlabPool::new(64);
+        assert!(pool.alloc(64).is_some());
+        assert!(pool.alloc(64).is_none());
+        assert_eq!(pool.stats().grow_events, 1);
+        pool.grow(64);
+        assert!(pool.alloc(64).is_some());
+    }
+
+    #[test]
+    fn bytes_in_use_tracks_capacity_of_slots() {
+        let mut pool = SlabPool::new(1 << 16);
+        let r = pool.alloc(100).unwrap(); // 128-byte class
+        assert_eq!(pool.stats().bytes_in_use, 128);
+        pool.free(r);
+        assert_eq!(pool.stats().bytes_in_use, 0);
+        assert_eq!(pool.stats().frees, 1);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_not_panicking() {
+        let mut pool = SlabPool::new(1 << 30);
+        assert!(pool.alloc(1 << 20).is_none());
+    }
+
+    #[test]
+    fn churn_reuses_memory_bounded() {
+        let mut pool = SlabPool::new(1 << 16);
+        for _ in 0..10_000 {
+            let r = pool.alloc(1000).unwrap();
+            pool.free(r);
+        }
+        // bump should have advanced only once for the single live slot
+        assert_eq!(pool.remaining(), (1 << 16) - 1024);
+    }
+}

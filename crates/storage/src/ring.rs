@@ -1,0 +1,373 @@
+//! Per-client circular request/reply buffers.
+//!
+//! Precursor gives every client a *separate ring buffer* for incoming and
+//! outgoing requests in the server's untrusted memory (§3.5). Clients write
+//! records into their ring with one-sided RDMA WRITEs; a trusted thread polls
+//! the ring and consumes records; periodically, the server writes the
+//! consumer position ("credits") back to the client so it knows how much
+//! space is free (§3.8) — clients must never overwrite unconsumed data.
+//!
+//! The byte storage itself lives in a registered memory region owned by the
+//! transport; [`RingProducer`] and [`RingConsumer`] implement only the
+//! *layout*: length-prefixed records, wrap markers, and the credit protocol.
+//! Producer and consumer therefore work on the two ends of a connection
+//! without sharing anything but the buffer bytes, exactly like real RDMA
+//! peers.
+//!
+//! ## Record format
+//!
+//! ```text
+//! [len: u32 LE][payload: len bytes][padding to 8-byte alignment]
+//! ```
+//!
+//! A length of `u32::MAX` is a wrap marker: the next record starts at offset
+//! zero. A length of `0` means "not yet written" (the consumer waits).
+
+/// Record header size in bytes.
+const HEADER: usize = 4;
+/// Record alignment.
+const ALIGN: usize = 8;
+/// Wrap marker value.
+const WRAP: u32 = u32::MAX;
+
+fn record_span(len: usize) -> usize {
+    (HEADER + len + ALIGN - 1) & !(ALIGN - 1)
+}
+
+/// Producer half: runs on the **client**, computing where in the remote ring
+/// the next record goes and how much space remains.
+///
+/// # Example
+///
+/// ```
+/// use precursor_storage::ring::{RingConsumer, RingProducer};
+///
+/// let mut buf = vec![0u8; 256];
+/// let mut tx = RingProducer::new(buf.len());
+/// let mut rx = RingConsumer::new(buf.len());
+///
+/// let off = tx.push(&mut buf, b"hello").unwrap();
+/// assert_eq!(off, 0);
+/// let rec = rx.pop(&mut buf).unwrap();
+/// assert_eq!(rec, b"hello");
+/// // consumer advances; its position flows back as credits
+/// tx.update_credits(rx.consumed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingProducer {
+    capacity: usize,
+    /// Next write offset within the ring.
+    write: usize,
+    /// Total bytes written (monotonic).
+    written: u64,
+    /// Total bytes the consumer reported consuming (monotonic).
+    consumed: u64,
+}
+
+impl RingProducer {
+    /// Creates a producer for a ring of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a multiple of 8 or is < 64.
+    pub fn new(capacity: usize) -> RingProducer {
+        assert!(capacity >= 64 && capacity.is_multiple_of(ALIGN), "bad ring capacity");
+        RingProducer {
+            capacity,
+            write: 0,
+            written: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Bytes of free space the producer may still write into.
+    pub fn free_space(&self) -> usize {
+        self.capacity - (self.written - self.consumed) as usize
+    }
+
+    /// Whether a record of `len` payload bytes currently fits, including any
+    /// wrap waste it would incur at the current write position.
+    pub fn fits(&self, len: usize) -> bool {
+        let span = record_span(len);
+        let contiguous = self.capacity - self.write;
+        let needed = if span <= contiguous { span } else { contiguous + span };
+        needed <= self.free_space()
+    }
+
+    /// Writes a record into `ring` (the local mirror of the remote buffer;
+    /// over RDMA the same bytes are what the one-sided WRITE carries).
+    /// Returns the offset the record was placed at, or `None` if it does not
+    /// fit (the caller waits for credits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring.len()` differs from the configured capacity.
+    pub fn push(&mut self, ring: &mut [u8], payload: &[u8]) -> Option<usize> {
+        assert_eq!(ring.len(), self.capacity, "ring size mismatch");
+        self.push_with(payload, |off, bytes| {
+            ring[off..off + bytes.len()].copy_from_slice(bytes);
+        })
+    }
+
+    /// Like [`push`](Self::push), but emits the bytes through `write(offset,
+    /// bytes)` instead of a local slice — over RDMA, each call is one
+    /// one-sided WRITE into the remote ring. At most two writes are issued
+    /// per record (an optional wrap marker plus the record itself).
+    pub fn push_with(
+        &mut self,
+        payload: &[u8],
+        mut write: impl FnMut(usize, &[u8]),
+    ) -> Option<usize> {
+        if !self.fits(payload.len()) {
+            return None;
+        }
+        let span = record_span(payload.len());
+        if self.write + span > self.capacity {
+            // Not enough contiguous room: emit a wrap marker and restart.
+            let wasted = self.capacity - self.write;
+            write(self.write, &WRAP.to_le_bytes()[..HEADER.min(wasted)]);
+            self.written += wasted as u64;
+            self.write = 0;
+        }
+        let off = self.write;
+        let mut record = Vec::with_capacity(span);
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(payload);
+        // zero padding so stale bytes never masquerade as headers
+        record.resize(span, 0);
+        write(off, &record);
+        self.write = (off + span) % self.capacity;
+        self.written += span as u64;
+        Some(off)
+    }
+
+    /// Applies a credit update: the consumer has consumed `consumed` total
+    /// bytes. Stale (smaller) updates are ignored.
+    pub fn update_credits(&mut self, consumed: u64) {
+        if consumed > self.consumed {
+            self.consumed = consumed;
+        }
+    }
+
+    /// Total bytes written so far (monotonic), including wrap waste.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+/// Consumer half: runs on the **server**; a trusted thread polls it.
+#[derive(Debug, Clone)]
+pub struct RingConsumer {
+    capacity: usize,
+    read: usize,
+    consumed: u64,
+}
+
+impl RingConsumer {
+    /// Creates a consumer for a ring of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a multiple of 8 or is < 64.
+    pub fn new(capacity: usize) -> RingConsumer {
+        assert!(capacity >= 64 && capacity.is_multiple_of(ALIGN), "bad ring capacity");
+        RingConsumer {
+            capacity,
+            read: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Polls the ring for the next record. Returns the payload (copied out,
+    /// like the control-segment copy into the enclave) or `None` when the
+    /// ring is empty at the current position. Consumed bytes are zeroed so
+    /// stale headers can never masquerade as fresh records after wraparound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring.len()` differs from the configured capacity.
+    pub fn pop(&mut self, ring: &mut [u8]) -> Option<Vec<u8>> {
+        assert_eq!(ring.len(), self.capacity, "ring size mismatch");
+        let mut off = self.read;
+        let avail = self.capacity - off;
+        if avail >= HEADER {
+            let len = u32::from_le_bytes([ring[off], ring[off + 1], ring[off + 2], ring[off + 3]]);
+            if len == WRAP {
+                for b in &mut ring[off..] {
+                    *b = 0;
+                }
+                self.consumed += avail as u64;
+                self.read = 0;
+                off = 0;
+            } else if len == 0 {
+                return None;
+            }
+        } else if avail > 0 {
+            // Trailing sliver too small for a header: implicit wrap.
+            if ring[off] == 0xff {
+                for b in &mut ring[off..] {
+                    *b = 0;
+                }
+                self.consumed += avail as u64;
+                self.read = 0;
+                off = 0;
+            } else {
+                return None;
+            }
+        }
+        let len =
+            u32::from_le_bytes([ring[off], ring[off + 1], ring[off + 2], ring[off + 3]]) as usize;
+        if len == 0 || len == WRAP as usize {
+            return None;
+        }
+        if off + HEADER + len > self.capacity {
+            return None; // torn write; wait
+        }
+        let payload = ring[off + HEADER..off + HEADER + len].to_vec();
+        let span = record_span(len);
+        for b in &mut ring[off..off + span] {
+            *b = 0;
+        }
+        self.read = (off + span) % self.capacity;
+        self.consumed += span as u64;
+        Some(payload)
+    }
+
+    /// Total bytes consumed (monotonic) — the credit value written back to
+    /// the client.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(cap: usize) -> (Vec<u8>, RingProducer, RingConsumer) {
+        (vec![0u8; cap], RingProducer::new(cap), RingConsumer::new(cap))
+    }
+
+    #[test]
+    fn simple_push_pop() {
+        let (mut buf, mut tx, mut rx) = pair(256);
+        tx.push(&mut buf, b"alpha").unwrap();
+        tx.push(&mut buf, b"beta").unwrap();
+        assert_eq!(rx.pop(&mut buf).unwrap(), b"alpha");
+        assert_eq!(rx.pop(&mut buf).unwrap(), b"beta");
+        assert!(rx.pop(&mut buf).is_none());
+    }
+
+    #[test]
+    fn empty_ring_pops_none() {
+        let (mut buf, _tx, mut rx) = pair(128);
+        assert!(rx.pop(&mut buf).is_none());
+    }
+
+    #[test]
+    fn producer_blocks_without_credits() {
+        let (mut buf, mut tx, mut rx) = pair(128);
+        let payload = [7u8; 40];
+        let mut pushed = 0;
+        while tx.push(&mut buf, &payload).is_some() {
+            pushed += 1;
+        }
+        assert!(pushed >= 2);
+        // consumer drains one record and reports credits
+        rx.pop(&mut buf).unwrap();
+        tx.update_credits(rx.consumed());
+        assert!(tx.push(&mut buf, &payload).is_some(), "credits freed space");
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut buf, mut tx, mut rx) = pair(256);
+        let mut next_expected = 0u32;
+        for i in 0u32..1_000 {
+            let payload = i.to_le_bytes();
+            loop {
+                if tx.push(&mut buf, &payload).is_some() {
+                    break;
+                }
+                // drain one and update credits
+                let got = rx.pop(&mut buf).expect("ring full implies data available");
+                assert_eq!(u32::from_le_bytes(got.try_into().unwrap()), next_expected);
+                next_expected += 1;
+                tx.update_credits(rx.consumed());
+            }
+        }
+        // drain the rest in order
+        while let Some(got) = rx.pop(&mut buf) {
+            assert_eq!(u32::from_le_bytes(got.try_into().unwrap()), next_expected);
+            next_expected += 1;
+        }
+        assert_eq!(next_expected, 1_000);
+    }
+
+    #[test]
+    fn variable_sizes_with_wrap() {
+        let (mut buf, mut tx, mut rx) = pair(512);
+        let sizes = [1usize, 60, 13, 100, 7, 250, 32, 64];
+        let mut sent = Vec::new();
+        for (i, &s) in sizes.iter().cycle().take(200).enumerate() {
+            let payload: Vec<u8> = (0..s).map(|j| (i + j) as u8).collect();
+            loop {
+                if tx.push(&mut buf, &payload).is_some() {
+                    sent.push(payload.clone());
+                    break;
+                }
+                let got = rx.pop(&mut buf).unwrap();
+                assert_eq!(got, sent.remove(0));
+                tx.update_credits(rx.consumed());
+            }
+        }
+        while let Some(got) = rx.pop(&mut buf) {
+            assert_eq!(got, sent.remove(0));
+        }
+        assert!(sent.is_empty());
+    }
+
+    #[test]
+    fn stale_credit_updates_are_ignored() {
+        let (mut buf, mut tx, mut rx) = pair(128);
+        tx.push(&mut buf, &[1u8; 40]).unwrap();
+        rx.pop(&mut buf).unwrap();
+        tx.update_credits(rx.consumed());
+        let free_after = tx.free_space();
+        tx.update_credits(0); // stale
+        assert_eq!(tx.free_space(), free_after);
+    }
+
+    #[test]
+    fn record_span_alignment() {
+        assert_eq!(record_span(0), 8);
+        assert_eq!(record_span(1), 8);
+        assert_eq!(record_span(4), 8);
+        assert_eq!(record_span(5), 16);
+        assert_eq!(record_span(12), 16);
+        assert_eq!(record_span(13), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad ring capacity")]
+    fn rejects_unaligned_capacity() {
+        let _ = RingProducer::new(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring size mismatch")]
+    fn rejects_wrong_buffer() {
+        let mut tx = RingProducer::new(128);
+        let mut buf = vec![0u8; 64];
+        let _ = tx.push(&mut buf, b"x");
+    }
+
+    #[test]
+    fn fits_is_consistent_with_push() {
+        let (mut buf, mut tx, _rx) = pair(128);
+        while tx.fits(16) {
+            assert!(tx.push(&mut buf, &[0u8; 16]).is_some());
+        }
+        assert!(tx.push(&mut buf, &[0u8; 16]).is_none());
+    }
+}

@@ -1,0 +1,561 @@
+//! Robin Hood open-addressing hash table.
+//!
+//! The Precursor paper keeps its in-enclave index in a Robin Hood hash table
+//! (§4): open addressing bounds probe sequences tightly (good for EPC
+//! locality) and avoids the chained pointers whose cache/TLB misses hurt
+//! in-enclave lookups. This implementation uses backward-shift deletion, a
+//! power-of-two capacity, and an FxHash-style mixer, and reports probe
+//! counts and touched slots so the SGX model can charge page accesses.
+
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+
+/// FxHash-style multiply-xor hasher (deterministic across runs).
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        // Final avalanche so short keys spread over high bits too.
+        let mut z = self.state;
+        z ^= z >> 32;
+        z = z.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        z ^= z >> 32;
+        z
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+/// Probe statistics for one table operation, used for cost accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStats {
+    /// Number of slots inspected (≥1 for any operation on a nonempty table).
+    pub probes: usize,
+    /// Indices of the slots inspected, in order (for EPC page-touch
+    /// modelling).
+    pub slots: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    hash: u64,
+    key: K,
+    value: V,
+}
+
+/// An open-addressing Robin Hood hash map.
+///
+/// Capacities are powers of two; the table grows (×2) above 85 % load, the
+/// highest load factor that keeps mean probe lengths short for Robin Hood
+/// probing. Deletion uses backward shifting, so no tombstones accumulate.
+///
+/// # Example
+///
+/// ```
+/// use precursor_storage::robinhood::RobinHoodMap;
+///
+/// let mut m = RobinHoodMap::new();
+/// m.insert("a", 1);
+/// m.insert("b", 2);
+/// assert_eq!(m.remove(&"a"), Some(1));
+/// assert_eq!(m.get(&"a"), None);
+/// assert_eq!(m.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RobinHoodMap<K, V> {
+    slots: Vec<Option<Slot<K, V>>>,
+    len: usize,
+    resizes: u64,
+}
+
+const INITIAL_CAPACITY: usize = 2048;
+const MAX_LOAD_PERCENT: usize = 85;
+
+impl<K: Hash + Eq, V> RobinHoodMap<K, V> {
+    /// Creates an empty map with the default initial capacity (2048 slots —
+    /// the "subset of the hash table" Precursor initializes up front, §5.4).
+    pub fn new() -> RobinHoodMap<K, V> {
+        RobinHoodMap::with_capacity(INITIAL_CAPACITY)
+    }
+
+    /// Creates an empty map with at least `cap` slots (rounded up to a power
+    /// of two, minimum 8).
+    pub fn with_capacity(cap: usize) -> RobinHoodMap<K, V> {
+        let cap = cap.next_power_of_two().max(8);
+        RobinHoodMap {
+            slots: (0..cap).map(|_| None).collect(),
+            len: 0,
+            resizes: 0,
+        }
+    }
+
+    fn hash_of<Q: Hash + ?Sized>(key: &Q) -> u64 {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    fn dib(&self, slot_idx: usize, hash: u64) -> usize {
+        // distance from initial bucket, with wraparound
+        let ideal = (hash as usize) & self.mask();
+        (slot_idx + self.slots.len() - ideal) & self.mask()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots currently allocated.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Times the table has grown since creation.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
+    /// Current load factor in `[0, 1)`.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.slots.len() as f64
+    }
+
+    /// Bytes occupied by the slot array, assuming `slot_bytes` per slot —
+    /// callers pass the wire/enclave size of one entry so the SGX model can
+    /// account EPC usage of the *modelled* layout rather than Rust's.
+    pub fn memory_bytes(&self, slot_bytes: usize) -> usize {
+        self.slots.len() * slot_bytes
+    }
+
+    /// Inserts or replaces; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.insert_tracked(key, value).0
+    }
+
+    /// Like [`insert`](Self::insert) but also reports probe statistics.
+    pub fn insert_tracked(&mut self, key: K, value: V) -> (Option<V>, OpStats) {
+        if (self.len + 1) * 100 > self.slots.len() * MAX_LOAD_PERCENT {
+            self.grow();
+        }
+        let hash = Self::hash_of(&key);
+        let mut idx = (hash as usize) & self.mask();
+        let mut stats = OpStats { probes: 0, slots: Vec::new() };
+        let mut entry = Slot { hash, key, value };
+        let mut entry_dib = 0usize;
+        enum Action {
+            Place,
+            Replace,
+            Swap(usize),
+            Continue,
+        }
+        loop {
+            stats.probes += 1;
+            stats.slots.push(idx);
+            let action = match &self.slots[idx] {
+                None => Action::Place,
+                Some(occ) if occ.hash == entry.hash && occ.key == entry.key => Action::Replace,
+                Some(occ) => {
+                    let occ_dib = self.dib(idx, occ.hash);
+                    if occ_dib < entry_dib {
+                        Action::Swap(occ_dib)
+                    } else {
+                        Action::Continue
+                    }
+                }
+            };
+            match action {
+                Action::Place => {
+                    self.slots[idx] = Some(entry);
+                    self.len += 1;
+                    return (None, stats);
+                }
+                Action::Replace => {
+                    let occ = self.slots[idx].as_mut().expect("occupied");
+                    let old = std::mem::replace(&mut occ.value, entry.value);
+                    return (Some(old), stats);
+                }
+                Action::Swap(occ_dib) => {
+                    // Rob the rich: displace the closer-to-home entry.
+                    let occ = self.slots[idx].take().expect("occupied");
+                    self.slots[idx] = Some(entry);
+                    entry = occ;
+                    entry_dib = occ_dib;
+                }
+                Action::Continue => {}
+            }
+            idx = (idx + 1) & self.mask();
+            entry_dib += 1;
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get_tracked(key).0
+    }
+
+    /// Like [`get`](Self::get) but also reports probe statistics.
+    pub fn get_tracked<Q>(&self, key: &Q) -> (Option<&V>, OpStats)
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = Self::hash_of(key);
+        let mut idx = (hash as usize) & self.mask();
+        let mut dist = 0usize;
+        let mut stats = OpStats { probes: 0, slots: Vec::new() };
+        loop {
+            stats.probes += 1;
+            stats.slots.push(idx);
+            match &self.slots[idx] {
+                None => return (None, stats),
+                Some(occ) => {
+                    if occ.hash == hash && occ.key.borrow() == key {
+                        // Borrow gymnastics: re-borrow immutably for return.
+                        let v = self.slots[idx].as_ref().map(|s| &s.value);
+                        return (v, stats);
+                    }
+                    if self.dib(idx, occ.hash) < dist {
+                        // Robin Hood invariant: the key cannot be further on.
+                        return (None, stats);
+                    }
+                }
+            }
+            idx = (idx + 1) & self.mask();
+            dist += 1;
+            if dist > self.slots.len() {
+                return (None, stats);
+            }
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let idx = self.find_index(key)?;
+        self.slots[idx].as_mut().map(|s| &mut s.value)
+    }
+
+    fn find_index<Q>(&self, key: &Q) -> Option<usize>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = Self::hash_of(key);
+        let mut idx = (hash as usize) & self.mask();
+        let mut dist = 0usize;
+        loop {
+            match &self.slots[idx] {
+                None => return None,
+                Some(occ) => {
+                    if occ.hash == hash && occ.key.borrow() == key {
+                        return Some(idx);
+                    }
+                    if self.dib(idx, occ.hash) < dist {
+                        return None;
+                    }
+                }
+            }
+            idx = (idx + 1) & self.mask();
+            dist += 1;
+            if dist > self.slots.len() {
+                return None;
+            }
+        }
+    }
+
+    /// Removes a key, returning its value. Uses backward-shift deletion.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.remove_tracked(key).0
+    }
+
+    /// Like [`remove`](Self::remove) but also reports probe statistics.
+    pub fn remove_tracked<Q>(&mut self, key: &Q) -> (Option<V>, OpStats)
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let mut stats = OpStats { probes: 0, slots: Vec::new() };
+        let idx = match self.find_index(key) {
+            Some(i) => i,
+            None => {
+                stats.probes = 1;
+                return (None, stats);
+            }
+        };
+        let removed = self.slots[idx].take().expect("found index is occupied");
+        self.len -= 1;
+        stats.probes += 1;
+        stats.slots.push(idx);
+        // Backward shift: pull subsequent displaced entries one slot closer.
+        let mut hole = idx;
+        loop {
+            let next = (hole + 1) & self.mask();
+            let shift = match &self.slots[next] {
+                Some(occ) => self.dib(next, occ.hash) > 0,
+                None => false,
+            };
+            stats.probes += 1;
+            stats.slots.push(next);
+            if !shift {
+                break;
+            }
+            // slots[hole] is vacant: a swap moves the entry back one slot.
+            self.slots.swap(hole, next);
+            hole = next;
+        }
+        (Some(removed.value), stats)
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Iterates over `(key, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|s| (&s.key, &s.value)))
+    }
+
+    /// Removes all entries, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Mean distance-from-initial-bucket over all entries (diagnostic).
+    pub fn mean_dib(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        let total: usize = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| self.dib(i, s.hash)))
+            .sum();
+        total as f64 / self.len as f64
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            (0..new_cap).map(|_| None).collect(),
+        );
+        self.len = 0;
+        self.resizes += 1;
+        for slot in old.into_iter().flatten() {
+            self.insert(slot.key, slot.value);
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> Default for RobinHoodMap<K, V> {
+    fn default() -> Self {
+        RobinHoodMap::new()
+    }
+}
+
+impl<K: Hash + Eq, V> FromIterator<(K, V)> for RobinHoodMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = RobinHoodMap::new();
+        m.extend(iter);
+        m
+    }
+}
+
+impl<K: Hash + Eq, V> Extend<(K, V)> for RobinHoodMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_basics() {
+        let mut m = RobinHoodMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("a", 1), None);
+        assert_eq!(m.insert("b", 2), None);
+        assert_eq!(m.insert("a", 10), Some(1));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&"a"), Some(&10));
+        assert_eq!(m.get(&"c"), None);
+        assert_eq!(m.remove(&"a"), Some(10));
+        assert_eq!(m.remove(&"a"), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut m = RobinHoodMap::new();
+        m.insert(7u64, vec![1]);
+        m.get_mut(&7).unwrap().push(2);
+        assert_eq!(m.get(&7), Some(&vec![1, 2]));
+        assert!(m.get_mut(&8).is_none());
+    }
+
+    #[test]
+    fn grows_past_load_factor() {
+        let mut m: RobinHoodMap<u64, u64> = RobinHoodMap::with_capacity(8);
+        let initial_cap = m.capacity();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert!(m.capacity() > initial_cap);
+        assert!(m.resizes() > 0);
+        for i in 0..100 {
+            assert_eq!(m.get(&i), Some(&(i * 2)), "key {i} lost in growth");
+        }
+        assert!(m.load_factor() <= 0.85 + 1e-9);
+    }
+
+    #[test]
+    fn many_inserts_and_deletes_preserve_contents() {
+        let mut m = RobinHoodMap::new();
+        for i in 0u64..10_000 {
+            m.insert(i, i);
+        }
+        for i in (0u64..10_000).step_by(2) {
+            assert_eq!(m.remove(&i), Some(i));
+        }
+        assert_eq!(m.len(), 5_000);
+        for i in 0u64..10_000 {
+            if i % 2 == 0 {
+                assert_eq!(m.get(&i), None);
+            } else {
+                assert_eq!(m.get(&i), Some(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_probes_short() {
+        let mut m = RobinHoodMap::with_capacity(1 << 14);
+        for i in 0u64..8_000 {
+            m.insert(i, ());
+        }
+        for i in 0u64..4_000 {
+            m.remove(&i);
+        }
+        // After heavy deletion, lookups of absent keys must still terminate
+        // quickly (no tombstone chains).
+        let (_, stats) = m.get_tracked(&999_999u64);
+        assert!(stats.probes < 32, "probes: {}", stats.probes);
+    }
+
+    #[test]
+    fn tracked_ops_report_slots() {
+        let mut m = RobinHoodMap::new();
+        let (_, ins) = m.insert_tracked(42u64, "v");
+        assert_eq!(ins.probes, ins.slots.len());
+        assert!(ins.probes >= 1);
+        let (v, get) = m.get_tracked(&42u64);
+        assert_eq!(v, Some(&"v"));
+        assert_eq!(get.slots[0], ins.slots[ins.slots.len() - 1]);
+    }
+
+    #[test]
+    fn mean_dib_is_small_at_moderate_load() {
+        let mut m = RobinHoodMap::with_capacity(1 << 12);
+        for i in 0u64..2_500 {
+            m.insert(i, ());
+        }
+        assert!(m.mean_dib() < 2.0, "mean dib {}", m.mean_dib());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut m = RobinHoodMap::new();
+        for i in 0u64..100 {
+            m.insert(i, i);
+        }
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let m: RobinHoodMap<u32, u32> = (0..50).map(|i| (i, i + 1)).collect();
+        assert_eq!(m.len(), 50);
+        let mut m2 = RobinHoodMap::new();
+        m2.extend((0..10).map(|i| (i, i)));
+        assert_eq!(m2.len(), 10);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let mut m = RobinHoodMap::new();
+        for i in 0u64..64 {
+            m.insert(i, i * i);
+        }
+        let mut seen: Vec<u64> = m.iter().map(|(k, _)| *k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+        assert!(m.iter().all(|(k, v)| *v == k * k));
+    }
+
+    #[test]
+    fn memory_bytes_uses_given_slot_size() {
+        let m: RobinHoodMap<u64, u64> = RobinHoodMap::with_capacity(1024);
+        assert_eq!(m.memory_bytes(88), 1024 * 88);
+    }
+
+    #[test]
+    fn byte_vector_keys() {
+        let mut m = RobinHoodMap::new();
+        m.insert(b"key-1".to_vec(), 1);
+        m.insert(b"key-2".to_vec(), 2);
+        assert_eq!(m.get(&b"key-1".to_vec()), Some(&1));
+        // Borrow-based lookup through slices
+        assert_eq!(m.get(&b"key-2"[..]), Some(&2));
+    }
+}

@@ -1,0 +1,633 @@
+//! Closed-loop discrete-event benchmark driver.
+//!
+//! Reproduces the paper's measurement methodology (§5.1–§5.2): N closed-loop
+//! clients spread over six client machines (five with 10 Gb NICs, one with a
+//! 40 Gb NIC running half the clients), a 12-thread server behind a 40 Gb
+//! NIC, a warmup phase that loads the keyspace, then a measured run.
+//!
+//! Every operation is executed **functionally** — real encryption, real
+//! rings, real hash tables, real enclave accounting — and the per-stage
+//! costs its meters report are then replayed through contended resources:
+//!
+//! * the server CPU [`Pool`] (occupancy vs. critical path, DESIGN.md §4),
+//! * per-machine client NIC [`Link`]s and the server NIC links,
+//! * the RNIC QP cache (Precursor) or kernel-TCP latency + scheduling
+//!   jitter (ShieldStore),
+//!
+//! yielding deterministic virtual-time throughput and latency
+//! distributions.
+//!
+//! A [`BenchSession`] keeps the warmed-up store alive across multiple
+//! measurement points (like the paper, which loads 600 k records once and
+//! then measures several read ratios), so parameter sweeps don't pay the
+//! warmup repeatedly.
+
+use precursor::wire::Status;
+use precursor::{Config, EncryptionMode, PrecursorClient, PrecursorServer};
+use precursor_rdma::nic::RnicCache;
+use precursor_shieldstore::client::ShieldClient;
+use precursor_shieldstore::server::{ShieldConfig, ShieldServer};
+use precursor_sim::engine::EventQueue;
+use precursor_sim::meter::Stage;
+use precursor_sim::rng::SimRng;
+use precursor_sim::{CostModel, Histogram, Link, Nanos, Pool};
+
+use crate::workload::{key_bytes, value_bytes, OpGenerator, OpKind, WorkloadSpec, KEY_LEN};
+
+/// Which system a run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Precursor with client-side payload encryption (the paper's design).
+    Precursor,
+    /// Precursor data path with the conventional server-encryption scheme.
+    PrecursorServerEnc,
+    /// The ShieldStore baseline over kernel TCP.
+    ShieldStore,
+}
+
+impl SystemKind {
+    /// Human-readable name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Precursor => "Precursor",
+            SystemKind::PrecursorServerEnc => "Precursor server-encryption",
+            SystemKind::ShieldStore => "ShieldStore",
+        }
+    }
+}
+
+/// Configuration of one self-contained benchmark run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// System under test.
+    pub system: SystemKind,
+    /// Workload specification.
+    pub workload: WorkloadSpec,
+    /// Closed-loop client count.
+    pub clients: usize,
+    /// Records loaded during warmup (the paper loads 600 k).
+    pub warmup_keys: u64,
+    /// Operations measured across all clients.
+    pub measure_ops: u64,
+    /// Seed for all stochastic choices.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Executes the run with the default (paper-testbed) cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0` or `measure_ops == 0`.
+    pub fn run(&self) -> RunResult {
+        self.run_with_cost(&CostModel::default())
+    }
+
+    /// Like [`run`](Self::run) with an explicit cost model (ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0` or `measure_ops == 0`.
+    pub fn run_with_cost(&self, cost: &CostModel) -> RunResult {
+        assert!(self.clients > 0 && self.measure_ops > 0, "empty run");
+        let mut session = BenchSession::new(
+            self.system,
+            self.workload.value_size,
+            self.workload.key_count,
+            self.warmup_keys,
+            self.clients,
+            self.seed,
+            cost,
+        );
+        session.measure(&self.workload, self.clients, self.measure_ops)
+    }
+}
+
+/// Results of one measurement.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Operations per second of virtual time.
+    pub throughput_ops: f64,
+    /// Per-operation end-to-end latency.
+    pub latency: Histogram,
+    /// Mean per-op network time (links, propagation, kernel stack) — the
+    /// "networking" bar of Figure 8.
+    pub avg_network: Nanos,
+    /// Mean per-op server processing on the critical path — the "server"
+    /// bar of Figure 8.
+    pub avg_server: Nanos,
+    /// Mean per-op client CPU time.
+    pub avg_client: Nanos,
+    /// Server CPU pool utilization during the measured window.
+    pub server_utilization: f64,
+    /// Enclave report at the end of the run (working set, faults).
+    pub epc: precursor_sgx::SgxPerfReport,
+    /// Operations measured.
+    pub ops: u64,
+    /// Virtual duration of the measured window.
+    pub duration: Nanos,
+}
+
+#[allow(clippy::large_enum_variant)] // one Sut exists per benchmark session
+enum Sut {
+    Precursor {
+        server: PrecursorServer,
+        clients: Vec<PrecursorClient>,
+    },
+    Shield {
+        server: ShieldServer,
+        clients: Vec<ShieldClient>,
+    },
+}
+
+// Per-op functional costs extracted from the meters.
+struct OpCosts {
+    client_pre: Nanos,
+    client_post: Nanos,
+    req_bytes: usize,
+    reply_bytes: usize,
+    server_critical: Nanos,
+    server_occupancy: Nanos,
+}
+
+/// A warmed-up system instance reusable across measurement points.
+pub struct BenchSession {
+    system: SystemKind,
+    sut: Sut,
+    cost: CostModel,
+    value_size: usize,
+    seed: u64,
+    measurements: u64,
+}
+
+impl BenchSession {
+    /// Builds the system with `max_clients` connected clients and loads
+    /// `warmup_keys` records of `value_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_clients == 0`.
+    pub fn new(
+        system: SystemKind,
+        value_size: usize,
+        key_count: u64,
+        warmup_keys: u64,
+        max_clients: usize,
+        seed: u64,
+        cost: &CostModel,
+    ) -> BenchSession {
+        assert!(max_clients > 0, "need at least one client");
+        let _ = key_count;
+        let sut = match system {
+            SystemKind::Precursor | SystemKind::PrecursorServerEnc => {
+                let mode = if system == SystemKind::Precursor {
+                    EncryptionMode::ClientSide
+                } else {
+                    EncryptionMode::ServerSide
+                };
+                let config = Config {
+                    mode,
+                    max_clients: max_clients + 1,
+                    pool_bytes: pool_size_for(value_size, warmup_keys),
+                    ..Config::default()
+                };
+                let mut server = PrecursorServer::new(config, cost);
+                let clients = (0..max_clients)
+                    .map(|i| {
+                        PrecursorClient::connect(&mut server, seed ^ ((i as u64) << 8))
+                            .expect("connect")
+                    })
+                    .collect();
+                Sut::Precursor { server, clients }
+            }
+            SystemKind::ShieldStore => {
+                let config = ShieldConfig::default();
+                let mut server = ShieldServer::new(config, cost);
+                let clients = (0..max_clients)
+                    .map(|i| ShieldClient::connect(&mut server, seed ^ ((i as u64) << 8)))
+                    .collect();
+                Sut::Shield { server, clients }
+            }
+        };
+        let mut session = BenchSession {
+            system,
+            sut,
+            cost: cost.clone(),
+            value_size,
+            seed,
+            measurements: 0,
+        };
+        session.warmup(warmup_keys);
+        session
+    }
+
+    /// The system this session drives.
+    pub fn system(&self) -> SystemKind {
+        self.system
+    }
+
+    /// Inserts `extra` additional records beyond those already loaded (used
+    /// by the EPC-paging experiment, which grows the keyspace to 3 M).
+    pub fn load_more(&mut self, start_id: u64, extra: u64) {
+        let size = self.value_size;
+        match &mut self.sut {
+            Sut::Precursor { server, clients } => {
+                let client = &mut clients[0];
+                let frame = 160 + size + KEY_LEN;
+                let batch = (server.config().ring_bytes / (2 * frame)).max(1);
+                let mut pending = 0;
+                for id in start_id..start_id + extra {
+                    client
+                        .put(&key_bytes(id), &value_bytes(id, 0, size))
+                        .expect("warmup put");
+                    pending += 1;
+                    if pending == batch {
+                        server.poll();
+                        client.poll_replies();
+                        pending = 0;
+                    }
+                }
+                server.poll();
+                client.poll_replies();
+                client.take_all_completed();
+                client.take_meter();
+                server.take_reports();
+            }
+            Sut::Shield { server, clients } => {
+                let client = &mut clients[0];
+                for id in start_id..start_id + extra {
+                    client.put(&key_bytes(id), &value_bytes(id, 0, size));
+                    if id % 256 == 255 {
+                        server.poll();
+                        client.poll_replies();
+                    }
+                }
+                server.poll();
+                client.poll_replies();
+                client.take_all_completed();
+                client.take_meter();
+                server.take_reports();
+            }
+        }
+    }
+
+    fn warmup(&mut self, warmup_keys: u64) {
+        if warmup_keys > 0 {
+            self.load_more(0, warmup_keys);
+        }
+    }
+
+    /// The enclave report of the underlying server.
+    pub fn sgx_report(&self) -> precursor_sgx::SgxPerfReport {
+        match &self.sut {
+            Sut::Precursor { server, .. } => server.sgx_report(),
+            Sut::Shield { server, .. } => server.sgx_report(),
+        }
+    }
+
+    /// Runs one measured window of `measure_ops` operations with `clients`
+    /// closed-loop clients (must not exceed the session's `max_clients`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` exceeds the connected clients or is zero.
+    pub fn measure(
+        &mut self,
+        workload: &WorkloadSpec,
+        clients: usize,
+        measure_ops: u64,
+    ) -> RunResult {
+        let n_connected = match &self.sut {
+            Sut::Precursor { clients, .. } => clients.len(),
+            Sut::Shield { clients, .. } => clients.len(),
+        };
+        assert!(clients > 0 && clients <= n_connected, "bad client count");
+        assert!(measure_ops > 0, "empty measurement");
+        self.measurements += 1;
+        let cost = self.cost.clone();
+        let mut rng = SimRng::seed_from(self.seed ^ (self.measurements << 32));
+
+        // --- resources ---
+        let mut server_cpu = Pool::new("server-threads", cost.server_threads);
+        let mut server_rx = Link::new("server-nic-rx", cost.rdma_one_way, cost.server_nic_gbps);
+        let mut server_tx = Link::new("server-nic-tx", cost.rdma_one_way, cost.server_nic_gbps);
+        // Six client machines; the sixth has a 40 Gb NIC and runs half the
+        // clients (§5.1).
+        let mut machine_tx: Vec<Link> = (0..6)
+            .map(|m| {
+                let bw = if m == 5 { 40.0 } else { cost.client_nic_gbps };
+                Link::new("client-machine-tx", Nanos::ZERO, bw)
+            })
+            .collect();
+        let mut machine_rx: Vec<Link> = (0..6)
+            .map(|m| {
+                let bw = if m == 5 { 40.0 } else { cost.client_nic_gbps };
+                Link::new("client-machine-rx", Nanos::ZERO, bw)
+            })
+            .collect();
+        let machine_of = |c: usize| -> usize {
+            if c % 2 == 1 {
+                5
+            } else {
+                (c / 2) % 5
+            }
+        };
+        let mut rnic = RnicCache::new(cost.rnic_cache_qps);
+        let is_tcp = self.system == SystemKind::ShieldStore;
+        // Enclave polling sweeps every connected ring: occupancy per op
+        // scales with the client count relative to the calibration baseline
+        // (§5.2: "the necessary polling in the enclave ... might incur much
+        // CPU overhead"). ShieldStore's socket loop is epoll-driven and not
+        // affected.
+        let scan_adjust_cycles: i64 = if is_tcp {
+            0
+        } else {
+            cost.poll_scan_per_client as i64
+                * (clients as i64 - cost.poll_scan_baseline as i64)
+        };
+        let scan_adjust = Nanos(
+            cost.server_time(precursor_sim::time::Cycles(scan_adjust_cycles.unsigned_abs()))
+                .0,
+        );
+
+        let mut gens: Vec<OpGenerator> = (0..clients)
+            .map(|_| OpGenerator::new(workload.clone(), rng.fork()))
+            .collect();
+        let mut versions: Vec<u64> = vec![1; clients];
+
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for c in 0..clients {
+            queue.push(Nanos(c as u64 * 120), c);
+        }
+
+        let mut latency = Histogram::new();
+        let mut net_sum = Nanos::ZERO;
+        let mut server_sum = Nanos::ZERO;
+        let mut client_sum = Nanos::ZERO;
+        let mut completed = 0u64;
+        let mut last_completion = Nanos::ZERO;
+        let skip = measure_ops / 10; // warm the queues before recording
+
+        while completed < measure_ops {
+            let (t0, c) = queue.pop().expect("closed loop never drains");
+            let (kind, key_id) = gens[c].next_op();
+            versions[c] += 1;
+            let costs = self.execute_op(workload, c, kind, key_id, versions[c]);
+
+            // --- compose the timeline through the contended resources ---
+            let m = machine_of(c);
+            let t_sent = t0 + costs.client_pre;
+            // request: client machine NIC → server NIC
+            let t_at_server_nic = machine_tx[m].transfer(t_sent, costs.req_bytes);
+            let mut t_arrive = server_rx.transfer(t_at_server_nic, costs.req_bytes);
+            if is_tcp {
+                // kernel + interrupt latency with scheduling jitter (§5.3)
+                let jitter = rng.lognormal(0.0, cost.tcp_jitter_sigma);
+                t_arrive += Nanos((cost.tcp_msg_latency.0 as f64 * jitter) as u64);
+            } else if !rnic.access(c as u64) {
+                t_arrive += cost.rnic_cache_miss;
+            }
+            // poller pickup delay (OS/poll-loop noise)
+            t_arrive += Nanos((250.0 * rng.lognormal(0.0, 0.8)) as u64);
+
+            let occupancy = if scan_adjust_cycles >= 0 {
+                costs.server_occupancy + scan_adjust
+            } else {
+                costs
+                    .server_occupancy
+                    .saturating_sub(scan_adjust)
+                    .max(costs.server_critical)
+            };
+            let (t_depart, _busy_until) =
+                server_cpu.acquire_partial(t_arrive, costs.server_critical, occupancy);
+
+            // reply: server NIC → client machine NIC
+            let t_reply_at_machine = server_tx.transfer(t_depart, costs.reply_bytes);
+            let mut t_back = machine_rx[m].transfer(t_reply_at_machine, costs.reply_bytes);
+            if is_tcp {
+                let jitter = rng.lognormal(0.0, cost.tcp_jitter_sigma);
+                t_back += Nanos((cost.tcp_msg_latency.0 as f64 * jitter) as u64);
+            } else if !rnic.access(c as u64) {
+                t_back += cost.rnic_cache_miss;
+            }
+            let t_done = t_back + costs.client_post;
+
+            let op_latency = t_done - t0;
+            completed += 1;
+            if completed > skip {
+                latency.record(op_latency);
+                // Figure-8 style attribution: "server" is the request's
+                // processing time proper (what the paper instruments);
+                // queueing and transport fall under "networking".
+                let server_part = costs.server_critical.min(op_latency);
+                let net = op_latency
+                    .saturating_sub(costs.client_pre + costs.client_post)
+                    .saturating_sub(server_part);
+                net_sum += net;
+                server_sum += server_part;
+                client_sum += costs.client_pre + costs.client_post;
+            }
+            last_completion = last_completion.max(t_done);
+            // Closed loop with per-client think/issue time (Fig. 6 rise).
+            queue.push(t_done + cost.client_think, c);
+        }
+
+        let measured = measure_ops - skip;
+        let duration = last_completion;
+        RunResult {
+            throughput_ops: precursor_sim::stats::throughput_ops_per_sec(measure_ops, duration),
+            latency,
+            avg_network: net_sum / measured,
+            avg_server: server_sum / measured,
+            avg_client: client_sum / measured,
+            server_utilization: server_cpu.utilization(duration),
+            epc: self.sgx_report(),
+            ops: measure_ops,
+            duration,
+        }
+    }
+
+    fn execute_op(
+        &mut self,
+        workload: &WorkloadSpec,
+        c: usize,
+        kind: OpKind,
+        key_id: u64,
+        version: u64,
+    ) -> OpCosts {
+        let key = key_bytes(key_id);
+        let size = workload.value_size;
+        match &mut self.sut {
+            Sut::Precursor { server, clients } => {
+                let client = &mut clients[c];
+                client.take_meter();
+                match kind {
+                    OpKind::Read => client.get(&key).expect("get send"),
+                    OpKind::Update => client
+                        .put(&key, &value_bytes(key_id, version, size))
+                        .expect("put send"),
+                };
+                let pre = client.take_meter();
+                server.poll();
+                let report = server.take_reports().pop().expect("one op processed");
+                debug_assert_ne!(report.status, Status::Replay);
+                let client = &mut clients[c];
+                client.poll_replies();
+                client.take_all_completed();
+                let post = client.take_meter();
+
+                let server_critical =
+                    report.meter.get(Stage::ServerCritical) + report.meter.get(Stage::Enclave);
+                OpCosts {
+                    client_pre: pre.get(Stage::ClientCpu),
+                    client_post: post.get(Stage::ClientCpu),
+                    req_bytes: pre.counters().tx_bytes as usize,
+                    reply_bytes: report.meter.counters().tx_bytes as usize,
+                    server_critical,
+                    server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
+                }
+            }
+            Sut::Shield { server, clients } => {
+                let client = &mut clients[c];
+                client.take_meter();
+                match kind {
+                    OpKind::Read => client.get(&key),
+                    OpKind::Update => client.put(&key, &value_bytes(key_id, version, size)),
+                };
+                let pre = client.take_meter();
+                server.poll();
+                let report = server.take_reports().pop().expect("one op processed");
+                let client = &mut clients[c];
+                client.poll_replies();
+                client.take_all_completed();
+                let post = client.take_meter();
+
+                let server_critical =
+                    report.meter.get(Stage::ServerCritical) + report.meter.get(Stage::Enclave);
+                OpCosts {
+                    client_pre: pre.get(Stage::ClientCpu),
+                    client_post: post.get(Stage::ClientCpu),
+                    req_bytes: pre.counters().tx_bytes as usize,
+                    reply_bytes: report.meter.counters().tx_bytes as usize,
+                    server_critical,
+                    server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
+                }
+            }
+        }
+    }
+}
+
+fn pool_size_for(value_size: usize, warmup_keys: u64) -> usize {
+    let per_entry = (value_size + 64).next_power_of_two();
+    ((warmup_keys as usize + 1024) * per_entry).max(16 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(system: SystemKind, read_ratio: f64) -> RunResult {
+        RunConfig {
+            system,
+            workload: WorkloadSpec::with_read_ratio(read_ratio, 32, 500),
+            clients: 4,
+            warmup_keys: 500,
+            measure_ops: 1_500,
+            seed: 42,
+        }
+        .run()
+    }
+
+    #[test]
+    fn precursor_run_produces_sane_numbers() {
+        let r = quick(SystemKind::Precursor, 1.0);
+        assert!(r.throughput_ops > 10_000.0, "tput {}", r.throughput_ops);
+        assert!(r.latency.count() > 0);
+        assert!(r.latency.percentile(50.0) > Nanos(1_000));
+        assert!(r.avg_server > Nanos::ZERO);
+        assert!(r.avg_network > Nanos::ZERO);
+    }
+
+    #[test]
+    fn shieldstore_is_slower_than_precursor() {
+        let p = quick(SystemKind::Precursor, 1.0);
+        let s = quick(SystemKind::ShieldStore, 1.0);
+        assert!(
+            p.throughput_ops > 2.0 * s.throughput_ops,
+            "precursor {} vs shieldstore {}",
+            p.throughput_ops,
+            s.throughput_ops
+        );
+        assert!(s.latency.percentile(50.0) > p.latency.percentile(50.0));
+    }
+
+    #[test]
+    fn server_encryption_is_slower_than_client_encryption() {
+        let client_enc = quick(SystemKind::Precursor, 0.5);
+        let server_enc = quick(SystemKind::PrecursorServerEnc, 0.5);
+        assert!(
+            client_enc.throughput_ops > server_enc.throughput_ops,
+            "client {} vs server {}",
+            client_enc.throughput_ops,
+            server_enc.throughput_ops
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = quick(SystemKind::Precursor, 0.95);
+        let b = quick(SystemKind::Precursor, 0.95);
+        assert_eq!(a.throughput_ops, b.throughput_ops);
+        assert_eq!(a.latency.percentile(99.0), b.latency.percentile(99.0));
+    }
+
+    #[test]
+    fn different_seeds_change_details_not_magnitudes() {
+        let base = RunConfig {
+            system: SystemKind::Precursor,
+            workload: WorkloadSpec::workload_c(32, 500),
+            clients: 4,
+            warmup_keys: 500,
+            measure_ops: 1_500,
+            seed: 1,
+        };
+        let a = base.run();
+        let b = RunConfig { seed: 2, ..base }.run();
+        let ratio = a.throughput_ops / b.throughput_ops;
+        assert!(ratio > 0.8 && ratio < 1.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn update_heavy_is_slower_than_read_only() {
+        let ro = quick(SystemKind::Precursor, 1.0);
+        let um = quick(SystemKind::Precursor, 0.05);
+        assert!(ro.throughput_ops > um.throughput_ops);
+    }
+
+    #[test]
+    fn session_reuse_matches_methodology() {
+        // One warmup, several measurement points — like the paper's runs.
+        let cost = CostModel::default();
+        let mut session =
+            BenchSession::new(SystemKind::Precursor, 32, 500, 500, 4, 7, &cost);
+        let c = session.measure(&WorkloadSpec::workload_c(32, 500), 4, 1_000);
+        let a = session.measure(&WorkloadSpec::workload_a(32, 500), 4, 1_000);
+        assert!(c.throughput_ops > a.throughput_ops);
+        // store grew only by the updates, not re-warmed
+        assert!(session.sgx_report().working_set_pages < 200);
+    }
+
+    #[test]
+    fn load_more_extends_keyspace() {
+        let cost = CostModel::default();
+        let mut session =
+            BenchSession::new(SystemKind::Precursor, 32, 500, 500, 2, 7, &cost);
+        let before = session.sgx_report().working_set_pages;
+        session.load_more(500, 5_000);
+        assert!(session.sgx_report().working_set_pages > before);
+        // reads over the extended space succeed
+        let spec = WorkloadSpec::workload_c(32, 5_500);
+        let r = session.measure(&spec, 2, 500);
+        assert!(r.throughput_ops > 0.0);
+    }
+}

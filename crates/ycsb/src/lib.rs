@@ -1,0 +1,45 @@
+//! YCSB-style workload generation and the closed-loop benchmark driver.
+//!
+//! The paper evaluates with YCSB (§5.1): uniform key popularity, workloads
+//! A (50 % read), B (95 % read), C (read-only) plus an update-mostly mix
+//! (5 % read), 600 k warmup records, 50 closed-loop clients over six client
+//! machines, 12 server threads.
+//!
+//! * [`workload`] — workload specifications and the operation generator.
+//! * [`zipfian`] — the YCSB Zipfian/scrambled-Zipfian generators (provided
+//!   for completeness; the paper "concentrates on the uniform YCSB
+//!   workload").
+//! * [`driver`] — the closed-loop discrete-event driver: executes every
+//!   operation *functionally* against the chosen system (real crypto, real
+//!   rings, real enclave accounting), then replays the measured per-stage
+//!   costs through contended resources (server CPU pool, NIC links, RNIC
+//!   cache, TCP jitter) to produce throughput and latency distributions.
+//!
+//! # Example
+//!
+//! ```
+//! use precursor_ycsb::driver::{RunConfig, SystemKind};
+//! use precursor_ycsb::workload::WorkloadSpec;
+//!
+//! let config = RunConfig {
+//!     system: SystemKind::Precursor,
+//!     workload: WorkloadSpec::workload_c(32, 1_000),
+//!     clients: 4,
+//!     warmup_keys: 1_000,
+//!     measure_ops: 2_000,
+//!     seed: 1,
+//! };
+//! let result = config.run();
+//! assert!(result.throughput_ops > 0.0);
+//! assert!(result.latency.count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod workload;
+pub mod zipfian;
+
+pub use driver::{RunConfig, RunResult, SystemKind};
+pub use workload::{OpKind, WorkloadSpec};

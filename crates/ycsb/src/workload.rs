@@ -1,0 +1,271 @@
+//! Workload specifications and operation generation.
+//!
+//! Mirrors the paper's YCSB setup (§5.2): uniform key popularity over a
+//! loaded keyspace, read/update mixes A/B/C plus "update-mostly", fixed
+//! value sizes, 16-byte keys.
+
+use precursor_sim::rng::SimRng;
+
+use crate::zipfian::ScrambledZipfian;
+
+/// Key popularity distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// All keys equally likely — the paper's configuration.
+    Uniform,
+    /// YCSB scrambled Zipfian (θ = 0.99).
+    Zipfian,
+    /// YCSB "latest": recently inserted keys are the most popular (Zipfian
+    /// over recency).
+    Latest,
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Read the key.
+    Read,
+    /// Update the key with a fresh value.
+    Update,
+}
+
+/// A workload specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Fraction of reads in `[0, 1]`; the rest are updates.
+    pub read_ratio: f64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Number of keys in the loaded keyspace.
+    pub key_count: u64,
+    /// Popularity distribution.
+    pub distribution: Distribution,
+}
+
+impl WorkloadSpec {
+    /// YCSB workload A: 50 % read / 50 % update.
+    pub fn workload_a(value_size: usize, key_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            read_ratio: 0.5,
+            value_size,
+            key_count,
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// YCSB workload B: 95 % read / 5 % update.
+    pub fn workload_b(value_size: usize, key_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            read_ratio: 0.95,
+            value_size,
+            key_count,
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// YCSB workload C: read-only.
+    pub fn workload_c(value_size: usize, key_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            read_ratio: 1.0,
+            value_size,
+            key_count,
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// The paper's "update-mostly" mix: 5 % read / 95 % update.
+    pub fn update_mostly(value_size: usize, key_count: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            read_ratio: 0.05,
+            value_size,
+            key_count,
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// A custom read ratio with uniform popularity.
+    pub fn with_read_ratio(read_ratio: f64, value_size: usize, key_count: u64) -> WorkloadSpec {
+        assert!((0.0..=1.0).contains(&read_ratio), "read ratio in [0,1]");
+        WorkloadSpec {
+            read_ratio,
+            value_size,
+            key_count,
+            distribution: Distribution::Uniform,
+        }
+    }
+}
+
+/// The fixed key length (YCSB-style 16-byte keys).
+pub const KEY_LEN: usize = 16;
+
+/// Deterministic 16-byte key for record `id` ("userXXXXXXXXXXXX").
+pub fn key_bytes(id: u64) -> [u8; KEY_LEN] {
+    let mut key = *b"user000000000000";
+    let digits = format!("{id:012}");
+    key[4..].copy_from_slice(&digits.as_bytes()[digits.len() - 12..]);
+    key
+}
+
+/// Deterministic value bytes for record `id` at a given size and version.
+pub fn value_bytes(id: u64, version: u64, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size);
+    let seed = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ version;
+    for i in 0..size {
+        v.push((seed.wrapping_add(i as u64).wrapping_mul(31)) as u8);
+    }
+    v
+}
+
+/// Generates the operation stream for one client.
+#[derive(Debug, Clone)]
+pub struct OpGenerator {
+    spec: WorkloadSpec,
+    rng: SimRng,
+    zipf: Option<ScrambledZipfian>,
+    latest: Option<crate::zipfian::Zipfian>,
+}
+
+impl OpGenerator {
+    /// Creates a generator with its own deterministic stream.
+    pub fn new(spec: WorkloadSpec, rng: SimRng) -> OpGenerator {
+        let zipf = match spec.distribution {
+            Distribution::Uniform => None,
+            Distribution::Zipfian => Some(ScrambledZipfian::new(spec.key_count)),
+            Distribution::Latest => None,
+        };
+        let latest = match spec.distribution {
+            Distribution::Latest => Some(crate::zipfian::Zipfian::ycsb(spec.key_count)),
+            _ => None,
+        };
+        OpGenerator { spec, rng, zipf, latest }
+    }
+
+    /// The workload this generator draws from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Draws the next operation: kind + key id.
+    pub fn next_op(&mut self) -> (OpKind, u64) {
+        let kind = if self.rng.gen_bool(self.spec.read_ratio) {
+            OpKind::Read
+        } else {
+            OpKind::Update
+        };
+        let key = if let Some(z) = &self.zipf {
+            z.next(&mut self.rng)
+        } else if let Some(l) = &self.latest {
+            // "latest": rank 0 = the newest key id (key_count - 1)
+            let rank = l.next(&mut self.rng);
+            self.spec.key_count - 1 - rank.min(self.spec.key_count - 1)
+        } else {
+            self.rng.gen_range(self.spec.key_count)
+        };
+        (kind, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_bytes_are_unique_and_fixed_length() {
+        let a = key_bytes(1);
+        let b = key_bytes(2);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.starts_with(b"user"));
+        assert_eq!(&key_bytes(599_999)[..], b"user000000599999");
+    }
+
+    #[test]
+    fn value_bytes_depend_on_version() {
+        let v1 = value_bytes(7, 0, 64);
+        let v2 = value_bytes(7, 1, 64);
+        assert_eq!(v1.len(), 64);
+        assert_ne!(v1, v2);
+        assert_eq!(v1, value_bytes(7, 0, 64));
+    }
+
+    #[test]
+    fn read_ratio_is_respected() {
+        let spec = WorkloadSpec::workload_b(32, 1000);
+        let mut g = OpGenerator::new(spec, SimRng::seed_from(5));
+        let n = 100_000;
+        let reads = (0..n)
+            .filter(|_| matches!(g.next_op().0, OpKind::Read))
+            .count();
+        let ratio = reads as f64 / n as f64;
+        assert!((ratio - 0.95).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let mut g = OpGenerator::new(WorkloadSpec::workload_c(32, 10), SimRng::seed_from(6));
+        assert!((0..10_000).all(|_| g.next_op().0 == OpKind::Read));
+    }
+
+    #[test]
+    fn update_mostly_is_mostly_updates() {
+        let mut g = OpGenerator::new(WorkloadSpec::update_mostly(32, 10), SimRng::seed_from(7));
+        let updates = (0..10_000)
+            .filter(|_| g.next_op().0 == OpKind::Update)
+            .count();
+        assert!(updates > 9_300);
+    }
+
+    #[test]
+    fn uniform_keys_cover_the_space() {
+        let mut g = OpGenerator::new(WorkloadSpec::workload_c(32, 64), SimRng::seed_from(8));
+        let mut seen = [false; 64];
+        for _ in 0..10_000 {
+            let (_, k) = g.next_op();
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipfian_spec_draws_in_range() {
+        let spec = WorkloadSpec {
+            distribution: Distribution::Zipfian,
+            ..WorkloadSpec::workload_a(32, 500)
+        };
+        let mut g = OpGenerator::new(spec, SimRng::seed_from(9));
+        for _ in 0..10_000 {
+            let (_, k) = g.next_op();
+            assert!(k < 500);
+        }
+    }
+
+    #[test]
+    fn latest_distribution_prefers_newest_keys() {
+        let spec = WorkloadSpec {
+            distribution: Distribution::Latest,
+            ..WorkloadSpec::workload_a(32, 1000)
+        };
+        let mut g = OpGenerator::new(spec, SimRng::seed_from(10));
+        let mut newest_hits = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            let (_, k) = g.next_op();
+            assert!(k < 1000);
+            if k >= 990 {
+                newest_hits += 1;
+            }
+        }
+        // under uniform the newest 1% would get ~1%; latest gets far more
+        assert!(
+            newest_hits as f64 / n as f64 > 0.2,
+            "newest-10 share {}",
+            newest_hits as f64 / n as f64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "read ratio")]
+    fn rejects_bad_ratio() {
+        let _ = WorkloadSpec::with_read_ratio(1.5, 32, 10);
+    }
+}

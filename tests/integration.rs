@@ -1,0 +1,304 @@
+//! End-to-end integration tests across the workspace crates: full protocol
+//! round trips through the simulated RDMA rings, the enclave model, the
+//! payload pool and both encryption modes.
+
+use precursor::wire::Status;
+use precursor::{Config, EncryptionMode, PrecursorClient, PrecursorServer, StoreError};
+use precursor_sim::CostModel;
+
+fn setup(mode: EncryptionMode) -> (PrecursorServer, PrecursorClient) {
+    let cost = CostModel::default();
+    let config = Config {
+        mode,
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let client = PrecursorClient::connect(&mut server, 7).unwrap();
+    (server, client)
+}
+
+#[test]
+fn put_get_roundtrip_client_encryption() {
+    let (mut server, mut client) = setup(EncryptionMode::ClientSide);
+    client.put_sync(&mut server, b"key-1", b"value-1").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"key-1").unwrap(), b"value-1");
+    assert_eq!(server.len(), 1);
+}
+
+#[test]
+fn put_get_roundtrip_server_encryption() {
+    let (mut server, mut client) = setup(EncryptionMode::ServerSide);
+    client.put_sync(&mut server, b"key-1", b"value-1").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"key-1").unwrap(), b"value-1");
+}
+
+#[test]
+fn get_missing_key_is_not_found() {
+    let (mut server, mut client) = setup(EncryptionMode::ClientSide);
+    assert_eq!(
+        client.get_sync(&mut server, b"nope"),
+        Err(StoreError::NotFound)
+    );
+}
+
+#[test]
+fn overwrite_returns_latest_value() {
+    let (mut server, mut client) = setup(EncryptionMode::ClientSide);
+    client.put_sync(&mut server, b"k", b"v1").unwrap();
+    client.put_sync(&mut server, b"k", b"v2-different-length").unwrap();
+    assert_eq!(
+        client.get_sync(&mut server, b"k").unwrap(),
+        b"v2-different-length"
+    );
+    assert_eq!(server.len(), 1, "overwrite must not duplicate the key");
+}
+
+#[test]
+fn delete_removes_key() {
+    let (mut server, mut client) = setup(EncryptionMode::ClientSide);
+    client.put_sync(&mut server, b"k", b"v").unwrap();
+    client.delete_sync(&mut server, b"k").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"k"), Err(StoreError::NotFound));
+    assert_eq!(
+        client.delete_sync(&mut server, b"k"),
+        Err(StoreError::NotFound)
+    );
+    assert!(server.is_empty());
+}
+
+#[test]
+fn values_of_every_paper_size_roundtrip() {
+    // The value sizes swept in Figure 5.
+    let (mut server, mut client) = setup(EncryptionMode::ClientSide);
+    for size in [16usize, 64, 128, 512, 1024, 4096, 16384] {
+        let key = format!("key-{size}");
+        let value: Vec<u8> = (0..size).map(|i| (i * 131 + size) as u8).collect();
+        client.put_sync(&mut server, key.as_bytes(), &value).unwrap();
+        assert_eq!(
+            client.get_sync(&mut server, key.as_bytes()).unwrap(),
+            value,
+            "size {size}"
+        );
+    }
+}
+
+#[test]
+fn empty_and_tiny_values_roundtrip() {
+    let (mut server, mut client) = setup(EncryptionMode::ClientSide);
+    client.put_sync(&mut server, b"empty", b"").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"empty").unwrap(), b"");
+    client.put_sync(&mut server, b"one", b"x").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"one").unwrap(), b"x");
+}
+
+#[test]
+fn pipelined_requests_complete_in_order() {
+    let (mut server, mut client) = setup(EncryptionMode::ClientSide);
+    // queue several puts before the server polls once
+    let mut oids = Vec::new();
+    for i in 0..20u32 {
+        let key = format!("k{i}");
+        let value = format!("v{i}");
+        oids.push(client.put(key.as_bytes(), value.as_bytes()).unwrap());
+    }
+    assert_eq!(client.in_flight(), 20);
+    server.poll();
+    assert_eq!(client.poll_replies(), 20);
+    for oid in oids {
+        let c = client.take_completed(oid).unwrap();
+        assert_eq!(c.status, Status::Ok);
+    }
+    // now pipelined reads
+    let mut gets = Vec::new();
+    for i in 0..20u32 {
+        gets.push((i, client.get(format!("k{i}").as_bytes()).unwrap()));
+    }
+    server.poll();
+    client.poll_replies();
+    for (i, oid) in gets {
+        let c = client.take_completed(oid).unwrap();
+        assert_eq!(c.value.unwrap(), format!("v{i}").as_bytes());
+    }
+}
+
+#[test]
+fn many_clients_share_the_store() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    let mut clients: Vec<PrecursorClient> = (0..10)
+        .map(|i| PrecursorClient::connect(&mut server, i).unwrap())
+        .collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        let key = format!("client-{i}-key");
+        c.put_sync(&mut server, key.as_bytes(), format!("value-{i}").as_bytes())
+            .unwrap();
+    }
+    assert_eq!(server.len(), 10);
+    // every client can read every other client's (shared-namespace) keys
+    for i in 0..10 {
+        let key = format!("client-{i}-key");
+        let got = clients[(i + 3) % 10]
+            .get_sync(&mut server, key.as_bytes())
+            .unwrap();
+        assert_eq!(got, format!("value-{i}").as_bytes());
+    }
+}
+
+#[test]
+fn ring_wraparound_survives_thousands_of_ops() {
+    let cost = CostModel::default();
+    let config = Config {
+        ring_bytes: 4096, // tiny rings to force wraparound constantly
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
+    for i in 0..5_000u32 {
+        let key = format!("k{}", i % 37);
+        let value = format!("v{i}");
+        client.put_sync(&mut server, key.as_bytes(), value.as_bytes()).unwrap();
+    }
+    for i in 4_963..5_000u32 {
+        let key = format!("k{}", i % 37);
+        assert_eq!(
+            client.get_sync(&mut server, key.as_bytes()).unwrap(),
+            format!("v{i}").as_bytes()
+        );
+    }
+}
+
+#[test]
+fn ring_full_surfaces_backpressure_and_recovers() {
+    let cost = CostModel::default();
+    let config = Config {
+        ring_bytes: 2048,
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
+    // fill the ring without letting the server drain
+    let mut sent = 0u32;
+    loop {
+        match client.put(format!("k{sent}").as_bytes(), &[7u8; 64]) {
+            Ok(_) => sent += 1,
+            Err(StoreError::RingFull) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+        assert!(sent < 1000, "ring never filled");
+    }
+    // drain and retry: the same op succeeds now
+    server.poll();
+    client.poll_replies();
+    client
+        .put(format!("k{sent}").as_bytes(), &[7u8; 64])
+        .expect("credits freed after poll");
+}
+
+#[test]
+fn pool_grows_via_ocall_under_load() {
+    let cost = CostModel::default();
+    let config = Config {
+        pool_bytes: 64 * 1024, // small pool: must grow
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
+    for i in 0..64u32 {
+        let key = format!("k{i}");
+        client
+            .put_sync(&mut server, key.as_bytes(), &vec![i as u8; 4096])
+            .unwrap();
+    }
+    assert!(
+        server.pool_stats().grow_events > 0,
+        "pool should have grown at least once"
+    );
+    // everything still readable after growth
+    for i in 0..64u32 {
+        let key = format!("k{i}");
+        assert_eq!(
+            client.get_sync(&mut server, key.as_bytes()).unwrap(),
+            vec![i as u8; 4096]
+        );
+    }
+}
+
+#[test]
+fn table_growth_preserves_all_entries() {
+    let cost = CostModel::default();
+    let config = Config {
+        initial_table_slots: 64, // grows many times
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
+    for i in 0..2_000u32 {
+        client
+            .put_sync(&mut server, &i.to_le_bytes(), format!("value-{i}").as_bytes())
+            .unwrap();
+    }
+    assert_eq!(server.len(), 2_000);
+    for i in (0..2_000u32).step_by(97) {
+        assert_eq!(
+            client.get_sync(&mut server, &i.to_le_bytes()).unwrap(),
+            format!("value-{i}").as_bytes()
+        );
+    }
+}
+
+#[test]
+fn oversized_items_rejected_cleanly() {
+    let cost = CostModel::default();
+    let config = Config {
+        max_value_bytes: 1024,
+        max_key_bytes: 16,
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
+    // oversize value
+    assert!(client.put_sync(&mut server, b"k", &[0u8; 4096]).is_err());
+    // oversize key
+    assert!(client.put_sync(&mut server, &[0u8; 64], b"v").is_err());
+    // store still healthy afterwards
+    client.put_sync(&mut server, b"ok", b"fine").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"ok").unwrap(), b"fine");
+}
+
+#[test]
+fn mixed_workload_both_modes_agree() {
+    // Same operation sequence against both modes must produce identical
+    // visible results.
+    let (mut s1, mut c1) = setup(EncryptionMode::ClientSide);
+    let (mut s2, mut c2) = setup(EncryptionMode::ServerSide);
+    let ops: Vec<(u8, u32)> = (0..300u32).map(|i| ((i % 3) as u8, i % 41)).collect();
+    for &(kind, k) in &ops {
+        let key = format!("key-{k}");
+        match kind {
+            0 => {
+                let v = format!("val-{k}");
+                c1.put_sync(&mut s1, key.as_bytes(), v.as_bytes()).unwrap();
+                c2.put_sync(&mut s2, key.as_bytes(), v.as_bytes()).unwrap();
+            }
+            1 => {
+                let r1 = c1.get_sync(&mut s1, key.as_bytes());
+                let r2 = c2.get_sync(&mut s2, key.as_bytes());
+                assert_eq!(r1, r2, "get {key} diverged");
+            }
+            _ => {
+                let r1 = c1.delete_sync(&mut s1, key.as_bytes());
+                let r2 = c2.delete_sync(&mut s2, key.as_bytes());
+                assert_eq!(r1.is_ok(), r2.is_ok(), "delete {key} diverged");
+            }
+        }
+    }
+    assert_eq!(s1.len(), s2.len());
+}
+
+#[test]
+fn server_audit_confirms_intact_storage() {
+    let (mut server, mut client) = setup(EncryptionMode::ClientSide);
+    client.put_sync(&mut server, b"k", b"v").unwrap();
+    assert_eq!(server.audit_key(b"k"), Some(true));
+    assert_eq!(server.audit_key(b"missing"), None);
+}

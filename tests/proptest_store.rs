@@ -1,0 +1,101 @@
+//! Property-based end-to-end tests: a random operation sequence executed
+//! against the full Precursor stack must agree with a plain `HashMap`
+//! model, in every encryption mode and with the small-value extension.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use precursor::{Config, EncryptionMode, PrecursorClient, PrecursorServer, StoreError};
+use precursor_sim::CostModel;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(k, v)| Op::Put(k % 24, v)),
+        any::<u8>().prop_map(|k| Op::Get(k % 24)),
+        any::<u8>().prop_map(|k| Op::Delete(k % 24)),
+    ]
+}
+
+fn check_against_model(config: Config, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = PrecursorClient::connect(&mut server, 11).expect("connect");
+    let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                client.put_sync(&mut server, &[k], &v).expect("put");
+                model.insert(k, v);
+            }
+            Op::Get(k) => {
+                let got = client.get_sync(&mut server, &[k]);
+                match model.get(&k) {
+                    Some(v) => prop_assert_eq!(got.expect("present"), v.clone()),
+                    None => prop_assert_eq!(got, Err(StoreError::NotFound)),
+                }
+            }
+            Op::Delete(k) => {
+                let got = client.delete_sync(&mut server, &[k]);
+                if model.remove(&k).is_some() {
+                    prop_assert!(got.is_ok());
+                } else {
+                    prop_assert_eq!(got, Err(StoreError::NotFound));
+                }
+            }
+        }
+        prop_assert_eq!(server.len(), model.len());
+    }
+    // Final state agreement + storage integrity audit for every live key.
+    for (k, v) in &model {
+        prop_assert_eq!(client.get_sync(&mut server, &[*k]).expect("present"), v.clone());
+        prop_assert_eq!(server.audit_key(&[*k]), Some(true));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_matches_model_client_encryption(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check_against_model(Config::default(), ops)?;
+    }
+
+    #[test]
+    fn store_matches_model_server_encryption(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check_against_model(
+            Config {
+                mode: EncryptionMode::ServerSide,
+                ..Config::default()
+            },
+            ops,
+        )?;
+    }
+
+    #[test]
+    fn store_matches_model_with_small_value_inlining(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check_against_model(Config::with_small_value_inlining(), ops)?;
+    }
+
+    #[test]
+    fn store_matches_model_tiny_rings(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        // Tiny rings force constant wraparound and credit churn.
+        check_against_model(
+            Config {
+                ring_bytes: 2048,
+                ..Config::default()
+            },
+            ops,
+        )?;
+    }
+}
