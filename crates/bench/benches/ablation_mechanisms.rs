@@ -30,18 +30,17 @@ fn main() {
     let ops = scale.measure_ops / 2;
     let mut rows = Vec::new();
 
-    let run =
-        |system: SystemKind, clients: usize, cost: &CostModel| -> precursor_ycsb::RunResult {
-            RunConfig {
-                system,
-                workload: WorkloadSpec::workload_a(VALUE, keys),
-                clients,
-                warmup_keys: keys,
-                measure_ops: ops,
-                seed: 0xAB1,
-            }
-            .run_with_cost(cost)
-        };
+    let run = |system: SystemKind, clients: usize, cost: &CostModel| -> precursor_ycsb::RunResult {
+        RunConfig {
+            system,
+            workload: WorkloadSpec::workload_a(VALUE, keys),
+            clients,
+            warmup_keys: keys,
+            measure_ops: ops,
+            seed: 0xAB1,
+        }
+        .run_with_cost(cost)
+    };
 
     // 1. Encryption placement.
     let client_enc = run(SystemKind::Precursor, 50, &base_cost);
@@ -112,7 +111,10 @@ fn main() {
         use precursor::{Config, PrecursorClient, PrecursorServer};
         for (label, config) in [
             ("small-value storage: pool (paper)", Config::default()),
-            ("small-value storage: in-enclave (ext.)", Config::with_small_value_inlining()),
+            (
+                "small-value storage: in-enclave (ext.)",
+                Config::with_small_value_inlining(),
+            ),
         ] {
             // direct unloaded measurement of the server-side cost per get
             let mut server = PrecursorServer::new(config, &base_cost);
@@ -132,10 +134,7 @@ fn main() {
                 client.poll_replies();
                 client.take_all_completed();
                 enclave_ns += r.meter.get(precursor_sim::meter::Stage::Enclave).0;
-                critical_ns += r
-                    .meter
-                    .get(precursor_sim::meter::Stage::ServerCritical)
-                    .0;
+                critical_ns += r.meter.get(precursor_sim::meter::Stage::ServerCritical).0;
             }
             rows.push(vec![
                 label.to_string(),
@@ -191,7 +190,11 @@ fn main() {
     }
 
     print_table(&["configuration", "Kops", "latency (p50/p99)"], &rows);
-    write_csv("ablation_mechanisms", &["configuration", "kops", "latency"], &rows);
+    write_csv(
+        "ablation_mechanisms",
+        &["configuration", "kops", "latency"],
+        &rows,
+    );
 
     println!();
     println!(

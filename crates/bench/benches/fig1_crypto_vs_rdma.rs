@@ -25,7 +25,9 @@ fn main() {
     );
 
     let cost = CostModel::default();
-    let sizes: [usize; 12] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+    let sizes: [usize; 12] = [
+        16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768,
+    ];
     let line_rate_mb = cost.server_nic_gbps * 1e9 / 8.0 / 1e6;
 
     // Modelled throughput of one decrypt+encrypt pass per buffer.
@@ -79,7 +81,14 @@ fn main() {
     );
     write_csv(
         "fig1_crypto_vs_rdma",
-        &["buffer_bytes", "mb_s_12thr", "mb_s_6thr", "line_mb_s", "deficit_pct", "sw_mb_s"],
+        &[
+            "buffer_bytes",
+            "mb_s_12thr",
+            "mb_s_6thr",
+            "line_mb_s",
+            "deficit_pct",
+            "sw_mb_s",
+        ],
         &rows,
     );
 

@@ -23,7 +23,12 @@ fn main() {
         &scale,
     );
     let cost = CostModel::default();
-    let ratios = [("100% read", 1.0), ("95% read", 0.95), ("50% read", 0.5), ("5% read", 0.05)];
+    let ratios = [
+        ("100% read", 1.0),
+        ("95% read", 0.95),
+        ("50% read", 0.5),
+        ("5% read", 0.05),
+    ];
     let paper: [[f64; 4]; 3] = [
         [1_149.0, 1_096.0, 849.0, 781.0],
         [817.0, 781.0, 677.0, 631.0],
@@ -52,7 +57,9 @@ fn main() {
         for (ri, (label, ratio)) in ratios.iter().enumerate() {
             let spec = WorkloadSpec::with_read_ratio(*ratio, VALUE, scale.warmup_keys);
             let (mean, spread) = repeat(scale.repetitions, |_| {
-                session.measure(&spec, CLIENTS, scale.measure_ops).throughput_ops
+                session
+                    .measure(&spec, CLIENTS, scale.measure_ops)
+                    .throughput_ops
             });
             measured[si][ri] = mean;
             rows.push(vec![
@@ -66,12 +73,26 @@ fn main() {
         }
     }
     print_table(
-        &["system", "workload", "Kops (ours)", "Kops (paper)", "delta", "spread"],
+        &[
+            "system",
+            "workload",
+            "Kops (ours)",
+            "Kops (paper)",
+            "delta",
+            "spread",
+        ],
         &rows,
     );
     write_csv(
         "fig4_workloads",
-        &["system", "workload", "kops", "paper_kops", "delta_pct", "spread_pct"],
+        &[
+            "system",
+            "workload",
+            "kops",
+            "paper_kops",
+            "delta_pct",
+            "spread_pct",
+        ],
         &rows,
     );
 
@@ -88,5 +109,8 @@ fn main() {
     let min_speedup = (0..4)
         .map(|ri| measured[0][ri] / measured[2][ri])
         .fold(f64::INFINITY, f64::min);
-    assert!(min_speedup > 4.0, "Precursor must clearly beat ShieldStore (got {min_speedup:.1}x)");
+    assert!(
+        min_speedup > 4.0,
+        "Precursor must clearly beat ShieldStore (got {min_speedup:.1}x)"
+    );
 }

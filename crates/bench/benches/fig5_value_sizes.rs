@@ -46,8 +46,7 @@ fn main() {
     for (si, system) in systems.into_iter().enumerate() {
         for (zi, &size) in SIZES.iter().enumerate() {
             let keys = keys_for(size);
-            let mut session =
-                BenchSession::new(system, size, keys, keys, CLIENTS, 0xF15, &cost);
+            let mut session = BenchSession::new(system, size, keys, keys, CLIENTS, 0xF15, &cost);
             let ro_spec = WorkloadSpec::workload_c(size, keys);
             let um_spec = WorkloadSpec::update_mostly(size, keys);
             let ops = if size >= 4096 {
@@ -77,7 +76,12 @@ fn main() {
     );
     write_csv(
         "fig5_value_sizes",
-        &["system", "value_bytes", "read_only_kops", "update_mostly_kops"],
+        &[
+            "system",
+            "value_bytes",
+            "read_only_kops",
+            "update_mostly_kops",
+        ],
         &rows,
     );
 
@@ -108,7 +112,10 @@ fn main() {
         kops(update_mostly[2][0]),
         kops(update_mostly[2][SIZES.len() - 1])
     );
-    assert!(se_4k_drop > se_small_drop, "server-enc must degrade faster with size");
+    assert!(
+        se_4k_drop > se_small_drop,
+        "server-enc must degrade faster with size"
+    );
     // The 16 KiB read-only point must sit at the NIC ceiling.
     let nic_bound_kops = 40.0e9 / 8.0 / 16_500.0 / 1_000.0;
     assert!(
@@ -117,5 +124,8 @@ fn main() {
         kops(p_large),
         nic_bound_kops
     );
-    assert!(read_only[0].iter().all(|&t| t > read_only[2][0]), "Precursor above ShieldStore");
+    assert!(
+        read_only[0].iter().all(|&t| t > read_only[2][0]),
+        "Precursor above ShieldStore"
+    );
 }

@@ -56,12 +56,22 @@ fn main() {
         ]);
     }
     print_table(
-        &["clients", "Precursor Kops", "server-enc Kops", "ShieldStore Kops"],
+        &[
+            "clients",
+            "Precursor Kops",
+            "server-enc Kops",
+            "ShieldStore Kops",
+        ],
         &rows,
     );
     write_csv(
         "fig6_client_scaling",
-        &["clients", "precursor_kops", "server_enc_kops", "shieldstore_kops"],
+        &[
+            "clients",
+            "precursor_kops",
+            "server_enc_kops",
+            "shieldstore_kops",
+        ],
         &rows,
     );
 

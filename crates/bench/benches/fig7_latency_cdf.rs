@@ -110,14 +110,21 @@ fn main() {
     );
 
     print_table(&["series", "p50", "p90", "p95", "p99", "p99.9"], &rows);
-    write_csv("fig7_latency_cdf", &["series", "latency_ns", "cdf"], &csv_rows);
+    write_csv(
+        "fig7_latency_cdf",
+        &["series", "latency_ns", "cdf"],
+        &csv_rows,
+    );
 
     println!();
     let spread = precursor_p99
         .iter()
         .map(|n| n.0 as f64)
         .fold(0.0f64, f64::max)
-        / precursor_p99.iter().map(|n| n.0 as f64).fold(f64::MAX, f64::min);
+        / precursor_p99
+            .iter()
+            .map(|n| n.0 as f64)
+            .fold(f64::MAX, f64::min);
     println!("Precursor p99 across sizes varies {spread:.2}x (paper: 'does not increase')");
     println!(
         "paging p90 {} vs ShieldStore p90 {} ({:.0}% lower; paper: 77% lower until p90)",
@@ -125,7 +132,10 @@ fn main() {
         shield_p90,
         (1.0 - paging.percentile(90.0).0 as f64 / shield_p90.0 as f64) * 100.0
     );
-    assert!(r.epc.paging_expected(), "paging variant must oversubscribe the EPC");
+    assert!(
+        r.epc.paging_expected(),
+        "paging variant must oversubscribe the EPC"
+    );
     assert!(
         paging.percentile(90.0) < shield_p90,
         "even with paging, Precursor beats ShieldStore at p90"

@@ -34,8 +34,7 @@ fn main() {
     for system in [SystemKind::Precursor, SystemKind::ShieldStore] {
         for &size in &SIZES {
             let keys = (scale.warmup_keys / ((size as u64 / 512).max(1))).max(10_000);
-            let mut session =
-                BenchSession::new(system, size, keys, keys, CLIENTS, 0xF18, &cost);
+            let mut session = BenchSession::new(system, size, keys, keys, CLIENTS, 0xF18, &cost);
             let spec = WorkloadSpec::workload_c(size, keys);
             let r = session.measure(&spec, CLIENTS, scale.measure_ops);
             match system {
@@ -59,12 +58,26 @@ fn main() {
         }
     }
     print_table(
-        &["system", "value(B)", "networking", "server", "client", "total avg"],
+        &[
+            "system",
+            "value(B)",
+            "networking",
+            "server",
+            "client",
+            "total avg",
+        ],
         &rows,
     );
     write_csv(
         "fig8_latency_breakdown",
-        &["system", "value_bytes", "network_ns", "server_ns", "client_ns", "total_ns"],
+        &[
+            "system",
+            "value_bytes",
+            "network_ns",
+            "server_ns",
+            "client_ns",
+            "total_ns",
+        ],
         &rows,
     );
 
@@ -77,14 +90,22 @@ fn main() {
         "server processing ratio: {ratio_small:.2}x @16B (paper 1.34x), {ratio_large:.2}x @8KiB (paper 2.15x)"
     );
     println!("networking ratio @16B: {net_ratio:.0}x (paper ≈26x)");
-    let precursor_growth =
-        precursor_server[last].0 as f64 / precursor_server[0].0 as f64;
+    let precursor_growth = precursor_server[last].0 as f64 / precursor_server[0].0 as f64;
     let shield_growth = shield_server[last].0 as f64 / shield_server[0].0 as f64;
     println!(
         "server-time growth 16B→8KiB: Precursor {precursor_growth:.2}x (paper: 'remains the same'), \
          ShieldStore {shield_growth:.2}x (paper: 'keeps increasing')"
     );
-    assert!(ratio_large > ratio_small, "ShieldStore must degrade faster with size");
-    assert!(shield_growth > precursor_growth, "Precursor server time must stay flatter");
-    assert!(net_ratio > 5.0, "TCP networking must be far slower than RDMA");
+    assert!(
+        ratio_large > ratio_small,
+        "ShieldStore must degrade faster with size"
+    );
+    assert!(
+        shield_growth > precursor_growth,
+        "Precursor server time must stay flatter"
+    );
+    assert!(
+        net_ratio > 5.0,
+        "TCP networking must be far slower than RDMA"
+    );
 }

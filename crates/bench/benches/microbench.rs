@@ -1,112 +1,122 @@
-//! Criterion micro-benchmarks of the substrate data structures and
-//! primitives (wall-clock, not simulated time): the Robin Hood table the
-//! enclave hosts, the ring buffers on the RDMA path, the Merkle tree of the
-//! baseline, and the software crypto.
+//! Micro-benchmarks of the substrate data structures and primitives
+//! (wall-clock, not simulated time): the Robin Hood table the enclave
+//! hosts, the ring buffers on the RDMA path, the Merkle tree of the
+//! baseline, and the software crypto. Plain timing loops — no external
+//! benchmark harness.
+//!
+//! ```sh
+//! cargo bench --bench microbench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
 
 use precursor_crypto::{cmac, gcm, salsa20, sha256, Key128, Key256, Nonce12, Nonce8};
 use precursor_shieldstore::merkle::MerkleTree;
 use precursor_storage::ring::{RingConsumer, RingProducer};
 use precursor_storage::robinhood::RobinHoodMap;
 
-fn bench_robinhood(c: &mut Criterion) {
-    let mut g = c.benchmark_group("robinhood");
-    g.bench_function("insert_10k", |b| {
-        b.iter_batched(
-            || RobinHoodMap::<u64, u64>::with_capacity(16_384),
-            |mut m| {
-                for i in 0..10_000u64 {
-                    m.insert(i, i);
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        )
+/// Run `f` for `iters` iterations and report mean ns/iter (plus total MB/s
+/// when `bytes_per_iter` is non-zero).
+fn bench(name: &str, iters: u64, bytes_per_iter: u64, mut f: impl FnMut()) {
+    // Short warm-up so lazily-initialised state is off the measured path.
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    if bytes_per_iter > 0 {
+        let mb_s = (bytes_per_iter * iters) as f64 / elapsed.as_secs_f64() / 1e6;
+        println!("{name:<28} {ns_per_iter:>12.1} ns/iter {mb_s:>10.1} MB/s");
+    } else {
+        println!("{name:<28} {ns_per_iter:>12.1} ns/iter");
+    }
+}
+
+fn bench_robinhood() {
+    println!("-- robinhood --");
+    bench("insert_10k", 50, 0, || {
+        let mut m = RobinHoodMap::<u64, u64>::with_capacity(16_384);
+        for i in 0..10_000u64 {
+            m.insert(i, i);
+        }
+        std::hint::black_box(&m);
     });
     let mut filled = RobinHoodMap::with_capacity(16_384);
     for i in 0..10_000u64 {
         filled.insert(i, i);
     }
-    g.bench_function("get_hit", |b| {
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 7) % 10_000;
-            std::hint::black_box(filled.get(&k))
-        })
+    let mut k = 0u64;
+    bench("get_hit", 1_000_000, 0, || {
+        k = (k + 7) % 10_000;
+        std::hint::black_box(filled.get(&k));
     });
-    g.bench_function("get_miss", |b| {
-        let mut k = 10_000u64;
-        b.iter(|| {
-            k += 1;
-            std::hint::black_box(filled.get(&k))
-        })
+    let mut k = 10_000u64;
+    bench("get_miss", 1_000_000, 0, || {
+        k += 1;
+        std::hint::black_box(filled.get(&k));
     });
-    g.finish();
 }
 
-fn bench_crypto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crypto");
+fn bench_crypto() {
+    println!("-- crypto --");
     for len in [64usize, 1024, 16_384] {
         let data = vec![0xA5u8; len];
-        g.throughput(Throughput::Bytes(len as u64));
-        g.bench_function(format!("aes_gcm_seal_{len}"), |b| {
-            let key = Key128::from_bytes([1; 16]);
-            let mut ctr = 0u64;
-            b.iter(|| {
-                ctr += 1;
-                gcm::seal(&key, &Nonce12::from_counter(ctr), &[], &data)
-            })
+        let iters = (4_000_000 / len).max(100) as u64;
+        let key = Key128::from_bytes([1; 16]);
+        let mut ctr = 0u64;
+        bench(&format!("aes_gcm_seal_{len}"), iters, len as u64, || {
+            ctr += 1;
+            std::hint::black_box(gcm::seal(&key, &Nonce12::from_counter(ctr), &[], &data));
         });
-        g.bench_function(format!("salsa20_{len}"), |b| {
-            let key = Key256::from_bytes([2; 32]);
-            let nonce = Nonce8::from_bytes([3; 8]);
-            let mut buf = data.clone();
-            b.iter(|| salsa20::xor_keystream(&key, &nonce, 0, &mut buf))
+        let key256 = Key256::from_bytes([2; 32]);
+        let nonce = Nonce8::from_bytes([3; 8]);
+        let mut buf = data.clone();
+        bench(&format!("salsa20_{len}"), iters, len as u64, || {
+            salsa20::xor_keystream(&key256, &nonce, 0, &mut buf);
         });
-        g.bench_function(format!("cmac_{len}"), |b| {
-            let key = Key128::from_bytes([4; 16]);
-            b.iter(|| cmac::mac(&key, &data))
+        let mac_key = Key128::from_bytes([4; 16]);
+        bench(&format!("cmac_{len}"), iters, len as u64, || {
+            std::hint::black_box(cmac::mac(&mac_key, &data));
         });
-        g.bench_function(format!("sha256_{len}"), |b| {
-            b.iter(|| sha256::digest(&data))
+        bench(&format!("sha256_{len}"), iters, len as u64, || {
+            std::hint::black_box(sha256::digest(&data));
         });
     }
-    g.finish();
 }
 
-fn bench_ring(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ring");
-    g.bench_function("push_pop_64B", |b| {
-        let cap = 1 << 16;
-        let mut buf = vec![0u8; cap];
-        let mut tx = RingProducer::new(cap);
-        let mut rx = RingConsumer::new(cap);
-        let payload = [7u8; 64];
-        b.iter(|| {
-            tx.push(&mut buf, &payload).expect("fits");
-            let got = rx.pop(&mut buf).expect("present");
-            tx.update_credits(rx.consumed());
-            got
-        })
+fn bench_ring() {
+    println!("-- ring --");
+    let cap = 1 << 16;
+    let mut buf = vec![0u8; cap];
+    let mut tx = RingProducer::new(cap);
+    let mut rx = RingConsumer::new(cap);
+    let payload = [7u8; 64];
+    bench("push_pop_64B", 1_000_000, 64, || {
+        tx.push(&mut buf, &payload).expect("fits");
+        std::hint::black_box(rx.pop(&mut buf).expect("present"));
+        tx.update_credits(rx.consumed());
     });
-    g.finish();
 }
 
-fn bench_merkle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("merkle");
+fn bench_merkle() {
+    println!("-- merkle --");
     for leaves in [1usize << 10, 1 << 16] {
         let mut tree = MerkleTree::new(leaves);
         let mut i = 0usize;
-        g.bench_function(format!("update_{leaves}_leaves"), |b| {
-            b.iter(|| {
-                i = (i + 1) % leaves;
-                tree.update(i, [i as u8; 32])
-            })
+        bench(&format!("update_{leaves}_leaves"), 100_000, 0, || {
+            i = (i + 1) % leaves;
+            tree.update(i, [i as u8; 32]);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_robinhood, bench_crypto, bench_ring, bench_merkle);
-criterion_main!(benches);
+fn main() {
+    bench_robinhood();
+    bench_crypto();
+    bench_ring();
+    bench_merkle();
+}

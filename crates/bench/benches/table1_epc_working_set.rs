@@ -78,7 +78,14 @@ fn main() {
     }
 
     print_table(
-        &["system", "keys", "pages (ours)", "MiB (ours)", "pages (paper)", "delta"],
+        &[
+            "system",
+            "keys",
+            "pages (ours)",
+            "MiB (ours)",
+            "pages (paper)",
+            "delta",
+        ],
         &rows,
     );
     write_csv(
@@ -91,7 +98,10 @@ fn main() {
     // static allocation, and both are ordered as in the paper.
     let precursor_100k: u64 = rows[2][2].parse().expect("pages");
     let shield_0: u64 = rows[3][2].parse().expect("pages");
-    assert!(precursor_100k < shield_0 / 4, "Precursor must stay far below ShieldStore");
+    assert!(
+        precursor_100k < shield_0 / 4,
+        "Precursor must stay far below ShieldStore"
+    );
 }
 
 fn push_rows(rows: &mut Vec<Vec<String>>, system: &str, pages: &[u64], paper: &[u64; 3]) {

@@ -37,7 +37,10 @@ pub struct Scale {
 impl Scale {
     /// Reads the scale from the environment.
     pub fn from_env() -> Scale {
-        if std::env::var("PRECURSOR_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("PRECURSOR_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale {
                 warmup_keys: 600_000,
                 measure_ops: 60_000,
@@ -69,7 +72,11 @@ pub fn banner(id: &str, paper_summary: &str, scale: &Scale) {
         scale.warmup_keys,
         scale.measure_ops,
         scale.repetitions,
-        if scale.full { " (FULL paper scale)" } else { " (reduced; PRECURSOR_FULL=1 for paper scale)" }
+        if scale.full {
+            " (FULL paper scale)"
+        } else {
+            " (reduced; PRECURSOR_FULL=1 for paper scale)"
+        }
     );
     println!("================================================================");
 }
@@ -90,12 +97,7 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }

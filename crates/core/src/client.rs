@@ -8,6 +8,22 @@
 //! one-sided RDMA WRITEs. For a get it sends control data only and — on
 //! reply — *verifies the payload itself*: recompute the CMAC under the
 //! returned `K_operation` and compare with the returned MAC (§3.7).
+//!
+//! # Failure handling
+//!
+//! One-sided WRITEs produce no acknowledgement the application can see, so
+//! the client supervises every operation with a deadline in simulated time.
+//! When the deadline expires the request is *retransmitted idempotently*:
+//! the same `oid`, the same `K_operation`, and — while the server has not
+//! consumed the record — the very same ring offsets, so a WRITE lost in
+//! flight is simply filled in. Once the credit word proves the server
+//! consumed the request, a timeout means the *reply* was lost instead, and a
+//! fresh copy of the request solicits a re-acknowledgement from the server's
+//! at-most-once window. Retransmissions back off exponentially with jitter
+//! ([`RetryPolicy`]); a queue pair in the error state surfaces as
+//! [`StoreError::SessionLost`], after which [`reconnect`](PrecursorClient::reconnect)
+//! re-attests, re-establishes `K_session`, and re-issues every in-flight
+//! request without losing acknowledged state.
 
 use std::collections::HashMap;
 
@@ -16,13 +32,13 @@ use precursor_crypto::{cmac, gcm, salsa20};
 use precursor_rdma::mr::{Memory, RemoteKey};
 use precursor_rdma::qp::QueuePair;
 use precursor_sim::meter::{Meter, Stage};
-use precursor_sim::time::Cycles;
+use precursor_sim::rng::SimRng;
+use precursor_sim::time::{Cycles, Nanos};
+use precursor_sim::timer::{Backoff, Deadline, VirtualClock};
 use precursor_sim::CostModel;
 use precursor_storage::ring::{RingConsumer, RingProducer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::config::EncryptionMode;
+use crate::config::{EncryptionMode, RetryPolicy};
 use crate::error::StoreError;
 use crate::server::{cmac_key_of, ClientBundle, PrecursorServer};
 use crate::wire::{
@@ -43,14 +59,32 @@ pub struct CompletedOp {
     pub value: Option<Vec<u8>>,
     /// Client-side verification failure, if any — e.g.
     /// [`StoreError::IntegrityViolation`] when the recomputed CMAC does not
-    /// match (§3.7 "Query data").
+    /// match (§3.7 "Query data"), or [`StoreError::RetriesExhausted`] /
+    /// [`StoreError::Timeout`] when the operation was given up on.
     pub error: Option<StoreError>,
 }
 
+// Everything needed to retransmit an un-acknowledged request byte-for-byte:
+// the control data (same oid and, for puts, the same K_operation — the
+// retransmission is indistinguishable from the original), the exact ring
+// WRITEs of the latest transmission, and the retry state.
 #[derive(Debug, Clone)]
 struct Pending {
     opcode: Opcode,
     key: Vec<u8>,
+    control: RequestControl,
+    mac: Tag,
+    payload: Vec<u8>,
+    /// `(offset, bytes)` of every one-sided WRITE the latest transmission
+    /// issued (wrap marker included) — re-issued verbatim to fill a hole a
+    /// dropped WRITE left in the remote ring.
+    writes: Vec<(usize, Vec<u8>)>,
+    /// Producer position after the latest transmission; once the credit
+    /// word reaches it the server provably consumed the request.
+    end_written: u64,
+    deadline: Deadline,
+    expires: Deadline,
+    backoff: Backoff,
 }
 
 /// A connected Precursor client.
@@ -73,10 +107,14 @@ pub struct PrecursorClient {
 
     oid: u64,
     next_reply_seq: u64,
-    rng: StdRng,
+    rng: SimRng,
     meter: Meter,
+    clock: VirtualClock,
+    retry: RetryPolicy,
+    retransmits: u64,
     pending: HashMap<u64, Pending>,
     completed: HashMap<u64, CompletedOp>,
+    last_sent: Option<(Opcode, Vec<u8>)>,
     posts_since_signal: u32,
     signal_interval: u32,
 }
@@ -90,16 +128,20 @@ impl PrecursorClient {
     ///
     /// Propagates [`PrecursorServer::add_client`] failures.
     pub fn connect(server: &mut PrecursorServer, seed: u64) -> Result<PrecursorClient, StoreError> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from(seed);
         let mut nonce = [0u8; 16];
-        rand::RngCore::fill_bytes(&mut rng, &mut nonce);
+        rng.fill_bytes(&mut nonce);
         let bundle = server.add_client(nonce)?;
-        Ok(PrecursorClient::from_bundle(bundle, server.cost().clone(), rng))
+        Ok(PrecursorClient::from_bundle(
+            bundle,
+            server.cost().clone(),
+            rng,
+        ))
     }
 
     /// Builds a client from an attestation bundle (for multi-process style
     /// setups where the bundle is produced elsewhere).
-    pub fn from_bundle(bundle: ClientBundle, cost: CostModel, rng: StdRng) -> PrecursorClient {
+    pub fn from_bundle(bundle: ClientBundle, cost: CostModel, rng: SimRng) -> PrecursorClient {
         let ClientBundle {
             client_id,
             session_key,
@@ -110,6 +152,7 @@ impl PrecursorClient {
             reply_credit_rkey,
             ring_bytes,
             mode,
+            expected_oid,
         } = bundle;
         PrecursorClient {
             client_id,
@@ -123,12 +166,16 @@ impl PrecursorClient {
             reply_ring,
             reply_consumer: RingConsumer::new(ring_bytes),
             reply_credit_rkey,
-            oid: 0,
+            oid: expected_oid.saturating_sub(1),
             next_reply_seq: 1,
             rng,
             meter: Meter::new(),
+            clock: VirtualClock::new(),
+            retry: RetryPolicy::default(),
+            retransmits: 0,
             pending: HashMap::new(),
             completed: HashMap::new(),
+            last_sent: None,
             posts_since_signal: 0,
             // Selective signaling (§4, "RDMA optimizations"): push a single
             // completion after a batch of requests instead of one per WRITE.
@@ -144,6 +191,33 @@ impl PrecursorClient {
     /// Number of requests sent but not yet completed.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The `oid` assigned to the most recently issued operation.
+    pub fn last_oid(&self) -> u64 {
+        self.oid
+    }
+
+    /// Replaces the timeout/retry policy (applies to operations issued from
+    /// now on).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Current simulated time at this client.
+    pub fn now(&self) -> Nanos {
+        self.clock.now()
+    }
+
+    /// Total retransmissions this client has issued.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Whether the queue pair is in the error state — the session must be
+    /// [`reconnect`](Self::reconnect)ed before further requests can be sent.
+    pub fn session_lost(&self) -> bool {
+        self.qp.is_error()
     }
 
     /// Takes the cost meter accumulated since the last call (client CPU and
@@ -190,8 +264,7 @@ impl PrecursorClient {
             EncryptionMode::ServerSide => {
                 // Conventional scheme: the whole value is transport-encrypted
                 // to the enclave; no client-side one-time key.
-                let payload =
-                    gcm::seal(&self.session_key, &payload_request_nonce(oid), &[], value);
+                let payload = gcm::seal(&self.session_key, &payload_request_nonce(oid), &[], value);
                 self.charge_client(cost.aes_gcm(value.len()));
                 self.meter.counters_mut().crypto_bytes += value.len() as u64;
                 (
@@ -207,15 +280,7 @@ impl PrecursorClient {
             }
         };
 
-        self.send_frame(Opcode::Put, control, mac, payload)?;
-        self.pending.insert(
-            oid,
-            Pending {
-                opcode: Opcode::Put,
-                key: key.to_vec(),
-            },
-        );
-        Ok(oid)
+        self.send_op(Opcode::Put, control, mac, payload, key)
     }
 
     /// Issues a get. Returns the operation's `oid`; the decrypted, verified
@@ -234,15 +299,7 @@ impl PrecursorClient {
             k_op: None,
             payload_nonce: None,
         };
-        self.send_frame(Opcode::Get, control, Tag::default(), Vec::new())?;
-        self.pending.insert(
-            oid,
-            Pending {
-                opcode: Opcode::Get,
-                key: key.to_vec(),
-            },
-        );
-        Ok(oid)
+        self.send_op(Opcode::Get, control, Tag::default(), Vec::new(), key)
     }
 
     /// Issues a delete. Returns the operation's `oid`.
@@ -259,24 +316,67 @@ impl PrecursorClient {
             k_op: None,
             payload_nonce: None,
         };
-        self.send_frame(Opcode::Delete, control, Tag::default(), Vec::new())?;
-        self.pending.insert(
-            oid,
-            Pending {
-                opcode: Opcode::Delete,
-                key: key.to_vec(),
-            },
-        );
-        Ok(oid)
+        self.send_op(Opcode::Delete, control, Tag::default(), Vec::new(), key)
     }
 
-    fn send_frame(
+    // First transmission of a new operation: send, then arm the retry state.
+    fn send_op(
         &mut self,
         opcode: Opcode,
         control: RequestControl,
         mac: Tag,
         payload: Vec<u8>,
-    ) -> Result<(), StoreError> {
+        key: &[u8],
+    ) -> Result<u64, StoreError> {
+        let oid = control.oid;
+        let (writes, end_written) = match self.transmit(opcode, &control, &mac, &payload) {
+            Ok(t) => t,
+            Err(e) => {
+                // Roll the oid back so the caller can retry the same
+                // operation: on RingFull nothing was sent, and on a QP error
+                // the record write itself failed, so the server never saw
+                // this oid. Burning it would desynchronise the expected-oid
+                // window permanently.
+                self.oid -= 1;
+                return Err(e);
+            }
+        };
+        self.last_sent = Some((opcode, key.to_vec()));
+        self.pending.insert(
+            oid,
+            Pending {
+                opcode,
+                key: key.to_vec(),
+                control,
+                mac,
+                payload,
+                writes,
+                end_written,
+                deadline: Deadline::after(&self.clock, self.retry.per_try_timeout),
+                expires: Deadline::after(&self.clock, self.retry.overall_timeout),
+                backoff: Backoff::new(
+                    self.retry.backoff_base,
+                    self.retry.backoff_cap,
+                    self.retry.jitter,
+                    self.retry.max_attempts,
+                ),
+            },
+        );
+        Ok(oid)
+    }
+
+    // Seals, frames and WRITEs one request into the server-side ring,
+    // returning the exact WRITEs issued and the producer position after them
+    // (the retransmission log). Sealing is deterministic per (session key,
+    // oid), so a retransmitted frame is byte-identical to the original.
+    #[allow(clippy::type_complexity)]
+    fn transmit(
+        &mut self,
+        opcode: Opcode,
+        control: &RequestControl,
+        mac: &Tag,
+        payload: &[u8],
+    ) -> Result<(Vec<(usize, Vec<u8>)>, u64), StoreError> {
         let cost = self.cost.clone();
         let iv = request_nonce(control.oid);
         let control_bytes = control.encode();
@@ -292,8 +392,8 @@ impl PrecursorClient {
             client_id: self.client_id,
             iv,
             sealed_control: sealed,
-            mac,
-            payload,
+            mac: *mac,
+            payload: payload.to_vec(),
         };
         let bytes = frame.encode();
         self.charge_client(cost.memcpy(bytes.len()));
@@ -313,7 +413,9 @@ impl PrecursorClient {
         let qp = &mut self.qp;
         let rkey = self.request_rkey;
         let mut rdma_err = None;
+        let mut writes = Vec::with_capacity(2);
         let pushed = self.request_producer.push_with(&bytes, |off, chunk| {
+            writes.push((off, chunk.to_vec()));
             if let Err(e) = qp.post_write(rkey, off, chunk, signaled) {
                 rdma_err = Some(e);
             }
@@ -327,14 +429,189 @@ impl PrecursorClient {
             return Err(StoreError::Rdma(e));
         }
         if pushed.is_none() {
-            // Roll the oid back so the caller can retry the same operation.
-            self.oid -= 1;
             return Err(StoreError::RingFull);
         }
         self.meter.counters_mut().rdma_posts += 1;
         self.meter.counters_mut().tx_bytes += bytes.len() as u64;
         self.charge_client(Cycles(cost.rdma_post_cycles));
-        Ok(())
+        Ok((writes, self.request_producer.written()))
+    }
+
+    /// Advances this client's virtual clock and retransmits every operation
+    /// whose deadline expired (see the module docs for the recovery rules).
+    /// Returns the number of retransmissions issued.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SessionLost`] when the queue pair is (or enters) the
+    /// error state; the in-flight operations stay pending and are re-issued
+    /// by [`reconnect`](Self::reconnect).
+    pub fn advance(&mut self, delta: Nanos) -> Result<usize, StoreError> {
+        self.clock.advance(delta);
+        self.pump_timeouts()
+    }
+
+    /// Retransmits timed-out operations without advancing the clock.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`advance`](Self::advance).
+    pub fn pump_timeouts(&mut self) -> Result<usize, StoreError> {
+        if self.qp.is_error() {
+            return Err(StoreError::SessionLost);
+        }
+        let mut due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline.expired(&self.clock))
+            .map(|(&oid, _)| oid)
+            .collect();
+        due.sort_unstable();
+        let mut sent = 0;
+        for oid in due {
+            let mut p = self.pending.remove(&oid).expect("due op is pending");
+            if p.expires.expired(&self.clock) {
+                self.fail_op(p, StoreError::Timeout);
+                continue;
+            }
+            let Some(delay) = p.backoff.next_delay(&mut self.rng) else {
+                self.fail_op(p, StoreError::RetriesExhausted);
+                continue;
+            };
+            let credits =
+                u64::from_le_bytes(self.credit_word.read(0, 8).try_into().expect("8 bytes"));
+            let result = if credits >= p.end_written {
+                // The server consumed the request, so the *reply* was lost.
+                // Push a fresh copy of the same request: the server's
+                // at-most-once window re-acknowledges it without
+                // re-executing.
+                match self.transmit(p.opcode, &p.control, &p.mac, &p.payload) {
+                    Ok((writes, end_written)) => {
+                        p.writes = writes;
+                        p.end_written = end_written;
+                        Ok(())
+                    }
+                    // No credits for a fresh copy yet; try again at the next
+                    // deadline.
+                    Err(StoreError::RingFull) => Ok(()),
+                    Err(e) => Err(e),
+                }
+            } else {
+                // The request may never have reached the ring (a dropped
+                // WRITE leaves a hole the consumer waits on): re-issue the
+                // identical WRITEs at the identical offsets — one-sided
+                // WRITEs are idempotent.
+                let mut err = None;
+                for (off, bytes) in &p.writes {
+                    self.meter.counters_mut().rdma_posts += 1;
+                    self.meter.counters_mut().tx_bytes += bytes.len() as u64;
+                    if let Err(e) = self.qp.post_write(self.request_rkey, *off, bytes, false) {
+                        err = Some(e);
+                        break;
+                    }
+                }
+                self.charge_client(Cycles(self.cost.rdma_post_cycles));
+                match err {
+                    None => Ok(()),
+                    Some(e) => Err(StoreError::Rdma(e)),
+                }
+            };
+            match result {
+                Ok(()) => {
+                    p.deadline = Deadline::after(&self.clock, self.retry.per_try_timeout + delay);
+                    self.retransmits += 1;
+                    sent += 1;
+                    self.pending.insert(oid, p);
+                }
+                Err(_) => {
+                    // A failed post means the QP dropped to the error state;
+                    // keep the op pending for the reconnect to re-issue.
+                    self.pending.insert(oid, p);
+                    return Err(StoreError::SessionLost);
+                }
+            }
+        }
+        Ok(sent)
+    }
+
+    // Completes an operation locally with a client-side error.
+    fn fail_op(&mut self, p: Pending, error: StoreError) {
+        let oid = p.control.oid;
+        self.completed.insert(
+            oid,
+            CompletedOp {
+                oid,
+                opcode: p.opcode,
+                status: Status::Error,
+                value: None,
+                error: Some(error),
+            },
+        );
+    }
+
+    /// Re-establishes the session after a queue-pair failure or a server
+    /// restart: runs the attestation handshake again (fresh `K_session`),
+    /// receives fresh rings, and re-issues every in-flight request under the
+    /// new session — same `oid`s, so acknowledged state is never applied
+    /// twice. Returns the number of re-issued requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PrecursorServer::reconnect_client`] failures.
+    pub fn reconnect(&mut self, server: &mut PrecursorServer) -> Result<usize, StoreError> {
+        let mut nonce = [0u8; 16];
+        self.rng.fill_bytes(&mut nonce);
+        let bundle = server.reconnect_client(self.client_id, nonce)?;
+        self.session_key = bundle.session_key;
+        self.mode = bundle.mode;
+        self.qp = bundle.qp;
+        self.request_rkey = bundle.request_ring_rkey;
+        self.request_producer = RingProducer::new(bundle.ring_bytes);
+        self.credit_word = bundle.credit_word;
+        self.reply_ring = bundle.reply_ring;
+        self.reply_consumer = RingConsumer::new(bundle.ring_bytes);
+        self.reply_credit_rkey = bundle.reply_credit_rkey;
+        self.next_reply_seq = 1;
+        self.posts_since_signal = 0;
+        // Resynchronise the oid counter with the enclave's window: an
+        // operation abandoned with a client-side timeout may or may not have
+        // executed, which would otherwise leave the next fresh oid outside
+        // the at-most-once window forever. Never step below an op still
+        // pending retransmission.
+        let pending_max = self.pending.keys().max().copied().unwrap_or(0);
+        self.oid = bundle.expected_oid.saturating_sub(1).max(pending_max);
+
+        // Re-issue in-flight requests oldest-first so the server sees oids
+        // in order. The control data (oid, K_operation) is unchanged; only
+        // the sealing key differs.
+        let mut oids: Vec<u64> = self.pending.keys().copied().collect();
+        oids.sort_unstable();
+        let reissued = oids.len();
+        for oid in oids {
+            let mut p = self.pending.remove(&oid).expect("pending");
+            match self.transmit(p.opcode, &p.control, &p.mac, &p.payload) {
+                Ok((writes, end_written)) => {
+                    p.writes = writes;
+                    p.end_written = end_written;
+                }
+                Err(StoreError::RingFull) => {
+                    // Fresh ring with no credits consumed: mark the op for a
+                    // fresh push at its next deadline.
+                    p.writes.clear();
+                    p.end_written = 0;
+                }
+                Err(e) => {
+                    self.pending.insert(oid, p);
+                    return Err(e);
+                }
+            }
+            p.deadline = Deadline::after(&self.clock, self.retry.per_try_timeout);
+            p.expires = Deadline::after(&self.clock, self.retry.overall_timeout);
+            p.backoff.reset();
+            self.retransmits += 1;
+            self.pending.insert(oid, p);
+        }
+        Ok(reissued)
     }
 
     /// Drains the reply ring, verifying and decrypting each reply; returns
@@ -368,12 +645,14 @@ impl PrecursorClient {
             return;
         };
         // Replies arrive in server order; the expected sequence selects the
-        // nonce and doubles as rollback protection on the reply channel.
+        // nonce and doubles as rollback protection on the reply channel. A
+        // *gap* is tolerated (the skipped reply was lost and its operation
+        // will be retransmitted); going backwards is not.
         let seq = frame.reply_seq;
-        if seq != self.next_reply_seq {
+        if seq < self.next_reply_seq {
             return;
         }
-        self.next_reply_seq += 1;
+        self.next_reply_seq = seq + 1;
 
         self.charge_client(cost.aes_gcm(frame.sealed_control.len()));
         let Ok(control_bytes) = gcm::open(
@@ -464,6 +743,36 @@ impl PrecursorClient {
         all
     }
 
+    /// Pumps `server` until the operation `oid` completes, advancing
+    /// simulated time and retransmitting on deadline expiry.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Timeout`] / [`StoreError::RetriesExhausted`] when the
+    /// operation is given up on, [`StoreError::SessionLost`] when the queue
+    /// pair fails (the op stays pending; reconnect and call this again).
+    pub fn complete_sync(
+        &mut self,
+        server: &mut PrecursorServer,
+        oid: u64,
+    ) -> Result<CompletedOp, StoreError> {
+        loop {
+            server.poll();
+            self.poll_replies();
+            if let Some(c) = self.completed.remove(&oid) {
+                if let Some(e @ (StoreError::Timeout | StoreError::RetriesExhausted)) = c.error {
+                    return Err(e);
+                }
+                return Ok(c);
+            }
+            if !self.pending.contains_key(&oid) {
+                return Err(StoreError::MalformedFrame);
+            }
+            // Nothing yet: let simulated time pass toward the deadline.
+            self.advance(self.retry.per_try_timeout / 4)?;
+        }
+    }
+
     /// Convenience: put and wait for the ack by pumping `server`.
     ///
     /// # Errors
@@ -476,16 +785,12 @@ impl PrecursorClient {
         value: &[u8],
     ) -> Result<(), StoreError> {
         let oid = self.put(key, value)?;
-        server.poll();
-        self.poll_replies();
-        match self.take_completed(oid) {
-            Some(c) if c.status == Status::Ok => Ok(()),
-            Some(c) => Err(c.error.unwrap_or(match c.status {
-                Status::Replay => StoreError::ReplayDetected,
-                Status::NotFound => StoreError::NotFound,
-                _ => StoreError::MalformedFrame,
-            })),
-            None => Err(StoreError::MalformedFrame),
+        let c = self.complete_sync(server, oid)?;
+        match c.status {
+            Status::Ok => Ok(()),
+            Status::Replay => Err(c.error.unwrap_or(StoreError::ReplayDetected)),
+            Status::NotFound => Err(c.error.unwrap_or(StoreError::NotFound)),
+            _ => Err(c.error.unwrap_or(StoreError::MalformedFrame)),
         }
     }
 
@@ -501,21 +806,15 @@ impl PrecursorClient {
         key: &[u8],
     ) -> Result<Vec<u8>, StoreError> {
         let oid = self.get(key)?;
-        server.poll();
-        self.poll_replies();
-        match self.take_completed(oid) {
-            Some(c) => {
-                if let Some(e) = c.error {
-                    return Err(e);
-                }
-                match c.status {
-                    Status::Ok => Ok(c.value.expect("ok get carries a value")),
-                    Status::NotFound => Err(StoreError::NotFound),
-                    Status::Replay => Err(StoreError::ReplayDetected),
-                    Status::Error => Err(StoreError::MalformedFrame),
-                }
-            }
-            None => Err(StoreError::MalformedFrame),
+        let c = self.complete_sync(server, oid)?;
+        if let Some(e) = c.error {
+            return Err(e);
+        }
+        match c.status {
+            Status::Ok => Ok(c.value.expect("ok get carries a value")),
+            Status::NotFound => Err(StoreError::NotFound),
+            Status::Replay => Err(StoreError::ReplayDetected),
+            Status::Error => Err(StoreError::MalformedFrame),
         }
     }
 
@@ -530,12 +829,11 @@ impl PrecursorClient {
         key: &[u8],
     ) -> Result<(), StoreError> {
         let oid = self.delete(key)?;
-        server.poll();
-        self.poll_replies();
-        match self.take_completed(oid) {
-            Some(c) if c.status == Status::Ok => Ok(()),
-            Some(c) if c.status == Status::NotFound => Err(StoreError::NotFound),
-            _ => Err(StoreError::MalformedFrame),
+        let c = self.complete_sync(server, oid)?;
+        match c.status {
+            Status::Ok => Ok(()),
+            Status::NotFound => Err(StoreError::NotFound),
+            _ => Err(c.error.unwrap_or(StoreError::MalformedFrame)),
         }
     }
 
@@ -544,28 +842,39 @@ impl PrecursorClient {
         self.meter.charge(Stage::ClientCpu, t);
     }
 
-    /// Attack hook for security tests: re-sends the raw bytes of the *last*
-    /// frame this client produced — a network-level replay. The genuine
-    /// server must reject it via the oid check (Algorithm 2).
+    /// Attack hook for security tests: re-sends a frame carrying the *last*
+    /// issued `oid` — a network-level replay of the newest request. The
+    /// server's at-most-once window re-acknowledges it from the cached
+    /// status **without re-executing** (state cannot be mutated twice).
     ///
     /// # Errors
     ///
     /// [`StoreError::RingFull`] if the ring lacks space for the duplicate.
     pub fn replay_last_frame(&mut self) -> Result<(), StoreError> {
-        // Rebuild a frame for the current oid (already consumed): a byte-
-        // exact replay of the newest request.
-        let oid = self.oid;
-        let pending = self
-            .pending
-            .get(&oid)
-            .cloned()
-            .unwrap_or(Pending {
-                opcode: Opcode::Get,
-                key: Vec::new(),
-            });
+        self.replay_frame(self.oid)
+    }
+
+    /// Attack hook for security tests: re-sends a frame with a *genuinely
+    /// old* `oid` (two behind the server's expectation). The server rejects
+    /// it with [`Status::Replay`] (Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RingFull`] if the ring lacks space for the duplicate.
+    pub fn replay_stale_frame(&mut self) -> Result<(), StoreError> {
+        self.replay_frame(self.oid.saturating_sub(1))
+    }
+
+    fn replay_frame(&mut self, oid: u64) -> Result<(), StoreError> {
+        // Rebuild a frame for the requested oid: byte-exact for an op still
+        // pending; otherwise a control-only frame with the last opcode/key.
+        let (opcode, key) = match self.pending.get(&oid) {
+            Some(p) => (p.opcode, p.key.clone()),
+            None => self.last_sent.clone().unwrap_or((Opcode::Get, Vec::new())),
+        };
         let control = RequestControl {
             oid,
-            key: pending.key,
+            key,
             k_op: None,
             payload_nonce: None,
         };
@@ -574,11 +883,11 @@ impl PrecursorClient {
         let sealed = gcm::seal(
             &self.session_key,
             &iv,
-            &request_aad(pending.opcode, self.client_id),
+            &request_aad(opcode, self.client_id),
             &control_bytes,
         );
         let frame = RequestFrame {
-            opcode: pending.opcode,
+            opcode,
             client_id: self.client_id,
             iv,
             sealed_control: sealed,

@@ -1,5 +1,7 @@
 //! Store configuration.
 
+use precursor_sim::time::Nanos;
+
 /// Where payload encryption happens.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EncryptionMode {
@@ -83,6 +85,46 @@ impl Config {
     }
 }
 
+/// Client-side timeout/retry parameters, all in simulated time.
+///
+/// An operation is retransmitted when no reply arrives within
+/// `per_try_timeout`; successive retransmissions back off exponentially
+/// (`backoff_base` doubling up to `backoff_cap`, with multiplicative
+/// `jitter`). After `max_attempts` retransmissions the operation fails with
+/// [`crate::StoreError::RetriesExhausted`]; if `overall_timeout` elapses
+/// first it fails with [`crate::StoreError::Timeout`]. Retransmissions are
+/// idempotent: they re-issue the *same* `oid` (and, for puts, the same
+/// `K_operation`), so the server's at-most-once window applies each update
+/// exactly once no matter how often the request is repeated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Reply deadline of a single transmission attempt.
+    pub per_try_timeout: Nanos,
+    /// Hard deadline across all attempts of one operation.
+    pub overall_timeout: Nanos,
+    /// First retransmission delay (doubles per attempt).
+    pub backoff_base: Nanos,
+    /// Upper bound of the retransmission delay.
+    pub backoff_cap: Nanos,
+    /// Multiplicative jitter applied to each delay, in `[0, 1]`.
+    pub jitter: f64,
+    /// Retransmissions allowed per operation (the initial send is free).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            per_try_timeout: Nanos(100_000),    // 100 µs — ≫ one RTT
+            overall_timeout: Nanos(50_000_000), // 50 ms
+            backoff_base: Nanos(50_000),
+            backoff_cap: Nanos(3_200_000),
+            jitter: 0.2,
+            max_attempts: 10,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +140,14 @@ mod tests {
         let b = Config::server_encryption();
         assert_eq!(b.mode, EncryptionMode::ServerSide);
         assert_eq!(a.ring_bytes, b.ring_bytes);
+    }
+
+    #[test]
+    fn retry_policy_defaults_are_ordered() {
+        let p = RetryPolicy::default();
+        assert!(p.backoff_base <= p.backoff_cap);
+        assert!(p.per_try_timeout < p.overall_timeout);
+        assert!(p.max_attempts > 0);
+        assert!((0.0..=1.0).contains(&p.jitter));
     }
 }

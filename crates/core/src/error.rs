@@ -35,6 +35,14 @@ pub enum StoreError {
     /// A sealed snapshot failed verification: wrong version (rollback),
     /// tampered bytes, or a foreign platform/enclave.
     SnapshotRejected,
+    /// An operation's overall deadline expired before any reply arrived.
+    Timeout,
+    /// An operation was retransmitted up to the configured attempt limit
+    /// without ever being acknowledged.
+    RetriesExhausted,
+    /// The queue pair entered the error state; the session must be
+    /// re-established (QP reset + re-attestation) before retrying.
+    SessionLost,
 }
 
 impl fmt::Display for StoreError {
@@ -50,7 +58,14 @@ impl fmt::Display for StoreError {
             StoreError::AttestationFailed => f.write_str("attestation failed"),
             StoreError::TooManyClients => f.write_str("too many clients"),
             StoreError::OversizedItem => f.write_str("key or value too large"),
-            StoreError::SnapshotRejected => f.write_str("snapshot rejected (rollback or tampering)"),
+            StoreError::SnapshotRejected => {
+                f.write_str("snapshot rejected (rollback or tampering)")
+            }
+            StoreError::Timeout => f.write_str("operation deadline expired"),
+            StoreError::RetriesExhausted => {
+                f.write_str("retries exhausted without an acknowledgement")
+            }
+            StoreError::SessionLost => f.write_str("session lost (queue pair in error state)"),
         }
     }
 }
@@ -84,8 +99,12 @@ mod tests {
     #[test]
     fn displays_are_informative() {
         assert!(StoreError::ReplayDetected.to_string().contains("replay"));
-        assert!(StoreError::from(CryptoError::InvalidTag).to_string().contains("tag"));
-        assert!(StoreError::from(RdmaError::InvalidRkey).to_string().contains("rdma"));
+        assert!(StoreError::from(CryptoError::InvalidTag)
+            .to_string()
+            .contains("tag"));
+        assert!(StoreError::from(RdmaError::InvalidRkey)
+            .to_string()
+            .contains("rdma"));
     }
 
     #[test]
@@ -93,6 +112,14 @@ mod tests {
         let e = StoreError::from(CryptoError::InvalidTag);
         assert!(e.source().is_some());
         assert!(StoreError::NotFound.source().is_none());
+    }
+
+    #[test]
+    fn robustness_errors_display_and_chain() {
+        assert!(StoreError::Timeout.to_string().contains("deadline"));
+        assert!(StoreError::RetriesExhausted.to_string().contains("retries"));
+        assert!(StoreError::SessionLost.to_string().contains("queue pair"));
+        assert!(StoreError::Timeout.source().is_none());
     }
 
     #[test]

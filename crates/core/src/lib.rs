@@ -23,7 +23,11 @@
 //!   hash table, the untrusted payload pool, reply writing (Algorithm 2).
 //! * [`config`] — store configuration, including the
 //!   [`EncryptionMode`]: the paper's client-
-//!   encryption design or the conventional server-encryption baseline.
+//!   encryption design or the conventional server-encryption baseline —
+//!   and the client's [`RetryPolicy`].
+//! * [`snapshot`] — sealed snapshots with monotonic-counter rollback
+//!   detection; together with [`PrecursorServer::reconnect_client`] they
+//!   support crash-restart recovery (see `DESIGN.md`, "Failure model").
 //! * [`error`] — error types.
 //!
 //! ## Quickstart
@@ -58,6 +62,10 @@ pub mod snapshot;
 pub mod wire;
 
 pub use client::{CompletedOp, PrecursorClient};
-pub use config::{Config, EncryptionMode};
+pub use config::{Config, EncryptionMode, RetryPolicy};
 pub use error::StoreError;
 pub use server::{OpReport, PrecursorServer};
+
+// Fault-injection vocabulary, re-exported so chaos tests and demos need
+// only this crate.
+pub use precursor_rdma::faults::{FaultAction, FaultDir, FaultPlan, FaultSite};

@@ -15,20 +15,22 @@
 //! the virtual cost of every step; the YCSB driver replays those charges
 //! through contended resources.
 
+use std::sync::{Arc, Mutex};
+
 use precursor_crypto::keys::{Key128, Key256, Nonce8, Tag};
 use precursor_crypto::{cmac, gcm};
+use precursor_rdma::faults::{FaultInjector, FaultPlan, InjectedFault};
 use precursor_rdma::mr::{Memory, RemoteKey};
-use precursor_rdma::qp::{connect_pair, QueuePair};
+use precursor_rdma::qp::{connect_pair, connect_pair_faulty, QueuePair};
 use precursor_sgx::attest::AttestationService;
 use precursor_sgx::enclave::{Enclave, RegionId};
 use precursor_sim::meter::{Meter, Stage};
+use precursor_sim::rng::SimRng;
 use precursor_sim::time::Cycles;
 use precursor_sim::CostModel;
 use precursor_storage::pool::{PoolRange, SlabPool};
 use precursor_storage::ring::{RingConsumer, RingProducer};
 use precursor_storage::robinhood::RobinHoodMap;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
 
 use crate::config::{Config, EncryptionMode};
 use crate::error::StoreError;
@@ -77,6 +79,12 @@ pub struct ClientBundle {
     pub ring_bytes: usize,
     /// Payload encryption mode the server runs in.
     pub mode: EncryptionMode,
+    /// The enclave's expected oid for this session. `1` for a fresh
+    /// session; on reconnect it lets the client resynchronise its oid
+    /// counter with the enclave window (an operation abandoned after
+    /// [`StoreError::Timeout`](crate::StoreError::Timeout) may or may not
+    /// have executed, leaving the counters one apart otherwise).
+    pub expected_oid: u64,
 }
 
 // Trusted per-entry metadata: what the paper keeps in the enclave hash table
@@ -102,13 +110,16 @@ struct EntryMeta {
     payload_len: usize,
 }
 
-// Trusted per-client session state (expected oid per Algorithm 2).
+// Trusted per-client session state (expected oid per Algorithm 2, plus the
+// at-most-once window: the status of the last executed operation, so a
+// retransmission of it can be re-acknowledged without re-execution).
 #[derive(Debug)]
 struct Session {
     session_key: Key128,
     expected_oid: u64,
     reply_seq: u64,
     active: bool,
+    last_status: Status,
 }
 
 // Untrusted per-client plumbing.
@@ -121,6 +132,21 @@ struct ClientPort {
     reply_ring_rkey: RemoteKey,
     credit_rkey: RemoteKey,
     reply_credit: Memory,
+    /// `(offset, bytes)` of the WRITEs that carried the last executed
+    /// operation's reply — re-issued verbatim when that operation is
+    /// retransmitted, so a reply lost in flight (a hole the client's ring
+    /// consumer is parked on) gets filled idempotently.
+    last_reply: Vec<(usize, Vec<u8>)>,
+}
+
+// How a processed record is answered.
+enum ReplyOut {
+    /// Push a new reply record into the client's reply ring. `remember`
+    /// marks replies of *executed* operations, which the at-most-once
+    /// window may need to re-send.
+    Fresh { reply: ReplyFrame, remember: bool },
+    /// Re-issue the stored last-reply WRITEs byte-for-byte.
+    Retransmit,
 }
 
 /// The Precursor key-value store server.
@@ -130,7 +156,7 @@ struct ClientPort {
 pub struct PrecursorServer {
     config: Config,
     cost: CostModel,
-    rng: StdRng,
+    rng: SimRng,
     attestation: AttestationService,
 
     // trusted side
@@ -154,6 +180,12 @@ pub struct PrecursorServer {
     ports: Vec<ClientPort>,
     reports: Vec<OpReport>,
     polls: u64,
+
+    // fault injection (tests/chaos harnesses); None = clean transport
+    faults: Option<Arc<Mutex<FaultInjector>>>,
+    // session windows recovered from a sealed snapshot, indexed by
+    // client_id; consumed by reconnect_client after a crash-restart
+    saved_sessions: Vec<(u64, Status)>,
 }
 
 impl PrecursorServer {
@@ -161,7 +193,7 @@ impl PrecursorServer {
     /// enclave is initialized (static data + the initial subset of the hash
     /// table are touched — the paper's 52-page baseline working set, §5.4).
     pub fn new(config: Config, cost: &CostModel) -> PrecursorServer {
-        let mut rng = StdRng::seed_from_u64(0x9e3779b97f4a7c15);
+        let mut rng = SimRng::seed_from(0x9e3779b97f4a7c15);
         let attestation = AttestationService::new(&mut rng);
         let mut enclave = Enclave::new(cost);
 
@@ -202,7 +234,30 @@ impl PrecursorServer {
             ports: Vec::new(),
             reports: Vec::new(),
             polls: 0,
+            faults: None,
+            saved_sessions: Vec::new(),
         }
+    }
+
+    /// Installs a deterministic fault plan on the server's transport. Must
+    /// be called **before** clients connect: only queue pairs created
+    /// afterwards flow through the injector.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        self.faults = Some(FaultInjector::shared(plan, seed));
+    }
+
+    /// Number of faults injected so far (0 without a fault plan).
+    pub fn injected_faults(&self) -> usize {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| lock_faults(f).injected())
+    }
+
+    /// A copy of the injector's audit log (empty without a fault plan).
+    pub fn fault_log(&self) -> Vec<InjectedFault> {
+        self.faults
+            .as_ref()
+            .map_or_else(Vec::new, |f| lock_faults(f).log().to_vec())
     }
 
     /// The configured cost model.
@@ -250,10 +305,15 @@ impl PrecursorServer {
     /// The modelled enclave heap regions and their sizes in bytes
     /// (diagnostics for the EPC analysis of §5.4).
     pub fn enclave_regions(&self) -> Vec<(&'static str, u64)> {
-        [self.static_region, self.table_region, self.misc_region, self.client_region]
-            .into_iter()
-            .map(|r| (self.enclave.region_name(r), self.enclave.region_bytes(r)))
-            .collect()
+        [
+            self.static_region,
+            self.table_region,
+            self.misc_region,
+            self.client_region,
+        ]
+        .into_iter()
+        .map(|r| (self.enclave.region_name(r), self.enclave.region_bytes(r)))
+        .collect()
     }
 
     /// An sgx-perf style report of the enclave (Table 1).
@@ -282,21 +342,120 @@ impl PrecursorServer {
 
         // The "add a new client" ecall.
         let mut meter = Meter::new();
-        self.enclave.ecall(&mut meter, &self.cost);
+        let session_key = self.establish(client_nonce, &mut meter)?;
+        let (port, bundle) = self.provision_port(client_id, &session_key);
 
+        self.sessions.push(Session {
+            session_key,
+            expected_oid: 1,
+            reply_seq: 1,
+            active: true,
+            last_status: Status::Ok,
+        });
+        self.ports.push(port);
+        // Per-client trusted state (oid slot) lives in the client region.
+        self.enclave.touch(
+            self.client_region,
+            client_id as u64 * 64,
+            64,
+            &mut meter,
+            &self.cost.clone(),
+        );
+
+        Ok(bundle)
+    }
+
+    /// Re-admits a known client after a transport failure or a server
+    /// restart: runs the attestation handshake again (fresh session key and
+    /// rings) while the trusted per-client window — `expected_oid` and the
+    /// last operation's status — is *preserved*, either from the live
+    /// session or from the state recovered out of a sealed snapshot. An
+    /// operation that executed right before the failure is therefore
+    /// re-acknowledged, never re-applied.
+    ///
+    /// After a crash-restart, clients must reconnect in ascending
+    /// `client_id` order (ids index the port table).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SessionLost`] for an unknown client id;
+    /// [`StoreError::AttestationFailed`] if the handshake fails.
+    pub fn reconnect_client(
+        &mut self,
+        client_id: u32,
+        client_nonce: [u8; 16],
+    ) -> Result<ClientBundle, StoreError> {
+        let idx = client_id as usize;
+        let resumed = if idx < self.sessions.len() {
+            (
+                self.sessions[idx].expected_oid,
+                self.sessions[idx].last_status,
+            )
+        } else if idx == self.sessions.len() && idx < self.saved_sessions.len() {
+            self.saved_sessions[idx]
+        } else {
+            return Err(StoreError::SessionLost);
+        };
+
+        let mut meter = Meter::new();
+        let session_key = self.establish(client_nonce, &mut meter)?;
+        let (port, mut bundle) = self.provision_port(client_id, &session_key);
+        bundle.expected_oid = resumed.0;
+        let session = Session {
+            session_key,
+            expected_oid: resumed.0,
+            reply_seq: 1,
+            active: true,
+            last_status: resumed.1,
+        };
+        if idx < self.sessions.len() {
+            self.sessions[idx] = session;
+            self.ports[idx] = port;
+        } else {
+            self.sessions.push(session);
+            self.ports.push(port);
+        }
+        self.enclave.touch(
+            self.client_region,
+            client_id as u64 * 64,
+            64,
+            &mut meter,
+            &self.cost.clone(),
+        );
+        Ok(bundle)
+    }
+
+    // The attestation half of client admission: one modelled ecall plus the
+    // session-key handshake (§3.6).
+    fn establish(
+        &mut self,
+        client_nonce: [u8; 16],
+        meter: &mut Meter,
+    ) -> Result<Key128, StoreError> {
+        self.enclave.ecall(meter, &self.cost);
         let mut enclave_nonce = [0u8; 16];
         self.rng.fill_bytes(&mut enclave_nonce);
-        let session_key = self
-            .attestation
+        self.attestation
             .establish_session(
                 &self.enclave,
                 self.enclave.measurement(),
                 client_nonce,
                 enclave_nonce,
             )
-            .map_err(|_| StoreError::AttestationFailed)?;
+            .map_err(|_| StoreError::AttestationFailed)
+    }
 
-        let (client_end, server_end) = connect_pair(self.cost.rdma_inline_max);
+    // The untrusted half of client admission: a fresh QP pair (through the
+    // fault injector when one is installed) plus rings and credit words.
+    fn provision_port(
+        &mut self,
+        client_id: u32,
+        session_key: &Key128,
+    ) -> (ClientPort, ClientBundle) {
+        let (client_end, server_end) = match &self.faults {
+            Some(f) => connect_pair_faulty(self.cost.rdma_inline_max, Arc::clone(f)),
+            None => connect_pair(self.cost.rdma_inline_max),
+        };
 
         // Server-side request ring, remotely writable by the client.
         let request_ring = Memory::zeroed(self.config.ring_bytes);
@@ -311,13 +470,7 @@ impl PrecursorServer {
         let credit_word = Memory::zeroed(8);
         let credit_rkey = client_end.register(credit_word.clone(), true);
 
-        self.sessions.push(Session {
-            session_key: session_key.clone(),
-            expected_oid: 1,
-            reply_seq: 1,
-            active: true,
-        });
-        self.ports.push(ClientPort {
+        let port = ClientPort {
             qp: server_end,
             request_ring,
             request_consumer: RingConsumer::new(self.config.ring_bytes),
@@ -325,27 +478,21 @@ impl PrecursorServer {
             reply_ring_rkey,
             credit_rkey,
             reply_credit,
-        });
-        // Per-client trusted state (oid slot) lives in the client region.
-        self.enclave.touch(
-            self.client_region,
-            client_id as u64 * 64,
-            64,
-            &mut meter,
-            &self.cost,
-        );
-
-        Ok(ClientBundle {
+            last_reply: Vec::new(),
+        };
+        let bundle = ClientBundle {
             client_id,
-            session_key,
+            session_key: session_key.clone(),
             qp: client_end,
             request_ring_rkey,
-            reply_ring: reply_ring.clone(),
+            reply_ring,
             credit_word,
             reply_credit_rkey,
             ring_bytes: self.config.ring_bytes,
             mode: self.config.mode,
-        })
+            expected_oid: 1,
+        };
+        (port, bundle)
     }
 
     /// Revokes a client: its QP transitions to the error state (§3.9) and
@@ -372,8 +519,13 @@ impl PrecursorServer {
             }
             loop {
                 // Update reply credits from the client-written word.
-                let consumed =
-                    u64::from_le_bytes(self.ports[idx].reply_credit.read(0, 8).try_into().expect("8 bytes"));
+                let consumed = u64::from_le_bytes(
+                    self.ports[idx]
+                        .reply_credit
+                        .read(0, 8)
+                        .try_into()
+                        .expect("8 bytes"),
+                );
                 self.ports[idx].reply_producer.update_credits(consumed);
 
                 let record = {
@@ -416,8 +568,8 @@ impl PrecursorServer {
             cost.server_time(Cycles(cost.rdma_poll_cycles)),
         );
 
-        let (status, opcode, value_len, reply) = match self.handle_frame(idx, &record, &mut meter) {
-            Ok((status, opcode, value_len, reply)) => (status, opcode, value_len, reply),
+        let (status, opcode, value_len, out) = match self.handle_frame(idx, &record, &mut meter) {
+            Ok(t) => t,
             Err(_) => {
                 // Structurally invalid record: emit an error reply that at
                 // least unblocks the client.
@@ -431,19 +583,24 @@ impl PrecursorServer {
                     mac: None,
                 }
                 .encode();
-                let sealed =
-                    gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control);
-                meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(control.len())));
+                let sealed = gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control);
+                meter.charge(
+                    Stage::Enclave,
+                    cost.server_time(cost.aes_gcm(control.len())),
+                );
                 (
                     Status::Error,
                     Opcode::Get,
                     0,
-                    ReplyFrame {
-                        status: Status::Error,
-                        opcode: Opcode::Get,
-                        reply_seq: seq,
-                        sealed_control: sealed,
-                        payload: Vec::new(),
+                    ReplyOut::Fresh {
+                        reply: ReplyFrame {
+                            status: Status::Error,
+                            opcode: Opcode::Get,
+                            reply_seq: seq,
+                            sealed_control: sealed,
+                            payload: Vec::new(),
+                        },
+                        remember: false,
                     },
                 )
             }
@@ -467,24 +624,50 @@ impl PrecursorServer {
 
         // Write the reply into the client's reply ring (one-sided WRITE by
         // the untrusted worker, §3.8).
-        let bytes = reply.encode();
-        let port = &mut self.ports[idx];
-        let rkey = port.reply_ring_rkey;
-        let qp = &mut port.qp;
-        let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
-            let _ = qp.post_write(rkey, off, chunk, false);
-        });
-        meter.counters_mut().rdma_posts += 1;
-        meter.counters_mut().tx_bytes += bytes.len() as u64;
-        meter.charge(
-            Stage::ServerCritical,
-            cost.server_time(Cycles(cost.rdma_post_cycles)),
-        );
-        if pushed.is_none() {
-            // Reply ring full: in the real system the worker would retry
-            // after the next credit update; the simulation's rings are sized
-            // to make this unreachable under the drivers.
-            debug_assert!(false, "reply ring full");
+        match out {
+            ReplyOut::Fresh { reply, remember } => {
+                let bytes = reply.encode();
+                let port = &mut self.ports[idx];
+                let rkey = port.reply_ring_rkey;
+                let qp = &mut port.qp;
+                let mut writes = Vec::with_capacity(2);
+                let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
+                    writes.push((off, chunk.to_vec()));
+                    let _ = qp.post_write(rkey, off, chunk, false);
+                });
+                if remember {
+                    port.last_reply = writes;
+                }
+                meter.counters_mut().rdma_posts += 1;
+                meter.counters_mut().tx_bytes += bytes.len() as u64;
+                meter.charge(
+                    Stage::ServerCritical,
+                    cost.server_time(Cycles(cost.rdma_post_cycles)),
+                );
+                if pushed.is_none() {
+                    // Reply ring full: in the real system the worker would
+                    // retry after the next credit update; the simulation's
+                    // rings are sized to make this unreachable under the
+                    // drivers.
+                    debug_assert!(false, "reply ring full");
+                }
+            }
+            ReplyOut::Retransmit => {
+                // Re-issue the last reply's WRITEs verbatim: fills any hole
+                // a dropped reply WRITE left in the client's reply ring,
+                // without consuming a new reply sequence number.
+                let port = &mut self.ports[idx];
+                let rkey = port.reply_ring_rkey;
+                for (off, bytes) in &port.last_reply {
+                    let _ = port.qp.post_write(rkey, *off, bytes, false);
+                    meter.counters_mut().rdma_posts += 1;
+                    meter.counters_mut().tx_bytes += bytes.len() as u64;
+                }
+                meter.charge(
+                    Stage::ServerCritical,
+                    cost.server_time(Cycles(cost.rdma_post_cycles)),
+                );
+            }
         }
 
         self.reports.push(OpReport {
@@ -502,7 +685,7 @@ impl PrecursorServer {
         idx: usize,
         record: &[u8],
         meter: &mut Meter,
-    ) -> Result<(Status, Opcode, usize, ReplyFrame), StoreError> {
+    ) -> Result<(Status, Opcode, usize, ReplyOut), StoreError> {
         let cost = self.cost.clone();
         let frame = RequestFrame::decode(record)?;
         if frame.client_id as usize != idx {
@@ -524,38 +707,129 @@ impl PrecursorServer {
         );
         let control_plain = match gcm::open(&session_key, &frame.iv, &aad, &frame.sealed_control) {
             Ok(p) => p,
-            Err(_) => return Ok((Status::Error, opcode, 0, self.error_reply(idx, opcode, Status::Error, 0, meter))),
+            Err(_) => {
+                let reply = self.error_reply(idx, opcode, Status::Error, 0, meter);
+                return Ok((
+                    Status::Error,
+                    opcode,
+                    0,
+                    ReplyOut::Fresh {
+                        reply,
+                        remember: false,
+                    },
+                ));
+            }
         };
         let control = match RequestControl::decode(&control_plain) {
             Ok(c) => c,
-            Err(_) => return Ok((Status::Error, opcode, 0, self.error_reply(idx, opcode, Status::Error, 0, meter))),
+            Err(_) => {
+                let reply = self.error_reply(idx, opcode, Status::Error, 0, meter);
+                return Ok((
+                    Status::Error,
+                    opcode,
+                    0,
+                    ReplyOut::Fresh {
+                        reply,
+                        remember: false,
+                    },
+                ));
+            }
         };
 
-        // Replay detection (Algorithm 2, lines 4-5): the per-client oid slot
-        // lives in trusted memory.
-        self.enclave.touch(
-            self.client_region,
-            idx as u64 * 64,
-            64,
-            meter,
-            &cost,
-        );
-        if control.oid != self.sessions[idx].expected_oid {
+        // Replay detection, relaxed to an at-most-once window (Algorithm 2,
+        // lines 4-5): the per-client oid slot lives in trusted memory. The
+        // *previous* oid is tolerated — it is a retransmission after a lost
+        // reply (or a replayed frame, which then gains nothing: the cached
+        // acknowledgement is re-sent and no state changes). Anything else
+        // off-sequence is rejected.
+        self.enclave
+            .touch(self.client_region, idx as u64 * 64, 64, meter, &cost);
+        let expected = self.sessions[idx].expected_oid;
+        let retransmit = control.oid != 0 && control.oid + 1 == expected;
+        if control.oid != expected && !retransmit {
+            let reply = self.error_reply(idx, opcode, Status::Replay, control.oid, meter);
             return Ok((
                 Status::Replay,
                 opcode,
                 0,
-                self.error_reply(idx, opcode, Status::Replay, control.oid, meter),
+                ReplyOut::Fresh {
+                    reply,
+                    remember: false,
+                },
             ));
+        }
+        if retransmit {
+            if self.ports[idx].last_reply.is_empty() {
+                // The session was re-established since the operation ran
+                // (QP reconnect or crash-restart), so the original reply
+                // bytes — sealed under the old session key — are gone.
+                // Reads are idempotent: re-execute them for a full reply.
+                // Mutations must not run twice: acknowledge from the cached
+                // status.
+                if opcode == Opcode::Get {
+                    let (status, value_len, reply) =
+                        self.execute(idx, opcode, control, &frame, &session_key, meter)?;
+                    self.sessions[idx].last_status = status;
+                    return Ok((
+                        status,
+                        opcode,
+                        value_len,
+                        ReplyOut::Fresh {
+                            reply,
+                            remember: true,
+                        },
+                    ));
+                }
+                let cached = self.sessions[idx].last_status;
+                let reply = self.error_reply(idx, opcode, cached, control.oid, meter);
+                return Ok((
+                    cached,
+                    opcode,
+                    0,
+                    ReplyOut::Fresh {
+                        reply,
+                        remember: true,
+                    },
+                ));
+            }
+            // Same session: re-issue the stored reply WRITEs verbatim
+            // (fills a reply-ring hole; the client dedups by reply_seq).
+            let cached = self.sessions[idx].last_status;
+            return Ok((cached, opcode, 0, ReplyOut::Retransmit));
         }
         self.sessions[idx].expected_oid += 1;
 
+        let (status, value_len, reply) =
+            self.execute(idx, opcode, control, &frame, &session_key, meter)?;
+        self.sessions[idx].last_status = status;
+        Ok((
+            status,
+            opcode,
+            value_len,
+            ReplyOut::Fresh {
+                reply,
+                remember: true,
+            },
+        ))
+    }
+
+    // Executes a validated, in-window request against the store and builds
+    // its reply (the body of Algorithm 2).
+    fn execute(
+        &mut self,
+        idx: usize,
+        opcode: Opcode,
+        control: RequestControl,
+        frame: &RequestFrame,
+        session_key: &Key128,
+        meter: &mut Meter,
+    ) -> Result<(Status, usize, ReplyFrame), StoreError> {
+        let cost = self.cost.clone();
         if control.key.len() > self.config.max_key_bytes
             || frame.payload.len() > self.config.max_value_bytes + gcm::TAG_LEN
         {
             return Ok((
                 Status::Error,
-                opcode,
                 0,
                 self.error_reply(idx, opcode, Status::Error, 0, meter),
             ));
@@ -566,7 +840,6 @@ impl PrecursorServer {
                 let (Some(k_op), Some(pn)) = (control.k_op.clone(), control.payload_nonce) else {
                     return Ok((
                         Status::Error,
-                        opcode,
                         0,
                         self.error_reply(idx, opcode, Status::Error, 0, meter),
                     ));
@@ -598,7 +871,6 @@ impl PrecursorServer {
                 );
                 Ok((
                     Status::Ok,
-                    opcode,
                     value_len,
                     self.ok_reply(idx, opcode, control.oid, None, meter),
                 ))
@@ -613,7 +885,7 @@ impl PrecursorServer {
                     cost.server_time(cost.aes_gcm(frame.payload.len())),
                 );
                 let plain = match gcm::open(
-                    &session_key,
+                    session_key,
                     &payload_request_nonce(control.oid),
                     &[],
                     &frame.payload,
@@ -622,7 +894,6 @@ impl PrecursorServer {
                     Err(_) => {
                         return Ok((
                             Status::Error,
-                            opcode,
                             0,
                             self.error_reply(idx, opcode, Status::Error, 0, meter),
                         ))
@@ -638,7 +909,8 @@ impl PrecursorServer {
                     &[],
                     &plain,
                 );
-                self.enclave.copy_across_boundary(stored.len(), meter, &cost);
+                self.enclave
+                    .copy_across_boundary(stored.len(), meter, &cost);
                 let range = self.store_payload(&stored, None, meter)?;
                 self.table_insert(
                     control.key,
@@ -654,7 +926,6 @@ impl PrecursorServer {
                 );
                 Ok((
                     Status::Ok,
-                    opcode,
                     value_len,
                     self.ok_reply(idx, opcode, control.oid, None, meter),
                 ))
@@ -666,7 +937,6 @@ impl PrecursorServer {
                 match found {
                     None => Ok((
                         Status::NotFound,
-                        opcode,
                         0,
                         self.error_reply(idx, opcode, Status::NotFound, control.oid, meter),
                     )),
@@ -702,7 +972,7 @@ impl PrecursorServer {
                                 Some((entry.clone(), payload.to_vec(), mac)),
                                 meter,
                             );
-                            Ok((Status::Ok, opcode, entry.payload_len, reply))
+                            Ok((Status::Ok, entry.payload_len, reply))
                         }
                         EncryptionMode::ServerSide => {
                             // Storage ciphertext crosses into the enclave, is
@@ -711,7 +981,8 @@ impl PrecursorServer {
                                 unreachable!("server-encryption mode never inlines");
                             };
                             let stored = self.payload_mem.read(range.offset, entry.payload_len);
-                            self.enclave.copy_across_boundary(stored.len(), meter, &cost);
+                            self.enclave
+                                .copy_across_boundary(stored.len(), meter, &cost);
                             meter.charge(
                                 Stage::Enclave,
                                 cost.server_time(cost.aes_gcm(stored.len())),
@@ -731,7 +1002,7 @@ impl PrecursorServer {
                                 cost.server_time(cost.aes_gcm(plain.len())),
                             );
                             let transport =
-                                gcm::seal(&session_key, &payload_reply_nonce(seq), &[], &plain);
+                                gcm::seal(session_key, &payload_reply_nonce(seq), &[], &plain);
                             self.enclave
                                 .copy_across_boundary(transport.len(), meter, &cost);
                             let control_reply = ReplyControl {
@@ -745,15 +1016,10 @@ impl PrecursorServer {
                                 Stage::Enclave,
                                 cost.server_time(cost.aes_gcm(control_reply.len())),
                             );
-                            let sealed = gcm::seal(
-                                &session_key,
-                                &reply_nonce(seq),
-                                &[],
-                                &control_reply,
-                            );
+                            let sealed =
+                                gcm::seal(session_key, &reply_nonce(seq), &[], &control_reply);
                             Ok((
                                 Status::Ok,
-                                opcode,
                                 plain.len(),
                                 ReplyFrame {
                                     status: Status::Ok,
@@ -773,7 +1039,6 @@ impl PrecursorServer {
                 match removed {
                     None => Ok((
                         Status::NotFound,
-                        opcode,
                         0,
                         self.error_reply(idx, opcode, Status::NotFound, control.oid, meter),
                     )),
@@ -783,7 +1048,6 @@ impl PrecursorServer {
                         }
                         Ok((
                             Status::Ok,
-                            opcode,
                             0,
                             self.ok_reply(idx, opcode, control.oid, None, meter),
                         ))
@@ -846,13 +1110,22 @@ impl PrecursorServer {
         self.charge_table_op(&stats, meter);
     }
 
-    fn charge_table_op(&mut self, stats: &precursor_storage::robinhood::OpStats, meter: &mut Meter) {
+    fn charge_table_op(
+        &mut self,
+        stats: &precursor_storage::robinhood::OpStats,
+        meter: &mut Meter,
+    ) {
         let cost = self.cost.clone();
         meter.charge(Stage::Enclave, cost.server_time(cost.ht_op(stats.probes)));
         let slot_bytes = self.config.model_slot_bytes as u64;
         for &slot in &stats.slots {
-            self.enclave
-                .touch(self.table_region, slot as u64 * slot_bytes, slot_bytes, meter, &cost);
+            self.enclave.touch(
+                self.table_region,
+                slot as u64 * slot_bytes,
+                slot_bytes,
+                meter,
+                &cost,
+            );
         }
     }
 
@@ -936,7 +1209,10 @@ impl PrecursorServer {
             mac: None,
         }
         .encode();
-        meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(control.len())));
+        meter.charge(
+            Stage::Enclave,
+            cost.server_time(cost.aes_gcm(control.len())),
+        );
         let sealed = gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control);
         ReplyFrame {
             status,
@@ -963,11 +1239,7 @@ impl PrecursorServer {
                 };
                 let (payload, mac_bytes) = stored.split_at(entry.payload_len);
                 let mac = Tag::try_from(mac_bytes).expect("16 bytes");
-                Some(cmac::verify(
-                    &cmac_key_of(&entry.k_op),
-                    payload,
-                    &mac,
-                ))
+                Some(cmac::verify(&cmac_key_of(&entry.k_op), payload, &mac))
             }
             EncryptionMode::ServerSide => {
                 let ValueStorage::Untrusted(range) = &entry.storage else {
@@ -1017,6 +1289,15 @@ impl PrecursorServer {
             storage_key: self.storage_key.clone(),
             storage_seq: self.storage_seq,
             entries,
+            // Per-client at-most-once windows ride along in the sealed
+            // blob, so a restarted server re-acknowledges (rather than
+            // re-executes or rejects) requests that were in flight at the
+            // crash.
+            sessions: self
+                .sessions
+                .iter()
+                .map(|s| (s.expected_oid, s.last_status))
+                .collect(),
         }
     }
 
@@ -1034,6 +1315,7 @@ impl PrecursorServer {
     ) -> Result<(), StoreError> {
         self.storage_key = body.storage_key;
         self.storage_seq = body.storage_seq;
+        self.saved_sessions = body.sessions;
         let mut meter = Meter::new();
         for e in body.entries {
             let storage = if self.config.mode == EncryptionMode::ClientSide
@@ -1089,6 +1371,12 @@ impl PrecursorServer {
             ValueStorage::InEnclave(_) => false,
         }
     }
+}
+
+// Poison-tolerant lock on the shared fault injector (mirrors the rdma
+// crate's internal helper).
+fn lock_faults(f: &Arc<Mutex<FaultInjector>>) -> std::sync::MutexGuard<'_, FaultInjector> {
+    f.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Derives the AES-128 key used for CMAC from the 256-bit `K_operation`

@@ -22,6 +22,7 @@ use precursor_sim::CostModel;
 use crate::config::{Config, EncryptionMode};
 use crate::error::StoreError;
 use crate::server::PrecursorServer;
+use crate::wire::Status;
 
 // One serialized entry of the snapshot body.
 pub(crate) struct SnapshotEntry {
@@ -39,6 +40,10 @@ pub(crate) struct SnapshotBody {
     pub storage_key: Key128,
     pub storage_seq: u64,
     pub entries: Vec<SnapshotEntry>,
+    /// Per-client `(expected_oid, last_status)` windows, indexed by
+    /// client_id — lets a restarted server resume its at-most-once
+    /// semantics for clients that reconnect.
+    pub sessions: Vec<(u64, Status)>,
 }
 
 impl SnapshotBody {
@@ -61,6 +66,11 @@ impl SnapshotBody {
             out.extend_from_slice(&(e.payload_len as u32).to_le_bytes());
             out.extend_from_slice(&(e.stored_bytes.len() as u32).to_le_bytes());
             out.extend_from_slice(&e.stored_bytes);
+        }
+        out.extend_from_slice(&(self.sessions.len() as u32).to_le_bytes());
+        for (expected_oid, last_status) in &self.sessions {
+            out.extend_from_slice(&expected_oid.to_le_bytes());
+            out.push(*last_status as u8);
         }
         out
     }
@@ -96,8 +106,7 @@ impl SnapshotBody {
             let client_id = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
             let payload_len =
                 u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
-            let stored_len =
-                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            let stored_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
             let stored_bytes = take(&mut pos, stored_len)?.to_vec();
             entries.push(SnapshotEntry {
                 key,
@@ -109,6 +118,14 @@ impl SnapshotBody {
                 stored_bytes,
             });
         }
+        let session_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let mut sessions = Vec::with_capacity(session_count.min(1 << 16));
+        for _ in 0..session_count {
+            let expected_oid = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+            let last_status =
+                Status::from_u8(take(&mut pos, 1)?[0]).ok_or(StoreError::MalformedFrame)?;
+            sessions.push((expected_oid, last_status));
+        }
         if pos != buf.len() {
             return Err(StoreError::MalformedFrame);
         }
@@ -117,6 +134,7 @@ impl SnapshotBody {
             storage_key,
             storage_seq,
             entries,
+            sessions,
         })
     }
 }
@@ -173,7 +191,11 @@ mod tests {
         let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
         for i in 0..50u32 {
             client
-                .put_sync(&mut server, &i.to_le_bytes(), format!("value-{i}").as_bytes())
+                .put_sync(
+                    &mut server,
+                    &i.to_le_bytes(),
+                    format!("value-{i}").as_bytes(),
+                )
                 .unwrap();
         }
         (server, client)
@@ -267,14 +289,18 @@ mod tests {
         let cost = CostModel::default();
         let mut server = PrecursorServer::new(Config::server_encryption(), &cost);
         let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
-        client.put_sync(&mut server, b"k", b"server-enc value").unwrap();
+        client
+            .put_sync(&mut server, b"k", b"server-enc value")
+            .unwrap();
         let mut counter = MonotonicCounter::new();
         let blob = server.snapshot(&mut counter);
         let mut restored =
-            PrecursorServer::restore(Config::server_encryption(), &cost, &blob, &counter)
-                .unwrap();
+            PrecursorServer::restore(Config::server_encryption(), &cost, &blob, &counter).unwrap();
         let mut c = PrecursorClient::connect(&mut restored, 2).unwrap();
-        assert_eq!(c.get_sync(&mut restored, b"k").unwrap(), b"server-enc value");
+        assert_eq!(
+            c.get_sync(&mut restored, b"k").unwrap(),
+            b"server-enc value"
+        );
     }
 
     #[test]
@@ -284,8 +310,7 @@ mod tests {
         let mut counter = MonotonicCounter::new();
         let blob = server.snapshot(&mut counter);
         assert!(
-            PrecursorServer::restore(Config::server_encryption(), &cost, &blob, &counter)
-                .is_err()
+            PrecursorServer::restore(Config::server_encryption(), &cost, &blob, &counter).is_err()
         );
     }
 
@@ -298,13 +323,9 @@ mod tests {
         client.put_sync(&mut server, b"big", &[7u8; 500]).unwrap();
         let mut counter = MonotonicCounter::new();
         let blob = server.snapshot(&mut counter);
-        let mut restored = PrecursorServer::restore(
-            Config::with_small_value_inlining(),
-            &cost,
-            &blob,
-            &counter,
-        )
-        .unwrap();
+        let mut restored =
+            PrecursorServer::restore(Config::with_small_value_inlining(), &cost, &blob, &counter)
+                .unwrap();
         let mut c = PrecursorClient::connect(&mut restored, 2).unwrap();
         assert_eq!(c.get_sync(&mut restored, b"tiny").unwrap(), b"x");
         assert_eq!(c.get_sync(&mut restored, b"big").unwrap(), vec![7u8; 500]);
@@ -316,8 +337,7 @@ mod tests {
         let mut server = PrecursorServer::new(Config::default(), &cost);
         let mut counter = MonotonicCounter::new();
         let blob = server.snapshot(&mut counter);
-        let restored =
-            PrecursorServer::restore(Config::default(), &cost, &blob, &counter).unwrap();
+        let restored = PrecursorServer::restore(Config::default(), &cost, &blob, &counter).unwrap();
         assert!(restored.is_empty());
     }
 }

@@ -55,7 +55,7 @@ pub enum Status {
 }
 
 impl Status {
-    fn from_u8(v: u8) -> Option<Status> {
+    pub(crate) fn from_u8(v: u8) -> Option<Status> {
         match v {
             0 => Some(Status::Ok),
             1 => Some(Status::NotFound),
@@ -384,15 +384,21 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, StoreError> {
-        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(
+            self.bytes(2)?.try_into().expect("len 2"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("len 4"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("len 8"),
+        ))
     }
 
     fn is_empty(&self) -> bool {
@@ -441,22 +447,37 @@ mod tests {
 
         let mut bad_op = good.clone();
         bad_op[0] = 99;
-        assert_eq!(RequestFrame::decode(&bad_op), Err(StoreError::MalformedFrame));
+        assert_eq!(
+            RequestFrame::decode(&bad_op),
+            Err(StoreError::MalformedFrame)
+        );
 
         let mut bad_start = good.clone();
         bad_start[1] ^= 0xFF;
-        assert_eq!(RequestFrame::decode(&bad_start), Err(StoreError::MalformedFrame));
+        assert_eq!(
+            RequestFrame::decode(&bad_start),
+            Err(StoreError::MalformedFrame)
+        );
 
         let mut bad_end = good.clone();
         let n = bad_end.len();
         bad_end[n - 1] ^= 0xFF;
-        assert_eq!(RequestFrame::decode(&bad_end), Err(StoreError::MalformedFrame));
+        assert_eq!(
+            RequestFrame::decode(&bad_end),
+            Err(StoreError::MalformedFrame)
+        );
 
         let mut trailing = good.clone();
         trailing.push(0);
-        assert_eq!(RequestFrame::decode(&trailing), Err(StoreError::MalformedFrame));
+        assert_eq!(
+            RequestFrame::decode(&trailing),
+            Err(StoreError::MalformedFrame)
+        );
 
-        assert_eq!(RequestFrame::decode(&good[..10]), Err(StoreError::MalformedFrame));
+        assert_eq!(
+            RequestFrame::decode(&good[..10]),
+            Err(StoreError::MalformedFrame)
+        );
     }
 
     #[test]

@@ -1,63 +1,78 @@
 //! Fuzz-style property tests of the wire codecs: arbitrary bytes must never
 //! panic the decoders, and valid frames survive mutation detection.
-
-use proptest::prelude::*;
+//! Driven by seeded loops over the in-repo deterministic RNG.
 
 use precursor::wire::{ReplyControl, ReplyFrame, RequestControl, RequestFrame};
 use precursor_crypto::keys::{Key256, Nonce12, Nonce8, Tag};
+use precursor_sim::rng::SimRng;
 
-proptest! {
-    #[test]
-    fn request_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+const CASES: usize = 512;
+
+fn random_bytes(rng: &mut SimRng, max_len: u64) -> Vec<u8> {
+    let mut v = vec![0u8; rng.gen_range(max_len) as usize];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn request_decode_never_panics() {
+    let mut rng = SimRng::seed_from(0xf022);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 512);
         let _ = RequestFrame::decode(&bytes);
     }
+}
 
-    #[test]
-    fn reply_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn reply_decode_never_panics() {
+    let mut rng = SimRng::seed_from(0xf123);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 512);
         let _ = ReplyFrame::decode(&bytes);
     }
+}
 
-    #[test]
-    fn control_decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn control_decoders_never_panic() {
+    let mut rng = SimRng::seed_from(0xf224);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 256);
         let _ = RequestControl::decode(&bytes);
         let _ = ReplyControl::decode(&bytes);
     }
+}
 
-    #[test]
-    fn truncated_valid_frames_are_rejected_not_panicking(
-        control in prop::collection::vec(any::<u8>(), 0..100),
-        payload in prop::collection::vec(any::<u8>(), 0..200),
-        cut in any::<usize>(),
-    ) {
+#[test]
+fn truncated_valid_frames_are_rejected_not_panicking() {
+    let mut rng = SimRng::seed_from(0xf325);
+    for _ in 0..CASES {
         let frame = RequestFrame {
             opcode: precursor::wire::Opcode::Put,
             client_id: 3,
             iv: Nonce12::from_counter(9),
-            sealed_control: control,
+            sealed_control: random_bytes(&mut rng, 100),
             mac: Tag::from_bytes([5; 16]),
-            payload,
+            payload: random_bytes(&mut rng, 200),
         };
         let bytes = frame.encode();
-        let cut = cut % bytes.len();
-        if cut < bytes.len() {
-            // any strict prefix must fail decoding
-            prop_assert!(RequestFrame::decode(&bytes[..cut]).is_err());
-        }
-        prop_assert_eq!(RequestFrame::decode(&bytes).unwrap(), frame);
+        // any strict prefix must fail decoding
+        let cut = rng.gen_range(bytes.len() as u64) as usize;
+        assert!(RequestFrame::decode(&bytes[..cut]).is_err());
+        assert_eq!(RequestFrame::decode(&bytes).unwrap(), frame);
     }
+}
 
-    #[test]
-    fn request_control_roundtrips(
-        oid in any::<u64>(),
-        key in prop::collection::vec(any::<u8>(), 0..64),
-        with_material in any::<bool>(),
-    ) {
+#[test]
+fn request_control_roundtrips() {
+    let mut rng = SimRng::seed_from(0xf426);
+    for _ in 0..CASES {
+        let with_material = rng.gen_bool(0.5);
         let c = RequestControl {
-            oid,
-            key,
+            oid: rng.next_u64(),
+            key: random_bytes(&mut rng, 64),
             k_op: with_material.then(|| Key256::from_bytes([1; 32])),
             payload_nonce: with_material.then(|| Nonce8::from_bytes([2; 8])),
         };
-        prop_assert_eq!(RequestControl::decode(&c.encode()).unwrap(), c);
+        assert_eq!(RequestControl::decode(&c.encode()).unwrap(), c);
     }
 }

@@ -218,10 +218,22 @@ fn mix_columns(s: &mut [u8; 16]) {
 fn inv_mix_columns(s: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
-        s[4 * c] = gf_mul(col[0], 0x0e) ^ gf_mul(col[1], 0x0b) ^ gf_mul(col[2], 0x0d) ^ gf_mul(col[3], 0x09);
-        s[4 * c + 1] = gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0e) ^ gf_mul(col[2], 0x0b) ^ gf_mul(col[3], 0x0d);
-        s[4 * c + 2] = gf_mul(col[0], 0x0d) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0e) ^ gf_mul(col[3], 0x0b);
-        s[4 * c + 3] = gf_mul(col[0], 0x0b) ^ gf_mul(col[1], 0x0d) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0e);
+        s[4 * c] = gf_mul(col[0], 0x0e)
+            ^ gf_mul(col[1], 0x0b)
+            ^ gf_mul(col[2], 0x0d)
+            ^ gf_mul(col[3], 0x09);
+        s[4 * c + 1] = gf_mul(col[0], 0x09)
+            ^ gf_mul(col[1], 0x0e)
+            ^ gf_mul(col[2], 0x0b)
+            ^ gf_mul(col[3], 0x0d);
+        s[4 * c + 2] = gf_mul(col[0], 0x0d)
+            ^ gf_mul(col[1], 0x09)
+            ^ gf_mul(col[2], 0x0e)
+            ^ gf_mul(col[3], 0x0b);
+        s[4 * c + 3] = gf_mul(col[0], 0x0b)
+            ^ gf_mul(col[1], 0x0d)
+            ^ gf_mul(col[2], 0x09)
+            ^ gf_mul(col[3], 0x0e);
     }
 }
 

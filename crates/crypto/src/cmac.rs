@@ -89,12 +89,10 @@ mod tests {
     }
 
     fn rfc_msg() -> Vec<u8> {
-        h2b(
-            "6bc1bee22e409f96e93d7e117393172a\
+        h2b("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        )
+             f69f2445df4f9b17ad2b417be66c3710")
     }
 
     #[test]
@@ -135,7 +133,11 @@ mod tests {
         let tag = mac(&key, b"payload bytes");
         assert!(verify(&key, b"payload bytes", &tag));
         assert!(!verify(&key, b"payload bytez", &tag));
-        assert!(!verify(&Key128::from_bytes([6; 16]), b"payload bytes", &tag));
+        assert!(!verify(
+            &Key128::from_bytes([6; 16]),
+            b"payload bytes",
+            &tag
+        ));
     }
 
     #[test]
@@ -145,7 +147,10 @@ mod tests {
         let mut tags = std::collections::HashSet::new();
         for len in 0..48usize {
             let msg = vec![0xAB; len];
-            assert!(tags.insert(mac(&key, &msg).as_bytes().to_vec()), "len {len}");
+            assert!(
+                tags.insert(mac(&key, &msg).as_bytes().to_vec()),
+                "len {len}"
+            );
         }
     }
 

@@ -30,8 +30,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(CryptoError::InvalidTag.to_string(), "authentication tag mismatch");
-        assert_eq!(CryptoError::InvalidLength.to_string(), "invalid input length");
+        assert_eq!(
+            CryptoError::InvalidTag.to_string(),
+            "authentication tag mismatch"
+        );
+        assert_eq!(
+            CryptoError::InvalidLength.to_string(),
+            "invalid input length"
+        );
     }
 
     #[test]

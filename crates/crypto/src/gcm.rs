@@ -111,7 +111,12 @@ pub fn seal(key: &Key128, nonce: &Nonce12, aad: &[u8], plaintext: &[u8]) -> Vec<
 /// Returns [`CryptoError::InvalidLength`] if `sealed` is shorter than a tag
 /// and [`CryptoError::InvalidTag`] if authentication fails (wrong key, wrong
 /// nonce, tampered ciphertext or tampered AAD).
-pub fn open(key: &Key128, nonce: &Nonce12, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+pub fn open(
+    key: &Key128,
+    nonce: &Nonce12,
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
     if sealed.len() < TAG_LEN {
         return Err(CryptoError::InvalidLength);
     }
@@ -147,7 +152,12 @@ mod tests {
     #[test]
     fn nist_test_case_1_empty() {
         // GCM spec test case 1: zero key/IV, empty everything.
-        let sealed = seal(&key("00000000000000000000000000000000"), &nonce("000000000000000000000000"), b"", b"");
+        let sealed = seal(
+            &key("00000000000000000000000000000000"),
+            &nonce("000000000000000000000000"),
+            b"",
+            b"",
+        );
         assert_eq!(sealed, h2b("58e2fccefa7e3061367f1d57a4e7455a"));
     }
 
@@ -217,7 +227,10 @@ mod tests {
         let k = Key128::from_bytes([1; 16]);
         let n = Nonce12::from_counter(1);
         let sealed = seal(&k, &n, b"aad-1", b"payload");
-        assert_eq!(open(&k, &n, b"aad-2", &sealed), Err(CryptoError::InvalidTag));
+        assert_eq!(
+            open(&k, &n, b"aad-2", &sealed),
+            Err(CryptoError::InvalidTag)
+        );
     }
 
     #[test]
@@ -233,7 +246,10 @@ mod tests {
     fn short_input_is_invalid_length() {
         let k = Key128::from_bytes([1; 16]);
         let n = Nonce12::from_counter(1);
-        assert_eq!(open(&k, &n, b"", &[0u8; 15]), Err(CryptoError::InvalidLength));
+        assert_eq!(
+            open(&k, &n, b"", &[0u8; 15]),
+            Err(CryptoError::InvalidLength)
+        );
     }
 
     #[test]

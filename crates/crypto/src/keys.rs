@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use rand::RngCore;
+use precursor_sim::rng::SimRng;
 
 macro_rules! secret_bytes {
     ($(#[$doc:meta])* $name:ident, $len:expr) => {
@@ -22,7 +22,7 @@ macro_rules! secret_bytes {
             }
 
             /// Generates fresh random material from `rng`.
-            pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> $name {
+            pub fn generate(rng: &mut SimRng) -> $name {
                 let mut b = [0u8; $len];
                 rng.fill_bytes(&mut b);
                 $name(b)
@@ -80,7 +80,7 @@ impl Nonce12 {
     }
 
     /// Generates a fresh random IV.
-    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Nonce12 {
+    pub fn generate(rng: &mut SimRng) -> Nonce12 {
         let mut b = [0u8; 12];
         rng.fill_bytes(&mut b);
         Nonce12(b)
@@ -103,7 +103,9 @@ impl Nonce12 {
 impl TryFrom<&[u8]> for Nonce12 {
     type Error = crate::CryptoError;
     fn try_from(v: &[u8]) -> Result<Self, Self::Error> {
-        let arr: [u8; 12] = v.try_into().map_err(|_| crate::CryptoError::InvalidLength)?;
+        let arr: [u8; 12] = v
+            .try_into()
+            .map_err(|_| crate::CryptoError::InvalidLength)?;
         Ok(Nonce12(arr))
     }
 }
@@ -122,7 +124,7 @@ impl Nonce8 {
     }
 
     /// Generates a fresh random nonce.
-    pub fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Nonce8 {
+    pub fn generate(rng: &mut SimRng) -> Nonce8 {
         let mut b = [0u8; 8];
         rng.fill_bytes(&mut b);
         Nonce8(b)
@@ -137,7 +139,9 @@ impl Nonce8 {
 impl TryFrom<&[u8]> for Nonce8 {
     type Error = crate::CryptoError;
     fn try_from(v: &[u8]) -> Result<Self, Self::Error> {
-        let arr: [u8; 8] = v.try_into().map_err(|_| crate::CryptoError::InvalidLength)?;
+        let arr: [u8; 8] = v
+            .try_into()
+            .map_err(|_| crate::CryptoError::InvalidLength)?;
         Ok(Nonce8(arr))
     }
 }
@@ -169,7 +173,9 @@ impl Tag {
 impl TryFrom<&[u8]> for Tag {
     type Error = crate::CryptoError;
     fn try_from(v: &[u8]) -> Result<Self, Self::Error> {
-        let arr: [u8; 16] = v.try_into().map_err(|_| crate::CryptoError::InvalidLength)?;
+        let arr: [u8; 16] = v
+            .try_into()
+            .map_err(|_| crate::CryptoError::InvalidLength)?;
         Ok(Tag(arr))
     }
 }
@@ -177,7 +183,6 @@ impl TryFrom<&[u8]> for Tag {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn debug_redacts_secrets() {
@@ -189,14 +194,14 @@ mod tests {
 
     #[test]
     fn generate_is_seed_deterministic() {
-        let mut a = rand::rngs::StdRng::seed_from_u64(1);
-        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(1);
         assert_eq!(Key128::generate(&mut a), Key128::generate(&mut b));
     }
 
     #[test]
     fn generate_differs_between_calls() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from(2);
         assert_ne!(Key256::generate(&mut rng), Key256::generate(&mut rng));
     }
 

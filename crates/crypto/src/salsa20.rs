@@ -38,7 +38,12 @@ fn keystream_block(key: &Key256, nonce: &Nonce8, counter: u64) -> [u8; 64] {
     let kb = key.as_bytes();
     let nb = nonce.as_bytes();
     let word = |bytes: &[u8], i: usize| {
-        u32::from_le_bytes([bytes[4 * i], bytes[4 * i + 1], bytes[4 * i + 2], bytes[4 * i + 3]])
+        u32::from_le_bytes([
+            bytes[4 * i],
+            bytes[4 * i + 1],
+            bytes[4 * i + 2],
+            bytes[4 * i + 3],
+        ])
     };
     let mut s = [0u32; 16];
     s[0] = SIGMA[0];

@@ -1,118 +1,178 @@
-//! Property-based tests over the crypto primitives.
-
-use proptest::prelude::*;
+//! Property-based tests over the crypto primitives, driven by the in-repo
+//! deterministic RNG (seeded loops instead of an external proptest engine).
 
 use precursor_crypto::keys::{Key128, Key256, Nonce12, Nonce8, Tag};
 use precursor_crypto::{aes::Aes128, cmac, ct::ct_eq, gcm, hmac::hmac_sha256, salsa20, sha256};
+use precursor_sim::rng::SimRng;
 
-proptest! {
-    #[test]
-    fn aes_roundtrip(key in prop::array::uniform16(any::<u8>()),
-                     block in prop::array::uniform16(any::<u8>())) {
-        let c = Aes128::new(&Key128::from_bytes(key));
-        prop_assert_eq!(c.decrypt_block(c.encrypt_block(block)), block);
+const CASES: usize = 64;
+
+fn rand_array<const N: usize>(rng: &mut SimRng) -> [u8; N] {
+    let mut b = [0u8; N];
+    rng.fill_bytes(&mut b);
+    b
+}
+
+fn rand_vec(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(max_len as u64 + 1) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn aes_roundtrip() {
+    let mut rng = SimRng::seed_from(0xa001);
+    for _ in 0..CASES {
+        let c = Aes128::new(&Key128::from_bytes(rand_array(&mut rng)));
+        let block: [u8; 16] = rand_array(&mut rng);
+        assert_eq!(c.decrypt_block(c.encrypt_block(block)), block);
     }
+}
 
-    #[test]
-    fn aes_is_a_permutation(key in prop::array::uniform16(any::<u8>()),
-                            a in prop::array::uniform16(any::<u8>()),
-                            b in prop::array::uniform16(any::<u8>())) {
-        let c = Aes128::new(&Key128::from_bytes(key));
-        prop_assert_eq!(a == b, c.encrypt_block(a) == c.encrypt_block(b));
+#[test]
+fn aes_is_a_permutation() {
+    let mut rng = SimRng::seed_from(0xa002);
+    for _ in 0..CASES {
+        let c = Aes128::new(&Key128::from_bytes(rand_array(&mut rng)));
+        let a: [u8; 16] = rand_array(&mut rng);
+        let b: [u8; 16] = rand_array(&mut rng);
+        assert_eq!(a == b, c.encrypt_block(a) == c.encrypt_block(b));
     }
+}
 
-    #[test]
-    fn gcm_roundtrip(key in prop::array::uniform16(any::<u8>()),
-                     nonce in prop::array::uniform12(any::<u8>()),
-                     aad in prop::collection::vec(any::<u8>(), 0..64),
-                     pt in prop::collection::vec(any::<u8>(), 0..512)) {
-        let k = Key128::from_bytes(key);
-        let n = Nonce12::from_bytes(nonce);
+#[test]
+fn gcm_roundtrip() {
+    let mut rng = SimRng::seed_from(0xa003);
+    for _ in 0..CASES {
+        let k = Key128::from_bytes(rand_array(&mut rng));
+        let n = Nonce12::from_bytes(rand_array(&mut rng));
+        let aad = rand_vec(&mut rng, 63);
+        let pt = rand_vec(&mut rng, 511);
         let sealed = gcm::seal(&k, &n, &aad, &pt);
-        prop_assert_eq!(sealed.len(), pt.len() + gcm::TAG_LEN);
-        prop_assert_eq!(gcm::open(&k, &n, &aad, &sealed).unwrap(), pt);
+        assert_eq!(sealed.len(), pt.len() + gcm::TAG_LEN);
+        assert_eq!(gcm::open(&k, &n, &aad, &sealed).unwrap(), pt);
     }
+}
 
-    #[test]
-    fn gcm_detects_any_single_bit_flip(key in prop::array::uniform16(any::<u8>()),
-                                       pt in prop::collection::vec(any::<u8>(), 1..64),
-                                       flip_bit in 0usize..8,
-                                       flip_pos_seed in any::<usize>()) {
-        let k = Key128::from_bytes(key);
+#[test]
+fn gcm_detects_any_single_bit_flip() {
+    let mut rng = SimRng::seed_from(0xa004);
+    for _ in 0..CASES {
+        let k = Key128::from_bytes(rand_array(&mut rng));
         let n = Nonce12::from_counter(7);
+        let mut pt = rand_vec(&mut rng, 62);
+        pt.push(rng.next_u64() as u8); // never empty
         let mut sealed = gcm::seal(&k, &n, b"", &pt);
-        let pos = flip_pos_seed % sealed.len();
-        sealed[pos] ^= 1 << flip_bit;
-        prop_assert!(gcm::open(&k, &n, b"", &sealed).is_err());
+        let pos = rng.gen_range(sealed.len() as u64) as usize;
+        let bit = rng.gen_range(8) as u8;
+        sealed[pos] ^= 1 << bit;
+        assert!(gcm::open(&k, &n, b"", &sealed).is_err());
     }
+}
 
-    #[test]
-    fn cmac_tamper_detection(key in prop::array::uniform16(any::<u8>()),
-                             msg in prop::collection::vec(any::<u8>(), 1..128),
-                             flip_bit in 0usize..8,
-                             flip_pos_seed in any::<usize>()) {
-        let k = Key128::from_bytes(key);
+#[test]
+fn cmac_tamper_detection() {
+    let mut rng = SimRng::seed_from(0xa005);
+    for _ in 0..CASES {
+        let k = Key128::from_bytes(rand_array(&mut rng));
+        let mut msg = rand_vec(&mut rng, 126);
+        msg.push(rng.next_u64() as u8); // never empty
         let tag = cmac::mac(&k, &msg);
         let mut tampered = msg.clone();
-        let pos = flip_pos_seed % tampered.len();
-        tampered[pos] ^= 1 << flip_bit;
-        prop_assert!(!cmac::verify(&k, &tampered, &tag));
-        prop_assert!(cmac::verify(&k, &msg, &tag));
+        let pos = rng.gen_range(tampered.len() as u64) as usize;
+        let bit = rng.gen_range(8) as u8;
+        tampered[pos] ^= 1 << bit;
+        assert!(!cmac::verify(&k, &tampered, &tag));
+        assert!(cmac::verify(&k, &msg, &tag));
     }
+}
 
-    #[test]
-    fn salsa20_roundtrip(key in prop::array::uniform32(any::<u8>()),
-                         nonce in prop::array::uniform8(any::<u8>()),
-                         data in prop::collection::vec(any::<u8>(), 0..1024)) {
-        let k = Key256::from_bytes(key);
-        let n = Nonce8::from_bytes(nonce);
+#[test]
+fn salsa20_roundtrip() {
+    let mut rng = SimRng::seed_from(0xa006);
+    for _ in 0..CASES {
+        let k = Key256::from_bytes(rand_array(&mut rng));
+        let n = Nonce8::from_bytes(rand_array(&mut rng));
+        let data = rand_vec(&mut rng, 1023);
         let ct = salsa20::encrypt(&k, &n, &data);
-        prop_assert_eq!(salsa20::decrypt(&k, &n, &ct), data);
+        assert_eq!(salsa20::decrypt(&k, &n, &ct), data);
     }
+}
 
-    #[test]
-    fn salsa20_keystream_seek_consistency(key in prop::array::uniform32(any::<u8>()),
-                                          nonce in prop::array::uniform8(any::<u8>()),
-                                          blocks in 1u64..8) {
-        let k = Key256::from_bytes(key);
-        let n = Nonce8::from_bytes(nonce);
-        let len = (blocks as usize) * 64;
+#[test]
+fn salsa20_keystream_seek_consistency() {
+    let mut rng = SimRng::seed_from(0xa007);
+    for _ in 0..CASES {
+        let k = Key256::from_bytes(rand_array(&mut rng));
+        let n = Nonce8::from_bytes(rand_array(&mut rng));
+        let blocks = 1 + rng.gen_range(7);
+        let len = blocks as usize * 64;
         let mut whole = vec![0u8; len + 64];
         salsa20::xor_keystream(&k, &n, 0, &mut whole);
         let mut tail = vec![0u8; 64];
         salsa20::xor_keystream(&k, &n, blocks, &mut tail);
-        prop_assert_eq!(&whole[len..], &tail[..]);
+        assert_eq!(&whole[len..], &tail[..]);
     }
+}
 
-    #[test]
-    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..4096),
-                                       split_seed in any::<usize>()) {
-        let split = if data.is_empty() { 0 } else { split_seed % data.len() };
+#[test]
+fn sha256_streaming_equals_oneshot() {
+    let mut rng = SimRng::seed_from(0xa008);
+    for _ in 0..CASES {
+        let data = rand_vec(&mut rng, 4095);
+        let split = if data.is_empty() {
+            0
+        } else {
+            rng.gen_range(data.len() as u64) as usize
+        };
         let mut h = sha256::Sha256::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finish(), sha256::digest(&data));
+        assert_eq!(h.finish(), sha256::digest(&data));
     }
+}
 
-    #[test]
-    fn hmac_distinguishes_keys(k1 in prop::collection::vec(any::<u8>(), 1..64),
-                               k2 in prop::collection::vec(any::<u8>(), 1..64),
-                               msg in prop::collection::vec(any::<u8>(), 0..128)) {
-        prop_assume!(k1 != k2);
-        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+#[test]
+fn hmac_distinguishes_keys() {
+    let mut rng = SimRng::seed_from(0xa009);
+    for _ in 0..CASES {
+        let mut k1 = rand_vec(&mut rng, 62);
+        k1.push(rng.next_u64() as u8);
+        let mut k2 = rand_vec(&mut rng, 62);
+        k2.push(rng.next_u64() as u8);
+        if k1 == k2 {
+            continue;
+        }
+        let msg = rand_vec(&mut rng, 127);
+        assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
     }
+}
 
-    #[test]
-    fn ct_eq_matches_plain_eq(a in prop::collection::vec(any::<u8>(), 0..64),
-                              b in prop::collection::vec(any::<u8>(), 0..64)) {
-        prop_assert_eq!(ct_eq(&a, &b), a == b);
+#[test]
+fn ct_eq_matches_plain_eq() {
+    let mut rng = SimRng::seed_from(0xa00a);
+    for _ in 0..CASES {
+        let a = rand_vec(&mut rng, 63);
+        let b = if rng.gen_bool(0.5) {
+            a.clone()
+        } else {
+            rand_vec(&mut rng, 63)
+        };
+        assert_eq!(ct_eq(&a, &b), a == b);
     }
+}
 
-    #[test]
-    fn tag_verify_matches_eq(a in prop::array::uniform16(any::<u8>()),
-                             b in prop::array::uniform16(any::<u8>())) {
-        let ta = Tag::from_bytes(a);
-        let tb = Tag::from_bytes(b);
-        prop_assert_eq!(ta.verify(&tb), a == b);
+#[test]
+fn tag_verify_matches_eq() {
+    let mut rng = SimRng::seed_from(0xa00b);
+    for _ in 0..CASES {
+        let a: [u8; 16] = rand_array(&mut rng);
+        let b: [u8; 16] = if rng.gen_bool(0.5) {
+            a
+        } else {
+            rand_array(&mut rng)
+        };
+        assert_eq!(Tag::from_bytes(a).verify(&Tag::from_bytes(b)), a == b);
     }
 }

@@ -1,0 +1,499 @@
+//! Deterministic, seeded fault injection for the simulated transports.
+//!
+//! Real RDMA deployments lose frames to link errors, drop completions when
+//! QPs transition to error, and suffer DMA into untrusted memory being
+//! corrupted by a hostile host — exactly the faults Precursor's client-side
+//! integrity checks and the recovery protocol must survive. A [`FaultPlan`]
+//! describes *which* faults to inject (exact scripted rules and/or
+//! probabilistic rates); a [`FaultInjector`] executes the plan against the
+//! event stream of a transport pair, driven by a [`SimRng`] so every chaos
+//! run replays bit-identically from its seed.
+//!
+//! The injector is shared between the two endpoints of a
+//! [`connect_pair_faulty`](crate::qp::connect_pair_faulty) or
+//! [`SimTcp::pair_faulty`](crate::tcp::SimTcp::pair_faulty) and observes
+//! four event streams ([`FaultSite`]): one-sided WRITEs, two-sided SENDs,
+//! TCP messages, and signaled completions. Each event may trigger at most
+//! one [`FaultAction`]; everything injected is recorded in a log the chaos
+//! harness can audit ("every injected fault ended in recovery or a typed
+//! error").
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use precursor_sim::rng::SimRng;
+
+/// Which transport event stream a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A one-sided WRITE (ring frames and payloads travel this way).
+    Write,
+    /// A two-sided SEND message.
+    Send,
+    /// A message on a [`SimTcp`](crate::tcp::SimTcp) socket (attestation
+    /// handshakes).
+    Tcp,
+    /// A signaled work completion about to be delivered to a CQ.
+    Completion,
+}
+
+/// Which direction of a pair a fault applies to. Endpoint *A* is the first
+/// element returned by the pair constructor; Precursor wires the client as
+/// *A* and the server as *B*, so `AtoB` faults hit requests and `BtoA`
+/// faults hit replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultDir {
+    /// Events originated by endpoint A.
+    AtoB,
+    /// Events originated by endpoint B.
+    BtoA,
+    /// Events from either endpoint.
+    Any,
+}
+
+impl FaultDir {
+    fn matches(self, from_a: bool) -> bool {
+        match self {
+            FaultDir::AtoB => from_a,
+            FaultDir::BtoA => !from_a,
+            FaultDir::Any => true,
+        }
+    }
+}
+
+/// What to do to a matched event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// Discard the frame / completion silently.
+    Drop,
+    /// Deliver the frame twice (messages only; WRITEs are idempotent).
+    Duplicate,
+    /// Flip one random bit of the delivered bytes.
+    Corrupt,
+    /// Hold the frame and release it in front of the next frame in the same
+    /// direction (messages only). A delayed frame with no successor never
+    /// arrives — indistinguishable from a drop, which the recovery protocol
+    /// must handle anyway.
+    Delay,
+    /// Transition the owning queue pair to the error state.
+    QpError,
+}
+
+/// A scripted one-shot fault: fires on the `at`-th matching event
+/// (1-based) at `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Event stream to match.
+    pub site: FaultSite,
+    /// Direction filter. With [`FaultDir::Any`] the `at` index counts all
+    /// events at the site; otherwise it counts only events in that
+    /// direction.
+    pub dir: FaultDir,
+    /// Action to inject.
+    pub action: FaultAction,
+    /// 1-based index of the matching event to fire on.
+    pub at: u64,
+}
+
+/// A probabilistic fault: fires on each matching event with probability
+/// `prob`, drawn from the injector's seeded RNG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRate {
+    /// Event stream to match.
+    pub site: FaultSite,
+    /// Direction filter.
+    pub dir: FaultDir,
+    /// Action to inject.
+    pub action: FaultAction,
+    /// Per-event probability in `[0, 1]`.
+    pub prob: f64,
+}
+
+/// A declarative fault schedule: scripted rules checked first, then rates
+/// in declaration order. At most one action fires per event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    rates: Vec<FaultRate>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a scripted one-shot rule.
+    pub fn rule(mut self, site: FaultSite, dir: FaultDir, action: FaultAction, at: u64) -> Self {
+        self.rules.push(FaultRule {
+            site,
+            dir,
+            action,
+            at,
+        });
+        self
+    }
+
+    /// Adds a probabilistic rate.
+    pub fn rate(mut self, site: FaultSite, dir: FaultDir, action: FaultAction, prob: f64) -> Self {
+        self.rates.push(FaultRate {
+            site,
+            dir,
+            action,
+            prob: prob.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.rates.is_empty()
+    }
+}
+
+/// One injected fault, as recorded in the injector's audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Event stream the fault hit.
+    pub site: FaultSite,
+    /// Whether endpoint A originated the event.
+    pub from_a: bool,
+    /// Action taken.
+    pub action: FaultAction,
+    /// 1-based index of the event among all events at this site.
+    pub event: u64,
+}
+
+/// Verdict for a one-sided WRITE passed through the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteVerdict {
+    /// Place the (possibly corrupted) bytes in peer memory.
+    Deliver,
+    /// The write is lost: bytes never land, yet posting reports success —
+    /// the silent loss the client's deadline must catch.
+    Drop,
+    /// The QP transitions to the error state; the post fails.
+    Error,
+}
+
+/// Executes a [`FaultPlan`] against a transport pair's event streams.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    totals: HashMap<FaultSite, u64>,
+    by_dir: HashMap<(FaultSite, bool), u64>,
+    delayed: HashMap<(FaultSite, bool), VecDeque<Vec<u8>>>,
+    forced_error: bool,
+    log: Vec<InjectedFault>,
+}
+
+impl FaultInjector {
+    /// Creates an injector executing `plan` with randomness seeded from
+    /// `seed`. Identical plans + seeds + event streams inject identical
+    /// faults.
+    pub fn new(plan: FaultPlan, seed: u64) -> FaultInjector {
+        FaultInjector {
+            plan,
+            rng: SimRng::seed_from(seed),
+            totals: HashMap::new(),
+            by_dir: HashMap::new(),
+            delayed: HashMap::new(),
+            forced_error: false,
+            log: Vec::new(),
+        }
+    }
+
+    /// Convenience: a shareable injector handle as the transport
+    /// constructors expect it.
+    pub fn shared(plan: FaultPlan, seed: u64) -> Arc<Mutex<FaultInjector>> {
+        Arc::new(Mutex::new(FaultInjector::new(plan, seed)))
+    }
+
+    /// The audit log of every fault injected so far.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Takes (and clears) the pending forced-QP-error flag. Transports call
+    /// this after passing an event through the injector.
+    pub fn take_forced_error(&mut self) -> bool {
+        std::mem::take(&mut self.forced_error)
+    }
+
+    fn pick(&mut self, site: FaultSite, from_a: bool) -> Option<FaultAction> {
+        let total = {
+            let c = self.totals.entry(site).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let directional = {
+            let c = self.by_dir.entry((site, from_a)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let mut hit = None;
+        for r in &self.plan.rules {
+            if r.site != site || !r.dir.matches(from_a) {
+                continue;
+            }
+            let n = if r.dir == FaultDir::Any {
+                total
+            } else {
+                directional
+            };
+            if n == r.at {
+                hit = Some(r.action);
+                break;
+            }
+        }
+        if hit.is_none() {
+            for r in &self.plan.rates {
+                if r.site != site || !r.dir.matches(from_a) {
+                    continue;
+                }
+                // Always draw so the RNG stream is independent of earlier
+                // hits — keeps replays stable under plan tweaks.
+                let fire = self.rng.gen_bool(r.prob);
+                if fire && hit.is_none() {
+                    hit = Some(r.action);
+                }
+            }
+        }
+        if let Some(action) = hit {
+            self.log.push(InjectedFault {
+                site,
+                from_a,
+                action,
+                event: total,
+            });
+        }
+        hit
+    }
+
+    fn flip_bit(&mut self, data: &mut [u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let pos = self.rng.gen_range(data.len() as u64) as usize;
+        let bit = self.rng.gen_range(8) as u8;
+        data[pos] ^= 1 << bit;
+    }
+
+    /// Passes a message (SEND or TCP) through the plan. Returns the frames
+    /// to actually enqueue, in order: any previously delayed frame for this
+    /// direction is released first, then the current frame (unless dropped
+    /// or delayed), then any duplicate.
+    pub fn on_message(&mut self, site: FaultSite, from_a: bool, data: &[u8]) -> Vec<Vec<u8>> {
+        let mut out: Vec<Vec<u8>> = self
+            .delayed
+            .remove(&(site, from_a))
+            .map(Vec::from)
+            .unwrap_or_default();
+        match self.pick(site, from_a) {
+            None => out.push(data.to_vec()),
+            Some(FaultAction::Drop) => {}
+            Some(FaultAction::Duplicate) => {
+                out.push(data.to_vec());
+                out.push(data.to_vec());
+            }
+            Some(FaultAction::Corrupt) => {
+                let mut d = data.to_vec();
+                self.flip_bit(&mut d);
+                out.push(d);
+            }
+            Some(FaultAction::Delay) => {
+                self.delayed
+                    .entry((site, from_a))
+                    .or_default()
+                    .push_back(data.to_vec());
+            }
+            Some(FaultAction::QpError) => {
+                self.forced_error = true;
+            }
+        }
+        out
+    }
+
+    /// Passes a one-sided WRITE through the plan, possibly corrupting the
+    /// bytes in place. `Duplicate`/`Delay` degrade to `Deliver` here:
+    /// re-writing the same offset is a no-op and ring slots are
+    /// sequence-checked, so neither is observable.
+    pub fn on_write(&mut self, from_a: bool, data: &mut [u8]) -> WriteVerdict {
+        match self.pick(FaultSite::Write, from_a) {
+            None | Some(FaultAction::Duplicate) | Some(FaultAction::Delay) => WriteVerdict::Deliver,
+            Some(FaultAction::Drop) => WriteVerdict::Drop,
+            Some(FaultAction::Corrupt) => {
+                self.flip_bit(data);
+                WriteVerdict::Deliver
+            }
+            Some(FaultAction::QpError) => {
+                self.forced_error = true;
+                WriteVerdict::Error
+            }
+        }
+    }
+
+    /// Whether a signaled completion should be delivered (`false` = the
+    /// completion is lost). Any matched action drops it; `QpError`
+    /// additionally errors the QP.
+    pub fn on_completion(&mut self, from_a: bool) -> bool {
+        match self.pick(FaultSite::Completion, from_a) {
+            None => true,
+            Some(FaultAction::QpError) => {
+                self.forced_error = true;
+                false
+            }
+            Some(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_injects() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 1);
+        for i in 0..100u8 {
+            assert_eq!(inj.on_message(FaultSite::Tcp, true, &[i]), vec![vec![i]]);
+            let mut d = vec![i];
+            assert_eq!(inj.on_write(true, &mut d), WriteVerdict::Deliver);
+            assert_eq!(d, vec![i]);
+            assert!(inj.on_completion(false));
+        }
+        assert_eq!(inj.injected(), 0);
+        assert!(!inj.take_forced_error());
+    }
+
+    #[test]
+    fn scripted_rule_fires_on_exact_event() {
+        let plan = FaultPlan::none().rule(FaultSite::Write, FaultDir::AtoB, FaultAction::Drop, 3);
+        let mut inj = FaultInjector::new(plan, 7);
+        let mut verdicts = Vec::new();
+        for _ in 0..5 {
+            let mut d = vec![0u8; 4];
+            verdicts.push(inj.on_write(true, &mut d));
+        }
+        assert_eq!(
+            verdicts,
+            vec![
+                WriteVerdict::Deliver,
+                WriteVerdict::Deliver,
+                WriteVerdict::Drop,
+                WriteVerdict::Deliver,
+                WriteVerdict::Deliver,
+            ]
+        );
+        assert_eq!(inj.injected(), 1);
+        assert_eq!(inj.log()[0].action, FaultAction::Drop);
+    }
+
+    #[test]
+    fn directional_rules_count_per_direction() {
+        let plan = FaultPlan::none().rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Drop, 2);
+        let mut inj = FaultInjector::new(plan, 7);
+        let mut d = vec![1u8];
+        // A→B events do not advance the B→A counter.
+        assert_eq!(inj.on_write(true, &mut d), WriteVerdict::Deliver);
+        assert_eq!(inj.on_write(true, &mut d), WriteVerdict::Deliver);
+        assert_eq!(inj.on_write(false, &mut d), WriteVerdict::Deliver);
+        assert_eq!(inj.on_write(false, &mut d), WriteVerdict::Drop);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let plan = FaultPlan::none().rule(FaultSite::Write, FaultDir::Any, FaultAction::Corrupt, 1);
+        let mut inj = FaultInjector::new(plan, 3);
+        let orig = vec![0u8; 32];
+        let mut d = orig.clone();
+        assert_eq!(inj.on_write(true, &mut d), WriteVerdict::Deliver);
+        let flipped: u32 = d.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn duplicate_and_delay_reorder_messages() {
+        let plan = FaultPlan::none()
+            .rule(FaultSite::Tcp, FaultDir::AtoB, FaultAction::Delay, 1)
+            .rule(FaultSite::Tcp, FaultDir::AtoB, FaultAction::Duplicate, 3);
+        let mut inj = FaultInjector::new(plan, 5);
+        assert_eq!(
+            inj.on_message(FaultSite::Tcp, true, b"1"),
+            Vec::<Vec<u8>>::new()
+        );
+        // Delayed frame released before the next one.
+        assert_eq!(
+            inj.on_message(FaultSite::Tcp, true, b"2"),
+            vec![b"1".to_vec(), b"2".to_vec()]
+        );
+        assert_eq!(
+            inj.on_message(FaultSite::Tcp, true, b"3"),
+            vec![b"3".to_vec(), b"3".to_vec()]
+        );
+    }
+
+    #[test]
+    fn qp_error_action_raises_forced_error() {
+        let plan = FaultPlan::none().rule(FaultSite::Write, FaultDir::Any, FaultAction::QpError, 2);
+        let mut inj = FaultInjector::new(plan, 5);
+        let mut d = vec![0u8];
+        assert_eq!(inj.on_write(true, &mut d), WriteVerdict::Deliver);
+        assert!(!inj.take_forced_error());
+        assert_eq!(inj.on_write(true, &mut d), WriteVerdict::Error);
+        assert!(inj.take_forced_error());
+        assert!(!inj.take_forced_error(), "flag is cleared after take");
+    }
+
+    #[test]
+    fn completion_drop() {
+        let plan =
+            FaultPlan::none().rule(FaultSite::Completion, FaultDir::Any, FaultAction::Drop, 2);
+        let mut inj = FaultInjector::new(plan, 5);
+        assert!(inj.on_completion(true));
+        assert!(!inj.on_completion(true));
+        assert!(inj.on_completion(true));
+    }
+
+    #[test]
+    fn rates_are_deterministic_per_seed() {
+        let plan =
+            || FaultPlan::none().rate(FaultSite::Write, FaultDir::Any, FaultAction::Drop, 0.3);
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan(), seed);
+            (0..200)
+                .map(|_| {
+                    let mut d = vec![0u8; 8];
+                    inj.on_write(true, &mut d) == WriteVerdict::Drop
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds give different schedules");
+        let drops = run(11).iter().filter(|&&d| d).count();
+        assert!((30..90).contains(&drops), "~30% of 200, got {drops}");
+    }
+
+    #[test]
+    fn first_matching_rule_wins_over_rates() {
+        let plan = FaultPlan::none()
+            .rule(FaultSite::Write, FaultDir::Any, FaultAction::Corrupt, 1)
+            .rate(FaultSite::Write, FaultDir::Any, FaultAction::Drop, 1.0);
+        let mut inj = FaultInjector::new(plan, 1);
+        let mut d = vec![0u8; 4];
+        assert_eq!(inj.on_write(true, &mut d), WriteVerdict::Deliver);
+        assert_ne!(d, vec![0u8; 4], "corrupted, not dropped");
+        let mut d2 = vec![0u8; 4];
+        assert_eq!(
+            inj.on_write(true, &mut d2),
+            WriteVerdict::Drop,
+            "rate applies after"
+        );
+    }
+}

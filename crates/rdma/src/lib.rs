@@ -16,6 +16,9 @@
 //!   Figure 6 beyond ~55 clients.
 //! * [`tcp`] — the kernel-TCP baseline transport used by ShieldStore, with
 //!   per-message syscall/interrupt costs charged by the cost model.
+//! * [`faults`] — deterministic, seeded fault injection (dropped/corrupted
+//!   frames, lost completions, forced QP errors) threaded through both
+//!   transports so recovery protocols can be chaos-tested replayably.
 //!
 //! Timing is charged to a [`Meter`](precursor_sim::Meter) (CPU cost of
 //! posting/polling) while byte counts are exposed so the closed-loop driver
@@ -38,12 +41,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod mr;
 pub mod nic;
 pub mod qp;
 pub mod tcp;
 
+pub use faults::{FaultAction, FaultDir, FaultInjector, FaultPlan, FaultSite};
 pub use mr::{Memory, RemoteKey};
 pub use nic::RnicCache;
-pub use qp::{connect_pair, QueuePair, RdmaError, WorkCompletion};
+pub use qp::{connect_pair, connect_pair_faulty, QueuePair, RdmaError, WcStatus, WorkCompletion};
 pub use tcp::SimTcp;
+
+/// Locks a mutex, recovering the guard if a holder panicked (the simulation
+/// is single-threaded in practice; poisoning would only hide the original
+/// panic).
+pub(crate) fn plock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

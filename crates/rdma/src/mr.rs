@@ -8,9 +8,9 @@
 //! (simulated) NIC refuses to touch it, which is why Precursor must place
 //! payload data in *untrusted* memory (§1).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
+use crate::plock;
 
 /// A shared, growable byte buffer.
 ///
@@ -30,7 +30,7 @@ impl Memory {
 
     /// Current length in bytes.
     pub fn len(&self) -> usize {
-        self.buf.lock().len()
+        plock(&self.buf).len()
     }
 
     /// Whether the buffer is empty.
@@ -44,7 +44,7 @@ impl Memory {
     ///
     /// Panics if the range is out of bounds.
     pub fn write(&self, offset: usize, data: &[u8]) {
-        let mut buf = self.buf.lock();
+        let mut buf = plock(&self.buf);
         buf[offset..offset + data.len()].copy_from_slice(data);
     }
 
@@ -54,24 +54,24 @@ impl Memory {
     ///
     /// Panics if the range is out of bounds.
     pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
-        let buf = self.buf.lock();
+        let buf = plock(&self.buf);
         buf[offset..offset + len].to_vec()
     }
 
     /// Runs `f` with mutable access to the raw bytes (local CPU access —
     /// rings and pools operate through this).
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
-        f(&mut self.buf.lock())
+        f(&mut plock(&self.buf))
     }
 
     /// Runs `f` with shared access to the raw bytes.
     pub fn with<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
-        f(&self.buf.lock())
+        f(&plock(&self.buf))
     }
 
     /// Extends the buffer by `extra` zero bytes (the grown payload pool).
     pub fn grow(&self, extra: usize) {
-        let mut buf = self.buf.lock();
+        let mut buf = plock(&self.buf);
         let new_len = buf.len() + extra;
         buf.resize(new_len, 0);
     }

@@ -7,11 +7,16 @@
 //! stream) while the cost model charges per-message kernel/interrupt
 //! latency, per-byte stack processing, and the log-normal scheduling jitter
 //! that produces ShieldStore's tail outliers in Figure 7.
+//!
+//! A pair created with [`SimTcp::pair_faulty`] routes every message through
+//! a shared [`FaultInjector`], which may drop, duplicate, corrupt or delay
+//! it — the loss model for attestation handshakes in chaos runs.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
+use crate::faults::{FaultInjector, FaultSite};
+use crate::plock;
 
 /// Transfer statistics of one socket endpoint.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,34 +51,61 @@ pub struct SimTcp {
     shared: Arc<Mutex<Shared>>,
     is_a: bool,
     stats: Arc<Mutex<TcpStats>>,
+    faults: Option<Arc<Mutex<FaultInjector>>>,
 }
 
 impl SimTcp {
     /// Creates a connected socket pair.
     pub fn pair() -> (SimTcp, SimTcp) {
+        SimTcp::make_pair(None)
+    }
+
+    /// Creates a connected socket pair whose messages flow through a shared
+    /// [`FaultInjector`]. Endpoint *A* (the first element) originates
+    /// `AtoB` events.
+    pub fn pair_faulty(faults: Arc<Mutex<FaultInjector>>) -> (SimTcp, SimTcp) {
+        SimTcp::make_pair(Some(faults))
+    }
+
+    fn make_pair(faults: Option<Arc<Mutex<FaultInjector>>>) -> (SimTcp, SimTcp) {
         let shared = Arc::new(Mutex::new(Shared::default()));
         let a = SimTcp {
             shared: shared.clone(),
             is_a: true,
             stats: Arc::new(Mutex::new(TcpStats::default())),
+            faults: faults.clone(),
         };
         let b = SimTcp {
             shared,
             is_a: false,
             stats: Arc::new(Mutex::new(TcpStats::default())),
+            faults,
         };
         (a, b)
     }
 
     /// Sends one message. Returns `false` if the peer closed the connection.
+    /// Under fault injection the message may be silently lost, duplicated,
+    /// corrupted or reordered; sending still reports `true`.
     pub fn send(&mut self, data: &[u8]) -> bool {
-        let mut s = self.shared.lock();
+        let frames = match &self.faults {
+            None => vec![data.to_vec()],
+            Some(f) => {
+                let mut inj = plock(f);
+                let frames = inj.on_message(FaultSite::Tcp, self.is_a, data);
+                inj.take_forced_error();
+                frames
+            }
+        };
+        let mut s = plock(&self.shared);
         if s.closed {
             return false;
         }
         let q = if self.is_a { &mut s.to_b } else { &mut s.to_a };
-        q.push_back(data.to_vec());
-        let mut st = self.stats.lock();
+        for frame in frames {
+            q.push_back(frame);
+        }
+        let mut st = plock(&self.stats);
         st.msgs_sent += 1;
         st.bytes_sent += data.len() as u64;
         true
@@ -81,14 +113,14 @@ impl SimTcp {
 
     /// Receives the next pending message, if any.
     pub fn recv(&mut self) -> Option<Vec<u8>> {
-        let mut s = self.shared.lock();
+        let mut s = plock(&self.shared);
         let q = if self.is_a { &mut s.to_a } else { &mut s.to_b };
         q.pop_front()
     }
 
     /// Number of messages waiting to be received at this endpoint.
     pub fn pending(&self) -> usize {
-        let s = self.shared.lock();
+        let s = plock(&self.shared);
         if self.is_a {
             s.to_a.len()
         } else {
@@ -98,23 +130,24 @@ impl SimTcp {
 
     /// Closes the connection for both endpoints.
     pub fn close(&mut self) {
-        self.shared.lock().closed = true;
+        plock(&self.shared).closed = true;
     }
 
     /// Whether the connection has been closed.
     pub fn is_closed(&self) -> bool {
-        self.shared.lock().closed
+        plock(&self.shared).closed
     }
 
     /// This endpoint's send statistics.
     pub fn stats(&self) -> TcpStats {
-        *self.stats.lock()
+        *plock(&self.stats)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultAction, FaultDir, FaultPlan};
 
     #[test]
     fn messages_are_fifo() {
@@ -151,8 +184,20 @@ mod tests {
         a.send(&[0u8; 10]);
         a.send(&[0u8; 20]);
         b.send(&[0u8; 5]);
-        assert_eq!(a.stats(), TcpStats { msgs_sent: 2, bytes_sent: 30 });
-        assert_eq!(b.stats(), TcpStats { msgs_sent: 1, bytes_sent: 5 });
+        assert_eq!(
+            a.stats(),
+            TcpStats {
+                msgs_sent: 2,
+                bytes_sent: 30
+            }
+        );
+        assert_eq!(
+            b.stats(),
+            TcpStats {
+                msgs_sent: 1,
+                bytes_sent: 5
+            }
+        );
     }
 
     #[test]
@@ -162,5 +207,43 @@ mod tests {
         a.send(b"x");
         a.send(b"y");
         assert_eq!(b.pending(), 2);
+    }
+
+    #[test]
+    fn injected_drop_loses_message() {
+        let plan = FaultPlan::none().rule(FaultSite::Tcp, FaultDir::AtoB, FaultAction::Drop, 2);
+        let (mut a, mut b) = SimTcp::pair_faulty(FaultInjector::shared(plan, 1));
+        assert!(a.send(b"1"));
+        assert!(a.send(b"2"), "send still reports success");
+        assert!(a.send(b"3"));
+        assert_eq!(b.recv().unwrap(), b"1");
+        assert_eq!(b.recv().unwrap(), b"3");
+        assert!(b.recv().is_none());
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_twice() {
+        let plan =
+            FaultPlan::none().rule(FaultSite::Tcp, FaultDir::BtoA, FaultAction::Duplicate, 1);
+        let (mut a, mut b) = SimTcp::pair_faulty(FaultInjector::shared(plan, 1));
+        b.send(b"reply");
+        assert_eq!(a.recv().unwrap(), b"reply");
+        assert_eq!(a.recv().unwrap(), b"reply");
+        assert!(a.recv().is_none());
+    }
+
+    #[test]
+    fn injected_delay_reorders() {
+        let plan = FaultPlan::none().rule(FaultSite::Tcp, FaultDir::AtoB, FaultAction::Delay, 1);
+        let (mut a, mut b) = SimTcp::pair_faulty(FaultInjector::shared(plan, 1));
+        a.send(b"first");
+        assert!(b.recv().is_none(), "held back");
+        a.send(b"second");
+        assert_eq!(
+            b.recv().unwrap(),
+            b"first",
+            "released ahead of the next frame"
+        );
+        assert_eq!(b.recv().unwrap(), b"second");
     }
 }

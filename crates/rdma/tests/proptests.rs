@@ -1,96 +1,118 @@
 //! Property tests of the verbs layer: one-sided operations against a model
 //! buffer, permission/bounds invariants, atomic semantics, and TCP ordering.
-
-use proptest::prelude::*;
+//! Driven by seeded loops over the in-repo deterministic RNG.
 
 use precursor_rdma::mr::Memory;
 use precursor_rdma::qp::{connect_pair, RdmaError};
 use precursor_rdma::tcp::SimTcp;
+use precursor_sim::rng::SimRng;
 
-proptest! {
-    #[test]
-    fn writes_and_reads_match_a_model_buffer(
-        ops in prop::collection::vec(
-            (any::<u16>(), prop::collection::vec(any::<u8>(), 1..64)),
-            1..100,
-        )
-    ) {
+const CASES: usize = 48;
+
+fn rand_vec(rng: &mut SimRng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = rng.gen_range_between(lo as u64, hi as u64 + 1) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn writes_and_reads_match_a_model_buffer() {
+    let mut rng = SimRng::seed_from(0xd001);
+    for _ in 0..CASES {
         let cap = 4096usize;
         let (mut client, server) = connect_pair(912);
         let mem = Memory::zeroed(cap);
         let key = server.register(mem, true);
         let mut model = vec![0u8; cap];
-        for (off_seed, data) in ops {
-            let off = (off_seed as usize) % (cap - data.len());
+        let ops = 1 + rng.gen_range(99) as usize;
+        for _ in 0..ops {
+            let data = rand_vec(&mut rng, 1, 63);
+            let off = rng.gen_range((cap - data.len()) as u64) as usize;
             client.post_write(key, off, &data, false).unwrap();
             model[off..off + data.len()].copy_from_slice(&data);
-            // read back a window covering the write
             let got = client.post_read(key, off, data.len(), false).unwrap();
-            prop_assert_eq!(&got, &model[off..off + data.len()]);
+            assert_eq!(&got, &model[off..off + data.len()]);
         }
-        // final full-buffer agreement
         let all = client.post_read(key, 0, cap, false).unwrap();
-        prop_assert_eq!(all, model);
+        assert_eq!(all, model);
     }
+}
 
-    #[test]
-    fn out_of_bounds_never_corrupts(off in any::<usize>(), len in 1usize..128) {
+#[test]
+fn out_of_bounds_never_corrupts() {
+    let mut rng = SimRng::seed_from(0xd002);
+    for _ in 0..CASES {
         let cap = 1024usize;
         let (mut client, server) = connect_pair(912);
         let mem = Memory::zeroed(cap);
         let key = server.register(mem.clone(), true);
+        let len = 1 + rng.gen_range(127) as usize;
+        let off = rng.gen_range(2 * cap as u64) as usize;
         let data = vec![0xAAu8; len];
-        let result = client.post_write(key, off % (2 * cap), &data, false);
-        match result {
-            Ok(_) => prop_assert!(off % (2 * cap) + len <= cap),
+        match client.post_write(key, off, &data, false) {
+            Ok(_) => assert!(off + len <= cap),
             Err(RdmaError::OutOfBounds) => {
-                prop_assert!(off % (2 * cap) + len > cap);
+                assert!(off + len > cap);
                 // nothing was written
-                prop_assert!(mem.read(0, cap).iter().all(|&b| b == 0));
+                assert!(mem.read(0, cap).iter().all(|&b| b == 0));
             }
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("unexpected error {e}"),
         }
     }
+}
 
-    #[test]
-    fn fetch_add_sums_like_a_counter(adds in prop::collection::vec(any::<u32>(), 1..64)) {
+#[test]
+fn fetch_add_sums_like_a_counter() {
+    let mut rng = SimRng::seed_from(0xd003);
+    for _ in 0..CASES {
         let (mut client, server) = connect_pair(912);
         let mem = Memory::zeroed(64);
         let key = server.register(mem.clone(), true);
         let mut expected = 0u64;
-        for a in adds {
-            let old = client.post_fetch_add(key, 0, a as u64, false).unwrap();
-            prop_assert_eq!(old, expected);
-            expected = expected.wrapping_add(a as u64);
+        let adds = 1 + rng.gen_range(63) as usize;
+        for _ in 0..adds {
+            let a = rng.next_u32() as u64;
+            let old = client.post_fetch_add(key, 0, a, false).unwrap();
+            assert_eq!(old, expected);
+            expected = expected.wrapping_add(a);
         }
-        prop_assert_eq!(
+        assert_eq!(
             u64::from_le_bytes(mem.read(0, 8).try_into().unwrap()),
             expected
         );
     }
+}
 
-    #[test]
-    fn tcp_preserves_order_and_content(msgs in prop::collection::vec(
-        prop::collection::vec(any::<u8>(), 0..64), 1..50)
-    ) {
+#[test]
+fn tcp_preserves_order_and_content() {
+    let mut rng = SimRng::seed_from(0xd004);
+    for _ in 0..CASES {
         let (mut a, mut b) = SimTcp::pair();
+        let n = 1 + rng.gen_range(49) as usize;
+        let msgs: Vec<Vec<u8>> = (0..n).map(|_| rand_vec(&mut rng, 0, 63)).collect();
         for m in &msgs {
-            prop_assert!(a.send(m));
+            assert!(a.send(m));
         }
         for m in &msgs {
-            prop_assert_eq!(b.recv().unwrap(), m.clone());
+            assert_eq!(&b.recv().unwrap(), m);
         }
-        prop_assert!(b.recv().is_none());
+        assert!(b.recv().is_none());
     }
+}
 
-    #[test]
-    fn selective_signaling_counts_exactly(n in 1usize..100, interval in 1usize..10) {
+#[test]
+fn selective_signaling_counts_exactly() {
+    let mut rng = SimRng::seed_from(0xd005);
+    for _ in 0..CASES {
         let (mut client, server) = connect_pair(912);
         let key = server.register(Memory::zeroed(4096), true);
+        let n = 1 + rng.gen_range(99) as usize;
+        let interval = 1 + rng.gen_range(9) as usize;
         for i in 0..n {
             client.post_write(key, 0, &[1], i % interval == 0).unwrap();
         }
         let completions = client.poll_cq(n + 1);
-        prop_assert_eq!(completions.len(), n.div_ceil(interval));
+        assert_eq!(completions.len(), n.div_ceil(interval));
     }
 }

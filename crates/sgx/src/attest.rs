@@ -11,6 +11,7 @@
 
 use precursor_crypto::hmac::{derive_key_pair, hmac_sha256};
 use precursor_crypto::Key128;
+use precursor_sim::rng::SimRng;
 
 use crate::enclave::Enclave;
 
@@ -60,7 +61,7 @@ impl AttestationService {
     }
 
     /// Creates a service with a fresh platform key.
-    pub fn new<R: rand::RngCore + ?Sized>(rng: &mut R) -> AttestationService {
+    pub fn new(rng: &mut SimRng) -> AttestationService {
         let mut platform_key = [0u8; 32];
         rng.fill_bytes(&mut platform_key);
         AttestationService { platform_key }
@@ -86,7 +87,11 @@ impl AttestationService {
     ///
     /// [`AttestationError::BadQuote`] if the MAC fails,
     /// [`AttestationError::WrongMeasurement`] if the measurement differs.
-    pub fn verify(&self, quote: &Quote, expected_measurement: [u8; 32]) -> Result<(), AttestationError> {
+    pub fn verify(
+        &self,
+        quote: &Quote,
+        expected_measurement: [u8; 32],
+    ) -> Result<(), AttestationError> {
         let mut msg = Vec::with_capacity(64);
         msg.extend_from_slice(&quote.measurement);
         msg.extend_from_slice(&quote.report_data);
@@ -135,11 +140,9 @@ impl AttestationService {
 mod tests {
     use super::*;
     use precursor_sim::CostModel;
-    use rand::SeedableRng;
 
     fn service() -> AttestationService {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        AttestationService::new(&mut rng)
+        AttestationService::new(&mut SimRng::seed_from(1))
     }
 
     #[test]
@@ -153,8 +156,7 @@ mod tests {
     #[test]
     fn quote_from_other_platform_rejected() {
         let svc_a = service();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-        let svc_b = AttestationService::new(&mut rng);
+        let svc_b = AttestationService::new(&mut SimRng::seed_from(99));
         let enclave = Enclave::new(&CostModel::default());
         let quote = svc_b.quote(&enclave, [7u8; 32]);
         assert_eq!(
@@ -191,9 +193,15 @@ mod tests {
         let svc = service();
         let enclave = Enclave::new(&CostModel::default());
         let m = enclave.measurement();
-        let k1 = svc.establish_session(&enclave, m, [1; 16], [2; 16]).unwrap();
-        let k1_again = svc.establish_session(&enclave, m, [1; 16], [2; 16]).unwrap();
-        let k2 = svc.establish_session(&enclave, m, [3; 16], [2; 16]).unwrap();
+        let k1 = svc
+            .establish_session(&enclave, m, [1; 16], [2; 16])
+            .unwrap();
+        let k1_again = svc
+            .establish_session(&enclave, m, [1; 16], [2; 16])
+            .unwrap();
+        let k2 = svc
+            .establish_session(&enclave, m, [3; 16], [2; 16])
+            .unwrap();
         assert_eq!(k1, k1_again, "both sides derive the same key");
         assert_ne!(k1, k2, "different clients get different keys");
     }

@@ -101,7 +101,14 @@ impl Enclave {
     /// # Panics
     ///
     /// Panics if the range exceeds the region (an enclave "page abort").
-    pub fn touch(&mut self, id: RegionId, offset: u64, len: u64, meter: &mut Meter, cost: &CostModel) -> u64 {
+    pub fn touch(
+        &mut self,
+        id: RegionId,
+        offset: u64,
+        len: u64,
+        meter: &mut Meter,
+        cost: &CostModel,
+    ) -> u64 {
         let region = &self.regions[id.0 as usize];
         assert!(
             offset + len <= region.bytes,
@@ -173,10 +180,7 @@ mod tests {
         e.ecall(&mut m, &cost);
         assert_eq!(e.transitions(), 1);
         assert_eq!(m.counters().transitions, 1);
-        assert_eq!(
-            m.get(Stage::Enclave),
-            cost.server_time(Cycles(13_100))
-        );
+        assert_eq!(m.get(Stage::Enclave), cost.server_time(Cycles(13_100)));
     }
 
     #[test]
@@ -232,6 +236,9 @@ mod tests {
     #[test]
     fn measurement_is_stable() {
         let cost = CostModel::default();
-        assert_eq!(Enclave::new(&cost).measurement(), Enclave::new(&cost).measurement());
+        assert_eq!(
+            Enclave::new(&cost).measurement(),
+            Enclave::new(&cost).measurement()
+        );
     }
 }

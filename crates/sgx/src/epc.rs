@@ -79,8 +79,11 @@ impl EpcTracker {
                 faults += 1;
                 if self.resident.len() as u64 > self.capacity_pages {
                     // Evict the least-recently-used page.
-                    let (&old_stamp, &victim) =
-                        self.lru.iter().next().expect("lru nonempty when over capacity");
+                    let (&old_stamp, &victim) = self
+                        .lru
+                        .iter()
+                        .next()
+                        .expect("lru nonempty when over capacity");
                     self.lru.remove(&old_stamp);
                     self.resident.remove(&victim);
                     self.evictions += 1;

@@ -10,7 +10,7 @@
 
 use precursor_crypto::keys::{Key128, Nonce12};
 use precursor_crypto::{gcm, CryptoError};
-use rand::RngCore;
+use precursor_sim::rng::SimRng;
 
 use crate::attest::AttestationService;
 use crate::enclave::Enclave;
@@ -33,12 +33,7 @@ impl AttestationService {
 
 /// Seals `plaintext` under `key`, authenticating `version` (the monotonic
 /// counter value at sealing time). Layout: `nonce ‖ GCM(ciphertext ‖ tag)`.
-pub fn seal<R: RngCore + ?Sized>(
-    key: &Key128,
-    version: u64,
-    plaintext: &[u8],
-    rng: &mut R,
-) -> Vec<u8> {
+pub fn seal(key: &Key128, version: u64, plaintext: &[u8], rng: &mut SimRng) -> Vec<u8> {
     let nonce = Nonce12::generate(rng);
     let sealed = gcm::seal(key, &nonce, &version.to_le_bytes(), plaintext);
     let mut out = Vec::with_capacity(12 + sealed.len());
@@ -68,10 +63,9 @@ pub fn unseal(key: &Key128, version: u64, blob: &[u8]) -> Result<Vec<u8>, Crypto
 mod tests {
     use super::*;
     use precursor_sim::CostModel;
-    use rand::SeedableRng;
 
-    fn setup() -> (AttestationService, Enclave, rand::rngs::StdRng) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    fn setup() -> (AttestationService, Enclave, SimRng) {
+        let mut rng = SimRng::seed_from(7);
         let svc = AttestationService::new(&mut rng);
         let enclave = Enclave::new(&CostModel::default());
         (svc, enclave, rng)
@@ -90,9 +84,11 @@ mod tests {
         let (svc, enclave, _) = setup();
         assert_eq!(svc.sealing_key(&enclave), svc.sealing_key(&enclave));
         // a different platform derives a different key
-        let mut rng2 = rand::rngs::StdRng::seed_from_u64(99);
-        let other_platform = AttestationService::new(&mut rng2);
-        assert_ne!(svc.sealing_key(&enclave), other_platform.sealing_key(&enclave));
+        let other_platform = AttestationService::new(&mut SimRng::seed_from(99));
+        assert_ne!(
+            svc.sealing_key(&enclave),
+            other_platform.sealing_key(&enclave)
+        );
     }
 
     #[test]
@@ -113,15 +109,17 @@ mod tests {
         let last = blob.len() - 1;
         blob[last] ^= 1;
         assert_eq!(unseal(&key, 1, &blob), Err(CryptoError::InvalidTag));
-        assert_eq!(unseal(&key, 1, &blob[..10]), Err(CryptoError::InvalidLength));
+        assert_eq!(
+            unseal(&key, 1, &blob[..10]),
+            Err(CryptoError::InvalidLength)
+        );
     }
 
     #[test]
     fn wrong_platform_cannot_unseal() {
         let (svc, enclave, mut rng) = setup();
         let blob = seal(&svc.sealing_key(&enclave), 1, b"state", &mut rng);
-        let mut rng2 = rand::rngs::StdRng::seed_from_u64(99);
-        let other = AttestationService::new(&mut rng2);
+        let other = AttestationService::new(&mut SimRng::seed_from(99));
         assert!(unseal(&other.sealing_key(&enclave), 1, &blob).is_err());
     }
 }

@@ -1,14 +1,15 @@
 //! Property tests of the SGX model: EPC residency against a reference LRU,
-//! working-set monotonicity, sealing round trips.
+//! working-set monotonicity, sealing round trips. Driven by seeded loops
+//! over the in-repo deterministic RNG.
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
 use precursor_sgx::epc::{page_id, EpcTracker};
 use precursor_sgx::sealing;
+use precursor_sim::rng::SimRng;
 use precursor_sim::CostModel;
-use rand::SeedableRng;
+
+const CASES: usize = 48;
 
 // A straightforward reference LRU for cross-checking the tracker.
 struct RefLru {
@@ -32,58 +33,70 @@ impl RefLru {
     }
 }
 
-proptest! {
-    #[test]
-    fn epc_tracker_matches_reference_lru(
-        pages in prop::collection::vec(0u64..64, 1..500),
-        cap in 1u64..32,
-    ) {
+#[test]
+fn epc_tracker_matches_reference_lru() {
+    let mut rng = SimRng::seed_from(0xf001);
+    for _ in 0..CASES {
+        let cap = 1 + rng.gen_range(31);
+        let n = 1 + rng.gen_range(499) as usize;
+        let pages: Vec<u64> = (0..n).map(|_| rng.gen_range(64)).collect();
         let mut sut = EpcTracker::new(cap, 4096);
-        let mut reference = RefLru { cap: cap as usize, order: VecDeque::new() };
+        let mut reference = RefLru {
+            cap: cap as usize,
+            order: VecDeque::new(),
+        };
         let mut faults = 0u64;
         for &p in &pages {
             let hit = reference.touch(p);
             let f = sut.touch_pages(page_id(0, p), 1);
-            prop_assert_eq!(f == 0, hit, "page {} divergence", p);
+            assert_eq!(f == 0, hit, "page {p} divergence");
             faults += f;
         }
-        prop_assert_eq!(sut.faults(), faults);
-        prop_assert!(sut.resident_pages() <= cap);
+        assert_eq!(sut.faults(), faults);
+        assert!(sut.resident_pages() <= cap);
         let distinct = {
             let mut v = pages.clone();
             v.sort_unstable();
             v.dedup();
             v.len() as u64
         };
-        prop_assert_eq!(sut.working_set_pages(), distinct);
+        assert_eq!(sut.working_set_pages(), distinct);
     }
+}
 
-    #[test]
-    fn working_set_is_monotone(ranges in prop::collection::vec((0u64..1_000_000, 1u64..10_000), 1..100)) {
+#[test]
+fn working_set_is_monotone() {
+    let mut rng = SimRng::seed_from(0xf002);
+    for _ in 0..CASES {
         let mut epc = EpcTracker::new(1_000, 4096);
         let mut prev = 0;
-        for (off, len) in ranges {
+        let n = 1 + rng.gen_range(99) as usize;
+        for _ in 0..n {
+            let off = rng.gen_range(1_000_000);
+            let len = 1 + rng.gen_range(9_999);
             epc.touch_range(0, off, len);
             let ws = epc.working_set_pages();
-            prop_assert!(ws >= prev);
+            assert!(ws >= prev);
             prev = ws;
         }
     }
+}
 
-    #[test]
-    fn sealing_roundtrips_and_rejects_other_versions(
-        data in prop::collection::vec(any::<u8>(), 0..512),
-        version in any::<u64>(),
-        other in any::<u64>(),
-    ) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let svc = precursor_sgx::AttestationService::new(&mut rng);
-        let enclave = precursor_sgx::Enclave::new(&CostModel::default());
-        let key = svc.sealing_key(&enclave);
+#[test]
+fn sealing_roundtrips_and_rejects_other_versions() {
+    let mut rng = SimRng::seed_from(3);
+    let svc = precursor_sgx::AttestationService::new(&mut rng);
+    let enclave = precursor_sgx::Enclave::new(&CostModel::default());
+    let key = svc.sealing_key(&enclave);
+    for _ in 0..CASES {
+        let mut data = vec![0u8; rng.gen_range(512) as usize];
+        rng.fill_bytes(&mut data);
+        let version = rng.next_u64();
+        let other = rng.next_u64();
         let blob = sealing::seal(&key, version, &data, &mut rng);
-        prop_assert_eq!(sealing::unseal(&key, version, &blob).unwrap(), data);
+        assert_eq!(sealing::unseal(&key, version, &blob).unwrap(), data);
         if other != version {
-            prop_assert!(sealing::unseal(&key, other, &blob).is_err());
+            assert!(sealing::unseal(&key, other, &blob).is_err());
         }
     }
 }

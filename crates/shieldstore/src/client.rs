@@ -3,8 +3,8 @@
 
 use std::collections::VecDeque;
 
-use precursor_crypto::keys::{Key128, Nonce12};
 use precursor_crypto::gcm;
+use precursor_crypto::keys::{Key128, Nonce12};
 use precursor_rdma::tcp::SimTcp;
 use precursor_sim::meter::{Meter, Stage};
 use precursor_sim::CostModel;
@@ -135,9 +135,7 @@ impl ShieldClient {
             let result = unframe_sealed(&msg)
                 .filter(|(iv, _)| iv.as_bytes() == &expected_iv)
                 .and_then(|(iv, sealed)| gcm::open(&self.session_key, &iv, &[], sealed).ok())
-                .and_then(|plain| {
-                    decode_reply(&plain).map(|(s, v)| (s, v.to_vec()))
-                });
+                .and_then(|plain| decode_reply(&plain).map(|(s, v)| (s, v.to_vec())));
             let completed = match result {
                 Some((status, value)) => ShieldCompleted {
                     oid,
@@ -168,11 +166,19 @@ impl ShieldClient {
     }
 
     /// Convenience: put and wait by pumping the server.
-    pub fn put_sync(&mut self, server: &mut ShieldServer, key: &[u8], value: &[u8]) -> ShieldStatus {
+    pub fn put_sync(
+        &mut self,
+        server: &mut ShieldServer,
+        key: &[u8],
+        value: &[u8],
+    ) -> ShieldStatus {
         self.put(key, value);
         server.poll();
         self.poll_replies();
-        self.completed.pop().map(|c| c.status).unwrap_or(ShieldStatus::Error)
+        self.completed
+            .pop()
+            .map(|c| c.status)
+            .unwrap_or(ShieldStatus::Error)
     }
 
     /// Convenience: get and wait by pumping the server.
@@ -188,7 +194,10 @@ impl ShieldClient {
         self.delete(key);
         server.poll();
         self.poll_replies();
-        self.completed.pop().map(|c| c.status).unwrap_or(ShieldStatus::Error)
+        self.completed
+            .pop()
+            .map(|c| c.status)
+            .unwrap_or(ShieldStatus::Error)
     }
 }
 
@@ -228,7 +237,10 @@ mod tests {
         client.put_sync(&mut server, b"k", b"v");
         assert_eq!(client.delete_sync(&mut server, b"k"), ShieldStatus::Ok);
         assert!(client.get_sync(&mut server, b"k").is_none());
-        assert_eq!(client.delete_sync(&mut server, b"k"), ShieldStatus::NotFound);
+        assert_eq!(
+            client.delete_sync(&mut server, b"k"),
+            ShieldStatus::NotFound
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl MerkleTree {
     ///
     /// Panics unless `leaves` is a power of two ≥ 2.
     pub fn new(leaves: usize) -> MerkleTree {
-        assert!(leaves >= 2 && leaves.is_power_of_two(), "leaves must be a power of two");
+        assert!(
+            leaves >= 2 && leaves.is_power_of_two(),
+            "leaves must be a power of two"
+        );
         let mut levels = vec![vec![[0u8; 32]; leaves]];
         while levels.last().expect("nonempty").len() > 1 {
             let below = levels.last().expect("nonempty");

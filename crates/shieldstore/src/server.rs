@@ -14,10 +14,9 @@ use precursor_rdma::tcp::SimTcp;
 use precursor_sgx::attest::AttestationService;
 use precursor_sgx::enclave::{Enclave, RegionId};
 use precursor_sim::meter::{Meter, Stage};
+use precursor_sim::rng::SimRng;
 use precursor_sim::time::Cycles;
 use precursor_sim::CostModel;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
 
 use crate::merkle::MerkleTree;
 use crate::wire::{
@@ -91,10 +90,10 @@ pub struct ShieldClientBundle {
 // An entry chained in an untrusted bucket.
 #[derive(Debug, Clone)]
 struct StoredEntry {
-    key_hint: u64, // hash for chain scanning (untrusted, non-secret)
+    key_hint: u64,   // hash for chain scanning (untrusted, non-secret)
     cipher: Vec<u8>, // GCM(key ‖ value) under the server storage key
-    seq: u64,      // storage nonce counter
-    mac: Tag,      // CMAC over cipher (feeds the bucket MAC)
+    seq: u64,        // storage nonce counter
+    mac: Tag,        // CMAC over cipher (feeds the bucket MAC)
 }
 
 #[derive(Debug)]
@@ -110,7 +109,7 @@ struct Session {
 pub struct ShieldServer {
     config: ShieldConfig,
     cost: CostModel,
-    rng: StdRng,
+    rng: SimRng,
     attestation: AttestationService,
 
     enclave: Enclave,
@@ -166,8 +165,11 @@ impl ShieldServer {
     /// Creates a server; the enclave's static structures are touched at
     /// startup (the paper's 17,392-page initial working set, Table 1).
     pub fn new(config: ShieldConfig, cost: &CostModel) -> ShieldServer {
-        assert!(config.num_buckets.is_power_of_two(), "bucket count must be a power of two");
-        let mut rng = StdRng::seed_from_u64(0xdead_beef_cafe_f00d);
+        assert!(
+            config.num_buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
+        let mut rng = SimRng::seed_from(0xdead_beef_cafe_f00d);
         let attestation = AttestationService::new(&mut rng);
         let mut enclave = Enclave::new(cost);
         let static_region = enclave.alloc_region("shield-static", config.modeled_static_bytes);
@@ -281,7 +283,8 @@ impl ShieldServer {
         );
 
         // Whole request is copied into the enclave and transport-decrypted.
-        self.enclave.copy_across_boundary(msg.len(), &mut meter, &cost);
+        self.enclave
+            .copy_across_boundary(msg.len(), &mut meter, &cost);
         meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(msg.len())));
         if !self.conn_touched {
             self.conn_touched = true;
@@ -341,9 +344,8 @@ impl ShieldServer {
             fixed_cycles += self.cost.shieldstore_put_extra;
         }
         let fixed = Cycles(fixed_cycles);
-        let critical = Cycles(
-            (fixed.0 as f64 * self.cost.shieldstore_critical_fraction).round() as u64,
-        );
+        let critical =
+            Cycles((fixed.0 as f64 * self.cost.shieldstore_critical_fraction).round() as u64);
         meter.charge(Stage::ServerCritical, self.cost.server_time(critical));
         meter.charge(
             Stage::ServerOverhead,
@@ -359,7 +361,10 @@ impl ShieldServer {
         ivb[4..].copy_from_slice(&seq.to_be_bytes());
         let iv = precursor_crypto::Nonce12::from_bytes(ivb);
         let plain = encode_reply(status, &reply_plain);
-        meter.charge(Stage::Enclave, self.cost.server_time(self.cost.aes_gcm(plain.len())));
+        meter.charge(
+            Stage::Enclave,
+            self.cost.server_time(self.cost.aes_gcm(plain.len())),
+        );
         self.enclave
             .copy_across_boundary(plain.len(), &mut meter, &self.cost);
         let sealed = gcm::seal(&session.session_key, &iv, &[], &plain);
@@ -405,7 +410,8 @@ impl ShieldServer {
         meter.charge(Stage::Enclave, cost.server_time(cost.cmac(cipher.len())));
         let mac = cmac::mac(&self.mac_key, &cipher);
         // Entry leaves the enclave into the untrusted chain.
-        self.enclave.copy_across_boundary(cipher.len(), meter, &cost);
+        self.enclave
+            .copy_across_boundary(cipher.len(), meter, &cost);
         StoredEntry {
             key_hint: fx_hash(key),
             cipher,
@@ -539,10 +545,7 @@ impl ShieldServer {
             }
             if let Some((k, v)) = self.open_entry(e) {
                 if k == key {
-                    meter.charge(
-                        Stage::Enclave,
-                        cost.server_time(cost.aes_gcm(v.len())),
-                    );
+                    meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(v.len())));
                     value = Some(v);
                     break;
                 }
@@ -687,13 +690,19 @@ mod tests {
         for i in 0..32u32 {
             server.do_put(&i.to_le_bytes(), b"v", &mut meter);
         }
-        assert_eq!(server.do_delete(&5u32.to_le_bytes(), &mut meter), ShieldStatus::Ok);
+        assert_eq!(
+            server.do_delete(&5u32.to_le_bytes(), &mut meter),
+            ShieldStatus::Ok
+        );
         assert_eq!(
             server.do_delete(&5u32.to_le_bytes(), &mut meter),
             ShieldStatus::NotFound
         );
         assert_eq!(server.do_get(&5u32.to_le_bytes(), &mut meter), None);
-        assert_eq!(server.do_get(&6u32.to_le_bytes(), &mut meter), Some(b"v".to_vec()));
+        assert_eq!(
+            server.do_get(&6u32.to_le_bytes(), &mut meter),
+            Some(b"v".to_vec())
+        );
         assert_eq!(server.len(), 31);
     }
 

@@ -1,37 +1,26 @@
 //! Property tests of the ShieldStore baseline: full-stack random-operation
 //! agreement with a `HashMap` model over the TCP transport, and Merkle-tree
-//! consistency under random update sequences.
+//! consistency under random update sequences. Driven by seeded loops over
+//! the in-repo deterministic RNG.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use precursor_shieldstore::merkle::MerkleTree;
 use precursor_shieldstore::wire::ShieldStatus;
 use precursor_shieldstore::{client::ShieldClient, server::ShieldConfig, ShieldServer};
+use precursor_sim::rng::SimRng;
 use precursor_sim::CostModel;
 
-#[derive(Debug, Clone)]
-enum Op {
-    Put(u8, Vec<u8>),
-    Get(u8),
-    Delete(u8),
+fn rand_leaf(rng: &mut SimRng) -> [u8; 32] {
+    let mut b = [0u8; 32];
+    rng.fill_bytes(&mut b);
+    b
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..100))
-            .prop_map(|(k, v)| Op::Put(k % 20, v)),
-        any::<u8>().prop_map(|k| Op::Get(k % 20)),
-        any::<u8>().prop_map(|k| Op::Delete(k % 20)),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn shieldstore_matches_hashmap_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn shieldstore_matches_hashmap_model() {
+    let mut rng = SimRng::seed_from(0xb001);
+    for _ in 0..24 {
         let cost = CostModel::default();
         let config = ShieldConfig {
             num_buckets: 8, // force chains
@@ -40,39 +29,48 @@ proptest! {
         let mut server = ShieldServer::new(config, &cost);
         let mut client = ShieldClient::connect(&mut server, 5);
         let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
-        for op in ops {
-            match op {
-                Op::Put(k, v) => {
-                    prop_assert_eq!(client.put_sync(&mut server, &[k], &v), ShieldStatus::Ok);
+        let ops = 1 + rng.gen_range(59) as usize;
+        for _ in 0..ops {
+            let k = (rng.next_u32() as u8) % 20;
+            match rng.gen_range(3) {
+                0 => {
+                    let mut v = vec![0u8; rng.gen_range(100) as usize];
+                    rng.fill_bytes(&mut v);
+                    assert_eq!(client.put_sync(&mut server, &[k], &v), ShieldStatus::Ok);
                     model.insert(k, v);
                 }
-                Op::Get(k) => {
+                1 => {
                     let got = client.get_sync(&mut server, &[k]);
-                    prop_assert_eq!(got.as_ref(), model.get(&k));
+                    assert_eq!(got.as_ref(), model.get(&k));
                 }
-                Op::Delete(k) => {
+                _ => {
                     let status = client.delete_sync(&mut server, &[k]);
                     if model.remove(&k).is_some() {
-                        prop_assert_eq!(status, ShieldStatus::Ok);
+                        assert_eq!(status, ShieldStatus::Ok);
                     } else {
-                        prop_assert_eq!(status, ShieldStatus::NotFound);
+                        assert_eq!(status, ShieldStatus::NotFound);
                     }
                 }
             }
-            prop_assert_eq!(server.len(), model.len());
+            assert_eq!(server.len(), model.len());
         }
         // every surviving key audits clean
         for k in model.keys() {
-            prop_assert_eq!(server.audit_key(&[*k]), Some(true));
+            assert_eq!(server.audit_key(&[*k]), Some(true));
         }
     }
+}
 
-    #[test]
-    fn merkle_root_is_order_independent(
-        updates in prop::collection::vec((0usize..64, any::<[u8; 32]>()), 1..50)
-    ) {
+#[test]
+fn merkle_root_is_order_independent() {
+    let mut rng = SimRng::seed_from(0xb002);
+    for _ in 0..32 {
         // applying the same final leaf assignment in any order yields the
         // same root
+        let n = 1 + rng.gen_range(49) as usize;
+        let updates: Vec<(usize, [u8; 32])> = (0..n)
+            .map(|_| (rng.gen_range(64) as usize, rand_leaf(&mut rng)))
+            .collect();
         let mut final_leaves: HashMap<usize, [u8; 32]> = HashMap::new();
         for (i, leaf) in &updates {
             final_leaves.insert(*i, *leaf);
@@ -87,25 +85,29 @@ proptest! {
         for (i, leaf) in sorted {
             b.update(*i, *leaf);
         }
-        prop_assert_eq!(a.root(), b.root());
+        assert_eq!(a.root(), b.root());
         for (i, leaf) in final_leaves {
-            prop_assert!(a.verify(i, leaf));
+            assert!(a.verify(i, leaf));
         }
     }
+}
 
-    #[test]
-    fn merkle_detects_any_single_leaf_substitution(
-        seed_leaves in prop::collection::vec(any::<[u8; 32]>(), 8..16),
-        victim_seed in any::<usize>(),
-        forged in any::<[u8; 32]>(),
-    ) {
+#[test]
+fn merkle_detects_any_single_leaf_substitution() {
+    let mut rng = SimRng::seed_from(0xb003);
+    for _ in 0..32 {
+        let n = 8 + rng.gen_range(8) as usize;
+        let seed_leaves: Vec<[u8; 32]> = (0..n).map(|_| rand_leaf(&mut rng)).collect();
         let mut t = MerkleTree::new(16);
         for (i, leaf) in seed_leaves.iter().enumerate() {
             t.update(i, *leaf);
         }
-        let victim = victim_seed % seed_leaves.len();
-        prop_assume!(forged != seed_leaves[victim]);
-        prop_assert!(!t.verify(victim, forged));
-        prop_assert!(t.verify(victim, seed_leaves[victim]));
+        let victim = rng.gen_range(n as u64) as usize;
+        let forged = rand_leaf(&mut rng);
+        if forged == seed_leaves[victim] {
+            continue;
+        }
+        assert!(!t.verify(victim, forged));
+        assert!(t.verify(victim, seed_leaves[victim]));
     }
 }

@@ -316,7 +316,11 @@ mod tests {
         };
         assert!(tput(256) < 0.7 * line_rate_mb_s, "256 B: {}", tput(256));
         assert!(tput(1024) < 1.15 * line_rate_mb_s);
-        assert!(tput(32 * 1024) > line_rate_mb_s, "32 KiB: {}", tput(32 * 1024));
+        assert!(
+            tput(32 * 1024) > line_rate_mb_s,
+            "32 KiB: {}",
+            tput(32 * 1024)
+        );
     }
 
     #[test]

@@ -185,7 +185,19 @@ mod tests {
 
     #[test]
     fn bucket_low_is_lower_bound() {
-        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1_000, 123_456, u32::MAX as u64] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            123_456,
+            u32::MAX as u64,
+        ] {
             let idx = bucket_index(v);
             let low = bucket_low(idx);
             assert!(low <= v, "low {low} > value {v}");

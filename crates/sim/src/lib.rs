@@ -48,6 +48,7 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod timer;
 
 pub use cost::CostModel;
 pub use histogram::Histogram;
@@ -55,3 +56,4 @@ pub use meter::{Meter, Stage};
 pub use resource::{Link, Pool, Resource};
 pub use rng::SimRng;
 pub use time::{Cycles, Freq, Nanos};
+pub use timer::{Backoff, Deadline, VirtualClock};

@@ -314,10 +314,28 @@ mod tests {
         let a = r.acquire(Nanos(0), Nanos(10));
         let b = r.acquire(Nanos(2), Nanos(10));
         let c = r.acquire(Nanos(50), Nanos(10));
-        assert_eq!(a, Grant { start: Nanos(0), end: Nanos(10) });
-        assert_eq!(b, Grant { start: Nanos(10), end: Nanos(20) });
+        assert_eq!(
+            a,
+            Grant {
+                start: Nanos(0),
+                end: Nanos(10)
+            }
+        );
+        assert_eq!(
+            b,
+            Grant {
+                start: Nanos(10),
+                end: Nanos(20)
+            }
+        );
         // idle gap before c
-        assert_eq!(c, Grant { start: Nanos(50), end: Nanos(60) });
+        assert_eq!(
+            c,
+            Grant {
+                start: Nanos(50),
+                end: Nanos(60)
+            }
+        );
         assert_eq!(r.busy_time(), Nanos(30));
         assert_eq!(r.jobs(), 3);
     }

@@ -71,7 +71,10 @@ impl RingProducer {
     ///
     /// Panics if `capacity` is not a multiple of 8 or is < 64.
     pub fn new(capacity: usize) -> RingProducer {
-        assert!(capacity >= 64 && capacity.is_multiple_of(ALIGN), "bad ring capacity");
+        assert!(
+            capacity >= 64 && capacity.is_multiple_of(ALIGN),
+            "bad ring capacity"
+        );
         RingProducer {
             capacity,
             write: 0,
@@ -80,9 +83,13 @@ impl RingProducer {
         }
     }
 
-    /// Bytes of free space the producer may still write into.
+    /// Bytes of free space the producer may still write into. Saturating:
+    /// a credit word claiming more consumption than was ever written (e.g.
+    /// a stale or corrupted credit WRITE under fault injection) clamps to
+    /// "everything consumed" instead of wrapping.
     pub fn free_space(&self) -> usize {
-        self.capacity - (self.written - self.consumed) as usize
+        self.capacity
+            .saturating_sub(self.written.saturating_sub(self.consumed) as usize)
     }
 
     /// Whether a record of `len` payload bytes currently fits, including any
@@ -90,7 +97,11 @@ impl RingProducer {
     pub fn fits(&self, len: usize) -> bool {
         let span = record_span(len);
         let contiguous = self.capacity - self.write;
-        let needed = if span <= contiguous { span } else { contiguous + span };
+        let needed = if span <= contiguous {
+            span
+        } else {
+            contiguous + span
+        };
         needed <= self.free_space()
     }
 
@@ -170,7 +181,10 @@ impl RingConsumer {
     ///
     /// Panics if `capacity` is not a multiple of 8 or is < 64.
     pub fn new(capacity: usize) -> RingConsumer {
-        assert!(capacity >= 64 && capacity.is_multiple_of(ALIGN), "bad ring capacity");
+        assert!(
+            capacity >= 64 && capacity.is_multiple_of(ALIGN),
+            "bad ring capacity"
+        );
         RingConsumer {
             capacity,
             read: 0,
@@ -245,7 +259,11 @@ mod tests {
     use super::*;
 
     fn pair(cap: usize) -> (Vec<u8>, RingProducer, RingConsumer) {
-        (vec![0u8; cap], RingProducer::new(cap), RingConsumer::new(cap))
+        (
+            vec![0u8; cap],
+            RingProducer::new(cap),
+            RingConsumer::new(cap),
+        )
     }
 
     #[test]
@@ -262,6 +280,16 @@ mod tests {
     fn empty_ring_pops_none() {
         let (mut buf, _tx, mut rx) = pair(128);
         assert!(rx.pop(&mut buf).is_none());
+    }
+
+    #[test]
+    fn free_space_saturates_on_overclaimed_credits() {
+        let (mut buf, mut tx, _rx) = pair(128);
+        tx.push(&mut buf, b"record").unwrap();
+        // A corrupted/forged credit word claims more consumption than was
+        // ever produced; free_space must clamp, not wrap around.
+        tx.update_credits(u64::MAX);
+        assert_eq!(tx.free_space(), 128);
     }
 
     #[test]

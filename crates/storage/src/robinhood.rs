@@ -162,7 +162,10 @@ impl<K: Hash + Eq, V> RobinHoodMap<K, V> {
         }
         let hash = Self::hash_of(&key);
         let mut idx = (hash as usize) & self.mask();
-        let mut stats = OpStats { probes: 0, slots: Vec::new() };
+        let mut stats = OpStats {
+            probes: 0,
+            slots: Vec::new(),
+        };
         let mut entry = Slot { hash, key, value };
         let mut entry_dib = 0usize;
         enum Action {
@@ -229,7 +232,10 @@ impl<K: Hash + Eq, V> RobinHoodMap<K, V> {
         let hash = Self::hash_of(key);
         let mut idx = (hash as usize) & self.mask();
         let mut dist = 0usize;
-        let mut stats = OpStats { probes: 0, slots: Vec::new() };
+        let mut stats = OpStats {
+            probes: 0,
+            slots: Vec::new(),
+        };
         loop {
             stats.probes += 1;
             stats.slots.push(idx);
@@ -308,7 +314,10 @@ impl<K: Hash + Eq, V> RobinHoodMap<K, V> {
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
-        let mut stats = OpStats { probes: 0, slots: Vec::new() };
+        let mut stats = OpStats {
+            probes: 0,
+            slots: Vec::new(),
+        };
         let idx = match self.find_index(key) {
             Some(i) => i,
             None => {
@@ -351,7 +360,9 @@ impl<K: Hash + Eq, V> RobinHoodMap<K, V> {
 
     /// Iterates over `(key, value)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.slots.iter().filter_map(|s| s.as_ref().map(|s| (&s.key, &s.value)))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| (&s.key, &s.value)))
     }
 
     /// Removes all entries, keeping the allocated capacity.
@@ -378,10 +389,7 @@ impl<K: Hash + Eq, V> RobinHoodMap<K, V> {
 
     fn grow(&mut self) {
         let new_cap = self.slots.len() * 2;
-        let old = std::mem::replace(
-            &mut self.slots,
-            (0..new_cap).map(|_| None).collect(),
-        );
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| None).collect());
         self.len = 0;
         self.resizes += 1;
         for slot in old.into_iter().flatten() {

@@ -1,92 +1,90 @@
 //! Property-based tests: the Robin Hood map against a `HashMap` model, the
 //! ring buffer's FIFO contract, and the pool's non-overlap invariant.
+//! Driven by seeded loops over the in-repo deterministic RNG.
 
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
+use precursor_sim::rng::SimRng;
 use precursor_storage::pool::SlabPool;
 use precursor_storage::ring::{RingConsumer, RingProducer};
 use precursor_storage::robinhood::RobinHoodMap;
 
-#[derive(Debug, Clone)]
-enum MapOp {
-    Insert(u16, u32),
-    Remove(u16),
-    Get(u16),
-}
+const CASES: usize = 32;
 
-fn map_op() -> impl Strategy<Value = MapOp> {
-    prop_oneof![
-        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MapOp::Insert(k % 512, v)),
-        any::<u16>().prop_map(|k| MapOp::Remove(k % 512)),
-        any::<u16>().prop_map(|k| MapOp::Get(k % 512)),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn robinhood_matches_hashmap_model(ops in prop::collection::vec(map_op(), 1..2000)) {
+#[test]
+fn robinhood_matches_hashmap_model() {
+    let mut rng = SimRng::seed_from(0xe001);
+    for _ in 0..CASES {
         let mut sut: RobinHoodMap<u16, u32> = RobinHoodMap::with_capacity(8);
         let mut model: HashMap<u16, u32> = HashMap::new();
-        for op in ops {
-            match op {
-                MapOp::Insert(k, v) => {
-                    prop_assert_eq!(sut.insert(k, v), model.insert(k, v));
+        let ops = 1 + rng.gen_range(1999) as usize;
+        for _ in 0..ops {
+            let k = (rng.next_u32() as u16) % 512;
+            match rng.gen_range(3) {
+                0 => {
+                    let v = rng.next_u32();
+                    assert_eq!(sut.insert(k, v), model.insert(k, v));
                 }
-                MapOp::Remove(k) => {
-                    prop_assert_eq!(sut.remove(&k), model.remove(&k));
+                1 => {
+                    assert_eq!(sut.remove(&k), model.remove(&k));
                 }
-                MapOp::Get(k) => {
-                    prop_assert_eq!(sut.get(&k), model.get(&k));
+                _ => {
+                    assert_eq!(sut.get(&k), model.get(&k));
                 }
             }
-            prop_assert_eq!(sut.len(), model.len());
+            assert_eq!(sut.len(), model.len());
         }
         // full-content check at the end
         for (k, v) in model.iter() {
-            prop_assert_eq!(sut.get(k), Some(v));
+            assert_eq!(sut.get(k), Some(v));
         }
-        prop_assert_eq!(sut.iter().count(), model.len());
+        assert_eq!(sut.iter().count(), model.len());
     }
+}
 
-    #[test]
-    fn robinhood_probe_counts_stay_bounded(keys in prop::collection::hash_set(any::<u64>(), 1..800)) {
+#[test]
+fn robinhood_probe_counts_stay_bounded() {
+    let mut rng = SimRng::seed_from(0xe002);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_range(799) as usize;
+        let mut keys: HashSet<u64> = HashSet::new();
+        while keys.len() < n {
+            keys.insert(rng.next_u64());
+        }
         let mut m = RobinHoodMap::with_capacity(2048);
         let mut worst = 0usize;
         for &k in &keys {
             let (_, stats) = m.insert_tracked(k, ());
             worst = worst.max(stats.probes);
         }
-        // 800 entries in ≥1024 slots: Robin Hood keeps worst-case probes low
-        prop_assert!(worst <= 64, "worst probe count {worst}");
+        // ≤800 entries in ≥1024 slots: Robin Hood keeps worst-case probes low
+        assert!(worst <= 64, "worst probe count {worst}");
         for &k in &keys {
-            prop_assert!(m.contains_key(&k));
+            assert!(m.contains_key(&k));
         }
     }
+}
 
-    #[test]
-    fn ring_is_fifo_under_random_interleaving(
-        payload_lens in prop::collection::vec(1usize..120, 1..300),
-        drain_bias in 0.0f64..1.0,
-    ) {
+#[test]
+fn ring_is_fifo_under_random_interleaving() {
+    let mut rng = SimRng::seed_from(0xe003);
+    for _ in 0..CASES {
         let cap = 1024;
         let mut buf = vec![0u8; cap];
         let mut tx = RingProducer::new(cap);
         let mut rx = RingConsumer::new(cap);
         let mut queued: VecDeque<Vec<u8>> = VecDeque::new();
-        let mut rng_state = 0x12345678u64;
-        let mut next_rand = move || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (rng_state >> 33) as f64 / (1u64 << 31) as f64
-        };
-        for (i, &len) in payload_lens.iter().enumerate() {
+        let drain_bias = rng.gen_f64();
+        let pushes = 1 + rng.gen_range(299) as usize;
+        for i in 0..pushes {
+            let len = 1 + rng.gen_range(119) as usize;
             let payload: Vec<u8> = (0..len).map(|j| (i * 31 + j) as u8).collect();
             loop {
-                if next_rand() < drain_bias {
+                if rng.gen_f64() < drain_bias {
                     if let Some(got) = rx.pop(&mut buf) {
-                        prop_assert_eq!(got, queued.pop_front().unwrap());
+                        assert_eq!(got, queued.pop_front().unwrap());
                         tx.update_credits(rx.consumed());
                     }
                 }
@@ -95,29 +93,33 @@ proptest! {
                     break;
                 }
                 let got = rx.pop(&mut buf).unwrap();
-                prop_assert_eq!(got, queued.pop_front().unwrap());
+                assert_eq!(got, queued.pop_front().unwrap());
                 tx.update_credits(rx.consumed());
             }
         }
         while let Some(got) = rx.pop(&mut buf) {
-            prop_assert_eq!(got, queued.pop_front().unwrap());
+            assert_eq!(got, queued.pop_front().unwrap());
         }
-        prop_assert!(queued.is_empty());
+        assert!(queued.is_empty());
     }
+}
 
-    #[test]
-    fn pool_allocations_never_overlap(sizes in prop::collection::vec(1usize..5000, 1..200),
-                                      free_mask in any::<u64>()) {
+#[test]
+fn pool_allocations_never_overlap() {
+    let mut rng = SimRng::seed_from(0xe004);
+    for _ in 0..CASES {
         let mut pool = SlabPool::new(1 << 22);
         let mut live: Vec<precursor_storage::pool::PoolRange> = Vec::new();
-        for (i, &s) in sizes.iter().enumerate() {
+        let allocs = 1 + rng.gen_range(199) as usize;
+        for _ in 0..allocs {
+            let s = 1 + rng.gen_range(4999) as usize;
             if let Some(r) = pool.alloc(s) {
                 for other in &live {
-                    prop_assert!(r.end() <= other.offset || other.end() <= r.offset);
+                    assert!(r.end() <= other.offset || other.end() <= r.offset);
                 }
                 live.push(r);
             }
-            if free_mask >> (i % 64) & 1 == 1 {
+            if rng.gen_bool(0.5) {
                 if let Some(r) = live.pop() {
                     pool.free(r);
                 }

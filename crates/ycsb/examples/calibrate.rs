@@ -4,9 +4,19 @@ use precursor_ycsb::workload::WorkloadSpec;
 use std::time::Instant;
 
 fn main() {
-    let keys: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
-    let ops: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
-    for system in [SystemKind::Precursor, SystemKind::PrecursorServerEnc, SystemKind::ShieldStore] {
+    let keys: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let ops: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    for system in [
+        SystemKind::Precursor,
+        SystemKind::PrecursorServerEnc,
+        SystemKind::ShieldStore,
+    ] {
         for ratio in [1.0, 0.05] {
             let t = Instant::now();
             let r = RunConfig {
@@ -16,12 +26,17 @@ fn main() {
                 warmup_keys: keys,
                 measure_ops: ops,
                 seed: 7,
-            }.run();
+            }
+            .run();
             println!(
                 "{:<28} read={:>4}  tput={:>9.0} ops/s  p50={} p99={} util={:.2}  wall={:.1}s",
-                system.name(), ratio, r.throughput_ops,
-                r.latency.percentile(50.0), r.latency.percentile(99.0),
-                r.server_utilization, t.elapsed().as_secs_f64()
+                system.name(),
+                ratio,
+                r.throughput_ops,
+                r.latency.percentile(50.0),
+                r.latency.percentile(99.0),
+                r.server_utilization,
+                t.elapsed().as_secs_f64()
             );
         }
     }

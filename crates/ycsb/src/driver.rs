@@ -342,12 +342,13 @@ impl BenchSession {
         let scan_adjust_cycles: i64 = if is_tcp {
             0
         } else {
-            cost.poll_scan_per_client as i64
-                * (clients as i64 - cost.poll_scan_baseline as i64)
+            cost.poll_scan_per_client as i64 * (clients as i64 - cost.poll_scan_baseline as i64)
         };
         let scan_adjust = Nanos(
-            cost.server_time(precursor_sim::time::Cycles(scan_adjust_cycles.unsigned_abs()))
-                .0,
+            cost.server_time(precursor_sim::time::Cycles(
+                scan_adjust_cycles.unsigned_abs(),
+            ))
+            .0,
         );
 
         let mut gens: Vec<OpGenerator> = (0..clients)
@@ -608,8 +609,7 @@ mod tests {
     fn session_reuse_matches_methodology() {
         // One warmup, several measurement points — like the paper's runs.
         let cost = CostModel::default();
-        let mut session =
-            BenchSession::new(SystemKind::Precursor, 32, 500, 500, 4, 7, &cost);
+        let mut session = BenchSession::new(SystemKind::Precursor, 32, 500, 500, 4, 7, &cost);
         let c = session.measure(&WorkloadSpec::workload_c(32, 500), 4, 1_000);
         let a = session.measure(&WorkloadSpec::workload_a(32, 500), 4, 1_000);
         assert!(c.throughput_ops > a.throughput_ops);
@@ -620,8 +620,7 @@ mod tests {
     #[test]
     fn load_more_extends_keyspace() {
         let cost = CostModel::default();
-        let mut session =
-            BenchSession::new(SystemKind::Precursor, 32, 500, 500, 2, 7, &cost);
+        let mut session = BenchSession::new(SystemKind::Precursor, 32, 500, 500, 2, 7, &cost);
         let before = session.sgx_report().working_set_pages;
         session.load_more(500, 5_000);
         assert!(session.sgx_report().working_set_pages > before);

@@ -137,7 +137,12 @@ impl OpGenerator {
             Distribution::Latest => Some(crate::zipfian::Zipfian::ycsb(spec.key_count)),
             _ => None,
         };
-        OpGenerator { spec, rng, zipf, latest }
+        OpGenerator {
+            spec,
+            rng,
+            zipf,
+            latest,
+        }
     }
 
     /// The workload this generator draws from.

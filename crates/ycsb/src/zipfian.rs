@@ -169,11 +169,7 @@ mod tests {
             counts[s.next(&mut rng) as usize] += 1;
         }
         // the hottest item is no longer id 0, but skew persists
-        let (mode, &max) = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap();
+        let (mode, &max) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
         assert!(max as f64 / 200_000.0 > 0.05);
         // mode being exactly 0 is possible but astronomically unlikely
         assert_ne!(mode, 0);

@@ -4,8 +4,9 @@
 //!
 //! 1. **Tampering** with stored (untrusted) payload bytes → detected by the
 //!    client's MAC recomputation under `K_operation`.
-//! 2. **Replaying** a captured request → rejected by the enclave's `oid`
-//!    check (Algorithm 2).
+//! 2. **Replaying** captured requests → the newest frame is merely
+//!    re-acknowledged from the at-most-once window (no state change); any
+//!    older frame is rejected by the enclave's `oid` check (Algorithm 2).
 //! 3. **Forged quotes** → rejected during attestation.
 //! 4. **Rollback of persisted state** → detected by the monotonic-counter
 //!    freshness check the paper defers to [9,11].
@@ -17,8 +18,8 @@
 use precursor::wire::Status;
 use precursor::{Config, PrecursorClient, PrecursorServer, StoreError};
 use precursor_sgx::counters::MonotonicCounter;
+use precursor_sim::rng::SimRng;
 use precursor_sim::CostModel;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cost = CostModel::default();
@@ -45,18 +46,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  re-put with a fresh K_operation restores service");
 
-    // --- Attack 2: replay a captured request -----------------------------
+    // --- Attack 2: replay captured requests ------------------------------
     println!("\n[attack 2] attacker replays the last captured request frame");
     server.take_reports();
     client.replay_last_frame()?;
     server.poll();
     let reports = server.take_reports();
+    assert_eq!(reports[0].status, Status::Ok);
+    println!("  enclave matched the previous oid: cached ack re-sent, nothing re-executed (at-most-once window)");
+    client.replay_stale_frame()?;
+    server.poll();
+    let reports = server.take_reports();
     assert_eq!(reports[0].status, Status::Replay);
-    println!("  enclave compared the oid with the expected sequence number and discarded it (Algorithm 2)");
+    println!("  an older frame was compared with the expected sequence number and discarded (Algorithm 2)");
     assert_eq!(
         client.get_sync(&mut server, b"account:balance")?,
         b"1000 credits",
-        "state unchanged by the replay"
+        "state unchanged by the replays"
     );
     println!("  stored state is unchanged");
 
@@ -65,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The attacker runs their own 'platform' — they do not hold the genuine
     // platform's quoting key, so their quote cannot verify against the real
     // attestation service.
-    let mut attacker_rng = rand::rngs::StdRng::seed_from_u64(666);
+    let mut attacker_rng = SimRng::seed_from(666);
     let attacker_platform = precursor_sgx::AttestationService::new(&mut attacker_rng);
     let fake_enclave = precursor_sgx::Enclave::new(&cost);
     let forged_quote = attacker_platform.quote(&fake_enclave, [0u8; 32]);
@@ -79,15 +85,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n[attack 4] attacker restores an old sealed snapshot");
     let mut counter = MonotonicCounter::new();
     let old_snapshot = server.snapshot(&mut counter); // version 1
-    client
-        .put_sync(&mut server, b"account:balance", b"2000 credits")?;
+    client.put_sync(&mut server, b"account:balance", b"2000 credits")?;
     let _latest_snapshot = server.snapshot(&mut counter); // version 2
     match PrecursorServer::restore(Config::default(), &cost, &old_snapshot, &counter) {
         Err(StoreError::SnapshotRejected) => println!(
             "  sealed snapshot v1 rejected: counter says {} (monotonic-counter freshness, §2.1)",
             counter.read()
         ),
-        other => panic!("rollback must be rejected, got {:?}", other.map(|_| "server")),
+        other => panic!(
+            "rollback must be rejected, got {:?}",
+            other.map(|_| "server")
+        ),
     }
 
     println!("\nall four attacks detected or rejected");

@@ -35,8 +35,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Each tenant maintains its own keyspace by prefixing (the store itself
     // is one shared namespace; access control composes on top, §3.3).
     for i in 0..50u32 {
-        web.put_sync(&mut server, format!("web:session:{i}").as_bytes(), format!("cookie-{i}").as_bytes())?;
-        api.put_sync(&mut server, format!("api:token:{i}").as_bytes(), format!("bearer-{i}").as_bytes())?;
+        web.put_sync(
+            &mut server,
+            format!("web:session:{i}").as_bytes(),
+            format!("cookie-{i}").as_bytes(),
+        )?;
+        api.put_sync(
+            &mut server,
+            format!("api:token:{i}").as_bytes(),
+            format!("bearer-{i}").as_bytes(),
+        )?;
     }
     println!("loaded 100 session entries; server holds {}", server.len());
 
@@ -44,14 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // it the one-time key in *its own* sealed control reply, so sharing
     // needs no key distribution between tenants.
     let token = batch.get_sync(&mut server, b"api:token:7")?;
-    println!("batch read api:token:7 -> {}", String::from_utf8_lossy(&token));
+    println!(
+        "batch read api:token:7 -> {}",
+        String::from_utf8_lossy(&token)
+    );
 
     // Every update rotates the one-time key, so a tenant that cached an old
     // K_operation learns nothing about the new value (§3.3: no
     // re-encryption needed when clients are excluded).
     api.put_sync(&mut server, b"api:token:7", b"bearer-7-rotated")?;
     let rotated = batch.get_sync(&mut server, b"api:token:7")?;
-    println!("after rotation      -> {}", String::from_utf8_lossy(&rotated));
+    println!(
+        "after rotation      -> {}",
+        String::from_utf8_lossy(&rotated)
+    );
 
     // Revoke the web tenant: its queue pair transitions to the error state;
     // in-memory data stays valid and nothing is re-encrypted.

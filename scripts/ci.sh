@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything CI runs, runnable locally with one command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "ci: all green"

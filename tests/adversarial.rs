@@ -29,7 +29,10 @@ fn raw_ring_write(bundle: &mut precursor::server::ClientBundle, payload: &[u8]) 
 #[test]
 fn garbage_record_yields_error_reply_not_crash() {
     let (mut server, mut bundle) = server_with_attacker_bundle();
-    raw_ring_write(&mut bundle, &[0xDE, 0xAD, 0xBE, 0xEF, 0x42, 0x42, 0x42, 0x42]);
+    raw_ring_write(
+        &mut bundle,
+        &[0xDE, 0xAD, 0xBE, 0xEF, 0x42, 0x42, 0x42, 0x42],
+    );
     let processed = server.poll();
     assert_eq!(processed, 1, "server consumed the garbage record");
     let reports = server.take_reports();
@@ -63,7 +66,11 @@ fn oversized_length_prefix_wedges_only_the_attacker() {
         .qp
         .post_write(bundle.request_ring_rkey, 0, &bogus, false)
         .expect("write");
-    assert_eq!(server.poll(), 0, "record never completes; nothing processed");
+    assert_eq!(
+        server.poll(),
+        0,
+        "record never completes; nothing processed"
+    );
 
     let cost_default = CostModel::default();
     let _ = cost_default; // server still healthy for a fresh client:
@@ -145,7 +152,11 @@ fn wrong_session_key_with_correct_id_fails_authentication() {
     raw_ring_write(&mut attacker, &frame.encode());
     server.poll();
     let reports = server.take_reports();
-    assert_eq!(reports[0].status, Status::Error, "GCM authentication failed in the enclave");
+    assert_eq!(
+        reports[0].status,
+        Status::Error,
+        "GCM authentication failed in the enclave"
+    );
 }
 
 #[test]

@@ -1,0 +1,581 @@
+//! Chaos tests: deterministic fault injection against the full recovery
+//! protocol. Every run is driven by seeds — the fault schedule, the
+//! workload, and all key material derive from them, so a failing run
+//! replays bit-identically.
+//!
+//! The safety oracles, checked continuously against a plain `HashMap`
+//! model:
+//!
+//! * **No lost acked writes** — once a put/delete is acknowledged, every
+//!   later successful read observes it (across retransmissions, QP
+//!   reconnects and crash-restarts from sealed snapshots).
+//! * **No integrity false-negatives** — a get never *silently* returns
+//!   wrong bytes; corruption either heals (retransmission) or surfaces as
+//!   [`StoreError::IntegrityViolation`].
+//! * **Exactly-once mutation** — a retransmitted put/delete (same `oid`) is
+//!   re-acknowledged from the at-most-once window, never re-executed.
+
+use std::collections::HashMap;
+
+use precursor::wire::Status;
+use precursor::{
+    CompletedOp, Config, FaultAction, FaultDir, FaultPlan, FaultSite, PrecursorClient,
+    PrecursorServer, StoreError,
+};
+use precursor_rdma::faults::InjectedFault;
+use precursor_sgx::counters::MonotonicCounter;
+use precursor_sim::rng::SimRng;
+use precursor_sim::CostModel;
+
+// --- workload -----------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+}
+
+fn random_op(rng: &mut SimRng) -> Op {
+    let k = (rng.next_u32() as u8) % 24;
+    match rng.gen_range(3) {
+        0 => {
+            let mut v = vec![0u8; rng.gen_range(200) as usize];
+            rng.fill_bytes(&mut v);
+            Op::Put(k, v)
+        }
+        1 => Op::Get(k),
+        _ => Op::Delete(k),
+    }
+}
+
+// A fault schedule mixing every class: scripted one-shots early on (so
+// short runs still see each class) plus background rates. Corruption is
+// injected only on the reply direction: a corrupted *request* payload is
+// by design undetectable until read back (the client MACs it before
+// sending), which would poison the model comparison.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .rule(FaultSite::Write, FaultDir::AtoB, FaultAction::Drop, 5)
+        .rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Drop, 9)
+        .rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Corrupt, 17)
+        .rule(FaultSite::Write, FaultDir::AtoB, FaultAction::QpError, 23)
+        .rate(FaultSite::Write, FaultDir::AtoB, FaultAction::Drop, 0.002)
+        .rate(FaultSite::Write, FaultDir::BtoA, FaultAction::Drop, 0.002)
+        .rate(
+            FaultSite::Write,
+            FaultDir::BtoA,
+            FaultAction::Corrupt,
+            0.001,
+        )
+        .rate(
+            FaultSite::Write,
+            FaultDir::Any,
+            FaultAction::QpError,
+            0.0002,
+        )
+}
+
+// --- harness ------------------------------------------------------------
+
+/// Everything observable about a chaos run; two same-seed runs must
+/// produce equal reports.
+#[derive(Debug, PartialEq)]
+struct RunReport {
+    retransmits: u64,
+    reconnects: u64,
+    crash_restarts: u64,
+    integrity_detected: u64,
+    clock_ns: u64,
+    faults: Vec<InjectedFault>,
+    final_store: Vec<(u8, Vec<u8>)>,
+    store_len: usize,
+}
+
+struct Chaos {
+    config: Config,
+    cost: CostModel,
+    server: PrecursorServer,
+    client: PrecursorClient,
+    model: HashMap<u8, Vec<u8>>,
+    counter: MonotonicCounter,
+    snapshot: Vec<u8>,
+    plan: FaultPlan,
+    fault_seed: u64,
+    reconnects: u64,
+    crash_restarts: u64,
+    integrity_detected: u64,
+    faults: Vec<InjectedFault>,
+}
+
+impl Chaos {
+    fn new(plan: FaultPlan, seed: u64) -> Chaos {
+        let cost = CostModel::default();
+        let config = Config::default();
+        let mut server = PrecursorServer::new(config.clone(), &cost);
+        server.set_fault_plan(plan.clone(), seed);
+        let client = PrecursorClient::connect(&mut server, seed ^ 0xc11e).expect("connect");
+        let mut counter = MonotonicCounter::new();
+        let snapshot = server.snapshot(&mut counter);
+        Chaos {
+            config,
+            cost,
+            server,
+            client,
+            model: HashMap::new(),
+            counter,
+            snapshot,
+            plan,
+            fault_seed: seed,
+            reconnects: 0,
+            crash_restarts: 0,
+            integrity_detected: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    // Re-establishes the session; retried because the replacement QP runs
+    // through the same fault injector and can itself fail.
+    fn reconnect(&mut self) {
+        for _ in 0..64 {
+            match self.client.reconnect(&mut self.server) {
+                Ok(_) => {
+                    self.reconnects += 1;
+                    return;
+                }
+                Err(_) => continue,
+            }
+        }
+        panic!("session could not be re-established in 64 attempts");
+    }
+
+    // Simulated server crash: the in-memory server is dropped and rebuilt
+    // from the latest sealed snapshot; the client reconnects and recovers
+    // its session window out of the snapshot's per-session state.
+    fn crash_restart(&mut self) {
+        self.faults.extend(self.server.fault_log());
+        self.crash_restarts += 1;
+        // Derived deterministically so restarted injectors replay too.
+        self.fault_seed = self
+            .fault_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.server = PrecursorServer::restore(
+            self.config.clone(),
+            &self.cost,
+            &self.snapshot,
+            &self.counter,
+        )
+        .expect("current snapshot is accepted by the freshness check");
+        self.server
+            .set_fault_plan(self.plan.clone(), self.fault_seed);
+        self.reconnect();
+    }
+
+    fn issue(&mut self, op: &Op) -> Result<u64, StoreError> {
+        match op {
+            Op::Put(k, v) => self.client.put(&[*k], v),
+            Op::Get(k) => self.client.get(&[*k]),
+            Op::Delete(k) => self.client.delete(&[*k]),
+        }
+    }
+
+    fn complete(&mut self, oid: u64) -> Result<CompletedOp, StoreError> {
+        loop {
+            match self.client.complete_sync(&mut self.server, oid) {
+                Err(StoreError::SessionLost) => self.reconnect(),
+                other => return other,
+            }
+        }
+    }
+
+    // Drives one operation to a *definitive* outcome, surviving any fault:
+    // lost requests/replies retransmit, QP errors and client-side give-ups
+    // reconnect (which resynchronises the oid window), detected corruption
+    // re-reads. Panics if the op does not converge — that is a test failure.
+    fn run_op(&mut self, op: &Op) {
+        for _attempt in 0..64 {
+            let oid = match self.issue(op) {
+                Ok(oid) => oid,
+                // RingFull (stalled credits) and QP errors both heal with a
+                // fresh session; the failed send rolled the oid back.
+                Err(_) => {
+                    self.reconnect();
+                    continue;
+                }
+            };
+            let completed = match self.complete(oid) {
+                Ok(c) => c,
+                // Timeout / RetriesExhausted: the op's fate is unknown.
+                // Reconnect (resyncing the oid counter with the enclave
+                // window) and re-issue it fresh; mutations are safe to
+                // repeat — a put rewrites the same value, a delete treats
+                // NotFound as applied.
+                Err(_) => {
+                    self.reconnect();
+                    continue;
+                }
+            };
+            if self.settle(op, completed) {
+                return;
+            }
+        }
+        panic!("operation did not converge within 64 attempts: {op:?}");
+    }
+
+    // Applies a completed op to the model when its outcome is definitive.
+    // Returns false to re-issue. The asserts are the safety oracles.
+    fn settle(&mut self, op: &Op, c: CompletedOp) -> bool {
+        match op {
+            Op::Put(k, v) => {
+                if c.error.is_none() && c.status == Status::Ok {
+                    self.model.insert(*k, v.clone());
+                    return true;
+                }
+                false
+            }
+            Op::Delete(k) => {
+                if c.error.is_none() && matches!(c.status, Status::Ok | Status::NotFound) {
+                    // NotFound is definitive: the key was absent, or an
+                    // earlier uncertain attempt of this delete applied.
+                    self.model.remove(k);
+                    return true;
+                }
+                false
+            }
+            Op::Get(k) => {
+                if let Some(e) = c.error {
+                    if e == StoreError::IntegrityViolation {
+                        // Corruption *detected* — the guarantee held.
+                        self.integrity_detected += 1;
+                    }
+                    return false;
+                }
+                match c.status {
+                    Status::Ok => {
+                        let value = c.value.expect("ok get carries a value");
+                        assert_eq!(
+                            Some(&value),
+                            self.model.get(k),
+                            "get returned wrong bytes undetected \
+                             (lost acked write or integrity false-negative)"
+                        );
+                        true
+                    }
+                    Status::NotFound => {
+                        assert!(
+                            !self.model.contains_key(k),
+                            "acked write lost: NotFound for a live key"
+                        );
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    // Seals a snapshot of the settled state — the recovery point for the
+    // next crash.
+    fn checkpoint(&mut self) {
+        self.snapshot = self.server.snapshot(&mut self.counter);
+    }
+
+    // Reads back every live key through the full fault path and checks the
+    // store agrees with the model exactly.
+    fn verify_final(&mut self) {
+        let mut keys: Vec<u8> = self.model.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            self.run_op(&Op::Get(k));
+        }
+        assert_eq!(
+            self.server.len(),
+            self.model.len(),
+            "store and model diverged in size"
+        );
+    }
+
+    fn report(mut self) -> RunReport {
+        self.faults.extend(self.server.fault_log());
+        let mut final_store: Vec<(u8, Vec<u8>)> =
+            self.model.iter().map(|(k, v)| (*k, v.clone())).collect();
+        final_store.sort();
+        RunReport {
+            retransmits: self.client.retransmits(),
+            reconnects: self.reconnects,
+            crash_restarts: self.crash_restarts,
+            integrity_detected: self.integrity_detected,
+            clock_ns: self.client.now().0,
+            faults: self.faults,
+            store_len: self.server.len(),
+            final_store,
+        }
+    }
+}
+
+fn chaos_run(seed: u64, ops: usize, plan: FaultPlan, crash_every: usize) -> RunReport {
+    let mut h = Chaos::new(plan, seed);
+    let mut workload = SimRng::seed_from(seed ^ 0x00d1ce);
+    for i in 0..ops {
+        let op = random_op(&mut workload);
+        h.run_op(&op);
+        h.checkpoint();
+        if crash_every != 0 && (i + 1) % crash_every == 0 {
+            h.crash_restart();
+        }
+    }
+    h.verify_final();
+    h.report()
+}
+
+// --- scripted single-fault scenarios ------------------------------------
+
+#[test]
+fn dropped_request_is_retransmitted_and_applied() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    // The very first client request WRITE vanishes silently.
+    server.set_fault_plan(
+        FaultPlan::none().rule(FaultSite::Write, FaultDir::AtoB, FaultAction::Drop, 1),
+        7,
+    );
+    let mut client = PrecursorClient::connect(&mut server, 7).unwrap();
+
+    client
+        .put_sync(&mut server, b"k", b"survives a lost request")
+        .unwrap();
+    assert!(client.retransmits() >= 1, "deadline must have fired");
+    assert_eq!(server.injected_faults(), 1);
+    assert_eq!(
+        client.get_sync(&mut server, b"k").unwrap(),
+        b"survives a lost request"
+    );
+}
+
+#[test]
+fn dropped_reply_put_is_reacked_same_oid_applied_exactly_once() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    // B→A write #1 is the first put's reply record: the put executes but
+    // its acknowledgement never reaches the client.
+    server.set_fault_plan(
+        FaultPlan::none().rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Drop, 1),
+        11,
+    );
+    let mut client = PrecursorClient::connect(&mut server, 11).unwrap();
+
+    // The client retransmits the identical frame (same oid, same
+    // K_operation); the server's at-most-once window re-acks it from the
+    // cached status without a second execution.
+    client.put_sync(&mut server, b"once", b"v1").unwrap();
+    assert!(client.retransmits() >= 1);
+
+    // The expected-oid window advanced exactly once: the next fresh op is
+    // accepted (a double execution would have burned an extra oid).
+    client.put_sync(&mut server, b"next", b"v2").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"once").unwrap(), b"v1");
+    assert_eq!(server.len(), 2);
+
+    // A *stale* oid (outside the at-most-once window) is still a replay.
+    server.take_reports();
+    client.replay_stale_frame().unwrap();
+    server.poll();
+    let reports = server.take_reports();
+    assert_eq!(reports[0].status, Status::Replay);
+}
+
+#[test]
+fn dropped_reply_delete_is_acked_from_cache_not_reexecuted() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    // B→A writes: #1 put reply, #2 credit update, #3 delete reply (dropped).
+    server.set_fault_plan(
+        FaultPlan::none().rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Drop, 3),
+        13,
+    );
+    let mut client = PrecursorClient::connect(&mut server, 13).unwrap();
+
+    client.put_sync(&mut server, b"k", b"v").unwrap();
+    // A re-executed delete would answer NotFound; the cached ack says Ok.
+    client.delete_sync(&mut server, b"k").unwrap();
+    assert!(client.retransmits() >= 1);
+    assert_eq!(
+        client.get_sync(&mut server, b"k"),
+        Err(StoreError::NotFound)
+    );
+}
+
+#[test]
+fn corrupted_reply_payload_is_detected_by_mac() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    // B→A write #3 is the get's reply; with a 4 KiB value the flipped bit
+    // lands in the payload, which only the client-side MAC covers.
+    server.set_fault_plan(
+        FaultPlan::none().rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Corrupt, 3),
+        17,
+    );
+    let mut client = PrecursorClient::connect(&mut server, 17).unwrap();
+
+    let value = vec![0x5au8; 4096];
+    client.put_sync(&mut server, b"big", &value).unwrap();
+    assert_eq!(
+        client.get_sync(&mut server, b"big"),
+        Err(StoreError::IntegrityViolation),
+        "one flipped bit in 4 KiB must not pass the CMAC"
+    );
+    // The *stored* bytes are intact — a clean re-read succeeds.
+    assert_eq!(client.get_sync(&mut server, b"big").unwrap(), value);
+}
+
+#[test]
+fn qp_error_surfaces_session_lost_and_reconnect_preserves_state() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    // A→B writes: #1 first put's record, #2 reply-credit update, #3 the
+    // second put's record — which errors the QP instead of landing.
+    server.set_fault_plan(
+        FaultPlan::none().rule(FaultSite::Write, FaultDir::AtoB, FaultAction::QpError, 3),
+        19,
+    );
+    let mut client = PrecursorClient::connect(&mut server, 19).unwrap();
+
+    client.put_sync(&mut server, b"a", b"1").unwrap();
+    match client.put(b"b", b"2") {
+        Err(StoreError::Rdma(_)) => {}
+        other => panic!("expected an RDMA error, got {other:?}"),
+    }
+    assert!(client.session_lost());
+
+    // Reconnect re-attests (fresh K_session) and resumes the same oid
+    // window — acked state survives, the failed op can simply be re-issued.
+    client.reconnect(&mut server).unwrap();
+    client.put_sync(&mut server, b"b", b"2").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"a").unwrap(), b"1");
+    assert_eq!(client.get_sync(&mut server, b"b").unwrap(), b"2");
+    assert_eq!(server.len(), 2);
+}
+
+#[test]
+fn crash_restart_recovers_acked_state_and_inflight_op() {
+    let cost = CostModel::default();
+    let config = Config::default();
+    let mut server = PrecursorServer::new(config.clone(), &cost);
+    let mut client = PrecursorClient::connect(&mut server, 23).unwrap();
+    let mut counter = MonotonicCounter::new();
+
+    client
+        .put_sync(&mut server, b"acked", b"must survive")
+        .unwrap();
+
+    // In-flight mutation, *executed* but unacknowledged: the server polls
+    // it (bumping its window and caching the status), then crashes before
+    // the client sees the reply.
+    let oid = client.delete(b"acked").unwrap();
+    server.poll();
+    let snapshot = server.snapshot(&mut counter);
+    drop(server);
+
+    let mut server = PrecursorServer::restore(config.clone(), &cost, &snapshot, &counter)
+        .expect("fresh snapshot restores");
+    client.reconnect(&mut server).unwrap();
+    // The retransmitted delete falls in the recovered at-most-once window:
+    // it is re-acked Ok from the snapshot's cached status, not re-executed
+    // (a second execution would answer NotFound).
+    let done = client.complete_sync(&mut server, oid).unwrap();
+    assert_eq!(done.status, Status::Ok);
+    assert_eq!(
+        client.get_sync(&mut server, b"acked"),
+        Err(StoreError::NotFound)
+    );
+
+    // Second variant: the crash hits *before* the server consumed the op.
+    client
+        .put_sync(&mut server, b"fresh", b"pre-crash")
+        .unwrap();
+    let oid = client.put(b"fresh", b"post-crash").unwrap();
+    let snapshot = server.snapshot(&mut counter);
+    drop(server);
+
+    let mut server = PrecursorServer::restore(config, &cost, &snapshot, &counter)
+        .expect("fresh snapshot restores");
+    client.reconnect(&mut server).unwrap();
+    // The re-issued put is *fresh* for the recovered window: it executes.
+    let done = client.complete_sync(&mut server, oid).unwrap();
+    assert_eq!(done.status, Status::Ok);
+    assert_eq!(
+        client.get_sync(&mut server, b"fresh").unwrap(),
+        b"post-crash"
+    );
+    assert_eq!(
+        client.get_sync(&mut server, b"acked"),
+        Err(StoreError::NotFound)
+    );
+}
+
+// --- seeded chaos sweeps -------------------------------------------------
+
+#[test]
+fn seeded_chaos_sweep() {
+    // ≥20 distinct seeds; every run must satisfy the safety oracles
+    // (asserted inside the harness) under a mixed fault schedule with
+    // periodic crash-restarts.
+    for i in 0..20u64 {
+        let seed = i.wrapping_mul(2654435761).wrapping_add(1);
+        let report = chaos_run(seed, 160, chaos_plan(), 67);
+        assert!(
+            !report.faults.is_empty(),
+            "seed {seed}: the plan injected nothing"
+        );
+        assert!(report.crash_restarts >= 2, "seed {seed}: expected crashes");
+    }
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    let a = chaos_run(0xdecaf, 400, chaos_plan(), 101);
+    let b = chaos_run(0xdecaf, 400, chaos_plan(), 101);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+    assert!(a.retransmits > 0 && !a.faults.is_empty());
+}
+
+#[test]
+fn faults_disabled_run_is_unperturbed() {
+    // With an empty plan the retry machinery must be invisible: no
+    // retransmissions, no reconnects, and the virtual clock never advances
+    // (every op completes on its first service round).
+    let report = chaos_run(0x0ff, 400, FaultPlan::none(), 0);
+    assert_eq!(report.retransmits, 0);
+    assert_eq!(report.reconnects, 0);
+    assert_eq!(report.crash_restarts, 0);
+    assert_eq!(report.integrity_detected, 0);
+    assert_eq!(report.clock_ns, 0, "clock advanced in a fault-free run");
+    assert!(report.faults.is_empty());
+}
+
+#[test]
+fn chaos_acceptance_10k_mixed_workload() {
+    // The acceptance drill: a 10 000-op mixed workload against the full
+    // fault schedule with periodic crash-restarts. The harness asserts the
+    // safety oracles throughout; here we additionally require every fault
+    // class actually occurred.
+    let report = chaos_run(0xacce97, 10_000, chaos_plan(), 1999);
+
+    let has = |f: &dyn Fn(&InjectedFault) -> bool| report.faults.iter().any(f);
+    assert!(
+        has(&|f| f.site == FaultSite::Write && f.from_a && f.action == FaultAction::Drop),
+        "no dropped request"
+    );
+    assert!(
+        has(&|f| f.site == FaultSite::Write && !f.from_a && f.action == FaultAction::Drop),
+        "no dropped reply"
+    );
+    assert!(
+        has(&|f| !f.from_a && f.action == FaultAction::Corrupt),
+        "no corrupted payload"
+    );
+    assert!(has(&|f| f.action == FaultAction::QpError), "no QP error");
+    assert!(report.crash_restarts >= 5, "no crash-restarts");
+    assert!(report.retransmits > 0);
+}

@@ -20,7 +20,9 @@ fn small_values_roundtrip_when_inlined() {
     for len in [0usize, 1, 16, 32, 55, 56] {
         let key = format!("k{len}");
         let value = vec![len as u8; len];
-        client.put_sync(&mut server, key.as_bytes(), &value).unwrap();
+        client
+            .put_sync(&mut server, key.as_bytes(), &value)
+            .unwrap();
         assert_eq!(
             client.get_sync(&mut server, key.as_bytes()).unwrap(),
             value,
@@ -46,7 +48,11 @@ fn threshold_boundary_is_exact() {
     client.put_sync(&mut server, b"at", &[1u8; 56]).unwrap(); // inlined
     assert_eq!(server.pool_stats().allocations, before, "56 B is inlined");
     client.put_sync(&mut server, b"above", &[1u8; 57]).unwrap(); // pooled
-    assert_eq!(server.pool_stats().allocations, before + 1, "57 B uses the pool");
+    assert_eq!(
+        server.pool_stats().allocations,
+        before + 1,
+        "57 B uses the pool"
+    );
 }
 
 #[test]
@@ -65,7 +71,9 @@ fn inlined_values_are_immune_to_untrusted_tampering() {
 #[test]
 fn pooled_values_remain_tamperable_and_detected() {
     let (mut server, mut client) = setup_inlining();
-    client.put_sync(&mut server, b"big", &vec![9u8; 500]).unwrap();
+    client
+        .put_sync(&mut server, b"big", &vec![9u8; 500])
+        .unwrap();
     assert!(server.corrupt_stored_payload(b"big"));
     assert_eq!(
         client.get_sync(&mut server, b"big"),
@@ -78,7 +86,9 @@ fn overwrite_across_the_threshold_both_directions() {
     let (mut server, mut client) = setup_inlining();
     // small -> large
     client.put_sync(&mut server, b"k", b"tiny").unwrap();
-    client.put_sync(&mut server, b"k", &vec![2u8; 1000]).unwrap();
+    client
+        .put_sync(&mut server, b"k", &vec![2u8; 1000])
+        .unwrap();
     assert_eq!(client.get_sync(&mut server, b"k").unwrap(), vec![2u8; 1000]);
     // large -> small (old pool slot must be freed)
     let in_use_before = server.pool_stats().bytes_in_use;
@@ -92,7 +102,10 @@ fn delete_works_for_inlined_values() {
     let (mut server, mut client) = setup_inlining();
     client.put_sync(&mut server, b"k", b"v").unwrap();
     client.delete_sync(&mut server, b"k").unwrap();
-    assert_eq!(client.get_sync(&mut server, b"k"), Err(StoreError::NotFound));
+    assert_eq!(
+        client.get_sync(&mut server, b"k"),
+        Err(StoreError::NotFound)
+    );
 }
 
 #[test]

@@ -45,7 +45,9 @@ fn get_missing_key_is_not_found() {
 fn overwrite_returns_latest_value() {
     let (mut server, mut client) = setup(EncryptionMode::ClientSide);
     client.put_sync(&mut server, b"k", b"v1").unwrap();
-    client.put_sync(&mut server, b"k", b"v2-different-length").unwrap();
+    client
+        .put_sync(&mut server, b"k", b"v2-different-length")
+        .unwrap();
     assert_eq!(
         client.get_sync(&mut server, b"k").unwrap(),
         b"v2-different-length"
@@ -58,7 +60,10 @@ fn delete_removes_key() {
     let (mut server, mut client) = setup(EncryptionMode::ClientSide);
     client.put_sync(&mut server, b"k", b"v").unwrap();
     client.delete_sync(&mut server, b"k").unwrap();
-    assert_eq!(client.get_sync(&mut server, b"k"), Err(StoreError::NotFound));
+    assert_eq!(
+        client.get_sync(&mut server, b"k"),
+        Err(StoreError::NotFound)
+    );
     assert_eq!(
         client.delete_sync(&mut server, b"k"),
         Err(StoreError::NotFound)
@@ -73,7 +78,9 @@ fn values_of_every_paper_size_roundtrip() {
     for size in [16usize, 64, 128, 512, 1024, 4096, 16384] {
         let key = format!("key-{size}");
         let value: Vec<u8> = (0..size).map(|i| (i * 131 + size) as u8).collect();
-        client.put_sync(&mut server, key.as_bytes(), &value).unwrap();
+        client
+            .put_sync(&mut server, key.as_bytes(), &value)
+            .unwrap();
         assert_eq!(
             client.get_sync(&mut server, key.as_bytes()).unwrap(),
             value,
@@ -156,7 +163,9 @@ fn ring_wraparound_survives_thousands_of_ops() {
     for i in 0..5_000u32 {
         let key = format!("k{}", i % 37);
         let value = format!("v{i}");
-        client.put_sync(&mut server, key.as_bytes(), value.as_bytes()).unwrap();
+        client
+            .put_sync(&mut server, key.as_bytes(), value.as_bytes())
+            .unwrap();
     }
     for i in 4_963..5_000u32 {
         let key = format!("k{}", i % 37);
@@ -234,7 +243,11 @@ fn table_growth_preserves_all_entries() {
     let mut client = PrecursorClient::connect(&mut server, 1).unwrap();
     for i in 0..2_000u32 {
         client
-            .put_sync(&mut server, &i.to_le_bytes(), format!("value-{i}").as_bytes())
+            .put_sync(
+                &mut server,
+                &i.to_le_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
             .unwrap();
     }
     assert_eq!(server.len(), 2_000);

@@ -1,12 +1,12 @@
 //! Property-based end-to-end tests: a random operation sequence executed
 //! against the full Precursor stack must agree with a plain `HashMap`
 //! model, in every encryption mode and with the small-value extension.
+//! Driven by seeded loops over the in-repo deterministic RNG.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use precursor::{Config, EncryptionMode, PrecursorClient, PrecursorServer, StoreError};
+use precursor_sim::rng::SimRng;
 use precursor_sim::CostModel;
 
 #[derive(Debug, Clone)]
@@ -16,16 +16,20 @@ enum Op {
     Delete(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..200))
-            .prop_map(|(k, v)| Op::Put(k % 24, v)),
-        any::<u8>().prop_map(|k| Op::Get(k % 24)),
-        any::<u8>().prop_map(|k| Op::Delete(k % 24)),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    let k = (rng.next_u32() as u8) % 24;
+    match rng.gen_range(3) {
+        0 => {
+            let mut v = vec![0u8; rng.gen_range(200) as usize];
+            rng.fill_bytes(&mut v);
+            Op::Put(k, v)
+        }
+        1 => Op::Get(k),
+        _ => Op::Delete(k),
+    }
 }
 
-fn check_against_model(config: Config, ops: Vec<Op>) -> Result<(), TestCaseError> {
+fn check_against_model(config: Config, ops: Vec<Op>) {
     let cost = CostModel::default();
     let mut server = PrecursorServer::new(config, &cost);
     let mut client = PrecursorClient::connect(&mut server, 11).expect("connect");
@@ -40,62 +44,60 @@ fn check_against_model(config: Config, ops: Vec<Op>) -> Result<(), TestCaseError
             Op::Get(k) => {
                 let got = client.get_sync(&mut server, &[k]);
                 match model.get(&k) {
-                    Some(v) => prop_assert_eq!(got.expect("present"), v.clone()),
-                    None => prop_assert_eq!(got, Err(StoreError::NotFound)),
+                    Some(v) => assert_eq!(&got.expect("present"), v),
+                    None => assert_eq!(got, Err(StoreError::NotFound)),
                 }
             }
             Op::Delete(k) => {
                 let got = client.delete_sync(&mut server, &[k]);
                 if model.remove(&k).is_some() {
-                    prop_assert!(got.is_ok());
+                    assert!(got.is_ok());
                 } else {
-                    prop_assert_eq!(got, Err(StoreError::NotFound));
+                    assert_eq!(got, Err(StoreError::NotFound));
                 }
             }
         }
-        prop_assert_eq!(server.len(), model.len());
+        assert_eq!(server.len(), model.len());
     }
     // Final state agreement + storage integrity audit for every live key.
     for (k, v) in &model {
-        prop_assert_eq!(client.get_sync(&mut server, &[*k]).expect("present"), v.clone());
-        prop_assert_eq!(server.audit_key(&[*k]), Some(true));
+        assert_eq!(&client.get_sync(&mut server, &[*k]).expect("present"), v);
+        assert_eq!(server.audit_key(&[*k]), Some(true));
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn store_matches_model_client_encryption(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        check_against_model(Config::default(), ops)?;
+fn run_cases(seed: u64, cases: usize, max_ops: u64, config: impl Fn() -> Config) {
+    let mut rng = SimRng::seed_from(seed);
+    for _ in 0..cases {
+        let n = 1 + rng.gen_range(max_ops) as usize;
+        let ops: Vec<Op> = (0..n).map(|_| random_op(&mut rng)).collect();
+        check_against_model(config(), ops);
     }
+}
 
-    #[test]
-    fn store_matches_model_server_encryption(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        check_against_model(
-            Config {
-                mode: EncryptionMode::ServerSide,
-                ..Config::default()
-            },
-            ops,
-        )?;
-    }
+#[test]
+fn store_matches_model_client_encryption() {
+    run_cases(0xc11e47, 24, 59, Config::default);
+}
 
-    #[test]
-    fn store_matches_model_with_small_value_inlining(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        check_against_model(Config::with_small_value_inlining(), ops)?;
-    }
+#[test]
+fn store_matches_model_server_encryption() {
+    run_cases(0x5e12e4, 24, 59, || Config {
+        mode: EncryptionMode::ServerSide,
+        ..Config::default()
+    });
+}
 
-    #[test]
-    fn store_matches_model_tiny_rings(ops in prop::collection::vec(op_strategy(), 1..40)) {
-        // Tiny rings force constant wraparound and credit churn.
-        check_against_model(
-            Config {
-                ring_bytes: 2048,
-                ..Config::default()
-            },
-            ops,
-        )?;
-    }
+#[test]
+fn store_matches_model_with_small_value_inlining() {
+    run_cases(0x1417e, 24, 59, Config::with_small_value_inlining);
+}
+
+#[test]
+fn store_matches_model_tiny_rings() {
+    // Tiny rings force constant wraparound and credit churn.
+    run_cases(0x7193, 24, 39, || Config {
+        ring_bytes: 2048,
+        ..Config::default()
+    });
 }

@@ -41,7 +41,9 @@ fn client_meter_scales_with_value_size() {
     let (mut server, mut client) = setup(EncryptionMode::ClientSide);
     client.put_sync(&mut server, b"small", &[0u8; 16]).unwrap();
     let small = client.take_meter().get(Stage::ClientCpu);
-    client.put_sync(&mut server, b"large", &[0u8; 16384]).unwrap();
+    client
+        .put_sync(&mut server, b"large", &[0u8; 16384])
+        .unwrap();
     let large = client.take_meter().get(Stage::ClientCpu);
     assert!(
         large > small * 3,
@@ -55,7 +57,9 @@ fn server_critical_time_is_size_insensitive_in_client_mode() {
     // constant as the payload is pre-encrypted on the client-side" (§5.2).
     let (mut server, mut client) = setup(EncryptionMode::ClientSide);
     client.put_sync(&mut server, b"small", &[0u8; 16]).unwrap();
-    client.put_sync(&mut server, b"large", &[0u8; 16384]).unwrap();
+    client
+        .put_sync(&mut server, b"large", &[0u8; 16384])
+        .unwrap();
     server.take_reports();
 
     client.get(b"small").unwrap();
@@ -71,8 +75,8 @@ fn server_critical_time_is_size_insensitive_in_client_mode() {
     let small_enclave = small_report.meter.get(Stage::Enclave);
     let large_enclave = large_report.meter.get(Stage::Enclave);
     // Enclave time identical regardless of value size (control-only).
-    let diff = large_enclave.saturating_sub(small_enclave)
-        + small_enclave.saturating_sub(large_enclave);
+    let diff =
+        large_enclave.saturating_sub(small_enclave) + small_enclave.saturating_sub(large_enclave);
     assert!(
         diff < Nanos(500),
         "enclave time should not scale with payload: {small_enclave} vs {large_enclave}"
@@ -83,7 +87,9 @@ fn server_critical_time_is_size_insensitive_in_client_mode() {
 fn server_encryption_enclave_time_scales_with_size() {
     let (mut server, mut client) = setup(EncryptionMode::ServerSide);
     client.put_sync(&mut server, b"small", &[0u8; 16]).unwrap();
-    client.put_sync(&mut server, b"large", &[0u8; 16384]).unwrap();
+    client
+        .put_sync(&mut server, b"large", &[0u8; 16384])
+        .unwrap();
     server.take_reports();
 
     client.get(b"small").unwrap();
@@ -97,8 +103,7 @@ fn server_encryption_enclave_time_scales_with_size() {
     client.poll_replies();
 
     assert!(
-        large_report.meter.get(Stage::Enclave)
-            > small_report.meter.get(Stage::Enclave) * 3,
+        large_report.meter.get(Stage::Enclave) > small_report.meter.get(Stage::Enclave) * 3,
         "server-encryption enclave time must grow with the payload"
     );
 }
@@ -115,7 +120,10 @@ fn working_set_grows_with_inserts_like_table_1() {
 
     client.put_sync(&mut server, b"first", &[0u8; 32]).unwrap();
     let at_one = server.sgx_report().working_set_pages;
-    assert!(at_one > at_zero, "first insert touches auxiliary heap pages");
+    assert!(
+        at_one > at_zero,
+        "first insert touches auxiliary heap pages"
+    );
     assert!(at_one < 100, "still tiny: {at_one} pages");
 
     for i in 0..5_000u32 {
@@ -136,7 +144,9 @@ fn transitions_stay_constant_under_request_load() {
     let (mut server, mut client) = setup(EncryptionMode::ClientSide);
     let before = server.sgx_report().transitions;
     for i in 0..100u32 {
-        client.put_sync(&mut server, &i.to_le_bytes(), &[0u8; 32]).unwrap();
+        client
+            .put_sync(&mut server, &i.to_le_bytes(), &[0u8; 32])
+            .unwrap();
     }
     let after = server.sgx_report().transitions;
     // Only pool-growth ocalls may add transitions; with the default pool
