@@ -25,8 +25,9 @@
 //! re-attests, re-establishes `K_session`, and re-issues every in-flight
 //! request without losing acknowledged state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
+use precursor_crypto::chain::MacChain;
 use precursor_crypto::keys::{Key128, Key256, Nonce8, Tag};
 use precursor_crypto::{cmac, gcm, salsa20};
 use precursor_rdma::mr::{Memory, RemoteKey};
@@ -38,13 +39,55 @@ use precursor_sim::timer::{Backoff, Deadline, VirtualClock};
 use precursor_sim::CostModel;
 use precursor_storage::ring::{RingConsumer, RingProducer};
 
+use precursor_sgx::attest::derive_chain_key;
+
 use crate::config::{EncryptionMode, RetryPolicy};
 use crate::error::StoreError;
 use crate::server::{cmac_key_of, ClientBundle, PrecursorServer};
 use crate::wire::{
-    payload_reply_nonce, payload_request_nonce, reply_nonce, request_aad, request_nonce, Opcode,
-    ReplyControl, ReplyFrame, RequestControl, RequestFrame, Status,
+    chain_context, chain_input, payload_reply_nonce, payload_request_nonce, reply_nonce,
+    request_aad, request_nonce, Opcode, ReplyControl, ReplyFrame, RequestControl, RequestFrame,
+    Status,
 };
+
+/// Most reply sequence numbers remembered as "skipped by a gap" and still
+/// acceptable late (reordered delivery). Anything older is stale.
+const GAP_TRACK_MAX: usize = 512;
+
+/// Most `(store_seq, state_digest)` observations kept for cross-client fork
+/// audits ([`fork_audit`]).
+const OBSERVATION_MAX: usize = 256;
+
+/// Client-side Byzantine-behaviour counters: everything suspicious the
+/// detection pipeline saw, whether or not it escalated to a quarantine.
+/// Obtained from [`PrecursorClient::security_audit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SecurityAudit {
+    /// Reply records carrying an already-consumed sequence number that was
+    /// *not* accounted to a known gap — replayed or duplicated replies,
+    /// dropped without effect.
+    pub stale_replies: u64,
+    /// Replies accepted late because their sequence number matched a known
+    /// gap — benign loss-and-retransmit, or an adversary reordering records.
+    pub reorder_suspected: u64,
+    /// Times the reply MAC chain was re-anchored after a sequence gap (the
+    /// intermediate links could not be verified, but the adopted tag is
+    /// covered by the sealed control).
+    pub chain_resyncs: u64,
+    /// Contiguous replies whose MAC-chain tag did not match the locally
+    /// recomputed link — clear-header tampering or reply substitution. Each
+    /// one quarantines the session.
+    pub chain_breaks: u64,
+    /// Replies carrying a reply-epoch other than the session's — stale
+    /// pre-reconnect state served back. Each one quarantines the session.
+    pub epoch_mismatches: u64,
+    /// Replies whose store-mutation sequence went *backwards* — the server
+    /// restarted from a rolled-back snapshot. Each one quarantines the
+    /// session.
+    pub rollback_regressions: u64,
+    /// Replies carrying [`Status::Busy`] backpressure.
+    pub busy_replies: u64,
+}
 
 /// A finished operation, as observed by the client.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,6 +160,24 @@ pub struct PrecursorClient {
     last_sent: Option<(Opcode, Vec<u8>)>,
     posts_since_signal: u32,
     signal_interval: u32,
+
+    // --- Byzantine-host detection state -------------------------------
+    /// Reply epoch of the current attestation; replies must echo it.
+    epoch: u32,
+    /// Local copy of the enclave's reply MAC chain.
+    chain: MacChain,
+    /// Sequence numbers skipped by a gap, still acceptable late (bounded).
+    gap_seqs: HashSet<u64>,
+    /// Highest store-mutation sequence ever acknowledged. Survives
+    /// reconnects: rollback across a restart is exactly the attack.
+    max_store_seq: u64,
+    /// Recent `(store_seq, state_digest)` pairs for fork audits (bounded).
+    observations: VecDeque<(u64, [u8; 16])>,
+    audit: SecurityAudit,
+    /// `Some` once Byzantine behaviour was detected: the session is
+    /// quarantined and every operation fails with this error until
+    /// [`reconnect`](Self::reconnect).
+    poisoned: Option<StoreError>,
 }
 
 impl PrecursorClient {
@@ -153,7 +214,12 @@ impl PrecursorClient {
             ring_bytes,
             mode,
             expected_oid,
+            epoch,
         } = bundle;
+        let chain = MacChain::new(
+            &derive_chain_key(&session_key, epoch),
+            &chain_context(client_id, epoch),
+        );
         PrecursorClient {
             client_id,
             session_key,
@@ -180,6 +246,13 @@ impl PrecursorClient {
             // Selective signaling (§4, "RDMA optimizations"): push a single
             // completion after a batch of requests instead of one per WRITE.
             signal_interval: 16,
+            epoch,
+            chain,
+            gap_seqs: HashSet::new(),
+            max_store_seq: 0,
+            observations: VecDeque::new(),
+            audit: SecurityAudit::default(),
+            poisoned: None,
         }
     }
 
@@ -226,6 +299,52 @@ impl PrecursorClient {
         self.meter.take()
     }
 
+    /// Byzantine-behaviour counters accumulated by the reply pipeline.
+    pub fn security_audit(&self) -> SecurityAudit {
+        self.audit
+    }
+
+    /// The quarantine reason, if this session detected Byzantine behaviour.
+    /// A poisoned session fails every operation until
+    /// [`reconnect`](Self::reconnect) re-attests it.
+    pub fn poisoned(&self) -> Option<StoreError> {
+        self.poisoned
+    }
+
+    /// The reply epoch of the current attestation.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Highest store-mutation sequence number this client has ever seen
+    /// acknowledged. Kept across reconnects: a regression after a server
+    /// restart is a rollback attack.
+    pub fn max_store_seq(&self) -> u64 {
+        self.max_store_seq
+    }
+
+    /// Recent `(store_seq, state_digest)` observations, oldest first — the
+    /// evidence exchanged by [`fork_audit`].
+    pub fn observations(&self) -> Vec<(u64, [u8; 16])> {
+        self.observations.iter().copied().collect()
+    }
+
+    /// Quarantines the session: every subsequent operation fails with
+    /// `reason` until [`reconnect`](Self::reconnect). Called internally on
+    /// detection; public so external audits (e.g. [`fork_audit`]) can
+    /// escalate their verdicts.
+    pub fn quarantine(&mut self, reason: StoreError) {
+        self.poisoned = Some(reason);
+    }
+
+    // Fails fast when the session is quarantined.
+    fn ensure_healthy(&self) -> Result<(), StoreError> {
+        match self.poisoned {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Issues a put (Algorithm 1). Returns the operation's `oid`.
     ///
     /// # Errors
@@ -233,6 +352,7 @@ impl PrecursorClient {
     /// [`StoreError::RingFull`] when the request ring lacks credits, and
     /// [`StoreError::Rdma`] if the connection was revoked.
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<u64, StoreError> {
+        self.ensure_healthy()?;
         let cost = self.cost.clone();
         self.oid += 1;
         let oid = self.oid;
@@ -291,6 +411,7 @@ impl PrecursorClient {
     ///
     /// Same classes as [`put`](Self::put).
     pub fn get(&mut self, key: &[u8]) -> Result<u64, StoreError> {
+        self.ensure_healthy()?;
         self.oid += 1;
         let oid = self.oid;
         let control = RequestControl {
@@ -308,6 +429,7 @@ impl PrecursorClient {
     ///
     /// Same classes as [`put`](Self::put).
     pub fn delete(&mut self, key: &[u8]) -> Result<u64, StoreError> {
+        self.ensure_healthy()?;
         self.oid += 1;
         let oid = self.oid;
         let control = RequestControl {
@@ -457,6 +579,7 @@ impl PrecursorClient {
     ///
     /// Same as [`advance`](Self::advance).
     pub fn pump_timeouts(&mut self) -> Result<usize, StoreError> {
+        self.ensure_healthy()?;
         if self.qp.is_error() {
             return Err(StoreError::SessionLost);
         }
@@ -573,6 +696,19 @@ impl PrecursorClient {
         self.reply_credit_rkey = bundle.reply_credit_rkey;
         self.next_reply_seq = 1;
         self.posts_since_signal = 0;
+        // A fresh attestation clears a quarantine and re-anchors the
+        // detection state: the server hands out a *strictly newer* reply
+        // epoch, so any stale pre-reconnect reply the host replays later
+        // fails the epoch check (and its sealing key is gone anyway).
+        // `max_store_seq` deliberately survives — detecting a rollback
+        // across the reconnect is the point.
+        self.poisoned = None;
+        self.epoch = bundle.epoch;
+        self.chain = MacChain::new(
+            &derive_chain_key(&self.session_key, bundle.epoch),
+            &chain_context(self.client_id, bundle.epoch),
+        );
+        self.gap_seqs.clear();
         // Resynchronise the oid counter with the enclave's window: an
         // operation abandoned with a client-side timeout may or may not have
         // executed, which would otherwise leave the next fresh oid outside
@@ -645,14 +781,29 @@ impl PrecursorClient {
             return;
         };
         // Replies arrive in server order; the expected sequence selects the
-        // nonce and doubles as rollback protection on the reply channel. A
+        // nonce and doubles as replay protection on the reply channel. A
         // *gap* is tolerated (the skipped reply was lost and its operation
-        // will be retransmitted); going backwards is not.
+        // will be retransmitted) and its sequence numbers stay acceptable
+        // late, so reordered delivery still completes; anything older is a
+        // stale record (duplicate or replay) and is dropped.
         let seq = frame.reply_seq;
-        if seq < self.next_reply_seq {
-            return;
+        let late = seq < self.next_reply_seq;
+        let contiguous = seq == self.next_reply_seq;
+        if late {
+            if !self.gap_seqs.remove(&seq) {
+                self.audit.stale_replies += 1;
+                return;
+            }
+            self.audit.reorder_suspected += 1;
+        } else {
+            for skipped in self.next_reply_seq..seq {
+                if self.gap_seqs.len() >= GAP_TRACK_MAX {
+                    break;
+                }
+                self.gap_seqs.insert(skipped);
+            }
+            self.next_reply_seq = seq + 1;
         }
-        self.next_reply_seq = seq + 1;
 
         self.charge_client(cost.aes_gcm(frame.sealed_control.len()));
         let Ok(control_bytes) = gcm::open(
@@ -666,6 +817,71 @@ impl PrecursorClient {
         let Ok(control) = ReplyControl::decode(&control_bytes) else {
             return;
         };
+
+        // --- Byzantine-host detection pipeline ------------------------
+        // Every check below is on *authenticated* data (the control opened
+        // under K_session), so a detection is evidence, not noise.
+
+        // 1. Reply epoch: a reply sealed before the last reconnect carries
+        //    the old epoch. (Its sealing key also differs, so this is a
+        //    second, independent tripwire.)
+        if control.epoch != self.epoch {
+            self.audit.epoch_mismatches += 1;
+            self.quarantine(StoreError::SessionPoisoned);
+            return;
+        }
+
+        // 2. Reply MAC chain. A contiguous reply must extend the chain with
+        //    exactly the locally recomputed link — this binds the *clear*
+        //    header (status/opcode), which the control seal does not cover.
+        //    After a gap the intermediate links are unverifiable; adopt the
+        //    authenticated tag as the new anchor. Late (reordered) replies
+        //    lie before the anchor and carry no new link to check.
+        if contiguous {
+            let expect =
+                self.chain
+                    .advance(&chain_input(frame.status, frame.opcode, seq, &control));
+            if expect != control.chain {
+                self.audit.chain_breaks += 1;
+                self.quarantine(StoreError::SessionPoisoned);
+                return;
+            }
+        } else if !late {
+            self.chain.resync(&control.chain);
+            self.audit.chain_resyncs += 1;
+        }
+
+        // 3. Rollback: the store-mutation sequence is monotonic across the
+        //    server's whole life, snapshots included; it regresses only when
+        //    the host restarted the enclave from a stale (rolled-back)
+        //    snapshot. Late replies legitimately carry older values.
+        if !late {
+            if control.store_seq < self.max_store_seq {
+                self.audit.rollback_regressions += 1;
+                self.quarantine(StoreError::RollbackDetected);
+                return;
+            }
+            self.max_store_seq = control.store_seq;
+            // Record fork evidence: same store_seq must always come with
+            // the same digest, here and at every other client.
+            if let Some(&(last_seq, last_digest)) = self.observations.back() {
+                if last_seq == control.store_seq && last_digest != control.store_digest {
+                    self.quarantine(StoreError::ForkDetected);
+                    return;
+                }
+            }
+            if self
+                .observations
+                .back()
+                .is_none_or(|&(s, d)| s != control.store_seq || d != control.store_digest)
+            {
+                if self.observations.len() >= OBSERVATION_MAX {
+                    self.observations.pop_front();
+                }
+                self.observations
+                    .push_back((control.store_seq, control.store_digest));
+            }
+        }
 
         // Error replies (replay / not-found / malformed) carry oid 0: they
         // complete the *oldest* pending op, matching the in-order rings.
@@ -688,6 +904,14 @@ impl PrecursorClient {
             value: None,
             error: None,
         };
+
+        if frame.status == Status::Busy {
+            // Backpressure: the op did not execute; the caller should back
+            // off (the control carries the server's retry hint) and retry
+            // with a fresh oid.
+            self.audit.busy_replies += 1;
+            completed.error = Some(StoreError::Busy);
+        }
 
         if frame.status == Status::Ok && pending.opcode == Opcode::Get {
             match self.mode {
@@ -790,6 +1014,7 @@ impl PrecursorClient {
             Status::Ok => Ok(()),
             Status::Replay => Err(c.error.unwrap_or(StoreError::ReplayDetected)),
             Status::NotFound => Err(c.error.unwrap_or(StoreError::NotFound)),
+            Status::Busy => Err(StoreError::Busy),
             _ => Err(c.error.unwrap_or(StoreError::MalformedFrame)),
         }
     }
@@ -814,6 +1039,7 @@ impl PrecursorClient {
             Status::Ok => Ok(c.value.expect("ok get carries a value")),
             Status::NotFound => Err(StoreError::NotFound),
             Status::Replay => Err(StoreError::ReplayDetected),
+            Status::Busy => Err(StoreError::Busy),
             Status::Error => Err(StoreError::MalformedFrame),
         }
     }
@@ -833,6 +1059,7 @@ impl PrecursorClient {
         match c.status {
             Status::Ok => Ok(()),
             Status::NotFound => Err(StoreError::NotFound),
+            Status::Busy => Err(StoreError::Busy),
             _ => Err(c.error.unwrap_or(StoreError::MalformedFrame)),
         }
     }
@@ -906,4 +1133,28 @@ impl PrecursorClient {
             .ok_or(StoreError::RingFull)?;
         Ok(())
     }
+}
+
+/// Cross-client fork audit (the lightweight "epoch exchange" of
+/// client-centric trust): two clients compare their authenticated
+/// `(store_seq, state_digest)` observations. A host serving forked views
+/// must hand different digests for the same mutation sequence to somebody —
+/// any overlap exposes it.
+///
+/// On detection the caller should
+/// [`quarantine`](PrecursorClient::quarantine) both sessions.
+///
+/// # Errors
+///
+/// [`StoreError::ForkDetected`] when the same `store_seq` was observed with
+/// different digests.
+pub fn fork_audit(a: &PrecursorClient, b: &PrecursorClient) -> Result<(), StoreError> {
+    for &(seq_a, digest_a) in &a.observations {
+        for &(seq_b, digest_b) in &b.observations {
+            if seq_a == seq_b && digest_a != digest_b {
+                return Err(StoreError::ForkDetected);
+            }
+        }
+    }
+    Ok(())
 }

@@ -39,6 +39,25 @@ pub struct Config {
     /// Initial enclave hash-table slots ("only a subset of the hash table"
     /// is initialized up front, §5.4).
     pub initial_table_slots: usize,
+    /// Most request records one [`poll`](crate::PrecursorServer::poll) sweep
+    /// consumes from a single client's ring before moving to the next client
+    /// (round-robin fairness — a flooder cannot monopolize the trusted
+    /// thread). `0` disables the budget (unbounded, pre-hardening
+    /// behaviour). Unconsumed records simply wait; no reply is generated and
+    /// no `oid` is burned.
+    pub poll_budget_per_client: usize,
+    /// Maximum untrusted-pool bytes (counted in slot capacities) one client
+    /// may hold across its stored values. Exceeding puts are refused with
+    /// [`Status::Busy`](crate::wire::Status::Busy) backpressure instead of
+    /// growing the pool. `0` disables quotas.
+    pub pool_quota_bytes: usize,
+    /// Maximum buffered [`OpReport`](crate::OpReport)s held for
+    /// [`take_reports`](crate::PrecursorServer::take_reports). When a caller
+    /// never drains them, the oldest are dropped (and counted) instead of
+    /// growing memory without bound.
+    pub max_buffered_reports: usize,
+    /// Retry hint carried in `Busy` replies, in simulated nanoseconds.
+    pub busy_retry_ns: u64,
     /// Values of at most this many bytes are stored directly *inside* the
     /// enclave instead of the untrusted pool — the paper's proposed future
     /// extension for values smaller than the control data (§5.2: "one could
@@ -60,6 +79,10 @@ impl Default for Config {
             model_slot_bytes: 88,
             initial_table_slots: 2048,
             inline_value_max: 0,
+            poll_budget_per_client: 128,
+            pool_quota_bytes: 0,
+            max_buffered_reports: 1 << 16,
+            busy_retry_ns: 100_000,
         }
     }
 }
@@ -140,6 +163,15 @@ mod tests {
         let b = Config::server_encryption();
         assert_eq!(b.mode, EncryptionMode::ServerSide);
         assert_eq!(a.ring_bytes, b.ring_bytes);
+    }
+
+    #[test]
+    fn overload_defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.poll_budget_per_client > 0, "fairness on by default");
+        assert_eq!(c.pool_quota_bytes, 0, "quotas opt-in");
+        assert!(c.max_buffered_reports >= 1 << 16);
+        assert!(c.busy_retry_ns > 0);
     }
 
     #[test]

@@ -43,6 +43,20 @@ pub enum StoreError {
     /// The queue pair entered the error state; the session must be
     /// re-established (QP reset + re-attestation) before retrying.
     SessionLost,
+    /// The client detected Byzantine behaviour (reply-epoch mismatch,
+    /// MAC-chain break) and quarantined the session: every operation fails
+    /// until a fresh attestation via
+    /// [`reconnect`](crate::PrecursorClient::reconnect).
+    SessionPoisoned,
+    /// The server's store-mutation sequence number regressed — it restarted
+    /// from a rolled-back snapshot. The session is quarantined.
+    RollbackDetected,
+    /// Two clients observed the same store-mutation sequence number with
+    /// different state digests — the host is presenting forked views.
+    ForkDetected,
+    /// The server is shedding load for this client (memory quota or
+    /// backpressure); back off and retry.
+    Busy,
 }
 
 impl fmt::Display for StoreError {
@@ -66,6 +80,16 @@ impl fmt::Display for StoreError {
                 f.write_str("retries exhausted without an acknowledgement")
             }
             StoreError::SessionLost => f.write_str("session lost (queue pair in error state)"),
+            StoreError::SessionPoisoned => {
+                f.write_str("session quarantined after Byzantine behaviour; reconnect required")
+            }
+            StoreError::RollbackDetected => {
+                f.write_str("server state rollback detected (store sequence regressed)")
+            }
+            StoreError::ForkDetected => {
+                f.write_str("forked server views detected (digest divergence)")
+            }
+            StoreError::Busy => f.write_str("server busy; back off and retry"),
         }
     }
 }
@@ -120,6 +144,19 @@ mod tests {
         assert!(StoreError::RetriesExhausted.to_string().contains("retries"));
         assert!(StoreError::SessionLost.to_string().contains("queue pair"));
         assert!(StoreError::Timeout.source().is_none());
+    }
+
+    #[test]
+    fn byzantine_errors_display() {
+        assert!(StoreError::SessionPoisoned
+            .to_string()
+            .contains("quarantined"));
+        assert!(StoreError::RollbackDetected
+            .to_string()
+            .contains("rollback"));
+        assert!(StoreError::ForkDetected.to_string().contains("forked"));
+        assert!(StoreError::Busy.to_string().contains("busy"));
+        assert!(StoreError::SessionPoisoned.source().is_none());
     }
 
     #[test]

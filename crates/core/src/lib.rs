@@ -30,6 +30,18 @@
 //!   support crash-restart recovery (see `DESIGN.md`, "Failure model").
 //! * [`error`] — error types.
 //!
+//! ## Byzantine-host hardening
+//!
+//! The host outside the enclave is untrusted: clients verify a per-session
+//! reply **epoch**, a **MAC chain** over every control reply, and a
+//! monotonic **store-mutation sequence** with a running state digest.
+//! Detection quarantines the session ([`StoreError::SessionPoisoned`],
+//! [`StoreError::RollbackDetected`], [`StoreError::ForkDetected`]) until a
+//! fresh attestation; two clients can cross-check their observations with
+//! [`fork_audit`]. The deterministic malicious-host harness lives in
+//! [`precursor_rdma::adversary`] and is scripted through
+//! [`PrecursorServer::set_adversary_plan`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -61,11 +73,12 @@ pub mod server;
 pub mod snapshot;
 pub mod wire;
 
-pub use client::{CompletedOp, PrecursorClient};
+pub use client::{fork_audit, CompletedOp, PrecursorClient, SecurityAudit};
 pub use config::{Config, EncryptionMode, RetryPolicy};
 pub use error::StoreError;
 pub use server::{OpReport, PrecursorServer};
 
-// Fault-injection vocabulary, re-exported so chaos tests and demos need
-// only this crate.
+// Fault-injection and adversary vocabulary, re-exported so chaos and
+// byzantine tests and demos need only this crate.
+pub use precursor_rdma::adversary::{AdversaryInjector, AdversaryPlan, AttackClass, MountedAttack};
 pub use precursor_rdma::faults::{FaultAction, FaultDir, FaultPlan, FaultSite};

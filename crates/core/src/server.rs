@@ -15,14 +15,17 @@
 //! the virtual cost of every step; the YCSB driver replays those charges
 //! through contended resources.
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
+use precursor_crypto::chain::MacChain;
 use precursor_crypto::keys::{Key128, Key256, Nonce8, Tag};
-use precursor_crypto::{cmac, gcm};
+use precursor_crypto::{cmac, gcm, sha256};
+use precursor_rdma::adversary::{AdversaryInjector, AdversaryPlan, AttackClass, MountedAttack};
 use precursor_rdma::faults::{FaultInjector, FaultPlan, InjectedFault};
 use precursor_rdma::mr::{Memory, RemoteKey};
 use precursor_rdma::qp::{connect_pair, connect_pair_faulty, QueuePair};
-use precursor_sgx::attest::AttestationService;
+use precursor_sgx::attest::{derive_chain_key, AttestationService};
 use precursor_sgx::enclave::{Enclave, RegionId};
 use precursor_sim::meter::{Meter, Stage};
 use precursor_sim::rng::SimRng;
@@ -35,8 +38,8 @@ use precursor_storage::robinhood::RobinHoodMap;
 use crate::config::{Config, EncryptionMode};
 use crate::error::StoreError;
 use crate::wire::{
-    payload_reply_nonce, payload_request_nonce, reply_nonce, request_aad, Opcode, ReplyControl,
-    ReplyFrame, RequestControl, RequestFrame, Status,
+    chain_context, chain_input, payload_reply_nonce, payload_request_nonce, reply_nonce,
+    request_aad, Opcode, ReplyControl, ReplyFrame, RequestControl, RequestFrame, Status,
 };
 
 /// Per-operation outcome + cost accounting, consumed by the benchmark
@@ -85,6 +88,11 @@ pub struct ClientBundle {
     /// [`StoreError::Timeout`](crate::StoreError::Timeout) may or may not
     /// have executed, leaving the counters one apart otherwise).
     pub expected_oid: u64,
+    /// Connection epoch of this session: `1` for a fresh session, bumped by
+    /// every [`PrecursorServer::reconnect_client`]. The reply MAC chain is
+    /// keyed per-epoch, and every reply control echoes the epoch, so a
+    /// stale reply from an earlier connection can never verify.
+    pub epoch: u32,
 }
 
 // Trusted per-entry metadata: what the paper keeps in the enclave hash table
@@ -120,6 +128,11 @@ struct Session {
     reply_seq: u64,
     active: bool,
     last_status: Status,
+    /// Connection epoch (see [`ClientBundle::epoch`]).
+    epoch: u32,
+    /// Reply MAC chain, advanced once per sealed reply in `reply_seq`
+    /// order; its tag rides in every reply control.
+    chain: MacChain,
 }
 
 // Untrusted per-client plumbing.
@@ -137,6 +150,15 @@ struct ClientPort {
     /// retransmitted, so a reply lost in flight (a hole the client's ring
     /// consumer is parked on) gets filled idempotently.
     last_reply: Vec<(usize, Vec<u8>)>,
+    /// The last remembered reply as one encoded ring record, plus the
+    /// producer's absolute position after it was pushed. When the client has
+    /// already consumed past that position (a Byzantine host substituted the
+    /// record, which the consumer then zeroed), a verbatim rewrite would
+    /// deposit garbage into consumed ring space — instead the record is
+    /// re-pushed as a *fresh* ring record (same `reply_seq`; the client
+    /// dedups or late-accepts it).
+    last_reply_bytes: Vec<u8>,
+    last_reply_end: u64,
 }
 
 // How a processed record is answered.
@@ -165,6 +187,10 @@ pub struct PrecursorServer {
     sessions: Vec<Session>,
     storage_key: Key128,
     storage_seq: u64,
+    // Store-mutation counter + running digest (rollback/fork evidence
+    // carried in every reply control): bumped on every applied mutation.
+    mutation_seq: u64,
+    state_digest: [u8; 16],
 
     // modelled enclave regions
     static_region: RegionId,
@@ -177,15 +203,25 @@ pub struct PrecursorServer {
     // untrusted side
     payload_mem: Memory,
     pool: SlabPool,
-    ports: Vec<ClientPort>,
-    reports: Vec<OpReport>,
+    // `None` marks a revoked slot: ids are stable (they index the trusted
+    // session table) and are never recycled, but the revoked client's rings
+    // and MRs are dropped.
+    ports: Vec<Option<ClientPort>>,
+    reports: VecDeque<OpReport>,
+    reports_dropped: u64,
+    // Per-client untrusted-pool bytes (slot capacities), for quotas.
+    pool_used: Vec<usize>,
+    // Round-robin start of the next poll sweep.
+    rr_cursor: usize,
     polls: u64,
 
     // fault injection (tests/chaos harnesses); None = clean transport
     faults: Option<Arc<Mutex<FaultInjector>>>,
+    // Byzantine-host injection (tests); None = honest host software
+    adversary: Option<AdversaryInjector>,
     // session windows recovered from a sealed snapshot, indexed by
     // client_id; consumed by reconnect_client after a crash-restart
-    saved_sessions: Vec<(u64, Status)>,
+    saved_sessions: Vec<(u64, Status, u32)>,
 }
 
 impl PrecursorServer {
@@ -223,6 +259,8 @@ impl PrecursorServer {
             sessions: Vec::new(),
             storage_key,
             storage_seq: 0,
+            mutation_seq: 0,
+            state_digest: [0u8; 16],
             static_region,
             table_region,
             misc_region,
@@ -232,9 +270,13 @@ impl PrecursorServer {
             payload_mem: Memory::zeroed(config.pool_bytes),
             pool: SlabPool::new(config.pool_bytes),
             ports: Vec::new(),
-            reports: Vec::new(),
+            reports: VecDeque::new(),
+            reports_dropped: 0,
+            pool_used: Vec::new(),
+            rr_cursor: 0,
             polls: 0,
             faults: None,
+            adversary: None,
             saved_sessions: Vec::new(),
         }
     }
@@ -260,6 +302,61 @@ impl PrecursorServer {
             .map_or_else(Vec::new, |f| lock_faults(f).log().to_vec())
     }
 
+    /// Installs a deterministic Byzantine-host plan: the host software now
+    /// tampers with untrusted payload bytes, replays stale reply records,
+    /// reorders and duplicates ring records according to `plan`, seeded from
+    /// `seed`. Every mounted attack is recorded in
+    /// [`adversary_log`](Self::adversary_log) so tests can assert each one
+    /// was *detected* client-side.
+    pub fn set_adversary_plan(&mut self, plan: AdversaryPlan, seed: u64) {
+        self.adversary = Some(AdversaryInjector::new(plan, seed));
+    }
+
+    /// Number of attacks mounted so far (0 without an adversary plan).
+    pub fn mounted_attacks(&self) -> usize {
+        self.adversary.as_ref().map_or(0, |a| a.mounted())
+    }
+
+    /// A copy of the adversary's audit log (empty without a plan).
+    pub fn adversary_log(&self) -> Vec<MountedAttack> {
+        self.adversary
+            .as_ref()
+            .map_or_else(Vec::new, |a| a.log().to_vec())
+    }
+
+    /// Records a harness-staged attack (rollback via a stale snapshot, fork
+    /// via a cloned platform) in the adversary audit log, so all attack
+    /// classes flow through one log. No-op without an adversary plan.
+    pub fn note_attack(&mut self, class: AttackClass, client: Option<u32>) {
+        if let Some(adv) = &mut self.adversary {
+            adv.note_attack(class, client);
+        }
+    }
+
+    /// [`OpReport`]s dropped because the buffer cap
+    /// ([`Config::max_buffered_reports`]) was reached before
+    /// [`take_reports`](Self::take_reports) drained them.
+    pub fn reports_dropped(&self) -> u64 {
+        self.reports_dropped
+    }
+
+    /// Untrusted-pool bytes (slot capacities) currently charged to
+    /// `client_id` — what [`Config::pool_quota_bytes`] bounds.
+    pub fn pool_usage(&self, client_id: u32) -> usize {
+        self.pool_used.get(client_id as usize).copied().unwrap_or(0)
+    }
+
+    /// The store-mutation sequence number (bumped on every applied put,
+    /// delete, and revocation eviction). Carried in every reply control.
+    pub fn mutation_seq(&self) -> u64 {
+        self.mutation_seq
+    }
+
+    /// The running digest over all applied mutations (fork evidence).
+    pub fn state_digest(&self) -> [u8; 16] {
+        self.state_digest
+    }
+
     /// The configured cost model.
     pub fn cost(&self) -> &CostModel {
         &self.cost
@@ -280,9 +377,9 @@ impl PrecursorServer {
         self.table.len() == 0
     }
 
-    /// Number of connected clients.
+    /// Number of connected (non-revoked) clients.
     pub fn client_count(&self) -> usize {
-        self.ports.len()
+        self.ports.iter().filter(|p| p.is_some()).count()
     }
 
     /// The attestation service of the platform (clients verify quotes
@@ -345,14 +442,22 @@ impl PrecursorServer {
         let session_key = self.establish(client_nonce, &mut meter)?;
         let (port, bundle) = self.provision_port(client_id, &session_key);
 
+        let epoch = 1;
+        let chain = MacChain::new(
+            &derive_chain_key(&session_key, epoch),
+            &chain_context(client_id, epoch),
+        );
         self.sessions.push(Session {
             session_key,
             expected_oid: 1,
             reply_seq: 1,
             active: true,
             last_status: Status::Ok,
+            epoch,
+            chain,
         });
-        self.ports.push(port);
+        self.ports.push(Some(port));
+        self.pool_used.push(0);
         // Per-client trusted state (oid slot) lives in the client region.
         self.enclave.touch(
             self.client_region,
@@ -390,6 +495,7 @@ impl PrecursorServer {
             (
                 self.sessions[idx].expected_oid,
                 self.sessions[idx].last_status,
+                self.sessions[idx].epoch,
             )
         } else if idx == self.sessions.len() && idx < self.saved_sessions.len() {
             self.saved_sessions[idx]
@@ -401,19 +507,36 @@ impl PrecursorServer {
         let session_key = self.establish(client_nonce, &mut meter)?;
         let (port, mut bundle) = self.provision_port(client_id, &session_key);
         bundle.expected_oid = resumed.0;
+        // Fresh connection epoch: the reply MAC chain re-keys, so replies
+        // sealed in any earlier epoch can never verify again.
+        let epoch = resumed.2 + 1;
+        bundle.epoch = epoch;
+        let chain = MacChain::new(
+            &derive_chain_key(&session_key, epoch),
+            &chain_context(client_id, epoch),
+        );
         let session = Session {
             session_key,
             expected_oid: resumed.0,
             reply_seq: 1,
             active: true,
             last_status: resumed.1,
+            epoch,
+            chain,
         };
+        // A Reorder attack must not hold a record across sessions.
+        if let Some(adv) = &mut self.adversary {
+            adv.release_held(client_id);
+        }
         if idx < self.sessions.len() {
             self.sessions[idx] = session;
-            self.ports[idx] = port;
+            self.ports[idx] = Some(port);
         } else {
             self.sessions.push(session);
-            self.ports.push(port);
+            self.ports.push(Some(port));
+        }
+        if self.pool_used.len() <= idx {
+            self.pool_used.resize(idx + 1, 0);
         }
         self.enclave.touch(
             self.client_region,
@@ -479,6 +602,8 @@ impl PrecursorServer {
             credit_rkey,
             reply_credit,
             last_reply: Vec::new(),
+            last_reply_bytes: Vec::new(),
+            last_reply_end: 0,
         };
         let bundle = ClientBundle {
             client_id,
@@ -491,58 +616,138 @@ impl PrecursorServer {
             ring_bytes: self.config.ring_bytes,
             mode: self.config.mode,
             expected_oid: 1,
+            epoch: 1,
         };
         (port, bundle)
     }
 
-    /// Revokes a client: its QP transitions to the error state (§3.9) and
-    /// its requests are no longer processed.
+    /// Revokes a client: its QP transitions to the error state (§3.9), its
+    /// requests are no longer processed, and every resource it held is
+    /// reclaimed — its stored entries are evicted (pool slots freed), its
+    /// rings and registered memory are dropped, and its quota charge is
+    /// zeroed. The client id itself is retired, never recycled; the client
+    /// may later [`reconnect_client`](Self::reconnect_client).
     pub fn revoke_client(&mut self, client_id: u32) {
-        if let Some(port) = self.ports.get(client_id as usize) {
+        let idx = client_id as usize;
+        if let Some(Some(port)) = self.ports.get(idx) {
             port.qp.set_error();
         }
-        if let Some(s) = self.sessions.get_mut(client_id as usize) {
+        if let Some(s) = self.sessions.get_mut(idx) {
             s.active = false;
+        }
+        // Evict the revoked client's entries: its data does not outlive the
+        // session, and the pool slots return to the free lists.
+        let keys: Vec<Vec<u8>> = self
+            .table
+            .iter()
+            .filter(|(_, meta)| meta.client_id == client_id)
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in keys {
+            let (removed, _stats) = self.table.remove_tracked(&key);
+            if let Some(entry) = removed {
+                if let ValueStorage::Untrusted(range) = entry.storage {
+                    self.release_range(entry.client_id, range);
+                }
+                self.bump_mutation(Opcode::Delete, &key);
+            }
+        }
+        if let Some(adv) = &mut self.adversary {
+            adv.release_held(client_id);
+        }
+        // Drop the rings, MRs and QP end (frees the untrusted footprint).
+        if let Some(slot) = self.ports.get_mut(idx) {
+            *slot = None;
         }
     }
 
+    // Frees a pool slot and keeps the quota + adversary registries in sync.
+    fn release_range(&mut self, owner: u32, range: PoolRange) {
+        if let Some(used) = self.pool_used.get_mut(owner as usize) {
+            *used = used.saturating_sub(range.capacity());
+        }
+        if let Some(adv) = &mut self.adversary {
+            adv.forget_payload(range.offset);
+        }
+        self.pool.free(range);
+    }
+
+    // Advances the store-mutation sequence + digest: called once per
+    // *applied* mutation (put, delete, revocation eviction) — never for
+    // snapshot-restore re-inserts, which reproduce already-counted state.
+    fn bump_mutation(&mut self, opcode: Opcode, key: &[u8]) {
+        self.mutation_seq += 1;
+        let mut input = Vec::with_capacity(16 + 1 + 8 + key.len());
+        input.extend_from_slice(&self.state_digest);
+        input.push(opcode as u8);
+        input.extend_from_slice(&self.mutation_seq.to_le_bytes());
+        input.extend_from_slice(key);
+        let h = sha256::digest(&input);
+        self.state_digest.copy_from_slice(&h[..16]);
+    }
+
     /// One polling sweep of a trusted thread over all client rings (§3.8):
-    /// consumes every available request, processes it, writes the reply into
-    /// the client's reply ring with a one-sided WRITE, and periodically
-    /// updates credits. Returns the number of requests processed.
+    /// consumes available requests, processes them, writes replies into the
+    /// clients' reply rings with one-sided WRITEs, and periodically updates
+    /// credits. Returns the number of requests processed.
+    ///
+    /// Each sweep starts from a rotating client (round-robin) and consumes
+    /// at most [`Config::poll_budget_per_client`] records per client, so a
+    /// flooding client cannot monopolize the trusted thread: its surplus
+    /// requests simply wait in its own ring for later sweeps.
     pub fn poll(&mut self) -> usize {
         self.polls += 1;
+        // A Byzantine host may flip a bit of a live untrusted payload
+        // between sweeps (detected client-side by the payload CMAC).
+        if let Some(adv) = &mut self.adversary {
+            if let Some((offset, bit)) = adv.on_sweep() {
+                self.payload_mem.with_mut(|buf| {
+                    if offset < buf.len() {
+                        buf[offset] ^= 1 << bit;
+                    }
+                });
+            }
+        }
+        let n = self.ports.len();
+        if n == 0 {
+            return 0;
+        }
+        let budget = self.config.poll_budget_per_client;
+        let start = self.rr_cursor % n;
+        self.rr_cursor = (start + 1) % n;
         let mut processed = 0;
-        for idx in 0..self.ports.len() {
-            if !self.sessions[idx].active {
+        for step in 0..n {
+            let idx = (start + step) % n;
+            if self.ports[idx].is_none() || !self.sessions[idx].active {
                 continue;
             }
+            let mut taken = 0usize;
             loop {
+                if budget != 0 && taken >= budget {
+                    break;
+                }
                 // Update reply credits from the client-written word.
-                let consumed = u64::from_le_bytes(
-                    self.ports[idx]
-                        .reply_credit
-                        .read(0, 8)
-                        .try_into()
-                        .expect("8 bytes"),
-                );
-                self.ports[idx].reply_producer.update_credits(consumed);
+                let port = self.ports[idx].as_mut().expect("live port");
+                let consumed =
+                    u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
+                port.reply_producer.update_credits(consumed);
 
                 let record = {
-                    let port = &mut self.ports[idx];
                     let ring = port.request_ring.clone();
                     ring.with_mut(|buf| port.request_consumer.pop(buf))
                 };
                 let Some(record) = record else { break };
                 self.process_record(idx, record);
                 processed += 1;
+                taken += 1;
             }
             // Credit write-back: one small one-sided WRITE per sweep (§3.8,
             // "periodically, these threads update clients about the newly
             // available buffer slots using one-sided writes").
-            let consumed = self.ports[idx].request_consumer.consumed();
-            let credit_rkey = self.ports[idx].credit_rkey;
-            let _ = self.ports[idx]
+            let port = self.ports[idx].as_mut().expect("live port");
+            let consumed = port.request_consumer.consumed();
+            let credit_rkey = port.credit_rkey;
+            let _ = port
                 .qp
                 .post_write(credit_rkey, 0, &consumed.to_le_bytes(), false);
         }
@@ -551,7 +756,7 @@ impl PrecursorServer {
 
     /// Takes the per-operation reports accumulated by [`poll`](Self::poll).
     pub fn take_reports(&mut self) -> Vec<OpReport> {
-        std::mem::take(&mut self.reports)
+        self.reports.drain(..).collect()
     }
 
     fn process_record(&mut self, idx: usize, record: Vec<u8>) {
@@ -572,34 +777,15 @@ impl PrecursorServer {
             Ok(t) => t,
             Err(_) => {
                 // Structurally invalid record: emit an error reply that at
-                // least unblocks the client.
-                let session = &mut self.sessions[idx];
-                let seq = session.reply_seq;
-                session.reply_seq += 1;
-                let control = ReplyControl {
-                    oid: 0,
-                    k_op: None,
-                    payload_nonce: None,
-                    mac: None,
-                }
-                .encode();
-                let sealed = gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control);
-                meter.charge(
-                    Stage::Enclave,
-                    cost.server_time(cost.aes_gcm(control.len())),
-                );
+                // least unblocks the client (chain-linked like any other, so
+                // the client's verification stream stays contiguous).
+                let reply = self.error_reply(idx, Opcode::Get, Status::Error, 0, &mut meter);
                 (
                     Status::Error,
                     Opcode::Get,
                     0,
                     ReplyOut::Fresh {
-                        reply: ReplyFrame {
-                            status: Status::Error,
-                            opcode: Opcode::Get,
-                            reply_seq: seq,
-                            sealed_control: sealed,
-                            payload: Vec::new(),
-                        },
+                        reply,
                         remember: false,
                     },
                 )
@@ -627,24 +813,44 @@ impl PrecursorServer {
         match out {
             ReplyOut::Fresh { reply, remember } => {
                 let bytes = reply.encode();
-                let port = &mut self.ports[idx];
+                // Push into the producer first, collecting the ring WRITEs
+                // the honest host would post ...
+                let (writes, end, pushed) = {
+                    let port = self.ports[idx].as_mut().expect("live port");
+                    let mut writes = Vec::with_capacity(2);
+                    let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
+                        writes.push((off, chunk.to_vec()));
+                    });
+                    (writes, port.reply_producer.written(), pushed.is_some())
+                };
+                // ... then let the adversary (when installed) substitute,
+                // hold, or duplicate them before they hit the wire.
+                let posted = match &mut self.adversary {
+                    Some(adv) => adv.on_reply_record(idx as u32, writes.clone()),
+                    None => writes.clone(),
+                };
+                let port = self.ports[idx].as_mut().expect("live port");
                 let rkey = port.reply_ring_rkey;
-                let qp = &mut port.qp;
-                let mut writes = Vec::with_capacity(2);
-                let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
-                    writes.push((off, chunk.to_vec()));
-                    let _ = qp.post_write(rkey, off, chunk, false);
-                });
-                if remember {
-                    port.last_reply = writes;
+                for (off, chunk) in &posted {
+                    let _ = port.qp.post_write(rkey, *off, chunk, false);
                 }
+                if remember {
+                    // Remember the *honest* record for retransmissions —
+                    // retransmits bypass the adversary by design, so a
+                    // wronged client can always recover the real reply.
+                    port.last_reply = writes;
+                    port.last_reply_bytes = bytes.clone();
+                    port.last_reply_end = end;
+                }
+                // Metering stays that of the honest single post, so cost
+                // accounting is identical with and without an adversary.
                 meter.counters_mut().rdma_posts += 1;
                 meter.counters_mut().tx_bytes += bytes.len() as u64;
                 meter.charge(
                     Stage::ServerCritical,
                     cost.server_time(Cycles(cost.rdma_post_cycles)),
                 );
-                if pushed.is_none() {
+                if !pushed {
                     // Reply ring full: in the real system the worker would
                     // retry after the next credit update; the simulation's
                     // rings are sized to make this unreachable under the
@@ -653,15 +859,39 @@ impl PrecursorServer {
                 }
             }
             ReplyOut::Retransmit => {
-                // Re-issue the last reply's WRITEs verbatim: fills any hole
-                // a dropped reply WRITE left in the client's reply ring,
-                // without consuming a new reply sequence number.
-                let port = &mut self.ports[idx];
+                let port = self.ports[idx].as_mut().expect("live port");
                 let rkey = port.reply_ring_rkey;
-                for (off, bytes) in &port.last_reply {
-                    let _ = port.qp.post_write(rkey, *off, bytes, false);
-                    meter.counters_mut().rdma_posts += 1;
-                    meter.counters_mut().tx_bytes += bytes.len() as u64;
+                let consumed =
+                    u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
+                if consumed >= port.last_reply_end && !port.last_reply_bytes.is_empty() {
+                    // The client already consumed past the remembered
+                    // record (it saw an adversary-substituted record there
+                    // and zeroed the slot): rewriting the old offsets would
+                    // deposit bytes into consumed ring space. Re-push the
+                    // remembered record as a fresh one instead — same
+                    // `reply_seq`, so the client dedups or late-accepts it.
+                    port.reply_producer.update_credits(consumed);
+                    let bytes = port.last_reply_bytes.clone();
+                    let mut writes = Vec::with_capacity(2);
+                    let _ = port.reply_producer.push_with(&bytes, |off, chunk| {
+                        writes.push((off, chunk.to_vec()));
+                    });
+                    for (off, chunk) in &writes {
+                        let _ = port.qp.post_write(rkey, *off, chunk, false);
+                        meter.counters_mut().rdma_posts += 1;
+                        meter.counters_mut().tx_bytes += chunk.len() as u64;
+                    }
+                    port.last_reply = writes;
+                    port.last_reply_end = port.reply_producer.written();
+                } else {
+                    // Re-issue the last reply's WRITEs verbatim: fills any
+                    // hole a dropped reply WRITE left in the client's reply
+                    // ring, without consuming a new reply sequence number.
+                    for (off, bytes) in &port.last_reply {
+                        let _ = port.qp.post_write(rkey, *off, bytes, false);
+                        meter.counters_mut().rdma_posts += 1;
+                        meter.counters_mut().tx_bytes += bytes.len() as u64;
+                    }
                 }
                 meter.charge(
                     Stage::ServerCritical,
@@ -670,7 +900,13 @@ impl PrecursorServer {
             }
         }
 
-        self.reports.push(OpReport {
+        // Bounded report buffer: a caller that never drains take_reports()
+        // loses the oldest reports (counted) instead of growing memory.
+        if self.reports.len() >= self.config.max_buffered_reports {
+            self.reports.pop_front();
+            self.reports_dropped += 1;
+        }
+        self.reports.push_back(OpReport {
             client_id: idx as u32,
             opcode,
             status,
@@ -759,7 +995,10 @@ impl PrecursorServer {
             ));
         }
         if retransmit {
-            if self.ports[idx].last_reply.is_empty() {
+            let no_stored_reply = self.ports[idx]
+                .as_ref()
+                .is_none_or(|p| p.last_reply.is_empty());
+            if no_stored_reply {
                 // The session was re-established since the operation ran
                 // (QP reconnect or crash-restart), so the original reply
                 // bytes — sealed under the old session key — are gone.
@@ -845,7 +1084,15 @@ impl PrecursorServer {
                     ));
                 };
                 let value_len = frame.payload.len();
-                let storage = if value_len <= self.config.inline_value_max {
+                let inline = value_len <= self.config.inline_value_max;
+                if !inline && self.over_quota(idx, value_len + Tag::LEN) {
+                    return Ok((
+                        Status::Busy,
+                        0,
+                        self.busy_reply(idx, opcode, control.oid, meter),
+                    ));
+                }
+                let storage = if inline {
                     // Small-value extension: the encrypted value (and its
                     // MAC) stay inside the enclave — no pool slot, no
                     // untrusted read on get (§5.2).
@@ -855,8 +1102,10 @@ impl PrecursorServer {
                     ValueStorage::InEnclave(data)
                 } else {
                     let range = self.store_payload(&frame.payload, Some(&frame.mac), meter)?;
+                    self.charge_range(idx, &range);
                     ValueStorage::Untrusted(range)
                 };
+                self.bump_mutation(Opcode::Put, &control.key);
                 self.table_insert(
                     control.key,
                     EntryMeta {
@@ -878,6 +1127,15 @@ impl PrecursorServer {
             (Opcode::Put, EncryptionMode::ServerSide) => {
                 // Conventional scheme (§2.4): full payload crosses into the
                 // enclave, is decrypted, verified, re-encrypted for storage.
+                // (Stored ciphertext has the same length as the transport
+                // ciphertext: plaintext + one GCM tag.)
+                if self.over_quota(idx, frame.payload.len()) {
+                    return Ok((
+                        Status::Busy,
+                        0,
+                        self.busy_reply(idx, opcode, control.oid, meter),
+                    ));
+                }
                 self.enclave
                     .copy_across_boundary(frame.payload.len(), meter, &cost);
                 meter.charge(
@@ -912,6 +1170,8 @@ impl PrecursorServer {
                 self.enclave
                     .copy_across_boundary(stored.len(), meter, &cost);
                 let range = self.store_payload(&stored, None, meter)?;
+                self.charge_range(idx, &range);
+                self.bump_mutation(Opcode::Put, &control.key);
                 self.table_insert(
                     control.key,
                     EntryMeta {
@@ -994,9 +1254,10 @@ impl PrecursorServer {
                                 &stored,
                             )
                             .expect("storage ciphertext is server-controlled");
-                            let session = &mut self.sessions[idx];
-                            let seq = session.reply_seq;
-                            session.reply_seq += 1;
+                            // The payload transport seal uses the same
+                            // reply_seq the control reply will consume, so
+                            // peek it; finish_reply increments it once.
+                            let seq = self.sessions[idx].reply_seq;
                             meter.charge(
                                 Stage::Enclave,
                                 cost.server_time(cost.aes_gcm(plain.len())),
@@ -1005,30 +1266,15 @@ impl PrecursorServer {
                                 gcm::seal(session_key, &payload_reply_nonce(seq), &[], &plain);
                             self.enclave
                                 .copy_across_boundary(transport.len(), meter, &cost);
-                            let control_reply = ReplyControl {
-                                oid: control.oid,
-                                k_op: None,
-                                payload_nonce: None,
-                                mac: None,
-                            }
-                            .encode();
-                            meter.charge(
-                                Stage::Enclave,
-                                cost.server_time(cost.aes_gcm(control_reply.len())),
-                            );
-                            let sealed =
-                                gcm::seal(session_key, &reply_nonce(seq), &[], &control_reply);
-                            Ok((
+                            let reply = self.finish_reply(
+                                idx,
                                 Status::Ok,
-                                plain.len(),
-                                ReplyFrame {
-                                    status: Status::Ok,
-                                    opcode,
-                                    reply_seq: seq,
-                                    sealed_control: sealed,
-                                    payload: transport,
-                                },
-                            ))
+                                opcode,
+                                ReplyControl::basic(control.oid),
+                                transport,
+                                meter,
+                            );
+                            Ok((Status::Ok, plain.len(), reply))
                         }
                     },
                 }
@@ -1044,8 +1290,9 @@ impl PrecursorServer {
                     )),
                     Some(entry) => {
                         if let ValueStorage::Untrusted(range) = entry.storage {
-                            self.pool.free(range);
+                            self.release_range(entry.client_id, range);
                         }
+                        self.bump_mutation(Opcode::Delete, &control.key);
                         Ok((
                             Status::Ok,
                             0,
@@ -1054,6 +1301,33 @@ impl PrecursorServer {
                     }
                 }
             }
+        }
+    }
+
+    // Whether storing `len` more pool bytes would push the client past its
+    // memory quota (counted in slot capacities; disabled when 0). An
+    // unclassifiable length is over any quota.
+    fn over_quota(&self, idx: usize, len: usize) -> bool {
+        let quota = self.config.pool_quota_bytes;
+        if quota == 0 {
+            return false;
+        }
+        let used = self.pool_used.get(idx).copied().unwrap_or(0);
+        match precursor_storage::pool::slot_capacity(len) {
+            Some(cap) => used + cap > quota,
+            None => true,
+        }
+    }
+
+    // Charges a freshly allocated slot to the client's quota and registers
+    // it with the adversary's tamper surface.
+    fn charge_range(&mut self, idx: usize, range: &PoolRange) {
+        if self.pool_used.len() <= idx {
+            self.pool_used.resize(idx + 1, 0);
+        }
+        self.pool_used[idx] += range.capacity();
+        if let Some(adv) = &mut self.adversary {
+            adv.note_payload(range.offset, range.len, idx as u32);
         }
     }
 
@@ -1097,10 +1371,11 @@ impl PrecursorServer {
         }
         let (old, stats) = self.table.insert_tracked(key, meta);
         if let Some(old) = old {
-            // Overwrite: the old payload slot is released; the fresh
-            // K_operation in the new entry revokes earlier readers (§3.3).
+            // Overwrite: the old payload slot is released (and un-charged
+            // from its owner's quota); the fresh K_operation in the new
+            // entry revokes earlier readers (§3.3).
             if let ValueStorage::Untrusted(range) = old.storage {
-                self.pool.free(range);
+                self.release_range(old.client_id, range);
             }
         }
         // Resize the modelled region before charging slot touches — the
@@ -1141,38 +1416,31 @@ impl PrecursorServer {
         }
     }
 
-    fn ok_reply(
+    // Finalizes any reply inside the enclave: stamps the Byzantine-evidence
+    // fields (epoch, store seq + digest), advances the per-session reply MAC
+    // chain over the canonical bytes, seals the control, and consumes one
+    // reply sequence number.
+    fn finish_reply(
         &mut self,
         idx: usize,
+        status: Status,
         opcode: Opcode,
-        oid: u64,
-        get_payload: Option<(EntryMeta, Vec<u8>, Tag)>,
+        mut control: ReplyControl,
+        payload: Vec<u8>,
         meter: &mut Meter,
     ) -> ReplyFrame {
         let cost = self.cost.clone();
+        let mutation_seq = self.mutation_seq;
+        let state_digest = self.state_digest;
         let session = &mut self.sessions[idx];
         let seq = session.reply_seq;
         session.reply_seq += 1;
-        let (control, payload) = match get_payload {
-            Some((entry, payload, mac)) => (
-                ReplyControl {
-                    oid,
-                    k_op: Some(entry.k_op),
-                    payload_nonce: Some(entry.payload_nonce),
-                    mac: Some(mac),
-                },
-                payload,
-            ),
-            None => (
-                ReplyControl {
-                    oid,
-                    k_op: None,
-                    payload_nonce: None,
-                    mac: None,
-                },
-                Vec::new(),
-            ),
-        };
+        control.epoch = session.epoch;
+        control.store_seq = mutation_seq;
+        control.store_digest = state_digest;
+        control.chain = session
+            .chain
+            .advance(&chain_input(status, opcode, seq, &control));
         let control_bytes = control.encode();
         meter.charge(
             Stage::Enclave,
@@ -1182,12 +1450,35 @@ impl PrecursorServer {
             .copy_across_boundary(control_bytes.len(), meter, &cost);
         let sealed = gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control_bytes);
         ReplyFrame {
-            status: Status::Ok,
+            status,
             opcode,
             reply_seq: seq,
             sealed_control: sealed,
             payload,
         }
+    }
+
+    fn ok_reply(
+        &mut self,
+        idx: usize,
+        opcode: Opcode,
+        oid: u64,
+        get_payload: Option<(EntryMeta, Vec<u8>, Tag)>,
+        meter: &mut Meter,
+    ) -> ReplyFrame {
+        let (control, payload) = match get_payload {
+            Some((entry, payload, mac)) => (
+                ReplyControl {
+                    k_op: Some(entry.k_op),
+                    payload_nonce: Some(entry.payload_nonce),
+                    mac: Some(mac),
+                    ..ReplyControl::basic(oid)
+                },
+                payload,
+            ),
+            None => (ReplyControl::basic(oid), Vec::new()),
+        };
+        self.finish_reply(idx, Status::Ok, opcode, control, payload, meter)
     }
 
     fn error_reply(
@@ -1198,29 +1489,29 @@ impl PrecursorServer {
         oid: u64,
         meter: &mut Meter,
     ) -> ReplyFrame {
-        let cost = self.cost.clone();
-        let session = &mut self.sessions[idx];
-        let seq = session.reply_seq;
-        session.reply_seq += 1;
-        let control = ReplyControl {
-            oid,
-            k_op: None,
-            payload_nonce: None,
-            mac: None,
-        }
-        .encode();
-        meter.charge(
-            Stage::Enclave,
-            cost.server_time(cost.aes_gcm(control.len())),
-        );
-        let sealed = gcm::seal(&session.session_key, &reply_nonce(seq), &[], &control);
-        ReplyFrame {
+        self.finish_reply(
+            idx,
             status,
             opcode,
-            reply_seq: seq,
-            sealed_control: sealed,
-            payload: Vec::new(),
-        }
+            ReplyControl::basic(oid),
+            Vec::new(),
+            meter,
+        )
+    }
+
+    // A Status::Busy backpressure reply carrying the configured retry hint.
+    fn busy_reply(
+        &mut self,
+        idx: usize,
+        opcode: Opcode,
+        oid: u64,
+        meter: &mut Meter,
+    ) -> ReplyFrame {
+        let control = ReplyControl {
+            retry_after_ns: self.config.busy_retry_ns,
+            ..ReplyControl::basic(oid)
+        };
+        self.finish_reply(idx, Status::Busy, opcode, control, Vec::new(), meter)
     }
 
     /// Verifies the integrity of a stored value against the enclave
@@ -1288,15 +1579,18 @@ impl PrecursorServer {
             mode: self.config.mode,
             storage_key: self.storage_key.clone(),
             storage_seq: self.storage_seq,
+            mutation_seq: self.mutation_seq,
+            state_digest: self.state_digest,
             entries,
-            // Per-client at-most-once windows ride along in the sealed
-            // blob, so a restarted server re-acknowledges (rather than
-            // re-executes or rejects) requests that were in flight at the
-            // crash.
+            // Per-client at-most-once windows (and connection epochs) ride
+            // along in the sealed blob, so a restarted server
+            // re-acknowledges (rather than re-executes or rejects) requests
+            // that were in flight at the crash, and reconnecting clients
+            // get a strictly increasing epoch.
             sessions: self
                 .sessions
                 .iter()
-                .map(|s| (s.expected_oid, s.last_status))
+                .map(|s| (s.expected_oid, s.last_status, s.epoch))
                 .collect(),
         }
     }
@@ -1315,6 +1609,8 @@ impl PrecursorServer {
     ) -> Result<(), StoreError> {
         self.storage_key = body.storage_key;
         self.storage_seq = body.storage_seq;
+        self.mutation_seq = body.mutation_seq;
+        self.state_digest = body.state_digest;
         self.saved_sessions = body.sessions;
         let mut meter = Meter::new();
         for e in body.entries {
@@ -1335,6 +1631,7 @@ impl PrecursorServer {
                     }
                 };
                 self.payload_mem.write(range.offset, &e.stored_bytes);
+                self.charge_range(e.client_id as usize, &range);
                 ValueStorage::Untrusted(range)
             };
             self.table_insert(

@@ -39,11 +39,17 @@ pub(crate) struct SnapshotBody {
     pub mode: EncryptionMode,
     pub storage_key: Key128,
     pub storage_seq: u64,
+    /// Store-mutation counter + running digest at seal time: the restored
+    /// server resumes them, so clients comparing `store_seq`/digest across
+    /// a restart can detect a rolled-back or forked host.
+    pub mutation_seq: u64,
+    pub state_digest: [u8; 16],
     pub entries: Vec<SnapshotEntry>,
-    /// Per-client `(expected_oid, last_status)` windows, indexed by
+    /// Per-client `(expected_oid, last_status, epoch)` windows, indexed by
     /// client_id — lets a restarted server resume its at-most-once
-    /// semantics for clients that reconnect.
-    pub sessions: Vec<(u64, Status)>,
+    /// semantics (and keep connection epochs strictly increasing) for
+    /// clients that reconnect.
+    pub sessions: Vec<(u64, Status, u32)>,
 }
 
 impl SnapshotBody {
@@ -55,6 +61,8 @@ impl SnapshotBody {
         });
         out.extend_from_slice(self.storage_key.as_bytes());
         out.extend_from_slice(&self.storage_seq.to_le_bytes());
+        out.extend_from_slice(&self.mutation_seq.to_le_bytes());
+        out.extend_from_slice(&self.state_digest);
         out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         for e in &self.entries {
             out.extend_from_slice(&(e.key.len() as u16).to_le_bytes());
@@ -68,9 +76,10 @@ impl SnapshotBody {
             out.extend_from_slice(&e.stored_bytes);
         }
         out.extend_from_slice(&(self.sessions.len() as u32).to_le_bytes());
-        for (expected_oid, last_status) in &self.sessions {
+        for (expected_oid, last_status, epoch) in &self.sessions {
             out.extend_from_slice(&expected_oid.to_le_bytes());
             out.push(*last_status as u8);
+            out.extend_from_slice(&epoch.to_le_bytes());
         }
         out
     }
@@ -93,6 +102,8 @@ impl SnapshotBody {
         let storage_key =
             Key128::try_from(take(&mut pos, 16)?).map_err(|_| StoreError::MalformedFrame)?;
         let storage_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let mutation_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+        let state_digest: [u8; 16] = take(&mut pos, 16)?.try_into().expect("16");
         let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
         let mut entries = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
@@ -124,7 +135,8 @@ impl SnapshotBody {
             let expected_oid = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
             let last_status =
                 Status::from_u8(take(&mut pos, 1)?[0]).ok_or(StoreError::MalformedFrame)?;
-            sessions.push((expected_oid, last_status));
+            let epoch = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+            sessions.push((expected_oid, last_status, epoch));
         }
         if pos != buf.len() {
             return Err(StoreError::MalformedFrame);
@@ -133,6 +145,8 @@ impl SnapshotBody {
             mode,
             storage_key,
             storage_seq,
+            mutation_seq,
+            state_digest,
             entries,
             sessions,
         })

@@ -52,6 +52,9 @@ pub enum Status {
     Replay = 2,
     /// Other failure (malformed control, oversized item, …).
     Error = 3,
+    /// The server is shedding load for this client (per-client memory quota
+    /// or backpressure); retry after the control segment's `retry_after_ns`.
+    Busy = 4,
 }
 
 impl Status {
@@ -61,6 +64,7 @@ impl Status {
             1 => Some(Status::NotFound),
             2 => Some(Status::Replay),
             3 => Some(Status::Error),
+            4 => Some(Status::Busy),
             _ => None,
         }
     }
@@ -301,6 +305,13 @@ impl RequestControl {
 }
 
 /// Plaintext of a reply control segment.
+///
+/// Beyond the paper's fields (the `oid` echo and the key material of a
+/// returned value), the control carries the Byzantine-detection state the
+/// client verifies on every reply: the session's connection *epoch*, the
+/// server's store-mutation sequence number and digest (rollback / fork
+/// evidence), the reply MAC-chain tag, and a retry hint for
+/// [`Status::Busy`] backpressure replies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplyControl {
     /// Echo of the request `oid` (lets the client match and order replies).
@@ -311,12 +322,43 @@ pub struct ReplyControl {
     pub payload_nonce: Option<Nonce8>,
     /// Stored CMAC of the returned encrypted value (get replies).
     pub mac: Option<Tag>,
+    /// Connection epoch of the issuing session (bumped on every reconnect).
+    pub epoch: u32,
+    /// Server-global store mutation sequence number at reply time. A client
+    /// that ever sees this regress is talking to a rolled-back server.
+    pub store_seq: u64,
+    /// Running digest over all applied mutations up to `store_seq`. Two
+    /// clients comparing equal `store_seq` with different digests have been
+    /// shown *forked* views.
+    pub store_digest: [u8; 16],
+    /// Reply MAC-chain tag over this reply's canonical bytes (see
+    /// [`chain_input`]); links the reply to every reply before it.
+    pub chain: Tag,
+    /// Suggested client back-off before retrying, in simulated nanoseconds
+    /// (meaningful for [`Status::Busy`] replies; zero otherwise).
+    pub retry_after_ns: u64,
 }
 
 impl ReplyControl {
+    /// A control segment carrying only the `oid` echo; the server fills the
+    /// epoch/chain/store fields when finalizing the reply.
+    pub fn basic(oid: u64) -> ReplyControl {
+        ReplyControl {
+            oid,
+            k_op: None,
+            payload_nonce: None,
+            mac: None,
+            epoch: 0,
+            store_seq: 0,
+            store_digest: [0u8; 16],
+            chain: Tag::default(),
+            retry_after_ns: 0,
+        }
+    }
+
     /// Serializes the reply control plaintext.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(9 + 56);
+        let mut out = Vec::with_capacity(9 + 56 + 52);
         out.extend_from_slice(&self.oid.to_le_bytes());
         match (&self.k_op, &self.payload_nonce, &self.mac) {
             (Some(k), Some(n), Some(m)) => {
@@ -327,6 +369,11 @@ impl ReplyControl {
             }
             _ => out.push(0),
         }
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.store_seq.to_le_bytes());
+        out.extend_from_slice(&self.store_digest);
+        out.extend_from_slice(self.chain.as_bytes());
+        out.extend_from_slice(&self.retry_after_ns.to_le_bytes());
         out
     }
 
@@ -348,6 +395,14 @@ impl ReplyControl {
             }
             _ => return Err(StoreError::MalformedFrame),
         };
+        let epoch = r.u32()?;
+        let store_seq = r.u64()?;
+        let store_digest: [u8; 16] = r
+            .bytes(16)?
+            .try_into()
+            .map_err(|_| StoreError::MalformedFrame)?;
+        let chain = Tag::try_from(r.bytes(16)?).map_err(|_| StoreError::MalformedFrame)?;
+        let retry_after_ns = r.u64()?;
         if !r.is_empty() {
             return Err(StoreError::MalformedFrame);
         }
@@ -356,8 +411,46 @@ impl ReplyControl {
             k_op,
             payload_nonce,
             mac,
+            epoch,
+            store_seq,
+            store_digest,
+            chain,
+            retry_after_ns,
         })
     }
+}
+
+/// Context string both endpoints seed the reply MAC chain with: binds the
+/// session identity (client id) and the connection epoch, so chains from
+/// different sessions or epochs start from unrelated states.
+pub fn chain_context(client_id: u32, epoch: u32) -> Vec<u8> {
+    let mut out = b"precursor-reply-chain:".to_vec();
+    out.extend_from_slice(&client_id.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out
+}
+
+/// Canonical byte string a reply's MAC-chain tag is computed over: the
+/// clear reply header (status, opcode, `reply_seq`) plus every
+/// Byzantine-relevant control field *except* the chain tag itself. Both the
+/// enclave and the client build this identically; any divergence breaks the
+/// chain.
+pub fn chain_input(
+    status: Status,
+    opcode: Opcode,
+    reply_seq: u64,
+    control: &ReplyControl,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + 8 + 8 + 4 + 8 + 16 + 8);
+    out.push(status as u8);
+    out.push(opcode as u8);
+    out.extend_from_slice(&reply_seq.to_le_bytes());
+    out.extend_from_slice(&control.oid.to_le_bytes());
+    out.extend_from_slice(&control.epoch.to_le_bytes());
+    out.extend_from_slice(&control.store_seq.to_le_bytes());
+    out.extend_from_slice(&control.store_digest);
+    out.extend_from_slice(&control.retry_after_ns.to_le_bytes());
+    out
 }
 
 struct Reader<'a> {
@@ -528,19 +621,70 @@ mod tests {
     #[test]
     fn reply_control_roundtrip() {
         let c = ReplyControl {
-            oid: 9,
             k_op: Some(Key256::from_bytes([1; 32])),
             payload_nonce: Some(Nonce8::from_bytes([2; 8])),
             mac: Some(Tag::from_bytes([3; 16])),
+            epoch: 4,
+            store_seq: 77,
+            store_digest: [5; 16],
+            chain: Tag::from_bytes([6; 16]),
+            retry_after_ns: 123,
+            ..ReplyControl::basic(9)
         };
         assert_eq!(ReplyControl::decode(&c.encode()).unwrap(), c);
-        let minimal = ReplyControl {
-            oid: 10,
-            k_op: None,
-            payload_nonce: None,
-            mac: None,
-        };
+        let minimal = ReplyControl::basic(10);
         assert_eq!(ReplyControl::decode(&minimal.encode()).unwrap(), minimal);
+    }
+
+    #[test]
+    fn chain_input_binds_every_byzantine_field() {
+        let base = ReplyControl {
+            epoch: 1,
+            store_seq: 2,
+            store_digest: [3; 16],
+            retry_after_ns: 4,
+            ..ReplyControl::basic(9)
+        };
+        let reference = chain_input(Status::Ok, Opcode::Get, 5, &base);
+        // every relevant mutation changes the canonical bytes
+        assert_ne!(chain_input(Status::Error, Opcode::Get, 5, &base), reference);
+        assert_ne!(chain_input(Status::Ok, Opcode::Put, 5, &base), reference);
+        assert_ne!(chain_input(Status::Ok, Opcode::Get, 6, &base), reference);
+        let mut m = base.clone();
+        m.oid = 10;
+        assert_ne!(chain_input(Status::Ok, Opcode::Get, 5, &m), reference);
+        let mut m = base.clone();
+        m.epoch = 2;
+        assert_ne!(chain_input(Status::Ok, Opcode::Get, 5, &m), reference);
+        let mut m = base.clone();
+        m.store_seq = 3;
+        assert_ne!(chain_input(Status::Ok, Opcode::Get, 5, &m), reference);
+        let mut m = base.clone();
+        m.store_digest[0] ^= 1;
+        assert_ne!(chain_input(Status::Ok, Opcode::Get, 5, &m), reference);
+        let mut m = base.clone();
+        m.retry_after_ns = 5;
+        assert_ne!(chain_input(Status::Ok, Opcode::Get, 5, &m), reference);
+        // ... while the chain tag itself is deliberately excluded
+        let mut m = base.clone();
+        m.chain = Tag::from_bytes([0xFF; 16]);
+        assert_eq!(chain_input(Status::Ok, Opcode::Get, 5, &m), reference);
+    }
+
+    #[test]
+    fn busy_status_roundtrips() {
+        assert_eq!(Status::from_u8(Status::Busy as u8), Some(Status::Busy));
+        let f = ReplyFrame {
+            status: Status::Busy,
+            opcode: Opcode::Put,
+            reply_seq: 3,
+            sealed_control: vec![],
+            payload: vec![],
+        };
+        assert_eq!(
+            ReplyFrame::decode(&f.encode()).unwrap().status,
+            Status::Busy
+        );
     }
 
     #[test]

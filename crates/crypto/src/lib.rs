@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod chain;
 pub mod cmac;
 pub mod ct;
 pub mod error;
@@ -49,5 +50,6 @@ pub mod keys;
 pub mod salsa20;
 pub mod sha256;
 
+pub use chain::MacChain;
 pub use error::CryptoError;
 pub use keys::{Key128, Key256, Nonce12, Nonce8, Tag};

@@ -1,0 +1,562 @@
+//! Deterministic, seeded *malicious-host* injection.
+//!
+//! Precursor's threat model is a fully compromised untrusted host (§2.3):
+//! beyond the benign faults of [`faults`](crate::faults), such a host can
+//! actively *tamper* with payload bytes it stores, *replay* stale control
+//! replies it captured earlier, *reorder or duplicate* ring records, serve a
+//! *rolled-back* snapshot after a restart, and present *forked* views to
+//! different clients. An [`AdversaryPlan`] scripts those attacks (exact
+//! one-shot rules plus probabilistic rates, exactly like a
+//! [`FaultPlan`](crate::faults::FaultPlan)); an [`AdversaryInjector`]
+//! executes the plan deterministically from its seed against the server's
+//! outbound reply stream and its untrusted memory, logging every attack so
+//! the byzantine test harness can assert each one was *detected* by a
+//! client-side mechanism.
+//!
+//! The injector sits inside the host software, not the transport: it is
+//! handed the server's reply ring writes before they are posted
+//! ([`on_reply_writes`](AdversaryInjector::on_reply_writes)) and a registry
+//! of live untrusted payload ranges
+//! ([`note_payload`](AdversaryInjector::note_payload) /
+//! [`on_sweep`](AdversaryInjector::on_sweep)). Rollback and fork attacks are
+//! staged by the harness itself (restoring stale snapshots, cloning
+//! counters) and recorded via [`note_attack`](AdversaryInjector::note_attack)
+//! so the audit log covers every class.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use precursor_sim::rng::SimRng;
+
+/// The classes of active attack a Byzantine host can mount, and that the
+/// audit log records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// Flip a bit of a stored payload in untrusted memory.
+    Tamper,
+    /// Substitute a stale captured control reply for a fresh one.
+    Replay,
+    /// Hold a reply record and swap it with the next one.
+    Reorder,
+    /// Deliver the newest reply record twice.
+    Duplicate,
+    /// Restart the host from a stale (rolled-back) snapshot. Staged by the
+    /// harness; recorded here for the audit.
+    Rollback,
+    /// Present diverged state to different clients. Staged by the harness;
+    /// recorded here for the audit.
+    Fork,
+}
+
+/// A scripted one-shot attack: fires on the `at`-th matching event
+/// (1-based). [`AttackClass::Tamper`] counts server poll sweeps; the reply
+/// classes count reply records written for `client` (`None` = any client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackRule {
+    /// Attack to mount.
+    pub class: AttackClass,
+    /// Restrict to reply records of one client (`None` matches all).
+    pub client: Option<u32>,
+    /// 1-based index of the matching event to fire on.
+    pub at: u64,
+}
+
+/// A probabilistic attack: fires on each matching event with probability
+/// `prob`, drawn from the injector's seeded RNG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackRate {
+    /// Attack to mount.
+    pub class: AttackClass,
+    /// Restrict to reply records of one client (`None` matches all).
+    pub client: Option<u32>,
+    /// Per-event probability in `[0, 1]`.
+    pub prob: f64,
+}
+
+/// A declarative attack schedule: scripted rules checked first, then rates
+/// in declaration order. At most one attack fires per event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdversaryPlan {
+    rules: Vec<AttackRule>,
+    rates: Vec<AttackRate>,
+}
+
+impl AdversaryPlan {
+    /// An empty plan (a merely *curious* host that mounts no attack).
+    pub fn none() -> AdversaryPlan {
+        AdversaryPlan::default()
+    }
+
+    /// Adds a scripted one-shot attack against any client.
+    pub fn rule(mut self, class: AttackClass, at: u64) -> Self {
+        self.rules.push(AttackRule {
+            class,
+            client: None,
+            at,
+        });
+        self
+    }
+
+    /// Adds a scripted one-shot attack against one client's replies.
+    pub fn rule_for(mut self, class: AttackClass, client: u32, at: u64) -> Self {
+        self.rules.push(AttackRule {
+            class,
+            client: Some(client),
+            at,
+        });
+        self
+    }
+
+    /// Adds a probabilistic attack rate against any client.
+    pub fn rate(mut self, class: AttackClass, prob: f64) -> Self {
+        self.rates.push(AttackRate {
+            class,
+            client: None,
+            prob: prob.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Whether the plan mounts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.rates.is_empty()
+    }
+}
+
+/// One mounted attack, as recorded in the injector's audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MountedAttack {
+    /// Attack class mounted.
+    pub class: AttackClass,
+    /// Client whose replies (or payloads) were hit, when known.
+    pub client: Option<u32>,
+    /// 1-based index of the event among all events the class observes.
+    pub event: u64,
+}
+
+/// How many of each client's reply records the injector keeps captured for
+/// replays, and how many held records it will juggle.
+const CAPTURE_DEPTH: usize = 32;
+
+#[derive(Debug, Default)]
+struct ClientState {
+    /// Captured reply records (offset discarded — only bytes are replayed).
+    captured: VecDeque<Vec<u8>>,
+    /// A record held back by a pending Reorder, with its original offset.
+    held: Option<(usize, Vec<u8>)>,
+    /// Reply-record events seen for this client.
+    events: u64,
+}
+
+/// Executes an [`AdversaryPlan`] against a host's reply stream and untrusted
+/// payload memory. Deterministic: identical plans + seeds + event streams
+/// mount identical attacks.
+#[derive(Debug)]
+pub struct AdversaryInjector {
+    plan: AdversaryPlan,
+    rng: SimRng,
+    sweeps: u64,
+    reply_events: u64,
+    clients: Vec<ClientState>,
+    /// Live untrusted payload ranges eligible for tampering:
+    /// `(region_offset, len, client)`.
+    payloads: Vec<(usize, usize, u32)>,
+    log: Vec<MountedAttack>,
+}
+
+impl AdversaryInjector {
+    /// Creates an injector executing `plan` with randomness seeded from
+    /// `seed`.
+    pub fn new(plan: AdversaryPlan, seed: u64) -> AdversaryInjector {
+        AdversaryInjector {
+            plan,
+            rng: SimRng::seed_from(seed),
+            sweeps: 0,
+            reply_events: 0,
+            clients: Vec::new(),
+            payloads: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Convenience: a shareable injector handle.
+    pub fn shared(plan: AdversaryPlan, seed: u64) -> Arc<Mutex<AdversaryInjector>> {
+        Arc::new(Mutex::new(AdversaryInjector::new(plan, seed)))
+    }
+
+    /// The audit log of every attack mounted so far.
+    pub fn log(&self) -> &[MountedAttack] {
+        &self.log
+    }
+
+    /// Number of attacks mounted so far.
+    pub fn mounted(&self) -> usize {
+        self.log.len()
+    }
+
+    fn client_state(&mut self, client: u32) -> &mut ClientState {
+        let idx = client as usize;
+        if self.clients.len() <= idx {
+            self.clients.resize_with(idx + 1, ClientState::default);
+        }
+        &mut self.clients[idx]
+    }
+
+    /// Registers a live untrusted payload range the host could tamper with.
+    pub fn note_payload(&mut self, offset: usize, len: usize, client: u32) {
+        self.forget_payload(offset);
+        if len > 0 {
+            self.payloads.push((offset, len, client));
+        }
+    }
+
+    /// Unregisters a payload range (freed or overwritten).
+    pub fn forget_payload(&mut self, offset: usize) {
+        self.payloads.retain(|&(off, _, _)| off != offset);
+    }
+
+    /// Records a harness-staged attack (rollback, fork) in the audit log so
+    /// every attack class flows through the same log.
+    pub fn note_attack(&mut self, class: AttackClass, client: Option<u32>) {
+        let event = self.log.iter().filter(|a| a.class == class).count() as u64 + 1;
+        self.log.push(MountedAttack {
+            class,
+            client,
+            event,
+        });
+    }
+
+    fn pick(
+        &mut self,
+        classes: &[AttackClass],
+        client: Option<u32>,
+        event: u64,
+    ) -> Option<AttackClass> {
+        let directional = client.map(|c| self.client_state(c).events).unwrap_or(event);
+        let mut hit = None;
+        for r in &self.plan.rules {
+            if !classes.contains(&r.class) {
+                continue;
+            }
+            if let Some(target) = r.client {
+                if client != Some(target) {
+                    continue;
+                }
+                if directional == r.at {
+                    hit = Some(r.class);
+                    break;
+                }
+            } else if event == r.at {
+                hit = Some(r.class);
+                break;
+            }
+        }
+        if hit.is_none() {
+            for r in &self.plan.rates {
+                if !classes.contains(&r.class) {
+                    continue;
+                }
+                if let Some(target) = r.client {
+                    if client != Some(target) {
+                        continue;
+                    }
+                }
+                // Always draw so the RNG stream is independent of earlier
+                // hits — keeps replays stable under plan tweaks.
+                let fire = self.rng.gen_bool(r.prob);
+                if fire && hit.is_none() {
+                    hit = Some(r.class);
+                }
+            }
+        }
+        if let Some(class) = hit {
+            self.log.push(MountedAttack {
+                class,
+                client,
+                event,
+            });
+        }
+        hit
+    }
+
+    /// Called once per server poll sweep. When a Tamper attack fires,
+    /// returns a `(region_offset, bit_index)` for the host to flip inside a
+    /// live payload range; the sweep is the Tamper event stream.
+    pub fn on_sweep(&mut self) -> Option<(usize, u32)> {
+        self.sweeps += 1;
+        let event = self.sweeps;
+        let class = self.pick(&[AttackClass::Tamper], None, event)?;
+        debug_assert_eq!(class, AttackClass::Tamper);
+        if self.payloads.is_empty() {
+            // Logged (the host *tried*) but nothing stored yet to corrupt.
+            return None;
+        }
+        let idx = self.rng.gen_range(self.payloads.len() as u64) as usize;
+        let (offset, len, client) = self.payloads[idx];
+        let byte = self.rng.gen_range(len as u64) as usize;
+        let bit = self.rng.gen_range(8) as u32;
+        if let Some(last) = self.log.last_mut() {
+            last.client = Some(client);
+        }
+        Some((offset + byte, bit))
+    }
+
+    /// Passes one freshly encoded reply record (its ring writes) through the
+    /// plan. `writes` are the `(ring_offset, bytes)` chunks of a single
+    /// record as the server would post them; the returned list is what the
+    /// host actually posts. Replay substitutes a stale captured record of
+    /// the same length, Duplicate re-captures the newest, Reorder holds the
+    /// record and releases it swapped with the next same-length record.
+    pub fn on_reply_record(
+        &mut self,
+        client: u32,
+        writes: Vec<(usize, Vec<u8>)>,
+    ) -> Vec<(usize, Vec<u8>)> {
+        self.reply_events += 1;
+        let event = self.reply_events;
+        self.client_state(client).events += 1;
+
+        // Only single-chunk records (no ring wrap mid-record) are attacked:
+        // splicing a differently-wrapped record would tear framing rather
+        // than model a syntactically valid substitution.
+        let single = writes.len() == 1;
+        let fresh_bytes = if single {
+            writes[0].1.clone()
+        } else {
+            Vec::new()
+        };
+        let fresh_off = if single { writes[0].0 } else { 0 };
+
+        let choice = self.pick(
+            &[
+                AttackClass::Replay,
+                AttackClass::Reorder,
+                AttackClass::Duplicate,
+            ],
+            Some(client),
+            event,
+        );
+
+        let state = self.client_state(client);
+        // A previously held record is released in front of whatever happens
+        // now, swapped into the fresh record's slot when lengths permit.
+        let mut out: Vec<(usize, Vec<u8>)> = Vec::new();
+        if let Some((held_off, held_bytes)) = state.held.take() {
+            if single && held_bytes.len() == fresh_bytes.len() {
+                // Swap: fresh record lands where the held one lived and
+                // vice versa — both eventually arrive, out of order.
+                out.push((held_off, fresh_bytes.clone()));
+                out.push((fresh_off, held_bytes));
+                if !fresh_bytes.is_empty() {
+                    state.captured.push_back(fresh_bytes.clone());
+                    if state.captured.len() > CAPTURE_DEPTH {
+                        state.captured.pop_front();
+                    }
+                }
+                return out;
+            }
+            // Lengths differ (or record is multi-chunk): release the held
+            // record in place, then continue with the fresh one.
+            out.push((held_off, held_bytes));
+        }
+
+        let result = match choice {
+            Some(AttackClass::Replay) if single => {
+                let stale = state
+                    .captured
+                    .iter()
+                    .find(|c| c.len() == fresh_bytes.len())
+                    .cloned();
+                match stale {
+                    Some(stale) => {
+                        out.push((fresh_off, stale));
+                        out
+                    }
+                    None => {
+                        // Nothing captured of a compatible shape; the
+                        // attack degrades to honest delivery (still logged).
+                        out.extend(writes);
+                        out
+                    }
+                }
+            }
+            Some(AttackClass::Reorder) if single => {
+                state.held = Some((fresh_off, fresh_bytes.clone()));
+                out
+            }
+            Some(AttackClass::Duplicate) if single => {
+                out.push((fresh_off, fresh_bytes.clone()));
+                out.push((fresh_off, fresh_bytes.clone()));
+                out
+            }
+            _ => {
+                out.extend(writes);
+                out
+            }
+        };
+        if single && !fresh_bytes.is_empty() {
+            let state = self.client_state(client);
+            state.captured.push_back(fresh_bytes);
+            if state.captured.len() > CAPTURE_DEPTH {
+                state.captured.pop_front();
+            }
+        }
+        result
+    }
+
+    /// Releases any record still held for `client` (e.g. before the client
+    /// reconnects) so a pending Reorder cannot outlive the session.
+    pub fn release_held(&mut self, client: u32) -> Option<(usize, Vec<u8>)> {
+        self.client_state(client).held.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(off: usize, fill: u8, len: usize) -> Vec<(usize, Vec<u8>)> {
+        vec![(off, vec![fill; len])]
+    }
+
+    #[test]
+    fn empty_plan_is_honest() {
+        let mut adv = AdversaryInjector::new(AdversaryPlan::none(), 1);
+        for i in 0..50u8 {
+            let w = record(i as usize * 8, i, 16);
+            assert_eq!(adv.on_reply_record(0, w.clone()), w);
+            assert_eq!(adv.on_sweep(), None);
+        }
+        assert_eq!(adv.mounted(), 0);
+    }
+
+    #[test]
+    fn replay_substitutes_oldest_compatible_capture() {
+        let plan = AdversaryPlan::none().rule(AttackClass::Replay, 3);
+        let mut adv = AdversaryInjector::new(plan, 7);
+        assert_eq!(adv.on_reply_record(0, record(0, 1, 16)), record(0, 1, 16));
+        assert_eq!(adv.on_reply_record(0, record(16, 2, 16)), record(16, 2, 16));
+        // third record is replaced by the oldest captured one
+        assert_eq!(adv.on_reply_record(0, record(32, 3, 16)), record(32, 1, 16));
+        assert_eq!(adv.mounted(), 1);
+        assert_eq!(adv.log()[0].class, AttackClass::Replay);
+    }
+
+    #[test]
+    fn replay_with_no_capture_degrades_to_delivery() {
+        let plan = AdversaryPlan::none().rule(AttackClass::Replay, 1);
+        let mut adv = AdversaryInjector::new(plan, 7);
+        assert_eq!(adv.on_reply_record(0, record(0, 9, 8)), record(0, 9, 8));
+        assert_eq!(adv.mounted(), 1, "the attempt is still logged");
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_records() {
+        let plan = AdversaryPlan::none().rule(AttackClass::Reorder, 1);
+        let mut adv = AdversaryInjector::new(plan, 7);
+        // first record is held ...
+        assert!(adv.on_reply_record(0, record(0, 1, 16)).is_empty());
+        // ... and released swapped with the second
+        assert_eq!(
+            adv.on_reply_record(0, record(16, 2, 16)),
+            vec![(0, vec![2u8; 16]), (16, vec![1u8; 16])]
+        );
+    }
+
+    #[test]
+    fn held_record_with_mismatched_length_is_released_in_place() {
+        let plan = AdversaryPlan::none().rule(AttackClass::Reorder, 1);
+        let mut adv = AdversaryInjector::new(plan, 7);
+        assert!(adv.on_reply_record(0, record(0, 1, 16)).is_empty());
+        assert_eq!(
+            adv.on_reply_record(0, record(16, 2, 24)),
+            vec![(0, vec![1u8; 16]), (16, vec![2u8; 24])]
+        );
+    }
+
+    #[test]
+    fn duplicate_posts_twice() {
+        let plan = AdversaryPlan::none().rule(AttackClass::Duplicate, 1);
+        let mut adv = AdversaryInjector::new(plan, 7);
+        assert_eq!(
+            adv.on_reply_record(3, record(8, 5, 8)),
+            vec![(8, vec![5u8; 8]), (8, vec![5u8; 8])]
+        );
+    }
+
+    #[test]
+    fn per_client_rules_count_that_clients_records_only() {
+        let plan = AdversaryPlan::none().rule_for(AttackClass::Duplicate, 2, 2);
+        let mut adv = AdversaryInjector::new(plan, 7);
+        assert_eq!(adv.on_reply_record(1, record(0, 1, 8)).len(), 1);
+        assert_eq!(adv.on_reply_record(2, record(0, 1, 8)).len(), 1);
+        assert_eq!(adv.on_reply_record(1, record(8, 2, 8)).len(), 1);
+        // client 2's *second* record fires
+        assert_eq!(adv.on_reply_record(2, record(8, 2, 8)).len(), 2);
+    }
+
+    #[test]
+    fn tamper_picks_inside_registered_payload() {
+        let plan = AdversaryPlan::none().rule(AttackClass::Tamper, 2);
+        let mut adv = AdversaryInjector::new(plan, 9);
+        adv.note_payload(1000, 64, 4);
+        assert_eq!(adv.on_sweep(), None, "fires on sweep 2");
+        let (off, bit) = adv.on_sweep().expect("tamper pick");
+        assert!((1000..1064).contains(&off));
+        assert!(bit < 8);
+        assert_eq!(adv.log()[0].client, Some(4));
+    }
+
+    #[test]
+    fn tamper_with_no_payloads_is_logged_but_harmless() {
+        let plan = AdversaryPlan::none().rule(AttackClass::Tamper, 1);
+        let mut adv = AdversaryInjector::new(plan, 9);
+        assert_eq!(adv.on_sweep(), None);
+        assert_eq!(adv.mounted(), 1);
+    }
+
+    #[test]
+    fn forgotten_payloads_are_not_tampered() {
+        let plan = AdversaryPlan::none().rate(AttackClass::Tamper, 1.0);
+        let mut adv = AdversaryInjector::new(plan, 9);
+        adv.note_payload(0, 32, 1);
+        adv.forget_payload(0);
+        assert_eq!(adv.on_sweep(), None);
+    }
+
+    #[test]
+    fn rates_are_deterministic_per_seed() {
+        let plan = || AdversaryPlan::none().rate(AttackClass::Replay, 0.3);
+        let run = |seed| {
+            let mut adv = AdversaryInjector::new(plan(), seed);
+            let mut pattern = Vec::new();
+            for i in 0..100usize {
+                let out = adv.on_reply_record(0, record(i * 8, i as u8, 8));
+                pattern.push(out);
+            }
+            pattern
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn note_attack_records_staged_classes() {
+        let mut adv = AdversaryInjector::new(AdversaryPlan::none(), 1);
+        adv.note_attack(AttackClass::Rollback, None);
+        adv.note_attack(AttackClass::Fork, Some(3));
+        adv.note_attack(AttackClass::Fork, Some(4));
+        assert_eq!(adv.log().len(), 3);
+        assert_eq!(adv.log()[2].event, 2, "per-class event numbering");
+    }
+
+    #[test]
+    fn release_held_drains_pending_reorder() {
+        let plan = AdversaryPlan::none().rule(AttackClass::Reorder, 1);
+        let mut adv = AdversaryInjector::new(plan, 7);
+        assert!(adv.on_reply_record(0, record(0, 1, 16)).is_empty());
+        let (off, bytes) = adv.release_held(0).expect("held record");
+        assert_eq!((off, bytes), (0, vec![1u8; 16]));
+        assert!(adv.release_held(0).is_none());
+    }
+}

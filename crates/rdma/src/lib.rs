@@ -19,6 +19,10 @@
 //! * [`faults`] — deterministic, seeded fault injection (dropped/corrupted
 //!   frames, lost completions, forced QP errors) threaded through both
 //!   transports so recovery protocols can be chaos-tested replayably.
+//! * [`adversary`] — deterministic *malicious-host* injection (payload
+//!   tampering, reply replay/reorder/duplication, staged rollback and fork
+//!   attacks) driven by the host software itself, so Byzantine-detection
+//!   mechanisms can be exercised end to end.
 //!
 //! Timing is charged to a [`Meter`](precursor_sim::Meter) (CPU cost of
 //! posting/polling) while byte counts are exposed so the closed-loop driver
@@ -41,12 +45,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod faults;
 pub mod mr;
 pub mod nic;
 pub mod qp;
 pub mod tcp;
 
+pub use adversary::{AdversaryInjector, AdversaryPlan, AttackClass, MountedAttack};
 pub use faults::{FaultAction, FaultDir, FaultInjector, FaultPlan, FaultSite};
 pub use mr::{Memory, RemoteKey};
 pub use nic::RnicCache;

@@ -136,6 +136,21 @@ impl AttestationService {
     }
 }
 
+/// Derives the per-epoch reply-chain key from a session key.
+///
+/// Both endpoints of an attested session call this after the handshake (and
+/// again after every reconnect, with the incremented `epoch`) to key the MAC
+/// chain over control replies. Binding the epoch into the derivation means a
+/// reply chained in an earlier connection epoch can never verify in a later
+/// one — a replayed pre-reconnect reply fails the chain even if its GCM
+/// sealing is authentic.
+pub fn derive_chain_key(session: &Key128, epoch: u32) -> Key128 {
+    let mut info = b"precursor-reply-chain-".to_vec();
+    info.extend_from_slice(&epoch.to_le_bytes());
+    let (chain, _unused) = derive_key_pair(session.as_bytes(), &info);
+    Key128::from_bytes(chain)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +219,20 @@ mod tests {
             .unwrap();
         assert_eq!(k1, k1_again, "both sides derive the same key");
         assert_ne!(k1, k2, "different clients get different keys");
+    }
+
+    #[test]
+    fn chain_keys_are_per_epoch_and_per_session() {
+        let a = Key128::from_bytes([1; 16]);
+        let b = Key128::from_bytes([2; 16]);
+        assert_eq!(derive_chain_key(&a, 0), derive_chain_key(&a, 0));
+        assert_ne!(derive_chain_key(&a, 0), derive_chain_key(&a, 1));
+        assert_ne!(derive_chain_key(&a, 0), derive_chain_key(&b, 0));
+        assert_ne!(
+            derive_chain_key(&a, 3).as_bytes(),
+            a.as_bytes(),
+            "derived key differs from the session key itself"
+        );
     }
 
     #[test]

@@ -8,6 +8,18 @@
 /// A trusted monotonic counter: reads never observe a smaller value than any
 /// earlier read, and increments are atomic with respect to the model.
 ///
+/// # Fork surface
+///
+/// The type derives [`Clone`] *deliberately*: a Byzantine host controls the
+/// platform services the counter runs on, and SGX's counters have known
+/// weaknesses (service replacement, NVRAM wear-out resets) that amount to
+/// an attacker keeping a *copy* of the counter state. Cloning a counter and
+/// restoring an old sealed snapshot against the clone models exactly that
+/// defeat: the restore succeeds, and detection falls to the *clients* —
+/// their `store_seq` regression check and the cross-client fork audit (see
+/// `precursor::client`). The byzantine test suite stages rollback and fork
+/// attacks this way.
+///
 /// # Example
 ///
 /// ```
@@ -59,6 +71,19 @@ mod tests {
             assert!(v > prev);
             prev = v;
         }
+    }
+
+    #[test]
+    fn cloned_counter_models_a_forked_platform() {
+        // The attacker's copy diverges from the genuine counter: state
+        // sealed against the clone passes its freshness check while the
+        // genuine counter rejects it — a fork only clients can detect.
+        let mut genuine = MonotonicCounter::new();
+        genuine.increment(); // version 1 sealed here
+        let forked = genuine.clone();
+        genuine.increment(); // genuine moves on to version 2
+        assert!(!genuine.check_freshness(1), "genuine counter: rollback");
+        assert!(forked.check_freshness(1), "forked copy accepts stale state");
     }
 
     #[test]

@@ -25,6 +25,20 @@ impl PoolRange {
     pub fn end(&self) -> usize {
         self.offset + self.len
     }
+
+    /// Capacity of the underlying slot (the size class's full width, ≥
+    /// `len`). Per-client memory quotas account in these units, matching
+    /// what [`PoolStats::bytes_in_use`] charges.
+    pub fn capacity(&self) -> usize {
+        class_size(self.class)
+    }
+}
+
+/// The slot capacity an allocation of `len` bytes would occupy, without
+/// allocating (`None` when `len` exceeds the largest size class). Lets
+/// quota checks reject an oversized request *before* touching the pool.
+pub fn slot_capacity(len: usize) -> Option<usize> {
+    class_of(len).map(class_size)
 }
 
 /// Allocation statistics for diagnostics and the EPC/ocall accounting.
@@ -162,6 +176,19 @@ mod tests {
         assert_eq!(class_size(3), 128);
         assert_eq!(class_of(512 * 1024), Some(15));
         assert_eq!(class_of(512 * 1024 + 1), None);
+    }
+
+    #[test]
+    fn slot_capacity_matches_allocation_accounting() {
+        let mut pool = SlabPool::new(1 << 16);
+        for len in [1usize, 16, 100, 1000, 4096] {
+            let expected = slot_capacity(len).unwrap();
+            let before = pool.stats().bytes_in_use;
+            let r = pool.alloc(len).unwrap();
+            assert_eq!(r.capacity(), expected);
+            assert_eq!(pool.stats().bytes_in_use - before, expected);
+        }
+        assert_eq!(slot_capacity(512 * 1024 + 1), None);
     }
 
     #[test]

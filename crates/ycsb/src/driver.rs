@@ -242,12 +242,19 @@ impl BenchSession {
                         .expect("warmup put");
                     pending += 1;
                     if pending == batch {
-                        server.poll();
+                        // The fairness budget caps records per client per
+                        // sweep; a bulk load must sweep until the ring
+                        // drains.
+                        while server.poll() > 0 {
+                            client.poll_replies();
+                        }
                         client.poll_replies();
                         pending = 0;
                     }
                 }
-                server.poll();
+                while server.poll() > 0 {
+                    client.poll_replies();
+                }
                 client.poll_replies();
                 client.take_all_completed();
                 client.take_meter();

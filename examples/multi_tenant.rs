@@ -67,20 +67,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         String::from_utf8_lossy(&rotated)
     );
 
-    // Revoke the web tenant: its queue pair transitions to the error state;
-    // in-memory data stays valid and nothing is re-encrypted.
+    // Revoke the web tenant: its queue pair transitions to the error state
+    // and its entries are evicted, returning their ring and pool memory —
+    // revocation reclaims everything the tenant held.
+    let before = server.len();
     server.revoke_client(web.client_id());
     match web.put(b"web:session:0", b"overwrite-attempt") {
         Err(StoreError::Rdma(e)) => println!("revoked web tenant rejected: {e}"),
         other => panic!("revoked client must fail, got {other:?}"),
     }
-
-    // Other tenants are unaffected — including reads of the revoked
-    // tenant's data (ownership of data outlives the session).
-    let cookie = api.get_sync(&mut server, b"web:session:0")?;
     println!(
-        "api still reads web:session:0 -> {}",
-        String::from_utf8_lossy(&cookie)
+        "revocation evicted {} entries ({} remain)",
+        before - server.len(),
+        server.len()
+    );
+
+    // Other tenants are unaffected; the revoked tenant's keyspace is gone.
+    match api.get_sync(&mut server, b"web:session:0") {
+        Err(StoreError::NotFound) => println!("api sees web:session:0 evicted"),
+        other => panic!("expected eviction, got {other:?}"),
+    }
+    let still = api.get_sync(&mut server, b"api:token:3")?;
+    println!(
+        "api still reads its own data -> {}",
+        String::from_utf8_lossy(&still)
     );
 
     println!(

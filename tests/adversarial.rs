@@ -80,6 +80,51 @@ fn oversized_length_prefix_wedges_only_the_attacker() {
 }
 
 #[test]
+fn wedged_client_is_revoked_reconnects_and_resumes() {
+    // End-to-end recovery from the wedge above: the operator revokes the
+    // wedged session (reclaiming its rings and pool slots), the same
+    // principal re-attests through `reconnect_client`, and the revived
+    // session operates normally — with honest clients never noticing.
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    let mut honest = PrecursorClient::connect(&mut server, 1).expect("honest");
+    honest.put_sync(&mut server, b"k", b"v").unwrap();
+
+    let mut bundle = server.add_client([66; 16]).expect("wedger connects");
+    let wedged_id = bundle.client_id;
+    let bogus = (u32::MAX - 9).to_le_bytes();
+    bundle
+        .qp
+        .post_write(bundle.request_ring_rkey, 0, &bogus, false)
+        .expect("write");
+    assert_eq!(server.poll(), 0, "wedged ring yields nothing");
+
+    server.revoke_client(wedged_id);
+    assert_eq!(
+        honest.get_sync(&mut server, b"k").unwrap(),
+        b"v",
+        "honest client unaffected by the revocation"
+    );
+
+    let bundle = server
+        .reconnect_client(wedged_id, [67; 16])
+        .expect("re-attests");
+    assert_eq!(bundle.client_id, wedged_id);
+    let mut revived = PrecursorClient::from_bundle(
+        bundle,
+        cost.clone(),
+        precursor_sim::rng::SimRng::seed_from(9),
+    );
+    revived.put_sync(&mut server, b"w", b"back").unwrap();
+    assert_eq!(revived.get_sync(&mut server, b"w").unwrap(), b"back");
+    assert!(revived.poisoned().is_none());
+
+    // The fresh ring consumer is clean: the old wedge is gone for good.
+    assert_eq!(server.poll(), 0);
+    assert_eq!(honest.get_sync(&mut server, b"k").unwrap(), b"v");
+}
+
+#[test]
 fn forged_client_id_is_rejected() {
     let cost = CostModel::default();
     let mut server = PrecursorServer::new(Config::default(), &cost);

@@ -1,0 +1,816 @@
+//! Byzantine-host test suite: the machine *outside* the enclave is actively
+//! malicious. The scripted scenarios exercise each [`AttackClass`] of the
+//! deterministic adversary harness one at a time and assert the client-side
+//! detection pipeline (reply epoch, MAC chain, store-mutation sequence,
+//! cross-client fork audit) catches it; the seeded sweep then mixes all
+//! classes probabilistically against a model-checked workload and requires
+//! **zero undetected integrity violations** across ≥20 seeds, with
+//! bit-identical same-seed replay.
+//!
+//! Environment knobs (used by the nightly CI job):
+//! * `PRECURSOR_SWEEP_SEEDS` — number of sweep seeds (default 20).
+//! * `PRECURSOR_AUDIT_DIR` — when set, each sweep run writes its audit log
+//!   (mounted attacks, detections, per-op outcomes) into this directory.
+
+use std::collections::HashMap;
+
+use precursor::wire::Status;
+use precursor::{
+    fork_audit, AdversaryPlan, AttackClass, Config, MountedAttack, PrecursorClient,
+    PrecursorServer, SecurityAudit, StoreError,
+};
+use precursor_sgx::counters::MonotonicCounter;
+use precursor_sim::rng::SimRng;
+use precursor_sim::CostModel;
+
+fn connect(server: &mut PrecursorServer, seed: u64) -> PrecursorClient {
+    PrecursorClient::connect(server, seed).expect("client connects")
+}
+
+// --- scripted single-class scenarios ------------------------------------
+
+#[test]
+fn tampered_untrusted_payload_is_detected_on_read() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    // The Tamper rule counts *poll sweeps*: sweep 1 services the put (and
+    // registers its payload range with the injector); the attack fires at
+    // the start of sweep 2, before the get executes.
+    server.set_adversary_plan(AdversaryPlan::none().rule(AttackClass::Tamper, 2), 7);
+    let mut client = connect(&mut server, 1);
+
+    client
+        .put_sync(&mut server, b"victim", b"payload-bytes")
+        .unwrap();
+    assert_eq!(
+        client.get_sync(&mut server, b"victim"),
+        Err(StoreError::IntegrityViolation),
+        "MAC under K_operation catches the flipped payload bit"
+    );
+    assert_eq!(server.mounted_attacks(), 1);
+    assert_eq!(server.adversary_log()[0].class, AttackClass::Tamper);
+    // The session itself is healthy — payload tampering is detected per
+    // read, not a transport-integrity failure.
+    assert!(client.poisoned().is_none());
+    // Overwriting heals the key.
+    client.put_sync(&mut server, b"victim", b"fresh").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"victim").unwrap(), b"fresh");
+}
+
+#[test]
+fn replayed_stale_control_reply_is_dropped_and_the_op_recovers() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    // Substitute the 3rd reply record written for client 0 with a stale
+    // captured one (the 1st — the oldest same-length capture).
+    server.set_adversary_plan(
+        AdversaryPlan::none().rule_for(AttackClass::Replay, 0, 3),
+        11,
+    );
+    let mut client = connect(&mut server, 2);
+
+    client.put_sync(&mut server, b"a", b"1").unwrap();
+    client.put_sync(&mut server, b"b", b"2").unwrap();
+    // Reply 3 is substituted: the client drops the stale reply_seq, times
+    // out, retransmits, and the server re-acks from its at-most-once window
+    // (the re-push bypasses the adversary) — the op completes untainted.
+    client.put_sync(&mut server, b"c", b"3").unwrap();
+
+    assert_eq!(server.mounted_attacks(), 1);
+    assert_eq!(server.adversary_log()[0].class, AttackClass::Replay);
+    assert_eq!(client.security_audit().stale_replies, 1);
+    assert!(
+        client.retransmits() >= 1,
+        "recovery went through retransmit"
+    );
+    assert!(client.poisoned().is_none());
+    assert_eq!(client.get_sync(&mut server, b"c").unwrap(), b"3");
+}
+
+#[test]
+fn reordered_replies_are_reconciled_without_poisoning() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    server.set_adversary_plan(
+        AdversaryPlan::none().rule_for(AttackClass::Reorder, 0, 1),
+        13,
+    );
+    let mut client = connect(&mut server, 3);
+
+    // Drive the two puts asynchronously so the injector can hold reply 1
+    // and swap it with reply 2 (same length — same opcode and key length).
+    let o1 = client.put(b"r1", b"x").unwrap();
+    server.poll();
+    assert_eq!(client.poll_replies(), 0, "reply 1 is held by the adversary");
+    let o2 = client.put(b"r2", b"y").unwrap();
+    server.poll();
+    assert_eq!(
+        client.poll_replies(),
+        2,
+        "swap delivered both, out of order"
+    );
+
+    let c2 = client.take_completed(o2).expect("newer op completed");
+    let c1 = client.take_completed(o1).expect("older op completed");
+    assert_eq!(c2.status, Status::Ok);
+    assert_eq!(c1.status, Status::Ok);
+    let audit = client.security_audit();
+    assert_eq!(audit.reorder_suspected, 1, "late reply matched a known gap");
+    assert_eq!(audit.chain_resyncs, 1, "chain resynced across the gap");
+    assert_eq!(audit.chain_breaks, 0);
+    assert!(client.poisoned().is_none());
+    // The chain is consistent again: contiguous traffic keeps verifying.
+    client.put_sync(&mut server, b"r3", b"z").unwrap();
+    assert_eq!(client.get_sync(&mut server, b"r3").unwrap(), b"z");
+}
+
+#[test]
+fn duplicated_reply_record_completes_the_op_exactly_once() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    server.set_adversary_plan(
+        AdversaryPlan::none().rule_for(AttackClass::Duplicate, 0, 1),
+        17,
+    );
+    let mut client = connect(&mut server, 4);
+
+    let o1 = client.put(b"dup", b"once").unwrap();
+    server.poll();
+    let popped = client.poll_replies();
+    assert!(popped >= 1, "at least the original record arrives");
+    let done = client.take_all_completed();
+    assert_eq!(done.len(), 1, "the duplicate must not double-complete");
+    assert_eq!(done[0].oid, o1);
+    assert_eq!(done[0].status, Status::Ok);
+    assert!(client.security_audit().stale_replies <= 1);
+    assert_eq!(server.mounted_attacks(), 1);
+    assert!(client.poisoned().is_none());
+    assert_eq!(client.get_sync(&mut server, b"dup").unwrap(), b"once");
+}
+
+#[test]
+fn forged_reply_header_breaks_the_mac_chain_and_quarantines() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    let bundle = server.add_client([7; 16]).expect("connects");
+    // Keep a handle on the reply ring *before* the client consumes it: the
+    // host owns this memory and can write anything into it.
+    let spy_ring = bundle.reply_ring.clone();
+    let mut client = PrecursorClient::from_bundle(bundle, cost.clone(), SimRng::seed_from(3));
+
+    let oid = client.put(b"k", b"v").unwrap();
+    server.poll();
+    // Flip the clear status byte of the queued reply record (offset 4: right
+    // after the 4-byte length prefix). GCM does not cover the clear header —
+    // only the per-session MAC chain binds it.
+    spy_ring.with_mut(|buf| buf[4] ^= 1);
+
+    assert_eq!(client.poll_replies(), 1);
+    assert_eq!(client.poisoned(), Some(StoreError::SessionPoisoned));
+    assert_eq!(client.security_audit().chain_breaks, 1);
+    assert!(
+        client.take_completed(oid).is_none(),
+        "a chain-breaking reply must not complete the op"
+    );
+    // Quarantine blocks every operation until re-attestation.
+    assert_eq!(client.get(b"k"), Err(StoreError::SessionPoisoned));
+
+    // Fresh attestation clears the quarantine; the interrupted op is
+    // re-issued and re-acked from the at-most-once window.
+    let reissued = client.reconnect(&mut server).expect("re-attests");
+    assert_eq!(reissued, 1);
+    assert!(client.poisoned().is_none());
+    assert_eq!(client.epoch(), 2, "reconnect advances the reply epoch");
+    server.poll();
+    client.poll_replies();
+    let done = client
+        .take_completed(oid)
+        .expect("re-acked after reconnect");
+    assert_eq!(done.status, Status::Ok);
+    assert_eq!(client.get_sync(&mut server, b"k").unwrap(), b"v");
+}
+
+#[test]
+fn rolled_back_host_is_rejected_by_counter_and_detected_by_client() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    let mut client = connect(&mut server, 5);
+    client.put_sync(&mut server, b"k1", b"v1").unwrap();
+
+    let mut counter = MonotonicCounter::new();
+    let stale = server.snapshot(&mut counter);
+    // A Byzantine host "forks" the trusted counter by saving a copy — the
+    // real counter keeps advancing with the fresh snapshot below.
+    let forked_counter = counter.clone();
+    client.put_sync(&mut server, b"k2", b"v2").unwrap();
+    let fresh = server.snapshot(&mut counter);
+
+    // Layer 1: an honest restore of the stale snapshot fails the monotonic
+    // counter check outright.
+    assert!(matches!(
+        PrecursorServer::restore(Config::default(), &cost, &stale, &counter),
+        Err(StoreError::SnapshotRejected)
+    ));
+
+    // Layer 2: the host restores the stale snapshot against its forked
+    // counter copy — the enclave-side check passes, so only the *client*
+    // can catch it, via the store-mutation sequence in every reply.
+    let mut rolled =
+        PrecursorServer::restore(Config::default(), &cost, &stale, &forked_counter).unwrap();
+    rolled.set_adversary_plan(AdversaryPlan::none(), 1);
+    rolled.note_attack(AttackClass::Rollback, Some(client.client_id()));
+    client.reconnect(&mut rolled).expect("session resumes");
+
+    let err = client.get_sync(&mut rolled, b"k2");
+    assert_eq!(err, Err(StoreError::RollbackDetected));
+    assert_eq!(client.poisoned(), Some(StoreError::RollbackDetected));
+    assert_eq!(client.security_audit().rollback_regressions, 1);
+    assert!(rolled
+        .adversary_log()
+        .iter()
+        .any(|a| a.class == AttackClass::Rollback));
+    assert_eq!(client.put(b"x", b"y"), Err(StoreError::RollbackDetected));
+
+    // Recovery: the operator restores the *fresh* snapshot under the true
+    // counter; re-attestation clears the quarantine and state lines up.
+    let mut good = PrecursorServer::restore(Config::default(), &cost, &fresh, &counter).unwrap();
+    client.reconnect(&mut good).expect("re-attests");
+    assert!(client.poisoned().is_none());
+    assert_eq!(client.get_sync(&mut good, b"k2").unwrap(), b"v2");
+    assert_eq!(client.get_sync(&mut good, b"k1").unwrap(), b"v1");
+}
+
+#[test]
+fn forked_views_are_detected_by_cross_client_audit() {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    let mut a = connect(&mut server, 6); // client 0
+    let mut b = connect(&mut server, 7); // client 1
+    a.put_sync(&mut server, b"a:seed", b"1").unwrap();
+    b.put_sync(&mut server, b"b:seed", b"2").unwrap();
+    // No overlapping store_seq observations yet: the audit passes.
+    fork_audit(&a, &b).expect("no fork before the split");
+
+    // The host snapshots once and boots *two* replicas from it, steering
+    // each client to a different one (a classic fork/split-brain attack).
+    let mut counter = MonotonicCounter::new();
+    let snap = server.snapshot(&mut counter);
+    let mut s1 = PrecursorServer::restore(Config::default(), &cost, &snap, &counter).unwrap();
+    let mut s2 = PrecursorServer::restore(Config::default(), &cost, &snap, &counter).unwrap();
+    s1.set_adversary_plan(AdversaryPlan::none(), 1);
+    s1.note_attack(AttackClass::Fork, Some(a.client_id()));
+    s2.set_adversary_plan(AdversaryPlan::none(), 1);
+    s2.note_attack(AttackClass::Fork, Some(b.client_id()));
+
+    a.reconnect(&mut s1).expect("a lands on replica 1");
+    // On replica 2 the host replays a's re-attestation itself so client b's
+    // slot lines up (sessions resume in ascending id order).
+    s2.reconnect_client(a.client_id(), [0x44; 16])
+        .expect("host fills a's slot on the fork");
+    b.reconnect(&mut s2).expect("b lands on replica 2");
+
+    // The replicas now diverge: the same mutation sequence number commits
+    // *different* operations on each side.
+    a.put_sync(&mut s1, b"a:post", b"va").unwrap();
+    b.put_sync(&mut s2, b"b:post", b"vb").unwrap();
+    assert!(a.poisoned().is_none() && b.poisoned().is_none());
+    assert_eq!(a.max_store_seq(), b.max_store_seq());
+
+    // Epoch-exchange audit: the clients compare (store_seq, digest)
+    // observations out of band and catch the divergence.
+    assert_eq!(fork_audit(&a, &b), Err(StoreError::ForkDetected));
+    assert!(s1
+        .adversary_log()
+        .iter()
+        .any(|m| m.class == AttackClass::Fork));
+    // A client that learns of the fork quarantines itself until it can
+    // re-attest against a host both parties trust.
+    a.quarantine(StoreError::ForkDetected);
+    assert_eq!(a.put(b"z", b"z"), Err(StoreError::ForkDetected));
+}
+
+// --- backpressure and resource containment ------------------------------
+
+#[test]
+fn pool_quota_yields_busy_backpressure_not_starvation() {
+    let cost = CostModel::default();
+    let config = Config {
+        pool_quota_bytes: 2048,
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = connect(&mut server, 8);
+
+    // Each 1000-byte value lands in a 1024-byte pool slot (value + MAC tag,
+    // rounded to the power-of-two size class).
+    client.put_sync(&mut server, b"q1", &[1u8; 1000]).unwrap();
+    client.put_sync(&mut server, b"q2", &[2u8; 1000]).unwrap();
+    assert_eq!(server.pool_usage(client.client_id()), 2048);
+
+    // The third put would exceed the quota: the server answers Busy with a
+    // retry hint instead of admitting unbounded allocation.
+    assert_eq!(
+        client.put_sync(&mut server, b"q3", &[3u8; 1000]),
+        Err(StoreError::Busy)
+    );
+    assert_eq!(client.security_audit().busy_replies, 1);
+    assert!(
+        client.poisoned().is_none(),
+        "Busy is backpressure, not an attack"
+    );
+
+    // Freeing capacity lifts the backpressure; the at-most-once window is
+    // undisturbed by the rejected oid.
+    client.delete_sync(&mut server, b"q1").unwrap();
+    client.put_sync(&mut server, b"q3", &[3u8; 1000]).unwrap();
+    assert_eq!(
+        client.get_sync(&mut server, b"q3").unwrap(),
+        vec![3u8; 1000]
+    );
+}
+
+#[test]
+fn flooding_client_cannot_starve_an_honest_neighbor() {
+    // An adversarial tenant saturates its own request ring every round; the
+    // per-client poll budget with round-robin fairness must keep the honest
+    // client's throughput within 2x of its flood-free baseline.
+    fn honest_ops(rounds: usize, with_flooder: bool) -> (usize, usize) {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::default(), &cost);
+        let mut honest = connect(&mut server, 11);
+        let mut flooder = with_flooder.then(|| connect(&mut server, 12));
+        let budget = server.config().poll_budget_per_client;
+        let mut completed = 0usize;
+        let mut max_flood_reports_per_sweep = 0usize;
+        for round in 0..rounds {
+            if let Some(f) = flooder.as_mut() {
+                // Stuff the flooder's ring with as many requests as fit.
+                for i in 0..4 * budget {
+                    let key = format!("f:{:03}", i % 64);
+                    if f.put(key.as_bytes(), b"flood").is_err() {
+                        break;
+                    }
+                }
+            }
+            let key = format!("h:{:04}", round % 16);
+            let oid = honest.put(key.as_bytes(), b"steady").unwrap();
+            server.poll();
+            honest.poll_replies();
+            if honest.take_completed(oid).is_some() {
+                completed += 1;
+            }
+            if let Some(f) = flooder.as_mut() {
+                f.poll_replies();
+                f.take_all_completed();
+            }
+            let flood_reports = server
+                .take_reports()
+                .iter()
+                .filter(|r| r.client_id == 1)
+                .count();
+            max_flood_reports_per_sweep = max_flood_reports_per_sweep.max(flood_reports);
+            if let Some(f) = flooder.as_mut() {
+                // Drain the flooder's retry machinery without advancing time.
+                let _ = f.pump_timeouts();
+            }
+        }
+        (completed, max_flood_reports_per_sweep)
+    }
+
+    const ROUNDS: usize = 30;
+    let (baseline, _) = honest_ops(ROUNDS, false);
+    let (flooded, max_flood) = honest_ops(ROUNDS, true);
+    assert_eq!(
+        baseline, ROUNDS,
+        "flood-free baseline completes every round"
+    );
+    assert!(
+        flooded * 2 >= baseline,
+        "flooding reduced honest throughput more than 2x: {flooded} vs {baseline}"
+    );
+    let budget = Config::default().poll_budget_per_client;
+    assert!(
+        max_flood > 0 && max_flood <= budget,
+        "per-sweep budget must cap the flooder: saw {max_flood}, budget {budget}"
+    );
+}
+
+#[test]
+fn thousand_client_churn_returns_all_memory() {
+    let cost = CostModel::default();
+    let config = Config {
+        max_clients: 1100,
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+
+    // Warm up the pool's size classes so growth settles before we measure.
+    for i in 0..10u32 {
+        let mut c = connect(&mut server, 10_000 + u64::from(i));
+        c.put_sync(&mut server, format!("warm:{i}").as_bytes(), &[0u8; 1024])
+            .unwrap();
+        server.revoke_client(c.client_id());
+    }
+    server.take_reports();
+    let warm = server.pool_stats();
+    assert_eq!(warm.bytes_in_use, 0, "warmup left bytes behind");
+
+    for i in 0..1000u32 {
+        let mut c = connect(&mut server, 20_000 + u64::from(i));
+        c.put_sync(
+            &mut server,
+            format!("churn:{i}").as_bytes(),
+            &[i as u8; 1024],
+        )
+        .unwrap();
+        server.revoke_client(c.client_id());
+        if i % 100 == 0 {
+            server.take_reports();
+        }
+    }
+    server.take_reports();
+
+    let after = server.pool_stats();
+    assert_eq!(after.bytes_in_use, 0, "revocation must reclaim pool slots");
+    assert_eq!(
+        after.grow_events, warm.grow_events,
+        "steady-state churn must not grow the pool"
+    );
+    assert!(after.frees >= 1000, "every churned slot was freed");
+    assert_eq!(server.len(), 0);
+    assert_eq!(server.client_count(), 0);
+
+    // The server remains fully serviceable after the churn.
+    let mut fresh = connect(&mut server, 99_999);
+    fresh.put_sync(&mut server, b"post-churn", b"ok").unwrap();
+    assert_eq!(fresh.get_sync(&mut server, b"post-churn").unwrap(), b"ok");
+}
+
+#[test]
+fn report_buffer_is_bounded_and_counts_drops() {
+    let cost = CostModel::default();
+    let config = Config {
+        max_buffered_reports: 8,
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = connect(&mut server, 13);
+    for i in 0..20u32 {
+        client
+            .put_sync(&mut server, format!("k{i}").as_bytes(), b"v")
+            .unwrap();
+    }
+    let reports = server.take_reports();
+    assert_eq!(reports.len(), 8, "buffer capped at max_buffered_reports");
+    assert_eq!(
+        server.reports_dropped(),
+        12,
+        "oldest reports dropped, counted"
+    );
+}
+
+// --- seeded adversarial sweep -------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Presence {
+    Yes,
+    No,
+    Maybe,
+}
+
+#[derive(Debug, Clone)]
+struct KeyState {
+    presence: Presence,
+    /// Values an Ok get may legitimately return (ambiguity from retried or
+    /// interrupted puts).
+    acceptable: Vec<Vec<u8>>,
+    /// Set when a get detected payload tampering: the stored bytes are
+    /// corrupt until the next successful overwrite.
+    tainted: bool,
+}
+
+impl Default for KeyState {
+    fn default() -> KeyState {
+        KeyState {
+            presence: Presence::No,
+            acceptable: Vec::new(),
+            tainted: false,
+        }
+    }
+}
+
+/// Everything observable about one sweep run; `PartialEq` so same-seed
+/// replays can be compared bit-for-bit.
+#[derive(Debug, PartialEq)]
+struct SweepReport {
+    seed: u64,
+    ops: usize,
+    audit: SecurityAudit,
+    mounted: Vec<MountedAttack>,
+    /// Undetected integrity violations — must stay empty.
+    violations: Vec<String>,
+    /// One line per op, for deterministic-replay comparison.
+    outcomes: Vec<String>,
+    retransmits: u64,
+    detections: u64,
+}
+
+fn value_for(seed: u64, op: usize, key: u8) -> Vec<u8> {
+    // Fixed length keeps reply records swappable by the Reorder attack;
+    // contents stay unique per (seed, op, key).
+    let b = (seed as u8) ^ (op as u8) ^ key.wrapping_mul(31);
+    vec![b; 64]
+}
+
+fn byzantine_run(seed: u64, ops: usize) -> SweepReport {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    server.set_adversary_plan(
+        AdversaryPlan::none()
+            .rate(AttackClass::Tamper, 0.04)
+            .rate(AttackClass::Replay, 0.08)
+            .rate(AttackClass::Reorder, 0.05)
+            .rate(AttackClass::Duplicate, 0.05),
+        seed ^ 0xadd5_ec0d,
+    );
+    let mut client = connect(&mut server, seed);
+    let mut rng = SimRng::seed_from(seed ^ 0x5eed);
+    let mut model: HashMap<u8, KeyState> = HashMap::new();
+    let mut violations = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut detections = 0u64;
+
+    for op in 0..ops {
+        let key_id = (rng.next_u32() % 12) as u8;
+        let key = format!("k{key_id:02}");
+        let kind = rng.gen_range(10);
+        let entry = model.entry(key_id).or_default();
+        let line;
+        if kind < 5 {
+            // put
+            let value = value_for(seed, op, key_id);
+            match client.put_sync(&mut server, key.as_bytes(), &value) {
+                Ok(()) => {
+                    entry.presence = Presence::Yes;
+                    entry.acceptable = vec![value];
+                    entry.tainted = false;
+                    line = format!("{op} put {key} ok");
+                }
+                Err(e @ (StoreError::SessionPoisoned | StoreError::RollbackDetected)) => {
+                    // Transport-integrity detection: count it, re-attest,
+                    // and treat the put's effect as uncertain.
+                    detections += 1;
+                    entry.presence = Presence::Maybe;
+                    entry.acceptable.push(value);
+                    entry.tainted = false;
+                    client.reconnect(&mut server).expect("re-attest");
+                    line = format!("{op} put {key} detected {e:?}");
+                }
+                Err(e) => {
+                    violations.push(format!("{op}: put {key} unexpected {e:?}"));
+                    line = format!("{op} put {key} VIOLATION {e:?}");
+                }
+            }
+        } else if kind < 8 {
+            // get
+            match client.get_sync(&mut server, key.as_bytes()) {
+                Ok(v) => {
+                    if entry.presence == Presence::No {
+                        violations.push(format!("{op}: get {key} returned a deleted key"));
+                    } else if !entry.acceptable.iter().any(|a| a == &v) {
+                        violations.push(format!("{op}: get {key} returned a foreign value"));
+                    } else {
+                        // Reading pins the ambiguity down to one value.
+                        entry.presence = Presence::Yes;
+                        entry.acceptable = vec![v.clone()];
+                    }
+                    line = format!("{op} get {key} ok {}", v.first().copied().unwrap_or(0));
+                }
+                Err(StoreError::NotFound) => {
+                    if entry.presence == Presence::Yes {
+                        violations.push(format!("{op}: get {key} lost a stored key"));
+                    } else {
+                        entry.presence = Presence::No;
+                    }
+                    line = format!("{op} get {key} notfound");
+                }
+                Err(StoreError::IntegrityViolation) => {
+                    // Payload tampering, detected by the K_operation MAC.
+                    if entry.presence == Presence::No {
+                        violations.push(format!("{op}: get {key} tamper on absent key"));
+                    }
+                    detections += 1;
+                    entry.tainted = true;
+                    line = format!("{op} get {key} detected tamper");
+                }
+                Err(e @ (StoreError::SessionPoisoned | StoreError::RollbackDetected)) => {
+                    detections += 1;
+                    client.reconnect(&mut server).expect("re-attest");
+                    line = format!("{op} get {key} detected {e:?}");
+                }
+                Err(e) => {
+                    violations.push(format!("{op}: get {key} unexpected {e:?}"));
+                    line = format!("{op} get {key} VIOLATION {e:?}");
+                }
+            }
+        } else {
+            // delete
+            match client.delete_sync(&mut server, key.as_bytes()) {
+                Ok(()) => {
+                    if entry.presence == Presence::No {
+                        violations.push(format!("{op}: delete {key} acked an absent key"));
+                    }
+                    entry.presence = Presence::No;
+                    entry.acceptable.clear();
+                    entry.tainted = false;
+                    line = format!("{op} del {key} ok");
+                }
+                Err(StoreError::NotFound) => {
+                    if entry.presence == Presence::Yes {
+                        violations.push(format!("{op}: delete {key} missed a stored key"));
+                    }
+                    entry.presence = Presence::No;
+                    entry.acceptable.clear();
+                    entry.tainted = false;
+                    line = format!("{op} del {key} notfound");
+                }
+                Err(e @ (StoreError::SessionPoisoned | StoreError::RollbackDetected)) => {
+                    detections += 1;
+                    entry.presence = Presence::Maybe;
+                    client.reconnect(&mut server).expect("re-attest");
+                    line = format!("{op} del {key} detected {e:?}");
+                }
+                Err(e) => {
+                    violations.push(format!("{op}: delete {key} unexpected {e:?}"));
+                    line = format!("{op} del {key} VIOLATION {e:?}");
+                }
+            }
+        }
+        outcomes.push(line);
+        // Keep stray completions (from ops re-acked after detection) from
+        // accumulating.
+        client.take_all_completed();
+        if op % 16 == 0 {
+            server.take_reports();
+        }
+    }
+    server.take_reports();
+
+    let audit = client.security_audit();
+    SweepReport {
+        seed,
+        ops,
+        audit,
+        mounted: server.adversary_log(),
+        violations,
+        outcomes,
+        retransmits: client.retransmits(),
+        detections: detections
+            + audit.stale_replies
+            + audit.chain_breaks
+            + audit.epoch_mismatches
+            + audit.rollback_regressions,
+    }
+}
+
+fn sweep_seed_count() -> u64 {
+    std::env::var("PRECURSOR_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+fn write_audit_log(report: &SweepReport) {
+    let Ok(dir) = std::env::var("PRECURSOR_AUDIT_DIR") else {
+        return;
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "seed={} ops={} detections={} retransmits={}\naudit={:?}\n",
+        report.seed, report.ops, report.detections, report.retransmits, report.audit
+    ));
+    for m in &report.mounted {
+        out.push_str(&format!("mounted {m:?}\n"));
+    }
+    for v in &report.violations {
+        out.push_str(&format!("VIOLATION {v}\n"));
+    }
+    for l in &report.outcomes {
+        out.push_str(l);
+        out.push('\n');
+    }
+    let _ = std::fs::write(format!("{dir}/byzantine-seed-{:08x}.log", report.seed), out);
+}
+
+#[test]
+fn seeded_byzantine_sweep_has_zero_undetected_violations() {
+    let seeds = sweep_seed_count();
+    let mut total_mounted = 0usize;
+    let mut total_detections = 0u64;
+    for i in 0..seeds {
+        let seed = i.wrapping_mul(2654435761).wrapping_add(1);
+        let report = byzantine_run(seed, 100);
+        write_audit_log(&report);
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: undetected integrity violations: {:?}",
+            report.violations
+        );
+        total_mounted += report.mounted.len();
+        total_detections += report.detections;
+    }
+    assert!(
+        total_mounted > 0,
+        "the adversary never mounted anything across {seeds} seeds"
+    );
+    assert!(
+        total_detections > 0,
+        "attacks were mounted but nothing was detected"
+    );
+}
+
+#[test]
+fn byzantine_runs_are_deterministic() {
+    let a = byzantine_run(0xb1ce, 120);
+    let b = byzantine_run(0xb1ce, 120);
+    assert_eq!(a, b, "same seed must replay bit-identically");
+    assert!(!a.mounted.is_empty(), "the mixed plan mounted attacks");
+}
+
+#[test]
+fn adversary_free_run_triggers_no_detections() {
+    // With an empty plan the detection machinery must be invisible: no
+    // stale replies, no resyncs, no quarantine — the audit stays zeroed.
+    let report = byzantine_run_no_adversary(0xc1ea, 150);
+    assert_eq!(report.audit, SecurityAudit::default());
+    assert!(report.violations.is_empty());
+    assert_eq!(report.retransmits, 0);
+    assert!(report.mounted.is_empty());
+}
+
+fn byzantine_run_no_adversary(seed: u64, ops: usize) -> SweepReport {
+    // Same harness, no plan installed: exercises the oracle itself.
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    let mut client = connect(&mut server, seed);
+    let mut rng = SimRng::seed_from(seed ^ 0x5eed);
+    let mut model: HashMap<u8, KeyState> = HashMap::new();
+    let mut violations = Vec::new();
+    let mut outcomes = Vec::new();
+    for op in 0..ops {
+        let key_id = (rng.next_u32() % 12) as u8;
+        let key = format!("k{key_id:02}");
+        let kind = rng.gen_range(10);
+        let entry = model.entry(key_id).or_default();
+        if kind < 5 {
+            let value = value_for(seed, op, key_id);
+            client
+                .put_sync(&mut server, key.as_bytes(), &value)
+                .unwrap();
+            entry.presence = Presence::Yes;
+            entry.acceptable = vec![value];
+            outcomes.push(format!("{op} put {key} ok"));
+        } else if kind < 8 {
+            match client.get_sync(&mut server, key.as_bytes()) {
+                Ok(v) => {
+                    if !entry.acceptable.iter().any(|a| a == &v) {
+                        violations.push(format!("{op}: get {key} wrong value"));
+                    }
+                    outcomes.push(format!("{op} get {key} ok"));
+                }
+                Err(StoreError::NotFound) => {
+                    if entry.presence == Presence::Yes {
+                        violations.push(format!("{op}: get {key} lost"));
+                    }
+                    outcomes.push(format!("{op} get {key} notfound"));
+                }
+                Err(e) => violations.push(format!("{op}: get {key} {e:?}")),
+            }
+        } else {
+            match client.delete_sync(&mut server, key.as_bytes()) {
+                Ok(()) => {
+                    entry.presence = Presence::No;
+                    entry.acceptable.clear();
+                    outcomes.push(format!("{op} del {key} ok"));
+                }
+                Err(StoreError::NotFound) => {
+                    entry.presence = Presence::No;
+                    outcomes.push(format!("{op} del {key} notfound"));
+                }
+                Err(e) => violations.push(format!("{op}: del {key} {e:?}")),
+            }
+        }
+        server.take_reports();
+    }
+    SweepReport {
+        seed,
+        ops,
+        audit: client.security_audit(),
+        mounted: server.adversary_log(),
+        violations,
+        outcomes,
+        retransmits: client.retransmits(),
+        detections: 0,
+    }
+}

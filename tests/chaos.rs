@@ -520,8 +520,13 @@ fn crash_restart_recovers_acked_state_and_inflight_op() {
 fn seeded_chaos_sweep() {
     // ≥20 distinct seeds; every run must satisfy the safety oracles
     // (asserted inside the harness) under a mixed fault schedule with
-    // periodic crash-restarts.
-    for i in 0..20u64 {
+    // periodic crash-restarts. The nightly job widens the sweep through
+    // PRECURSOR_SWEEP_SEEDS (e.g. 100 seeds).
+    let seeds = std::env::var("PRECURSOR_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    for i in 0..seeds {
         let seed = i.wrapping_mul(2654435761).wrapping_add(1);
         let report = chaos_run(seed, 160, chaos_plan(), 67);
         assert!(

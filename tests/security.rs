@@ -69,8 +69,12 @@ fn replayed_last_request_is_reacked_without_reexecution() {
     assert_eq!(reports.len(), 1);
     assert_eq!(reports[0].status, Status::Ok); // cached ack, not a fresh execution
     assert_eq!(server.len(), 1); // no state mutation
-                                 // the duplicated reply record is ignored by the client (stale reply_seq)
-    assert_eq!(client.poll_replies(), 0);
+                                 // The re-ack arrives as a fresh ring record (the original offsets were
+                                 // already consumed) but carries the *same* reply_seq: the client pops
+                                 // it, drops it as stale, and completes nothing.
+    assert_eq!(client.poll_replies(), 1);
+    assert!(client.take_all_completed().is_empty());
+    assert_eq!(client.security_audit().stale_replies, 1);
     // state unchanged
     assert_eq!(client.get_sync(&mut server, b"k").unwrap(), b"v");
 }
