@@ -94,4 +94,49 @@ fn main() {
         "peak should fall near the paper's ~55 clients"
     );
     assert!(at_100 < *peak, "throughput must decline past the peak");
+
+    // --- shard scaling: trusted polling threads at 16 clients (§3.8) ---
+    println!();
+    banner(
+        "Figure 6b: multi-shard trusted polling at 16 clients (32 B values)",
+        "one poller core per shard; 16 saturated clients spread over 1/2/4/8 shards",
+        &scale,
+    );
+    const SHARD_CLIENTS: usize = 16;
+    const SHARDS: [usize; 4] = [1, 2, 4, 8];
+    let mut shard_tput = Vec::new();
+    let mut shard_rows = Vec::new();
+    for &s in &SHARDS {
+        let mut session = BenchSession::with_shards(
+            SystemKind::Precursor,
+            VALUE,
+            scale.warmup_keys,
+            scale.warmup_keys,
+            SHARD_CLIENTS,
+            0xF16B,
+            &cost,
+            s,
+        );
+        let (mean, _) = repeat(scale.repetitions, |_| {
+            session
+                .measure(&spec, SHARD_CLIENTS, scale.measure_ops)
+                .throughput_ops
+        });
+        shard_tput.push(mean);
+        let speedup = mean / shard_tput[0];
+        shard_rows.push(vec![format!("{s}"), kops(mean), format!("{speedup:.2}x")]);
+    }
+    print_table(&["shards", "Precursor Kops", "vs 1 shard"], &shard_rows);
+    write_csv(
+        "fig6_shard_scaling",
+        &["shards", "precursor_kops", "speedup"],
+        &shard_rows,
+    );
+    let speedup4 = shard_tput[2] / shard_tput[0];
+    println!();
+    println!("4-shard speedup over 1 shard at {SHARD_CLIENTS} clients: {speedup4:.2}x");
+    assert!(
+        speedup4 >= 1.8,
+        "4 shards must lift saturated throughput ≥1.8x (got {speedup4:.2}x)"
+    );
 }

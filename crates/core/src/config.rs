@@ -58,6 +58,14 @@ pub struct Config {
     pub max_buffered_reports: usize,
     /// Retry hint carried in `Busy` replies, in simulated nanoseconds.
     pub busy_retry_ns: u64,
+    /// Number of trusted polling shards (§3.8: "multiple trusted polling
+    /// threads"). Each shard owns the clients whose `client_id % shards`
+    /// equals its index plus a partition of the enclave hash table keyed by
+    /// a stable hash of the key; requests that hash to a foreign shard
+    /// cross a handoff queue. `1` (the default) is the single sequential
+    /// polling loop — the pre-sharding code path, kept bit-identical so
+    /// deterministic sim runs and seeded suites reproduce.
+    pub shards: usize,
     /// Values of at most this many bytes are stored directly *inside* the
     /// enclave instead of the untrusted pool — the paper's proposed future
     /// extension for values smaller than the control data (§5.2: "one could
@@ -78,6 +86,7 @@ impl Default for Config {
             max_value_bytes: 256 << 10,
             model_slot_bytes: 88,
             initial_table_slots: 2048,
+            shards: 1,
             inline_value_max: 0,
             poll_budget_per_client: 128,
             pool_quota_bytes: 0,
@@ -103,6 +112,14 @@ impl Config {
     pub fn server_encryption() -> Config {
         Config {
             mode: EncryptionMode::ServerSide,
+            ..Config::default()
+        }
+    }
+
+    /// A configuration with `shards` trusted polling shards.
+    pub fn sharded(shards: usize) -> Config {
+        Config {
+            shards: shards.max(1),
             ..Config::default()
         }
     }
@@ -172,6 +189,13 @@ mod tests {
         assert_eq!(c.pool_quota_bytes, 0, "quotas opt-in");
         assert!(c.max_buffered_reports >= 1 << 16);
         assert!(c.busy_retry_ns > 0);
+    }
+
+    #[test]
+    fn default_is_single_shard() {
+        assert_eq!(Config::default().shards, 1);
+        assert_eq!(Config::sharded(0).shards, 1);
+        assert_eq!(Config::sharded(4).shards, 4);
     }
 
     #[test]

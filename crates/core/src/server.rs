@@ -33,7 +33,7 @@ use precursor_sim::time::Cycles;
 use precursor_sim::CostModel;
 use precursor_storage::pool::{PoolRange, SlabPool};
 use precursor_storage::ring::{RingConsumer, RingProducer};
-use precursor_storage::robinhood::RobinHoodMap;
+use precursor_storage::robinhood::ShardedRobinHoodMap;
 
 use crate::config::{Config, EncryptionMode};
 use crate::error::StoreError;
@@ -55,6 +55,10 @@ pub struct OpReport {
     /// Payload bytes involved (request payload for puts, reply payload for
     /// gets).
     pub value_len: usize,
+    /// Trusted shard that executed the operation — for replies produced
+    /// without execution (errors, replays, retransmits), the popping
+    /// worker's shard. Always `0` in single-shard mode.
+    pub shard: u32,
     /// Cost charges accumulated while processing this request server-side.
     pub meter: Meter,
 }
@@ -159,6 +163,9 @@ struct ClientPort {
     /// dedups or late-accepts it).
     last_reply_bytes: Vec<u8>,
     last_reply_end: u64,
+    /// The last `consumed` value written back to the client's credit word
+    /// — a sweep that consumed nothing skips the (redundant) WRITE.
+    last_credit: u64,
 }
 
 // How a processed record is answered.
@@ -169,6 +176,91 @@ enum ReplyOut {
     Fresh { reply: ReplyFrame, remember: bool },
     /// Re-issue the stored last-reply WRITEs byte-for-byte.
     Retransmit,
+}
+
+// Outcome of validating one popped record — control decrypt plus the
+// at-most-once window check — before anything executes or any reply is
+// sealed. Splitting validation from execution and sealing lets the sharded
+// poll execute foreign-shard requests on the shard owning their key while
+// still sealing each client's replies in pop order (the `reply_seq` /
+// MAC-chain contract requires per-client in-order sealing).
+enum Validated {
+    /// Answered without executing: malformed frame, off-window oid, or a
+    /// cached acknowledgement from the at-most-once window.
+    Reject {
+        status: Status,
+        opcode: Opcode,
+        oid: u64,
+        remember: bool,
+    },
+    /// Same-session retransmit: re-issue the stored reply WRITEs.
+    Retransmit { status: Status, opcode: Opcode },
+    /// In-window (or an idempotently re-executable read): run against the
+    /// table partition owning the key.
+    Execute {
+        opcode: Opcode,
+        control: RequestControl,
+        frame: RequestFrame,
+    },
+}
+
+// What execution produced, before the reply is sealed. Sealing consumes
+// the per-session `reply_seq` and advances the reply MAC chain, so it must
+// happen in per-client pop order; execution may happen earlier — and, in
+// sharded mode, on a different shard than the one that popped the record.
+enum ReplyPlan {
+    /// A control-only reply (ok / error / cached ack) with `status`.
+    Control { status: Status, oid: u64 },
+    /// Busy backpressure (carries the configured retry hint).
+    Busy { oid: u64 },
+    /// A client-side-encryption get hit: key material + payload + MAC.
+    GetHit {
+        entry: EntryMeta,
+        payload: Vec<u8>,
+        mac: Tag,
+        oid: u64,
+    },
+    /// A server-encryption get hit: the plaintext is re-sealed for
+    /// transport at seal time, because the transport nonce uses the very
+    /// `reply_seq` the control reply consumes.
+    ServerEncGet { plain: Vec<u8>, oid: u64 },
+}
+
+// One popped record's deferred work in a sharded sweep: the meter its
+// charges accumulate into, plus what remains to be done with it.
+struct PendingAction {
+    meter: Meter,
+    kind: ActionKind,
+}
+
+enum ActionKind {
+    /// Parked in its owning shard's execution queue (phase B).
+    AwaitExec {
+        opcode: Opcode,
+        control: RequestControl,
+        frame: RequestFrame,
+    },
+    /// Executed (or answered without execution): seal + post in pop order.
+    Seal {
+        status: Status,
+        opcode: Opcode,
+        value_len: usize,
+        plan: ReplyPlan,
+        remember: bool,
+        /// Whether sealing updates the session's cached `last_status` —
+        /// only *executed* operations refresh the at-most-once window.
+        set_last: bool,
+        shard: u32,
+    },
+    /// Same-session retransmit: re-issue the stored WRITEs.
+    Retransmit { status: Status, opcode: Opcode },
+}
+
+// Per-client reply WRITEs coalesced over one sharded sweep: contiguous
+// ring chunks merge into one one-sided WRITE, posted at flush.
+#[derive(Default)]
+struct ReplyBatch {
+    writes: Vec<(usize, Vec<u8>)>,
 }
 
 /// The Precursor key-value store server.
@@ -183,7 +275,10 @@ pub struct PrecursorServer {
 
     // trusted side
     enclave: Enclave,
-    table: RobinHoodMap<Vec<u8>, EntryMeta>,
+    // The enclave index, partitioned into `Config::shards` Robin Hood
+    // shards keyed by a stable hash of the key (one partition per trusted
+    // polling worker, §3.8). One shard = the legacy unsharded table.
+    table: ShardedRobinHoodMap<Vec<u8>, EntryMeta>,
     sessions: Vec<Session>,
     storage_key: Key128,
     storage_seq: u64,
@@ -192,13 +287,14 @@ pub struct PrecursorServer {
     mutation_seq: u64,
     state_digest: [u8; 16],
 
-    // modelled enclave regions
+    // modelled enclave regions (one table region per shard, so each
+    // shard's EPC footprint grows independently with its own resizes)
     static_region: RegionId,
-    table_region: RegionId,
+    table_regions: Vec<RegionId>,
     misc_region: RegionId,
     client_region: RegionId,
     misc_touched: bool,
-    table_resizes_seen: u64,
+    table_resizes_seen: Vec<u64>,
 
     // untrusted side
     payload_mem: Memory,
@@ -211,9 +307,18 @@ pub struct PrecursorServer {
     reports_dropped: u64,
     // Per-client untrusted-pool bytes (slot capacities), for quotas.
     pool_used: Vec<usize>,
-    // Round-robin start of the next poll sweep.
+    // Round-robin start of the next poll sweep (single-shard mode).
     rr_cursor: usize,
+    // Per-worker round-robin cursors over each worker's owned clients
+    // (sharded mode).
+    rr_cursors: Vec<usize>,
     polls: u64,
+    // Credit write-backs actually posted (sweeps that consumed nothing
+    // skip the redundant WRITE).
+    credit_writes: u64,
+    // Requests popped by a worker whose shard did not own the key, handed
+    // across the shard-crossing queue.
+    handoffs: u64,
 
     // fault injection (tests/chaos harnesses); None = clean transport
     faults: Option<Arc<Mutex<FaultInjector>>>,
@@ -234,11 +339,16 @@ impl PrecursorServer {
         let mut enclave = Enclave::new(cost);
 
         let static_region = enclave.alloc_region("static", 8 * cost.page_bytes);
-        let table = RobinHoodMap::with_capacity(config.initial_table_slots);
-        let table_region = enclave.alloc_region(
-            "hash-table",
-            (table.capacity() * config.model_slot_bytes) as u64,
-        );
+        let shards = config.shards.max(1);
+        let table = ShardedRobinHoodMap::with_capacity(shards, config.initial_table_slots);
+        let table_regions: Vec<RegionId> = (0..shards)
+            .map(|s| {
+                enclave.alloc_region(
+                    "hash-table",
+                    (table.shard(s).capacity() * config.model_slot_bytes) as u64,
+                )
+            })
+            .collect();
         let misc_region = enclave.alloc_region("heap-misc", 13 * cost.page_bytes);
         let client_region =
             enclave.alloc_region("client-state", (config.max_clients * 64).max(64) as u64);
@@ -246,7 +356,9 @@ impl PrecursorServer {
         // Enclave initialization: code/data plus the initial table subset.
         let mut init_meter = Meter::new();
         enclave.touch_all(static_region, &mut init_meter, cost);
-        enclave.touch_all(table_region, &mut init_meter, cost);
+        for &region in &table_regions {
+            enclave.touch_all(region, &mut init_meter, cost);
+        }
 
         let storage_key = Key128::generate(&mut rng);
         PrecursorServer {
@@ -262,11 +374,11 @@ impl PrecursorServer {
             mutation_seq: 0,
             state_digest: [0u8; 16],
             static_region,
-            table_region,
+            table_regions,
             misc_region,
             client_region,
             misc_touched: false,
-            table_resizes_seen: 0,
+            table_resizes_seen: vec![0; shards],
             payload_mem: Memory::zeroed(config.pool_bytes),
             pool: SlabPool::new(config.pool_bytes),
             ports: Vec::new(),
@@ -274,7 +386,10 @@ impl PrecursorServer {
             reports_dropped: 0,
             pool_used: Vec::new(),
             rr_cursor: 0,
+            rr_cursors: vec![0; shards],
             polls: 0,
+            credit_writes: 0,
+            handoffs: 0,
             faults: None,
             adversary: None,
             saved_sessions: Vec::new(),
@@ -400,17 +515,31 @@ impl PrecursorServer {
     }
 
     /// The modelled enclave heap regions and their sizes in bytes
-    /// (diagnostics for the EPC analysis of §5.4).
+    /// (diagnostics for the EPC analysis of §5.4). With sharding there is
+    /// one `hash-table` region per shard.
     pub fn enclave_regions(&self) -> Vec<(&'static str, u64)> {
-        [
-            self.static_region,
-            self.table_region,
-            self.misc_region,
-            self.client_region,
-        ]
-        .into_iter()
-        .map(|r| (self.enclave.region_name(r), self.enclave.region_bytes(r)))
-        .collect()
+        std::iter::once(self.static_region)
+            .chain(self.table_regions.iter().copied())
+            .chain([self.misc_region, self.client_region])
+            .map(|r| (self.enclave.region_name(r), self.enclave.region_bytes(r)))
+            .collect()
+    }
+
+    /// Number of trusted polling shards ([`Config::shards`]).
+    pub fn shards(&self) -> usize {
+        self.config.shards.max(1)
+    }
+
+    /// Credit write-backs posted so far. Sweeps that consumed nothing from
+    /// a client's ring skip the WRITE (the credit word is unchanged).
+    pub fn credit_writes(&self) -> u64 {
+        self.credit_writes
+    }
+
+    /// Requests handed across shards so far: popped by a polling worker
+    /// whose shard did not own the key (sharded mode only).
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
     }
 
     /// An sgx-perf style report of the enclave (Table 1).
@@ -604,6 +733,7 @@ impl PrecursorServer {
             last_reply: Vec::new(),
             last_reply_bytes: Vec::new(),
             last_reply_end: 0,
+            last_credit: 0,
         };
         let bundle = ClientBundle {
             client_id,
@@ -708,10 +838,20 @@ impl PrecursorServer {
                 });
             }
         }
-        let n = self.ports.len();
-        if n == 0 {
+        if self.ports.is_empty() {
             return 0;
         }
+        if self.config.shards <= 1 {
+            self.poll_single()
+        } else {
+            self.poll_sharded()
+        }
+    }
+
+    // The single trusted polling thread (the pre-sharding code path, kept
+    // operation-for-operation identical so seeded runs reproduce).
+    fn poll_single(&mut self) -> usize {
+        let n = self.ports.len();
         let budget = self.config.poll_budget_per_client;
         let start = self.rr_cursor % n;
         self.rr_cursor = (start + 1) % n;
@@ -741,17 +881,237 @@ impl PrecursorServer {
                 processed += 1;
                 taken += 1;
             }
-            // Credit write-back: one small one-sided WRITE per sweep (§3.8,
-            // "periodically, these threads update clients about the newly
-            // available buffer slots using one-sided writes").
-            let port = self.ports[idx].as_mut().expect("live port");
-            let consumed = port.request_consumer.consumed();
-            let credit_rkey = port.credit_rkey;
-            let _ = port
-                .qp
-                .post_write(credit_rkey, 0, &consumed.to_le_bytes(), false);
+            self.post_credit_update(idx);
         }
         processed
+    }
+
+    // N trusted polling workers (§3.8: "multiple trusted polling
+    // threads"), simulated in deterministic order. Worker `w` owns the
+    // clients with `client_id % shards == w`. Each sweep runs in three
+    // phases:
+    //
+    //   A. every worker pops + validates its owned rings in pop order and
+    //      routes in-window requests to the shard owning the key — its
+    //      own execution queue, or a foreign shard's via the handoff
+    //      queue (charged `shard_handoff_cycles` + the control copy);
+    //   B. every shard drains its execution queue FIFO against its own
+    //      table partition;
+    //   C. every worker seals its clients' replies in per-client pop
+    //      order (preserving the reply_seq / MAC-chain contract), with
+    //      the sweep's reply WRITEs coalesced into batched posts and one
+    //      credit write-back per client.
+    fn poll_sharded(&mut self) -> usize {
+        let n = self.ports.len();
+        let shards = self.config.shards;
+        let budget = self.config.poll_budget_per_client;
+        let cost = self.cost.clone();
+        if self.rr_cursors.len() < shards {
+            self.rr_cursors.resize(shards, 0);
+        }
+
+        let mut actions: Vec<Vec<Option<PendingAction>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut exec_queues: Vec<VecDeque<(usize, usize)>> =
+            (0..shards).map(|_| VecDeque::new()).collect();
+        let mut swept: Vec<usize> = Vec::new();
+        let mut processed = 0usize;
+
+        // Phase A — worker sweeps: pop + validate, route to owning shard.
+        for w in 0..shards {
+            let owned: Vec<usize> = (w..n)
+                .step_by(shards)
+                .filter(|&i| self.ports[i].is_some() && self.sessions[i].active)
+                .collect();
+            if owned.is_empty() {
+                continue;
+            }
+            let start = self.rr_cursors[w] % owned.len();
+            self.rr_cursors[w] = (start + 1) % owned.len();
+            for step in 0..owned.len() {
+                let idx = owned[(start + step) % owned.len()];
+                swept.push(idx);
+                let mut taken = 0usize;
+                loop {
+                    if budget != 0 && taken >= budget {
+                        break;
+                    }
+                    let port = self.ports[idx].as_mut().expect("live port");
+                    let consumed = u64::from_le_bytes(
+                        port.reply_credit.read(0, 8).try_into().expect("8 bytes"),
+                    );
+                    port.reply_producer.update_credits(consumed);
+                    let record = {
+                        let ring = port.request_ring.clone();
+                        ring.with_mut(|buf| port.request_consumer.pop(buf))
+                    };
+                    let Some(record) = record else { break };
+                    processed += 1;
+                    taken += 1;
+                    let mut meter = Meter::new();
+                    let kind = match self.validate_record(idx, &record, &mut meter) {
+                        Validated::Reject {
+                            status,
+                            opcode,
+                            oid,
+                            remember,
+                        } => ActionKind::Seal {
+                            status,
+                            opcode,
+                            value_len: 0,
+                            plan: ReplyPlan::Control { status, oid },
+                            remember,
+                            set_last: false,
+                            shard: w as u32,
+                        },
+                        Validated::Retransmit { status, opcode } => {
+                            ActionKind::Retransmit { status, opcode }
+                        }
+                        Validated::Execute {
+                            opcode,
+                            control,
+                            frame,
+                        } => {
+                            let target = self.table.shard_of(&control.key);
+                            if target != w {
+                                // Shard-crossing handoff: the popping
+                                // worker copies the validated control into
+                                // the owning shard's queue.
+                                self.handoffs += 1;
+                                meter.charge(
+                                    Stage::Enclave,
+                                    cost.server_time(cost.memcpy(frame.sealed_control.len())),
+                                );
+                                meter.charge(
+                                    Stage::Enclave,
+                                    cost.server_time(Cycles(cost.shard_handoff_cycles)),
+                                );
+                            }
+                            exec_queues[target].push_back((idx, actions[idx].len()));
+                            ActionKind::AwaitExec {
+                                opcode,
+                                control,
+                                frame,
+                            }
+                        }
+                    };
+                    actions[idx].push(Some(PendingAction { meter, kind }));
+                }
+            }
+        }
+
+        // Phase B — per-shard FIFO execution against the owned partition.
+        for (s, queue) in exec_queues.iter_mut().enumerate() {
+            while let Some((idx, ai)) = queue.pop_front() {
+                let mut slot = actions[idx][ai].take().expect("pending action");
+                let ActionKind::AwaitExec {
+                    opcode,
+                    control,
+                    frame,
+                } = slot.kind
+                else {
+                    unreachable!("execution queues hold AwaitExec entries");
+                };
+                let session_key = self.sessions[idx].session_key.clone();
+                slot.kind = match self.execute_plan(
+                    idx,
+                    opcode,
+                    control,
+                    &frame,
+                    &session_key,
+                    &mut slot.meter,
+                ) {
+                    Ok((status, value_len, plan)) => ActionKind::Seal {
+                        status,
+                        opcode,
+                        value_len,
+                        plan,
+                        remember: true,
+                        set_last: true,
+                        shard: s as u32,
+                    },
+                    Err(_) => ActionKind::Seal {
+                        status: Status::Error,
+                        opcode: Opcode::Get,
+                        value_len: 0,
+                        plan: ReplyPlan::Control {
+                            status: Status::Error,
+                            oid: 0,
+                        },
+                        remember: false,
+                        set_last: false,
+                        shard: s as u32,
+                    },
+                };
+                actions[idx][ai] = Some(slot);
+            }
+        }
+
+        // Phase C — per-client in-order sealing + batched reply WRITEs +
+        // one credit write-back per swept client.
+        for &idx in &swept {
+            let mut batch = ReplyBatch::default();
+            for ai in 0..actions[idx].len() {
+                let mut slot = actions[idx][ai].take().expect("sealed once");
+                let (status, opcode, value_len, shard) = match slot.kind {
+                    ActionKind::Seal {
+                        status,
+                        opcode,
+                        value_len,
+                        plan,
+                        remember,
+                        set_last,
+                        shard,
+                    } => {
+                        if set_last {
+                            self.sessions[idx].last_status = status;
+                        }
+                        let reply = self.seal_plan(idx, opcode, plan, &mut slot.meter);
+                        self.charge_fixed_occupancy(opcode, &mut slot.meter);
+                        self.emit_fresh_batched(idx, reply, remember, &mut batch, &mut slot.meter);
+                        (status, opcode, value_len, shard)
+                    }
+                    ActionKind::Retransmit { status, opcode } => {
+                        // Preserve WRITE ordering: everything batched so
+                        // far lands before the retransmitted bytes.
+                        self.flush_reply_batch(idx, &mut batch);
+                        self.charge_fixed_occupancy(opcode, &mut slot.meter);
+                        self.emit_retransmit(idx, &mut slot.meter);
+                        (status, opcode, 0, (idx % shards) as u32)
+                    }
+                    ActionKind::AwaitExec { .. } => unreachable!("executed in phase B"),
+                };
+                self.push_report(OpReport {
+                    client_id: idx as u32,
+                    opcode,
+                    status,
+                    value_len,
+                    shard,
+                    meter: slot.meter,
+                });
+            }
+            self.flush_reply_batch(idx, &mut batch);
+            self.post_credit_update(idx);
+        }
+        processed
+    }
+
+    // Credit write-back: one small one-sided WRITE per sweep (§3.8,
+    // "periodically, these threads update clients about the newly
+    // available buffer slots using one-sided writes") — skipped when the
+    // sweep consumed nothing, so idle clients' credit words are not
+    // redundantly rewritten.
+    fn post_credit_update(&mut self, idx: usize) {
+        let port = self.ports[idx].as_mut().expect("live port");
+        let consumed = port.request_consumer.consumed();
+        if consumed == port.last_credit {
+            return;
+        }
+        port.last_credit = consumed;
+        let credit_rkey = port.credit_rkey;
+        let _ = port
+            .qp
+            .post_write(credit_rkey, 0, &consumed.to_le_bytes(), false);
+        self.credit_writes += 1;
     }
 
     /// Takes the per-operation reports accumulated by [`poll`](Self::poll).
@@ -761,39 +1121,99 @@ impl PrecursorServer {
 
     fn process_record(&mut self, idx: usize, record: Vec<u8>) {
         let mut meter = Meter::new();
-        let cost = self.cost.clone();
 
-        // Untrusted: the record was copied out of the ring by the poller.
-        meter.charge(
-            Stage::ServerCritical,
-            cost.server_time(cost.memcpy(record.len())),
-        );
-        meter.charge(
-            Stage::ServerCritical,
-            cost.server_time(Cycles(cost.rdma_poll_cycles)),
-        );
-
-        let (status, opcode, value_len, out) = match self.handle_frame(idx, &record, &mut meter) {
-            Ok(t) => t,
-            Err(_) => {
-                // Structurally invalid record: emit an error reply that at
-                // least unblocks the client (chain-linked like any other, so
-                // the client's verification stream stays contiguous).
-                let reply = self.error_reply(idx, Opcode::Get, Status::Error, 0, &mut meter);
-                (
-                    Status::Error,
-                    Opcode::Get,
-                    0,
-                    ReplyOut::Fresh {
-                        reply,
-                        remember: false,
-                    },
-                )
+        let (status, opcode, value_len, shard, out) = match self
+            .validate_record(idx, &record, &mut meter)
+        {
+            Validated::Reject {
+                status,
+                opcode,
+                oid,
+                remember,
+            } => {
+                let reply =
+                    self.seal_plan(idx, opcode, ReplyPlan::Control { status, oid }, &mut meter);
+                (status, opcode, 0, 0u32, ReplyOut::Fresh { reply, remember })
+            }
+            Validated::Retransmit { status, opcode } => {
+                (status, opcode, 0, 0u32, ReplyOut::Retransmit)
+            }
+            Validated::Execute {
+                opcode,
+                control,
+                frame,
+            } => {
+                let shard = self.table.shard_of(&control.key) as u32;
+                let session_key = self.sessions[idx].session_key.clone();
+                match self.execute_plan(idx, opcode, control, &frame, &session_key, &mut meter) {
+                    Ok((status, value_len, plan)) => {
+                        self.sessions[idx].last_status = status;
+                        let reply = self.seal_plan(idx, opcode, plan, &mut meter);
+                        (
+                            status,
+                            opcode,
+                            value_len,
+                            shard,
+                            ReplyOut::Fresh {
+                                reply,
+                                remember: true,
+                            },
+                        )
+                    }
+                    Err(_) => {
+                        // Store-level failure: emit an error reply that at
+                        // least unblocks the client (chain-linked like any
+                        // other, so the client's verification stream stays
+                        // contiguous).
+                        let reply = self.seal_plan(
+                            idx,
+                            Opcode::Get,
+                            ReplyPlan::Control {
+                                status: Status::Error,
+                                oid: 0,
+                            },
+                            &mut meter,
+                        );
+                        (
+                            Status::Error,
+                            Opcode::Get,
+                            0,
+                            shard,
+                            ReplyOut::Fresh {
+                                reply,
+                                remember: false,
+                            },
+                        )
+                    }
+                }
             }
         };
 
-        // Fixed per-op occupancy (fitted constants; DESIGN.md §4): part of it
-        // is on the request's critical path, the rest is polling overhead.
+        self.charge_fixed_occupancy(opcode, &mut meter);
+
+        // Write the reply into the client's reply ring (one-sided WRITE by
+        // the untrusted worker, §3.8).
+        match out {
+            ReplyOut::Fresh { reply, remember } => {
+                self.emit_fresh(idx, reply, remember, &mut meter)
+            }
+            ReplyOut::Retransmit => self.emit_retransmit(idx, &mut meter),
+        }
+
+        self.push_report(OpReport {
+            client_id: idx as u32,
+            opcode,
+            status,
+            value_len,
+            shard,
+            meter,
+        });
+    }
+
+    // Fixed per-op occupancy (fitted constants; DESIGN.md §4): part of it
+    // is on the request's critical path, the rest is polling overhead.
+    fn charge_fixed_occupancy(&mut self, opcode: Opcode, meter: &mut Meter) {
+        let cost = self.cost.clone();
         let mut fixed = cost.precursor_get_fixed;
         if opcode == Opcode::Put {
             fixed += cost.precursor_put_extra;
@@ -807,125 +1227,220 @@ impl PrecursorServer {
             Stage::ServerOverhead,
             cost.server_time(Cycles(fixed - critical.0)),
         );
+    }
 
-        // Write the reply into the client's reply ring (one-sided WRITE by
-        // the untrusted worker, §3.8).
-        match out {
-            ReplyOut::Fresh { reply, remember } => {
-                let bytes = reply.encode();
-                // Push into the producer first, collecting the ring WRITEs
-                // the honest host would post ...
-                let (writes, end, pushed) = {
-                    let port = self.ports[idx].as_mut().expect("live port");
-                    let mut writes = Vec::with_capacity(2);
-                    let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
-                        writes.push((off, chunk.to_vec()));
-                    });
-                    (writes, port.reply_producer.written(), pushed.is_some())
-                };
-                // ... then let the adversary (when installed) substitute,
-                // hold, or duplicate them before they hit the wire.
-                let posted = match &mut self.adversary {
-                    Some(adv) => adv.on_reply_record(idx as u32, writes.clone()),
-                    None => writes.clone(),
-                };
-                let port = self.ports[idx].as_mut().expect("live port");
-                let rkey = port.reply_ring_rkey;
-                for (off, chunk) in &posted {
-                    let _ = port.qp.post_write(rkey, *off, chunk, false);
-                }
-                if remember {
-                    // Remember the *honest* record for retransmissions —
-                    // retransmits bypass the adversary by design, so a
-                    // wronged client can always recover the real reply.
-                    port.last_reply = writes;
-                    port.last_reply_bytes = bytes.clone();
-                    port.last_reply_end = end;
-                }
-                // Metering stays that of the honest single post, so cost
-                // accounting is identical with and without an adversary.
+    // Posts a freshly sealed reply's ring WRITEs immediately (the
+    // single-shard path's per-record posting).
+    fn emit_fresh(&mut self, idx: usize, reply: ReplyFrame, remember: bool, meter: &mut Meter) {
+        let cost = self.cost.clone();
+        let bytes = reply.encode();
+        // Push into the producer first, collecting the ring WRITEs
+        // the honest host would post ...
+        let (writes, end, pushed) = {
+            let port = self.ports[idx].as_mut().expect("live port");
+            let mut writes = Vec::with_capacity(2);
+            let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
+                writes.push((off, chunk.to_vec()));
+            });
+            (writes, port.reply_producer.written(), pushed.is_some())
+        };
+        // ... then let the adversary (when installed) substitute,
+        // hold, or duplicate them before they hit the wire.
+        let posted = match &mut self.adversary {
+            Some(adv) => adv.on_reply_record(idx as u32, writes.clone()),
+            None => writes.clone(),
+        };
+        let port = self.ports[idx].as_mut().expect("live port");
+        let rkey = port.reply_ring_rkey;
+        for (off, chunk) in &posted {
+            let _ = port.qp.post_write(rkey, *off, chunk, false);
+        }
+        if remember {
+            // Remember the *honest* record for retransmissions —
+            // retransmits bypass the adversary by design, so a
+            // wronged client can always recover the real reply.
+            port.last_reply = writes;
+            port.last_reply_bytes = bytes.clone();
+            port.last_reply_end = end;
+        }
+        // Metering stays that of the honest single post, so cost
+        // accounting is identical with and without an adversary.
+        meter.counters_mut().rdma_posts += 1;
+        meter.counters_mut().tx_bytes += bytes.len() as u64;
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(Cycles(cost.rdma_post_cycles)),
+        );
+        if !pushed {
+            // Reply ring full: in the real system the worker would
+            // retry after the next credit update; the simulation's
+            // rings are sized to make this unreachable under the
+            // drivers.
+            debug_assert!(false, "reply ring full");
+        }
+    }
+
+    // Sharded-path variant of [`emit_fresh`]: instead of posting each
+    // record's WRITEs immediately, ring-contiguous chunks from one sweep
+    // are coalesced into the per-client [`ReplyBatch`] and posted together
+    // at the end of the sweep — the per-sweep reply batching of §3.8. With
+    // an adversary installed the per-record path is kept (batching would
+    // shrink its attack surface and change what the harness exercises).
+    fn emit_fresh_batched(
+        &mut self,
+        idx: usize,
+        reply: ReplyFrame,
+        remember: bool,
+        batch: &mut ReplyBatch,
+        meter: &mut Meter,
+    ) {
+        if self.adversary.is_some() {
+            self.emit_fresh(idx, reply, remember, meter);
+            return;
+        }
+        let cost = self.cost.clone();
+        let bytes = reply.encode();
+        let (writes, end, pushed) = {
+            let port = self.ports[idx].as_mut().expect("live port");
+            let mut writes = Vec::with_capacity(2);
+            let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
+                writes.push((off, chunk.to_vec()));
+            });
+            (writes, port.reply_producer.written(), pushed.is_some())
+        };
+        for (off, chunk) in &writes {
+            let mergeable = matches!(
+                batch.writes.last(),
+                Some((last_off, last_bytes)) if last_off + last_bytes.len() == *off
+            );
+            if mergeable {
+                let (_, last_bytes) = batch.writes.last_mut().expect("non-empty batch");
+                last_bytes.extend_from_slice(chunk);
+            } else {
+                batch.writes.push((*off, chunk.clone()));
+                // Only a chunk that opens a new coalesced WRITE pays the
+                // post; merged chunks ride along for free.
                 meter.counters_mut().rdma_posts += 1;
-                meter.counters_mut().tx_bytes += bytes.len() as u64;
-                meter.charge(
-                    Stage::ServerCritical,
-                    cost.server_time(Cycles(cost.rdma_post_cycles)),
-                );
-                if !pushed {
-                    // Reply ring full: in the real system the worker would
-                    // retry after the next credit update; the simulation's
-                    // rings are sized to make this unreachable under the
-                    // drivers.
-                    debug_assert!(false, "reply ring full");
-                }
-            }
-            ReplyOut::Retransmit => {
-                let port = self.ports[idx].as_mut().expect("live port");
-                let rkey = port.reply_ring_rkey;
-                let consumed =
-                    u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
-                if consumed >= port.last_reply_end && !port.last_reply_bytes.is_empty() {
-                    // The client already consumed past the remembered
-                    // record (it saw an adversary-substituted record there
-                    // and zeroed the slot): rewriting the old offsets would
-                    // deposit bytes into consumed ring space. Re-push the
-                    // remembered record as a fresh one instead — same
-                    // `reply_seq`, so the client dedups or late-accepts it.
-                    port.reply_producer.update_credits(consumed);
-                    let bytes = port.last_reply_bytes.clone();
-                    let mut writes = Vec::with_capacity(2);
-                    let _ = port.reply_producer.push_with(&bytes, |off, chunk| {
-                        writes.push((off, chunk.to_vec()));
-                    });
-                    for (off, chunk) in &writes {
-                        let _ = port.qp.post_write(rkey, *off, chunk, false);
-                        meter.counters_mut().rdma_posts += 1;
-                        meter.counters_mut().tx_bytes += chunk.len() as u64;
-                    }
-                    port.last_reply = writes;
-                    port.last_reply_end = port.reply_producer.written();
-                } else {
-                    // Re-issue the last reply's WRITEs verbatim: fills any
-                    // hole a dropped reply WRITE left in the client's reply
-                    // ring, without consuming a new reply sequence number.
-                    for (off, bytes) in &port.last_reply {
-                        let _ = port.qp.post_write(rkey, *off, bytes, false);
-                        meter.counters_mut().rdma_posts += 1;
-                        meter.counters_mut().tx_bytes += bytes.len() as u64;
-                    }
-                }
                 meter.charge(
                     Stage::ServerCritical,
                     cost.server_time(Cycles(cost.rdma_post_cycles)),
                 );
             }
         }
+        meter.counters_mut().tx_bytes += bytes.len() as u64;
+        let port = self.ports[idx].as_mut().expect("live port");
+        if remember {
+            port.last_reply = writes;
+            port.last_reply_bytes = bytes;
+            port.last_reply_end = end;
+        }
+        if !pushed {
+            debug_assert!(false, "reply ring full");
+        }
+    }
 
-        // Bounded report buffer: a caller that never drains take_reports()
-        // loses the oldest reports (counted) instead of growing memory.
+    // Posts every coalesced WRITE accumulated for `idx` this sweep.
+    fn flush_reply_batch(&mut self, idx: usize, batch: &mut ReplyBatch) {
+        if batch.writes.is_empty() {
+            return;
+        }
+        let port = self.ports[idx].as_mut().expect("live port");
+        let rkey = port.reply_ring_rkey;
+        for (off, chunk) in batch.writes.drain(..) {
+            let _ = port.qp.post_write(rkey, off, &chunk, false);
+        }
+    }
+
+    // Re-issues the remembered last reply of `idx` (retransmission path).
+    fn emit_retransmit(&mut self, idx: usize, meter: &mut Meter) {
+        let cost = self.cost.clone();
+        let port = self.ports[idx].as_mut().expect("live port");
+        let rkey = port.reply_ring_rkey;
+        let consumed =
+            u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
+        if consumed >= port.last_reply_end && !port.last_reply_bytes.is_empty() {
+            // The client already consumed past the remembered
+            // record (it saw an adversary-substituted record there
+            // and zeroed the slot): rewriting the old offsets would
+            // deposit bytes into consumed ring space. Re-push the
+            // remembered record as a fresh one instead — same
+            // `reply_seq`, so the client dedups or late-accepts it.
+            port.reply_producer.update_credits(consumed);
+            let bytes = port.last_reply_bytes.clone();
+            let mut writes = Vec::with_capacity(2);
+            let _ = port.reply_producer.push_with(&bytes, |off, chunk| {
+                writes.push((off, chunk.to_vec()));
+            });
+            for (off, chunk) in &writes {
+                let _ = port.qp.post_write(rkey, *off, chunk, false);
+                meter.counters_mut().rdma_posts += 1;
+                meter.counters_mut().tx_bytes += chunk.len() as u64;
+            }
+            port.last_reply = writes;
+            port.last_reply_end = port.reply_producer.written();
+        } else {
+            // Re-issue the last reply's WRITEs verbatim: fills any
+            // hole a dropped reply WRITE left in the client's reply
+            // ring, without consuming a new reply sequence number.
+            for (off, bytes) in &port.last_reply {
+                let _ = port.qp.post_write(rkey, *off, bytes, false);
+                meter.counters_mut().rdma_posts += 1;
+                meter.counters_mut().tx_bytes += bytes.len() as u64;
+            }
+        }
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(Cycles(cost.rdma_post_cycles)),
+        );
+    }
+
+    // Bounded report buffer: a caller that never drains take_reports()
+    // loses the oldest reports (counted) instead of growing memory.
+    fn push_report(&mut self, report: OpReport) {
         if self.reports.len() >= self.config.max_buffered_reports {
             self.reports.pop_front();
             self.reports_dropped += 1;
         }
-        self.reports.push_back(OpReport {
-            client_id: idx as u32,
-            opcode,
-            status,
-            value_len,
-            meter,
-        });
+        self.reports.push_back(report);
     }
 
-    #[allow(clippy::type_complexity)]
-    fn handle_frame(
-        &mut self,
-        idx: usize,
-        record: &[u8],
-        meter: &mut Meter,
-    ) -> Result<(Status, Opcode, usize, ReplyOut), StoreError> {
+    // Decodes, authenticates and window-checks one popped request record —
+    // everything that must happen in a client's pop order, but *before*
+    // the key-addressed table access. The result tells the caller whether
+    // to reply straight away ([`Validated::Reject`]), re-issue the stored
+    // reply ([`Validated::Retransmit`]), or route the request to the shard
+    // owning its key ([`Validated::Execute`]).
+    fn validate_record(&mut self, idx: usize, record: &[u8], meter: &mut Meter) -> Validated {
         let cost = self.cost.clone();
-        let frame = RequestFrame::decode(record)?;
+
+        // Untrusted: the record was copied out of the ring by the poller.
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(cost.memcpy(record.len())),
+        );
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(Cycles(cost.rdma_poll_cycles)),
+        );
+
+        // Structurally invalid records still earn an error reply that at
+        // least unblocks the client (chain-linked like any other, so the
+        // client's verification stream stays contiguous).
+        let Ok(frame) = RequestFrame::decode(record) else {
+            return Validated::Reject {
+                status: Status::Error,
+                opcode: Opcode::Get,
+                oid: 0,
+                remember: false,
+            };
+        };
         if frame.client_id as usize != idx {
-            return Err(StoreError::MalformedFrame);
+            return Validated::Reject {
+                status: Status::Error,
+                opcode: Opcode::Get,
+                oid: 0,
+                remember: false,
+            };
         }
         let opcode = frame.opcode;
 
@@ -941,35 +1456,22 @@ impl PrecursorServer {
             Stage::Enclave,
             cost.server_time(cost.aes_gcm(frame.sealed_control.len())),
         );
-        let control_plain = match gcm::open(&session_key, &frame.iv, &aad, &frame.sealed_control) {
-            Ok(p) => p,
-            Err(_) => {
-                let reply = self.error_reply(idx, opcode, Status::Error, 0, meter);
-                return Ok((
-                    Status::Error,
-                    opcode,
-                    0,
-                    ReplyOut::Fresh {
-                        reply,
-                        remember: false,
-                    },
-                ));
-            }
+        let Ok(control_plain) = gcm::open(&session_key, &frame.iv, &aad, &frame.sealed_control)
+        else {
+            return Validated::Reject {
+                status: Status::Error,
+                opcode,
+                oid: 0,
+                remember: false,
+            };
         };
-        let control = match RequestControl::decode(&control_plain) {
-            Ok(c) => c,
-            Err(_) => {
-                let reply = self.error_reply(idx, opcode, Status::Error, 0, meter);
-                return Ok((
-                    Status::Error,
-                    opcode,
-                    0,
-                    ReplyOut::Fresh {
-                        reply,
-                        remember: false,
-                    },
-                ));
-            }
+        let Ok(control) = RequestControl::decode(&control_plain) else {
+            return Validated::Reject {
+                status: Status::Error,
+                opcode,
+                oid: 0,
+                remember: false,
+            };
         };
 
         // Replay detection, relaxed to an at-most-once window (Algorithm 2,
@@ -983,16 +1485,12 @@ impl PrecursorServer {
         let expected = self.sessions[idx].expected_oid;
         let retransmit = control.oid != 0 && control.oid + 1 == expected;
         if control.oid != expected && !retransmit {
-            let reply = self.error_reply(idx, opcode, Status::Replay, control.oid, meter);
-            return Ok((
-                Status::Replay,
+            return Validated::Reject {
+                status: Status::Replay,
                 opcode,
-                0,
-                ReplyOut::Fresh {
-                    reply,
-                    remember: false,
-                },
-            ));
+                oid: control.oid,
+                remember: false,
+            };
         }
         if retransmit {
             let no_stored_reply = self.ports[idx]
@@ -1006,55 +1504,43 @@ impl PrecursorServer {
                 // Mutations must not run twice: acknowledge from the cached
                 // status.
                 if opcode == Opcode::Get {
-                    let (status, value_len, reply) =
-                        self.execute(idx, opcode, control, &frame, &session_key, meter)?;
-                    self.sessions[idx].last_status = status;
-                    return Ok((
-                        status,
+                    return Validated::Execute {
                         opcode,
-                        value_len,
-                        ReplyOut::Fresh {
-                            reply,
-                            remember: true,
-                        },
-                    ));
+                        control,
+                        frame,
+                    };
                 }
                 let cached = self.sessions[idx].last_status;
-                let reply = self.error_reply(idx, opcode, cached, control.oid, meter);
-                return Ok((
-                    cached,
+                return Validated::Reject {
+                    status: cached,
                     opcode,
-                    0,
-                    ReplyOut::Fresh {
-                        reply,
-                        remember: true,
-                    },
-                ));
+                    oid: control.oid,
+                    remember: true,
+                };
             }
             // Same session: re-issue the stored reply WRITEs verbatim
             // (fills a reply-ring hole; the client dedups by reply_seq).
             let cached = self.sessions[idx].last_status;
-            return Ok((cached, opcode, 0, ReplyOut::Retransmit));
+            return Validated::Retransmit {
+                status: cached,
+                opcode,
+            };
         }
         self.sessions[idx].expected_oid += 1;
-
-        let (status, value_len, reply) =
-            self.execute(idx, opcode, control, &frame, &session_key, meter)?;
-        self.sessions[idx].last_status = status;
-        Ok((
-            status,
+        Validated::Execute {
             opcode,
-            value_len,
-            ReplyOut::Fresh {
-                reply,
-                remember: true,
-            },
-        ))
+            control,
+            frame,
+        }
     }
 
-    // Executes a validated, in-window request against the store and builds
-    // its reply (the body of Algorithm 2).
-    fn execute(
+    // Executes a validated, in-window request against the store (the body
+    // of Algorithm 2) and returns a [`ReplyPlan`] describing the reply to
+    // seal. Sealing is deferred to [`seal_plan`] so that in sharded mode
+    // execution can happen in shard order while reply sequence numbers and
+    // the per-session MAC chain are still consumed in the client's pop
+    // order.
+    fn execute_plan(
         &mut self,
         idx: usize,
         opcode: Opcode,
@@ -1062,7 +1548,7 @@ impl PrecursorServer {
         frame: &RequestFrame,
         session_key: &Key128,
         meter: &mut Meter,
-    ) -> Result<(Status, usize, ReplyFrame), StoreError> {
+    ) -> Result<(Status, usize, ReplyPlan), StoreError> {
         let cost = self.cost.clone();
         if control.key.len() > self.config.max_key_bytes
             || frame.payload.len() > self.config.max_value_bytes + gcm::TAG_LEN
@@ -1070,7 +1556,10 @@ impl PrecursorServer {
             return Ok((
                 Status::Error,
                 0,
-                self.error_reply(idx, opcode, Status::Error, 0, meter),
+                ReplyPlan::Control {
+                    status: Status::Error,
+                    oid: 0,
+                },
             ));
         }
 
@@ -1080,17 +1569,16 @@ impl PrecursorServer {
                     return Ok((
                         Status::Error,
                         0,
-                        self.error_reply(idx, opcode, Status::Error, 0, meter),
+                        ReplyPlan::Control {
+                            status: Status::Error,
+                            oid: 0,
+                        },
                     ));
                 };
                 let value_len = frame.payload.len();
                 let inline = value_len <= self.config.inline_value_max;
                 if !inline && self.over_quota(idx, value_len + Tag::LEN) {
-                    return Ok((
-                        Status::Busy,
-                        0,
-                        self.busy_reply(idx, opcode, control.oid, meter),
-                    ));
+                    return Ok((Status::Busy, 0, ReplyPlan::Busy { oid: control.oid }));
                 }
                 let storage = if inline {
                     // Small-value extension: the encrypted value (and its
@@ -1121,7 +1609,10 @@ impl PrecursorServer {
                 Ok((
                     Status::Ok,
                     value_len,
-                    self.ok_reply(idx, opcode, control.oid, None, meter),
+                    ReplyPlan::Control {
+                        status: Status::Ok,
+                        oid: control.oid,
+                    },
                 ))
             }
             (Opcode::Put, EncryptionMode::ServerSide) => {
@@ -1130,11 +1621,7 @@ impl PrecursorServer {
                 // (Stored ciphertext has the same length as the transport
                 // ciphertext: plaintext + one GCM tag.)
                 if self.over_quota(idx, frame.payload.len()) {
-                    return Ok((
-                        Status::Busy,
-                        0,
-                        self.busy_reply(idx, opcode, control.oid, meter),
-                    ));
+                    return Ok((Status::Busy, 0, ReplyPlan::Busy { oid: control.oid }));
                 }
                 self.enclave
                     .copy_across_boundary(frame.payload.len(), meter, &cost);
@@ -1153,7 +1640,10 @@ impl PrecursorServer {
                         return Ok((
                             Status::Error,
                             0,
-                            self.error_reply(idx, opcode, Status::Error, 0, meter),
+                            ReplyPlan::Control {
+                                status: Status::Error,
+                                oid: 0,
+                            },
                         ))
                     }
                 };
@@ -1187,18 +1677,25 @@ impl PrecursorServer {
                 Ok((
                     Status::Ok,
                     value_len,
-                    self.ok_reply(idx, opcode, control.oid, None, meter),
+                    ReplyPlan::Control {
+                        status: Status::Ok,
+                        oid: control.oid,
+                    },
                 ))
             }
             (Opcode::Get, mode) => {
+                let shard = self.table.shard_of(&control.key);
                 let (found, stats) = self.table.get_tracked(&control.key);
                 let found = found.cloned();
-                self.charge_table_op(&stats, meter);
+                self.charge_table_op(shard, &stats, meter);
                 match found {
                     None => Ok((
                         Status::NotFound,
                         0,
-                        self.error_reply(idx, opcode, Status::NotFound, control.oid, meter),
+                        ReplyPlan::Control {
+                            status: Status::NotFound,
+                            oid: control.oid,
+                        },
                     )),
                     Some(entry) => match mode {
                         EncryptionMode::ClientSide => {
@@ -1225,18 +1722,23 @@ impl PrecursorServer {
                             };
                             let (payload, mac_bytes) = stored.split_at(entry.payload_len);
                             let mac = Tag::try_from(mac_bytes).expect("stored MAC is 16 bytes");
-                            let reply = self.ok_reply(
-                                idx,
-                                opcode,
-                                control.oid,
-                                Some((entry.clone(), payload.to_vec(), mac)),
-                                meter,
-                            );
-                            Ok((Status::Ok, entry.payload_len, reply))
+                            let value_len = entry.payload_len;
+                            Ok((
+                                Status::Ok,
+                                value_len,
+                                ReplyPlan::GetHit {
+                                    entry,
+                                    payload: payload.to_vec(),
+                                    mac,
+                                    oid: control.oid,
+                                },
+                            ))
                         }
                         EncryptionMode::ServerSide => {
-                            // Storage ciphertext crosses into the enclave, is
-                            // decrypted and re-encrypted for transport.
+                            // Storage ciphertext crosses into the enclave and
+                            // is decrypted here; re-encryption for transport
+                            // waits until seal time (it consumes the reply
+                            // sequence number).
                             let ValueStorage::Untrusted(range) = &entry.storage else {
                                 unreachable!("server-encryption mode never inlines");
                             };
@@ -1254,39 +1756,31 @@ impl PrecursorServer {
                                 &stored,
                             )
                             .expect("storage ciphertext is server-controlled");
-                            // The payload transport seal uses the same
-                            // reply_seq the control reply will consume, so
-                            // peek it; finish_reply increments it once.
-                            let seq = self.sessions[idx].reply_seq;
-                            meter.charge(
-                                Stage::Enclave,
-                                cost.server_time(cost.aes_gcm(plain.len())),
-                            );
-                            let transport =
-                                gcm::seal(session_key, &payload_reply_nonce(seq), &[], &plain);
-                            self.enclave
-                                .copy_across_boundary(transport.len(), meter, &cost);
-                            let reply = self.finish_reply(
-                                idx,
+                            let value_len = plain.len();
+                            Ok((
                                 Status::Ok,
-                                opcode,
-                                ReplyControl::basic(control.oid),
-                                transport,
-                                meter,
-                            );
-                            Ok((Status::Ok, plain.len(), reply))
+                                value_len,
+                                ReplyPlan::ServerEncGet {
+                                    plain,
+                                    oid: control.oid,
+                                },
+                            ))
                         }
                     },
                 }
             }
             (Opcode::Delete, _) => {
+                let shard = self.table.shard_of(&control.key);
                 let (removed, stats) = self.table.remove_tracked(&control.key);
-                self.charge_table_op(&stats, meter);
+                self.charge_table_op(shard, &stats, meter);
                 match removed {
                     None => Ok((
                         Status::NotFound,
                         0,
-                        self.error_reply(idx, opcode, Status::NotFound, control.oid, meter),
+                        ReplyPlan::Control {
+                            status: Status::NotFound,
+                            oid: control.oid,
+                        },
                     )),
                     Some(entry) => {
                         if let ValueStorage::Untrusted(range) = entry.storage {
@@ -1296,10 +1790,62 @@ impl PrecursorServer {
                         Ok((
                             Status::Ok,
                             0,
-                            self.ok_reply(idx, opcode, control.oid, None, meter),
+                            ReplyPlan::Control {
+                                status: Status::Ok,
+                                oid: control.oid,
+                            },
                         ))
                     }
                 }
+            }
+        }
+    }
+
+    // Seals one [`ReplyPlan`] into a [`ReplyFrame`], consuming the
+    // client's next reply sequence number and advancing its MAC chain.
+    // Must be called in the client's pop order.
+    fn seal_plan(
+        &mut self,
+        idx: usize,
+        opcode: Opcode,
+        plan: ReplyPlan,
+        meter: &mut Meter,
+    ) -> ReplyFrame {
+        match plan {
+            ReplyPlan::Control { status, oid } => self.finish_reply(
+                idx,
+                status,
+                opcode,
+                ReplyControl::basic(oid),
+                Vec::new(),
+                meter,
+            ),
+            ReplyPlan::Busy { oid } => self.busy_reply(idx, opcode, oid, meter),
+            ReplyPlan::GetHit {
+                entry,
+                payload,
+                mac,
+                oid,
+            } => self.ok_reply(idx, opcode, oid, Some((entry, payload, mac)), meter),
+            ReplyPlan::ServerEncGet { plain, oid } => {
+                let cost = self.cost.clone();
+                let session_key = self.sessions[idx].session_key.clone();
+                // The payload transport seal uses the same reply_seq the
+                // control reply will consume, so peek it; finish_reply
+                // increments it once.
+                let seq = self.sessions[idx].reply_seq;
+                meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(plain.len())));
+                let transport = gcm::seal(&session_key, &payload_reply_nonce(seq), &[], &plain);
+                self.enclave
+                    .copy_across_boundary(transport.len(), meter, &cost);
+                self.finish_reply(
+                    idx,
+                    Status::Ok,
+                    opcode,
+                    ReplyControl::basic(oid),
+                    transport,
+                    meter,
+                )
             }
         }
     }
@@ -1369,6 +1915,7 @@ impl PrecursorServer {
             let cost = self.cost.clone();
             self.enclave.touch_all(self.misc_region, meter, &cost);
         }
+        let shard = self.table.shard_of(&key);
         let (old, stats) = self.table.insert_tracked(key, meta);
         if let Some(old) = old {
             // Overwrite: the old payload slot is released (and un-charged
@@ -1379,40 +1926,41 @@ impl PrecursorServer {
             }
         }
         // Resize the modelled region before charging slot touches — the
-        // insert may have grown the table, and the touched slot indices
-        // refer to the *new* capacity.
-        self.sync_table_region(meter);
-        self.charge_table_op(&stats, meter);
+        // insert may have grown the shard's partition, and the touched
+        // slot indices refer to the *new* capacity.
+        self.sync_table_region(shard, meter);
+        self.charge_table_op(shard, &stats, meter);
     }
 
+    // Charges probes + shard-local slot touches of one table operation
+    // against the shard's modelled EPC region.
     fn charge_table_op(
         &mut self,
+        shard: usize,
         stats: &precursor_storage::robinhood::OpStats,
         meter: &mut Meter,
     ) {
         let cost = self.cost.clone();
         meter.charge(Stage::Enclave, cost.server_time(cost.ht_op(stats.probes)));
         let slot_bytes = self.config.model_slot_bytes as u64;
+        let region = self.table_regions[shard];
         for &slot in &stats.slots {
-            self.enclave.touch(
-                self.table_region,
-                slot as u64 * slot_bytes,
-                slot_bytes,
-                meter,
-                &cost,
-            );
+            self.enclave
+                .touch(region, slot as u64 * slot_bytes, slot_bytes, meter, &cost);
         }
     }
 
-    // After table growth, the modelled region grows and the rehash touches
-    // every page of the new table.
-    fn sync_table_region(&mut self, meter: &mut Meter) {
-        if self.table.resizes() != self.table_resizes_seen {
-            self.table_resizes_seen = self.table.resizes();
+    // After a shard's partition grows, its modelled region grows and the
+    // rehash touches every page of the new partition.
+    fn sync_table_region(&mut self, shard: usize, meter: &mut Meter) {
+        let resizes = self.table.shard(shard).resizes();
+        if resizes != self.table_resizes_seen[shard] {
+            self.table_resizes_seen[shard] = resizes;
             let cost = self.cost.clone();
-            let bytes = (self.table.capacity() * self.config.model_slot_bytes) as u64;
-            self.enclave.resize_region(self.table_region, bytes);
-            self.enclave.touch_all(self.table_region, meter, &cost);
+            let bytes = (self.table.shard(shard).capacity() * self.config.model_slot_bytes) as u64;
+            let region = self.table_regions[shard];
+            self.enclave.resize_region(region, bytes);
+            self.enclave.touch_all(region, meter, &cost);
         }
     }
 
@@ -1479,24 +2027,6 @@ impl PrecursorServer {
             None => (ReplyControl::basic(oid), Vec::new()),
         };
         self.finish_reply(idx, Status::Ok, opcode, control, payload, meter)
-    }
-
-    fn error_reply(
-        &mut self,
-        idx: usize,
-        opcode: Opcode,
-        status: Status,
-        oid: u64,
-        meter: &mut Meter,
-    ) -> ReplyFrame {
-        self.finish_reply(
-            idx,
-            status,
-            opcode,
-            ReplyControl::basic(oid),
-            Vec::new(),
-            meter,
-        )
     }
 
     // A Status::Busy backpressure reply carrying the configured retry hint.
@@ -1733,5 +2263,67 @@ mod tests {
         server.add_client([1; 16]).unwrap();
         assert_eq!(server.poll(), 0);
         assert!(server.take_reports().is_empty());
+    }
+
+    #[test]
+    fn idle_sweeps_post_no_credit_writes() {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::default(), &cost);
+        let mut client = crate::PrecursorClient::connect(&mut server, 7).unwrap();
+
+        // A connected-but-idle client earns no credit write-backs: nothing
+        // was consumed, so the credit word is already correct.
+        for _ in 0..10 {
+            server.poll();
+        }
+        assert_eq!(server.credit_writes(), 0, "idle sweep must not post");
+
+        // One executed op advances the consumer → exactly one credit WRITE.
+        client.put_sync(&mut server, b"k", b"v").unwrap();
+        let after_op = server.credit_writes();
+        assert!(after_op >= 1);
+
+        // Back to idle: the count must not move again.
+        for _ in 0..10 {
+            server.poll();
+        }
+        assert_eq!(server.credit_writes(), after_op);
+    }
+
+    #[test]
+    fn sharded_server_round_trips_and_reports_shards() {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::sharded(4), &cost);
+        assert_eq!(server.shards(), 4);
+        let mut clients: Vec<_> = (0..3)
+            .map(|i| crate::PrecursorClient::connect(&mut server, 100 + i).unwrap())
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            for k in 0..8u8 {
+                let key = [i as u8, k];
+                c.put_sync(&mut server, &key, &[k; 24]).unwrap();
+                assert_eq!(c.get_sync(&mut server, &key).unwrap(), vec![k; 24]);
+            }
+        }
+        clients[0].delete_sync(&mut server, &[0u8, 0]).unwrap();
+        assert!(clients[0].get_sync(&mut server, &[0u8, 0]).is_err());
+        // Reports carry a shard id inside range, and a 3-client workload
+        // over 4 shards with random keys crosses shards at least once.
+        let reports = server.take_reports();
+        assert!(!reports.is_empty());
+        assert!(reports.iter().all(|r| r.shard < 4));
+        assert!(server.handoffs() > 0, "foreign-shard keys must hand off");
+    }
+
+    #[test]
+    fn single_shard_mode_reports_shard_zero_and_never_hands_off() {
+        let cost = CostModel::default();
+        let mut server = PrecursorServer::new(Config::default(), &cost);
+        let mut client = crate::PrecursorClient::connect(&mut server, 9).unwrap();
+        for k in 0..16u8 {
+            client.put_sync(&mut server, &[k], &[k; 16]).unwrap();
+        }
+        assert!(server.take_reports().iter().all(|r| r.shard == 0));
+        assert_eq!(server.handoffs(), 0);
     }
 }

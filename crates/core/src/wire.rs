@@ -453,6 +453,20 @@ pub fn chain_input(
     out
 }
 
+/// The trusted polling shard owning `key` when the server runs with
+/// `shards` shards ([`Config::shards`](crate::Config)): the stable key hash
+/// reduced by the high bits. Every layer — server routing, the bench
+/// driver's poller pinning, and the test oracles — derives the same answer
+/// from the key bytes alone.
+pub fn shard_of_key(key: &[u8], shards: usize) -> usize {
+    // `[u8]` and `Vec<u8>` hash identically, so this matches the sharded
+    // table's own routing of its `Vec<u8>` keys.
+    precursor_storage::robinhood::shard_of_hash(
+        precursor_storage::robinhood::stable_key_hash(key),
+        shards,
+    )
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -716,5 +730,16 @@ mod tests {
     fn aad_binds_opcode_and_client() {
         assert_ne!(request_aad(Opcode::Put, 1), request_aad(Opcode::Get, 1));
         assert_ne!(request_aad(Opcode::Put, 1), request_aad(Opcode::Put, 2));
+    }
+
+    #[test]
+    fn shard_of_key_matches_sharded_table_routing() {
+        let table: precursor_storage::ShardedRobinHoodMap<Vec<u8>, ()> =
+            precursor_storage::ShardedRobinHoodMap::with_capacity(4, 64);
+        for i in 0..256u32 {
+            let key = format!("user{i}").into_bytes();
+            assert_eq!(shard_of_key(&key, 4), table.shard_of(&key));
+            assert_eq!(shard_of_key(&key, 1), 0);
+        }
     }
 }

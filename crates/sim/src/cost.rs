@@ -146,6 +146,11 @@ pub struct CostModel {
     pub poll_scan_per_client: u64,
     /// Client count at which the fixed occupancies were fitted (Fig. 4).
     pub poll_scan_baseline: usize,
+    /// Cycles for handing a validated request from the trusted poller that
+    /// popped it to the foreign shard owning its key — an in-enclave queue
+    /// enqueue/dequeue plus the cross-core cache-line transfer of the
+    /// control data \[arch; only charged with `Config::shards > 1`\].
+    pub shard_handoff_cycles: u64,
     /// Probability multiplier for EPC faults on the critical path when the
     /// working set exceeds the EPC (SGX paging keeps some residency locality;
     /// fitted so Fig. 7's paging CDF diverges from ≈p95).
@@ -203,6 +208,7 @@ impl Default for CostModel {
             client_think: Nanos(38_000),
             poll_scan_per_client: 260,
             poll_scan_baseline: 50,
+            shard_handoff_cycles: 600,
             epc_fault_locality: 0.12,
         }
     }

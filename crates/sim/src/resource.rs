@@ -195,6 +195,26 @@ impl Pool {
         Grant { start, end }
     }
 
+    /// [`acquire_partial`](Self::acquire_partial) on a *specific* server:
+    /// the job departs after its `critical` portion while the pinned server
+    /// stays occupied for the full `occupancy`. Returns
+    /// `(departure, end_of_occupancy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `critical > occupancy` or `server` is out of range.
+    pub fn acquire_partial_on(
+        &mut self,
+        server: usize,
+        ready: Nanos,
+        critical: Nanos,
+        occupancy: Nanos,
+    ) -> (Nanos, Nanos) {
+        assert!(critical <= occupancy, "critical part exceeds occupancy");
+        let g = self.acquire_on(server, ready, occupancy);
+        (g.start + critical, g.end)
+    }
+
     /// Total busy time across all servers.
     pub fn busy_time(&self) -> Nanos {
         self.busy
@@ -307,6 +327,20 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn acquire_partial_on_pins_and_splits() {
+        let mut p = Pool::new("pollers", 2);
+        // Two jobs pinned to server 0 queue behind each other even though
+        // server 1 is idle; each departs after its critical part.
+        let (d1, e1) = p.acquire_partial_on(0, Nanos(0), Nanos(3), Nanos(10));
+        let (d2, e2) = p.acquire_partial_on(0, Nanos(0), Nanos(3), Nanos(10));
+        assert_eq!((d1, e1), (Nanos(3), Nanos(10)));
+        assert_eq!((d2, e2), (Nanos(13), Nanos(20)));
+        // A job pinned to the idle server 1 starts immediately.
+        let (d3, _) = p.acquire_partial_on(1, Nanos(0), Nanos(3), Nanos(10));
+        assert_eq!(d3, Nanos(3));
+    }
 
     #[test]
     fn resource_fifo_queues() {

@@ -30,4 +30,4 @@ pub mod robinhood;
 
 pub use pool::{PoolRange, SlabPool};
 pub use ring::{RingConsumer, RingProducer};
-pub use robinhood::RobinHoodMap;
+pub use robinhood::{shard_of_hash, stable_key_hash, RobinHoodMap, ShardedRobinHoodMap};

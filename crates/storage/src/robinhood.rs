@@ -39,6 +39,26 @@ impl Hasher for FxHasher {
     }
 }
 
+/// The stable FxHash of a key — the same hash [`RobinHoodMap`] buckets by
+/// and [`shard_of_hash`] routes on. Exposed so every layer (server, bench
+/// driver, tests) derives identical shard routing from the key bytes alone.
+pub fn stable_key_hash<Q: Hash + ?Sized>(key: &Q) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// The shard owning `hash` among `shards` shards. Uses the *high* hash
+/// bits via a multiply-shift reduction, so shard routing is independent of
+/// the table's bucket choice (low bits) and — being a pure function of the
+/// hash — trivially stable under table resizes.
+pub fn shard_of_hash(hash: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (((hash >> 32) * shards as u64) >> 32) as usize
+}
+
 /// Probe statistics for one table operation, used for cost accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpStats {
@@ -103,9 +123,7 @@ impl<K: Hash + Eq, V> RobinHoodMap<K, V> {
     }
 
     fn hash_of<Q: Hash + ?Sized>(key: &Q) -> u64 {
-        let mut h = FxHasher::default();
-        key.hash(&mut h);
-        h.finish()
+        stable_key_hash(key)
     }
 
     fn mask(&self) -> usize {
@@ -387,6 +405,25 @@ impl<K: Hash + Eq, V> RobinHoodMap<K, V> {
         total as f64 / self.len as f64
     }
 
+    /// An order-independent digest of the map contents: the wrapping sum of
+    /// one FxHash per `(key, value)` pair. Two maps hold the same entries
+    /// iff their digests match (modulo hash collisions), regardless of slot
+    /// layout — so a [`ShardedRobinHoodMap`]'s merged digest can be compared
+    /// against an unsharded oracle.
+    pub fn state_digest(&self) -> u64
+    where
+        V: Hash,
+    {
+        self.iter()
+            .map(|(k, v)| {
+                let mut h = FxHasher::default();
+                k.hash(&mut h);
+                v.hash(&mut h);
+                h.finish()
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
+
     fn grow(&mut self) {
         let new_cap = self.slots.len() * 2;
         let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| None).collect());
@@ -417,6 +454,150 @@ impl<K: Hash + Eq, V> Extend<(K, V)> for RobinHoodMap<K, V> {
         for (k, v) in iter {
             self.insert(k, v);
         }
+    }
+}
+
+/// A hash map partitioned into `N` independent [`RobinHoodMap`] shards,
+/// keyed by [`shard_of_hash`] over the stable key hash (§3.8's per-thread
+/// enclave index partitioning). Each shard grows independently, so a hot
+/// shard resizing never stalls or rehashes the others.
+///
+/// With one shard this is exactly a [`RobinHoodMap`]: same hash, same
+/// bucket choice, same probe sequences — the degenerate case stays
+/// bit-identical to the unsharded table.
+#[derive(Debug, Clone)]
+pub struct ShardedRobinHoodMap<K, V> {
+    shards: Vec<RobinHoodMap<K, V>>,
+}
+
+impl<K: Hash + Eq, V> ShardedRobinHoodMap<K, V> {
+    /// Creates a map with `shards` shards and at least `total_slots` slots
+    /// overall, split evenly (each shard rounds up to a power of two,
+    /// minimum 8).
+    pub fn with_capacity(shards: usize, total_slots: usize) -> ShardedRobinHoodMap<K, V> {
+        let shards = shards.max(1);
+        let per_shard = (total_slots / shards).max(1);
+        ShardedRobinHoodMap {
+            shards: (0..shards)
+                .map(|_| RobinHoodMap::with_capacity(per_shard))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to.
+    pub fn shard_of<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
+        shard_of_hash(stable_key_hash(key), self.shards.len())
+    }
+
+    /// The shard at `idx` (for per-shard capacity/resize accounting).
+    pub fn shard(&self, idx: usize) -> &RobinHoodMap<K, V> {
+        &self.shards[idx]
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(RobinHoodMap::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(RobinHoodMap::is_empty)
+    }
+
+    /// Total allocated slots across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(RobinHoodMap::capacity).sum()
+    }
+
+    /// Inserts or replaces; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.insert_tracked(key, value).0
+    }
+
+    /// Like [`insert`](Self::insert) but also reports probe statistics
+    /// (slot indices are local to the owning shard).
+    pub fn insert_tracked(&mut self, key: K, value: V) -> (Option<V>, OpStats) {
+        let s = self.shard_of(&key);
+        self.shards[s].insert_tracked(key, value)
+    }
+
+    /// Looks up a key in its owning shard.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Like [`get`](Self::get) but also reports probe statistics.
+    pub fn get_tracked<Q>(&self, key: &Q) -> (Option<&V>, OpStats)
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.shards[self.shard_of(key)].get_tracked(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let s = self.shard_of(key);
+        self.shards[s].get_mut(key)
+    }
+
+    /// Removes a key from its owning shard.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.remove_tracked(key).0
+    }
+
+    /// Like [`remove`](Self::remove) but also reports probe statistics.
+    pub fn remove_tracked<Q>(&mut self, key: &Q) -> (Option<V>, OpStats)
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let s = self.shard_of(key);
+        self.shards[s].remove_tracked(key)
+    }
+
+    /// Whether any shard contains `key`.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Iterates over `(key, value)` pairs, shard by shard in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.shards.iter().flat_map(RobinHoodMap::iter)
+    }
+
+    /// The merged order-independent digest: the wrapping sum of the
+    /// per-shard [`RobinHoodMap::state_digest`]s, which by construction
+    /// equals the digest of an unsharded map holding the same entries.
+    pub fn state_digest(&self) -> u64
+    where
+        V: Hash,
+    {
+        self.shards
+            .iter()
+            .map(RobinHoodMap::state_digest)
+            .fold(0u64, u64::wrapping_add)
     }
 }
 
@@ -555,6 +736,61 @@ mod tests {
     fn memory_bytes_uses_given_slot_size() {
         let m: RobinHoodMap<u64, u64> = RobinHoodMap::with_capacity(1024);
         assert_eq!(m.memory_bytes(88), 1024 * 88);
+    }
+
+    #[test]
+    fn shard_of_hash_is_total_and_balanced() {
+        for shards in 1..=8usize {
+            let mut counts = vec![0u32; shards];
+            for i in 0u64..4_000 {
+                let s = shard_of_hash(stable_key_hash(&i), shards);
+                assert!(s < shards);
+                counts[s] += 1;
+            }
+            // FxHash avalanches, so no shard should be starved.
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(c > 0, "shard {s}/{shards} received no keys");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_plain_map_exactly() {
+        let mut plain: RobinHoodMap<u64, u64> = RobinHoodMap::with_capacity(16);
+        let mut sharded: ShardedRobinHoodMap<u64, u64> = ShardedRobinHoodMap::with_capacity(1, 16);
+        for i in 0..500u64 {
+            let (old_p, stats_p) = plain.insert_tracked(i, i * 3);
+            let (old_s, stats_s) = sharded.insert_tracked(i, i * 3);
+            assert_eq!(old_p, old_s);
+            assert_eq!(stats_p, stats_s, "probe sequences diverge at key {i}");
+        }
+        assert_eq!(plain.capacity(), sharded.capacity());
+        assert_eq!(plain.state_digest(), sharded.state_digest());
+    }
+
+    #[test]
+    fn sharded_map_merges_to_unsharded_oracle() {
+        let mut oracle: RobinHoodMap<u64, u64> = RobinHoodMap::new();
+        let mut sharded: ShardedRobinHoodMap<u64, u64> =
+            ShardedRobinHoodMap::with_capacity(4, 2048);
+        for i in 0..3_000u64 {
+            oracle.insert(i, i ^ 0xabcd);
+            sharded.insert(i, i ^ 0xabcd);
+        }
+        for i in (0..3_000u64).step_by(3) {
+            assert_eq!(oracle.remove(&i), sharded.remove(&i));
+        }
+        assert_eq!(oracle.len(), sharded.len());
+        assert_eq!(oracle.state_digest(), sharded.state_digest());
+        for i in 0..3_000u64 {
+            assert_eq!(oracle.get(&i), sharded.get(&i));
+        }
+        // Every key sits in exactly the shard the router names.
+        for s in 0..sharded.shard_count() {
+            for (k, _) in sharded.shard(s).iter() {
+                assert_eq!(sharded.shard_of(k), s);
+            }
+        }
     }
 
     #[test]

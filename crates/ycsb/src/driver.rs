@@ -148,6 +148,8 @@ struct OpCosts {
     reply_bytes: usize,
     server_critical: Nanos,
     server_occupancy: Nanos,
+    // Trusted polling shard that executed the op (0 outside sharded mode).
+    shard: usize,
 }
 
 /// A warmed-up system instance reusable across measurement points.
@@ -158,6 +160,10 @@ pub struct BenchSession {
     value_size: usize,
     seed: u64,
     measurements: u64,
+    // `Some(s)`: the server runs `s` trusted polling shards and the replay
+    // pins each op to its shard's dedicated poller core instead of the
+    // legacy any-of-12-threads pool (fig6 shard-scaling mode).
+    shards: Option<usize>,
 }
 
 impl BenchSession {
@@ -176,6 +182,66 @@ impl BenchSession {
         seed: u64,
         cost: &CostModel,
     ) -> BenchSession {
+        Self::build(
+            system,
+            value_size,
+            key_count,
+            warmup_keys,
+            max_clients,
+            seed,
+            cost,
+            None,
+        )
+    }
+
+    /// Like [`new`](Self::new), but runs the Precursor server with `shards`
+    /// trusted polling shards and replays each op's service time on the
+    /// poller core owning its shard (one core per shard, §3.8). Precursor
+    /// family only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_clients == 0`, `shards == 0`, or the system is
+    /// ShieldStore (which has no trusted polling shards).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_shards(
+        system: SystemKind,
+        value_size: usize,
+        key_count: u64,
+        warmup_keys: u64,
+        max_clients: usize,
+        seed: u64,
+        cost: &CostModel,
+        shards: usize,
+    ) -> BenchSession {
+        assert!(shards > 0, "need at least one shard");
+        assert!(
+            system != SystemKind::ShieldStore,
+            "ShieldStore has no trusted polling shards"
+        );
+        Self::build(
+            system,
+            value_size,
+            key_count,
+            warmup_keys,
+            max_clients,
+            seed,
+            cost,
+            Some(shards),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        system: SystemKind,
+        value_size: usize,
+        key_count: u64,
+        warmup_keys: u64,
+        max_clients: usize,
+        seed: u64,
+        cost: &CostModel,
+        shards: Option<usize>,
+    ) -> BenchSession {
         assert!(max_clients > 0, "need at least one client");
         let _ = key_count;
         let sut = match system {
@@ -189,6 +255,7 @@ impl BenchSession {
                     mode,
                     max_clients: max_clients + 1,
                     pool_bytes: pool_size_for(value_size, warmup_keys),
+                    shards: shards.unwrap_or(1),
                     ..Config::default()
                 };
                 let mut server = PrecursorServer::new(config, cost);
@@ -216,6 +283,7 @@ impl BenchSession {
             value_size,
             seed,
             measurements: 0,
+            shards,
         };
         session.warmup(warmup_keys);
         session
@@ -315,7 +383,12 @@ impl BenchSession {
         let mut rng = SimRng::seed_from(self.seed ^ (self.measurements << 32));
 
         // --- resources ---
-        let mut server_cpu = Pool::new("server-threads", cost.server_threads);
+        // Sharded mode dedicates one core per trusted polling shard; the
+        // legacy model uses the paper testbed's 12-thread worker pool.
+        let mut server_cpu = match self.shards {
+            Some(s) => Pool::new("trusted-pollers", s),
+            None => Pool::new("server-threads", cost.server_threads),
+        };
         let mut server_rx = Link::new("server-nic-rx", cost.rdma_one_way, cost.server_nic_gbps);
         let mut server_tx = Link::new("server-nic-tx", cost.rdma_one_way, cost.server_nic_gbps);
         // Six client machines; the sixth has a 40 Gb NIC and runs half the
@@ -357,6 +430,17 @@ impl BenchSession {
             ))
             .0,
         );
+        // Sharded mode: each poller core sweeps only the rings it owns —
+        // ceil(clients / shards) of them — so per-op scan occupancy shrinks
+        // with the shard count (the fig6 scaling effect). Charged in full
+        // (no calibration-baseline subtraction: the dedicated poller has no
+        // other work to hide the sweep behind).
+        let shard_scan: Option<Nanos> = self.shards.map(|s| {
+            let owned_rings = clients.div_ceil(s) as u64;
+            cost.server_time(precursor_sim::time::Cycles(
+                cost.poll_scan_per_client * owned_rings,
+            ))
+        });
 
         let mut gens: Vec<OpGenerator> = (0..clients)
             .map(|_| OpGenerator::new(workload.clone(), rng.fork()))
@@ -398,16 +482,31 @@ impl BenchSession {
             // poller pickup delay (OS/poll-loop noise)
             t_arrive += Nanos((250.0 * rng.lognormal(0.0, 0.8)) as u64);
 
-            let occupancy = if scan_adjust_cycles >= 0 {
-                costs.server_occupancy + scan_adjust
-            } else {
-                costs
-                    .server_occupancy
-                    .saturating_sub(scan_adjust)
-                    .max(costs.server_critical)
+            let (t_depart, _busy_until) = match (self.shards, shard_scan) {
+                (Some(s), Some(scan)) => {
+                    let occupancy = costs.server_occupancy + scan;
+                    // The op is served by the poller core owning its shard
+                    // — a hot shard queues on its own core while the others
+                    // idle, which is exactly the skew fig6 measures.
+                    server_cpu.acquire_partial_on(
+                        costs.shard % s,
+                        t_arrive,
+                        costs.server_critical,
+                        occupancy,
+                    )
+                }
+                _ => {
+                    let occupancy = if scan_adjust_cycles >= 0 {
+                        costs.server_occupancy + scan_adjust
+                    } else {
+                        costs
+                            .server_occupancy
+                            .saturating_sub(scan_adjust)
+                            .max(costs.server_critical)
+                    };
+                    server_cpu.acquire_partial(t_arrive, costs.server_critical, occupancy)
+                }
             };
-            let (t_depart, _busy_until) =
-                server_cpu.acquire_partial(t_arrive, costs.server_critical, occupancy);
 
             // reply: server NIC → client machine NIC
             let t_reply_at_machine = server_tx.transfer(t_depart, costs.reply_bytes);
@@ -493,6 +592,7 @@ impl BenchSession {
                     reply_bytes: report.meter.counters().tx_bytes as usize,
                     server_critical,
                     server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
+                    shard: report.shard as usize,
                 }
             }
             Sut::Shield { server, clients } => {
@@ -519,6 +619,7 @@ impl BenchSession {
                     reply_bytes: report.meter.counters().tx_bytes as usize,
                     server_critical,
                     server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
+                    shard: 0,
                 }
             }
         }
@@ -622,6 +723,26 @@ mod tests {
         assert!(c.throughput_ops > a.throughput_ops);
         // store grew only by the updates, not re-warmed
         assert!(session.sgx_report().working_set_pages < 200);
+    }
+
+    #[test]
+    fn shard_scaling_lifts_saturated_throughput() {
+        // 16 closed-loop clients saturate one poller core; four shards
+        // spread the same offered load over four cores (fig6).
+        let cost = CostModel::default();
+        let spec = WorkloadSpec::workload_c(32, 2_000);
+        let mut one =
+            BenchSession::with_shards(SystemKind::Precursor, 32, 2_000, 2_000, 16, 11, &cost, 1);
+        let mut four =
+            BenchSession::with_shards(SystemKind::Precursor, 32, 2_000, 2_000, 16, 11, &cost, 4);
+        let r1 = one.measure(&spec, 16, 4_000);
+        let r4 = four.measure(&spec, 16, 4_000);
+        assert!(
+            r4.throughput_ops > 1.5 * r1.throughput_ops,
+            "1 shard {} vs 4 shards {}",
+            r1.throughput_ops,
+            r4.throughput_ops
+        );
     }
 
     #[test]

@@ -33,10 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = FaultPlan::none()
         // B→A write #1: the first put's acknowledgement vanishes.
         .rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Drop, 1)
-        // B→A write #10: the big get's reply gets one bit flipped (the
-        // writes before it are the recovery of fault 1 — idle credit
-        // write-backs, the byte-replayed ack — and the blob put's reply).
-        .rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Corrupt, 10)
+        // B→A write #7: the big get's reply gets one bit flipped (the
+        // writes before it are the recovery of fault 1 — the byte-replayed
+        // ack and its credit updates — and the blob put's reply; idle
+        // sweeps post no credit write-backs).
+        .rule(FaultSite::Write, FaultDir::BtoA, FaultAction::Corrupt, 7)
         // A→B write #10: the QP drops to the error state mid-request.
         .rule(FaultSite::Write, FaultDir::AtoB, FaultAction::QpError, 10);
     server.set_fault_plan(plan, 42);

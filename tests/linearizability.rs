@@ -1,0 +1,337 @@
+//! Linearizability harness for multi-shard trusted polling.
+//!
+//! Four closed-loop clients pipeline batches of 2–3 operations each over a
+//! deliberately tiny keyspace, so operations on the same key constantly
+//! overlap in real time and cross shard boundaries (client ownership and
+//! key partition are independent hashes). Each client records an
+//! invoke/response history stamped from a global step counter; a
+//! Wing–Gong style checker then searches for a legal sequential witness of
+//! every per-key subhistory against a simple KV model.
+//!
+//! Environment knobs (same conventions as the chaos/byzantine suites):
+//!
+//! * `PRECURSOR_SWEEP_SEEDS` — seeds per shard count (default 20).
+//! * `PRECURSOR_SHARDS` — an extra shard count to sweep beyond {1, 2, 4}.
+
+use std::collections::{HashMap, HashSet};
+
+use precursor::wire::Status;
+use precursor::{Config, PrecursorClient, PrecursorServer};
+use precursor_sim::rng::SimRng;
+use precursor_sim::CostModel;
+
+const CLIENTS: usize = 4;
+const ROUNDS: usize = 10;
+const KEYS: u64 = 6;
+
+// --- history model ------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Kind {
+    /// Put of a globally unique value (so reads identify their writer).
+    Put(Vec<u8>),
+    /// Get observing `Some(value)` or `None` (NotFound).
+    Get(Option<Vec<u8>>),
+    /// Delete observing whether the key existed (Ok vs NotFound).
+    Delete(bool),
+}
+
+#[derive(Debug, Clone)]
+struct HistOp {
+    key: u8,
+    kind: Kind,
+    invoke: u64,
+    response: u64,
+}
+
+// Applies `kind` to the per-key sequential model state; `None` = the
+// observation is impossible in that state.
+#[allow(clippy::option_option)]
+fn apply(state: &Option<Vec<u8>>, kind: &Kind) -> Option<Option<Vec<u8>>> {
+    match kind {
+        Kind::Put(v) => Some(Some(v.clone())),
+        Kind::Get(obs) => (obs == state).then(|| state.clone()),
+        Kind::Delete(existed) => (*existed == state.is_some()).then_some(None),
+    }
+}
+
+// Wing–Gong search: repeatedly linearize one *minimal* operation (no other
+// pending op responded before it was invoked) that the model accepts,
+// memoizing failed (done-set, state) pairs.
+fn linearizable(ops: &[&HistOp]) -> bool {
+    assert!(ops.len() <= 128, "mask width");
+    let all: u128 = if ops.len() == 128 {
+        u128::MAX
+    } else {
+        (1u128 << ops.len()) - 1
+    };
+    let mut failed: HashSet<(u128, Option<Vec<u8>>)> = HashSet::new();
+    search(ops, 0, all, None, &mut failed)
+}
+
+fn search(
+    ops: &[&HistOp],
+    done: u128,
+    all: u128,
+    state: Option<Vec<u8>>,
+    failed: &mut HashSet<(u128, Option<Vec<u8>>)>,
+) -> bool {
+    if done == all {
+        return true;
+    }
+    if failed.contains(&(done, state.clone())) {
+        return false;
+    }
+    let min_resp = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done & (1 << i) == 0)
+        .map(|(_, o)| o.response)
+        .min()
+        .expect("undone op exists");
+    for (i, op) in ops.iter().enumerate() {
+        if done & (1 << i) != 0 || op.invoke > min_resp {
+            continue;
+        }
+        if let Some(next) = apply(&state, &op.kind) {
+            if search(ops, done | (1 << i), all, next, failed) {
+                return true;
+            }
+        }
+    }
+    failed.insert((done, state));
+    false
+}
+
+fn check_history(history: &[HistOp]) -> Result<(), String> {
+    let keys: HashSet<u8> = history.iter().map(|o| o.key).collect();
+    for key in keys {
+        let ops: Vec<&HistOp> = history.iter().filter(|o| o.key == key).collect();
+        if !linearizable(&ops) {
+            return Err(format!(
+                "key {key}: no linearization of {} ops: {ops:?}",
+                ops.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+// --- execution ----------------------------------------------------------
+
+// Runs one seeded multi-client workload against a `shards`-shard server,
+// returning the recorded invoke/response history. Each round pipelines
+// 2–3 ops per client before any polling, so the ops of a round are
+// mutually concurrent (and, in sharded mode, execute across shards); the
+// round is then fully drained.
+fn run_history(shards: usize, seed: u64) -> Vec<HistOp> {
+    let cost = CostModel::default();
+    let config = Config {
+        shards,
+        max_clients: CLIENTS + 1,
+        ..Config::default()
+    };
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut clients: Vec<PrecursorClient> = (0..CLIENTS)
+        .map(|i| {
+            PrecursorClient::connect(&mut server, seed ^ ((i as u64 + 1) << 16)).expect("connect")
+        })
+        .collect();
+    let mut rng = SimRng::seed_from(seed ^ 0x11ea);
+    let mut history: Vec<HistOp> = Vec::new();
+    let mut step = 0u64;
+    let mut put_counter = 0u64;
+
+    for _round in 0..ROUNDS {
+        let mut pending: Vec<HashMap<u64, usize>> = vec![HashMap::new(); CLIENTS];
+        for (c, client) in clients.iter_mut().enumerate() {
+            let depth = 2 + rng.gen_range(2) as usize;
+            for _ in 0..depth {
+                let key = rng.gen_range(KEYS) as u8;
+                let (oid, kind) = match rng.gen_range(4) {
+                    0 | 1 => {
+                        put_counter += 1;
+                        let mut val = put_counter.to_le_bytes().to_vec();
+                        val.push(c as u8);
+                        let oid = client.put(&[key], &val).expect("put send");
+                        (oid, Kind::Put(val))
+                    }
+                    2 => (client.get(&[key]).expect("get send"), Kind::Get(None)),
+                    _ => (
+                        client.delete(&[key]).expect("delete send"),
+                        Kind::Delete(false),
+                    ),
+                };
+                history.push(HistOp {
+                    key,
+                    kind,
+                    invoke: step,
+                    response: u64::MAX,
+                });
+                step += 1;
+                pending[c].insert(oid, history.len() - 1);
+            }
+        }
+        // Drain the round: sweep until the server finds nothing, letting
+        // clients consume replies (and free credits) between sweeps.
+        loop {
+            let n = server.poll();
+            for client in clients.iter_mut() {
+                client.poll_replies();
+            }
+            if n == 0 {
+                break;
+            }
+        }
+        for (c, client) in clients.iter_mut().enumerate() {
+            for comp in client.take_all_completed() {
+                let i = pending[c].remove(&comp.oid).expect("completion known");
+                assert!(
+                    comp.error.is_none(),
+                    "fault-free run must not error: {:?}",
+                    comp.error
+                );
+                match &mut history[i].kind {
+                    Kind::Put(_) => assert_eq!(comp.status, Status::Ok),
+                    Kind::Get(obs) => match comp.status {
+                        Status::Ok => *obs = Some(comp.value.clone().expect("get value")),
+                        Status::NotFound => *obs = None,
+                        s => panic!("unexpected get status {s:?}"),
+                    },
+                    Kind::Delete(existed) => match comp.status {
+                        Status::Ok => *existed = true,
+                        Status::NotFound => *existed = false,
+                        s => panic!("unexpected delete status {s:?}"),
+                    },
+                }
+                history[i].response = step;
+                step += 1;
+            }
+            assert!(pending[c].is_empty(), "round must drain fully");
+        }
+    }
+    history
+}
+
+fn sweep_seeds() -> u64 {
+    std::env::var("PRECURSOR_SWEEP_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20)
+}
+
+fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    if let Some(extra) = std::env::var("PRECURSOR_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        if extra > 0 && !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+// --- tests --------------------------------------------------------------
+
+#[test]
+fn multi_shard_histories_are_linearizable() {
+    let seeds = sweep_seeds();
+    let mut violations = Vec::new();
+    let mut ops_checked = 0usize;
+    for shards in shard_counts() {
+        for seed in 0..seeds {
+            let history = run_history(
+                shards,
+                seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (shards as u64) << 48,
+            );
+            ops_checked += history.len();
+            if let Err(e) = check_history(&history) {
+                violations.push(format!("shards={shards} seed={seed}: {e}"));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "linearizability violations:\n{}",
+        violations.join("\n")
+    );
+    assert!(ops_checked > 0);
+}
+
+#[test]
+fn histories_exercise_real_concurrency() {
+    // Sanity: the harness records overlapping ops (otherwise the checker
+    // never faces a choice and the suite proves nothing).
+    let history = run_history(4, 0xC0);
+    let overlapping = history.iter().enumerate().any(|(i, a)| {
+        history[i + 1..]
+            .iter()
+            .any(|b| a.invoke < b.response && b.invoke < a.response)
+    });
+    assert!(overlapping, "workload must contain concurrent ops");
+}
+
+#[test]
+fn checker_accepts_sequential_and_concurrent_witnesses() {
+    let put = |key, val: &[u8], invoke, response| HistOp {
+        key,
+        kind: Kind::Put(val.to_vec()),
+        invoke,
+        response,
+    };
+    let get = |key, obs: Option<&[u8]>, invoke, response| HistOp {
+        key,
+        kind: Kind::Get(obs.map(<[u8]>::to_vec)),
+        invoke,
+        response,
+    };
+    // Sequential: put then read-back.
+    assert!(check_history(&[put(1, b"a", 0, 1), get(1, Some(b"a"), 2, 3)]).is_ok());
+    // Concurrent get may linearize before OR after the overlapping put.
+    assert!(check_history(&[put(1, b"a", 0, 3), get(1, None, 1, 2)]).is_ok());
+    assert!(check_history(&[put(1, b"a", 0, 3), get(1, Some(b"a"), 1, 2)]).is_ok());
+}
+
+#[test]
+fn checker_rejects_non_linearizable_histories() {
+    let put = |key, val: &[u8], invoke, response| HistOp {
+        key,
+        kind: Kind::Put(val.to_vec()),
+        invoke,
+        response,
+    };
+    let get = |key, obs: Option<&[u8]>, invoke, response| HistOp {
+        key,
+        kind: Kind::Get(obs.map(<[u8]>::to_vec)),
+        invoke,
+        response,
+    };
+    // Lost update: a completed put must be visible to a later get.
+    assert!(check_history(&[put(1, b"a", 0, 1), get(1, None, 2, 3)]).is_err());
+    // Phantom value: a get may never observe a value nobody wrote.
+    assert!(check_history(&[put(1, b"a", 0, 1), get(1, Some(b"b"), 2, 3)]).is_err());
+    // Stale rewind: once a newer value is observed, an older one may not
+    // reappear for a strictly later read.
+    assert!(check_history(&[
+        put(1, b"a", 0, 1),
+        put(1, b"b", 2, 3),
+        get(1, Some(b"b"), 4, 5),
+        get(1, Some(b"a"), 6, 7),
+    ])
+    .is_err());
+    // Delete visibility: a completed delete hides the value from later
+    // reads.
+    assert!(check_history(&[
+        put(1, b"a", 0, 1),
+        HistOp {
+            key: 1,
+            kind: Kind::Delete(true),
+            invoke: 2,
+            response: 3
+        },
+        get(1, Some(b"a"), 4, 5),
+    ])
+    .is_err());
+}

@@ -101,3 +101,96 @@ fn store_matches_model_tiny_rings() {
         ..Config::default()
     });
 }
+
+#[test]
+fn store_matches_model_multi_shard() {
+    // The full stack with a partitioned table + handoff queues must stay
+    // indistinguishable from the sequential model.
+    run_cases(0x54a2d, 24, 59, || Config::sharded(4));
+}
+
+// --- shard-routing properties -------------------------------------------
+
+mod shard_routing {
+    use precursor::wire::shard_of_key;
+    use precursor_sim::rng::SimRng;
+    use precursor_storage::{shard_of_hash, stable_key_hash, RobinHoodMap, ShardedRobinHoodMap};
+
+    fn random_key(rng: &mut SimRng) -> Vec<u8> {
+        let mut k = vec![0u8; 1 + rng.gen_range(32) as usize];
+        rng.fill_bytes(&mut k);
+        k
+    }
+
+    #[test]
+    fn every_key_routes_to_exactly_one_in_range_shard() {
+        let mut rng = SimRng::seed_from(0x50571);
+        for _ in 0..2_000 {
+            let key = random_key(&mut rng);
+            let hash = stable_key_hash(key.as_slice());
+            for shards in [1usize, 2, 3, 4, 7, 8, 16] {
+                let s = shard_of_hash(hash, shards);
+                assert!(s < shards, "{s} out of range for {shards}");
+                // Routing is a pure function of (hash, shards): the wire
+                // helper, fed the same bytes, lands on the same shard.
+                assert_eq!(s, shard_of_key(&key, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_under_insert_delete_resize() {
+        // Grow a sharded map through several resizes, with interleaved
+        // deletes; each key's shard assignment never moves.
+        let mut rng = SimRng::seed_from(0xe512e);
+        let mut map: ShardedRobinHoodMap<Vec<u8>, u64> = ShardedRobinHoodMap::with_capacity(4, 16);
+        let mut homes: Vec<(Vec<u8>, usize)> = Vec::new();
+        for i in 0..3_000u64 {
+            let key = random_key(&mut rng);
+            let home = map.shard_of(&key);
+            map.insert(key.clone(), i);
+            homes.push((key, home));
+            if i % 5 == 0 {
+                let (victim, victim_home) =
+                    homes[rng.gen_range(homes.len() as u64) as usize].clone();
+                assert_eq!(map.shard_of(&victim), victim_home);
+                map.remove(&victim);
+            }
+        }
+        for (key, home) in &homes {
+            assert_eq!(map.shard_of(key), *home, "resize moved a key's shard");
+        }
+    }
+
+    #[test]
+    fn sharded_map_aggregates_match_unsharded_oracle() {
+        let mut rng = SimRng::seed_from(0x0ac1e);
+        for shards in [1usize, 2, 4, 8] {
+            let mut sharded: ShardedRobinHoodMap<Vec<u8>, u64> =
+                ShardedRobinHoodMap::with_capacity(shards, 64);
+            let mut oracle: RobinHoodMap<Vec<u8>, u64> = RobinHoodMap::with_capacity(64);
+            for i in 0..1_200u64 {
+                let key = random_key(&mut rng);
+                match rng.gen_range(4) {
+                    0 => {
+                        sharded.remove(&key);
+                        oracle.remove(&key);
+                    }
+                    _ => {
+                        sharded.insert(key.clone(), i);
+                        oracle.insert(key, i);
+                    }
+                }
+                assert_eq!(sharded.len(), oracle.len());
+            }
+            assert_eq!(
+                sharded.state_digest(),
+                oracle.state_digest(),
+                "{shards}-shard digest must equal the unsharded oracle"
+            );
+            for (k, v) in oracle.iter() {
+                assert_eq!(sharded.get(k), Some(v));
+            }
+        }
+    }
+}
