@@ -7,7 +7,7 @@
 
 use precursor_bench::{banner, kops, print_table, repeat, write_csv, Scale};
 use precursor_sim::CostModel;
-use precursor_ycsb::driver::{BenchSession, SystemKind};
+use precursor_ycsb::driver::{BenchSession, SessionParams, SystemKind};
 use precursor_ycsb::workload::WorkloadSpec;
 
 const VALUE: usize = 32;
@@ -107,16 +107,13 @@ fn main() {
     let mut shard_tput = Vec::new();
     let mut shard_rows = Vec::new();
     for &s in &SHARDS {
-        let mut session = BenchSession::with_shards(
-            SystemKind::Precursor,
-            VALUE,
-            scale.warmup_keys,
-            scale.warmup_keys,
-            SHARD_CLIENTS,
-            0xF16B,
-            &cost,
-            s,
-        );
+        let mut session = SessionParams::new(SystemKind::Precursor)
+            .value_size(VALUE)
+            .keys(scale.warmup_keys, scale.warmup_keys)
+            .max_clients(SHARD_CLIENTS)
+            .seed(0xF16B)
+            .shards(s)
+            .build(&cost);
         let (mean, _) = repeat(scale.repetitions, |_| {
             session
                 .measure(&spec, SHARD_CLIENTS, scale.measure_ops)

@@ -1,0 +1,335 @@
+//! The unified trusted key-value backend abstraction.
+//!
+//! The paper's evaluation compares three systems — Precursor with
+//! client-side encryption, the conventional server-encryption scheme on the
+//! same data path, and the ShieldStore baseline — over one driver and one
+//! workload generator (§5.1). [`TrustedKv`] captures the surface that
+//! comparison needs: session lifecycle (connect), asynchronous op submit,
+//! the server polling step, client-side reply collection, and the per-op
+//! report/metering stream the discrete-event replay consumes.
+//!
+//! The trait is object-safe so the YCSB driver holds one
+//! `Box<dyn TrustedKv>` and runs every backend through the identical hot
+//! loop — zero per-system dispatch beyond construction. Backends translate
+//! their native op/status vocabularies into the uniform [`KvOp`] /
+//! [`KvStatus`] / [`KvCompleted`] / [`KvOpReport`] types; a backend without
+//! trusted polling shards reports `shard == 0` for every op.
+//!
+//! [`PrecursorBackend`] (both encryption modes, selected by
+//! [`Config::mode`]) lives here; the ShieldStore implementor lives in
+//! `precursor_shieldstore::backend` next to the types it adapts.
+
+use precursor_sgx::SgxPerfReport;
+use precursor_sim::meter::Meter;
+use precursor_sim::CostModel;
+
+use crate::client::PrecursorClient;
+use crate::config::Config;
+use crate::error::StoreError;
+use crate::server::PrecursorServer;
+use crate::wire::{Opcode, Status};
+
+/// Operation kinds every trusted KV backend supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOp {
+    /// Insert or update a key.
+    Put,
+    /// Query a key.
+    Get,
+    /// Remove a key.
+    Delete,
+}
+
+impl From<Opcode> for KvOp {
+    fn from(op: Opcode) -> KvOp {
+        match op {
+            Opcode::Put => KvOp::Put,
+            Opcode::Get => KvOp::Get,
+            Opcode::Delete => KvOp::Delete,
+        }
+    }
+}
+
+/// Uniform operation outcome across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvStatus {
+    /// Success.
+    Ok,
+    /// Key absent.
+    NotFound,
+    /// Sequence-number check failed (replay detected).
+    Replay,
+    /// Authentication, framing, or size failure.
+    Error,
+    /// The server is shedding load; retry later.
+    Busy,
+}
+
+impl From<Status> for KvStatus {
+    fn from(s: Status) -> KvStatus {
+        match s {
+            Status::Ok => KvStatus::Ok,
+            Status::NotFound => KvStatus::NotFound,
+            Status::Replay => KvStatus::Replay,
+            Status::Error => KvStatus::Error,
+            Status::Busy => KvStatus::Busy,
+        }
+    }
+}
+
+/// A finished operation as observed at a client, in backend-neutral form.
+#[derive(Debug, Clone)]
+pub struct KvCompleted {
+    /// The operation's sequence number.
+    pub oid: u64,
+    /// Operation kind.
+    pub op: KvOp,
+    /// Server-reported outcome.
+    pub status: KvStatus,
+    /// Decrypted value for successful gets.
+    pub value: Option<Vec<u8>>,
+}
+
+/// One per-operation server-side report, in backend-neutral form.
+#[derive(Debug, Clone)]
+pub struct KvOpReport {
+    /// Issuing client.
+    pub client_id: u32,
+    /// Operation kind.
+    pub op: KvOp,
+    /// Outcome.
+    pub status: KvStatus,
+    /// Plaintext value bytes involved.
+    pub value_len: usize,
+    /// Trusted polling shard that executed the op — `0` for backends
+    /// without sharded trusted polling.
+    pub shard: u32,
+    /// Server-side cost charges for this operation.
+    pub meter: Meter,
+}
+
+/// The transport family a backend speaks — drives the network leg of the
+/// discrete-event replay (RNIC QP cache vs. kernel-TCP latency + jitter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// One-sided RDMA rings (Precursor family).
+    Rdma,
+    /// Kernel TCP sockets (ShieldStore).
+    Tcp,
+}
+
+/// A trusted key-value system under test: one server plus its connected
+/// clients, driven through a backend-neutral session/submit/poll/report
+/// surface.
+///
+/// Contract expected by the driver and the cross-backend suites:
+///
+/// * [`connect`](Self::connect) appends a client and returns its dense
+///   index; all later per-client calls take that index.
+/// * [`submit`](Self::submit) enqueues one op without waiting;
+///   [`poll`](Self::poll) runs one server sweep and returns how many
+///   requests it processed; [`poll_replies`](Self::poll_replies) drains the
+///   client's reply ring/socket.
+/// * [`take_reports`](Self::take_reports) yields exactly one
+///   [`KvOpReport`] per processed request, in processing order.
+/// * Meters are cumulative until taken: the driver brackets each op with
+///   [`take_client_meter`](Self::take_client_meter) calls.
+pub trait TrustedKv {
+    /// Human-readable backend name for tables and error messages.
+    fn name(&self) -> &'static str;
+
+    /// The transport family the backend speaks.
+    fn transport(&self) -> Transport;
+
+    /// Connects one more client (attestation + session establishment) and
+    /// returns its index.
+    fn connect(&mut self, seed: u64) -> Result<usize, StoreError>;
+
+    /// Number of connected clients.
+    fn clients(&self) -> usize;
+
+    /// Enqueues one operation from `client` without waiting for the reply;
+    /// returns the operation's sequence number. `value` is ignored for
+    /// gets and deletes.
+    fn submit(
+        &mut self,
+        client: usize,
+        op: KvOp,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<u64, StoreError>;
+
+    /// Runs one server sweep; returns the number of requests processed.
+    fn poll(&mut self) -> usize;
+
+    /// Drains `client`'s pending replies; returns how many arrived.
+    fn poll_replies(&mut self, client: usize) -> usize;
+
+    /// Takes `client`'s finished operations accumulated since the last
+    /// call.
+    fn take_completed(&mut self, client: usize) -> Vec<KvCompleted>;
+
+    /// Takes and resets `client`'s accumulated cost meter.
+    fn take_client_meter(&mut self, client: usize) -> Meter;
+
+    /// Takes the per-op server reports accumulated since the last call.
+    fn take_reports(&mut self) -> Vec<KvOpReport>;
+
+    /// Enclave performance report (working set, faults).
+    fn sgx_report(&self) -> SgxPerfReport;
+
+    /// Number of live keys in the store.
+    fn store_len(&self) -> usize;
+
+    /// How many requests of `frame_bytes` each a single client may submit
+    /// back-to-back before the driver must drain (bulk-load batching): the
+    /// request-ring capacity for ring-based backends, a fixed socket batch
+    /// for stream-based ones.
+    fn warmup_batch(&self, frame_bytes: usize) -> usize;
+
+    /// Submits one op and drives server + client until it completes —
+    /// convenience for tests and short sequences, not the measured path.
+    fn op_sync(
+        &mut self,
+        client: usize,
+        op: KvOp,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<KvCompleted, StoreError> {
+        let oid = self.submit(client, op, key, value)?;
+        // A few sweeps cover backends that stage replies across polls.
+        for _ in 0..16 {
+            self.poll();
+            self.poll_replies(client);
+            if let Some(done) = self
+                .take_completed(client)
+                .into_iter()
+                .rev()
+                .find(|c| c.oid == oid)
+            {
+                return Ok(done);
+            }
+        }
+        Err(StoreError::Timeout)
+    }
+}
+
+/// [`TrustedKv`] over the Precursor data path — both the paper's
+/// client-side encryption design and the conventional server-encryption
+/// scheme, selected by [`Config::mode`].
+pub struct PrecursorBackend {
+    server: PrecursorServer,
+    clients: Vec<PrecursorClient>,
+}
+
+impl PrecursorBackend {
+    /// Builds the server with `config`; connect clients afterwards.
+    pub fn new(config: Config, cost: &CostModel) -> PrecursorBackend {
+        PrecursorBackend {
+            server: PrecursorServer::new(config, cost),
+            clients: Vec::new(),
+        }
+    }
+
+    /// The underlying server (for assertions beyond the trait surface).
+    pub fn server(&self) -> &PrecursorServer {
+        &self.server
+    }
+
+    /// Mutable access to the underlying server.
+    pub fn server_mut(&mut self) -> &mut PrecursorServer {
+        &mut self.server
+    }
+}
+
+impl TrustedKv for PrecursorBackend {
+    fn name(&self) -> &'static str {
+        match self.server.config().mode {
+            crate::config::EncryptionMode::ClientSide => "Precursor",
+            crate::config::EncryptionMode::ServerSide => "Precursor server-encryption",
+        }
+    }
+
+    fn transport(&self) -> Transport {
+        Transport::Rdma
+    }
+
+    fn connect(&mut self, seed: u64) -> Result<usize, StoreError> {
+        let client = PrecursorClient::connect(&mut self.server, seed)?;
+        self.clients.push(client);
+        Ok(self.clients.len() - 1)
+    }
+
+    fn clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn submit(
+        &mut self,
+        client: usize,
+        op: KvOp,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<u64, StoreError> {
+        let c = &mut self.clients[client];
+        match op {
+            KvOp::Put => c.put(key, value),
+            KvOp::Get => c.get(key),
+            KvOp::Delete => c.delete(key),
+        }
+    }
+
+    fn poll(&mut self) -> usize {
+        self.server.poll()
+    }
+
+    fn poll_replies(&mut self, client: usize) -> usize {
+        self.clients[client].poll_replies()
+    }
+
+    fn take_completed(&mut self, client: usize) -> Vec<KvCompleted> {
+        self.clients[client]
+            .take_all_completed()
+            .into_iter()
+            .map(|c| KvCompleted {
+                oid: c.oid,
+                op: c.opcode.into(),
+                status: c.status.into(),
+                value: c.value,
+            })
+            .collect()
+    }
+
+    fn take_client_meter(&mut self, client: usize) -> Meter {
+        self.clients[client].take_meter()
+    }
+
+    fn take_reports(&mut self) -> Vec<KvOpReport> {
+        self.server
+            .take_reports()
+            .into_iter()
+            .map(|r| KvOpReport {
+                client_id: r.client_id,
+                op: r.opcode.into(),
+                status: r.status.into(),
+                value_len: r.value_len,
+                shard: r.shard,
+                meter: r.meter,
+            })
+            .collect()
+    }
+
+    fn sgx_report(&self) -> SgxPerfReport {
+        self.server.sgx_report()
+    }
+
+    fn store_len(&self) -> usize {
+        self.server.len()
+    }
+
+    fn warmup_batch(&self, frame_bytes: usize) -> usize {
+        // Half the request ring: the in-flight window the credit protocol
+        // sustains without a drain.
+        (self.server.config().ring_bytes / (2 * frame_bytes)).max(1)
+    }
+}

@@ -107,6 +107,15 @@ pub struct CompletedOp {
     pub error: Option<StoreError>,
 }
 
+// What one transmission put on the wire: the exact ring WRITEs issued and
+// the producer position after them. Kept per pending op as the
+// retransmission log.
+#[derive(Debug, Clone)]
+struct TransmitLog {
+    writes: Vec<(usize, Vec<u8>)>,
+    end_written: u64,
+}
+
 // Everything needed to retransmit an un-acknowledged request byte-for-byte:
 // the control data (same oid and, for puts, the same K_operation — the
 // retransmission is indistinguishable from the original), the exact ring
@@ -451,7 +460,10 @@ impl PrecursorClient {
         key: &[u8],
     ) -> Result<u64, StoreError> {
         let oid = control.oid;
-        let (writes, end_written) = match self.transmit(opcode, &control, &mac, &payload) {
+        let TransmitLog {
+            writes,
+            end_written,
+        } = match self.transmit(opcode, &control, &mac, &payload) {
             Ok(t) => t,
             Err(e) => {
                 // Roll the oid back so the caller can retry the same
@@ -488,17 +500,16 @@ impl PrecursorClient {
     }
 
     // Seals, frames and WRITEs one request into the server-side ring,
-    // returning the exact WRITEs issued and the producer position after them
-    // (the retransmission log). Sealing is deterministic per (session key,
-    // oid), so a retransmitted frame is byte-identical to the original.
-    #[allow(clippy::type_complexity)]
+    // returning the [`TransmitLog`] of exactly what went on the wire.
+    // Sealing is deterministic per (session key, oid), so a retransmitted
+    // frame is byte-identical to the original.
     fn transmit(
         &mut self,
         opcode: Opcode,
         control: &RequestControl,
         mac: &Tag,
         payload: &[u8],
-    ) -> Result<(Vec<(usize, Vec<u8>)>, u64), StoreError> {
+    ) -> Result<TransmitLog, StoreError> {
         let cost = self.cost.clone();
         let iv = request_nonce(control.oid);
         let control_bytes = control.encode();
@@ -556,7 +567,10 @@ impl PrecursorClient {
         self.meter.counters_mut().rdma_posts += 1;
         self.meter.counters_mut().tx_bytes += bytes.len() as u64;
         self.charge_client(Cycles(cost.rdma_post_cycles));
-        Ok((writes, self.request_producer.written()))
+        Ok(TransmitLog {
+            writes,
+            end_written: self.request_producer.written(),
+        })
     }
 
     /// Advances this client's virtual clock and retransmits every operation
@@ -609,7 +623,10 @@ impl PrecursorClient {
                 // at-most-once window re-acknowledges it without
                 // re-executing.
                 match self.transmit(p.opcode, &p.control, &p.mac, &p.payload) {
-                    Ok((writes, end_written)) => {
+                    Ok(TransmitLog {
+                        writes,
+                        end_written,
+                    }) => {
                         p.writes = writes;
                         p.end_written = end_written;
                         Ok(())
@@ -726,7 +743,10 @@ impl PrecursorClient {
         for oid in oids {
             let mut p = self.pending.remove(&oid).expect("pending");
             match self.transmit(p.opcode, &p.control, &p.mac, &p.payload) {
-                Ok((writes, end_written)) => {
+                Ok(TransmitLog {
+                    writes,
+                    end_written,
+                }) => {
                     p.writes = writes;
                     p.end_written = end_written;
                 }

@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod client;
 pub mod config;
 pub mod error;
@@ -73,6 +74,9 @@ pub mod server;
 pub mod snapshot;
 pub mod wire;
 
+pub use backend::{
+    KvCompleted, KvOp, KvOpReport, KvStatus, PrecursorBackend, Transport, TrustedKv,
+};
 pub use client::{fork_audit, CompletedOp, PrecursorClient, SecurityAudit};
 pub use config::{Config, EncryptionMode, RetryPolicy};
 pub use error::StoreError;

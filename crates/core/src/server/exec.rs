@@ -1,0 +1,716 @@
+//! Exec stage: per-opcode enclave execution against the Robin Hood shards.
+//!
+//! Owns [`StoreExec`] — the sharded enclave hash table, the untrusted
+//! payload pool, the storage key/sequence of the server-encryption mode,
+//! and the store-mutation evidence (sequence + digest). Execution turns a
+//! validated request into a [`ReplyPlan`]; sealing the plan is the `seal`
+//! stage's job, so that in sharded mode execution can run in shard order
+//! while reply sequence numbers are still consumed in pop order.
+
+use precursor_crypto::keys::{Key128, Key256, Nonce8, Tag};
+use precursor_crypto::{cmac, gcm, sha256};
+use precursor_rdma::adversary::AdversaryInjector;
+use precursor_rdma::mr::Memory;
+use precursor_sgx::enclave::{Enclave, RegionId};
+use precursor_sim::meter::{Meter, Stage};
+use precursor_sim::CostModel;
+use precursor_storage::pool::{PoolRange, SlabPool};
+use precursor_storage::robinhood::ShardedRobinHoodMap;
+
+use crate::config::{Config, EncryptionMode};
+use crate::error::StoreError;
+use crate::wire::{payload_request_nonce, Opcode, RequestControl, RequestFrame, Status};
+
+use super::seal::StoreEvidence;
+use super::{cmac_key_of, PrecursorServer};
+
+// Where a value's bytes live.
+#[derive(Debug, Clone)]
+pub(super) enum ValueStorage {
+    /// In the untrusted payload pool (the paper's evaluated design).
+    Untrusted(PoolRange),
+    /// Inside the enclave (ciphertext ‖ MAC) — the small-value extension
+    /// the paper proposes for values below the control-data size (§5.2).
+    InEnclave(Vec<u8>),
+}
+
+// Trusted per-entry metadata: what the paper keeps in the enclave hash table
+// ("the key item and a value pair composed of the K_operation and an
+// associated pointer ptr", §3.7).
+#[derive(Debug, Clone)]
+pub(super) struct EntryMeta {
+    pub(super) k_op: Key256,
+    pub(super) payload_nonce: Nonce8,
+    pub(super) storage_seq: u64, // server-encryption mode: storage GCM nonce counter
+    pub(super) client_id: u32,
+    pub(super) storage: ValueStorage,
+    pub(super) payload_len: usize,
+}
+
+// What execution produced, before the reply is sealed. Sealing consumes
+// the per-session `reply_seq` and advances the reply MAC chain, so it must
+// happen in per-client pop order; execution may happen earlier — and, in
+// sharded mode, on a different shard than the one that popped the record.
+pub(super) enum ReplyPlan {
+    /// A control-only reply (ok / error / cached ack) with `status`.
+    Control { status: Status, oid: u64 },
+    /// Busy backpressure (carries the configured retry hint).
+    Busy { oid: u64 },
+    /// A client-side-encryption get hit: key material + payload + MAC.
+    GetHit {
+        entry: EntryMeta,
+        payload: Vec<u8>,
+        mac: Tag,
+        oid: u64,
+    },
+    /// A server-encryption get hit: the plaintext is re-sealed for
+    /// transport at seal time, because the transport nonce uses the very
+    /// `reply_seq` the control reply consumes.
+    ServerEncGet { plain: Vec<u8>, oid: u64 },
+}
+
+// The narrow slice of server state the exec stage borrows per call: the
+// trusted execution environment plus the cross-cutting knobs. Keeping
+// these out of [`StoreExec`] lets the pipeline hold disjoint borrows of
+// the store, the sessions and the ports at the same time.
+pub(super) struct ExecCtx<'a> {
+    pub(super) enclave: &'a mut Enclave,
+    pub(super) config: &'a Config,
+    pub(super) cost: &'a CostModel,
+    pub(super) adversary: &'a mut Option<AdversaryInjector>,
+}
+
+// One validated, in-window request as the exec stage consumes it: the
+// session slot it came from, the decrypted control segment, the raw frame
+// (payload + MAC), and the session key for server-side decryption.
+pub(super) struct ExecRequest<'a> {
+    pub(super) idx: usize,
+    pub(super) opcode: Opcode,
+    pub(super) control: RequestControl,
+    pub(super) frame: &'a RequestFrame,
+    pub(super) session_key: &'a Key128,
+}
+
+// Exec-stage state: the enclave index, the untrusted payload pool, and
+// the store-mutation evidence.
+#[derive(Debug)]
+pub(super) struct StoreExec {
+    // The enclave index, partitioned into `Config::shards` Robin Hood
+    // shards keyed by a stable hash of the key (one partition per trusted
+    // polling worker, §3.8). One shard = the legacy unsharded table.
+    pub(super) table: ShardedRobinHoodMap<Vec<u8>, EntryMeta>,
+    pub(super) storage_key: Key128,
+    pub(super) storage_seq: u64,
+    // Store-mutation counter + running digest (rollback/fork evidence
+    // carried in every reply control): bumped on every applied mutation.
+    pub(super) mutation_seq: u64,
+    pub(super) state_digest: [u8; 16],
+
+    // modelled enclave regions (one table region per shard, so each
+    // shard's EPC footprint grows independently with its own resizes)
+    pub(super) table_regions: Vec<RegionId>,
+    pub(super) misc_region: RegionId,
+    pub(super) misc_touched: bool,
+    pub(super) table_resizes_seen: Vec<u64>,
+
+    // untrusted side
+    pub(super) payload_mem: Memory,
+    pub(super) pool: SlabPool,
+    // Per-client untrusted-pool bytes (slot capacities), for quotas.
+    pub(super) pool_used: Vec<usize>,
+}
+
+impl StoreExec {
+    // The store-mutation evidence stamped into every sealed reply.
+    pub(super) fn evidence(&self) -> StoreEvidence {
+        StoreEvidence {
+            mutation_seq: self.mutation_seq,
+            state_digest: self.state_digest,
+        }
+    }
+
+    // Frees a pool slot and keeps the quota + adversary registries in sync.
+    pub(super) fn release_range(
+        &mut self,
+        adversary: &mut Option<AdversaryInjector>,
+        owner: u32,
+        range: PoolRange,
+    ) {
+        if let Some(used) = self.pool_used.get_mut(owner as usize) {
+            *used = used.saturating_sub(range.capacity());
+        }
+        if let Some(adv) = adversary {
+            adv.forget_payload(range.offset);
+        }
+        self.pool.free(range);
+    }
+
+    // Advances the store-mutation sequence + digest: called once per
+    // *applied* mutation (put, delete, revocation eviction) — never for
+    // snapshot-restore re-inserts, which reproduce already-counted state.
+    pub(super) fn bump_mutation(&mut self, opcode: Opcode, key: &[u8]) {
+        self.mutation_seq += 1;
+        let mut input = Vec::with_capacity(16 + 1 + 8 + key.len());
+        input.extend_from_slice(&self.state_digest);
+        input.push(opcode as u8);
+        input.extend_from_slice(&self.mutation_seq.to_le_bytes());
+        input.extend_from_slice(key);
+        let h = sha256::digest(&input);
+        self.state_digest.copy_from_slice(&h[..16]);
+    }
+
+    // Executes a validated, in-window request against the store (the body
+    // of Algorithm 2) and returns a [`ReplyPlan`] describing the reply to
+    // seal.
+    pub(super) fn execute_plan(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        req: ExecRequest<'_>,
+        meter: &mut Meter,
+    ) -> Result<(Status, usize, ReplyPlan), StoreError> {
+        let ExecRequest {
+            idx,
+            opcode,
+            control,
+            frame,
+            session_key,
+        } = req;
+        let cost = ctx.cost.clone();
+        if control.key.len() > ctx.config.max_key_bytes
+            || frame.payload.len() > ctx.config.max_value_bytes + gcm::TAG_LEN
+        {
+            return Ok((
+                Status::Error,
+                0,
+                ReplyPlan::Control {
+                    status: Status::Error,
+                    oid: 0,
+                },
+            ));
+        }
+
+        match (opcode, ctx.config.mode) {
+            (Opcode::Put, EncryptionMode::ClientSide) => {
+                let (Some(k_op), Some(pn)) = (control.k_op.clone(), control.payload_nonce) else {
+                    return Ok((
+                        Status::Error,
+                        0,
+                        ReplyPlan::Control {
+                            status: Status::Error,
+                            oid: 0,
+                        },
+                    ));
+                };
+                let value_len = frame.payload.len();
+                let inline = value_len <= ctx.config.inline_value_max;
+                if !inline && self.over_quota(ctx.config, idx, value_len + Tag::LEN) {
+                    return Ok((Status::Busy, 0, ReplyPlan::Busy { oid: control.oid }));
+                }
+                let storage = if inline {
+                    // Small-value extension: the encrypted value (and its
+                    // MAC) stay inside the enclave — no pool slot, no
+                    // untrusted read on get (§5.2).
+                    let mut data = frame.payload.clone();
+                    data.extend_from_slice(frame.mac.as_bytes());
+                    ctx.enclave.copy_across_boundary(data.len(), meter, &cost);
+                    ValueStorage::InEnclave(data)
+                } else {
+                    let range = self.store_payload(ctx, &frame.payload, Some(&frame.mac), meter)?;
+                    self.charge_range(ctx.adversary, idx, &range);
+                    ValueStorage::Untrusted(range)
+                };
+                self.bump_mutation(Opcode::Put, &control.key);
+                self.table_insert(
+                    ctx,
+                    control.key,
+                    EntryMeta {
+                        k_op,
+                        payload_nonce: pn,
+                        storage_seq: 0,
+                        client_id: idx as u32,
+                        storage,
+                        payload_len: value_len,
+                    },
+                    meter,
+                );
+                Ok((
+                    Status::Ok,
+                    value_len,
+                    ReplyPlan::Control {
+                        status: Status::Ok,
+                        oid: control.oid,
+                    },
+                ))
+            }
+            (Opcode::Put, EncryptionMode::ServerSide) => {
+                // Conventional scheme (§2.4): full payload crosses into the
+                // enclave, is decrypted, verified, re-encrypted for storage.
+                // (Stored ciphertext has the same length as the transport
+                // ciphertext: plaintext + one GCM tag.)
+                if self.over_quota(ctx.config, idx, frame.payload.len()) {
+                    return Ok((Status::Busy, 0, ReplyPlan::Busy { oid: control.oid }));
+                }
+                ctx.enclave
+                    .copy_across_boundary(frame.payload.len(), meter, &cost);
+                meter.charge(
+                    Stage::Enclave,
+                    cost.server_time(cost.aes_gcm(frame.payload.len())),
+                );
+                let plain = match gcm::open(
+                    session_key,
+                    &payload_request_nonce(control.oid),
+                    &[],
+                    &frame.payload,
+                ) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        return Ok((
+                            Status::Error,
+                            0,
+                            ReplyPlan::Control {
+                                status: Status::Error,
+                                oid: 0,
+                            },
+                        ))
+                    }
+                };
+                let value_len = plain.len();
+                self.storage_seq += 1;
+                let seq = self.storage_seq;
+                meter.charge(Stage::Enclave, cost.server_time(cost.aes_gcm(plain.len())));
+                let stored = gcm::seal(
+                    &self.storage_key,
+                    &precursor_crypto::Nonce12::from_counter(seq),
+                    &[],
+                    &plain,
+                );
+                ctx.enclave.copy_across_boundary(stored.len(), meter, &cost);
+                let range = self.store_payload(ctx, &stored, None, meter)?;
+                self.charge_range(ctx.adversary, idx, &range);
+                self.bump_mutation(Opcode::Put, &control.key);
+                self.table_insert(
+                    ctx,
+                    control.key,
+                    EntryMeta {
+                        k_op: Key256::from_bytes([0; 32]),
+                        payload_nonce: Nonce8::default(),
+                        storage_seq: seq,
+                        client_id: idx as u32,
+                        storage: ValueStorage::Untrusted(range),
+                        payload_len: stored.len(),
+                    },
+                    meter,
+                );
+                Ok((
+                    Status::Ok,
+                    value_len,
+                    ReplyPlan::Control {
+                        status: Status::Ok,
+                        oid: control.oid,
+                    },
+                ))
+            }
+            (Opcode::Get, mode) => {
+                let shard = self.table.shard_of(&control.key);
+                let (found, stats) = self.table.get_tracked(&control.key);
+                let found = found.cloned();
+                self.charge_table_op(ctx, shard, &stats, meter);
+                match found {
+                    None => Ok((
+                        Status::NotFound,
+                        0,
+                        ReplyPlan::Control {
+                            status: Status::NotFound,
+                            oid: control.oid,
+                        },
+                    )),
+                    Some(entry) => match mode {
+                        EncryptionMode::ClientSide => {
+                            // Payload + its stored MAC leave untrusted memory
+                            // as-is; only the tiny control reply is sealed in
+                            // the enclave (§3.7 "Query data"). Inlined small
+                            // values come out of the enclave instead.
+                            let stored = match &entry.storage {
+                                ValueStorage::Untrusted(range) => {
+                                    let stored = self
+                                        .payload_mem
+                                        .read(range.offset, entry.payload_len + Tag::LEN);
+                                    meter.charge(
+                                        Stage::ServerCritical,
+                                        cost.server_time(cost.memcpy(stored.len())),
+                                    );
+                                    stored
+                                }
+                                ValueStorage::InEnclave(data) => {
+                                    let data = data.clone();
+                                    ctx.enclave.copy_across_boundary(data.len(), meter, &cost);
+                                    data
+                                }
+                            };
+                            let (payload, mac_bytes) = stored.split_at(entry.payload_len);
+                            let mac = Tag::try_from(mac_bytes).expect("stored MAC is 16 bytes");
+                            let value_len = entry.payload_len;
+                            Ok((
+                                Status::Ok,
+                                value_len,
+                                ReplyPlan::GetHit {
+                                    entry,
+                                    payload: payload.to_vec(),
+                                    mac,
+                                    oid: control.oid,
+                                },
+                            ))
+                        }
+                        EncryptionMode::ServerSide => {
+                            // Storage ciphertext crosses into the enclave and
+                            // is decrypted here; re-encryption for transport
+                            // waits until seal time (it consumes the reply
+                            // sequence number).
+                            let ValueStorage::Untrusted(range) = &entry.storage else {
+                                unreachable!("server-encryption mode never inlines");
+                            };
+                            let stored = self.payload_mem.read(range.offset, entry.payload_len);
+                            ctx.enclave.copy_across_boundary(stored.len(), meter, &cost);
+                            meter.charge(
+                                Stage::Enclave,
+                                cost.server_time(cost.aes_gcm(stored.len())),
+                            );
+                            let plain = gcm::open(
+                                &self.storage_key,
+                                &precursor_crypto::Nonce12::from_counter(entry.storage_seq),
+                                &[],
+                                &stored,
+                            )
+                            .expect("storage ciphertext is server-controlled");
+                            let value_len = plain.len();
+                            Ok((
+                                Status::Ok,
+                                value_len,
+                                ReplyPlan::ServerEncGet {
+                                    plain,
+                                    oid: control.oid,
+                                },
+                            ))
+                        }
+                    },
+                }
+            }
+            (Opcode::Delete, _) => {
+                let shard = self.table.shard_of(&control.key);
+                let (removed, stats) = self.table.remove_tracked(&control.key);
+                self.charge_table_op(ctx, shard, &stats, meter);
+                match removed {
+                    None => Ok((
+                        Status::NotFound,
+                        0,
+                        ReplyPlan::Control {
+                            status: Status::NotFound,
+                            oid: control.oid,
+                        },
+                    )),
+                    Some(entry) => {
+                        if let ValueStorage::Untrusted(range) = entry.storage {
+                            self.release_range(ctx.adversary, entry.client_id, range);
+                        }
+                        self.bump_mutation(Opcode::Delete, &control.key);
+                        Ok((
+                            Status::Ok,
+                            0,
+                            ReplyPlan::Control {
+                                status: Status::Ok,
+                                oid: control.oid,
+                            },
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    // Whether storing `len` more pool bytes would push the client past its
+    // memory quota (counted in slot capacities; disabled when 0). An
+    // unclassifiable length is over any quota.
+    pub(super) fn over_quota(&self, config: &Config, idx: usize, len: usize) -> bool {
+        let quota = config.pool_quota_bytes;
+        if quota == 0 {
+            return false;
+        }
+        let used = self.pool_used.get(idx).copied().unwrap_or(0);
+        match precursor_storage::pool::slot_capacity(len) {
+            Some(cap) => used + cap > quota,
+            None => true,
+        }
+    }
+
+    // Charges a freshly allocated slot to the client's quota and registers
+    // it with the adversary's tamper surface.
+    pub(super) fn charge_range(
+        &mut self,
+        adversary: &mut Option<AdversaryInjector>,
+        idx: usize,
+        range: &PoolRange,
+    ) {
+        if self.pool_used.len() <= idx {
+            self.pool_used.resize(idx + 1, 0);
+        }
+        self.pool_used[idx] += range.capacity();
+        if let Some(adv) = adversary {
+            adv.note_payload(range.offset, range.len, idx as u32);
+        }
+    }
+
+    // Stores payload (+ optional MAC) into the untrusted pool, growing it
+    // with a modelled ocall when exhausted (§3.8).
+    pub(super) fn store_payload(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        payload: &[u8],
+        mac: Option<&Tag>,
+        meter: &mut Meter,
+    ) -> Result<PoolRange, StoreError> {
+        let total = payload.len() + mac.map_or(0, |_| Tag::LEN);
+        let cost = ctx.cost.clone();
+        let range = match self.pool.alloc(total) {
+            Some(r) => r,
+            None => {
+                // Single batched ocall to enlarge the pre-allocated list (§4).
+                ctx.enclave.ocall(meter, &cost);
+                self.payload_mem.grow(ctx.config.pool_bytes);
+                self.pool.grow(ctx.config.pool_bytes);
+                self.pool.alloc(total).ok_or(StoreError::OversizedItem)?
+            }
+        };
+        self.payload_mem.write(range.offset, payload);
+        if let Some(mac) = mac {
+            self.payload_mem
+                .write(range.offset + payload.len(), mac.as_bytes());
+        }
+        meter.charge(Stage::ServerCritical, cost.server_time(cost.memcpy(total)));
+        Ok(range)
+    }
+
+    pub(super) fn table_insert(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        key: Vec<u8>,
+        meta: EntryMeta,
+        meter: &mut Meter,
+    ) {
+        // First insert also touches the auxiliary heap structures once
+        // (reply queues, pool directory — the paper's 0→1-key jump in
+        // Table 1).
+        if !self.misc_touched {
+            self.misc_touched = true;
+            let cost = ctx.cost.clone();
+            ctx.enclave.touch_all(self.misc_region, meter, &cost);
+        }
+        let shard = self.table.shard_of(&key);
+        let (old, stats) = self.table.insert_tracked(key, meta);
+        if let Some(old) = old {
+            // Overwrite: the old payload slot is released (and un-charged
+            // from its owner's quota); the fresh K_operation in the new
+            // entry revokes earlier readers (§3.3).
+            if let ValueStorage::Untrusted(range) = old.storage {
+                self.release_range(ctx.adversary, old.client_id, range);
+            }
+        }
+        // Resize the modelled region before charging slot touches — the
+        // insert may have grown the shard's partition, and the touched
+        // slot indices refer to the *new* capacity.
+        self.sync_table_region(ctx, shard, meter);
+        self.charge_table_op(ctx, shard, &stats, meter);
+    }
+
+    // Charges probes + shard-local slot touches of one table operation
+    // against the shard's modelled EPC region.
+    pub(super) fn charge_table_op(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        shard: usize,
+        stats: &precursor_storage::robinhood::OpStats,
+        meter: &mut Meter,
+    ) {
+        let cost = ctx.cost.clone();
+        meter.charge(Stage::Enclave, cost.server_time(cost.ht_op(stats.probes)));
+        let slot_bytes = ctx.config.model_slot_bytes as u64;
+        let region = self.table_regions[shard];
+        for &slot in &stats.slots {
+            ctx.enclave
+                .touch(region, slot as u64 * slot_bytes, slot_bytes, meter, &cost);
+        }
+    }
+
+    // After a shard's partition grows, its modelled region grows and the
+    // rehash touches every page of the new partition.
+    fn sync_table_region(&mut self, ctx: &mut ExecCtx<'_>, shard: usize, meter: &mut Meter) {
+        let resizes = self.table.shard(shard).resizes();
+        if resizes != self.table_resizes_seen[shard] {
+            self.table_resizes_seen[shard] = resizes;
+            let cost = ctx.cost.clone();
+            let bytes = (self.table.shard(shard).capacity() * ctx.config.model_slot_bytes) as u64;
+            let region = self.table_regions[shard];
+            ctx.enclave.resize_region(region, bytes);
+            ctx.enclave.touch_all(region, meter, &cost);
+        }
+    }
+}
+
+impl PrecursorServer {
+    /// Verifies the integrity of a stored value against the enclave
+    /// metadata, mimicking what a *client* would detect: recomputes the CMAC
+    /// of the untrusted bytes under the enclave-held `K_operation`. Used by
+    /// tests and the attack-demo example.
+    pub fn audit_key(&self, key: &[u8]) -> Option<bool> {
+        let entry = self.store.table.get(&key.to_vec())?;
+        match self.config.mode {
+            EncryptionMode::ClientSide => {
+                let stored = match &entry.storage {
+                    ValueStorage::Untrusted(range) => self
+                        .store
+                        .payload_mem
+                        .read(range.offset, entry.payload_len + Tag::LEN),
+                    ValueStorage::InEnclave(data) => data.clone(),
+                };
+                let (payload, mac_bytes) = stored.split_at(entry.payload_len);
+                let mac = Tag::try_from(mac_bytes).expect("16 bytes");
+                Some(cmac::verify(&cmac_key_of(&entry.k_op), payload, &mac))
+            }
+            EncryptionMode::ServerSide => {
+                let ValueStorage::Untrusted(range) = &entry.storage else {
+                    return Some(false);
+                };
+                let stored = self.store.payload_mem.read(range.offset, entry.payload_len);
+                Some(
+                    gcm::open(
+                        &self.store.storage_key,
+                        &precursor_crypto::Nonce12::from_counter(entry.storage_seq),
+                        &[],
+                        &stored,
+                    )
+                    .is_ok(),
+                )
+            }
+        }
+    }
+
+    // --- snapshot/restore plumbing (see crate::snapshot) ---
+
+    pub(crate) fn snapshot_body(&self) -> crate::snapshot::SnapshotBody {
+        let mut entries = Vec::with_capacity(self.store.table.len());
+        for (key, meta) in self.store.table.iter() {
+            let stored_bytes = match &meta.storage {
+                ValueStorage::Untrusted(range) => {
+                    let len = match self.config.mode {
+                        EncryptionMode::ClientSide => meta.payload_len + Tag::LEN,
+                        EncryptionMode::ServerSide => meta.payload_len,
+                    };
+                    self.store.payload_mem.read(range.offset, len)
+                }
+                ValueStorage::InEnclave(data) => data.clone(),
+            };
+            entries.push(crate::snapshot::SnapshotEntry {
+                key: key.clone(),
+                k_op: meta.k_op.clone(),
+                payload_nonce: meta.payload_nonce,
+                storage_seq: meta.storage_seq,
+                client_id: meta.client_id,
+                payload_len: meta.payload_len,
+                stored_bytes,
+            });
+        }
+        crate::snapshot::SnapshotBody {
+            mode: self.config.mode,
+            storage_key: self.store.storage_key.clone(),
+            storage_seq: self.store.storage_seq,
+            mutation_seq: self.store.mutation_seq,
+            state_digest: self.store.state_digest,
+            entries,
+            // Per-client at-most-once windows (and connection epochs) ride
+            // along in the sealed blob, so a restarted server
+            // re-acknowledges (rather than re-executes or rejects) requests
+            // that were in flight at the crash, and reconnecting clients
+            // get a strictly increasing epoch.
+            sessions: self
+                .sessions
+                .list
+                .iter()
+                .map(|s| (s.expected_oid, s.last_status, s.epoch))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn restore_body(
+        &mut self,
+        body: crate::snapshot::SnapshotBody,
+    ) -> Result<(), StoreError> {
+        self.store.storage_key = body.storage_key;
+        self.store.storage_seq = body.storage_seq;
+        self.store.mutation_seq = body.mutation_seq;
+        self.store.state_digest = body.state_digest;
+        self.sessions.saved = body.sessions;
+        let mut meter = Meter::new();
+        let mut ctx = ExecCtx {
+            enclave: &mut self.enclave,
+            config: &self.config,
+            cost: &self.cost,
+            adversary: &mut self.adversary,
+        };
+        for e in body.entries {
+            let storage = if ctx.config.mode == EncryptionMode::ClientSide
+                && e.payload_len <= ctx.config.inline_value_max
+            {
+                ValueStorage::InEnclave(e.stored_bytes)
+            } else {
+                let range = match self.store.pool.alloc(e.stored_bytes.len()) {
+                    Some(r) => r,
+                    None => {
+                        ctx.enclave.ocall(&mut meter, &ctx.cost.clone());
+                        self.store.payload_mem.grow(ctx.config.pool_bytes);
+                        self.store.pool.grow(ctx.config.pool_bytes);
+                        self.store
+                            .pool
+                            .alloc(e.stored_bytes.len())
+                            .ok_or(StoreError::OversizedItem)?
+                    }
+                };
+                self.store.payload_mem.write(range.offset, &e.stored_bytes);
+                self.store
+                    .charge_range(ctx.adversary, e.client_id as usize, &range);
+                ValueStorage::Untrusted(range)
+            };
+            self.store.table_insert(
+                &mut ctx,
+                e.key,
+                EntryMeta {
+                    k_op: e.k_op,
+                    payload_nonce: e.payload_nonce,
+                    storage_seq: e.storage_seq,
+                    client_id: e.client_id,
+                    storage,
+                    payload_len: e.payload_len,
+                },
+                &mut meter,
+            );
+        }
+        Ok(())
+    }
+
+    /// Tamper hook for security tests: flips a bit of the *untrusted* stored
+    /// payload of `key`, as a rogue administrator with physical/DMA access
+    /// could (§2.3). Returns `false` if the key does not exist.
+    pub fn corrupt_stored_payload(&mut self, key: &[u8]) -> bool {
+        let Some(entry) = self.store.table.get(&key.to_vec()) else {
+            return false;
+        };
+        match &entry.storage {
+            ValueStorage::Untrusted(range) => {
+                let offset = range.offset;
+                self.store.payload_mem.with_mut(|buf| buf[offset] ^= 0x01);
+                true
+            }
+            // In-enclave values are outside the attacker's reach — even a
+            // rogue admin cannot touch EPC memory.
+            ValueStorage::InEnclave(_) => false,
+        }
+    }
+}

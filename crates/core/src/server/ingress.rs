@@ -1,0 +1,343 @@
+//! Ingress stage: the untrusted per-client plumbing.
+//!
+//! Owns [`Ingress`] — the per-client [`ClientPort`]s (request-ring
+//! consumers, reply-ring producers, credit words), the bounded
+//! [`OpReport`] buffer, and the sweep counters. The stage's job is the
+//! host-side I/O: provisioning rings on admission, posting reply WRITEs
+//! (per-record or coalesced into per-sweep [`ReplyBatch`]es), re-issuing
+//! remembered replies on retransmission, and the credit write-backs.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use precursor_crypto::keys::Key128;
+use precursor_rdma::mr::{Memory, RemoteKey};
+use precursor_rdma::qp::{connect_pair, connect_pair_faulty, QueuePair};
+use precursor_sim::meter::{Meter, Stage};
+use precursor_sim::time::Cycles;
+use precursor_storage::ring::{RingConsumer, RingProducer};
+
+use crate::wire::ReplyFrame;
+
+use super::{ClientBundle, OpReport, PrecursorServer};
+
+// Untrusted per-client plumbing.
+#[derive(Debug)]
+pub(super) struct ClientPort {
+    pub(super) qp: QueuePair, // server end
+    pub(super) request_ring: Memory,
+    pub(super) request_consumer: RingConsumer,
+    pub(super) reply_producer: RingProducer,
+    pub(super) reply_ring_rkey: RemoteKey,
+    pub(super) credit_rkey: RemoteKey,
+    pub(super) reply_credit: Memory,
+    /// `(offset, bytes)` of the WRITEs that carried the last executed
+    /// operation's reply — re-issued verbatim when that operation is
+    /// retransmitted, so a reply lost in flight (a hole the client's ring
+    /// consumer is parked on) gets filled idempotently.
+    pub(super) last_reply: Vec<(usize, Vec<u8>)>,
+    /// The last remembered reply as one encoded ring record, plus the
+    /// producer's absolute position after it was pushed. When the client has
+    /// already consumed past that position (a Byzantine host substituted the
+    /// record, which the consumer then zeroed), a verbatim rewrite would
+    /// deposit garbage into consumed ring space — instead the record is
+    /// re-pushed as a *fresh* ring record (same `reply_seq`; the client
+    /// dedups or late-accepts it).
+    pub(super) last_reply_bytes: Vec<u8>,
+    pub(super) last_reply_end: u64,
+    /// The last `consumed` value written back to the client's credit word
+    /// — a sweep that consumed nothing skips the (redundant) WRITE.
+    pub(super) last_credit: u64,
+}
+
+// Per-client reply WRITEs coalesced over one sharded sweep: contiguous
+// ring chunks merge into one one-sided WRITE, posted at flush.
+#[derive(Default)]
+pub(super) struct ReplyBatch {
+    pub(super) writes: Vec<(usize, Vec<u8>)>,
+}
+
+// Ingress-stage state: every untrusted per-client port plus the report
+// buffer and the sweep counters.
+#[derive(Debug)]
+pub(super) struct Ingress {
+    // `None` marks a revoked slot: ids are stable (they index the trusted
+    // session table) and are never recycled, but the revoked client's rings
+    // and MRs are dropped.
+    pub(super) ports: Vec<Option<ClientPort>>,
+    pub(super) reports: VecDeque<OpReport>,
+    pub(super) reports_dropped: u64,
+    // Round-robin start of the next poll sweep (single-shard mode).
+    pub(super) rr_cursor: usize,
+    // Per-worker round-robin cursors over each worker's owned clients
+    // (sharded mode).
+    pub(super) rr_cursors: Vec<usize>,
+    pub(super) polls: u64,
+    // Credit write-backs actually posted (sweeps that consumed nothing
+    // skip the redundant WRITE).
+    pub(super) credit_writes: u64,
+    // Requests popped by a worker whose shard did not own the key, handed
+    // across the shard-crossing queue.
+    pub(super) handoffs: u64,
+}
+
+impl PrecursorServer {
+    // The untrusted half of client admission: a fresh QP pair (through the
+    // fault injector when one is installed) plus rings and credit words.
+    pub(super) fn provision_port(
+        &mut self,
+        client_id: u32,
+        session_key: &Key128,
+    ) -> (ClientPort, ClientBundle) {
+        let (client_end, server_end) = match &self.faults {
+            Some(f) => connect_pair_faulty(self.cost.rdma_inline_max, Arc::clone(f)),
+            None => connect_pair(self.cost.rdma_inline_max),
+        };
+
+        // Server-side request ring, remotely writable by the client.
+        let request_ring = Memory::zeroed(self.config.ring_bytes);
+        let request_ring_rkey = server_end.register(request_ring.clone(), true);
+        // Server-side reply-credit word, remotely writable by the client.
+        let reply_credit = Memory::zeroed(8);
+        let reply_credit_rkey = server_end.register(reply_credit.clone(), true);
+        // Client-side reply ring + credit word, remotely writable by the
+        // server.
+        let reply_ring = Memory::zeroed(self.config.ring_bytes);
+        let reply_ring_rkey = client_end.register(reply_ring.clone(), true);
+        let credit_word = Memory::zeroed(8);
+        let credit_rkey = client_end.register(credit_word.clone(), true);
+
+        let port = ClientPort {
+            qp: server_end,
+            request_ring,
+            request_consumer: RingConsumer::new(self.config.ring_bytes),
+            reply_producer: RingProducer::new(self.config.ring_bytes),
+            reply_ring_rkey,
+            credit_rkey,
+            reply_credit,
+            last_reply: Vec::new(),
+            last_reply_bytes: Vec::new(),
+            last_reply_end: 0,
+            last_credit: 0,
+        };
+        let bundle = ClientBundle {
+            client_id,
+            session_key: session_key.clone(),
+            qp: client_end,
+            request_ring_rkey,
+            reply_ring,
+            credit_word,
+            reply_credit_rkey,
+            ring_bytes: self.config.ring_bytes,
+            mode: self.config.mode,
+            expected_oid: 1,
+            epoch: 1,
+        };
+        (port, bundle)
+    }
+
+    // Credit write-back: one small one-sided WRITE per sweep (§3.8,
+    // "periodically, these threads update clients about the newly
+    // available buffer slots using one-sided writes") — skipped when the
+    // sweep consumed nothing, so idle clients' credit words are not
+    // redundantly rewritten.
+    pub(super) fn post_credit_update(&mut self, idx: usize) {
+        let port = self.ingress.ports[idx].as_mut().expect("live port");
+        let consumed = port.request_consumer.consumed();
+        if consumed == port.last_credit {
+            return;
+        }
+        port.last_credit = consumed;
+        let credit_rkey = port.credit_rkey;
+        let _ = port
+            .qp
+            .post_write(credit_rkey, 0, &consumed.to_le_bytes(), false);
+        self.ingress.credit_writes += 1;
+    }
+
+    /// Takes the per-operation reports accumulated by [`poll`](Self::poll).
+    pub fn take_reports(&mut self) -> Vec<OpReport> {
+        self.ingress.reports.drain(..).collect()
+    }
+
+    // Posts a freshly sealed reply's ring WRITEs immediately (the
+    // single-shard path's per-record posting).
+    pub(super) fn emit_fresh(
+        &mut self,
+        idx: usize,
+        reply: ReplyFrame,
+        remember: bool,
+        meter: &mut Meter,
+    ) {
+        let cost = self.cost.clone();
+        let bytes = reply.encode();
+        // Push into the producer first, collecting the ring WRITEs
+        // the honest host would post ...
+        let (writes, end, pushed) = {
+            let port = self.ingress.ports[idx].as_mut().expect("live port");
+            let mut writes = Vec::with_capacity(2);
+            let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
+                writes.push((off, chunk.to_vec()));
+            });
+            (writes, port.reply_producer.written(), pushed.is_some())
+        };
+        // ... then let the adversary (when installed) substitute,
+        // hold, or duplicate them before they hit the wire.
+        let posted = match &mut self.adversary {
+            Some(adv) => adv.on_reply_record(idx as u32, writes.clone()),
+            None => writes.clone(),
+        };
+        let port = self.ingress.ports[idx].as_mut().expect("live port");
+        let rkey = port.reply_ring_rkey;
+        for (off, chunk) in &posted {
+            let _ = port.qp.post_write(rkey, *off, chunk, false);
+        }
+        if remember {
+            // Remember the *honest* record for retransmissions —
+            // retransmits bypass the adversary by design, so a
+            // wronged client can always recover the real reply.
+            port.last_reply = writes;
+            port.last_reply_bytes = bytes.clone();
+            port.last_reply_end = end;
+        }
+        // Metering stays that of the honest single post, so cost
+        // accounting is identical with and without an adversary.
+        meter.counters_mut().rdma_posts += 1;
+        meter.counters_mut().tx_bytes += bytes.len() as u64;
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(Cycles(cost.rdma_post_cycles)),
+        );
+        if !pushed {
+            // Reply ring full: in the real system the worker would
+            // retry after the next credit update; the simulation's
+            // rings are sized to make this unreachable under the
+            // drivers.
+            debug_assert!(false, "reply ring full");
+        }
+    }
+
+    // Sharded-path variant of [`emit_fresh`]: instead of posting each
+    // record's WRITEs immediately, ring-contiguous chunks from one sweep
+    // are coalesced into the per-client [`ReplyBatch`] and posted together
+    // at the end of the sweep — the per-sweep reply batching of §3.8. With
+    // an adversary installed the per-record path is kept (batching would
+    // shrink its attack surface and change what the harness exercises).
+    pub(super) fn emit_fresh_batched(
+        &mut self,
+        idx: usize,
+        reply: ReplyFrame,
+        remember: bool,
+        batch: &mut ReplyBatch,
+        meter: &mut Meter,
+    ) {
+        if self.adversary.is_some() {
+            self.emit_fresh(idx, reply, remember, meter);
+            return;
+        }
+        let cost = self.cost.clone();
+        let bytes = reply.encode();
+        let (writes, end, pushed) = {
+            let port = self.ingress.ports[idx].as_mut().expect("live port");
+            let mut writes = Vec::with_capacity(2);
+            let pushed = port.reply_producer.push_with(&bytes, |off, chunk| {
+                writes.push((off, chunk.to_vec()));
+            });
+            (writes, port.reply_producer.written(), pushed.is_some())
+        };
+        for (off, chunk) in &writes {
+            let mergeable = matches!(
+                batch.writes.last(),
+                Some((last_off, last_bytes)) if last_off + last_bytes.len() == *off
+            );
+            if mergeable {
+                let (_, last_bytes) = batch.writes.last_mut().expect("non-empty batch");
+                last_bytes.extend_from_slice(chunk);
+            } else {
+                batch.writes.push((*off, chunk.clone()));
+                // Only a chunk that opens a new coalesced WRITE pays the
+                // post; merged chunks ride along for free.
+                meter.counters_mut().rdma_posts += 1;
+                meter.charge(
+                    Stage::ServerCritical,
+                    cost.server_time(Cycles(cost.rdma_post_cycles)),
+                );
+            }
+        }
+        meter.counters_mut().tx_bytes += bytes.len() as u64;
+        let port = self.ingress.ports[idx].as_mut().expect("live port");
+        if remember {
+            port.last_reply = writes;
+            port.last_reply_bytes = bytes;
+            port.last_reply_end = end;
+        }
+        if !pushed {
+            debug_assert!(false, "reply ring full");
+        }
+    }
+
+    // Posts every coalesced WRITE accumulated for `idx` this sweep.
+    pub(super) fn flush_reply_batch(&mut self, idx: usize, batch: &mut ReplyBatch) {
+        if batch.writes.is_empty() {
+            return;
+        }
+        let port = self.ingress.ports[idx].as_mut().expect("live port");
+        let rkey = port.reply_ring_rkey;
+        for (off, chunk) in batch.writes.drain(..) {
+            let _ = port.qp.post_write(rkey, off, &chunk, false);
+        }
+    }
+
+    // Re-issues the remembered last reply of `idx` (retransmission path).
+    pub(super) fn emit_retransmit(&mut self, idx: usize, meter: &mut Meter) {
+        let cost = self.cost.clone();
+        let port = self.ingress.ports[idx].as_mut().expect("live port");
+        let rkey = port.reply_ring_rkey;
+        let consumed =
+            u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
+        if consumed >= port.last_reply_end && !port.last_reply_bytes.is_empty() {
+            // The client already consumed past the remembered
+            // record (it saw an adversary-substituted record there
+            // and zeroed the slot): rewriting the old offsets would
+            // deposit bytes into consumed ring space. Re-push the
+            // remembered record as a fresh one instead — same
+            // `reply_seq`, so the client dedups or late-accepts it.
+            port.reply_producer.update_credits(consumed);
+            let bytes = port.last_reply_bytes.clone();
+            let mut writes = Vec::with_capacity(2);
+            let _ = port.reply_producer.push_with(&bytes, |off, chunk| {
+                writes.push((off, chunk.to_vec()));
+            });
+            for (off, chunk) in &writes {
+                let _ = port.qp.post_write(rkey, *off, chunk, false);
+                meter.counters_mut().rdma_posts += 1;
+                meter.counters_mut().tx_bytes += chunk.len() as u64;
+            }
+            port.last_reply = writes;
+            port.last_reply_end = port.reply_producer.written();
+        } else {
+            // Re-issue the last reply's WRITEs verbatim: fills any
+            // hole a dropped reply WRITE left in the client's reply
+            // ring, without consuming a new reply sequence number.
+            for (off, bytes) in &port.last_reply {
+                let _ = port.qp.post_write(rkey, *off, bytes, false);
+                meter.counters_mut().rdma_posts += 1;
+                meter.counters_mut().tx_bytes += bytes.len() as u64;
+            }
+        }
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(Cycles(cost.rdma_post_cycles)),
+        );
+    }
+
+    // Bounded report buffer: a caller that never drains take_reports()
+    // loses the oldest reports (counted) instead of growing memory.
+    pub(super) fn push_report(&mut self, report: OpReport) {
+        if self.ingress.reports.len() >= self.config.max_buffered_reports {
+            self.ingress.reports.pop_front();
+            self.ingress.reports_dropped += 1;
+        }
+        self.ingress.reports.push_back(report);
+    }
+}

@@ -1,0 +1,664 @@
+//! Pipeline stage: the sweep drivers gluing the stages together.
+//!
+//! [`PrecursorServer::poll`] dispatches to the single-shard sweep (the
+//! pre-sharding code path, kept operation-for-operation identical so
+//! seeded runs reproduce) or the sharded three-phase sweep (§3.8:
+//! validate/route → per-shard execute → per-client in-order seal).
+//! Validation — control decrypt plus the at-most-once window check — also
+//! lives here: it is what decides a popped record's path through the
+//! later stages ([`Validated`]).
+
+use std::collections::VecDeque;
+
+use precursor_sim::meter::{Meter, Stage};
+use precursor_sim::time::Cycles;
+
+use crate::config::EncryptionMode;
+use crate::wire::{request_aad, Opcode, RequestControl, RequestFrame, Status};
+
+use precursor_crypto::gcm;
+
+use super::exec::{ExecCtx, ExecRequest, ReplyPlan};
+use super::ingress::ReplyBatch;
+use super::seal::{self, SealCtx};
+use super::{OpReport, PrecursorServer};
+
+// How a processed record is answered.
+enum ReplyOut {
+    /// Push a new reply record into the client's reply ring. `remember`
+    /// marks replies of *executed* operations, which the at-most-once
+    /// window may need to re-send.
+    Fresh {
+        reply: crate::wire::ReplyFrame,
+        remember: bool,
+    },
+    /// Re-issue the stored last-reply WRITEs byte-for-byte.
+    Retransmit,
+}
+
+// Outcome of validating one popped record — control decrypt plus the
+// at-most-once window check — before anything executes or any reply is
+// sealed. Splitting validation from execution and sealing lets the sharded
+// poll execute foreign-shard requests on the shard owning their key while
+// still sealing each client's replies in pop order (the `reply_seq` /
+// MAC-chain contract requires per-client in-order sealing).
+enum Validated {
+    /// Answered without executing: malformed frame, off-window oid, or a
+    /// cached acknowledgement from the at-most-once window.
+    Reject {
+        status: Status,
+        opcode: Opcode,
+        oid: u64,
+        remember: bool,
+    },
+    /// Same-session retransmit: re-issue the stored reply WRITEs.
+    Retransmit { status: Status, opcode: Opcode },
+    /// In-window (or an idempotently re-executable read): run against the
+    /// table partition owning the key.
+    Execute {
+        opcode: Opcode,
+        control: RequestControl,
+        frame: RequestFrame,
+    },
+}
+
+// One popped record's deferred work in a sharded sweep: the meter its
+// charges accumulate into, plus what remains to be done with it.
+struct PendingAction {
+    meter: Meter,
+    kind: ActionKind,
+}
+
+enum ActionKind {
+    /// Parked in its owning shard's execution queue (phase B).
+    AwaitExec {
+        opcode: Opcode,
+        control: RequestControl,
+        frame: RequestFrame,
+    },
+    /// Executed (or answered without execution): seal + post in pop order.
+    Seal {
+        status: Status,
+        opcode: Opcode,
+        value_len: usize,
+        plan: ReplyPlan,
+        remember: bool,
+        /// Whether sealing updates the session's cached `last_status` —
+        /// only *executed* operations refresh the at-most-once window.
+        set_last: bool,
+        shard: u32,
+    },
+    /// Same-session retransmit: re-issue the stored WRITEs.
+    Retransmit { status: Status, opcode: Opcode },
+}
+
+impl PrecursorServer {
+    /// One polling sweep of a trusted thread over all client rings (§3.8):
+    /// consumes available requests, processes them, writes replies into the
+    /// clients' reply rings with one-sided WRITEs, and periodically updates
+    /// credits. Returns the number of requests processed.
+    ///
+    /// Each sweep starts from a rotating client (round-robin) and consumes
+    /// at most [`Config::poll_budget_per_client`](crate::Config::poll_budget_per_client)
+    /// records per client, so a flooding client cannot monopolize the
+    /// trusted thread: its surplus requests simply wait in its own ring for
+    /// later sweeps.
+    pub fn poll(&mut self) -> usize {
+        self.ingress.polls += 1;
+        // A Byzantine host may flip a bit of a live untrusted payload
+        // between sweeps (detected client-side by the payload CMAC).
+        if let Some(adv) = &mut self.adversary {
+            if let Some((offset, bit)) = adv.on_sweep() {
+                self.store.payload_mem.with_mut(|buf| {
+                    if offset < buf.len() {
+                        buf[offset] ^= 1 << bit;
+                    }
+                });
+            }
+        }
+        if self.ingress.ports.is_empty() {
+            return 0;
+        }
+        if self.config.shards <= 1 {
+            self.poll_single()
+        } else {
+            self.poll_sharded()
+        }
+    }
+
+    // The single trusted polling thread (the pre-sharding code path, kept
+    // operation-for-operation identical so seeded runs reproduce).
+    fn poll_single(&mut self) -> usize {
+        let n = self.ingress.ports.len();
+        let budget = self.config.poll_budget_per_client;
+        let start = self.ingress.rr_cursor % n;
+        self.ingress.rr_cursor = (start + 1) % n;
+        let mut processed = 0;
+        for step in 0..n {
+            let idx = (start + step) % n;
+            if self.ingress.ports[idx].is_none() || !self.sessions.list[idx].active {
+                continue;
+            }
+            let mut taken = 0usize;
+            loop {
+                if budget != 0 && taken >= budget {
+                    break;
+                }
+                // Update reply credits from the client-written word.
+                let port = self.ingress.ports[idx].as_mut().expect("live port");
+                let consumed =
+                    u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
+                port.reply_producer.update_credits(consumed);
+
+                let record = {
+                    let ring = port.request_ring.clone();
+                    ring.with_mut(|buf| port.request_consumer.pop(buf))
+                };
+                let Some(record) = record else { break };
+                self.process_record(idx, record);
+                processed += 1;
+                taken += 1;
+            }
+            self.post_credit_update(idx);
+        }
+        processed
+    }
+
+    // N trusted polling workers (§3.8: "multiple trusted polling
+    // threads"), simulated in deterministic order. Worker `w` owns the
+    // clients with `client_id % shards == w`. Each sweep runs in three
+    // phases:
+    //
+    //   A. every worker pops + validates its owned rings in pop order and
+    //      routes in-window requests to the shard owning the key — its
+    //      own execution queue, or a foreign shard's via the handoff
+    //      queue (charged `shard_handoff_cycles` + the control copy);
+    //   B. every shard drains its execution queue FIFO against its own
+    //      table partition;
+    //   C. every worker seals its clients' replies in per-client pop
+    //      order (preserving the reply_seq / MAC-chain contract), with
+    //      the sweep's reply WRITEs coalesced into batched posts and one
+    //      credit write-back per client.
+    fn poll_sharded(&mut self) -> usize {
+        let n = self.ingress.ports.len();
+        let shards = self.config.shards;
+        let budget = self.config.poll_budget_per_client;
+        let cost = self.cost.clone();
+        if self.ingress.rr_cursors.len() < shards {
+            self.ingress.rr_cursors.resize(shards, 0);
+        }
+
+        let mut actions: Vec<Vec<Option<PendingAction>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut exec_queues: Vec<VecDeque<(usize, usize)>> =
+            (0..shards).map(|_| VecDeque::new()).collect();
+        let mut swept: Vec<usize> = Vec::new();
+        let mut processed = 0usize;
+
+        // Phase A — worker sweeps: pop + validate, route to owning shard.
+        for w in 0..shards {
+            let owned: Vec<usize> = (w..n)
+                .step_by(shards)
+                .filter(|&i| self.ingress.ports[i].is_some() && self.sessions.list[i].active)
+                .collect();
+            if owned.is_empty() {
+                continue;
+            }
+            let start = self.ingress.rr_cursors[w] % owned.len();
+            self.ingress.rr_cursors[w] = (start + 1) % owned.len();
+            for step in 0..owned.len() {
+                let idx = owned[(start + step) % owned.len()];
+                swept.push(idx);
+                let mut taken = 0usize;
+                loop {
+                    if budget != 0 && taken >= budget {
+                        break;
+                    }
+                    let port = self.ingress.ports[idx].as_mut().expect("live port");
+                    let consumed = u64::from_le_bytes(
+                        port.reply_credit.read(0, 8).try_into().expect("8 bytes"),
+                    );
+                    port.reply_producer.update_credits(consumed);
+                    let record = {
+                        let ring = port.request_ring.clone();
+                        ring.with_mut(|buf| port.request_consumer.pop(buf))
+                    };
+                    let Some(record) = record else { break };
+                    processed += 1;
+                    taken += 1;
+                    let mut meter = Meter::new();
+                    let kind = match self.validate_record(idx, &record, &mut meter) {
+                        Validated::Reject {
+                            status,
+                            opcode,
+                            oid,
+                            remember,
+                        } => ActionKind::Seal {
+                            status,
+                            opcode,
+                            value_len: 0,
+                            plan: ReplyPlan::Control { status, oid },
+                            remember,
+                            set_last: false,
+                            shard: w as u32,
+                        },
+                        Validated::Retransmit { status, opcode } => {
+                            ActionKind::Retransmit { status, opcode }
+                        }
+                        Validated::Execute {
+                            opcode,
+                            control,
+                            frame,
+                        } => {
+                            let target = self.store.table.shard_of(&control.key);
+                            if target != w {
+                                // Shard-crossing handoff: the popping
+                                // worker copies the validated control into
+                                // the owning shard's queue.
+                                self.ingress.handoffs += 1;
+                                meter.charge(
+                                    Stage::Enclave,
+                                    cost.server_time(cost.memcpy(frame.sealed_control.len())),
+                                );
+                                meter.charge(
+                                    Stage::Enclave,
+                                    cost.server_time(Cycles(cost.shard_handoff_cycles)),
+                                );
+                            }
+                            exec_queues[target].push_back((idx, actions[idx].len()));
+                            ActionKind::AwaitExec {
+                                opcode,
+                                control,
+                                frame,
+                            }
+                        }
+                    };
+                    actions[idx].push(Some(PendingAction { meter, kind }));
+                }
+            }
+        }
+
+        // Phase B — per-shard FIFO execution against the owned partition.
+        for (s, queue) in exec_queues.iter_mut().enumerate() {
+            while let Some((idx, ai)) = queue.pop_front() {
+                let mut slot = actions[idx][ai].take().expect("pending action");
+                let ActionKind::AwaitExec {
+                    opcode,
+                    control,
+                    frame,
+                } = slot.kind
+                else {
+                    unreachable!("execution queues hold AwaitExec entries");
+                };
+                let session_key = self.sessions.list[idx].session_key.clone();
+                let mut ctx = ExecCtx {
+                    enclave: &mut self.enclave,
+                    config: &self.config,
+                    cost: &self.cost,
+                    adversary: &mut self.adversary,
+                };
+                slot.kind = match self.store.execute_plan(
+                    &mut ctx,
+                    ExecRequest {
+                        idx,
+                        opcode,
+                        control,
+                        frame: &frame,
+                        session_key: &session_key,
+                    },
+                    &mut slot.meter,
+                ) {
+                    Ok((status, value_len, plan)) => ActionKind::Seal {
+                        status,
+                        opcode,
+                        value_len,
+                        plan,
+                        remember: true,
+                        set_last: true,
+                        shard: s as u32,
+                    },
+                    Err(_) => ActionKind::Seal {
+                        status: Status::Error,
+                        opcode: Opcode::Get,
+                        value_len: 0,
+                        plan: ReplyPlan::Control {
+                            status: Status::Error,
+                            oid: 0,
+                        },
+                        remember: false,
+                        set_last: false,
+                        shard: s as u32,
+                    },
+                };
+                actions[idx][ai] = Some(slot);
+            }
+        }
+
+        // Phase C — per-client in-order sealing + batched reply WRITEs +
+        // one credit write-back per swept client.
+        for &idx in &swept {
+            let mut batch = ReplyBatch::default();
+            for ai in 0..actions[idx].len() {
+                let mut slot = actions[idx][ai].take().expect("sealed once");
+                let (status, opcode, value_len, shard) = match slot.kind {
+                    ActionKind::Seal {
+                        status,
+                        opcode,
+                        value_len,
+                        plan,
+                        remember,
+                        set_last,
+                        shard,
+                    } => {
+                        if set_last {
+                            self.sessions.list[idx].last_status = status;
+                        }
+                        let reply = self.seal_for(idx, opcode, plan, &mut slot.meter);
+                        self.charge_fixed_occupancy(opcode, &mut slot.meter);
+                        self.emit_fresh_batched(idx, reply, remember, &mut batch, &mut slot.meter);
+                        (status, opcode, value_len, shard)
+                    }
+                    ActionKind::Retransmit { status, opcode } => {
+                        // Preserve WRITE ordering: everything batched so
+                        // far lands before the retransmitted bytes.
+                        self.flush_reply_batch(idx, &mut batch);
+                        self.charge_fixed_occupancy(opcode, &mut slot.meter);
+                        self.emit_retransmit(idx, &mut slot.meter);
+                        (status, opcode, 0, (idx % shards) as u32)
+                    }
+                    ActionKind::AwaitExec { .. } => unreachable!("executed in phase B"),
+                };
+                self.push_report(OpReport {
+                    client_id: idx as u32,
+                    opcode,
+                    status,
+                    value_len,
+                    shard,
+                    meter: slot.meter,
+                });
+            }
+            self.flush_reply_batch(idx, &mut batch);
+            self.post_credit_update(idx);
+        }
+        processed
+    }
+
+    // The single-shard path's per-record processing: validate → execute →
+    // seal → emit, all in the client's pop order.
+    fn process_record(&mut self, idx: usize, record: Vec<u8>) {
+        let mut meter = Meter::new();
+
+        let (status, opcode, value_len, shard, out) =
+            match self.validate_record(idx, &record, &mut meter) {
+                Validated::Reject {
+                    status,
+                    opcode,
+                    oid,
+                    remember,
+                } => {
+                    let reply =
+                        self.seal_for(idx, opcode, ReplyPlan::Control { status, oid }, &mut meter);
+                    (status, opcode, 0, 0u32, ReplyOut::Fresh { reply, remember })
+                }
+                Validated::Retransmit { status, opcode } => {
+                    (status, opcode, 0, 0u32, ReplyOut::Retransmit)
+                }
+                Validated::Execute {
+                    opcode,
+                    control,
+                    frame,
+                } => {
+                    let shard = self.store.table.shard_of(&control.key) as u32;
+                    let session_key = self.sessions.list[idx].session_key.clone();
+                    let mut ctx = ExecCtx {
+                        enclave: &mut self.enclave,
+                        config: &self.config,
+                        cost: &self.cost,
+                        adversary: &mut self.adversary,
+                    };
+                    match self.store.execute_plan(
+                        &mut ctx,
+                        ExecRequest {
+                            idx,
+                            opcode,
+                            control,
+                            frame: &frame,
+                            session_key: &session_key,
+                        },
+                        &mut meter,
+                    ) {
+                        Ok((status, value_len, plan)) => {
+                            self.sessions.list[idx].last_status = status;
+                            let reply = self.seal_for(idx, opcode, plan, &mut meter);
+                            (
+                                status,
+                                opcode,
+                                value_len,
+                                shard,
+                                ReplyOut::Fresh {
+                                    reply,
+                                    remember: true,
+                                },
+                            )
+                        }
+                        Err(_) => {
+                            // Store-level failure: emit an error reply that at
+                            // least unblocks the client (chain-linked like any
+                            // other, so the client's verification stream stays
+                            // contiguous).
+                            let reply = self.seal_for(
+                                idx,
+                                Opcode::Get,
+                                ReplyPlan::Control {
+                                    status: Status::Error,
+                                    oid: 0,
+                                },
+                                &mut meter,
+                            );
+                            (
+                                Status::Error,
+                                Opcode::Get,
+                                0,
+                                shard,
+                                ReplyOut::Fresh {
+                                    reply,
+                                    remember: false,
+                                },
+                            )
+                        }
+                    }
+                }
+            };
+
+        self.charge_fixed_occupancy(opcode, &mut meter);
+
+        // Write the reply into the client's reply ring (one-sided WRITE by
+        // the untrusted worker, §3.8).
+        match out {
+            ReplyOut::Fresh { reply, remember } => {
+                self.emit_fresh(idx, reply, remember, &mut meter)
+            }
+            ReplyOut::Retransmit => self.emit_retransmit(idx, &mut meter),
+        }
+
+        self.push_report(OpReport {
+            client_id: idx as u32,
+            opcode,
+            status,
+            value_len,
+            shard,
+            meter,
+        });
+    }
+
+    // Seals one [`ReplyPlan`] for client `idx` by assembling the narrow
+    // [`SealCtx`] out of disjoint borrows of the stage states.
+    fn seal_for(
+        &mut self,
+        idx: usize,
+        opcode: Opcode,
+        plan: ReplyPlan,
+        meter: &mut Meter,
+    ) -> crate::wire::ReplyFrame {
+        let mut ctx = SealCtx {
+            enclave: &mut self.enclave,
+            cost: &self.cost,
+            busy_retry_ns: self.config.busy_retry_ns,
+            evidence: self.store.evidence(),
+        };
+        seal::seal_plan(&mut ctx, &mut self.sessions.list[idx], opcode, plan, meter)
+    }
+
+    // Fixed per-op occupancy (fitted constants; DESIGN.md §4): part of it
+    // is on the request's critical path, the rest is polling overhead.
+    fn charge_fixed_occupancy(&mut self, opcode: Opcode, meter: &mut Meter) {
+        let cost = self.cost.clone();
+        let mut fixed = cost.precursor_get_fixed;
+        if opcode == Opcode::Put {
+            fixed += cost.precursor_put_extra;
+        }
+        if self.config.mode == EncryptionMode::ServerSide {
+            fixed += cost.server_enc_extra;
+        }
+        let critical = cost.critical_part(Cycles(fixed));
+        meter.charge(Stage::ServerCritical, cost.server_time(critical));
+        meter.charge(
+            Stage::ServerOverhead,
+            cost.server_time(Cycles(fixed - critical.0)),
+        );
+    }
+
+    // Decodes, authenticates and window-checks one popped request record —
+    // everything that must happen in a client's pop order, but *before*
+    // the key-addressed table access. The result tells the caller whether
+    // to reply straight away ([`Validated::Reject`]), re-issue the stored
+    // reply ([`Validated::Retransmit`]), or route the request to the shard
+    // owning its key ([`Validated::Execute`]).
+    fn validate_record(&mut self, idx: usize, record: &[u8], meter: &mut Meter) -> Validated {
+        let cost = self.cost.clone();
+
+        // Untrusted: the record was copied out of the ring by the poller.
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(cost.memcpy(record.len())),
+        );
+        meter.charge(
+            Stage::ServerCritical,
+            cost.server_time(Cycles(cost.rdma_poll_cycles)),
+        );
+
+        // Structurally invalid records still earn an error reply that at
+        // least unblocks the client (chain-linked like any other, so the
+        // client's verification stream stays contiguous).
+        let Ok(frame) = RequestFrame::decode(record) else {
+            return Validated::Reject {
+                status: Status::Error,
+                opcode: Opcode::Get,
+                oid: 0,
+                remember: false,
+            };
+        };
+        if frame.client_id as usize != idx {
+            return Validated::Reject {
+                status: Status::Error,
+                opcode: Opcode::Get,
+                oid: 0,
+                remember: false,
+            };
+        }
+        let opcode = frame.opcode;
+
+        // Only the control segment crosses into the enclave (§3.7 step 3).
+        self.enclave
+            .copy_across_boundary(frame.sealed_control.len(), meter, &cost);
+
+        // Trusted: decrypt + authenticate the control data (Algorithm 2,
+        // lines 2-3).
+        let session_key = self.sessions.list[idx].session_key.clone();
+        let aad = request_aad(opcode, frame.client_id);
+        meter.charge(
+            Stage::Enclave,
+            cost.server_time(cost.aes_gcm(frame.sealed_control.len())),
+        );
+        let Ok(control_plain) = gcm::open(&session_key, &frame.iv, &aad, &frame.sealed_control)
+        else {
+            return Validated::Reject {
+                status: Status::Error,
+                opcode,
+                oid: 0,
+                remember: false,
+            };
+        };
+        let Ok(control) = RequestControl::decode(&control_plain) else {
+            return Validated::Reject {
+                status: Status::Error,
+                opcode,
+                oid: 0,
+                remember: false,
+            };
+        };
+
+        // Replay detection, relaxed to an at-most-once window (Algorithm 2,
+        // lines 4-5): the per-client oid slot lives in trusted memory. The
+        // *previous* oid is tolerated — it is a retransmission after a lost
+        // reply (or a replayed frame, which then gains nothing: the cached
+        // acknowledgement is re-sent and no state changes). Anything else
+        // off-sequence is rejected.
+        self.enclave.touch(
+            self.sessions.client_region,
+            idx as u64 * 64,
+            64,
+            meter,
+            &cost,
+        );
+        let expected = self.sessions.list[idx].expected_oid;
+        let retransmit = control.oid != 0 && control.oid + 1 == expected;
+        if control.oid != expected && !retransmit {
+            return Validated::Reject {
+                status: Status::Replay,
+                opcode,
+                oid: control.oid,
+                remember: false,
+            };
+        }
+        if retransmit {
+            let no_stored_reply = self.ingress.ports[idx]
+                .as_ref()
+                .is_none_or(|p| p.last_reply.is_empty());
+            if no_stored_reply {
+                // The session was re-established since the operation ran
+                // (QP reconnect or crash-restart), so the original reply
+                // bytes — sealed under the old session key — are gone.
+                // Reads are idempotent: re-execute them for a full reply.
+                // Mutations must not run twice: acknowledge from the cached
+                // status.
+                if opcode == Opcode::Get {
+                    return Validated::Execute {
+                        opcode,
+                        control,
+                        frame,
+                    };
+                }
+                let cached = self.sessions.list[idx].last_status;
+                return Validated::Reject {
+                    status: cached,
+                    opcode,
+                    oid: control.oid,
+                    remember: true,
+                };
+            }
+            // Same session: re-issue the stored reply WRITEs verbatim
+            // (fills a reply-ring hole; the client dedups by reply_seq).
+            let cached = self.sessions.list[idx].last_status;
+            return Validated::Retransmit {
+                status: cached,
+                opcode,
+            };
+        }
+        self.sessions.list[idx].expected_oid += 1;
+        Validated::Execute {
+            opcode,
+            control,
+            frame,
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //!
 //! The injector sits inside the host software, not the transport: it is
 //! handed the server's reply ring writes before they are posted
-//! ([`on_reply_writes`](AdversaryInjector::on_reply_writes)) and a registry
+//! ([`on_reply_record`](AdversaryInjector::on_reply_record)) and a registry
 //! of live untrusted payload ranges
 //! ([`note_payload`](AdversaryInjector::note_payload) /
 //! [`on_sweep`](AdversaryInjector::on_sweep)). Rollback and fork attacks are

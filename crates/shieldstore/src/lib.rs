@@ -27,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod client;
 pub mod merkle;
 pub mod server;
 pub mod wire;
 
+pub use backend::ShieldBackend;
 pub use client::ShieldClient;
 pub use merkle::MerkleTree;
 pub use server::{ShieldConfig, ShieldOpReport, ShieldServer};

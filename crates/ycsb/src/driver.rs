@@ -11,22 +11,28 @@
 //!
 //! * the server CPU [`Pool`] (occupancy vs. critical path, DESIGN.md §4),
 //! * per-machine client NIC [`Link`]s and the server NIC links,
-//! * the RNIC QP cache (Precursor) or kernel-TCP latency + scheduling
-//!   jitter (ShieldStore),
+//! * the RNIC QP cache ([`Transport::Rdma`] backends) or kernel-TCP latency
+//!   + scheduling jitter ([`Transport::Tcp`] backends),
 //!
 //! yielding deterministic virtual-time throughput and latency
 //! distributions.
+//!
+//! The driver holds the system under test as one `Box<dyn TrustedKv>`: the
+//! warmup, measurement, and per-op hot loop are written once against the
+//! backend-neutral trait, and [`SystemKind`] matters only at construction.
+//! Any future [`TrustedKv`] implementor gets the full workload surface for
+//! free.
 //!
 //! A [`BenchSession`] keeps the warmed-up store alive across multiple
 //! measurement points (like the paper, which loads 600 k records once and
 //! then measures several read ratios), so parameter sweeps don't pay the
 //! warmup repeatedly.
 
-use precursor::wire::Status;
-use precursor::{Config, EncryptionMode, PrecursorClient, PrecursorServer};
+use precursor::backend::{KvOp, KvStatus, PrecursorBackend, Transport, TrustedKv};
+use precursor::{Config, EncryptionMode};
 use precursor_rdma::nic::RnicCache;
-use precursor_shieldstore::client::ShieldClient;
-use precursor_shieldstore::server::{ShieldConfig, ShieldServer};
+use precursor_shieldstore::backend::ShieldBackend;
+use precursor_shieldstore::server::ShieldConfig;
 use precursor_sim::engine::EventQueue;
 use precursor_sim::meter::Stage;
 use precursor_sim::rng::SimRng;
@@ -128,18 +134,6 @@ pub struct RunResult {
     pub duration: Nanos,
 }
 
-#[allow(clippy::large_enum_variant)] // one Sut exists per benchmark session
-enum Sut {
-    Precursor {
-        server: PrecursorServer,
-        clients: Vec<PrecursorClient>,
-    },
-    Shield {
-        server: ShieldServer,
-        clients: Vec<ShieldClient>,
-    },
-}
-
 // Per-op functional costs extracted from the meters.
 struct OpCosts {
     client_pre: Nanos,
@@ -152,10 +146,129 @@ struct OpCosts {
     shard: usize,
 }
 
+/// Everything needed to build a [`BenchSession`], gathered into a builder
+/// so the parameter list stays readable as knobs accrue.
+#[derive(Debug, Clone)]
+pub struct SessionParams {
+    system: SystemKind,
+    value_size: usize,
+    key_count: u64,
+    warmup_keys: u64,
+    max_clients: usize,
+    seed: u64,
+    shards: Option<usize>,
+}
+
+impl SessionParams {
+    /// Starts a parameter set for `system` with one client, 32-byte values,
+    /// an empty warmup, and seed 0.
+    pub fn new(system: SystemKind) -> SessionParams {
+        SessionParams {
+            system,
+            value_size: 32,
+            key_count: 0,
+            warmup_keys: 0,
+            max_clients: 1,
+            seed: 0,
+            shards: None,
+        }
+    }
+
+    /// Value size in bytes.
+    pub fn value_size(mut self, bytes: usize) -> SessionParams {
+        self.value_size = bytes;
+        self
+    }
+
+    /// Keyspace size and how many records warmup loads.
+    pub fn keys(mut self, key_count: u64, warmup_keys: u64) -> SessionParams {
+        self.key_count = key_count;
+        self.warmup_keys = warmup_keys;
+        self
+    }
+
+    /// How many clients to connect (measurements may use fewer).
+    pub fn max_clients(mut self, n: usize) -> SessionParams {
+        self.max_clients = n;
+        self
+    }
+
+    /// Seed for all stochastic choices.
+    pub fn seed(mut self, seed: u64) -> SessionParams {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the Precursor server with `shards` trusted polling shards and
+    /// replays each op's service time on the poller core owning its shard
+    /// (one core per shard, §3.8). Precursor family only.
+    pub fn shards(mut self, shards: usize) -> SessionParams {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Builds the system, connects `max_clients` clients, and loads the
+    /// warmup records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_clients == 0`, or `shards` was set to zero or
+    /// combined with a backend that has no trusted polling shards.
+    pub fn build(self, cost: &CostModel) -> BenchSession {
+        assert!(self.max_clients > 0, "need at least one client");
+        // The keyspace size lives in the WorkloadSpec at measure time; it
+        // is carried here only so call sites read as one parameter set.
+        let _ = self.key_count;
+        if let Some(shards) = self.shards {
+            assert!(shards > 0, "need at least one shard");
+            assert!(
+                self.system != SystemKind::ShieldStore,
+                "ShieldStore has no trusted polling shards"
+            );
+        }
+        // The only per-system dispatch in the driver: constructing the
+        // backend. Everything after runs through `dyn TrustedKv`.
+        let mut sut: Box<dyn TrustedKv> = match self.system {
+            SystemKind::Precursor | SystemKind::PrecursorServerEnc => {
+                let mode = if self.system == SystemKind::Precursor {
+                    EncryptionMode::ClientSide
+                } else {
+                    EncryptionMode::ServerSide
+                };
+                let config = Config {
+                    mode,
+                    max_clients: self.max_clients + 1,
+                    pool_bytes: pool_size_for(self.value_size, self.warmup_keys),
+                    shards: self.shards.unwrap_or(1),
+                    ..Config::default()
+                };
+                Box::new(PrecursorBackend::new(config, cost))
+            }
+            SystemKind::ShieldStore => Box::new(ShieldBackend::new(ShieldConfig::default(), cost)),
+        };
+        for i in 0..self.max_clients {
+            sut.connect(self.seed ^ ((i as u64) << 8)).expect("connect");
+        }
+        let mut session = BenchSession {
+            system: self.system,
+            sut,
+            cost: cost.clone(),
+            value_size: self.value_size,
+            seed: self.seed,
+            measurements: 0,
+            shards: self.shards,
+        };
+        if self.warmup_keys > 0 {
+            session.load_more(0, self.warmup_keys);
+        }
+        session
+    }
+}
+
 /// A warmed-up system instance reusable across measurement points.
 pub struct BenchSession {
     system: SystemKind,
-    sut: Sut,
+    sut: Box<dyn TrustedKv>,
     cost: CostModel,
     value_size: usize,
     seed: u64,
@@ -168,7 +281,8 @@ pub struct BenchSession {
 
 impl BenchSession {
     /// Builds the system with `max_clients` connected clients and loads
-    /// `warmup_keys` records of `value_size` bytes.
+    /// `warmup_keys` records of `value_size` bytes — shorthand for the
+    /// common [`SessionParams`] chain.
     ///
     /// # Panics
     ///
@@ -182,111 +296,12 @@ impl BenchSession {
         seed: u64,
         cost: &CostModel,
     ) -> BenchSession {
-        Self::build(
-            system,
-            value_size,
-            key_count,
-            warmup_keys,
-            max_clients,
-            seed,
-            cost,
-            None,
-        )
-    }
-
-    /// Like [`new`](Self::new), but runs the Precursor server with `shards`
-    /// trusted polling shards and replays each op's service time on the
-    /// poller core owning its shard (one core per shard, §3.8). Precursor
-    /// family only.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_clients == 0`, `shards == 0`, or the system is
-    /// ShieldStore (which has no trusted polling shards).
-    #[allow(clippy::too_many_arguments)]
-    pub fn with_shards(
-        system: SystemKind,
-        value_size: usize,
-        key_count: u64,
-        warmup_keys: u64,
-        max_clients: usize,
-        seed: u64,
-        cost: &CostModel,
-        shards: usize,
-    ) -> BenchSession {
-        assert!(shards > 0, "need at least one shard");
-        assert!(
-            system != SystemKind::ShieldStore,
-            "ShieldStore has no trusted polling shards"
-        );
-        Self::build(
-            system,
-            value_size,
-            key_count,
-            warmup_keys,
-            max_clients,
-            seed,
-            cost,
-            Some(shards),
-        )
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn build(
-        system: SystemKind,
-        value_size: usize,
-        key_count: u64,
-        warmup_keys: u64,
-        max_clients: usize,
-        seed: u64,
-        cost: &CostModel,
-        shards: Option<usize>,
-    ) -> BenchSession {
-        assert!(max_clients > 0, "need at least one client");
-        let _ = key_count;
-        let sut = match system {
-            SystemKind::Precursor | SystemKind::PrecursorServerEnc => {
-                let mode = if system == SystemKind::Precursor {
-                    EncryptionMode::ClientSide
-                } else {
-                    EncryptionMode::ServerSide
-                };
-                let config = Config {
-                    mode,
-                    max_clients: max_clients + 1,
-                    pool_bytes: pool_size_for(value_size, warmup_keys),
-                    shards: shards.unwrap_or(1),
-                    ..Config::default()
-                };
-                let mut server = PrecursorServer::new(config, cost);
-                let clients = (0..max_clients)
-                    .map(|i| {
-                        PrecursorClient::connect(&mut server, seed ^ ((i as u64) << 8))
-                            .expect("connect")
-                    })
-                    .collect();
-                Sut::Precursor { server, clients }
-            }
-            SystemKind::ShieldStore => {
-                let config = ShieldConfig::default();
-                let mut server = ShieldServer::new(config, cost);
-                let clients = (0..max_clients)
-                    .map(|i| ShieldClient::connect(&mut server, seed ^ ((i as u64) << 8)))
-                    .collect();
-                Sut::Shield { server, clients }
-            }
-        };
-        let mut session = BenchSession {
-            system,
-            sut,
-            cost: cost.clone(),
-            value_size,
-            seed,
-            measurements: 0,
-            shards,
-        };
-        session.warmup(warmup_keys);
-        session
+        SessionParams::new(system)
+            .value_size(value_size)
+            .keys(key_count, warmup_keys)
+            .max_clients(max_clients)
+            .seed(seed)
+            .build(cost)
     }
 
     /// The system this session drives.
@@ -298,66 +313,36 @@ impl BenchSession {
     /// by the EPC-paging experiment, which grows the keyspace to 3 M).
     pub fn load_more(&mut self, start_id: u64, extra: u64) {
         let size = self.value_size;
-        match &mut self.sut {
-            Sut::Precursor { server, clients } => {
-                let client = &mut clients[0];
-                let frame = 160 + size + KEY_LEN;
-                let batch = (server.config().ring_bytes / (2 * frame)).max(1);
-                let mut pending = 0;
-                for id in start_id..start_id + extra {
-                    client
-                        .put(&key_bytes(id), &value_bytes(id, 0, size))
-                        .expect("warmup put");
-                    pending += 1;
-                    if pending == batch {
-                        // The fairness budget caps records per client per
-                        // sweep; a bulk load must sweep until the ring
-                        // drains.
-                        while server.poll() > 0 {
-                            client.poll_replies();
-                        }
-                        client.poll_replies();
-                        pending = 0;
-                    }
+        let frame = 160 + size + KEY_LEN;
+        let batch = self.sut.warmup_batch(frame);
+        let mut pending = 0;
+        for id in start_id..start_id + extra {
+            self.sut
+                .submit(0, KvOp::Put, &key_bytes(id), &value_bytes(id, 0, size))
+                .expect("warmup put");
+            pending += 1;
+            if pending == batch {
+                // The fairness budget caps records per client per sweep; a
+                // bulk load must sweep until the ring drains.
+                while self.sut.poll() > 0 {
+                    self.sut.poll_replies(0);
                 }
-                while server.poll() > 0 {
-                    client.poll_replies();
-                }
-                client.poll_replies();
-                client.take_all_completed();
-                client.take_meter();
-                server.take_reports();
-            }
-            Sut::Shield { server, clients } => {
-                let client = &mut clients[0];
-                for id in start_id..start_id + extra {
-                    client.put(&key_bytes(id), &value_bytes(id, 0, size));
-                    if id % 256 == 255 {
-                        server.poll();
-                        client.poll_replies();
-                    }
-                }
-                server.poll();
-                client.poll_replies();
-                client.take_all_completed();
-                client.take_meter();
-                server.take_reports();
+                self.sut.poll_replies(0);
+                pending = 0;
             }
         }
-    }
-
-    fn warmup(&mut self, warmup_keys: u64) {
-        if warmup_keys > 0 {
-            self.load_more(0, warmup_keys);
+        while self.sut.poll() > 0 {
+            self.sut.poll_replies(0);
         }
+        self.sut.poll_replies(0);
+        self.sut.take_completed(0);
+        self.sut.take_client_meter(0);
+        self.sut.take_reports();
     }
 
     /// The enclave report of the underlying server.
     pub fn sgx_report(&self) -> precursor_sgx::SgxPerfReport {
-        match &self.sut {
-            Sut::Precursor { server, .. } => server.sgx_report(),
-            Sut::Shield { server, .. } => server.sgx_report(),
-        }
+        self.sut.sgx_report()
     }
 
     /// Runs one measured window of `measure_ops` operations with `clients`
@@ -372,11 +357,10 @@ impl BenchSession {
         clients: usize,
         measure_ops: u64,
     ) -> RunResult {
-        let n_connected = match &self.sut {
-            Sut::Precursor { clients, .. } => clients.len(),
-            Sut::Shield { clients, .. } => clients.len(),
-        };
-        assert!(clients > 0 && clients <= n_connected, "bad client count");
+        assert!(
+            clients > 0 && clients <= self.sut.clients(),
+            "bad client count"
+        );
         assert!(measure_ops > 0, "empty measurement");
         self.measurements += 1;
         let cost = self.cost.clone();
@@ -413,7 +397,7 @@ impl BenchSession {
             }
         };
         let mut rnic = RnicCache::new(cost.rnic_cache_qps);
-        let is_tcp = self.system == SystemKind::ShieldStore;
+        let is_tcp = self.sut.transport() == Transport::Tcp;
         // Enclave polling sweeps every connected ring: occupancy per op
         // scales with the client count relative to the calibration baseline
         // (§5.2: "the necessary polling in the enclave ... might incur much
@@ -548,12 +532,14 @@ impl BenchSession {
             avg_server: server_sum / measured,
             avg_client: client_sum / measured,
             server_utilization: server_cpu.utilization(duration),
-            epc: self.sgx_report(),
+            epc: self.sut.sgx_report(),
             ops: measure_ops,
             duration,
         }
     }
 
+    // The hot loop: one functional op through the backend-neutral trait —
+    // no per-system dispatch.
     fn execute_op(
         &mut self,
         workload: &WorkloadSpec,
@@ -564,64 +550,31 @@ impl BenchSession {
     ) -> OpCosts {
         let key = key_bytes(key_id);
         let size = workload.value_size;
-        match &mut self.sut {
-            Sut::Precursor { server, clients } => {
-                let client = &mut clients[c];
-                client.take_meter();
-                match kind {
-                    OpKind::Read => client.get(&key).expect("get send"),
-                    OpKind::Update => client
-                        .put(&key, &value_bytes(key_id, version, size))
-                        .expect("put send"),
-                };
-                let pre = client.take_meter();
-                server.poll();
-                let report = server.take_reports().pop().expect("one op processed");
-                debug_assert_ne!(report.status, Status::Replay);
-                let client = &mut clients[c];
-                client.poll_replies();
-                client.take_all_completed();
-                let post = client.take_meter();
+        let sut = self.sut.as_mut();
+        sut.take_client_meter(c);
+        match kind {
+            OpKind::Read => sut.submit(c, KvOp::Get, &key, &[]),
+            OpKind::Update => sut.submit(c, KvOp::Put, &key, &value_bytes(key_id, version, size)),
+        }
+        .expect("op send");
+        let pre = sut.take_client_meter(c);
+        sut.poll();
+        let report = sut.take_reports().pop().expect("one op processed");
+        debug_assert_ne!(report.status, KvStatus::Replay);
+        sut.poll_replies(c);
+        sut.take_completed(c);
+        let post = sut.take_client_meter(c);
 
-                let server_critical =
-                    report.meter.get(Stage::ServerCritical) + report.meter.get(Stage::Enclave);
-                OpCosts {
-                    client_pre: pre.get(Stage::ClientCpu),
-                    client_post: post.get(Stage::ClientCpu),
-                    req_bytes: pre.counters().tx_bytes as usize,
-                    reply_bytes: report.meter.counters().tx_bytes as usize,
-                    server_critical,
-                    server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
-                    shard: report.shard as usize,
-                }
-            }
-            Sut::Shield { server, clients } => {
-                let client = &mut clients[c];
-                client.take_meter();
-                match kind {
-                    OpKind::Read => client.get(&key),
-                    OpKind::Update => client.put(&key, &value_bytes(key_id, version, size)),
-                };
-                let pre = client.take_meter();
-                server.poll();
-                let report = server.take_reports().pop().expect("one op processed");
-                let client = &mut clients[c];
-                client.poll_replies();
-                client.take_all_completed();
-                let post = client.take_meter();
-
-                let server_critical =
-                    report.meter.get(Stage::ServerCritical) + report.meter.get(Stage::Enclave);
-                OpCosts {
-                    client_pre: pre.get(Stage::ClientCpu),
-                    client_post: post.get(Stage::ClientCpu),
-                    req_bytes: pre.counters().tx_bytes as usize,
-                    reply_bytes: report.meter.counters().tx_bytes as usize,
-                    server_critical,
-                    server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
-                    shard: 0,
-                }
-            }
+        let server_critical =
+            report.meter.get(Stage::ServerCritical) + report.meter.get(Stage::Enclave);
+        OpCosts {
+            client_pre: pre.get(Stage::ClientCpu),
+            client_post: post.get(Stage::ClientCpu),
+            req_bytes: pre.counters().tx_bytes as usize,
+            reply_bytes: report.meter.counters().tx_bytes as usize,
+            server_critical,
+            server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
+            shard: report.shard as usize,
         }
     }
 }
@@ -731,10 +684,13 @@ mod tests {
         // spread the same offered load over four cores (fig6).
         let cost = CostModel::default();
         let spec = WorkloadSpec::workload_c(32, 2_000);
-        let mut one =
-            BenchSession::with_shards(SystemKind::Precursor, 32, 2_000, 2_000, 16, 11, &cost, 1);
-        let mut four =
-            BenchSession::with_shards(SystemKind::Precursor, 32, 2_000, 2_000, 16, 11, &cost, 4);
+        let params = SessionParams::new(SystemKind::Precursor)
+            .value_size(32)
+            .keys(2_000, 2_000)
+            .max_clients(16)
+            .seed(11);
+        let mut one = params.clone().shards(1).build(&cost);
+        let mut four = params.shards(4).build(&cost);
         let r1 = one.measure(&spec, 16, 4_000);
         let r4 = four.measure(&spec, 16, 4_000);
         assert!(

@@ -1,0 +1,171 @@
+//! Cross-backend smoke test: every [`TrustedKv`] implementor — Precursor
+//! client-encryption, Precursor server-encryption, and ShieldStore — is
+//! instantiated through the trait and driven through one mixed
+//! GET/SET/DELETE sequence. The observable results (per-op status and
+//! value, final store size, per-op report stream) must be identical across
+//! backends: the trait contract, not any particular implementation, defines
+//! the semantics.
+
+use precursor::backend::{KvCompleted, KvOp, KvStatus, PrecursorBackend, Transport, TrustedKv};
+use precursor::{Config, EncryptionMode};
+use precursor_shieldstore::backend::ShieldBackend;
+use precursor_shieldstore::server::ShieldConfig;
+use precursor_sim::CostModel;
+
+fn backends() -> Vec<Box<dyn TrustedKv>> {
+    let cost = CostModel::default();
+    let client_enc = Config {
+        mode: EncryptionMode::ClientSide,
+        ..Config::default()
+    };
+    let server_enc = Config {
+        mode: EncryptionMode::ServerSide,
+        ..Config::default()
+    };
+    vec![
+        Box::new(PrecursorBackend::new(client_enc, &cost)),
+        Box::new(PrecursorBackend::new(server_enc, &cost)),
+        Box::new(ShieldBackend::new(ShieldConfig::default(), &cost)),
+    ]
+}
+
+// The observable outcome of one op, comparable across backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observed {
+    op: KvOp,
+    status: KvStatus,
+    value: Option<Vec<u8>>,
+}
+
+fn observe(done: KvCompleted) -> Observed {
+    Observed {
+        op: done.op,
+        status: done.status,
+        value: done.value,
+    }
+}
+
+// One mixed GET/SET/DELETE script over two clients. Returns every op's
+// observable outcome in script order plus the final store size.
+fn run_script(kv: &mut dyn TrustedKv) -> (Vec<Observed>, usize) {
+    let c0 = kv.connect(7).expect("connect c0");
+    let c1 = kv.connect(1007).expect("connect c1");
+    let script: &[(usize, KvOp, &[u8], &[u8])] = &[
+        (c0, KvOp::Put, b"alpha", b"value-one"),
+        (c0, KvOp::Get, b"alpha", b""),
+        (c1, KvOp::Get, b"alpha", b""),
+        (c1, KvOp::Put, b"alpha", b"value-two-longer"),
+        (c0, KvOp::Get, b"alpha", b""),
+        (c0, KvOp::Get, b"missing", b""),
+        (c1, KvOp::Put, b"beta", b"b"),
+        (c0, KvOp::Delete, b"alpha", b""),
+        (c1, KvOp::Get, b"alpha", b""),
+        (c0, KvOp::Delete, b"alpha", b""),
+        (c1, KvOp::Get, b"beta", b""),
+    ];
+    let mut observed = Vec::new();
+    for &(client, op, key, value) in script {
+        let done = kv.op_sync(client, op, key, value).expect("op completes");
+        observed.push(observe(done));
+    }
+    (observed, kv.store_len())
+}
+
+#[test]
+fn mixed_sequence_is_identical_across_backends() {
+    let mut results = Vec::new();
+    for mut kv in backends() {
+        let name = kv.name();
+        results.push((name, run_script(kv.as_mut())));
+    }
+    let (baseline_name, baseline) = &results[0];
+    for (name, outcome) in &results[1..] {
+        assert_eq!(
+            outcome, baseline,
+            "{name} observable results diverge from {baseline_name}"
+        );
+    }
+    // Sanity on the shared expectation itself, not just cross-agreement.
+    let (ops, len) = baseline;
+    assert_eq!(*len, 1, "only `beta` should survive the script");
+    assert_eq!(ops[0].status, KvStatus::Ok);
+    assert_eq!(ops[1].value.as_deref(), Some(&b"value-one"[..]));
+    assert_eq!(ops[4].value.as_deref(), Some(&b"value-two-longer"[..]));
+    assert_eq!(ops[5].status, KvStatus::NotFound);
+    assert_eq!(ops[8].status, KvStatus::NotFound);
+    assert_eq!(ops[9].status, KvStatus::NotFound, "double delete");
+    assert_eq!(ops[10].value.as_deref(), Some(&b"b"[..]));
+}
+
+#[test]
+fn report_stream_matches_across_backends() {
+    let mut streams = Vec::new();
+    for mut kv in backends() {
+        let c0 = kv.connect(3).expect("connect");
+        for (op, key, value) in [
+            (KvOp::Put, &b"k1"[..], &b"v1"[..]),
+            (KvOp::Get, b"k1", b""),
+            (KvOp::Delete, b"k1", b""),
+            (KvOp::Get, b"k1", b""),
+        ] {
+            kv.op_sync(c0, op, key, value).expect("op completes");
+        }
+        let reports: Vec<(KvOp, KvStatus, usize)> = kv
+            .take_reports()
+            .into_iter()
+            .map(|r| (r.op, r.status, r.value_len))
+            .collect();
+        streams.push((kv.name(), reports));
+    }
+    let (_, baseline) = &streams[0];
+    assert_eq!(
+        baseline
+            .iter()
+            .map(|(op, status, _)| (*op, *status))
+            .collect::<Vec<_>>(),
+        vec![
+            (KvOp::Put, KvStatus::Ok),
+            (KvOp::Get, KvStatus::Ok),
+            (KvOp::Delete, KvStatus::Ok),
+            (KvOp::Get, KvStatus::NotFound),
+        ]
+    );
+    for (name, stream) in &streams[1..] {
+        assert_eq!(stream, baseline, "{name} report stream diverges");
+    }
+}
+
+#[test]
+fn transports_are_declared_correctly() {
+    let kinds: Vec<(String, Transport)> = backends()
+        .iter()
+        .map(|kv| (kv.name().to_string(), kv.transport()))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ("Precursor".to_string(), Transport::Rdma),
+            ("Precursor server-encryption".to_string(), Transport::Rdma),
+            ("ShieldStore".to_string(), Transport::Tcp),
+        ]
+    );
+}
+
+#[test]
+fn meters_flow_through_the_trait() {
+    for mut kv in backends() {
+        let c = kv.connect(9).expect("connect");
+        kv.take_client_meter(c);
+        kv.op_sync(c, KvOp::Put, b"metered", b"payload-bytes")
+            .expect("put");
+        let meter = kv.take_client_meter(c);
+        assert!(
+            meter.counters().tx_bytes > 0,
+            "{}: client meter should record transmitted bytes",
+            kv.name()
+        );
+        let reports = kv.take_reports();
+        assert_eq!(reports.len(), 1, "{}", kv.name());
+        assert_eq!(reports[0].shard, 0, "single-shard/shardless backends");
+    }
+}

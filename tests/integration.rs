@@ -315,3 +315,92 @@ fn server_audit_confirms_intact_storage() {
     assert_eq!(server.audit_key(b"k"), Some(true));
     assert_eq!(server.audit_key(b"missing"), None);
 }
+
+// ---------------------------------------------------------------------------
+// Backend-neutral suite: the same integration-level expectations expressed
+// once against `dyn TrustedKv` and run over every implementor, so any
+// future backend inherits them for free.
+// ---------------------------------------------------------------------------
+
+mod trait_generic {
+    use precursor::backend::{KvOp, KvStatus, PrecursorBackend, TrustedKv};
+    use precursor::{Config, EncryptionMode};
+    use precursor_shieldstore::backend::ShieldBackend;
+    use precursor_shieldstore::server::ShieldConfig;
+    use precursor_sim::CostModel;
+
+    fn implementors() -> Vec<Box<dyn TrustedKv>> {
+        let cost = CostModel::default();
+        vec![
+            Box::new(PrecursorBackend::new(Config::default(), &cost)),
+            Box::new(PrecursorBackend::new(
+                Config {
+                    mode: EncryptionMode::ServerSide,
+                    ..Config::default()
+                },
+                &cost,
+            )),
+            Box::new(ShieldBackend::new(ShieldConfig::default(), &cost)),
+        ]
+    }
+
+    fn roundtrip_suite(kv: &mut dyn TrustedKv) {
+        let name = kv.name();
+        let c = kv.connect(7).expect("connect");
+
+        // put → get returns the value
+        let put = kv.op_sync(c, KvOp::Put, b"key-1", b"value-1").unwrap();
+        assert_eq!(put.status, KvStatus::Ok, "{name}: put");
+        let got = kv.op_sync(c, KvOp::Get, b"key-1", b"").unwrap();
+        assert_eq!(got.value.as_deref(), Some(&b"value-1"[..]), "{name}: get");
+        assert_eq!(kv.store_len(), 1, "{name}");
+
+        // missing key
+        let miss = kv.op_sync(c, KvOp::Get, b"nope", b"").unwrap();
+        assert_eq!(miss.status, KvStatus::NotFound, "{name}: missing get");
+
+        // overwrite keeps one live key and returns the latest value
+        kv.op_sync(c, KvOp::Put, b"key-1", b"v2-different-length")
+            .unwrap();
+        let got = kv.op_sync(c, KvOp::Get, b"key-1", b"").unwrap();
+        assert_eq!(
+            got.value.as_deref(),
+            Some(&b"v2-different-length"[..]),
+            "{name}: overwrite"
+        );
+        assert_eq!(kv.store_len(), 1, "{name}: overwrite must not duplicate");
+
+        // delete removes the key; a second delete reports NotFound
+        let del = kv.op_sync(c, KvOp::Delete, b"key-1", b"").unwrap();
+        assert_eq!(del.status, KvStatus::Ok, "{name}: delete");
+        let gone = kv.op_sync(c, KvOp::Get, b"key-1", b"").unwrap();
+        assert_eq!(gone.status, KvStatus::NotFound, "{name}: deleted get");
+        let again = kv.op_sync(c, KvOp::Delete, b"key-1", b"").unwrap();
+        assert_eq!(again.status, KvStatus::NotFound, "{name}: double delete");
+        assert_eq!(kv.store_len(), 0, "{name}");
+    }
+
+    #[test]
+    fn every_backend_passes_the_roundtrip_suite() {
+        for mut kv in implementors() {
+            roundtrip_suite(kv.as_mut());
+        }
+    }
+
+    #[test]
+    fn every_backend_isolates_clients_by_session() {
+        for mut kv in implementors() {
+            let name = kv.name();
+            let c0 = kv.connect(1).expect("connect");
+            let c1 = kv.connect(2).expect("connect");
+            assert_eq!(kv.clients(), 2, "{name}");
+            kv.op_sync(c0, KvOp::Put, b"shared", b"from-c0").unwrap();
+            let got = kv.op_sync(c1, KvOp::Get, b"shared", b"").unwrap();
+            assert_eq!(
+                got.value.as_deref(),
+                Some(&b"from-c0"[..]),
+                "{name}: one store, many sessions"
+            );
+        }
+    }
+}

@@ -194,3 +194,239 @@ mod shard_routing {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wire-format round-trip properties: every frame/control codec in
+// `precursor::wire` and `precursor_shieldstore::wire` must decode its own
+// encoding back to the identical value, must reject every truncation that
+// cuts structure, and must never silently accept a bit-flipped buffer as
+// the original message.
+// ---------------------------------------------------------------------------
+
+mod wire_roundtrip {
+    use precursor::wire::{Opcode, ReplyControl, ReplyFrame, RequestControl, RequestFrame, Status};
+    use precursor_crypto::keys::{Key256, Nonce12, Nonce8, Tag};
+    use precursor_shieldstore::wire as shield;
+    use precursor_sim::rng::SimRng;
+
+    const CASES: u64 = 300;
+
+    fn bytes(rng: &mut SimRng, max: u64) -> Vec<u8> {
+        let mut v = vec![0u8; rng.gen_range(max) as usize];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    fn array<const N: usize>(rng: &mut SimRng) -> [u8; N] {
+        let mut a = [0u8; N];
+        rng.fill_bytes(&mut a);
+        a
+    }
+
+    fn opcode(rng: &mut SimRng) -> Opcode {
+        match rng.gen_range(3) {
+            0 => Opcode::Put,
+            1 => Opcode::Get,
+            _ => Opcode::Delete,
+        }
+    }
+
+    fn status(rng: &mut SimRng) -> Status {
+        match rng.gen_range(5) {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            2 => Status::Replay,
+            3 => Status::Error,
+            _ => Status::Busy,
+        }
+    }
+
+    fn request_frame(rng: &mut SimRng) -> RequestFrame {
+        RequestFrame {
+            opcode: opcode(rng),
+            client_id: rng.next_u32(),
+            iv: Nonce12::from_bytes(array(rng)),
+            sealed_control: bytes(rng, 120),
+            mac: Tag::from_bytes(array(rng)),
+            payload: bytes(rng, 300),
+        }
+    }
+
+    fn reply_frame(rng: &mut SimRng) -> ReplyFrame {
+        ReplyFrame {
+            status: status(rng),
+            opcode: opcode(rng),
+            reply_seq: u64::from(rng.next_u32()),
+            sealed_control: bytes(rng, 120),
+            payload: bytes(rng, 300),
+        }
+    }
+
+    fn request_control(rng: &mut SimRng) -> RequestControl {
+        let with_key_material = rng.gen_range(2) == 0;
+        RequestControl {
+            oid: u64::from(rng.next_u32()),
+            key: bytes(rng, 60),
+            k_op: with_key_material.then(|| Key256::from_bytes(array(rng))),
+            payload_nonce: with_key_material.then(|| Nonce8::from_bytes(array(rng))),
+        }
+    }
+
+    fn reply_control(rng: &mut SimRng) -> ReplyControl {
+        let with_get_fields = rng.gen_range(2) == 0;
+        ReplyControl {
+            oid: u64::from(rng.next_u32()),
+            k_op: with_get_fields.then(|| Key256::from_bytes(array(rng))),
+            payload_nonce: with_get_fields.then(|| Nonce8::from_bytes(array(rng))),
+            mac: with_get_fields.then(|| Tag::from_bytes(array(rng))),
+            epoch: rng.next_u32(),
+            store_seq: u64::from(rng.next_u32()),
+            store_digest: array(rng),
+            chain: Tag::from_bytes(array(rng)),
+            retry_after_ns: u64::from(rng.next_u32()),
+        }
+    }
+
+    // Truncating strictly inside the encoding must never decode to the
+    // original message; flipping one bit must either be rejected or decode
+    // to something observably different.
+    fn assert_rejects_corruption<T, D>(original: &T, encoded: &[u8], rng: &mut SimRng, decode: D)
+    where
+        T: PartialEq + std::fmt::Debug,
+        D: Fn(&[u8]) -> Option<T>,
+    {
+        if !encoded.is_empty() {
+            let cut = (rng.gen_range(encoded.len() as u64)) as usize;
+            if let Some(t) = decode(&encoded[..cut]) {
+                assert_ne!(&t, original, "truncation at {cut} reproduced the frame");
+            }
+            let mut flipped = encoded.to_vec();
+            let bit = rng.gen_range(8 * encoded.len() as u64) as usize;
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            if let Some(t) = decode(&flipped) {
+                assert_ne!(&t, original, "bit flip {bit} went unnoticed");
+            }
+        }
+    }
+
+    #[test]
+    fn precursor_request_frames_roundtrip() {
+        let mut rng = SimRng::seed_from(0x11F0);
+        for _ in 0..CASES {
+            let frame = request_frame(&mut rng);
+            let encoded = frame.encode();
+            assert_eq!(RequestFrame::decode(&encoded).unwrap(), frame);
+            assert_rejects_corruption(&frame, &encoded, &mut rng, |b| RequestFrame::decode(b).ok());
+        }
+    }
+
+    #[test]
+    fn precursor_reply_frames_roundtrip() {
+        let mut rng = SimRng::seed_from(0x11F1);
+        for _ in 0..CASES {
+            let frame = reply_frame(&mut rng);
+            let encoded = frame.encode();
+            assert_eq!(ReplyFrame::decode(&encoded).unwrap(), frame);
+            assert_rejects_corruption(&frame, &encoded, &mut rng, |b| ReplyFrame::decode(b).ok());
+        }
+    }
+
+    #[test]
+    fn precursor_request_controls_roundtrip() {
+        let mut rng = SimRng::seed_from(0x11F2);
+        for _ in 0..CASES {
+            let control = request_control(&mut rng);
+            let encoded = control.encode();
+            assert_eq!(RequestControl::decode(&encoded).unwrap(), control);
+            assert_eq!(
+                encoded.len(),
+                RequestControl::encoded_len(control.key.len(), control.k_op.is_some()),
+                "encoded_len must predict the encoding"
+            );
+            assert_rejects_corruption(&control, &encoded, &mut rng, |b| {
+                RequestControl::decode(b).ok()
+            });
+        }
+    }
+
+    #[test]
+    fn precursor_reply_controls_roundtrip() {
+        let mut rng = SimRng::seed_from(0x11F3);
+        for _ in 0..CASES {
+            let control = reply_control(&mut rng);
+            let encoded = control.encode();
+            assert_eq!(ReplyControl::decode(&encoded).unwrap(), control);
+            assert_rejects_corruption(&control, &encoded, &mut rng, |b| {
+                ReplyControl::decode(b).ok()
+            });
+        }
+    }
+
+    fn shield_op(rng: &mut SimRng) -> shield::ShieldOp {
+        match rng.gen_range(3) {
+            0 => shield::ShieldOp::Put,
+            1 => shield::ShieldOp::Get,
+            _ => shield::ShieldOp::Delete,
+        }
+    }
+
+    #[test]
+    fn shield_requests_roundtrip() {
+        let mut rng = SimRng::seed_from(0x11F4);
+        for _ in 0..CASES {
+            let op = shield_op(&mut rng);
+            let oid = u64::from(rng.next_u32());
+            let key = bytes(&mut rng, 60);
+            let value = bytes(&mut rng, 300);
+            let encoded = shield::encode_request(op, oid, &key, &value);
+            let (d_op, d_oid, d_key, d_value) =
+                shield::decode_request(&encoded).expect("roundtrip");
+            assert_eq!(
+                (d_op, d_oid, d_key, d_value),
+                (op, oid, &key[..], &value[..])
+            );
+
+            let original = (op, oid, key.clone(), value.clone());
+            assert_rejects_corruption(&original, &encoded, &mut rng, |b| {
+                shield::decode_request(b).map(|(o, i, k, v)| (o, i, k.to_vec(), v.to_vec()))
+            });
+        }
+    }
+
+    #[test]
+    fn shield_replies_roundtrip() {
+        let mut rng = SimRng::seed_from(0x11F5);
+        for _ in 0..CASES {
+            let status = match rng.gen_range(3) {
+                0 => shield::ShieldStatus::Ok,
+                1 => shield::ShieldStatus::NotFound,
+                _ => shield::ShieldStatus::Error,
+            };
+            let value = bytes(&mut rng, 300);
+            let encoded = shield::encode_reply(status, &value);
+            let (d_status, d_value) = shield::decode_reply(&encoded).expect("roundtrip");
+            assert_eq!((d_status, d_value), (status, &value[..]));
+
+            let original = (status, value.clone());
+            assert_rejects_corruption(&original, &encoded, &mut rng, |b| {
+                shield::decode_reply(b).map(|(s, v)| (s, v.to_vec()))
+            });
+        }
+    }
+
+    #[test]
+    fn shield_sealed_framing_roundtrips() {
+        let mut rng = SimRng::seed_from(0x11F6);
+        for _ in 0..CASES {
+            let iv = Nonce12::from_bytes(array(&mut rng));
+            let sealed = bytes(&mut rng, 200);
+            let framed = shield::frame_sealed(&iv, &sealed);
+            let (d_iv, d_sealed) = shield::unframe_sealed(&framed).expect("roundtrip");
+            assert_eq!((d_iv, d_sealed), (iv, &sealed[..]));
+            assert!(
+                shield::unframe_sealed(&framed[..rng.gen_range(12) as usize]).is_none(),
+                "a frame shorter than the IV must be rejected"
+            );
+        }
+    }
+}
