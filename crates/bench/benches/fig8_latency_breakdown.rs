@@ -1,6 +1,15 @@
-//! **Figure 8** — average get() latency split into *networking* and
-//! *server processing*, for value sizes 16 B – 8 KiB under a read-only
-//! workload.
+//! **Figure 8** — average get() latency split into *networking*, *server
+//! processing*, *enclave* and *client* stages, for value sizes
+//! 16 B – 8 KiB under a read-only workload.
+//!
+//! The stage columns come straight from the driver's per-op meter taps
+//! ([`StageBreakdown`]): client is the `ClientCpu` charge, server is the
+//! `ServerCritical` charge (the request's processing proper — what the
+//! paper instruments; `ServerOverhead` is occupancy that shapes
+//! throughput, not per-op latency), enclave is the `Enclave` charge, and
+//! networking is the residual of the end-to-end mean — transport legs and
+//! queueing, which the replay layer owns and the meters deliberately
+//! don't.
 //!
 //! Paper observations (§5.3): ShieldStore's server processing is 1.34×
 //! slower than Precursor's at small values, growing to 2.15× at large ones
@@ -9,12 +18,19 @@
 //! constant, and the RDMA-vs-TCP networking gap is ≈26×.
 
 use precursor_bench::{banner, print_table, write_csv, Scale};
+use precursor_sim::meter::Stage;
 use precursor_sim::{CostModel, Nanos};
-use precursor_ycsb::driver::{BenchSession, SystemKind};
+use precursor_ycsb::driver::{BenchSession, StageBreakdown, SystemKind};
 use precursor_ycsb::workload::WorkloadSpec;
 
 const CLIENTS: usize = 8;
 const SIZES: [usize; 7] = [16, 64, 128, 512, 1024, 4096, 8192];
+
+// Figure 8's "server" bar: critical-path processing as the meters
+// charged it (overhead occupancy is a throughput effect, not latency).
+fn server_ns(s: &StageBreakdown) -> Nanos {
+    s.mean(Stage::ServerCritical)
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -37,23 +53,29 @@ fn main() {
             let mut session = BenchSession::new(system, size, keys, keys, CLIENTS, 0xF18, &cost);
             let spec = WorkloadSpec::workload_c(size, keys);
             let r = session.measure(&spec, CLIENTS, scale.measure_ops);
+            let total = r.latency.mean();
+            let server = server_ns(&r.stages) + r.stages.mean(Stage::Enclave);
+            let client = r.stages.mean(Stage::ClientCpu);
+            // Residual: transport + queueing, owned by the replay layer.
+            let network = total.saturating_sub(server + client);
             match system {
                 SystemKind::Precursor => {
-                    precursor_server.push(r.avg_server);
-                    precursor_net.push(r.avg_network);
+                    precursor_server.push(server);
+                    precursor_net.push(network);
                 }
                 _ => {
-                    shield_server.push(r.avg_server);
-                    shield_net.push(r.avg_network);
+                    shield_server.push(server);
+                    shield_net.push(network);
                 }
             }
             rows.push(vec![
                 system.name().to_string(),
                 format!("{size}"),
-                format!("{}", r.avg_network),
-                format!("{}", r.avg_server),
-                format!("{}", r.avg_client),
-                format!("{}", r.latency.mean()),
+                format!("{network}"),
+                format!("{}", server_ns(&r.stages)),
+                format!("{}", r.stages.mean(Stage::Enclave)),
+                format!("{client}"),
+                format!("{total}"),
             ]);
         }
     }
@@ -63,6 +85,7 @@ fn main() {
             "value(B)",
             "networking",
             "server",
+            "enclave",
             "client",
             "total avg",
         ],
@@ -75,6 +98,7 @@ fn main() {
             "value_bytes",
             "network_ns",
             "server_ns",
+            "enclave_ns",
             "client_ns",
             "total_ns",
         ],

@@ -17,6 +17,8 @@ use std::path::PathBuf;
 
 use precursor_sim::stats::Summary;
 
+pub mod summary;
+
 /// Run-scale parameters, chosen by the `PRECURSOR_FULL` env var.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale {
@@ -120,7 +122,8 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("(csv: {})", path.display());
 }
 
-fn results_dir() -> PathBuf {
+/// Directory the benches mirror their outputs into.
+pub fn results_dir() -> PathBuf {
     // workspace root when run via `cargo bench`, else cwd
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();

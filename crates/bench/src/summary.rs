@@ -1,0 +1,353 @@
+//! Machine-readable bench trajectory: `BENCH_summary.json`.
+//!
+//! One seeded, fixed-scale sweep over the headline evaluation points —
+//! fig4 (YCSB mixes × systems), fig5 (value sizes), fig6 (shard scaling)
+//! and fig8 (per-stage latency breakdown) — rendered as a single JSON
+//! document the CI trajectory diff consumes. Everything is derived from
+//! sim virtual time and the per-op meter taps, so for a fixed seed the
+//! document is byte-identical across runs and machines.
+//!
+//! The scale is deliberately small and **fixed** (it ignores
+//! `PRECURSOR_FULL`): the committed baseline and a fresh run must be
+//! comparable point-for-point.
+
+use precursor_obs::JsonWriter;
+use precursor_sim::meter::Stage;
+use precursor_sim::CostModel;
+use precursor_ycsb::driver::{RunResult, SessionParams, SystemKind};
+use precursor_ycsb::workload::WorkloadSpec;
+
+/// Seed of the committed trajectory baseline.
+pub const SUMMARY_SEED: u64 = 0xB5EED;
+
+/// Fixed trajectory scale (independent of `PRECURSOR_FULL`).
+const WARMUP_KEYS: u64 = 20_000;
+const MEASURE_OPS: u64 = 8_000;
+const CLIENTS: usize = 8;
+const VALUE_BYTES: usize = 128;
+
+/// Throughput may regress by at most this fraction vs. the baseline.
+pub const MAX_THROUGHPUT_DROP: f64 = 0.05;
+/// p99 latency may grow by at most this fraction vs. the baseline.
+pub const MAX_P99_GROWTH: f64 = 0.05;
+
+/// One measured evaluation point of the trajectory.
+#[derive(Debug, Clone)]
+pub struct SummaryPoint {
+    /// Which figure the point belongs to (`"fig4"` … `"fig8"`).
+    pub fig: &'static str,
+    /// Point label within the figure (workload, size, shard count).
+    pub label: String,
+    /// System under test.
+    pub system: &'static str,
+    /// Ops per second of virtual time.
+    pub throughput_ops: f64,
+    /// End-to-end latency percentiles (ns of virtual time).
+    pub p50_ns: u64,
+    /// 95th percentile latency.
+    pub p95_ns: u64,
+    /// 99th percentile latency.
+    pub p99_ns: u64,
+    /// Mean per-op meter charge per stage, in [`Stage::ALL`] order.
+    pub stage_ns_per_op: [u64; 5],
+    /// Mean per-op meter charge summed over all stages.
+    pub stage_total_ns_per_op: u64,
+    /// Distinct EPC pages touched by the end of the point.
+    pub epc_working_set_pages: u64,
+    /// EPC faults incurred by the end of the point.
+    pub epc_faults: u64,
+    /// Operations measured.
+    pub ops: u64,
+}
+
+// Snake-case JSON keys for the stage objects (Display uses hyphens).
+fn stage_key(stage: Stage) -> &'static str {
+    match stage {
+        Stage::ClientCpu => "client_cpu",
+        Stage::ServerCritical => "server_critical",
+        Stage::ServerOverhead => "server_overhead",
+        Stage::Enclave => "enclave",
+        Stage::Network => "network",
+    }
+}
+
+fn point(fig: &'static str, label: String, system: SystemKind, r: &RunResult) -> SummaryPoint {
+    let mut stage_ns_per_op = [0u64; 5];
+    for (slot, stage) in stage_ns_per_op.iter_mut().zip(Stage::ALL) {
+        *slot = r.stages.mean(stage).0;
+    }
+    SummaryPoint {
+        fig,
+        label,
+        system: system.name(),
+        throughput_ops: r.throughput_ops,
+        p50_ns: r.latency.percentile(50.0).0,
+        p95_ns: r.latency.percentile(95.0).0,
+        p99_ns: r.latency.percentile(99.0).0,
+        stage_ns_per_op,
+        stage_total_ns_per_op: r.stages.mean_total().0,
+        epc_working_set_pages: r.epc.working_set_pages,
+        epc_faults: r.epc.epc_faults,
+        ops: r.ops,
+    }
+}
+
+/// Runs the fixed-scale trajectory sweep with `seed`.
+pub fn collect(seed: u64) -> Vec<SummaryPoint> {
+    let cost = CostModel::default();
+    let mut points = Vec::new();
+
+    // fig4: YCSB A/B/C on both systems, one warmed session per system.
+    for system in [SystemKind::Precursor, SystemKind::ShieldStore] {
+        let mut session = SessionParams::new(system)
+            .value_size(VALUE_BYTES)
+            .keys(WARMUP_KEYS, WARMUP_KEYS)
+            .max_clients(CLIENTS)
+            .seed(seed)
+            .build(&cost);
+        for (label, spec) in [
+            ("A", WorkloadSpec::workload_a(VALUE_BYTES, WARMUP_KEYS)),
+            ("B", WorkloadSpec::workload_b(VALUE_BYTES, WARMUP_KEYS)),
+            ("C", WorkloadSpec::workload_c(VALUE_BYTES, WARMUP_KEYS)),
+        ] {
+            let r = session.measure(&spec, CLIENTS, MEASURE_OPS);
+            points.push(point("fig4", label.to_string(), system, &r));
+        }
+    }
+
+    // fig5: value-size sweep on Precursor (read-only, like the paper).
+    for size in [64usize, 1024] {
+        let mut session = SessionParams::new(SystemKind::Precursor)
+            .value_size(size)
+            .keys(WARMUP_KEYS, WARMUP_KEYS)
+            .max_clients(CLIENTS)
+            .seed(seed)
+            .build(&cost);
+        let spec = WorkloadSpec::workload_c(size, WARMUP_KEYS);
+        let r = session.measure(&spec, CLIENTS, MEASURE_OPS);
+        points.push(point("fig5", format!("{size}B"), SystemKind::Precursor, &r));
+    }
+
+    // fig6: trusted-polling shard scaling under a saturating client count.
+    for shards in [1usize, 4] {
+        let mut session = SessionParams::new(SystemKind::Precursor)
+            .value_size(VALUE_BYTES)
+            .keys(WARMUP_KEYS, WARMUP_KEYS)
+            .max_clients(16)
+            .seed(seed)
+            .shards(shards)
+            .build(&cost);
+        let spec = WorkloadSpec::workload_c(VALUE_BYTES, WARMUP_KEYS);
+        let r = session.measure(&spec, 16, MEASURE_OPS);
+        points.push(point(
+            "fig6",
+            format!("shards={shards}"),
+            SystemKind::Precursor,
+            &r,
+        ));
+    }
+
+    // fig8: per-stage breakdown at 128 B, read-only, both systems.
+    for system in [SystemKind::Precursor, SystemKind::ShieldStore] {
+        let mut session = SessionParams::new(system)
+            .value_size(VALUE_BYTES)
+            .keys(WARMUP_KEYS, WARMUP_KEYS)
+            .max_clients(CLIENTS)
+            .seed(seed)
+            .build(&cost);
+        let spec = WorkloadSpec::workload_c(VALUE_BYTES, WARMUP_KEYS);
+        let r = session.measure(&spec, CLIENTS, MEASURE_OPS);
+        points.push(point("fig8", format!("{VALUE_BYTES}B"), system, &r));
+    }
+
+    points
+}
+
+/// Renders the trajectory document. Field order is fixed; [`compare`]
+/// relies on `"ops"` terminating each point.
+pub fn render_json(seed: u64, points: &[SummaryPoint]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.u64(1);
+    w.key("seed");
+    w.u64(seed);
+    w.key("scale");
+    w.begin_object();
+    w.key("warmup_keys");
+    w.u64(WARMUP_KEYS);
+    w.key("measure_ops");
+    w.u64(MEASURE_OPS);
+    w.key("clients");
+    w.u64(CLIENTS as u64);
+    w.key("value_bytes");
+    w.u64(VALUE_BYTES as u64);
+    w.end_object();
+    w.key("points");
+    w.begin_array();
+    for p in points {
+        w.begin_object();
+        w.key("fig");
+        w.string(p.fig);
+        w.key("label");
+        w.string(&p.label);
+        w.key("system");
+        w.string(p.system);
+        w.key("throughput_ops");
+        w.f64(p.throughput_ops);
+        w.key("p50_ns");
+        w.u64(p.p50_ns);
+        w.key("p95_ns");
+        w.u64(p.p95_ns);
+        w.key("p99_ns");
+        w.u64(p.p99_ns);
+        w.key("stage_ns_per_op");
+        w.begin_object();
+        for (stage, v) in Stage::ALL.into_iter().zip(p.stage_ns_per_op) {
+            w.key(stage_key(stage));
+            w.u64(v);
+        }
+        w.key("total");
+        w.u64(p.stage_total_ns_per_op);
+        w.end_object();
+        w.key("epc_working_set_pages");
+        w.u64(p.epc_working_set_pages);
+        w.key("epc_faults");
+        w.u64(p.epc_faults);
+        w.key("ops");
+        w.u64(p.ops);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+// The subset of a point the regression gate needs.
+#[derive(Debug, Clone, PartialEq)]
+struct GatePoint {
+    id: String,
+    throughput_ops: f64,
+    p99_ns: u64,
+}
+
+// Line-scans a document produced by `render_json` (whose field order is
+// fixed) — the workspace has no external JSON parser by design.
+fn parse_points(text: &str) -> Vec<GatePoint> {
+    let mut out = Vec::new();
+    let (mut fig, mut label, mut system) = (String::new(), String::new(), String::new());
+    let (mut throughput, mut p99) = (0.0f64, 0u64);
+    for line in text.lines() {
+        let t = line.trim().trim_end_matches(',');
+        let Some((key, value)) = t.split_once(": ") else {
+            continue;
+        };
+        let unquote = |s: &str| s.trim_matches('"').to_string();
+        match key {
+            "\"fig\"" => fig = unquote(value),
+            "\"label\"" => label = unquote(value),
+            "\"system\"" => system = unquote(value),
+            "\"throughput_ops\"" => throughput = value.parse().unwrap_or(0.0),
+            "\"p99_ns\"" => p99 = value.parse().unwrap_or(0),
+            // Last field of every point: flush.
+            "\"ops\"" => out.push(GatePoint {
+                id: format!("{fig}/{label}/{system}"),
+                throughput_ops: throughput,
+                p99_ns: p99,
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Diffs `current` against `baseline` (both `render_json` documents).
+/// Returns one message per regression: a >5% throughput drop, a >5% p99
+/// growth, or a baseline point missing from the current run. New points
+/// are allowed. An empty result means the gate passes.
+pub fn compare(baseline: &str, current: &str) -> Vec<String> {
+    let old = parse_points(baseline);
+    let new = parse_points(current);
+    let mut failures = Vec::new();
+    for o in &old {
+        let Some(n) = new.iter().find(|n| n.id == o.id) else {
+            failures.push(format!("{}: point missing from current run", o.id));
+            continue;
+        };
+        if n.throughput_ops < o.throughput_ops * (1.0 - MAX_THROUGHPUT_DROP) {
+            failures.push(format!(
+                "{}: throughput {:.0} ops/s is more than {:.0}% below baseline {:.0}",
+                o.id,
+                n.throughput_ops,
+                MAX_THROUGHPUT_DROP * 100.0,
+                o.throughput_ops
+            ));
+        }
+        if o.p99_ns > 0 && (n.p99_ns as f64) > (o.p99_ns as f64) * (1.0 + MAX_P99_GROWTH) {
+            failures.push(format!(
+                "{}: p99 {} ns is more than {:.0}% above baseline {} ns",
+                o.id,
+                n.p99_ns,
+                MAX_P99_GROWTH * 100.0,
+                o.p99_ns
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(points: &[(&'static str, &str, &str, f64, u64)]) -> String {
+        let points: Vec<SummaryPoint> = points
+            .iter()
+            .map(|&(fig, label, system, tput, p99)| SummaryPoint {
+                fig,
+                label: label.to_string(),
+                system: system.to_string().leak(),
+                throughput_ops: tput,
+                p50_ns: 1,
+                p95_ns: 2,
+                p99_ns: p99,
+                stage_ns_per_op: [1, 2, 3, 4, 5],
+                stage_total_ns_per_op: 15,
+                epc_working_set_pages: 10,
+                epc_faults: 0,
+                ops: 100,
+            })
+            .collect();
+        render_json(7, &points)
+    }
+
+    #[test]
+    fn roundtrip_parses_every_point() {
+        let d = doc(&[
+            ("fig4", "A", "Precursor", 100_000.0, 9_000),
+            ("fig4", "A", "ShieldStore", 50_000.0, 20_000),
+        ]);
+        let pts = parse_points(&d);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].id, "fig4/A/Precursor");
+        assert_eq!(pts[0].throughput_ops, 100_000.0);
+        assert_eq!(pts[1].p99_ns, 20_000);
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = doc(&[("fig4", "A", "Precursor", 100_000.0, 10_000)]);
+        let ok = doc(&[("fig4", "A", "Precursor", 96_000.0, 10_400)]);
+        assert!(compare(&base, &ok).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_throughput_and_latency_regressions() {
+        let base = doc(&[("fig4", "A", "Precursor", 100_000.0, 10_000)]);
+        let slow = doc(&[("fig4", "A", "Precursor", 90_000.0, 11_000)]);
+        let failures = compare(&base, &slow);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        let gone = doc(&[("fig4", "B", "Precursor", 100_000.0, 10_000)]);
+        assert_eq!(compare(&base, &gone).len(), 1);
+    }
+}

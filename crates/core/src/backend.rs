@@ -19,6 +19,7 @@
 //! [`Config::mode`]) lives here; the ShieldStore implementor lives in
 //! `precursor_shieldstore::backend` next to the types it adapts.
 
+use precursor_obs::MetricsRegistry;
 use precursor_sgx::SgxPerfReport;
 use precursor_sim::meter::Meter;
 use precursor_sim::CostModel;
@@ -187,6 +188,15 @@ pub trait TrustedKv {
     /// for stream-based ones.
     fn warmup_batch(&self, frame_bytes: usize) -> usize;
 
+    /// A snapshot of the backend's metrics registry: the shared
+    /// backend-neutral namespace (`ops.*`, `status.*`, `stage.*_ns`,
+    /// `meter.*`) merged from the server-side per-stage taps, plus any
+    /// backend-specific namespaces (client state machine, fault/adversary
+    /// layers). Backends without instrumentation return an empty registry.
+    fn metrics(&self) -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
     /// Submits one op and drives server + client until it completes —
     /// convenience for tests and short sequences, not the measured path.
     fn op_sync(
@@ -331,5 +341,24 @@ impl TrustedKv for PrecursorBackend {
         // Half the request ring: the in-flight window the credit protocol
         // sustains without a drain.
         (self.server.config().ring_bytes / (2 * frame_bytes)).max(1)
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.server.metrics().clone();
+        for c in &self.clients {
+            m.merge(&c.metrics());
+        }
+        // Fold the RDMA fault/adversary layers in, so retries, reconnects
+        // and detections are visible next to the op counters they explain.
+        m.inc("rdma.faults.injected", self.server.injected_faults() as u64);
+        m.inc(
+            "rdma.adversary.mounted",
+            self.server.mounted_attacks() as u64,
+        );
+        m.gauge_set(
+            "server.reports_dropped_total",
+            self.server.reports_dropped(),
+        );
+        m
     }
 }

@@ -30,6 +30,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use precursor_crypto::chain::MacChain;
 use precursor_crypto::keys::{Key128, Key256, Nonce8, Tag};
 use precursor_crypto::{cmac, gcm, salsa20};
+use precursor_obs::{MetricsRegistry, Tracer};
 use precursor_rdma::mr::{Memory, RemoteKey};
 use precursor_rdma::qp::QueuePair;
 use precursor_sim::meter::{Meter, Stage};
@@ -187,6 +188,12 @@ pub struct PrecursorClient {
     /// quarantined and every operation fails with this error until
     /// [`reconnect`](Self::reconnect).
     poisoned: Option<StoreError>,
+
+    // observability: op-state-machine taps (encrypt, RDMA WRITE, poll,
+    // verify, retransmit) feed this registry; the tracer stamps events
+    // with this client's virtual clock and is a no-op unless enabled.
+    obs: MetricsRegistry,
+    tracer: Tracer,
 }
 
 impl PrecursorClient {
@@ -262,7 +269,48 @@ impl PrecursorClient {
             observations: VecDeque::new(),
             audit: SecurityAudit::default(),
             poisoned: None,
+            obs: MetricsRegistry::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// A snapshot of this client's metrics: the op-state-machine taps
+    /// (`client.*` counters) plus the [`SecurityAudit`] folded in under
+    /// `client.audit.*`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = self.obs.clone();
+        m.inc("client.audit.stale_replies", self.audit.stale_replies);
+        m.inc(
+            "client.audit.reorder_suspected",
+            self.audit.reorder_suspected,
+        );
+        m.inc("client.audit.chain_resyncs", self.audit.chain_resyncs);
+        m.inc("client.audit.chain_breaks", self.audit.chain_breaks);
+        m.inc("client.audit.epoch_mismatches", self.audit.epoch_mismatches);
+        m.inc(
+            "client.audit.rollback_regressions",
+            self.audit.rollback_regressions,
+        );
+        m.inc("client.audit.busy_replies", self.audit.busy_replies);
+        m.inc("client.retransmits", self.retransmits);
+        m
+    }
+
+    /// Enables the structured-event tracer, retaining the most recent
+    /// `cap` events stamped with this client's virtual clock.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.tracer = Tracer::enabled(cap);
+    }
+
+    /// The structured-event tracer (disabled unless
+    /// [`enable_tracing`](Self::enable_tracing) was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    // Records one op-state-machine trace event at the current virtual time.
+    fn trace(&mut self, stage: &'static str, event: &'static str, a: u64, b: u64) {
+        self.tracer.record(self.clock.now(), stage, event, a, b);
     }
 
     /// This client's id at the server.
@@ -408,6 +456,8 @@ impl PrecursorClient {
                 )
             }
         };
+        self.obs.inc("client.encrypts", 1);
+        self.trace("encrypt", "ops.put", oid, payload.len() as u64);
 
         self.send_op(Opcode::Put, control, mac, payload, key)
     }
@@ -567,6 +617,8 @@ impl PrecursorClient {
         self.meter.counters_mut().rdma_posts += 1;
         self.meter.counters_mut().tx_bytes += bytes.len() as u64;
         self.charge_client(Cycles(cost.rdma_post_cycles));
+        self.obs.inc("client.rdma_writes", 1);
+        self.trace("rdma", "write", control.oid, bytes.len() as u64);
         Ok(TransmitLog {
             writes,
             end_written: self.request_producer.written(),
@@ -661,6 +713,7 @@ impl PrecursorClient {
                     p.deadline = Deadline::after(&self.clock, self.retry.per_try_timeout + delay);
                     self.retransmits += 1;
                     sent += 1;
+                    self.trace("retransmit", "deadline", oid, self.retransmits);
                     self.pending.insert(oid, p);
                 }
                 Err(_) => {
@@ -677,6 +730,7 @@ impl PrecursorClient {
     // Completes an operation locally with a client-side error.
     fn fail_op(&mut self, p: Pending, error: StoreError) {
         let oid = p.control.oid;
+        self.obs.inc("client.op_failures", 1);
         self.completed.insert(
             oid,
             CompletedOp {
@@ -702,6 +756,8 @@ impl PrecursorClient {
         let mut nonce = [0u8; 16];
         self.rng.fill_bytes(&mut nonce);
         let bundle = server.reconnect_client(self.client_id, nonce)?;
+        self.obs.inc("client.reconnects", 1);
+        self.trace("reconnect", "attest", u64::from(bundle.epoch), 0);
         self.session_key = bundle.session_key;
         self.mode = bundle.mode;
         self.qp = bundle.qp;
@@ -782,6 +838,7 @@ impl PrecursorClient {
             self.handle_reply(&record);
             n += 1;
         }
+        self.obs.inc("client.polls", 1);
         if n > 0 {
             // Report reply-ring consumption back to the server so its
             // producer regains credits.
@@ -789,6 +846,8 @@ impl PrecursorClient {
             let _ = self
                 .qp
                 .post_write(self.reply_credit_rkey, 0, &consumed.to_le_bytes(), false);
+            self.obs.inc("client.replies", n as u64);
+            self.trace("poll", "replies", n as u64, consumed);
         }
         n
     }
@@ -942,12 +1001,14 @@ impl PrecursorClient {
                             // encrypted value with K_operation (§3.7).
                             self.charge_client(cost.cmac(frame.payload.len()));
                             if !cmac::verify(&cmac_key_of(k_op), &frame.payload, mac) {
+                                self.obs.inc("client.verify_fail", 1);
                                 completed.error = Some(StoreError::IntegrityViolation);
                             } else {
                                 let mut value = frame.payload.clone();
                                 salsa20::xor_keystream(k_op, pn, 0, &mut value);
                                 self.charge_client(cost.salsa20(value.len()));
                                 self.meter.counters_mut().crypto_bytes += value.len() as u64;
+                                self.obs.inc("client.verify_ok", 1);
                                 completed.value = Some(value);
                             }
                         }
@@ -964,14 +1025,19 @@ impl PrecursorClient {
                     ) {
                         Ok(value) => {
                             self.meter.counters_mut().crypto_bytes += value.len() as u64;
+                            self.obs.inc("client.verify_ok", 1);
                             completed.value = Some(value);
                         }
-                        Err(_) => completed.error = Some(StoreError::IntegrityViolation),
+                        Err(_) => {
+                            self.obs.inc("client.verify_fail", 1);
+                            completed.error = Some(StoreError::IntegrityViolation);
+                        }
                     }
                 }
             }
         }
 
+        self.trace("verify", "complete", oid, completed.status as u64);
         self.completed.insert(oid, completed);
     }
 

@@ -153,6 +153,8 @@ impl PrecursorServer {
             .qp
             .post_write(credit_rkey, 0, &consumed.to_le_bytes(), false);
         self.ingress.credit_writes += 1;
+        self.obs.inc("server.credit_writes", 1);
+        self.trace("ingress", "credit_write", idx as u64, consumed);
     }
 
     /// Takes the per-operation reports accumulated by [`poll`](Self::poll).
@@ -332,11 +334,24 @@ impl PrecursorServer {
     }
 
     // Bounded report buffer: a caller that never drains take_reports()
-    // loses the oldest reports (counted) instead of growing memory.
+    // loses the oldest reports (counted) instead of growing memory. This
+    // is also the single choke point every finished op passes, so the
+    // per-stage metric taps live here: whatever the bench or test layer
+    // does with the reports, the registry has already seen the meter.
     pub(super) fn push_report(&mut self, report: OpReport) {
+        self.obs.inc(super::op_metric(report.opcode), 1);
+        self.obs.inc(super::status_metric(report.status), 1);
+        precursor_obs::observe_meter(&mut self.obs, &report.meter);
+        self.trace(
+            "report",
+            super::op_metric(report.opcode),
+            u64::from(report.client_id),
+            report.status as u64,
+        );
         if self.ingress.reports.len() >= self.config.max_buffered_reports {
             self.ingress.reports.pop_front();
             self.ingress.reports_dropped += 1;
+            self.obs.inc("server.reports_dropped", 1);
         }
         self.ingress.reports.push_back(report);
     }

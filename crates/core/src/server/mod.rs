@@ -44,6 +44,7 @@ mod session;
 use std::sync::{Arc, Mutex};
 
 use precursor_crypto::keys::{Key128, Key256};
+use precursor_obs::{MetricsRegistry, Tracer};
 use precursor_rdma::adversary::AdversaryInjector;
 use precursor_rdma::faults::FaultInjector;
 use precursor_rdma::mr::{Memory, RemoteKey};
@@ -52,6 +53,7 @@ use precursor_sgx::attest::AttestationService;
 use precursor_sgx::enclave::{Enclave, RegionId};
 use precursor_sim::meter::Meter;
 use precursor_sim::rng::SimRng;
+use precursor_sim::time::Nanos;
 use precursor_sim::CostModel;
 use precursor_storage::pool::SlabPool;
 use precursor_storage::robinhood::ShardedRobinHoodMap;
@@ -143,6 +145,13 @@ pub struct PrecursorServer {
     faults: Option<Arc<Mutex<FaultInjector>>>,
     // Byzantine-host injection (tests); None = honest host software
     adversary: Option<AdversaryInjector>,
+
+    // observability: the per-stage metric taps feed this registry on
+    // every finished op; the tracer is a no-op unless enabled. Neither
+    // touches the RNG or any meter, so seeded runs digest identically
+    // with or without them.
+    obs: MetricsRegistry,
+    tracer: Tracer,
 }
 
 impl PrecursorServer {
@@ -215,7 +224,38 @@ impl PrecursorServer {
             },
             faults: None,
             adversary: None,
+            obs: MetricsRegistry::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The server-side metrics registry, fed by the pipeline's per-stage
+    /// taps: op/status counters, `stage.*_ns` histograms from every
+    /// [`OpReport`]'s meter, and ingress/sweep counters.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs
+    }
+
+    /// Enables the structured-event tracer, retaining the most recent
+    /// `cap` events. Tracing is deterministic (events are stamped with
+    /// the sweep counter as logical time) and does not perturb any
+    /// digested observable.
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.tracer = Tracer::enabled(cap);
+    }
+
+    /// The structured-event tracer (disabled unless
+    /// [`enable_tracing`](Self::enable_tracing) was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    // Records one pipeline trace event stamped with the sweep counter —
+    // the server's deterministic logical clock (it has no virtual
+    // wall-clock of its own).
+    pub(super) fn trace(&mut self, stage: &'static str, event: &'static str, a: u64, b: u64) {
+        self.tracer
+            .record(Nanos(self.ingress.polls), stage, event, a, b);
     }
 
     /// [`OpReport`]s dropped because the buffer cap
@@ -334,6 +374,27 @@ impl PrecursorServer {
 
     pub(crate) fn seal_with_rng(&mut self, key: &Key128, version: u64, body: &[u8]) -> Vec<u8> {
         precursor_sgx::sealing::seal(key, version, body, &mut self.rng)
+    }
+}
+
+// Backend-neutral metric names for op kinds and outcomes (ShieldStore's
+// taps use the same namespace, which is what makes the cross-backend
+// metrics-equivalence tests possible).
+pub(super) fn op_metric(op: Opcode) -> &'static str {
+    match op {
+        Opcode::Put => "ops.put",
+        Opcode::Get => "ops.get",
+        Opcode::Delete => "ops.delete",
+    }
+}
+
+pub(super) fn status_metric(status: Status) -> &'static str {
+    match status {
+        Status::Ok => "status.ok",
+        Status::NotFound => "status.not_found",
+        Status::Replay => "status.replay",
+        Status::Error => "status.error",
+        Status::Busy => "status.busy",
     }
 }
 

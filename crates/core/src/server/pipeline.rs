@@ -119,11 +119,14 @@ impl PrecursorServer {
         if self.ingress.ports.is_empty() {
             return 0;
         }
-        if self.config.shards <= 1 {
+        let processed = if self.config.shards <= 1 {
             self.poll_single()
         } else {
             self.poll_sharded()
-        }
+        };
+        self.obs.inc("server.polls", 1);
+        self.trace("pipeline", "sweep", self.ingress.polls, processed as u64);
+        processed
     }
 
     // The single trusted polling thread (the pre-sharding code path, kept
@@ -255,6 +258,7 @@ impl PrecursorServer {
                                 // worker copies the validated control into
                                 // the owning shard's queue.
                                 self.ingress.handoffs += 1;
+                                self.obs.inc("server.handoffs", 1);
                                 meter.charge(
                                     Stage::Enclave,
                                     cost.server_time(cost.memcpy(frame.sealed_control.len())),
@@ -307,15 +311,18 @@ impl PrecursorServer {
                     },
                     &mut slot.meter,
                 ) {
-                    Ok((status, value_len, plan)) => ActionKind::Seal {
-                        status,
-                        opcode,
-                        value_len,
-                        plan,
-                        remember: true,
-                        set_last: true,
-                        shard: s as u32,
-                    },
+                    Ok((status, value_len, plan)) => {
+                        self.trace("exec", super::op_metric(opcode), idx as u64, status as u64);
+                        ActionKind::Seal {
+                            status,
+                            opcode,
+                            value_len,
+                            plan,
+                            remember: true,
+                            set_last: true,
+                            shard: s as u32,
+                        }
+                    }
                     Err(_) => ActionKind::Seal {
                         status: Status::Error,
                         opcode: Opcode::Get,
@@ -427,6 +434,7 @@ impl PrecursorServer {
                         &mut meter,
                     ) {
                         Ok((status, value_len, plan)) => {
+                            self.trace("exec", super::op_metric(opcode), idx as u64, status as u64);
                             self.sessions.list[idx].last_status = status;
                             let reply = self.seal_for(idx, opcode, plan, &mut meter);
                             (
@@ -505,7 +513,14 @@ impl PrecursorServer {
             busy_retry_ns: self.config.busy_retry_ns,
             evidence: self.store.evidence(),
         };
-        seal::seal_plan(&mut ctx, &mut self.sessions.list[idx], opcode, plan, meter)
+        let reply = seal::seal_plan(&mut ctx, &mut self.sessions.list[idx], opcode, plan, meter);
+        self.trace(
+            "seal",
+            super::op_metric(opcode),
+            idx as u64,
+            reply.reply_seq,
+        );
+        reply
     }
 
     // Fixed per-op occupancy (fitted constants; DESIGN.md §4): part of it
@@ -527,13 +542,27 @@ impl PrecursorServer {
         );
     }
 
+    // Observability wrapper around validation: counts each outcome class
+    // and emits the ingress-stage trace event.
+    fn validate_record(&mut self, idx: usize, record: &[u8], meter: &mut Meter) -> Validated {
+        let v = self.validate_record_inner(idx, record, meter);
+        let (counter, event) = match &v {
+            Validated::Reject { .. } => ("server.validate.reject", "reject"),
+            Validated::Retransmit { .. } => ("server.validate.retransmit", "retransmit"),
+            Validated::Execute { .. } => ("server.validate.execute", "execute"),
+        };
+        self.obs.inc(counter, 1);
+        self.trace("ingress", event, idx as u64, record.len() as u64);
+        v
+    }
+
     // Decodes, authenticates and window-checks one popped request record —
     // everything that must happen in a client's pop order, but *before*
     // the key-addressed table access. The result tells the caller whether
     // to reply straight away ([`Validated::Reject`]), re-issue the stored
     // reply ([`Validated::Retransmit`]), or route the request to the shard
     // owning its key ([`Validated::Execute`]).
-    fn validate_record(&mut self, idx: usize, record: &[u8], meter: &mut Meter) -> Validated {
+    fn validate_record_inner(&mut self, idx: usize, record: &[u8], meter: &mut Meter) -> Validated {
         let cost = self.cost.clone();
 
         // Untrusted: the record was copied out of the ring by the poller.

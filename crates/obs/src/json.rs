@@ -1,0 +1,176 @@
+//! Minimal deterministic JSON writer.
+//!
+//! The workspace deliberately has zero external dependencies, so bench
+//! trajectories and metrics snapshots are rendered by this hand-rolled
+//! writer. Output is deterministic: keys are emitted in caller order
+//! (registries iterate [`BTreeMap`](std::collections::BTreeMap)s),
+//! floats use Rust's shortest-roundtrip [`Display`](std::fmt::Display)
+//! formatting, and indentation is fixed two-space.
+
+/// Incremental JSON builder producing pretty-printed, stable output.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    depth: usize,
+    needs_comma: Vec<bool>,
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn newline(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Comma/newline bookkeeping before any value (or key). A value
+    /// directly following [`key`](Self::key) attaches on the same line.
+    fn pre_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(needs) = self.needs_comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+            self.newline();
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) {
+        let wrote = self.needs_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if wrote {
+            self.newline();
+        }
+        self.out.push('}');
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) {
+        let wrote = self.needs_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if wrote {
+            self.newline();
+        }
+        self.out.push(']');
+    }
+
+    /// Emit an object key; the next value call supplies its value.
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.push_escaped(k);
+        self.out.push_str(": ");
+        self.pending_key = true;
+    }
+
+    /// Emit an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emit a float value using shortest-roundtrip formatting.
+    pub fn f64(&mut self, v: f64) {
+        self.pre_value();
+        if v.is_finite() {
+            let s = v.to_string();
+            self.out.push_str(&s);
+            if !s.contains('.') && !s.contains('e') {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Emit a string value with JSON escaping.
+    pub fn string(&mut self, v: &str) {
+        self.pre_value();
+        self.push_escaped(v);
+    }
+
+    /// Emit a boolean value.
+    pub fn bool(&mut self, v: bool) {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Finish and return the rendered document with a trailing newline.
+    pub fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_renders() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.u64(1);
+        w.key("b");
+        w.begin_array();
+        w.string("x\"y");
+        w.f64(1.5);
+        w.f64(2.0);
+        w.bool(true);
+        w.end_array();
+        w.key("c");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\n  \"a\": 1,\n  \"b\": [\n    \"x\\\"y\",\n    1.5,\n    2.0,\n    true\n  ],\n  \"c\": {}\n}\n"
+        );
+    }
+}

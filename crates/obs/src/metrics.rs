@@ -1,0 +1,398 @@
+//! Typed metrics registry: saturating counters, gauges and fixed-bucket
+//! latency histograms.
+//!
+//! All state is plain integers keyed by `&'static str` names in
+//! [`BTreeMap`]s, so snapshots iterate in a deterministic order and two
+//! registries fed the same seeded workload render byte-identical JSON.
+
+use std::collections::BTreeMap;
+
+use precursor_sim::meter::{Meter, Stage};
+
+use crate::json::JsonWriter;
+
+/// Histogram name for one meter stage's per-op latency, in the
+/// backend-neutral namespace every [`Meter`]-producing backend shares.
+pub fn stage_metric(stage: Stage) -> &'static str {
+    match stage {
+        Stage::ClientCpu => "stage.client_cpu_ns",
+        Stage::ServerCritical => "stage.server_critical_ns",
+        Stage::ServerOverhead => "stage.server_overhead_ns",
+        Stage::Enclave => "stage.enclave_ns",
+        Stage::Network => "stage.network_ns",
+    }
+}
+
+/// Histogram name for the end-to-end per-op latency (sum of all stages).
+pub const STAGE_TOTAL_METRIC: &str = "stage.total_ns";
+
+/// Records one finished operation's [`Meter`] into `m` under the shared
+/// namespace: a `stage.*_ns` histogram sample per stage, one
+/// [`STAGE_TOTAL_METRIC`] sample, and the meter's event counters under
+/// `meter.*`. Because [`Meter::total`] is the sum of its stages by
+/// construction, the stage histograms' sums are conserved: they add up
+/// to the total histogram's sum exactly.
+pub fn observe_meter(m: &mut MetricsRegistry, meter: &Meter) {
+    for s in Stage::ALL {
+        m.observe(stage_metric(s), meter.get(s).0);
+    }
+    m.observe(STAGE_TOTAL_METRIC, meter.total().0);
+    let c = meter.counters();
+    m.inc("meter.transitions", c.transitions);
+    m.inc("meter.epc_faults", c.epc_faults);
+    m.inc("meter.enclave_bytes", c.enclave_bytes);
+    m.inc("meter.crypto_bytes", c.crypto_bytes);
+    m.inc("meter.rdma_posts", c.rdma_posts);
+    m.inc("meter.tcp_msgs", c.tcp_msgs);
+    m.inc("meter.tx_bytes", c.tx_bytes);
+}
+
+/// A monotonically increasing, saturating event counter.
+///
+/// Increments saturate at [`u64::MAX`] instead of wrapping so a
+/// pathological workload can never make a counter appear to reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Add `n` to the counter, saturating at [`u64::MAX`].
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.value
+    }
+}
+
+/// A last-write-wins instantaneous value (e.g. resident EPC pages).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    value: u64,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    pub fn set(&mut self, v: u64) {
+        self.value = v;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.value
+    }
+}
+
+/// Default latency bucket upper bounds in nanoseconds.
+///
+/// Chosen to bracket the simulated op latencies (hundreds of ns to tens
+/// of µs) with roughly-logarithmic spacing; values above the last bound
+/// land in the overflow bucket.
+pub const DEFAULT_LATENCY_BOUNDS_NS: [u64; 16] = [
+    250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000, 512_000,
+    1_000_000, 2_000_000, 4_000_000, 8_000_000,
+];
+
+/// A histogram with explicit, fixed bucket upper bounds plus an
+/// overflow bucket.
+///
+/// Unlike the log-bucketed [`precursor_sim::histogram::Histogram`],
+/// bucket boundaries are caller-supplied and inclusive: a sample `v`
+/// lands in the first bucket whose bound satisfies `v <= bound`, or the
+/// overflow bucket when it exceeds every bound. Exact `count`, `sum`,
+/// `min` and `max` are tracked alongside, so merging is lossless for
+/// those and associative for everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedHistogram {
+    bounds: &'static [u64],
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for FixedHistogram {
+    fn default() -> Self {
+        Self::new(&DEFAULT_LATENCY_BOUNDS_NS)
+    }
+}
+
+impl FixedHistogram {
+    /// Create a histogram over `bounds`, which must be non-empty and
+    /// strictly increasing.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds,
+            buckets: vec![0; bounds.len()],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, v: u64) {
+        match self.bounds.partition_point(|&b| b < v) {
+            i if i < self.bounds.len() => self.buckets[i] += 1,
+            _ => self.overflow += 1,
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket upper bounds this histogram was built over.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Count in the bucket with upper bound `bounds()[i]`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Count of samples above the last bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Upper bound (inclusive) of the bucket containing the `q`-quantile
+    /// sample, `0.0 <= q <= 1.0`. Samples in the overflow bucket report
+    /// the exact recorded `max`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds[i];
+            }
+        }
+        self.max
+    }
+
+    /// Merge `other` into `self`. Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge differing bounds");
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// A deterministic registry of named counters, gauges and histograms.
+///
+/// Names are `&'static str` so taps are zero-allocation after first
+/// touch; [`BTreeMap`] storage keeps snapshot/JSON order stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, FixedHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Add `n` to the counter `name`, creating it at zero first.
+    pub fn inc(&mut self, name: &'static str, n: u64) {
+        self.counters.entry(name).or_default().add(n);
+    }
+
+    /// Read counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Set gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &'static str, v: u64) {
+        self.gauges.entry(name).or_default().set(v);
+    }
+
+    /// Read gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).map_or(0, |g| g.get())
+    }
+
+    /// Record `v` into histogram `name`, creating it with
+    /// [`DEFAULT_LATENCY_BOUNDS_NS`] on first touch.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().observe(v);
+    }
+
+    /// Look up histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&FixedHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v.get()))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v.get()))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &FixedHistogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Fold another registry into this one: counters add, gauges take
+    /// the other's value when present, histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, c) in &other.counters {
+            self.counters.entry(name).or_default().add(c.get());
+        }
+        for (name, g) in &other.gauges {
+            self.gauges.entry(name).or_default().set(g.get());
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name, h.clone());
+                }
+            }
+        }
+    }
+
+    /// Render a deterministic JSON snapshot of the registry.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (name, v) in self.counters() {
+            w.key(name);
+            w.u64(v);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, v) in self.gauges() {
+            w.key(name);
+            w.u64(v);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (name, h) in self.histograms() {
+            w.key(name);
+            w.begin_object();
+            w.key("count");
+            w.u64(h.count());
+            w.key("sum");
+            w.u64(h.sum());
+            w.key("min");
+            w.u64(h.min());
+            w.key("max");
+            w.u64(h.max());
+            w.key("p50");
+            w.u64(h.quantile(0.50));
+            w.key("p95");
+            w.u64(h.quantile(0.95));
+            w.key("p99");
+            w.u64(h.quantile(0.99));
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive() {
+        let mut h = FixedHistogram::new(&[10, 20]);
+        h.observe(10);
+        h.observe(11);
+        h.observe(21);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 42);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 21);
+    }
+
+    #[test]
+    fn registry_json_is_stable() {
+        let mut m = MetricsRegistry::default();
+        m.inc("b", 2);
+        m.inc("a", 1);
+        m.gauge_set("g", 7);
+        m.observe("h", 100);
+        assert_eq!(m.to_json(), m.clone().to_json());
+        assert!(m.to_json().find("\"a\"").unwrap() < m.to_json().find("\"b\"").unwrap());
+    }
+}

@@ -10,6 +10,7 @@
 
 use precursor::backend::{KvCompleted, KvOp, KvOpReport, KvStatus, Transport, TrustedKv};
 use precursor::StoreError;
+use precursor_obs::MetricsRegistry;
 use precursor_sgx::SgxPerfReport;
 use precursor_sim::meter::Meter;
 use precursor_sim::CostModel;
@@ -146,5 +147,9 @@ impl TrustedKv for ShieldBackend {
         // Sockets are unbounded queues; 256 keeps per-sweep work modest
         // (matches the historical bulk-load cadence).
         256
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        self.server.metrics().clone()
     }
 }

@@ -10,6 +10,7 @@
 
 use precursor_crypto::keys::{Key128, Tag};
 use precursor_crypto::{cmac, gcm, sha256};
+use precursor_obs::MetricsRegistry;
 use precursor_rdma::tcp::SimTcp;
 use precursor_sgx::attest::AttestationService;
 use precursor_sgx::enclave::{Enclave, RegionId};
@@ -128,6 +129,9 @@ pub struct ShieldServer {
 
     sessions: Vec<Session>,
     reports: Vec<ShieldOpReport>,
+    // Per-op metric taps (same backend-neutral namespace as the Precursor
+    // server, so cross-backend metrics are directly comparable).
+    obs: MetricsRegistry,
 }
 
 fn fx_hash(key: &[u8]) -> u64 {
@@ -197,7 +201,14 @@ impl ShieldServer {
             scratch_touched: false,
             sessions: Vec::new(),
             reports: Vec::new(),
+            obs: MetricsRegistry::default(),
         }
+    }
+
+    /// The server-side metrics registry, fed on every finished op with the
+    /// same backend-neutral namespace the Precursor server uses.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.obs
     }
 
     /// Number of stored keys.
@@ -378,6 +389,26 @@ impl ShieldServer {
             )),
         );
         session.socket.send(&framed);
+
+        // Metric tap: every finished op passes here, mirroring the
+        // Precursor server's push_report choke point.
+        self.obs.inc(
+            match op {
+                ShieldOp::Put => "ops.put",
+                ShieldOp::Get => "ops.get",
+                ShieldOp::Delete => "ops.delete",
+            },
+            1,
+        );
+        self.obs.inc(
+            match status {
+                ShieldStatus::Ok => "status.ok",
+                ShieldStatus::NotFound => "status.not_found",
+                ShieldStatus::Error => "status.error",
+            },
+            1,
+        );
+        precursor_obs::observe_meter(&mut self.obs, &meter);
 
         self.reports.push(ShieldOpReport {
             client_id: idx as u32,

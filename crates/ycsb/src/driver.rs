@@ -30,6 +30,7 @@
 
 use precursor::backend::{KvOp, KvStatus, PrecursorBackend, Transport, TrustedKv};
 use precursor::{Config, EncryptionMode};
+use precursor_obs::MetricsRegistry;
 use precursor_rdma::nic::RnicCache;
 use precursor_shieldstore::backend::ShieldBackend;
 use precursor_shieldstore::server::ShieldConfig;
@@ -109,6 +110,61 @@ impl RunConfig {
     }
 }
 
+/// Exact per-stage time sums over the recorded ops, folded straight from
+/// the functional meters at the driver's per-op tap — the figure-8 source
+/// of truth. Unlike the `avg_*` fields of [`RunResult`] (which attribute
+/// the *replayed* timeline, so queueing and transport contention land in
+/// "networking"), these are the meters' own charges: the per-stage sums
+/// add up to [`total`](Self::total) exactly, with no residual.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    sums: [Nanos; 5],
+    /// Operations folded into the sums (post-warmup ops only).
+    pub ops: u64,
+}
+
+impl StageBreakdown {
+    // Folds one op's combined meter charges (client pre + post + server).
+    fn record(&mut self, stages: &[Nanos; 5]) {
+        for (slot, add) in self.sums.iter_mut().zip(stages) {
+            *slot += *add;
+        }
+        self.ops += 1;
+    }
+
+    /// Total time charged to `stage` across the recorded ops.
+    pub fn get(&self, stage: Stage) -> Nanos {
+        let i = Stage::ALL
+            .iter()
+            .position(|&s| s == stage)
+            .expect("known stage");
+        self.sums[i]
+    }
+
+    /// Sum over all stages; equals the sum of the per-op meter totals.
+    pub fn total(&self) -> Nanos {
+        self.sums.iter().copied().sum()
+    }
+
+    /// Mean per-op time charged to `stage`.
+    pub fn mean(&self, stage: Stage) -> Nanos {
+        if self.ops == 0 {
+            Nanos::ZERO
+        } else {
+            self.get(stage) / self.ops
+        }
+    }
+
+    /// Mean per-op time summed over all stages.
+    pub fn mean_total(&self) -> Nanos {
+        if self.ops == 0 {
+            Nanos::ZERO
+        } else {
+            self.total() / self.ops
+        }
+    }
+}
+
 /// Results of one measurement.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -126,6 +182,8 @@ pub struct RunResult {
     pub avg_client: Nanos,
     /// Server CPU pool utilization during the measured window.
     pub server_utilization: f64,
+    /// Exact meter-derived per-stage breakdown of the recorded ops.
+    pub stages: StageBreakdown,
     /// Enclave report at the end of the run (working set, faults).
     pub epc: precursor_sgx::SgxPerfReport,
     /// Operations measured.
@@ -144,6 +202,9 @@ struct OpCosts {
     server_occupancy: Nanos,
     // Trusted polling shard that executed the op (0 outside sharded mode).
     shard: usize,
+    // Combined (client pre + post + server report) meter charge per stage,
+    // in `Stage::ALL` order — feeds the exact `StageBreakdown`.
+    stages: [Nanos; 5],
 }
 
 /// Everything needed to build a [`BenchSession`], gathered into a builder
@@ -345,6 +406,14 @@ impl BenchSession {
         self.sut.sgx_report()
     }
 
+    /// A snapshot of the backend's metrics registry (op counts, status
+    /// counts, per-stage latency histograms — see [`TrustedKv::metrics`]).
+    /// Warmup traffic is included: the registry is cumulative over the
+    /// session's lifetime.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.sut.metrics()
+    }
+
     /// Runs one measured window of `measure_ops` operations with `clients`
     /// closed-loop clients (must not exceed the session's `max_clients`).
     ///
@@ -437,6 +506,7 @@ impl BenchSession {
         }
 
         let mut latency = Histogram::new();
+        let mut stages = StageBreakdown::default();
         let mut net_sum = Nanos::ZERO;
         let mut server_sum = Nanos::ZERO;
         let mut client_sum = Nanos::ZERO;
@@ -517,6 +587,7 @@ impl BenchSession {
                 net_sum += net;
                 server_sum += server_part;
                 client_sum += costs.client_pre + costs.client_post;
+                stages.record(&costs.stages);
             }
             last_completion = last_completion.max(t_done);
             // Closed loop with per-client think/issue time (Fig. 6 rise).
@@ -532,6 +603,7 @@ impl BenchSession {
             avg_server: server_sum / measured,
             avg_client: client_sum / measured,
             server_utilization: server_cpu.utilization(duration),
+            stages,
             epc: self.sut.sgx_report(),
             ops: measure_ops,
             duration,
@@ -567,6 +639,10 @@ impl BenchSession {
 
         let server_critical =
             report.meter.get(Stage::ServerCritical) + report.meter.get(Stage::Enclave);
+        let mut stages = [Nanos::ZERO; 5];
+        for (slot, stage) in stages.iter_mut().zip(Stage::ALL) {
+            *slot = pre.get(stage) + post.get(stage) + report.meter.get(stage);
+        }
         OpCosts {
             client_pre: pre.get(Stage::ClientCpu),
             client_post: post.get(Stage::ClientCpu),
@@ -575,6 +651,7 @@ impl BenchSession {
             server_critical,
             server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
             shard: report.shard as usize,
+            stages,
         }
     }
 }
@@ -699,6 +776,37 @@ mod tests {
             r1.throughput_ops,
             r4.throughput_ops
         );
+    }
+
+    #[test]
+    fn stage_breakdown_is_conserved_and_populated() {
+        let r = quick(SystemKind::Precursor, 0.5);
+        assert_eq!(r.stages.ops, r.latency.count());
+        // Exact conservation: per-stage sums add up to the total with no
+        // residual, because `Meter::total()` is the sum of its stages.
+        let sum: Nanos = Stage::ALL.iter().map(|&s| r.stages.get(s)).sum();
+        assert_eq!(sum, r.stages.total());
+        assert!(r.stages.get(Stage::ClientCpu) > Nanos::ZERO);
+        assert!(r.stages.get(Stage::ServerCritical) > Nanos::ZERO);
+        assert!(r.stages.get(Stage::Enclave) > Nanos::ZERO);
+        assert!(r.stages.mean_total() > Nanos::ZERO);
+        // Transport legs are replayed on the contended links, not charged
+        // to the functional meters: the Network stage stays zero here.
+        assert_eq!(r.stages.get(Stage::Network), Nanos::ZERO);
+    }
+
+    #[test]
+    fn session_metrics_expose_op_counts() {
+        let cost = CostModel::default();
+        let mut session = BenchSession::new(SystemKind::Precursor, 32, 500, 500, 2, 7, &cost);
+        let spec = WorkloadSpec::workload_c(32, 500);
+        let r = session.measure(&spec, 2, 400);
+        let m = session.metrics();
+        let gets = m.counter("ops.get");
+        let puts = m.counter("ops.put");
+        // Warmup puts plus the measured gets are all accounted for.
+        assert!(puts >= 500, "puts {puts}");
+        assert!(gets >= r.ops, "gets {gets} ops {}", r.ops);
     }
 
     #[test]

@@ -136,6 +136,57 @@ fn report_stream_matches_across_backends() {
 }
 
 #[test]
+fn metrics_are_equivalent_across_backends() {
+    // The same seeded script must land the same op and status counts in
+    // every backend's registry (the namespace is backend-neutral), and
+    // each registry must conserve cycles: the per-stage histogram sums
+    // add up to the `stage.total_ns` sum exactly, with no residual.
+    let mut counts = Vec::new();
+    for mut kv in backends() {
+        let name = kv.name();
+        run_script(kv.as_mut());
+        let m = kv.metrics();
+        counts.push((
+            name,
+            (
+                m.counter("ops.put"),
+                m.counter("ops.get"),
+                m.counter("ops.delete"),
+                m.counter("status.ok"),
+                m.counter("status.not_found"),
+            ),
+        ));
+        let stage_total: u64 = [
+            "stage.client_cpu_ns",
+            "stage.server_critical_ns",
+            "stage.server_overhead_ns",
+            "stage.enclave_ns",
+            "stage.network_ns",
+        ]
+        .iter()
+        .map(|s| m.histogram(s).map_or(0, |h| h.sum()))
+        .sum();
+        let total = m.histogram("stage.total_ns").expect("total histogram");
+        assert_eq!(
+            stage_total,
+            total.sum(),
+            "{name}: stage sums must equal the end-to-end sum exactly"
+        );
+        // One total sample per processed op.
+        let ops = m.counter("ops.put") + m.counter("ops.get") + m.counter("ops.delete");
+        assert_eq!(total.count(), ops, "{name}: one sample per op");
+    }
+    let (baseline_name, baseline) = &counts[0];
+    assert_eq!(baseline.0 + baseline.1 + baseline.2, 11, "script length");
+    for (name, c) in &counts[1..] {
+        assert_eq!(
+            c, baseline,
+            "{name} op/status counts diverge from {baseline_name}"
+        );
+    }
+}
+
+#[test]
 fn transports_are_declared_correctly() {
     let kinds: Vec<(String, Transport)> = backends()
         .iter()

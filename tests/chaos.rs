@@ -86,6 +86,7 @@ struct RunReport {
     reconnects: u64,
     crash_restarts: u64,
     integrity_detected: u64,
+    reports_dropped: u64,
     clock_ns: u64,
     faults: Vec<InjectedFault>,
     final_store: Vec<(u8, Vec<u8>)>,
@@ -105,6 +106,9 @@ struct Chaos {
     reconnects: u64,
     crash_restarts: u64,
     integrity_detected: u64,
+    // Accumulated across crash-restarts (each restart starts a fresh
+    // server-side registry).
+    reports_dropped: u64,
     faults: Vec<InjectedFault>,
 }
 
@@ -130,6 +134,7 @@ impl Chaos {
             reconnects: 0,
             crash_restarts: 0,
             integrity_detected: 0,
+            reports_dropped: 0,
             faults: Vec::new(),
         }
     }
@@ -154,6 +159,7 @@ impl Chaos {
     // its session window out of the snapshot's per-session state.
     fn crash_restart(&mut self) {
         self.faults.extend(self.server.fault_log());
+        self.reports_dropped += self.server.metrics().counter("server.reports_dropped");
         self.crash_restarts += 1;
         // Derived deterministically so restarted injectors replay too.
         self.fault_seed = self
@@ -217,6 +223,9 @@ impl Chaos {
                 }
             };
             if self.settle(op, completed) {
+                // A live consumer drains the report stream each op, so a
+                // non-overload run must never hit the drop path.
+                self.server.take_reports();
                 return;
             }
         }
@@ -298,6 +307,7 @@ impl Chaos {
 
     fn report(mut self) -> RunReport {
         self.faults.extend(self.server.fault_log());
+        self.reports_dropped += self.server.metrics().counter("server.reports_dropped");
         let mut final_store: Vec<(u8, Vec<u8>)> =
             self.model.iter().map(|(k, v)| (*k, v.clone())).collect();
         final_store.sort();
@@ -306,6 +316,7 @@ impl Chaos {
             reconnects: self.reconnects,
             crash_restarts: self.crash_restarts,
             integrity_detected: self.integrity_detected,
+            reports_dropped: self.reports_dropped,
             clock_ns: self.client.now().0,
             faults: self.faults,
             store_len: self.server.len(),
@@ -543,6 +554,9 @@ fn chaos_runs_are_deterministic() {
     let b = chaos_run(0xdecaf, 400, chaos_plan(), 101);
     assert_eq!(a, b, "same seed must replay bit-identically");
     assert!(a.retransmits > 0 && !a.faults.is_empty());
+    // The harness drains reports every op; drops only happen under report
+    // overload, which faults and crashes alone must never cause.
+    assert_eq!(a.reports_dropped, 0);
 }
 
 #[test]
@@ -555,6 +569,7 @@ fn faults_disabled_run_is_unperturbed() {
     assert_eq!(report.reconnects, 0);
     assert_eq!(report.crash_restarts, 0);
     assert_eq!(report.integrity_detected, 0);
+    assert_eq!(report.reports_dropped, 0);
     assert_eq!(report.clock_ns, 0, "clock advanced in a fault-free run");
     assert!(report.faults.is_empty());
 }
@@ -583,4 +598,8 @@ fn chaos_acceptance_10k_mixed_workload() {
     assert!(has(&|f| f.action == FaultAction::QpError), "no QP error");
     assert!(report.crash_restarts >= 5, "no crash-restarts");
     assert!(report.retransmits > 0);
+    assert_eq!(
+        report.reports_dropped, 0,
+        "a drained report stream must never drop under chaos alone"
+    );
 }

@@ -49,7 +49,12 @@ fn run_digest(config: Config, seed: u64) -> u64 {
     let mut server = PrecursorServer::new(config, &cost);
     server.set_fault_plan(fault_plan(), seed);
     server.set_adversary_plan(adversary_plan(), seed ^ 0xad);
+    // Tracing on: the observability taps must be invisible to the run's
+    // observable behaviour (no RNG draws, no meter charges) — the golden
+    // digest below holds with the tracer recording every event.
+    server.enable_tracing(256);
     let mut client = PrecursorClient::connect(&mut server, seed ^ 0xc11e).expect("connect");
+    client.enable_tracing(256);
     // Jitter multiplies retry backoff through floating point; zero keeps
     // the virtual timeline free of platform-variant libm rounding.
     client.set_retry_policy(RetryPolicy {
