@@ -115,6 +115,27 @@ pub fn collect(seed: u64) -> Vec<SummaryPoint> {
         }
     }
 
+    // fig4, journaled configuration: the update-heavy mix with the sealed
+    // group-commit journal attached, so the regression gate covers the
+    // durability path (sealing, group flushes, reply gating) end to end.
+    {
+        let mut session = SessionParams::new(SystemKind::Precursor)
+            .value_size(VALUE_BYTES)
+            .keys(WARMUP_KEYS, WARMUP_KEYS)
+            .max_clients(CLIENTS)
+            .seed(seed)
+            .journaled(true)
+            .build(&cost);
+        let spec = WorkloadSpec::workload_a(VALUE_BYTES, WARMUP_KEYS);
+        let r = session.measure(&spec, CLIENTS, MEASURE_OPS);
+        points.push(point(
+            "fig4",
+            "A+journal".to_string(),
+            SystemKind::Precursor,
+            &r,
+        ));
+    }
+
     // fig5: value-size sweep on Precursor (read-only, like the paper).
     for size in [64usize, 1024] {
         let mut session = SessionParams::new(SystemKind::Precursor)

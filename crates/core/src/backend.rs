@@ -230,6 +230,7 @@ pub trait TrustedKv {
 pub struct PrecursorBackend {
     server: PrecursorServer,
     clients: Vec<PrecursorClient>,
+    epoch_counter: precursor_sgx::counters::MonotonicCounter,
 }
 
 impl PrecursorBackend {
@@ -238,7 +239,17 @@ impl PrecursorBackend {
         PrecursorBackend {
             server: PrecursorServer::new(config, cost),
             clients: Vec::new(),
+            epoch_counter: precursor_sgx::counters::MonotonicCounter::new(),
         }
+    }
+
+    /// Attaches a locally-durable sealed journal with the given
+    /// group-commit policy (see
+    /// [`PrecursorServer::attach_journal`]). Call before connecting
+    /// clients so their sessions and mutations are journaled. Returns the
+    /// journal epoch.
+    pub fn enable_durability(&mut self, policy: precursor_journal::GroupCommitPolicy) -> u64 {
+        self.server.attach_journal(policy, &mut self.epoch_counter)
     }
 
     /// The underlying server (for assertions beyond the trait surface).

@@ -70,6 +70,7 @@ pub mod backend;
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod replication;
 pub mod server;
 pub mod snapshot;
 pub mod wire;
@@ -80,9 +81,14 @@ pub use backend::{
 pub use client::{fork_audit, CompletedOp, PrecursorClient, SecurityAudit};
 pub use config::{Config, EncryptionMode, RetryPolicy};
 pub use error::StoreError;
-pub use server::{OpReport, PrecursorServer};
+pub use replication::{Cluster, FailoverReport};
+pub use server::{OpReport, PrecursorServer, RecoveryReport};
 
 // Fault-injection and adversary vocabulary, re-exported so chaos and
 // byzantine tests and demos need only this crate.
 pub use precursor_rdma::adversary::{AdversaryInjector, AdversaryPlan, AttackClass, MountedAttack};
 pub use precursor_rdma::faults::{FaultAction, FaultDir, FaultPlan, FaultSite};
+
+// Journal vocabulary (group-commit policy + counters), re-exported so
+// durability callers need only this crate.
+pub use precursor_journal::{GroupCommitPolicy, JournalStats};

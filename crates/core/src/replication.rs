@@ -1,0 +1,467 @@
+//! Journal replication: quorum group commit, failover, and cross-replica
+//! rollback/fork detection.
+//!
+//! A [`Cluster`] runs one [`PrecursorServer`] primary whose sealed journal
+//! (see `crate::server`'s durability stage) is shipped record-group by
+//! record-group to 2–3 simulated replicas over
+//! [`precursor_rdma::replica::ReplicaLink`]s. The primary's journal is
+//! attached in *external-commit* mode: a flushed group stays uncommitted —
+//! every reply WRITE it covers held by the group-commit gate — until a
+//! **quorum** of cluster nodes (the primary plus acknowledging replicas)
+//! holds its bytes. Only then does
+//! [`PrecursorServer::commit_journal_bytes`] release the replies. A client
+//! therefore never observes a state that a crash-failover could roll back:
+//! the at-most-once window the client resynchronises against after
+//! failover ([`PrecursorServer::reconnect_client`]) is reconstructed from
+//! journal bytes that, by quorum, survive any minority of node failures.
+//!
+//! **Failover** ([`Cluster::fail_primary`]) is deterministic: among alive,
+//! non-quarantined replicas the one holding the longest journal is
+//! promoted — its bytes are replayed through [`PrecursorServer::recover`],
+//! which re-derives the store evidence (mutation sequence + running state
+//! digest) record by record and rejects any journal that diverges from the
+//! history it claims ([`StoreError::ForkDetected`]). The promoted node
+//! opens a fresh journal epoch (sealed under a new epoch key drawn from the
+//! trusted monotonic counter), so bytes from the dead primary's epoch can
+//! never be replayed into the new one.
+//!
+//! **Rollback & fork detection.** Every acknowledgement a replica sends is
+//! remembered as its *claimed* durability. A replica later presenting a
+//! shorter journal than it acknowledged has staged a rollback — it is
+//! quarantined at failover ([`StoreError::RollbackDetected`]) and never
+//! promoted. Divergent journal prefixes across replicas (a forked primary
+//! shipping different histories to different replicas) are caught by
+//! [`Cluster::audit_replicas`]; a stale-but-honest promotion (a true
+//! minority-loss rollback, possible only when quorum was already lost) is
+//! reported as `stale` in the [`FailoverReport`] and is exactly what the
+//! clients' own `max_store_seq` rollback check (PR-2) detects after
+//! reconnecting.
+
+use precursor_obs::MetricsRegistry;
+use precursor_rdma::replica::ReplicaLink;
+use precursor_sgx::counters::MonotonicCounter;
+use precursor_sim::CostModel;
+
+use crate::config::Config;
+use crate::error::StoreError;
+use crate::server::{PrecursorServer, RecoveryReport};
+use precursor_journal::GroupCommitPolicy;
+
+// Replication frame tags (primary → replica segments, replica → primary
+// acknowledgements).
+const FRAME_SEGMENT: u8 = 0x01;
+const FRAME_ACK: u8 = 0x02;
+
+// One replica's state as tracked by the cluster: the link to it, its
+// journal copy, and the durability it has acknowledged/claimed.
+#[derive(Debug)]
+struct Replica {
+    link: ReplicaLink,
+    // The replica's durable journal copy (appended from segment frames).
+    journal: Vec<u8>,
+    // Bytes this replica has acknowledged, as received at the primary.
+    acked: u64,
+    // Highest acknowledgement it ever made — rollback evidence: a replica
+    // whose journal is ever shorter than `claimed` staged a rollback.
+    claimed: u64,
+    // Journal record sequence at the last shipped segment it applied.
+    last_seq: u64,
+    // Quarantined replicas (staged rollback detected) receive no segments
+    // and are never promoted.
+    quarantined: bool,
+}
+
+/// Outcome of a [`Cluster::fail_primary`] failover.
+#[derive(Debug)]
+pub struct FailoverReport {
+    /// Index (pre-failover) of the replica that was promoted.
+    pub promoted: usize,
+    /// Replicas quarantined during candidate selection (staged rollback:
+    /// their journal is shorter than what they acknowledged).
+    pub quarantined: Vec<usize>,
+    /// What recovery replayed on the promoted node.
+    pub recovery: RecoveryReport,
+    /// Whether the promoted journal is shorter than the quorum-committed
+    /// watermark — possible only after losing a majority, and exactly the
+    /// rollback clients detect via their `max_store_seq` check.
+    pub stale: bool,
+}
+
+/// A replicated Precursor deployment: one primary journaling to N
+/// replicas with quorum group commit.
+#[derive(Debug)]
+pub struct Cluster {
+    cost: CostModel,
+    primary: PrecursorServer,
+    replicas: Vec<Replica>,
+    // Trusted monotonic counters: snapshot rollback protection and the
+    // journal epoch designation (recovery reads, promotion increments).
+    snap_counter: MonotonicCounter,
+    epoch_counter: MonotonicCounter,
+    // Sealed base snapshot of the epoch's starting state: `None` for the
+    // first epoch (the journal starts at the empty store), refreshed at
+    // every promotion.
+    base_snapshot: Option<Vec<u8>>,
+    policy: GroupCommitPolicy,
+    quorum: usize,
+    committed_bytes: u64,
+    metrics: MetricsRegistry,
+}
+
+impl Cluster {
+    /// Builds a primary with `replicas` healthy replicas behind it. The
+    /// quorum is a majority of the `replicas + 1` cluster nodes (the
+    /// primary votes for its own durable bytes). Connect clients against
+    /// [`primary_mut`](Self::primary_mut) *after* construction so their
+    /// sessions and mutations are journaled.
+    pub fn new(
+        config: Config,
+        cost: &CostModel,
+        replicas: usize,
+        policy: GroupCommitPolicy,
+    ) -> Cluster {
+        let mut primary = PrecursorServer::new(config, cost);
+        let mut epoch_counter = MonotonicCounter::new();
+        primary.attach_replicated_journal(policy, &mut epoch_counter);
+        let replicas = (0..replicas)
+            .map(|_| Replica {
+                link: ReplicaLink::new(),
+                journal: Vec::new(),
+                acked: 0,
+                claimed: 0,
+                last_seq: 0,
+                quarantined: false,
+            })
+            .collect::<Vec<_>>();
+        let nodes = replicas.len() + 1;
+        Cluster {
+            cost: cost.clone(),
+            primary,
+            replicas,
+            snap_counter: MonotonicCounter::new(),
+            epoch_counter,
+            base_snapshot: None,
+            policy,
+            quorum: nodes / 2 + 1,
+            committed_bytes: 0,
+            metrics: MetricsRegistry::default(),
+        }
+    }
+
+    /// The current primary.
+    pub fn primary(&self) -> &PrecursorServer {
+        &self.primary
+    }
+
+    /// Mutable access to the current primary (clients connect and rings
+    /// are driven through it).
+    pub fn primary_mut(&mut self) -> &mut PrecursorServer {
+        &mut self.primary
+    }
+
+    /// Number of replicas (including crashed/quarantined ones).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The commit quorum (number of nodes, primary included, that must
+    /// hold a journal byte before its replies release).
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Journal bytes committed by quorum so far this epoch.
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed_bytes
+    }
+
+    /// Bytes of journal replica `i` currently holds.
+    pub fn replica_journal_len(&self, i: usize) -> usize {
+        self.replicas[i].journal.len()
+    }
+
+    /// Whether replica `i` is quarantined (staged rollback detected).
+    pub fn replica_quarantined(&self, i: usize) -> bool {
+        self.replicas[i].quarantined
+    }
+
+    /// Cluster-level metrics: `failover.count`,
+    /// `replica.rollback_detected`, and the `replica.lag_records` gauge
+    /// (journal records the slowest live replica trails the primary by).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Delays replica `i`'s frames by `ticks` link pumps.
+    pub fn lag_replica(&mut self, i: usize, ticks: u64) {
+        self.replicas[i].link.lag(ticks);
+    }
+
+    /// Partitions replica `i` (frames dropped until healed).
+    pub fn partition_replica(&mut self, i: usize) {
+        self.replicas[i].link.partition();
+    }
+
+    /// Crashes replica `i` permanently.
+    pub fn crash_replica(&mut self, i: usize) {
+        self.replicas[i].link.crash();
+    }
+
+    /// Heals a lagging or partitioned replica `i`.
+    pub fn heal_replica(&mut self, i: usize) {
+        self.replicas[i].link.heal();
+    }
+
+    /// Adversarial hook: replica `i` discards its journal past
+    /// `keep_bytes` while standing by its earlier acknowledgements — the
+    /// staged-rollback attack [`fail_primary`](Self::fail_primary)
+    /// quarantines.
+    pub fn rollback_replica(&mut self, i: usize, keep_bytes: usize) {
+        let r = &mut self.replicas[i];
+        r.journal.truncate(keep_bytes);
+        r.acked = r.acked.min(keep_bytes as u64);
+        r.last_seq = 0;
+    }
+
+    /// Adversarial hook: flips one bit of replica `i`'s stored journal —
+    /// models a forked or tampered copy. The damage is caught by
+    /// [`audit_replicas`](Self::audit_replicas) (prefix divergence against
+    /// honest replicas) and by the journal MAC chain at
+    /// [`fail_primary`](Self::fail_primary) (recovery truncates at the
+    /// first inauthentic byte).
+    pub fn tamper_replica(&mut self, i: usize, byte: usize) {
+        let j = &mut self.replicas[i].journal;
+        if !j.is_empty() {
+            let b = byte % j.len();
+            j[b] ^= 0x40;
+        }
+    }
+
+    /// One cluster tick: a primary sweep, segment shipping, link pumps in
+    /// both directions, replica acknowledgement processing, and the quorum
+    /// commit that releases gated replies. Returns the number of requests
+    /// the primary sweep processed.
+    pub fn pump(&mut self) -> usize {
+        let processed = self.primary.poll();
+
+        // Ship every byte not yet acknowledged to each live replica. The
+        // window re-ships until acknowledged, which makes loss under
+        // partitions self-repairing: replicas append only the suffix they
+        // are missing and re-acknowledge their length.
+        let durable = self
+            .primary
+            .journal_durable()
+            .map(<[u8]>::to_vec)
+            .unwrap_or_default();
+        let last_seq = self.primary.journal_last_seq();
+        for r in &mut self.replicas {
+            if !r.link.is_alive() || r.quarantined {
+                continue;
+            }
+            let from = r.acked as usize;
+            if from < durable.len() {
+                let mut frame = Vec::with_capacity(17 + durable.len() - from);
+                frame.push(FRAME_SEGMENT);
+                frame.extend_from_slice(&(from as u64).to_le_bytes());
+                frame.extend_from_slice(&last_seq.to_le_bytes());
+                frame.extend_from_slice(&durable[from..]);
+                r.link.send_to_replica(&frame);
+            }
+        }
+
+        // Deliver segments, apply them at the replicas, send and deliver
+        // acknowledgements.
+        for r in &mut self.replicas {
+            r.link.pump();
+            let mut acked_any = false;
+            while let Some(frame) = r.link.recv_at_replica() {
+                if frame.len() < 17 || frame[0] != FRAME_SEGMENT {
+                    continue;
+                }
+                let offset = u64::from_le_bytes(frame[1..9].try_into().expect("8 bytes")) as usize;
+                let seq = u64::from_le_bytes(frame[9..17].try_into().expect("8 bytes"));
+                let chunk = &frame[17..];
+                if offset <= r.journal.len() && offset + chunk.len() > r.journal.len() {
+                    let skip = r.journal.len() - offset;
+                    r.journal.extend_from_slice(&chunk[skip..]);
+                    r.last_seq = seq;
+                }
+                acked_any = true;
+            }
+            if acked_any {
+                let mut ack = Vec::with_capacity(17);
+                ack.push(FRAME_ACK);
+                ack.extend_from_slice(&(r.journal.len() as u64).to_le_bytes());
+                ack.extend_from_slice(&r.last_seq.to_le_bytes());
+                r.link.send_to_primary(&ack);
+            }
+            r.link.pump();
+            while let Some(frame) = r.link.recv_at_primary() {
+                if frame.len() < 17 || frame[0] != FRAME_ACK {
+                    continue;
+                }
+                let acked = u64::from_le_bytes(frame[1..9].try_into().expect("8 bytes"));
+                r.acked = r.acked.max(acked);
+                r.claimed = r.claimed.max(acked);
+            }
+        }
+
+        // Quorum commit: the primary holds all durable bytes; a byte is
+        // committed once `quorum - 1` replicas acknowledged it.
+        let watermark = if self.quorum <= 1 {
+            durable.len() as u64
+        } else {
+            let mut acks: Vec<u64> = self.replicas.iter().map(|r| r.acked).collect();
+            acks.sort_unstable_by(|a, b| b.cmp(a));
+            acks.get(self.quorum - 2)
+                .copied()
+                .unwrap_or(0)
+                .min(durable.len() as u64)
+        };
+        if watermark > self.committed_bytes {
+            self.committed_bytes = watermark;
+        }
+        self.primary.commit_journal_bytes(self.committed_bytes);
+
+        let lag = self
+            .replicas
+            .iter()
+            .filter(|r| r.link.is_alive() && !r.quarantined)
+            .map(|r| last_seq.saturating_sub(r.last_seq))
+            .max()
+            .unwrap_or(0);
+        self.metrics.gauge_set("replica.lag_records", lag);
+        processed
+    }
+
+    /// Cross-replica fork audit: any two replicas' journals must agree on
+    /// their common prefix (the journal is MAC-chained, so byte equality
+    /// is history equality — a forked primary shipping divergent histories
+    /// cannot produce two replicas that agree).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ForkDetected`] on the first divergent pair.
+    pub fn audit_replicas(&self) -> Result<(), StoreError> {
+        for a in 0..self.replicas.len() {
+            for b in a + 1..self.replicas.len() {
+                let ja = &self.replicas[a].journal;
+                let jb = &self.replicas[b].journal;
+                let common = ja.len().min(jb.len());
+                if ja[..common] != jb[..common] {
+                    return Err(StoreError::ForkDetected);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic failover after a primary crash: quarantines replicas
+    /// whose journal rolled back behind their own acknowledgements,
+    /// promotes the longest-journal survivor through
+    /// [`PrecursorServer::recover`], opens a fresh journal epoch on it,
+    /// and rebuilds the replication fan-out over the remaining survivors
+    /// (their journals reset — the new epoch starts from the promoted
+    /// state's snapshot). Clients must
+    /// [`reconnect`](crate::PrecursorClient::reconnect) (in ascending id
+    /// order) and resynchronise their `oid` from the bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::RollbackDetected`] when every surviving replica is
+    /// quarantined; [`StoreError::SessionLost`] when no replica survives at
+    /// all; [`StoreError::ForkDetected`] when the promoted journal's replay
+    /// evidence diverges from what its records sealed.
+    pub fn fail_primary(&mut self) -> Result<FailoverReport, StoreError> {
+        self.metrics.inc("failover.count", 1);
+
+        // Staged-rollback quarantine: a replica presenting fewer bytes
+        // than it acknowledged lied about durability.
+        let mut quarantined = Vec::new();
+        for (i, r) in self.replicas.iter_mut().enumerate() {
+            if !r.quarantined && (r.journal.len() as u64) < r.claimed {
+                r.quarantined = true;
+                quarantined.push(i);
+            }
+        }
+        if !quarantined.is_empty() {
+            self.metrics
+                .inc("replica.rollback_detected", quarantined.len() as u64);
+        }
+
+        let alive = self
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.link.is_alive());
+        let mut any_alive = false;
+        let mut candidate: Option<usize> = None;
+        for (i, r) in alive {
+            any_alive = true;
+            if r.quarantined {
+                continue;
+            }
+            let better = match candidate {
+                None => true,
+                Some(c) => r.journal.len() > self.replicas[c].journal.len(),
+            };
+            if better {
+                candidate = Some(i);
+            }
+        }
+        let Some(promoted) = candidate else {
+            return Err(if any_alive {
+                StoreError::RollbackDetected
+            } else {
+                StoreError::SessionLost
+            });
+        };
+
+        let journal = std::mem::take(&mut self.replicas[promoted].journal);
+        let stale = (journal.len() as u64) < self.committed_bytes;
+        let (mut server, recovery) = PrecursorServer::recover(
+            self.primary.config().clone(),
+            &self.cost,
+            self.base_snapshot.as_deref(),
+            &self.snap_counter,
+            &journal,
+            &self.epoch_counter,
+        )?;
+
+        // Fresh epoch on the promoted node; the new epoch's base state is
+        // sealed as a snapshot so later recoveries need not replay across
+        // the epoch boundary.
+        server.attach_replicated_journal(self.policy, &mut self.epoch_counter);
+        self.base_snapshot = Some(server.snapshot(&mut self.snap_counter));
+        self.primary = server;
+        self.committed_bytes = 0;
+
+        // Rebuild the fan-out over the survivors: fresh links (the old
+        // ones terminated at the dead primary), journals reset to the new
+        // epoch's empty stream. Quarantined replicas stay quarantined.
+        let mut survivors = Vec::new();
+        for (i, r) in self.replicas.drain(..).enumerate() {
+            if i == promoted || !r.link.is_alive() {
+                continue;
+            }
+            survivors.push(Replica {
+                link: ReplicaLink::new(),
+                journal: Vec::new(),
+                acked: 0,
+                claimed: 0,
+                last_seq: 0,
+                quarantined: r.quarantined,
+            });
+        }
+        self.replicas = survivors;
+        let nodes = self.replicas.len() + 1;
+        self.quorum = nodes / 2 + 1;
+
+        Ok(FailoverReport {
+            promoted,
+            quarantined,
+            recovery,
+            stale,
+        })
+    }
+}

@@ -1,0 +1,658 @@
+//! Durability stage: the sealed mutation journal and the group-commit
+//! reply gate.
+//!
+//! When a journal is attached ([`PrecursorServer::attach_journal`]), every
+//! *applied* mutation — put, delete, revocation eviction — appends one
+//! sealed record right after it executes, in execution order, and every
+//! session admission/reconnect records the trusted window it established.
+//! Records carry the post-apply store evidence (`mutation_seq` + running
+//! state digest), so replay can verify bit-for-bit that it reconstructs
+//! the same history ([`StoreError::ForkDetected`] otherwise).
+//!
+//! **Group commit & the reply gate.** Appends accumulate in the journal's
+//! pending buffer; the [`GroupCommitPolicy`] decides when a sweep flushes
+//! the group to durable bytes. A reply whose operation is not yet durable
+//! (or, under replication, not yet quorum-acknowledged) must not reach the
+//! client — otherwise a crash-failover could roll back a state the client
+//! already observed, turning an honest recovery into a false
+//! `RollbackDetected`. The gate therefore holds *every* reply WRITE
+//! (mutations, and reads that may have observed uncommitted state) until
+//! the journal sequence it was emitted under is committed, then releases
+//! them FIFO. With [`GroupCommitPolicy::immediate`] and local commit the
+//! flush happens inline with the append, the gate never closes, and the
+//! emitted WRITE stream is byte-identical to an unjournaled server — which
+//! is what keeps the seeded golden digest unchanged.
+//!
+//! **Commit authority.** Locally-durable mode (`attach_journal`) commits a
+//! group the moment its flush succeeds. Replicated mode
+//! (`attach_replicated_journal`) leaves commit to the replication layer,
+//! which calls [`PrecursorServer::commit_journal_bytes`] once a quorum of
+//! replicas acknowledged the flushed byte range (see `crate::replication`).
+
+use std::collections::VecDeque;
+
+use precursor_journal::{FlushDamage, GroupCommitPolicy, Journal, JournalRecord, JournalStats};
+use precursor_rdma::faults::{DurableVerdict, FaultSite};
+use precursor_sgx::counters::MonotonicCounter;
+use precursor_sgx::sealing;
+use precursor_sim::CostModel;
+
+use crate::config::Config;
+use crate::error::StoreError;
+use crate::snapshot::{take, SnapshotBody, SnapshotEntry};
+use crate::wire::{Opcode, Status};
+
+use super::exec::ValueStorage;
+use super::seal::StoreEvidence;
+use super::{lock_faults, PrecursorServer};
+
+// Journal record kinds.
+const KIND_PUT: u8 = 1;
+const KIND_DELETE: u8 = 2;
+const KIND_EVICT: u8 = 3;
+const KIND_SESSION: u8 = 4;
+
+// One reply held back by the group-commit gate: the ring WRITEs of a
+// sealed reply, tagged with the journal sequence that must commit before
+// they may be posted.
+#[derive(Debug)]
+struct GatedReply {
+    idx: usize,
+    seq: u64,
+    writes: Vec<(usize, Vec<u8>)>,
+}
+
+// Durability-stage state: the journal plus the commit/gate bookkeeping.
+#[derive(Debug)]
+pub(super) struct Durability {
+    journal: Journal,
+    // Replicated mode: commit authority lies with the replication layer
+    // (commit_journal_bytes); local mode commits at flush.
+    external_commit: bool,
+    committed_seq: u64,
+    // (durable-bytes end, last record seq) per flushed group — lets the
+    // replication layer's byte-level acknowledgements map back to commit
+    // sequence numbers. Pruned as commits advance.
+    flush_marks: VecDeque<(u64, u64)>,
+    gated: VecDeque<GatedReply>,
+    // A damaged flush wedged the journal: the modelled process died
+    // mid-write. Replies gated at that point are never released (their
+    // clients time out), and nothing further is appended — recovery is the
+    // only way forward.
+    failed: bool,
+}
+
+/// What [`PrecursorServer::recover`] reconstructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a sealed snapshot was unsealed and restored.
+    pub snapshot_restored: bool,
+    /// Journal records replayed (past the snapshot watermark).
+    pub replayed: usize,
+    /// Journal records skipped because the snapshot already covered them.
+    pub skipped: usize,
+    /// Whether trailing journal bytes (a torn tail or tampering) were
+    /// truncated rather than replayed.
+    pub truncated: bool,
+    /// Byte length of the authentic journal prefix.
+    pub valid_len: usize,
+    /// Sequence number of the last authentic journal record (0 if none).
+    pub journal_seq: u64,
+}
+
+impl PrecursorServer {
+    /// Attaches a locally-durable sealed journal: every applied mutation is
+    /// journaled, groups flush per `policy`, and a group commits the moment
+    /// its flush succeeds. The journal key is derived for a fresh epoch
+    /// drawn from the trusted monotonic `counter`, so an older epoch's byte
+    /// stream can never be replayed into this one. Returns the epoch.
+    pub fn attach_journal(
+        &mut self,
+        policy: GroupCommitPolicy,
+        counter: &mut MonotonicCounter,
+    ) -> u64 {
+        self.attach(policy, counter, false)
+    }
+
+    /// Attaches a journal whose commit authority is the replication layer:
+    /// flushed groups stay uncommitted (replies gated) until
+    /// [`commit_journal_bytes`](Self::commit_journal_bytes) acknowledges
+    /// the byte range — quorum acknowledgement in `crate::replication`.
+    pub fn attach_replicated_journal(
+        &mut self,
+        policy: GroupCommitPolicy,
+        counter: &mut MonotonicCounter,
+    ) -> u64 {
+        self.attach(policy, counter, true)
+    }
+
+    fn attach(
+        &mut self,
+        policy: GroupCommitPolicy,
+        counter: &mut MonotonicCounter,
+        external_commit: bool,
+    ) -> u64 {
+        let epoch = counter.increment();
+        let key = sealing::journal_key(&self.sealing_key(), epoch);
+        self.durability = Some(Durability {
+            journal: Journal::new(key, epoch, policy),
+            external_commit,
+            committed_seq: 0,
+            flush_marks: VecDeque::new(),
+            gated: VecDeque::new(),
+            failed: false,
+        });
+        epoch
+    }
+
+    /// The attached journal's epoch, if any.
+    pub fn journal_epoch(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.journal.epoch())
+    }
+
+    /// Sequence number of the most recently journaled record (0 when no
+    /// journal is attached or nothing was appended).
+    pub fn journal_last_seq(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.journal.last_seq())
+    }
+
+    /// Highest committed journal sequence number — replies up to it have
+    /// been released to clients.
+    pub fn journal_committed_seq(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.committed_seq)
+    }
+
+    /// The journal's durable byte stream (what replication ships and what
+    /// survives a crash), when a journal is attached.
+    pub fn journal_durable(&self) -> Option<&[u8]> {
+        self.durability.as_ref().map(|d| d.journal.durable())
+    }
+
+    /// Journal flush/byte counters, when a journal is attached.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.durability.as_ref().map(|d| d.journal.stats())
+    }
+
+    /// Whether a damaged flush wedged the journal (the modelled process
+    /// died mid-write; only recovery makes sense afterwards).
+    pub fn journal_wedged(&self) -> bool {
+        self.durability.as_ref().is_some_and(|d| d.failed)
+    }
+
+    /// Replies currently held by the group-commit gate.
+    pub fn gated_replies(&self) -> usize {
+        self.durability.as_ref().map_or(0, |d| d.gated.len())
+    }
+
+    /// Acknowledges that the first `acked` durable journal bytes are
+    /// replicated to a quorum: commits every flushed group inside that
+    /// range and releases its gated replies. The replication layer's
+    /// commit callback (no-op for locally-committed journals with nothing
+    /// externally gated).
+    pub fn commit_journal_bytes(&mut self, acked: u64) {
+        if let Some(d) = self.durability.as_mut() {
+            if d.failed {
+                return;
+            }
+            while let Some(&(end, seq)) = d.flush_marks.front() {
+                if end > acked {
+                    break;
+                }
+                d.committed_seq = d.committed_seq.max(seq);
+                d.flush_marks.pop_front();
+            }
+        }
+        self.release_gated();
+    }
+
+    // Appends one sealed record; in immediate local mode the flush (and
+    // therefore the commit) happens inline, keeping the reply gate open.
+    fn journal_append(&mut self, kind: u8, body: &[u8]) {
+        let now = self.ingress.polls;
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        if d.failed {
+            return;
+        }
+        let seq = d.journal.append(kind, body, now);
+        self.trace("journal", "append", seq, kind as u64);
+        let d = self.durability.as_ref().expect("just appended");
+        if !d.external_commit && d.journal.policy().max_records <= 1 {
+            self.flush_journal();
+        }
+    }
+
+    // Journal tap for executed operations (both sweep paths call it right
+    // after `execute_plan`, in execution order). Reads and non-applied
+    // mutations leave no record.
+    pub(super) fn journal_mutation(
+        &mut self,
+        idx: usize,
+        opcode: Opcode,
+        status: Status,
+        key: &[u8],
+        oid: u64,
+    ) {
+        if self.durability.is_none() || status != Status::Ok {
+            return;
+        }
+        match opcode {
+            Opcode::Put => {
+                let entry = self.export_entry(key).expect("applied put leaves an entry");
+                let body = encode_put(
+                    idx as u32,
+                    oid,
+                    self.store.storage_seq,
+                    self.store.evidence(),
+                    &entry,
+                );
+                self.journal_append(KIND_PUT, &body);
+            }
+            Opcode::Delete => {
+                let body = encode_delete(idx as u32, oid, self.store.evidence(), key);
+                self.journal_append(KIND_DELETE, &body);
+            }
+            Opcode::Get => {}
+        }
+    }
+
+    // Journal tap for session admissions and reconnects: records the
+    // trusted window (expected_oid, last_status, epoch) the session was
+    // established with, so failover reconstructs the at-most-once state.
+    pub(super) fn journal_session(&mut self, client_id: u32) {
+        if self.durability.is_none() {
+            return;
+        }
+        let s = &self.sessions.list[client_id as usize];
+        let body = encode_session(client_id, s.expected_oid, s.last_status, s.epoch);
+        self.journal_append(KIND_SESSION, &body);
+    }
+
+    // Journal tap for revocation evictions (one record per evicted key).
+    pub(super) fn journal_evict(&mut self, key: &[u8]) {
+        if self.durability.is_none() {
+            return;
+        }
+        let body = encode_evict(self.store.evidence(), key);
+        self.journal_append(KIND_EVICT, &body);
+    }
+
+    // Flushes the pending group through the durable-write fault site. A
+    // torn or corrupted flush wedges the journal and fails the server's
+    // durability (replies gated at that point are never released — the
+    // modelled process is dead).
+    pub(super) fn flush_journal(&mut self) {
+        let pending = match self.durability.as_ref() {
+            Some(d) if !d.failed && d.journal.pending_bytes() > 0 => d.journal.pending_bytes(),
+            _ => return,
+        };
+        let damage = match &self.faults {
+            Some(f) => match lock_faults(f).on_durable_write(FaultSite::JournalFlush, pending) {
+                DurableVerdict::Complete => FlushDamage::None,
+                DurableVerdict::Torn(keep) => FlushDamage::Torn(keep),
+                DurableVerdict::Corrupt(bit) => FlushDamage::CorruptBit(bit),
+            },
+            None => FlushDamage::None,
+        };
+        let d = self.durability.as_mut().expect("checked above");
+        let Some((offset, written)) = d.journal.flush_with(damage) else {
+            return;
+        };
+        let last_seq = d.journal.last_seq();
+        if d.journal.is_wedged() {
+            d.failed = true;
+        } else if d.external_commit {
+            d.flush_marks.push_back((offset + written as u64, last_seq));
+        } else {
+            d.committed_seq = last_seq;
+        }
+        self.obs.inc("journal.group_commit_flushes", 1);
+        self.obs.inc("journal.bytes_sealed", written as u64);
+        self.trace("journal", "flush", offset, written as u64);
+    }
+
+    // End-of-sweep durability work: flush when the group-commit policy
+    // calls for it, then release whatever the commit point now covers.
+    pub(super) fn durability_sweep(&mut self) {
+        let Some(d) = self.durability.as_ref() else {
+            return;
+        };
+        if !d.failed && d.journal.should_flush(self.ingress.polls) {
+            self.flush_journal();
+        }
+        self.release_gated();
+    }
+
+    // Posts a reply's ring WRITEs, or holds them behind the group-commit
+    // gate when the journal has uncommitted records (or earlier replies
+    // are already held — per-client WRITE order must be preserved). With
+    // no journal attached this is exactly the ungated post loop.
+    pub(super) fn post_or_gate(&mut self, idx: usize, writes: Vec<(usize, Vec<u8>)>) {
+        if writes.is_empty() {
+            return;
+        }
+        let gate = match &self.durability {
+            Some(d) => d.failed || d.journal.last_seq() > d.committed_seq || !d.gated.is_empty(),
+            None => false,
+        };
+        if gate {
+            let d = self.durability.as_mut().expect("gate implies durability");
+            let seq = d.journal.last_seq();
+            d.gated.push_back(GatedReply { idx, seq, writes });
+            return;
+        }
+        let port = self.ingress.ports[idx].as_mut().expect("live port");
+        let rkey = port.reply_ring_rkey;
+        for (off, chunk) in &writes {
+            let _ = port.qp.post_write(rkey, *off, chunk, false);
+        }
+    }
+
+    // Releases gated replies whose journal sequence is committed, FIFO
+    // (sequence tags are non-decreasing in gate order, so FIFO release
+    // preserves both per-client and global WRITE order).
+    pub(super) fn release_gated(&mut self) {
+        loop {
+            let Some(d) = self.durability.as_mut() else {
+                return;
+            };
+            if d.failed {
+                return;
+            }
+            match d.gated.front() {
+                Some(g) if g.seq <= d.committed_seq => {}
+                _ => return,
+            }
+            let g = d.gated.pop_front().expect("checked front");
+            // A port revoked while its reply sat in the gate just drops
+            // the WRITEs — the client is gone.
+            if let Some(Some(port)) = self.ingress.ports.get_mut(g.idx) {
+                let rkey = port.reply_ring_rkey;
+                for (off, chunk) in &g.writes {
+                    let _ = port.qp.post_write(rkey, *off, chunk, false);
+                }
+            }
+        }
+    }
+
+    // Routes a sealed durable blob (snapshot seal) through the
+    // fault-injection layer: a crash mid-write tears it, a corrupting
+    // host flips a bit. Used by `crate::snapshot`.
+    pub(crate) fn apply_durable_fault(&mut self, site: FaultSite, blob: &mut Vec<u8>) {
+        let Some(f) = &self.faults else {
+            return;
+        };
+        match lock_faults(f).on_durable_write(site, blob.len()) {
+            DurableVerdict::Complete => {}
+            DurableVerdict::Torn(keep) => blob.truncate(keep),
+            DurableVerdict::Corrupt(bit) => {
+                if !blob.is_empty() {
+                    let b = bit % (blob.len() * 8);
+                    blob[b / 8] ^= 1 << (b % 8);
+                }
+            }
+        }
+    }
+
+    /// Reconstructs a server from a sealed snapshot (optional) plus the
+    /// durable journal byte stream of the epoch `epoch_counter` currently
+    /// designates. The snapshot is unsealed at `snap_counter`'s current
+    /// value (rollback detection, as in [`restore`](Self::restore)); the
+    /// journal's authentic prefix is established by its MAC chain — a torn
+    /// tail is truncated, never replayed — and records past the snapshot's
+    /// watermark are replayed in order, re-deriving the store evidence and
+    /// checking it against each record's sealed evidence.
+    ///
+    /// The recovered server has no journal attached; a promoted node opens
+    /// a fresh epoch with [`attach_journal`](Self::attach_journal) /
+    /// [`attach_replicated_journal`](Self::attach_replicated_journal).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotRejected`] for a rolled-back or damaged
+    /// snapshot (retry without it to recover from the journal alone);
+    /// [`StoreError::ForkDetected`] when replay derives different evidence
+    /// than a record sealed — the journal came from a forked or
+    /// rolled-back history; [`StoreError::MalformedFrame`] for records
+    /// that do not parse.
+    pub fn recover(
+        config: Config,
+        cost: &CostModel,
+        snapshot: Option<&[u8]>,
+        snap_counter: &MonotonicCounter,
+        journal_bytes: &[u8],
+        epoch_counter: &MonotonicCounter,
+    ) -> Result<(PrecursorServer, RecoveryReport), StoreError> {
+        let mut server = PrecursorServer::new(config, cost);
+        let epoch = epoch_counter.read();
+        let mut snapshot_restored = false;
+        let mut watermark = 0u64;
+        if let Some(sealed) = snapshot {
+            let key = server.sealing_key();
+            let body_bytes = sealing::unseal(&key, snap_counter.read(), sealed)
+                .map_err(|_| StoreError::SnapshotRejected)?;
+            let body = SnapshotBody::decode(&body_bytes)?;
+            if body.mode != server.config().mode {
+                return Err(StoreError::MalformedFrame);
+            }
+            // The watermark only applies when the snapshot was sealed
+            // under this journal epoch; a snapshot from before the epoch
+            // opened covers none of its records.
+            if body.journal_epoch == epoch {
+                watermark = body.journal_seq;
+            }
+            server.restore_body(body)?;
+            snapshot_restored = true;
+        }
+        let jkey = sealing::journal_key(&server.sealing_key(), epoch);
+        let recovered = precursor_journal::recover(&jkey, epoch, journal_bytes);
+        let mut replayed = 0usize;
+        let mut skipped = 0usize;
+        for record in &recovered.records {
+            if record.seq <= watermark {
+                skipped += 1;
+                continue;
+            }
+            server.replay_record(record)?;
+            replayed += 1;
+        }
+        Ok((
+            server,
+            RecoveryReport {
+                snapshot_restored,
+                replayed,
+                skipped,
+                truncated: recovered.truncated,
+                valid_len: recovered.valid_len,
+                journal_seq: recovered.records.last().map_or(0, |r| r.seq),
+            },
+        ))
+    }
+
+    // Applies one authenticated journal record. Mutations re-derive the
+    // store evidence exactly as the original execution did and compare it
+    // to the record's sealed post-apply evidence — any divergence means
+    // the journal belongs to a different history (fork or rollback).
+    fn replay_record(&mut self, record: &JournalRecord) -> Result<(), StoreError> {
+        match record.kind {
+            KIND_PUT => {
+                let (client_id, oid, storage_seq, ev, entry) = decode_put(&record.body)?;
+                self.store.bump_mutation(Opcode::Put, &entry.key);
+                self.check_evidence(&ev)?;
+                self.install_entry(entry)?;
+                self.store.storage_seq = storage_seq;
+                self.replay_window(client_id, oid);
+            }
+            KIND_DELETE => {
+                let (client_id, oid, ev, key) = decode_delete(&record.body)?;
+                self.replay_remove(&key)?;
+                self.check_evidence(&ev)?;
+                self.replay_window(client_id, oid);
+            }
+            KIND_EVICT => {
+                let (ev, key) = decode_evict(&record.body)?;
+                self.replay_remove(&key)?;
+                self.check_evidence(&ev)?;
+            }
+            KIND_SESSION => {
+                let (client_id, expected_oid, last_status, epoch) = decode_session(&record.body)?;
+                let idx = client_id as usize;
+                if self.sessions.saved.len() <= idx {
+                    self.sessions.saved.resize(idx + 1, (1, Status::Ok, 1));
+                }
+                self.sessions.saved[idx] = (expected_oid, last_status, epoch);
+            }
+            _ => return Err(StoreError::MalformedFrame),
+        }
+        Ok(())
+    }
+
+    // Replays a removal (delete or eviction): the key must exist — its
+    // absence means the journal diverged from the state it claims to
+    // extend.
+    fn replay_remove(&mut self, key: &[u8]) -> Result<(), StoreError> {
+        let (removed, _stats) = self.store.table.remove_tracked(&key.to_vec());
+        let Some(entry) = removed else {
+            return Err(StoreError::ForkDetected);
+        };
+        if let ValueStorage::Untrusted(range) = entry.storage {
+            self.store
+                .release_range(&mut self.adversary, entry.client_id, range);
+        }
+        self.store.bump_mutation(Opcode::Delete, key);
+        Ok(())
+    }
+
+    fn check_evidence(&self, ev: &StoreEvidence) -> Result<(), StoreError> {
+        if self.store.mutation_seq != ev.mutation_seq || self.store.state_digest != ev.state_digest
+        {
+            return Err(StoreError::ForkDetected);
+        }
+        Ok(())
+    }
+
+    // Replayed mutations re-establish the issuing client's at-most-once
+    // window: the operation executed, so the enclave expects the next oid
+    // and would re-acknowledge (never re-apply) a retransmission.
+    fn replay_window(&mut self, client_id: u32, oid: u64) {
+        let idx = client_id as usize;
+        if self.sessions.saved.len() <= idx {
+            self.sessions.saved.resize(idx + 1, (1, Status::Ok, 1));
+        }
+        let s = &mut self.sessions.saved[idx];
+        s.0 = oid + 1;
+        s.1 = Status::Ok;
+    }
+}
+
+// --- record body codecs ---
+
+fn encode_evidence(out: &mut Vec<u8>, ev: &StoreEvidence) {
+    out.extend_from_slice(&ev.mutation_seq.to_le_bytes());
+    out.extend_from_slice(&ev.state_digest);
+}
+
+fn decode_evidence(buf: &[u8], pos: &mut usize) -> Result<StoreEvidence, StoreError> {
+    let mutation_seq = u64::from_le_bytes(take(buf, pos, 8)?.try_into().expect("8"));
+    let state_digest: [u8; 16] = take(buf, pos, 16)?.try_into().expect("16");
+    Ok(StoreEvidence {
+        mutation_seq,
+        state_digest,
+    })
+}
+
+fn encode_put(
+    client_id: u32,
+    oid: u64,
+    storage_seq: u64,
+    ev: StoreEvidence,
+    entry: &SnapshotEntry,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(48 + entry.key.len() + entry.stored_bytes.len() + 64);
+    out.extend_from_slice(&client_id.to_le_bytes());
+    out.extend_from_slice(&oid.to_le_bytes());
+    out.extend_from_slice(&storage_seq.to_le_bytes());
+    encode_evidence(&mut out, &ev);
+    entry.encode_into(&mut out);
+    out
+}
+
+type PutRecord = (u32, u64, u64, StoreEvidence, SnapshotEntry);
+
+fn decode_put(body: &[u8]) -> Result<PutRecord, StoreError> {
+    let mut pos = 0usize;
+    let client_id = u32::from_le_bytes(take(body, &mut pos, 4)?.try_into().expect("4"));
+    let oid = u64::from_le_bytes(take(body, &mut pos, 8)?.try_into().expect("8"));
+    let storage_seq = u64::from_le_bytes(take(body, &mut pos, 8)?.try_into().expect("8"));
+    let ev = decode_evidence(body, &mut pos)?;
+    let entry = SnapshotEntry::decode_from(body, &mut pos)?;
+    if pos != body.len() {
+        return Err(StoreError::MalformedFrame);
+    }
+    Ok((client_id, oid, storage_seq, ev, entry))
+}
+
+fn encode_delete(client_id: u32, oid: u64, ev: StoreEvidence, key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(38 + key.len());
+    out.extend_from_slice(&client_id.to_le_bytes());
+    out.extend_from_slice(&oid.to_le_bytes());
+    encode_evidence(&mut out, &ev);
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key);
+    out
+}
+
+fn decode_delete(body: &[u8]) -> Result<(u32, u64, StoreEvidence, Vec<u8>), StoreError> {
+    let mut pos = 0usize;
+    let client_id = u32::from_le_bytes(take(body, &mut pos, 4)?.try_into().expect("4"));
+    let oid = u64::from_le_bytes(take(body, &mut pos, 8)?.try_into().expect("8"));
+    let ev = decode_evidence(body, &mut pos)?;
+    let key_len = u16::from_le_bytes(take(body, &mut pos, 2)?.try_into().expect("2")) as usize;
+    let key = take(body, &mut pos, key_len)?.to_vec();
+    if pos != body.len() {
+        return Err(StoreError::MalformedFrame);
+    }
+    Ok((client_id, oid, ev, key))
+}
+
+fn encode_evict(ev: StoreEvidence, key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(26 + key.len());
+    encode_evidence(&mut out, &ev);
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key);
+    out
+}
+
+fn decode_evict(body: &[u8]) -> Result<(StoreEvidence, Vec<u8>), StoreError> {
+    let mut pos = 0usize;
+    let ev = decode_evidence(body, &mut pos)?;
+    let key_len = u16::from_le_bytes(take(body, &mut pos, 2)?.try_into().expect("2")) as usize;
+    let key = take(body, &mut pos, key_len)?.to_vec();
+    if pos != body.len() {
+        return Err(StoreError::MalformedFrame);
+    }
+    Ok((ev, key))
+}
+
+fn encode_session(client_id: u32, expected_oid: u64, last_status: Status, epoch: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(17);
+    out.extend_from_slice(&client_id.to_le_bytes());
+    out.extend_from_slice(&expected_oid.to_le_bytes());
+    out.push(last_status as u8);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out
+}
+
+fn decode_session(body: &[u8]) -> Result<(u32, u64, Status, u32), StoreError> {
+    let mut pos = 0usize;
+    let client_id = u32::from_le_bytes(take(body, &mut pos, 4)?.try_into().expect("4"));
+    let expected_oid = u64::from_le_bytes(take(body, &mut pos, 8)?.try_into().expect("8"));
+    let last_status =
+        Status::from_u8(take(body, &mut pos, 1)?[0]).ok_or(StoreError::MalformedFrame)?;
+    let epoch = u32::from_le_bytes(take(body, &mut pos, 4)?.try_into().expect("4"));
+    if pos != body.len() {
+        return Err(StoreError::MalformedFrame);
+    }
+    Ok((client_id, expected_oid, last_status, epoch))
+}

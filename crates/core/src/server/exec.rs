@@ -636,6 +636,9 @@ impl PrecursorServer {
                 .iter()
                 .map(|s| (s.expected_oid, s.last_status, s.epoch))
                 .collect(),
+            // Journal watermark: recovery replays only records past it.
+            journal_epoch: self.journal_epoch().unwrap_or(0),
+            journal_seq: self.journal_last_seq(),
         }
     }
 
@@ -648,6 +651,20 @@ impl PrecursorServer {
         self.store.mutation_seq = body.mutation_seq;
         self.store.state_digest = body.state_digest;
         self.sessions.saved = body.sessions;
+        for e in body.entries {
+            self.install_entry(e)?;
+        }
+        Ok(())
+    }
+
+    // Installs one serialized entry into the store *without* bumping the
+    // mutation evidence — the entry reproduces already-counted state.
+    // Shared by snapshot restore and journal replay (which bumps the
+    // evidence itself, in record order).
+    pub(crate) fn install_entry(
+        &mut self,
+        e: crate::snapshot::SnapshotEntry,
+    ) -> Result<(), StoreError> {
         let mut meter = Meter::new();
         let mut ctx = ExecCtx {
             enclave: &mut self.enclave,
@@ -655,44 +672,68 @@ impl PrecursorServer {
             cost: &self.cost,
             adversary: &mut self.adversary,
         };
-        for e in body.entries {
-            let storage = if ctx.config.mode == EncryptionMode::ClientSide
-                && e.payload_len <= ctx.config.inline_value_max
-            {
-                ValueStorage::InEnclave(e.stored_bytes)
-            } else {
-                let range = match self.store.pool.alloc(e.stored_bytes.len()) {
-                    Some(r) => r,
-                    None => {
-                        ctx.enclave.ocall(&mut meter, &ctx.cost.clone());
-                        self.store.payload_mem.grow(ctx.config.pool_bytes);
-                        self.store.pool.grow(ctx.config.pool_bytes);
-                        self.store
-                            .pool
-                            .alloc(e.stored_bytes.len())
-                            .ok_or(StoreError::OversizedItem)?
-                    }
-                };
-                self.store.payload_mem.write(range.offset, &e.stored_bytes);
-                self.store
-                    .charge_range(ctx.adversary, e.client_id as usize, &range);
-                ValueStorage::Untrusted(range)
+        let storage = if ctx.config.mode == EncryptionMode::ClientSide
+            && e.payload_len <= ctx.config.inline_value_max
+        {
+            ValueStorage::InEnclave(e.stored_bytes)
+        } else {
+            let range = match self.store.pool.alloc(e.stored_bytes.len()) {
+                Some(r) => r,
+                None => {
+                    ctx.enclave.ocall(&mut meter, &ctx.cost.clone());
+                    self.store.payload_mem.grow(ctx.config.pool_bytes);
+                    self.store.pool.grow(ctx.config.pool_bytes);
+                    self.store
+                        .pool
+                        .alloc(e.stored_bytes.len())
+                        .ok_or(StoreError::OversizedItem)?
+                }
             };
-            self.store.table_insert(
-                &mut ctx,
-                e.key,
-                EntryMeta {
-                    k_op: e.k_op,
-                    payload_nonce: e.payload_nonce,
-                    storage_seq: e.storage_seq,
-                    client_id: e.client_id,
-                    storage,
-                    payload_len: e.payload_len,
-                },
-                &mut meter,
-            );
-        }
+            self.store.payload_mem.write(range.offset, &e.stored_bytes);
+            self.store
+                .charge_range(ctx.adversary, e.client_id as usize, &range);
+            ValueStorage::Untrusted(range)
+        };
+        self.store.table_insert(
+            &mut ctx,
+            e.key,
+            EntryMeta {
+                k_op: e.k_op,
+                payload_nonce: e.payload_nonce,
+                storage_seq: e.storage_seq,
+                client_id: e.client_id,
+                storage,
+                payload_len: e.payload_len,
+            },
+            &mut meter,
+        );
         Ok(())
+    }
+
+    // Serializes the current stored state of `key` (enclave metadata plus
+    // the untrusted bytes) — the payload of a journal `Put` record, read
+    // right after the put applied.
+    pub(crate) fn export_entry(&self, key: &[u8]) -> Option<crate::snapshot::SnapshotEntry> {
+        let meta = self.store.table.get(&key.to_vec())?;
+        let stored_bytes = match &meta.storage {
+            ValueStorage::Untrusted(range) => {
+                let len = match self.config.mode {
+                    EncryptionMode::ClientSide => meta.payload_len + Tag::LEN,
+                    EncryptionMode::ServerSide => meta.payload_len,
+                };
+                self.store.payload_mem.read(range.offset, len)
+            }
+            ValueStorage::InEnclave(data) => data.clone(),
+        };
+        Some(crate::snapshot::SnapshotEntry {
+            key: key.to_vec(),
+            k_op: meta.k_op.clone(),
+            payload_nonce: meta.payload_nonce,
+            storage_seq: meta.storage_seq,
+            client_id: meta.client_id,
+            payload_len: meta.payload_len,
+            stored_bytes,
+        })
     }
 
     /// Tamper hook for security tests: flips a bit of the *untrusted* stored

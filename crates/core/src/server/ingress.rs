@@ -189,11 +189,11 @@ impl PrecursorServer {
             Some(adv) => adv.on_reply_record(idx as u32, writes.clone()),
             None => writes.clone(),
         };
+        // The WRITEs go through the group-commit gate: with no journal (or
+        // an up-to-date commit point) they post immediately, otherwise they
+        // are held until the operation's journal group commits.
+        self.post_or_gate(idx, posted);
         let port = self.ingress.ports[idx].as_mut().expect("live port");
-        let rkey = port.reply_ring_rkey;
-        for (off, chunk) in &posted {
-            let _ = port.qp.post_write(rkey, *off, chunk, false);
-        }
         if remember {
             // Remember the *honest* record for retransmissions —
             // retransmits bypass the adversary by design, so a
@@ -278,55 +278,55 @@ impl PrecursorServer {
         }
     }
 
-    // Posts every coalesced WRITE accumulated for `idx` this sweep.
+    // Posts every coalesced WRITE accumulated for `idx` this sweep
+    // (through the group-commit gate, like every reply WRITE).
     pub(super) fn flush_reply_batch(&mut self, idx: usize, batch: &mut ReplyBatch) {
         if batch.writes.is_empty() {
             return;
         }
-        let port = self.ingress.ports[idx].as_mut().expect("live port");
-        let rkey = port.reply_ring_rkey;
-        for (off, chunk) in batch.writes.drain(..) {
-            let _ = port.qp.post_write(rkey, off, &chunk, false);
-        }
+        let writes: Vec<_> = batch.writes.drain(..).collect();
+        self.post_or_gate(idx, writes);
     }
 
     // Re-issues the remembered last reply of `idx` (retransmission path).
     pub(super) fn emit_retransmit(&mut self, idx: usize, meter: &mut Meter) {
         let cost = self.cost.clone();
-        let port = self.ingress.ports[idx].as_mut().expect("live port");
-        let rkey = port.reply_ring_rkey;
-        let consumed =
-            u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
-        if consumed >= port.last_reply_end && !port.last_reply_bytes.is_empty() {
-            // The client already consumed past the remembered
-            // record (it saw an adversary-substituted record there
-            // and zeroed the slot): rewriting the old offsets would
-            // deposit bytes into consumed ring space. Re-push the
-            // remembered record as a fresh one instead — same
-            // `reply_seq`, so the client dedups or late-accepts it.
-            port.reply_producer.update_credits(consumed);
-            let bytes = port.last_reply_bytes.clone();
-            let mut writes = Vec::with_capacity(2);
-            let _ = port.reply_producer.push_with(&bytes, |off, chunk| {
-                writes.push((off, chunk.to_vec()));
-            });
-            for (off, chunk) in &writes {
-                let _ = port.qp.post_write(rkey, *off, chunk, false);
-                meter.counters_mut().rdma_posts += 1;
-                meter.counters_mut().tx_bytes += chunk.len() as u64;
+        let writes = {
+            let port = self.ingress.ports[idx].as_mut().expect("live port");
+            let consumed =
+                u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
+            if consumed >= port.last_reply_end && !port.last_reply_bytes.is_empty() {
+                // The client already consumed past the remembered
+                // record (it saw an adversary-substituted record there
+                // and zeroed the slot): rewriting the old offsets would
+                // deposit bytes into consumed ring space. Re-push the
+                // remembered record as a fresh one instead — same
+                // `reply_seq`, so the client dedups or late-accepts it.
+                port.reply_producer.update_credits(consumed);
+                let bytes = port.last_reply_bytes.clone();
+                let mut writes = Vec::with_capacity(2);
+                let _ = port.reply_producer.push_with(&bytes, |off, chunk| {
+                    writes.push((off, chunk.to_vec()));
+                });
+                for (_, chunk) in &writes {
+                    meter.counters_mut().rdma_posts += 1;
+                    meter.counters_mut().tx_bytes += chunk.len() as u64;
+                }
+                port.last_reply = writes.clone();
+                port.last_reply_end = port.reply_producer.written();
+                writes
+            } else {
+                // Re-issue the last reply's WRITEs verbatim: fills any
+                // hole a dropped reply WRITE left in the client's reply
+                // ring, without consuming a new reply sequence number.
+                for (_, bytes) in &port.last_reply {
+                    meter.counters_mut().rdma_posts += 1;
+                    meter.counters_mut().tx_bytes += bytes.len() as u64;
+                }
+                port.last_reply.clone()
             }
-            port.last_reply = writes;
-            port.last_reply_end = port.reply_producer.written();
-        } else {
-            // Re-issue the last reply's WRITEs verbatim: fills any
-            // hole a dropped reply WRITE left in the client's reply
-            // ring, without consuming a new reply sequence number.
-            for (off, bytes) in &port.last_reply {
-                let _ = port.qp.post_write(rkey, *off, bytes, false);
-                meter.counters_mut().rdma_posts += 1;
-                meter.counters_mut().tx_bytes += bytes.len() as u64;
-            }
-        }
+        };
+        self.post_or_gate(idx, writes);
         meter.charge(
             Stage::ServerCritical,
             cost.server_time(Cycles(cost.rdma_post_cycles)),

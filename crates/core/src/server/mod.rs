@@ -35,11 +35,14 @@
 //! shared mega-`&mut self` surface; `PrecursorServer` itself is a thin
 //! facade that owns the stage states and re-exports the public API.
 
+mod durability;
 mod exec;
 mod ingress;
 mod pipeline;
 mod seal;
 mod session;
+
+pub use durability::RecoveryReport;
 
 use std::sync::{Arc, Mutex};
 
@@ -141,6 +144,10 @@ pub struct PrecursorServer {
     store: StoreExec,
     ingress: Ingress,
 
+    // durability stage (sealed journal + group-commit reply gate); None
+    // until a journal is attached
+    durability: Option<durability::Durability>,
+
     // fault injection (tests/chaos harnesses); None = clean transport
     faults: Option<Arc<Mutex<FaultInjector>>>,
     // Byzantine-host injection (tests); None = honest host software
@@ -222,6 +229,7 @@ impl PrecursorServer {
                 credit_writes: 0,
                 handoffs: 0,
             },
+            durability: None,
             faults: None,
             adversary: None,
             obs: MetricsRegistry::default(),

@@ -117,6 +117,8 @@ impl PrecursorServer {
             }
         }
         if self.ingress.ports.is_empty() {
+            // Age-based group commits still tick over on idle sweeps.
+            self.durability_sweep();
             return 0;
         }
         let processed = if self.config.shards <= 1 {
@@ -124,6 +126,7 @@ impl PrecursorServer {
         } else {
             self.poll_sharded()
         };
+        self.durability_sweep();
         self.obs.inc("server.polls", 1);
         self.trace("pipeline", "sweep", self.ingress.polls, processed as u64);
         processed
@@ -294,6 +297,10 @@ impl PrecursorServer {
                     unreachable!("execution queues hold AwaitExec entries");
                 };
                 let session_key = self.sessions.list[idx].session_key.clone();
+                let journal_tap = self
+                    .durability
+                    .is_some()
+                    .then(|| (control.key.clone(), control.oid));
                 let mut ctx = ExecCtx {
                     enclave: &mut self.enclave,
                     config: &self.config,
@@ -313,6 +320,9 @@ impl PrecursorServer {
                 ) {
                     Ok((status, value_len, plan)) => {
                         self.trace("exec", super::op_metric(opcode), idx as u64, status as u64);
+                        if let Some((key, oid)) = &journal_tap {
+                            self.journal_mutation(idx, opcode, status, key, *oid);
+                        }
                         ActionKind::Seal {
                             status,
                             opcode,
@@ -416,6 +426,10 @@ impl PrecursorServer {
                 } => {
                     let shard = self.store.table.shard_of(&control.key) as u32;
                     let session_key = self.sessions.list[idx].session_key.clone();
+                    let journal_tap = self
+                        .durability
+                        .is_some()
+                        .then(|| (control.key.clone(), control.oid));
                     let mut ctx = ExecCtx {
                         enclave: &mut self.enclave,
                         config: &self.config,
@@ -435,6 +449,9 @@ impl PrecursorServer {
                     ) {
                         Ok((status, value_len, plan)) => {
                             self.trace("exec", super::op_metric(opcode), idx as u64, status as u64);
+                            if let Some((key, oid)) = &journal_tap {
+                                self.journal_mutation(idx, opcode, status, key, *oid);
+                            }
                             self.sessions.list[idx].last_status = status;
                             let reply = self.seal_for(idx, opcode, plan, &mut meter);
                             (

@@ -146,6 +146,9 @@ impl PrecursorServer {
             &mut meter,
             &self.cost.clone(),
         );
+        // Journal the admitted session's trusted window so failover
+        // reconstructs the at-most-once state.
+        self.journal_session(client_id);
 
         Ok(bundle)
     }
@@ -225,6 +228,7 @@ impl PrecursorServer {
             &mut meter,
             &self.cost.clone(),
         );
+        self.journal_session(client_id);
         Ok(bundle)
     }
 
@@ -280,6 +284,7 @@ impl PrecursorServer {
                         .release_range(&mut self.adversary, entry.client_id, range);
                 }
                 self.store.bump_mutation(Opcode::Delete, &key);
+                self.journal_evict(&key);
             }
         }
         if let Some(adv) = &mut self.adversary {

@@ -24,7 +24,9 @@ use crate::error::StoreError;
 use crate::server::PrecursorServer;
 use crate::wire::Status;
 
-// One serialized entry of the snapshot body.
+// One serialized entry of the snapshot body. The same framing carries a
+// single entry inside a journal `Put` record, so snapshot restore and
+// journal replay install entries through one codec.
 pub(crate) struct SnapshotEntry {
     pub key: Vec<u8>,
     pub k_op: Key256,
@@ -33,6 +35,52 @@ pub(crate) struct SnapshotEntry {
     pub client_id: u32,
     pub payload_len: usize,
     pub stored_bytes: Vec<u8>, // ciphertext ‖ MAC (client mode) or GCM blob
+}
+
+// Bounds-checked slice reader shared by the snapshot and journal codecs.
+pub(crate) fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], StoreError> {
+    if *pos + n > buf.len() {
+        return Err(StoreError::MalformedFrame);
+    }
+    let s = &buf[*pos..*pos + n];
+    *pos += n;
+    Ok(s)
+}
+
+impl SnapshotEntry {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        out.extend_from_slice(self.k_op.as_bytes());
+        out.extend_from_slice(self.payload_nonce.as_bytes());
+        out.extend_from_slice(&self.storage_seq.to_le_bytes());
+        out.extend_from_slice(&self.client_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload_len as u32).to_le_bytes());
+        out.extend_from_slice(&(self.stored_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.stored_bytes);
+    }
+
+    pub(crate) fn decode_from(buf: &[u8], pos: &mut usize) -> Result<SnapshotEntry, StoreError> {
+        let key_len = u16::from_le_bytes(take(buf, pos, 2)?.try_into().expect("2")) as usize;
+        let key = take(buf, pos, key_len)?.to_vec();
+        let k_op = Key256::try_from(take(buf, pos, 32)?).map_err(|_| StoreError::MalformedFrame)?;
+        let payload_nonce =
+            Nonce8::try_from(take(buf, pos, 8)?).map_err(|_| StoreError::MalformedFrame)?;
+        let storage_seq = u64::from_le_bytes(take(buf, pos, 8)?.try_into().expect("8"));
+        let client_id = u32::from_le_bytes(take(buf, pos, 4)?.try_into().expect("4"));
+        let payload_len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().expect("4")) as usize;
+        let stored_len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().expect("4")) as usize;
+        let stored_bytes = take(buf, pos, stored_len)?.to_vec();
+        Ok(SnapshotEntry {
+            key,
+            k_op,
+            payload_nonce,
+            storage_seq,
+            client_id,
+            payload_len,
+            stored_bytes,
+        })
+    }
 }
 
 pub(crate) struct SnapshotBody {
@@ -50,6 +98,13 @@ pub(crate) struct SnapshotBody {
     /// semantics (and keep connection epochs strictly increasing) for
     /// clients that reconnect.
     pub sessions: Vec<(u64, Status, u32)>,
+    /// Journal epoch the server was writing when the snapshot was sealed
+    /// (`0` when no journal is attached).
+    pub journal_epoch: u64,
+    /// Watermark: sequence number of the last journal record whose effects
+    /// this snapshot already covers. Recovery replays only records past it
+    /// (and only when the journal's epoch matches `journal_epoch`).
+    pub journal_seq: u64,
 }
 
 impl SnapshotBody {
@@ -65,15 +120,7 @@ impl SnapshotBody {
         out.extend_from_slice(&self.state_digest);
         out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         for e in &self.entries {
-            out.extend_from_slice(&(e.key.len() as u16).to_le_bytes());
-            out.extend_from_slice(&e.key);
-            out.extend_from_slice(e.k_op.as_bytes());
-            out.extend_from_slice(e.payload_nonce.as_bytes());
-            out.extend_from_slice(&e.storage_seq.to_le_bytes());
-            out.extend_from_slice(&e.client_id.to_le_bytes());
-            out.extend_from_slice(&(e.payload_len as u32).to_le_bytes());
-            out.extend_from_slice(&(e.stored_bytes.len() as u32).to_le_bytes());
-            out.extend_from_slice(&e.stored_bytes);
+            e.encode_into(&mut out);
         }
         out.extend_from_slice(&(self.sessions.len() as u32).to_le_bytes());
         for (expected_oid, last_status, epoch) in &self.sessions {
@@ -81,63 +128,40 @@ impl SnapshotBody {
             out.push(*last_status as u8);
             out.extend_from_slice(&epoch.to_le_bytes());
         }
+        out.extend_from_slice(&self.journal_epoch.to_le_bytes());
+        out.extend_from_slice(&self.journal_seq.to_le_bytes());
         out
     }
 
     pub(crate) fn decode(buf: &[u8]) -> Result<SnapshotBody, StoreError> {
         let mut pos = 0usize;
-        let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
-            if *pos + n > buf.len() {
-                return Err(StoreError::MalformedFrame);
-            }
-            let s = &buf[*pos..*pos + n];
-            *pos += n;
-            Ok(s)
-        };
-        let mode = match take(&mut pos, 1)?[0] {
+        let mode = match take(buf, &mut pos, 1)?[0] {
             0 => EncryptionMode::ClientSide,
             1 => EncryptionMode::ServerSide,
             _ => return Err(StoreError::MalformedFrame),
         };
         let storage_key =
-            Key128::try_from(take(&mut pos, 16)?).map_err(|_| StoreError::MalformedFrame)?;
-        let storage_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
-        let mutation_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
-        let state_digest: [u8; 16] = take(&mut pos, 16)?.try_into().expect("16");
-        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+            Key128::try_from(take(buf, &mut pos, 16)?).map_err(|_| StoreError::MalformedFrame)?;
+        let storage_seq = u64::from_le_bytes(take(buf, &mut pos, 8)?.try_into().expect("8"));
+        let mutation_seq = u64::from_le_bytes(take(buf, &mut pos, 8)?.try_into().expect("8"));
+        let state_digest: [u8; 16] = take(buf, &mut pos, 16)?.try_into().expect("16");
+        let count = u32::from_le_bytes(take(buf, &mut pos, 4)?.try_into().expect("4")) as usize;
         let mut entries = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
-            let key_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2")) as usize;
-            let key = take(&mut pos, key_len)?.to_vec();
-            let k_op =
-                Key256::try_from(take(&mut pos, 32)?).map_err(|_| StoreError::MalformedFrame)?;
-            let payload_nonce =
-                Nonce8::try_from(take(&mut pos, 8)?).map_err(|_| StoreError::MalformedFrame)?;
-            let entry_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
-            let client_id = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
-            let payload_len =
-                u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
-            let stored_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
-            let stored_bytes = take(&mut pos, stored_len)?.to_vec();
-            entries.push(SnapshotEntry {
-                key,
-                k_op,
-                payload_nonce,
-                storage_seq: entry_seq,
-                client_id,
-                payload_len,
-                stored_bytes,
-            });
+            entries.push(SnapshotEntry::decode_from(buf, &mut pos)?);
         }
-        let session_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4")) as usize;
+        let session_count =
+            u32::from_le_bytes(take(buf, &mut pos, 4)?.try_into().expect("4")) as usize;
         let mut sessions = Vec::with_capacity(session_count.min(1 << 16));
         for _ in 0..session_count {
-            let expected_oid = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8"));
+            let expected_oid = u64::from_le_bytes(take(buf, &mut pos, 8)?.try_into().expect("8"));
             let last_status =
-                Status::from_u8(take(&mut pos, 1)?[0]).ok_or(StoreError::MalformedFrame)?;
-            let epoch = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4"));
+                Status::from_u8(take(buf, &mut pos, 1)?[0]).ok_or(StoreError::MalformedFrame)?;
+            let epoch = u32::from_le_bytes(take(buf, &mut pos, 4)?.try_into().expect("4"));
             sessions.push((expected_oid, last_status, epoch));
         }
+        let journal_epoch = u64::from_le_bytes(take(buf, &mut pos, 8)?.try_into().expect("8"));
+        let journal_seq = u64::from_le_bytes(take(buf, &mut pos, 8)?.try_into().expect("8"));
         if pos != buf.len() {
             return Err(StoreError::MalformedFrame);
         }
@@ -149,6 +173,8 @@ impl SnapshotBody {
             state_digest,
             entries,
             sessions,
+            journal_epoch,
+            journal_seq,
         })
     }
 }
@@ -157,11 +183,19 @@ impl PrecursorServer {
     /// Seals the current key-value state into a snapshot blob, incrementing
     /// the trusted monotonic `counter` so the new version supersedes every
     /// older snapshot.
+    ///
+    /// When a [`FaultPlan`](precursor_rdma::faults::FaultPlan) with a
+    /// `SnapshotSeal` rule is installed, the returned blob models what the
+    /// untrusted host actually persisted: a crash mid-write tears it short,
+    /// a corrupting host flips a bit. Either damage makes later unsealing
+    /// fail, so recovery falls back to an older snapshot plus the journal.
     pub fn snapshot(&mut self, counter: &mut MonotonicCounter) -> Vec<u8> {
         let version = counter.increment();
         let body = self.snapshot_body();
         let key = self.sealing_key();
-        self.seal_with_rng(&key, version, &body.encode())
+        let mut blob = self.seal_with_rng(&key, version, &body.encode());
+        self.apply_durable_fault(precursor_rdma::faults::FaultSite::SnapshotSeal, &mut blob);
+        blob
     }
 
     /// Restores a server from a sealed snapshot, verifying it matches the

@@ -1,0 +1,488 @@
+//! Sealed, MAC-chained mutation journal with group commit.
+//!
+//! PR 1's crash-restart snapshots protect a single node but lose everything
+//! committed since the last seal. This crate promotes them into a
+//! *continuous journal*: every store mutation appends one sealed record,
+//! records accumulate in a pending group-commit buffer, and a *flush* moves
+//! the group to durable storage in one write. The framing is designed for
+//! the failure model of an untrusted host that can kill the process
+//! mid-write and tamper with anything outside the enclave:
+//!
+//! * Each record body is AES-GCM sealed under an epoch-specific journal key
+//!   (derived from the enclave sealing key, see `precursor-sgx`), with the
+//!   running chain state and the record position bound into the AAD — a
+//!   record cannot be decrypted out of order, spliced from another epoch,
+//!   or re-used at a different sequence number.
+//! * Records are MAC-chained ([`sha256`] over `state ‖ header ‖ ciphertext`)
+//!   so [`recover`] can establish the longest authentic prefix without a
+//!   trailing commit marker: a torn tail (partial final write) or any
+//!   bit-flip simply terminates the chain and is truncated, never replayed.
+//! * Sequence numbers are dense from 1, so replication acknowledgements and
+//!   group-commit release points can be expressed as byte offsets *or*
+//!   record sequence numbers interchangeably.
+//!
+//! The journal itself is transport- and policy-agnostic: the server decides
+//! *what* to append (see `precursor::server`), the [`GroupCommitPolicy`]
+//! decides *when* to flush, and the replication layer decides when a
+//! flushed byte range is *committed* (quorum-acknowledged).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use precursor_crypto::keys::{Key128, Nonce12};
+use precursor_crypto::{gcm, sha256};
+
+/// Record header: `seq u64 ‖ kind u8 ‖ ct_len u32`, little-endian.
+const HEADER_LEN: usize = 8 + 1 + 4;
+/// Trailing chain tag bytes per record.
+const CHAIN_TAG_LEN: usize = 16;
+
+/// When the pending group-commit buffer is flushed to durable storage.
+///
+/// Both thresholds are checked against virtual time ("now" is whatever
+/// monotonic tick the caller supplies — the server uses its sweep counter):
+/// a flush happens when the group reaches `max_records` *or* the oldest
+/// pending record has waited `max_age` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitPolicy {
+    /// Flush when this many records are pending.
+    pub max_records: usize,
+    /// Flush when the oldest pending record is this many ticks old.
+    pub max_age: u64,
+}
+
+impl GroupCommitPolicy {
+    /// Flush after every append — the degenerate group of one. Keeps the
+    /// durable journal exactly in step with execution, which is what the
+    /// deterministic golden-digest runs use.
+    pub fn immediate() -> GroupCommitPolicy {
+        GroupCommitPolicy {
+            max_records: 1,
+            max_age: 0,
+        }
+    }
+
+    /// Group up to `max_records` appends, but never hold a record pending
+    /// for more than `max_age` ticks.
+    pub fn batched(max_records: usize, max_age: u64) -> GroupCommitPolicy {
+        GroupCommitPolicy {
+            max_records: max_records.max(1),
+            max_age,
+        }
+    }
+}
+
+/// Counters the observability layer mirrors into the metrics registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Completed group-commit flushes.
+    pub flushes: u64,
+    /// Total sealed bytes moved to durable storage.
+    pub bytes_sealed: u64,
+    /// Records appended (pending + durable).
+    pub records: u64,
+}
+
+/// Damage applied to a flush by the fault-injection layer — models the
+/// untrusted host killing the process mid-write or corrupting the write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushDamage {
+    /// The write completed intact.
+    None,
+    /// The process died mid-write: only the first `n` bytes of the group
+    /// reached durable storage. The journal is wedged afterwards.
+    Torn(usize),
+    /// The write completed but bit `i` (mod group length) flipped. The
+    /// journal is wedged afterwards.
+    CorruptBit(usize),
+}
+
+/// One decoded journal record, as recovered from durable bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Dense sequence number, starting at 1.
+    pub seq: u64,
+    /// Application-defined record kind tag.
+    pub kind: u8,
+    /// Decrypted record body.
+    pub body: Vec<u8>,
+}
+
+/// Result of [`recover`]: the longest authentic record prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovered {
+    /// Authenticated records in sequence order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the authentic prefix — everything past this offset is
+    /// a torn tail or tampering and must be truncated, never replayed.
+    pub valid_len: usize,
+    /// Whether trailing bytes were discarded.
+    pub truncated: bool,
+}
+
+/// A continuous sealed journal of store mutations.
+///
+/// `durable` models the bytes that survived past crashes (the "file");
+/// `pending` is the in-memory group-commit buffer that a crash loses.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    key: Key128,
+    epoch: u64,
+    chain: [u8; 16],
+    next_seq: u64,
+    durable: Vec<u8>,
+    pending: Vec<u8>,
+    pending_records: usize,
+    pending_since: u64,
+    policy: GroupCommitPolicy,
+    stats: JournalStats,
+    wedged: bool,
+}
+
+// Chain seed for an epoch: journals from different epochs can never be
+// spliced into each other even under the same key-derivation root.
+fn genesis_chain(epoch: u64) -> [u8; 16] {
+    let mut msg = Vec::with_capacity(32);
+    msg.extend_from_slice(b"precursor-journal-genesis");
+    msg.extend_from_slice(&epoch.to_le_bytes());
+    let d = sha256::digest(&msg);
+    let mut c = [0u8; 16];
+    c.copy_from_slice(&d[..16]);
+    c
+}
+
+// AAD binds the record to its chain position, kind and sequence number.
+fn record_aad(chain: &[u8; 16], kind: u8, seq: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(16 + 1 + 8);
+    aad.extend_from_slice(chain);
+    aad.push(kind);
+    aad.extend_from_slice(&seq.to_le_bytes());
+    aad
+}
+
+// Chain advance: `state' = sha256(state ‖ seq ‖ kind ‖ ct)[..16]`.
+fn advance_chain(chain: &[u8; 16], seq: u64, kind: u8, ct: &[u8]) -> [u8; 16] {
+    let mut msg = Vec::with_capacity(16 + 8 + 1 + ct.len());
+    msg.extend_from_slice(chain);
+    msg.extend_from_slice(&seq.to_le_bytes());
+    msg.push(kind);
+    msg.extend_from_slice(ct);
+    let d = sha256::digest(&msg);
+    let mut c = [0u8; 16];
+    c.copy_from_slice(&d[..16]);
+    c
+}
+
+impl Journal {
+    /// Opens a fresh journal for `epoch` under `key`. The epoch is the
+    /// trusted monotonic counter value the key was derived at; it seeds the
+    /// MAC chain so no two epochs produce splicable byte streams.
+    pub fn new(key: Key128, epoch: u64, policy: GroupCommitPolicy) -> Journal {
+        Journal {
+            key,
+            chain: genesis_chain(epoch),
+            epoch,
+            next_seq: 1,
+            durable: Vec::new(),
+            pending: Vec::new(),
+            pending_records: 0,
+            pending_since: 0,
+            policy,
+            stats: JournalStats::default(),
+            wedged: false,
+        }
+    }
+
+    /// Appends one sealed record to the pending group; returns its sequence
+    /// number. `now` is the caller's monotonic tick, used only to age the
+    /// group for [`should_flush`](Self::should_flush).
+    ///
+    /// Deterministic by construction: the nonce is the sequence counter, no
+    /// RNG is drawn, so journaling is invisible to seeded runs.
+    pub fn append(&mut self, kind: u8, body: &[u8], now: u64) -> u64 {
+        debug_assert!(!self.wedged, "append on a wedged journal");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let aad = record_aad(&self.chain, kind, seq);
+        let ct = gcm::seal(&self.key, &Nonce12::from_counter(seq), &aad, body);
+        self.chain = advance_chain(&self.chain, seq, kind, &ct);
+        if self.pending_records == 0 {
+            self.pending_since = now;
+        }
+        self.pending.extend_from_slice(&seq.to_le_bytes());
+        self.pending.push(kind);
+        self.pending
+            .extend_from_slice(&(ct.len() as u32).to_le_bytes());
+        self.pending.extend_from_slice(&ct);
+        self.pending.extend_from_slice(&self.chain);
+        self.pending_records += 1;
+        self.stats.records += 1;
+        seq
+    }
+
+    /// Whether the group-commit policy calls for a flush at tick `now`.
+    pub fn should_flush(&self, now: u64) -> bool {
+        self.pending_records >= self.policy.max_records
+            || (self.pending_records > 0
+                && now >= self.pending_since.saturating_add(self.policy.max_age))
+    }
+
+    /// Flushes the pending group to durable storage. Returns the byte
+    /// offset the group landed at and its length, or `None` if nothing was
+    /// pending.
+    pub fn flush(&mut self) -> Option<(u64, usize)> {
+        self.flush_with(FlushDamage::None)
+    }
+
+    /// Flushes the pending group, applying `damage` from the fault layer.
+    /// A damaged flush wedges the journal: the process is considered dead
+    /// mid-write and only [`recover`] makes sense afterwards.
+    pub fn flush_with(&mut self, damage: FlushDamage) -> Option<(u64, usize)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let offset = self.durable.len() as u64;
+        let group = std::mem::take(&mut self.pending);
+        self.pending_records = 0;
+        let written = match damage {
+            FlushDamage::None => {
+                self.durable.extend_from_slice(&group);
+                group.len()
+            }
+            FlushDamage::Torn(n) => {
+                let keep = n.min(group.len());
+                self.durable.extend_from_slice(&group[..keep]);
+                self.wedged = true;
+                keep
+            }
+            FlushDamage::CorruptBit(i) => {
+                self.durable.extend_from_slice(&group);
+                let bit = i % (group.len() * 8);
+                let at = offset as usize + bit / 8;
+                self.durable[at] ^= 1 << (bit % 8);
+                self.wedged = true;
+                group.len()
+            }
+        };
+        self.stats.flushes += 1;
+        self.stats.bytes_sealed += written as u64;
+        Some((offset, written))
+    }
+
+    /// The durable byte stream (what survives a crash).
+    pub fn durable(&self) -> &[u8] {
+        &self.durable
+    }
+
+    /// Length of the durable byte stream.
+    pub fn durable_len(&self) -> u64 {
+        self.durable.len() as u64
+    }
+
+    /// Sequence number of the most recently appended record (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Records appended but not yet flushed.
+    pub fn pending_records(&self) -> usize {
+        self.pending_records
+    }
+
+    /// Bytes sitting in the pending group-commit buffer.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The configured group-commit policy.
+    pub fn policy(&self) -> GroupCommitPolicy {
+        self.policy
+    }
+
+    /// The journal epoch (trusted counter value at creation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Flush/byte counters for the metrics layer.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// Whether a damaged flush has wedged this journal.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
+    }
+}
+
+/// Recovers the longest authentic record prefix from durable journal
+/// bytes. Walks the chain from the epoch genesis: any torn tail, bit-flip,
+/// sequence gap or cross-epoch splice terminates the walk, and everything
+/// from that offset on is reported truncated — never replayed.
+pub fn recover(key: &Key128, epoch: u64, bytes: &[u8]) -> Recovered {
+    let mut records = Vec::new();
+    let mut chain = genesis_chain(epoch);
+    let mut expected_seq = 1u64;
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < HEADER_LEN {
+            break;
+        }
+        let seq = u64::from_le_bytes(rest[..8].try_into().unwrap());
+        let kind = rest[8];
+        let ct_len = u32::from_le_bytes(rest[9..13].try_into().unwrap()) as usize;
+        if seq != expected_seq
+            || ct_len < gcm::TAG_LEN
+            || rest.len() < HEADER_LEN + ct_len + CHAIN_TAG_LEN
+        {
+            break;
+        }
+        let ct = &rest[HEADER_LEN..HEADER_LEN + ct_len];
+        let tag = &rest[HEADER_LEN + ct_len..HEADER_LEN + ct_len + CHAIN_TAG_LEN];
+        let aad = record_aad(&chain, kind, seq);
+        let body = match gcm::open(key, &Nonce12::from_counter(seq), &aad, ct) {
+            Ok(b) => b,
+            Err(_) => break,
+        };
+        let next_chain = advance_chain(&chain, seq, kind, ct);
+        if tag != next_chain {
+            break;
+        }
+        chain = next_chain;
+        records.push(JournalRecord { seq, kind, body });
+        expected_seq += 1;
+        pos += HEADER_LEN + ct_len + CHAIN_TAG_LEN;
+    }
+    Recovered {
+        records,
+        valid_len: pos,
+        truncated: pos != bytes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key128 {
+        Key128::from_bytes([7u8; 16])
+    }
+
+    fn filled(policy: GroupCommitPolicy, n: u64) -> Journal {
+        let mut j = Journal::new(key(), 3, policy);
+        for i in 0..n {
+            j.append((i % 3) as u8 + 1, format!("body-{i}").as_bytes(), i);
+            if j.should_flush(i) {
+                j.flush();
+            }
+        }
+        j.flush();
+        j
+    }
+
+    #[test]
+    fn roundtrip_recovers_every_record() {
+        let j = filled(GroupCommitPolicy::batched(4, 10), 11);
+        let r = recover(&key(), 3, j.durable());
+        assert!(!r.truncated);
+        assert_eq!(r.valid_len, j.durable().len());
+        assert_eq!(r.records.len(), 11);
+        for (i, rec) in r.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.body, format!("body-{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn group_commit_policy_batches_and_ages() {
+        let mut j = Journal::new(key(), 1, GroupCommitPolicy::batched(3, 5));
+        j.append(1, b"a", 0);
+        assert!(!j.should_flush(0), "one record, fresh: no flush");
+        j.append(1, b"b", 1);
+        j.append(1, b"c", 2);
+        assert!(j.should_flush(2), "count threshold reached");
+        j.flush();
+        assert_eq!(j.stats().flushes, 1);
+        j.append(1, b"d", 10);
+        assert!(!j.should_flush(12));
+        assert!(j.should_flush(15), "age threshold reached");
+        // immediate() flushes after every append
+        let mut im = Journal::new(key(), 1, GroupCommitPolicy::immediate());
+        im.append(1, b"x", 0);
+        assert!(im.should_flush(0));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_never_replayed() {
+        let j = filled(GroupCommitPolicy::immediate(), 6);
+        let full = j.durable().to_vec();
+        // Cut mid-way through the last record.
+        for cut in [
+            full.len() - 1,
+            full.len() - CHAIN_TAG_LEN - 3,
+            full.len() - 40,
+        ] {
+            let r = recover(&key(), 3, &full[..cut]);
+            assert!(r.truncated);
+            assert!(r.records.len() < 6, "torn record must not be replayed");
+            assert!(r.valid_len <= cut);
+            // The surviving prefix is exactly the first N intact records.
+            for (i, rec) in r.records.iter().enumerate() {
+                assert_eq!(rec.body, format!("body-{i}").as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn damaged_flush_wedges_and_recovery_truncates() {
+        let mut j = Journal::new(key(), 3, GroupCommitPolicy::batched(8, 100));
+        for i in 0..4 {
+            j.append(1, format!("body-{i}").as_bytes(), i);
+        }
+        j.flush();
+        let good = j.durable().len();
+        for i in 4..8 {
+            j.append(1, format!("body-{i}").as_bytes(), i);
+        }
+        j.flush_with(FlushDamage::Torn(17));
+        assert!(j.is_wedged());
+        let r = recover(&key(), 3, j.durable());
+        assert_eq!(r.records.len(), 4, "only the intact group replays");
+        assert_eq!(r.valid_len, good);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn bit_flip_terminates_the_chain() {
+        let j = filled(GroupCommitPolicy::immediate(), 5);
+        let len = j.durable().len();
+        for bit in [0usize, len * 4, len * 8 - 1] {
+            let mut bytes = j.durable().to_vec();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            let r = recover(&key(), 3, &bytes);
+            assert!(r.truncated, "bit {bit} must be detected");
+            assert!(r.records.len() < 5);
+            for (i, rec) in r.records.iter().enumerate() {
+                assert_eq!(rec.body, format!("body-{i}").as_bytes(), "prefix intact");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_splice_and_wrong_key_are_rejected() {
+        let j = filled(GroupCommitPolicy::immediate(), 3);
+        let r = recover(&key(), 4, j.durable());
+        assert_eq!(r.records.len(), 0, "wrong epoch: genesis chain differs");
+        assert!(r.truncated);
+        let r = recover(&Key128::from_bytes([8u8; 16]), 3, j.durable());
+        assert_eq!(r.records.len(), 0, "wrong key");
+        // Concatenating two epochs' streams must not extend the chain.
+        let j2 = filled(GroupCommitPolicy::immediate(), 2);
+        let mut spliced = j.durable().to_vec();
+        spliced.extend_from_slice(j2.durable());
+        let r = recover(&key(), 3, &spliced);
+        assert_eq!(r.records.len(), 3, "foreign epoch tail truncated");
+        assert!(r.truncated);
+    }
+}

@@ -35,6 +35,12 @@ pub enum FaultSite {
     Tcp,
     /// A signaled work completion about to be delivered to a CQ.
     Completion,
+    /// A sealed snapshot being written to untrusted durable storage — the
+    /// host can kill the process mid-write, leaving a torn blob.
+    SnapshotSeal,
+    /// A journal group-commit flush to untrusted durable storage — same
+    /// mid-write kill surface as [`FaultSite::SnapshotSeal`].
+    JournalFlush,
 }
 
 /// Which direction of a pair a fault applies to. Endpoint *A* is the first
@@ -174,6 +180,18 @@ pub enum WriteVerdict {
     Drop,
     /// The QP transitions to the error state; the post fails.
     Error,
+}
+
+/// Verdict for a durable write (snapshot seal / journal flush) passed
+/// through the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableVerdict {
+    /// Every byte reached durable storage.
+    Complete,
+    /// The process died mid-write: only the first `n` bytes landed.
+    Torn(usize),
+    /// All bytes landed but bit `i` of the write flipped.
+    Corrupt(usize),
 }
 
 /// Executes a [`FaultPlan`] against a transport pair's event streams.
@@ -339,6 +357,48 @@ impl FaultInjector {
         }
     }
 
+    /// Passes a `len`-byte durable write (snapshot seal or journal flush)
+    /// through the plan. `Drop` models the host killing the process
+    /// mid-write: only a strict prefix of the bytes lands. `Corrupt` lands
+    /// every byte but flips one bit. Other actions degrade to `Complete`
+    /// (a durable write cannot be duplicated or reordered observably).
+    ///
+    /// Durable-write sites have their own event counters, and the RNG is
+    /// only drawn when a rule fires (or a rate targets the site), so adding
+    /// these sites leaves every pre-existing seeded schedule untouched.
+    pub fn on_durable_write(&mut self, site: FaultSite, len: usize) -> DurableVerdict {
+        debug_assert!(matches!(
+            site,
+            FaultSite::SnapshotSeal | FaultSite::JournalFlush
+        ));
+        match self.pick(site, true) {
+            None | Some(FaultAction::Duplicate) | Some(FaultAction::Delay) => {
+                DurableVerdict::Complete
+            }
+            Some(FaultAction::Drop) => {
+                // Strictly partial: at least the last byte is lost.
+                let keep = if len == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(len as u64) as usize
+                };
+                DurableVerdict::Torn(keep)
+            }
+            Some(FaultAction::Corrupt) => {
+                let bit = if len == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(len as u64 * 8) as usize
+                };
+                DurableVerdict::Corrupt(bit)
+            }
+            Some(FaultAction::QpError) => {
+                self.forced_error = true;
+                DurableVerdict::Torn(0)
+            }
+        }
+    }
+
     /// Whether a signaled completion should be delivered (`false` = the
     /// completion is lost). Any matched action drops it; `QpError`
     /// additionally errors the QP.
@@ -459,6 +519,52 @@ mod tests {
         assert!(inj.on_completion(true));
         assert!(!inj.on_completion(true));
         assert!(inj.on_completion(true));
+    }
+
+    #[test]
+    fn durable_write_faults_tear_and_corrupt() {
+        let plan = FaultPlan::none()
+            .rule(FaultSite::JournalFlush, FaultDir::Any, FaultAction::Drop, 2)
+            .rule(
+                FaultSite::SnapshotSeal,
+                FaultDir::Any,
+                FaultAction::Corrupt,
+                1,
+            );
+        let mut inj = FaultInjector::new(plan, 9);
+        assert_eq!(
+            inj.on_durable_write(FaultSite::JournalFlush, 64),
+            DurableVerdict::Complete
+        );
+        match inj.on_durable_write(FaultSite::JournalFlush, 64) {
+            DurableVerdict::Torn(n) => assert!(n < 64, "torn write keeps a strict prefix"),
+            v => panic!("expected torn, got {v:?}"),
+        }
+        match inj.on_durable_write(FaultSite::SnapshotSeal, 8) {
+            DurableVerdict::Corrupt(bit) => assert!(bit < 64),
+            v => panic!("expected corrupt, got {v:?}"),
+        }
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn durable_sites_have_independent_counters() {
+        // A Write-site rule must not fire on journal-flush events and the
+        // new sites must not advance the Write counter — pre-existing
+        // seeded schedules stay byte-identical.
+        let plan = FaultPlan::none().rule(FaultSite::Write, FaultDir::Any, FaultAction::Drop, 2);
+        let mut inj = FaultInjector::new(plan, 9);
+        let mut d = vec![0u8; 4];
+        assert_eq!(inj.on_write(true, &mut d), WriteVerdict::Deliver);
+        assert_eq!(
+            inj.on_durable_write(FaultSite::JournalFlush, 32),
+            DurableVerdict::Complete
+        );
+        assert_eq!(
+            inj.on_write(true, &mut d),
+            WriteVerdict::Drop,
+            "write counter unaffected by durable events"
+        );
     }
 
     #[test]

@@ -50,13 +50,15 @@ pub mod faults;
 pub mod mr;
 pub mod nic;
 pub mod qp;
+pub mod replica;
 pub mod tcp;
 
 pub use adversary::{AdversaryInjector, AdversaryPlan, AttackClass, MountedAttack};
-pub use faults::{FaultAction, FaultDir, FaultInjector, FaultPlan, FaultSite};
+pub use faults::{DurableVerdict, FaultAction, FaultDir, FaultInjector, FaultPlan, FaultSite};
 pub use mr::{Memory, RemoteKey};
 pub use nic::RnicCache;
 pub use qp::{connect_pair, connect_pair_faulty, QueuePair, RdmaError, WcStatus, WorkCompletion};
+pub use replica::{LinkMode, LinkStats, ReplicaLink};
 pub use tcp::SimTcp;
 
 /// Locks a mutex, recovering the guard if a holder panicked (the simulation

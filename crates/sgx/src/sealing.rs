@@ -42,6 +42,22 @@ pub fn seal(key: &Key128, version: u64, plaintext: &[u8], rng: &mut SimRng) -> V
     out
 }
 
+/// Derives the sealing sub-key for a journal epoch from the enclave's
+/// sealing key. `epoch` is the trusted monotonic counter value the journal
+/// was opened at, so every journal generation is sealed under a distinct
+/// key: a host replaying an earlier epoch's byte stream (journal rollback)
+/// cannot even decrypt it under the current epoch, composing with the
+/// counter check the same way snapshot versions do.
+pub fn journal_key(seal_key: &Key128, epoch: u64) -> Key128 {
+    let mut msg = Vec::with_capacity(24);
+    msg.extend_from_slice(b"journal-epoch");
+    msg.extend_from_slice(&epoch.to_le_bytes());
+    let okm = precursor_crypto::hmac::hmac_sha256(seal_key.as_bytes(), &msg);
+    let mut k = [0u8; 16];
+    k.copy_from_slice(&okm[..16]);
+    Key128::from_bytes(k)
+}
+
 /// Unseals a blob produced by [`seal`], verifying it was sealed at exactly
 /// `version`.
 ///
@@ -112,6 +128,20 @@ mod tests {
         assert_eq!(
             unseal(&key, 1, &blob[..10]),
             Err(CryptoError::InvalidLength)
+        );
+    }
+
+    #[test]
+    fn journal_keys_differ_per_epoch_and_platform() {
+        let (svc, enclave, _) = setup();
+        let root = svc.sealing_key(&enclave);
+        assert_eq!(journal_key(&root, 4), journal_key(&root, 4));
+        assert_ne!(journal_key(&root, 4), journal_key(&root, 5));
+        assert_ne!(journal_key(&root, 4), root);
+        let other = AttestationService::new(&mut SimRng::seed_from(99));
+        assert_ne!(
+            journal_key(&root, 4),
+            journal_key(&other.sealing_key(&enclave), 4)
         );
     }
 

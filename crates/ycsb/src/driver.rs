@@ -218,6 +218,7 @@ pub struct SessionParams {
     max_clients: usize,
     seed: u64,
     shards: Option<usize>,
+    journaled: bool,
 }
 
 impl SessionParams {
@@ -232,6 +233,7 @@ impl SessionParams {
             max_clients: 1,
             seed: 0,
             shards: None,
+            journaled: false,
         }
     }
 
@@ -265,6 +267,15 @@ impl SessionParams {
     /// (one core per shard, §3.8). Precursor family only.
     pub fn shards(mut self, shards: usize) -> SessionParams {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Attaches the sealed durability journal (group commit of up to 32
+    /// records, flushed every poll sweep) before any client connects, so
+    /// the measured run pays the full journaling cost: sealing, group
+    /// flushes, and reply gating. Precursor family only.
+    pub fn journaled(mut self, journaled: bool) -> SessionParams {
+        self.journaled = journaled;
         self
     }
 
@@ -303,9 +314,16 @@ impl SessionParams {
                     shards: self.shards.unwrap_or(1),
                     ..Config::default()
                 };
-                Box::new(PrecursorBackend::new(config, cost))
+                let mut backend = PrecursorBackend::new(config, cost);
+                if self.journaled {
+                    backend.enable_durability(precursor::GroupCommitPolicy::batched(32, 0));
+                }
+                Box::new(backend)
             }
-            SystemKind::ShieldStore => Box::new(ShieldBackend::new(ShieldConfig::default(), cost)),
+            SystemKind::ShieldStore => {
+                assert!(!self.journaled, "ShieldStore has no durability journal");
+                Box::new(ShieldBackend::new(ShieldConfig::default(), cost))
+            }
         };
         for i in 0..self.max_clients {
             sut.connect(self.seed ^ ((i as u64) << 8)).expect("connect");

@@ -220,3 +220,25 @@ fn meters_flow_through_the_trait() {
         assert_eq!(reports[0].shard, 0, "single-shard/shardless backends");
     }
 }
+
+#[test]
+fn journaled_backend_seals_mutations_and_matches_plain_outcomes() {
+    let cost = CostModel::default();
+    let mut plain = PrecursorBackend::new(Config::default(), &cost);
+    let mut journaled = PrecursorBackend::new(Config::default(), &cost);
+    journaled.enable_durability(precursor::GroupCommitPolicy::batched(32, 0));
+
+    let (plain_obs, plain_len) = run_script(&mut plain);
+    let (journ_obs, journ_len) = run_script(&mut journaled);
+    assert_eq!(plain_obs, journ_obs, "journaling must not change outcomes");
+    assert_eq!(plain_len, journ_len);
+
+    // The journal really engaged: group flushes happened, bytes sealed,
+    // nothing left gated, and no reports were dropped.
+    let m = journaled.metrics();
+    assert!(m.counter("journal.group_commit_flushes") > 0);
+    assert!(m.counter("journal.bytes_sealed") > 0);
+    assert_eq!(journaled.server().gated_replies(), 0);
+    assert_eq!(m.counter("server.reports_dropped"), 0);
+    assert!(plain.metrics().counter("journal.group_commit_flushes") == 0);
+}

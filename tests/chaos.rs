@@ -603,3 +603,156 @@ fn chaos_acceptance_10k_mixed_workload() {
         "a drained report stream must never drop under chaos alone"
     );
 }
+
+// --- durable-write crash points (journal flush, snapshot seal) ----------
+
+#[test]
+fn torn_journal_flush_wedges_and_recovery_truncates_the_tail() {
+    let cost = CostModel::default();
+    let config = Config::default();
+    let mut server = PrecursorServer::new(config.clone(), &cost);
+    let mut epoch_counter = MonotonicCounter::new();
+    server.attach_journal(
+        precursor::GroupCommitPolicy::immediate(),
+        &mut epoch_counter,
+    );
+    // JournalFlush events with the immediate policy: #1 the connect's
+    // session record, #2/#3 the first two puts, #4 the third put — whose
+    // flush the host tears mid-write (the modelled process dies).
+    server.set_fault_plan(
+        FaultPlan::none().rule(FaultSite::JournalFlush, FaultDir::Any, FaultAction::Drop, 4),
+        29,
+    );
+    let mut client = PrecursorClient::connect(&mut server, 29).unwrap();
+    client.put_sync(&mut server, b"a", b"1").unwrap();
+    client.put_sync(&mut server, b"b", b"2").unwrap();
+
+    // The third put executes, but its journal flush is torn: the journal
+    // wedges and the reply stays gated — the client never sees an ack.
+    let oid = client.put(b"c", b"3").unwrap();
+    for _ in 0..4 {
+        server.poll();
+    }
+    client.poll_replies();
+    assert!(
+        client.take_completed(oid).is_none(),
+        "a reply must never outrun its journal record"
+    );
+    assert!(server.journal_wedged());
+    assert_eq!(server.metrics().counter("server.reports_dropped"), 0);
+
+    // Recover from the damaged journal alone: the torn tail is detected
+    // (chain tag cannot verify) and truncated, never replayed.
+    let journal = server.journal_durable().unwrap().to_vec();
+    let snap_counter = MonotonicCounter::new();
+    let (mut server, report) =
+        PrecursorServer::recover(config, &cost, None, &snap_counter, &journal, &epoch_counter)
+            .expect("truncated journal still replays its valid prefix");
+    assert!(report.truncated, "torn tail must be detected");
+    assert!(report.replayed >= 2, "acked puts replayed");
+    assert_eq!(server.len(), 2, "unacked torn write is gone");
+
+    // The unacked put is fresh for the recovered at-most-once window: the
+    // client's retransmission executes it exactly once.
+    client.reconnect(&mut server).unwrap();
+    let done = client.complete_sync(&mut server, oid).unwrap();
+    assert_eq!(done.status, Status::Ok);
+    assert_eq!(client.get_sync(&mut server, b"a").unwrap(), b"1");
+    assert_eq!(client.get_sync(&mut server, b"b").unwrap(), b"2");
+    assert_eq!(client.get_sync(&mut server, b"c").unwrap(), b"3");
+}
+
+#[test]
+fn corrupted_journal_flush_is_rejected_at_replay() {
+    let cost = CostModel::default();
+    let config = Config::default();
+    let mut server = PrecursorServer::new(config.clone(), &cost);
+    let mut epoch_counter = MonotonicCounter::new();
+    server.attach_journal(
+        precursor::GroupCommitPolicy::immediate(),
+        &mut epoch_counter,
+    );
+    // Flush #3 (the second put) lands all its bytes but with one bit
+    // flipped — a silent media error rather than a torn write.
+    server.set_fault_plan(
+        FaultPlan::none().rule(
+            FaultSite::JournalFlush,
+            FaultDir::Any,
+            FaultAction::Corrupt,
+            3,
+        ),
+        31,
+    );
+    let mut client = PrecursorClient::connect(&mut server, 31).unwrap();
+    client.put_sync(&mut server, b"a", b"1").unwrap();
+    let oid = client.put(b"b", b"2").unwrap();
+    for _ in 0..4 {
+        server.poll();
+    }
+    client.poll_replies();
+    assert!(client.take_completed(oid).is_none(), "reply gated");
+    assert!(server.journal_wedged());
+
+    let journal = server.journal_durable().unwrap().to_vec();
+    let snap_counter = MonotonicCounter::new();
+    let (server, report) =
+        PrecursorServer::recover(config, &cost, None, &snap_counter, &journal, &epoch_counter)
+            .expect("replay stops cleanly at the damaged record");
+    assert!(report.truncated, "flipped bit fails the seal, tail dropped");
+    assert_eq!(server.len(), 1, "only the intact put survives");
+}
+
+#[test]
+fn crashed_snapshot_seal_is_rejected_and_journal_covers_recovery() {
+    let cost = CostModel::default();
+    let config = Config::default();
+    let mut server = PrecursorServer::new(config.clone(), &cost);
+    let mut epoch_counter = MonotonicCounter::new();
+    server.attach_journal(
+        precursor::GroupCommitPolicy::immediate(),
+        &mut epoch_counter,
+    );
+    // The first snapshot seal is torn mid-write.
+    server.set_fault_plan(
+        FaultPlan::none().rule(FaultSite::SnapshotSeal, FaultDir::Any, FaultAction::Drop, 1),
+        37,
+    );
+    let mut client = PrecursorClient::connect(&mut server, 37).unwrap();
+    client.put_sync(&mut server, b"a", b"1").unwrap();
+    client.put_sync(&mut server, b"b", b"2").unwrap();
+    let mut snap_counter = MonotonicCounter::new();
+    let torn_snapshot = server.snapshot(&mut snap_counter);
+    client
+        .put_sync(&mut server, b"c", b"post-snapshot")
+        .unwrap();
+
+    // The torn snapshot cannot unseal — both the plain restore path and
+    // the journal-aware recovery reject it outright.
+    assert!(
+        PrecursorServer::restore(config.clone(), &cost, &torn_snapshot, &snap_counter).is_err()
+    );
+    let journal = server.journal_durable().unwrap().to_vec();
+    assert_eq!(
+        PrecursorServer::recover(
+            config.clone(),
+            &cost,
+            Some(&torn_snapshot),
+            &snap_counter,
+            &journal,
+            &epoch_counter,
+        )
+        .unwrap_err(),
+        StoreError::SnapshotRejected
+    );
+
+    // Fallback: full journal replay reconstructs everything the snapshot
+    // would have covered, plus the post-snapshot write.
+    let (recovered, report) =
+        PrecursorServer::recover(config, &cost, None, &snap_counter, &journal, &epoch_counter)
+            .expect("journal alone recovers");
+    assert!(!report.snapshot_restored);
+    assert!(!report.truncated);
+    assert_eq!(recovered.len(), server.len());
+    assert_eq!(recovered.mutation_seq(), server.mutation_seq());
+    assert_eq!(recovered.state_digest(), server.state_digest());
+}

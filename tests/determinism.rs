@@ -45,8 +45,22 @@ fn adversary_plan() -> AdversaryPlan {
 // Runs the seeded single-client chaos workload and folds every observable
 // output into one stable digest.
 fn run_digest(config: Config, seed: u64) -> u64 {
+    run_digest_with(config, seed, false)
+}
+
+fn run_digest_with(config: Config, seed: u64, journaled: bool) -> u64 {
     let cost = CostModel::default();
     let mut server = PrecursorServer::new(config, &cost);
+    if journaled {
+        // Immediate-mode local journal: every mutation seals and flushes
+        // inline, so the group-commit gate never closes and the journal
+        // layer draws no RNG — the run must stay bit-identical.
+        let mut epoch_counter = precursor_sgx::counters::MonotonicCounter::new();
+        server.attach_journal(
+            precursor::GroupCommitPolicy::immediate(),
+            &mut epoch_counter,
+        );
+    }
     server.set_fault_plan(fault_plan(), seed);
     server.set_adversary_plan(adversary_plan(), seed ^ 0xad);
     // Tracing on: the observability taps must be invisible to the run's
@@ -126,6 +140,70 @@ fn single_shard_chaos_run_matches_golden_digest() {
     // commit) or an accidental break of the legacy path (fix it).
     const GOLDEN: u64 = 12_986_051_342_204_127_709;
     assert_eq!(run_digest(Config::default(), 7), GOLDEN);
+}
+
+#[test]
+fn journaled_run_matches_golden_digest() {
+    // Attaching an immediate-mode sealed journal must be invisible to the
+    // run's observable behaviour: journal appends draw no RNG, flush inline
+    // (gate never closes), and durable-fault sites filter rates by site
+    // before touching the fault RNG stream.
+    const GOLDEN: u64 = 12_986_051_342_204_127_709;
+    assert_eq!(run_digest_with(Config::default(), 7, true), GOLDEN);
+}
+
+#[test]
+fn journal_replay_reproduces_the_golden_run_state() {
+    // Re-run the golden workload journaled, then rebuild a server from the
+    // journal bytes alone: replay must reconstruct the store bit-identically
+    // (mutation sequence, state digest, live keys).
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    let mut epoch_counter = precursor_sgx::counters::MonotonicCounter::new();
+    server.attach_journal(
+        precursor::GroupCommitPolicy::immediate(),
+        &mut epoch_counter,
+    );
+    server.set_fault_plan(fault_plan(), 7);
+    server.set_adversary_plan(adversary_plan(), 7 ^ 0xad);
+    let mut client = PrecursorClient::connect(&mut server, 7 ^ 0xc11e).expect("connect");
+    client.set_retry_policy(RetryPolicy {
+        jitter: 0.0,
+        ..RetryPolicy::default()
+    });
+    let mut rng = SimRng::seed_from(7 ^ 0x5eed);
+    for _ in 0..OPS {
+        let key = [(rng.gen_range(24)) as u8];
+        match rng.gen_range(3) {
+            0 => {
+                let mut v = vec![0u8; 1 + rng.gen_range(96) as usize];
+                rng.fill_bytes(&mut v);
+                let _ = client.put_sync(&mut server, &key, &v);
+            }
+            1 => {
+                let _ = client.get_sync(&mut server, &key);
+            }
+            _ => {
+                let _ = client.delete_sync(&mut server, &key);
+            }
+        }
+    }
+
+    let journal = server.journal_durable().expect("journal attached").to_vec();
+    let snap_counter = precursor_sgx::counters::MonotonicCounter::new();
+    let (recovered, report) = PrecursorServer::recover(
+        Config::default(),
+        &cost,
+        None,
+        &snap_counter,
+        &journal,
+        &epoch_counter,
+    )
+    .expect("golden journal replays");
+    assert!(!report.truncated, "healthy journal has no torn tail");
+    assert_eq!(recovered.mutation_seq(), server.mutation_seq());
+    assert_eq!(recovered.state_digest(), server.state_digest());
+    assert_eq!(recovered.len(), server.len());
 }
 
 #[test]

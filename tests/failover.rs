@@ -1,0 +1,503 @@
+//! Replicated-journal failover suite: quorum group commit, deterministic
+//! failover, and cross-replica rollback/fork detection.
+//!
+//! The safety oracles, checked across every scenario and seed:
+//!
+//! * **No lost acked writes** — an operation whose reply was released by
+//!   the group-commit gate survives any minority of node failures: after
+//!   failover the promoted replica's journal replays it bit-identically
+//!   (store evidence re-derived and checked record by record).
+//! * **At-most-once across failover** — clients resynchronise their `oid`
+//!   from the reconnect bundle; a mutation acked before the crash is
+//!   re-acknowledged, never re-applied.
+//! * **No undetected rollback/fork** — a replica whose journal rolled
+//!   back behind its own acknowledgements is quarantined and never
+//!   promoted; divergent replica journals fail the cross-replica audit;
+//!   a stale promotion after majority loss is flagged and caught by the
+//!   clients' own `max_store_seq` check.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use precursor::{Cluster, Config, GroupCommitPolicy, PrecursorClient, PrecursorServer, StoreError};
+use precursor_sgx::counters::MonotonicCounter;
+use precursor_sim::rng::SimRng;
+use precursor_sim::CostModel;
+use precursor_storage::stable_key_hash;
+
+const PUMP_BOUND: usize = 400;
+
+// Drives one issued operation to completion through cluster pumps.
+fn complete(
+    cluster: &mut Cluster,
+    client: &mut PrecursorClient,
+    oid: u64,
+) -> Result<precursor::CompletedOp, StoreError> {
+    for _ in 0..PUMP_BOUND {
+        cluster.pump();
+        client.poll_replies();
+        if let Some(e) = client.poisoned() {
+            return Err(e);
+        }
+        if let Some(c) = client.take_completed(oid) {
+            return Ok(c);
+        }
+    }
+    Err(StoreError::Timeout)
+}
+
+fn put(
+    cluster: &mut Cluster,
+    client: &mut PrecursorClient,
+    key: &[u8],
+    value: &[u8],
+) -> Result<precursor::CompletedOp, StoreError> {
+    let oid = client.put(key, value)?;
+    complete(cluster, client, oid)
+}
+
+fn get(
+    cluster: &mut Cluster,
+    client: &mut PrecursorClient,
+    key: &[u8],
+) -> Result<precursor::CompletedOp, StoreError> {
+    let oid = client.get(key)?;
+    complete(cluster, client, oid)
+}
+
+#[test]
+fn quorum_commit_releases_replies_and_replicas_converge() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        3,
+        GroupCommitPolicy::batched(4, 2),
+    );
+    assert_eq!(cluster.quorum(), 3, "majority of 4 nodes (primary + 3)");
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 7).expect("connect");
+
+    for i in 0u8..12 {
+        let c = put(&mut cluster, &mut client, &[i], &[i; 48]).expect("put completes");
+        assert_eq!(c.status, precursor::wire::Status::Ok);
+    }
+    // Drain the pipeline: every group flushed, committed and released.
+    for _ in 0..8 {
+        cluster.pump();
+    }
+    assert!(cluster.committed_bytes() > 0, "groups committed by quorum");
+    assert_eq!(cluster.primary().gated_replies(), 0, "no replies stuck");
+    let stats = cluster.primary().journal_stats().expect("journal attached");
+    assert!(stats.flushes > 0 && stats.bytes_sealed > 0);
+    assert_eq!(
+        cluster
+            .primary()
+            .metrics()
+            .counter("journal.group_commit_flushes"),
+        stats.flushes
+    );
+    // All healthy replicas converge on the full journal.
+    let full = cluster.primary().journal_durable().expect("journal").len();
+    for i in 0..3 {
+        assert_eq!(
+            cluster.replica_journal_len(i),
+            full,
+            "replica {i} caught up"
+        );
+    }
+    cluster
+        .audit_replicas()
+        .expect("no fork among honest replicas");
+    assert_eq!(
+        cluster
+            .primary()
+            .metrics()
+            .counter("server.reports_dropped"),
+        0
+    );
+}
+
+#[test]
+fn replies_stay_gated_without_quorum_and_release_on_heal() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        2,
+        GroupCommitPolicy::batched(1, 0),
+    );
+    assert_eq!(cluster.quorum(), 2, "2 replicas + primary → quorum 2");
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 11).expect("connect");
+    put(&mut cluster, &mut client, b"warm", b"up").expect("healthy put");
+
+    // Partition every replica: flushed groups can no longer reach quorum.
+    cluster.partition_replica(0);
+    cluster.partition_replica(1);
+    let oid = client.put(b"stuck", b"value").expect("submit");
+    for _ in 0..40 {
+        cluster.pump();
+        client.poll_replies();
+    }
+    assert!(client.take_completed(oid).is_none(), "reply must be gated");
+    assert!(cluster.primary().gated_replies() > 0);
+
+    // Heal one replica: quorum is reachable again and the reply releases.
+    cluster.heal_replica(0);
+    let c = complete(&mut cluster, &mut client, oid).expect("released after heal");
+    assert_eq!(c.status, precursor::wire::Status::Ok);
+    assert_eq!(cluster.primary().gated_replies(), 0);
+}
+
+#[test]
+fn lagging_replica_does_not_stall_quorum() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        3,
+        GroupCommitPolicy::batched(2, 1),
+    );
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 13).expect("connect");
+    cluster.lag_replica(0, 50);
+    for i in 0u8..10 {
+        put(&mut cluster, &mut client, &[i], &[i; 32]).expect("put with lagging replica");
+    }
+    assert!(
+        cluster.replica_journal_len(0) < cluster.replica_journal_len(1),
+        "lagged replica trails"
+    );
+    assert!(cluster.metrics().gauge("replica.lag_records") > 0);
+}
+
+#[test]
+fn failover_preserves_state_at_most_once_and_client_checks_pass() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        3,
+        GroupCommitPolicy::batched(4, 2),
+    );
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 17).expect("connect");
+    let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for i in 0u8..16 {
+        let v = vec![i ^ 0x5a; 24 + i as usize];
+        put(&mut cluster, &mut client, &[i], &v).expect("put");
+        model.insert(vec![i], v);
+    }
+    put(&mut cluster, &mut client, &[3], b"overwritten").expect("overwrite");
+    model.insert(vec![3], b"overwritten".to_vec());
+    let oid = client.delete(&[7]).expect("submit delete");
+    complete(&mut cluster, &mut client, oid).expect("delete");
+    model.remove(&vec![7u8]);
+
+    let pre_seq = cluster.primary().mutation_seq();
+    let pre_digest = cluster.primary().state_digest();
+    let report = cluster.fail_primary().expect("failover succeeds");
+    assert!(!report.stale, "no majority loss → nothing rolled back");
+    assert!(report.quarantined.is_empty());
+    assert!(report.recovery.replayed > 0);
+    assert!(!report.recovery.truncated);
+    // Bit-identical replay: the promoted node re-derived the same history.
+    assert_eq!(cluster.primary().mutation_seq(), pre_seq);
+    assert_eq!(cluster.primary().state_digest(), pre_digest);
+    assert_eq!(cluster.primary().len(), model.len());
+    assert_eq!(cluster.metrics().counter("failover.count"), 1);
+
+    client.reconnect(cluster.primary_mut()).expect("reconnect");
+    for (k, v) in &model {
+        let c = get(&mut cluster, &mut client, k).expect("acked write survives");
+        assert_eq!(c.value.as_deref(), Some(v.as_slice()), "key {k:?}");
+    }
+    let c = get(&mut cluster, &mut client, &[7]);
+    assert!(
+        matches!(c, Err(StoreError::NotFound)) || matches!(c, Ok(ref r) if r.value.is_none()),
+        "acked delete survives"
+    );
+    // At-most-once window survived: new mutations execute exactly once.
+    put(&mut cluster, &mut client, b"after", b"failover").expect("post-failover put");
+    assert!(client.poisoned().is_none(), "no false rollback/fork alarm");
+}
+
+#[test]
+fn staged_rollback_replica_is_quarantined_and_never_promoted() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        3,
+        GroupCommitPolicy::batched(2, 1),
+    );
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 19).expect("connect");
+    for i in 0u8..12 {
+        put(&mut cluster, &mut client, &[i], &[i; 40]).expect("put");
+    }
+    // Replica 0 stages a rollback: discards half its journal while its
+    // acknowledgements stand.
+    let keep = cluster.replica_journal_len(0) / 2;
+    cluster.rollback_replica(0, keep);
+
+    let report = cluster.fail_primary().expect("failover still succeeds");
+    assert_eq!(report.quarantined, vec![0], "rollback detected");
+    assert_ne!(report.promoted, 0, "rolled-back replica never promoted");
+    assert!(!report.stale);
+    assert!(cluster.metrics().counter("replica.rollback_detected") >= 1);
+}
+
+#[test]
+fn all_rolled_back_survivors_fail_failover_with_rollback_detected() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        2,
+        GroupCommitPolicy::batched(1, 0),
+    );
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 23).expect("connect");
+    for i in 0u8..6 {
+        put(&mut cluster, &mut client, &[i], &[i; 16]).expect("put");
+    }
+    cluster.rollback_replica(0, 0);
+    cluster.rollback_replica(1, 0);
+    assert_eq!(
+        cluster.fail_primary().unwrap_err(),
+        StoreError::RollbackDetected
+    );
+    assert!(cluster.replica_quarantined(0) && cluster.replica_quarantined(1));
+}
+
+#[test]
+fn tampered_replica_journal_fails_cross_replica_audit() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        3,
+        GroupCommitPolicy::batched(2, 1),
+    );
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 29).expect("connect");
+    for i in 0u8..8 {
+        put(&mut cluster, &mut client, &[i], &[i; 32]).expect("put");
+    }
+    cluster.audit_replicas().expect("honest replicas agree");
+    cluster.tamper_replica(1, 37);
+    assert_eq!(
+        cluster.audit_replicas().unwrap_err(),
+        StoreError::ForkDetected,
+        "divergent prefixes are a fork"
+    );
+}
+
+#[test]
+fn stale_promotion_after_majority_loss_is_flagged_and_caught_by_client() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        3,
+        GroupCommitPolicy::batched(1, 0),
+    );
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 31).expect("connect");
+    for i in 0u8..6 {
+        put(&mut cluster, &mut client, &[i], &[i; 24]).expect("put");
+    }
+    // Replica 0 falls far behind; replicas 1 and 2 keep the quorum alive
+    // for another batch of acked writes, then the majority dies.
+    cluster.lag_replica(0, 10_000);
+    for i in 6u8..12 {
+        put(&mut cluster, &mut client, &[i], &[i; 24]).expect("put past lagged replica");
+    }
+    cluster.crash_replica(1);
+    cluster.crash_replica(2);
+
+    let report = cluster.fail_primary().expect("minority survivor promoted");
+    assert_eq!(report.promoted, 0);
+    assert!(
+        report.stale,
+        "promotion behind the committed watermark must be flagged"
+    );
+
+    // The client's own rollback check (max_store_seq survives reconnect)
+    // catches the stale state on the first acknowledged reply.
+    client.reconnect(cluster.primary_mut()).expect("reconnect");
+    let outcome = get(&mut cluster, &mut client, &[0]);
+    assert_eq!(outcome.unwrap_err(), StoreError::RollbackDetected);
+}
+
+#[test]
+fn journal_replay_recovery_reproduces_live_state_without_snapshot() {
+    let cost = CostModel::default();
+    let config = Config::default();
+    let mut server = PrecursorServer::new(config.clone(), &cost);
+    let mut epoch_counter = MonotonicCounter::new();
+    server.attach_journal(GroupCommitPolicy::immediate(), &mut epoch_counter);
+    let mut client = PrecursorClient::connect(&mut server, 37).expect("connect");
+    for i in 0u8..20 {
+        client.put_sync(&mut server, &[i], &[i; 33]).expect("put");
+    }
+    client.delete_sync(&mut server, &[4]).expect("delete");
+
+    let journal = server.journal_durable().expect("journal").to_vec();
+    let snap_counter = MonotonicCounter::new();
+    let (recovered, report) =
+        PrecursorServer::recover(config, &cost, None, &snap_counter, &journal, &epoch_counter)
+            .expect("replay succeeds");
+    assert!(!report.snapshot_restored);
+    assert!(!report.truncated);
+    assert_eq!(report.skipped, 0);
+    assert_eq!(recovered.len(), server.len());
+    assert_eq!(recovered.mutation_seq(), server.mutation_seq());
+    assert_eq!(
+        recovered.state_digest(),
+        server.state_digest(),
+        "replay reconstructs the state digest bit-identically"
+    );
+}
+
+// --- the ≥20-seed failover-under-load sweep -----------------------------
+
+// One seeded end-to-end run: mixed workload under a scenario chosen by the
+// seed (plain primary crash / lagging replica / staged rollback), then
+// failover, reconnect, and full model verification. Folds every observable
+// into a stable digest so runs can be compared bit-for-bit.
+fn sweep_run(seed: u64) -> u64 {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(
+        Config::default(),
+        &cost,
+        3,
+        GroupCommitPolicy::batched(4, 2),
+    );
+    let mut client =
+        PrecursorClient::connect(cluster.primary_mut(), seed ^ 0xc11e).expect("connect");
+    let mut rng = SimRng::seed_from(seed ^ 0x5eed);
+    let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+    let mut trace = String::new();
+    let scenario = seed % 3;
+
+    for i in 0..48u64 {
+        if scenario == 1 && i == 12 {
+            cluster.lag_replica(0, 6);
+        }
+        if scenario == 1 && i == 36 {
+            cluster.heal_replica(0);
+        }
+        let k = (rng.next_u32() % 24) as u8;
+        let outcome = match rng.gen_range(3) {
+            0 => {
+                let mut v = vec![0u8; 1 + rng.gen_range(64) as usize];
+                rng.fill_bytes(&mut v);
+                let r = put(&mut cluster, &mut client, &[k], &v);
+                if r.is_ok() {
+                    model.insert(k, v);
+                }
+                format!("{r:?}")
+            }
+            1 => format!("{:?}", get(&mut cluster, &mut client, &[k])),
+            _ => {
+                let oid = client.delete(&[k]).expect("submit");
+                let r = complete(&mut cluster, &mut client, oid);
+                if matches!(&r, Ok(c) if c.status == precursor::wire::Status::Ok) {
+                    model.remove(&k);
+                }
+                format!("{r:?}")
+            }
+        };
+        let _ = write!(trace, "op{i}:{outcome};");
+    }
+
+    if scenario == 2 {
+        // Staged rollback on replica 0 right before the crash.
+        let keep = cluster.replica_journal_len(0) / 3;
+        cluster.rollback_replica(0, keep);
+    } else {
+        cluster.audit_replicas().expect("honest replicas agree");
+    }
+
+    let pre_seq = cluster.primary().mutation_seq();
+    let pre_digest = cluster.primary().state_digest();
+    let pre_dropped = cluster
+        .primary()
+        .metrics()
+        .counter("server.reports_dropped");
+    assert_eq!(pre_dropped, 0, "seed {seed}: no reports dropped pre-crash");
+
+    let report = cluster.fail_primary().expect("failover succeeds");
+    if scenario == 2 {
+        assert_eq!(report.quarantined, vec![0], "seed {seed}: rollback caught");
+        assert_ne!(report.promoted, 0);
+    } else {
+        assert!(report.quarantined.is_empty());
+    }
+    assert!(!report.stale, "seed {seed}: no majority loss in this sweep");
+    // Bit-identical replay of the committed history.
+    assert_eq!(cluster.primary().mutation_seq(), pre_seq, "seed {seed}");
+    assert_eq!(cluster.primary().state_digest(), pre_digest, "seed {seed}");
+    let _ = write!(
+        trace,
+        "failover:{}:{}:{};",
+        report.promoted, report.recovery.replayed, report.recovery.skipped
+    );
+
+    client.reconnect(cluster.primary_mut()).expect("reconnect");
+    let mut keys: Vec<u8> = model.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        let c = get(&mut cluster, &mut client, &[k]).expect("acked write survives failover");
+        assert_eq!(
+            c.value.as_deref(),
+            Some(model[&k].as_slice()),
+            "seed {seed}: key {k} value intact after failover"
+        );
+        let _ = write!(trace, "verify{k}:ok;");
+    }
+    assert!(
+        client.poisoned().is_none(),
+        "seed {seed}: no undetected rollback/fork violation"
+    );
+    assert_eq!(
+        cluster
+            .primary()
+            .metrics()
+            .counter("server.reports_dropped"),
+        0,
+        "seed {seed}: no reports dropped post-failover"
+    );
+    let _ = write!(
+        trace,
+        "seq:{};digest:{:?};len:{}",
+        cluster.primary().mutation_seq(),
+        cluster.primary().state_digest(),
+        cluster.primary().len()
+    );
+    stable_key_hash(&trace)
+}
+
+#[test]
+fn failover_chaos_sweep_20_seeds() {
+    // ≥20 seeds rotating the three scenarios; the CI failover-chaos job
+    // captures the per-seed digest lines as its failure artifact, and the
+    // nightly widens the sweep through PRECURSOR_FAILOVER_SEEDS.
+    let seeds = std::env::var("PRECURSOR_FAILOVER_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    for seed in 0..seeds {
+        let digest = sweep_run(seed);
+        println!(
+            "failover-sweep seed={seed} scenario={} digest={digest:#018x}",
+            seed % 3
+        );
+    }
+}
+
+#[test]
+fn failover_sweep_runs_are_deterministic() {
+    for seed in [0u64, 1, 2, 7, 13] {
+        assert_eq!(
+            sweep_run(seed),
+            sweep_run(seed),
+            "seed {seed} must replay bit-identically"
+        );
+    }
+}

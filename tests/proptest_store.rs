@@ -430,3 +430,112 @@ mod wire_roundtrip {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Journal framing properties: the sealed journal must recover exactly the
+// records it flushed, and any single bit-flip or truncation of the durable
+// bytes must yield a strict authenticated *prefix* of the original record
+// stream — never divergent content, never a record past the damage.
+// ---------------------------------------------------------------------------
+
+mod journal_framing {
+    use precursor_crypto::keys::Key128;
+    use precursor_journal::{recover, GroupCommitPolicy, Journal, JournalRecord};
+    use precursor_sim::rng::SimRng;
+
+    const CASES: u64 = 150;
+
+    fn key(rng: &mut SimRng) -> Key128 {
+        let mut k = [0u8; 16];
+        rng.fill_bytes(&mut k);
+        Key128::from_bytes(k)
+    }
+
+    // Builds a journal with a random record stream and random group-commit
+    // boundaries; returns the durable bytes plus the appended records.
+    fn build(rng: &mut SimRng, journal_key: &Key128, epoch: u64) -> (Vec<u8>, Vec<JournalRecord>) {
+        let mut journal = Journal::new(
+            journal_key.clone(),
+            epoch,
+            GroupCommitPolicy::batched(1 + rng.gen_range(4) as usize, 0),
+        );
+        let n = 1 + rng.gen_range(16);
+        let mut records = Vec::new();
+        for i in 0..n {
+            let kind = 1 + (rng.next_u32() % 4) as u8;
+            let mut body = vec![0u8; rng.gen_range(80) as usize];
+            rng.fill_bytes(&mut body);
+            let seq = journal.append(kind, &body, i);
+            records.push(JournalRecord { seq, kind, body });
+            if journal.should_flush(i) || rng.gen_range(3) == 0 {
+                journal.flush();
+            }
+        }
+        journal.flush();
+        (journal.durable().to_vec(), records)
+    }
+
+    #[test]
+    fn flushed_records_recover_bit_identically() {
+        let mut rng = SimRng::seed_from(0x10A1);
+        for case in 0..CASES {
+            let k = key(&mut rng);
+            let epoch = 1 + rng.gen_range(8);
+            let (bytes, records) = build(&mut rng, &k, epoch);
+            let rec = recover(&k, epoch, &bytes);
+            assert_eq!(rec.records, records, "case {case}: lossless roundtrip");
+            assert_eq!(rec.valid_len, bytes.len());
+            assert!(!rec.truncated);
+
+            // A different epoch's genesis chain authenticates nothing: two
+            // epochs can never be spliced.
+            let other = recover(&k, epoch + 1, &bytes);
+            assert!(other.records.is_empty(), "case {case}: epoch splice");
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_truncates_to_an_authentic_prefix() {
+        let mut rng = SimRng::seed_from(0x10A2);
+        for case in 0..CASES {
+            let k = key(&mut rng);
+            let (bytes, records) = build(&mut rng, &k, 1);
+            let mut damaged = bytes.clone();
+            let bit = rng.gen_range(damaged.len() as u64 * 8) as usize;
+            damaged[bit / 8] ^= 1 << (bit % 8);
+
+            let rec = recover(&k, 1, &damaged);
+            assert!(rec.truncated, "case {case}: flip at bit {bit} undetected");
+            assert!(
+                rec.records.len() < records.len(),
+                "case {case}: damaged stream cannot recover every record"
+            );
+            assert_eq!(
+                rec.records,
+                records[..rec.records.len()],
+                "case {case}: recovered records must be a prefix, never divergent"
+            );
+        }
+    }
+
+    #[test]
+    fn any_truncation_recovers_a_prefix_and_nothing_past_the_cut() {
+        let mut rng = SimRng::seed_from(0x10A3);
+        for case in 0..CASES {
+            let k = key(&mut rng);
+            let (bytes, records) = build(&mut rng, &k, 1);
+            let cut = rng.gen_range(bytes.len() as u64) as usize;
+            let rec = recover(&k, 1, &bytes[..cut]);
+            assert!(rec.valid_len <= cut);
+            assert_eq!(
+                rec.records,
+                records[..rec.records.len()],
+                "case {case}: torn tail must replay as a prefix"
+            );
+            assert!(
+                rec.records.len() < records.len(),
+                "case {case}: a strict cut loses at least the last record"
+            );
+        }
+    }
+}
