@@ -136,6 +136,44 @@ pub fn collect(seed: u64) -> Vec<SummaryPoint> {
         ));
     }
 
+    // fig4, journaled + compacting configuration: same mix, but the
+    // journal is compacted behind the committed watermark every 64 poll
+    // sweeps, so the gate also covers snapshot-seal + prefix-truncate
+    // cycles interleaved with the measured workload. Compaction runs at
+    // poll boundaries, off the per-op critical path, so this point is
+    // expected to match A+journal exactly — the gate pins that equality
+    // (a compaction implementation that stalled the sweep would diverge).
+    {
+        let mut session = SessionParams::new(SystemKind::Precursor)
+            .value_size(VALUE_BYTES)
+            .keys(WARMUP_KEYS, WARMUP_KEYS)
+            .max_clients(CLIENTS)
+            .seed(seed)
+            .journaled(true)
+            .compacted(true)
+            .build(&cost);
+        let spec = WorkloadSpec::workload_a(VALUE_BYTES, WARMUP_KEYS);
+        let r = session.measure(&spec, CLIENTS, MEASURE_OPS);
+        assert!(
+            session.metrics().counter("journal.compactions") > 0,
+            "compacting bench configuration must actually compact"
+        );
+        points.push(point(
+            "fig4",
+            "A+journal+compact".to_string(),
+            SystemKind::Precursor,
+            &r,
+        ));
+    }
+
+    // failover: staged-promotion catch-up trajectory. A 3-node cluster
+    // absorbs a write burst, the primary dies, and the promoted survivor
+    // serves reads while background catch-up drains. Virtual time does
+    // not advance during cluster pumps, so the point reports catch-up
+    // progress in pump ticks: throughput = records drained per tick,
+    // latency percentiles = ticks until the replica's lag hits zero.
+    points.push(failover_catchup_point(seed));
+
     // fig5: value-size sweep on Precursor (read-only, like the paper).
     for size in [64usize, 1024] {
         let mut session = SessionParams::new(SystemKind::Precursor)
@@ -182,6 +220,55 @@ pub fn collect(seed: u64) -> Vec<SummaryPoint> {
     }
 
     points
+}
+
+// The staged-promotion catch-up measurement behind the `failover/catchup`
+// trajectory point: 256 committed writes, primary dies, promoted survivor
+// drains its catch-up queue in 8-record pump batches while already
+// serving. Pump ticks stand in for time (cluster pumps do not advance the
+// virtual clock), so throughput = records/tick and the latency
+// percentiles all report ticks-to-drain.
+fn failover_catchup_point(seed: u64) -> SummaryPoint {
+    use precursor::{Cluster, Config, GroupCommitPolicy, PrecursorClient};
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(Config::default(), &cost, 3, GroupCommitPolicy::immediate());
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), seed).expect("connect");
+    for i in 0..256u16 {
+        let oid = client
+            .put(&i.to_le_bytes(), &[(i as u8) ^ (seed as u8); 48])
+            .expect("submit");
+        for _ in 0..400 {
+            cluster.pump();
+            client.poll_replies();
+            if client.take_completed(oid).is_some() {
+                break;
+            }
+        }
+    }
+    let report = cluster.fail_primary_staged(8).expect("staged promotion");
+    let pending = report.recovery.catchup_pending as u64;
+    let mut ticks = 0u64;
+    while cluster.primary().in_catchup() && ticks < 100_000 {
+        cluster.pump();
+        ticks += 1;
+    }
+    assert!(!cluster.primary().in_catchup(), "catch-up drains");
+    assert_eq!(cluster.metrics().gauge("replica.lag_records"), 0);
+    let drain_ticks = ticks.max(1);
+    SummaryPoint {
+        fig: "failover",
+        label: "catchup".to_string(),
+        system: SystemKind::Precursor.name(),
+        throughput_ops: pending as f64 / drain_ticks as f64,
+        p50_ns: drain_ticks,
+        p95_ns: drain_ticks,
+        p99_ns: drain_ticks,
+        stage_ns_per_op: [0; 5],
+        stage_total_ns_per_op: 0,
+        epc_working_set_pages: 0,
+        epc_faults: 0,
+        ops: pending,
+    }
 }
 
 /// Renders the trajectory document. Field order is fixed; [`compare`]

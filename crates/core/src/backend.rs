@@ -231,6 +231,10 @@ pub struct PrecursorBackend {
     server: PrecursorServer,
     clients: Vec<PrecursorClient>,
     epoch_counter: precursor_sgx::counters::MonotonicCounter,
+    snap_counter: precursor_sgx::counters::MonotonicCounter,
+    // Compact the journal every N polls (0 = never).
+    compact_every: usize,
+    polls_since_compact: usize,
 }
 
 impl PrecursorBackend {
@@ -240,6 +244,9 @@ impl PrecursorBackend {
             server: PrecursorServer::new(config, cost),
             clients: Vec::new(),
             epoch_counter: precursor_sgx::counters::MonotonicCounter::new(),
+            snap_counter: precursor_sgx::counters::MonotonicCounter::new(),
+            compact_every: 0,
+            polls_since_compact: 0,
         }
     }
 
@@ -250,6 +257,23 @@ impl PrecursorBackend {
     /// journal epoch.
     pub fn enable_durability(&mut self, policy: precursor_journal::GroupCommitPolicy) -> u64 {
         self.server.attach_journal(policy, &mut self.epoch_counter)
+    }
+
+    /// Compacts the journal behind the committed watermark every
+    /// `every_polls` poll sweeps (see
+    /// [`PrecursorServer::compact_journal`]): the enclave seals a
+    /// snapshot, advances the trusted counter, and truncates the
+    /// committed prefix so journal growth is bounded by the tail since
+    /// the last cut. Requires [`enable_durability`](Self::enable_durability)
+    /// first; `0` disables.
+    pub fn enable_compaction(&mut self, every_polls: usize) {
+        self.compact_every = every_polls;
+        self.polls_since_compact = 0;
+    }
+
+    /// Compacts the journal now (if eligible) and returns the outcome.
+    pub fn compact_now(&mut self) -> crate::server::CompactOutcome {
+        self.server.compact_journal(&mut self.snap_counter)
     }
 
     /// The underlying server (for assertions beyond the trait surface).
@@ -301,7 +325,15 @@ impl TrustedKv for PrecursorBackend {
     }
 
     fn poll(&mut self) -> usize {
-        self.server.poll()
+        let swept = self.server.poll();
+        if self.compact_every > 0 {
+            self.polls_since_compact += 1;
+            if self.polls_since_compact >= self.compact_every {
+                self.polls_since_compact = 0;
+                self.server.compact_journal(&mut self.snap_counter);
+            }
+        }
+        swept
     }
 
     fn poll_replies(&mut self, client: usize) -> usize {

@@ -81,8 +81,8 @@ pub use backend::{
 pub use client::{fork_audit, CompletedOp, PrecursorClient, SecurityAudit};
 pub use config::{Config, EncryptionMode, RetryPolicy};
 pub use error::StoreError;
-pub use replication::{Cluster, FailoverReport};
-pub use server::{OpReport, PrecursorServer, RecoveryReport};
+pub use replication::{Cluster, FailoverReport, ProtocolBug};
+pub use server::{CompactOutcome, OpReport, PrecursorServer, RecoveryReport};
 
 // Fault-injection and adversary vocabulary, re-exported so chaos and
 // byzantine tests and demos need only this crate.

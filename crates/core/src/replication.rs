@@ -1,5 +1,5 @@
-//! Journal replication: quorum group commit, failover, and cross-replica
-//! rollback/fork detection.
+//! Journal replication: quorum group commit, failover, compaction
+//! shipping, and cross-replica rollback/fork detection.
 //!
 //! A [`Cluster`] runs one [`PrecursorServer`] primary whose sealed journal
 //! (see `crate::server`'s durability stage) is shipped record-group by
@@ -15,15 +15,37 @@
 //! failover ([`PrecursorServer::reconnect_client`]) is reconstructed from
 //! journal bytes that, by quorum, survive any minority of node failures.
 //!
+//! **Compaction** ([`Cluster::compact`]) seals a snapshot at the
+//! quorum-committed watermark and truncates the journal prefix behind it
+//! (two-phase, see [`PrecursorServer::compact_journal`]). Byte offsets in
+//! every frame stay *logical* — they address the epoch's whole record
+//! stream, not the surviving suffix — so acknowledgements, flush marks and
+//! the commit watermark are untouched by a cut. A replica whose
+//! acknowledged coverage is behind the cut can no longer be caught up by
+//! segments alone; the primary ships it the compacted **(snapshot, tail)**
+//! pair instead: a `FRAME_SNAPSHOT` frame carrying the sealed blob, which the
+//! replica validates (unseal at the trusted counter version, decode, check
+//! the embedded watermark) before adopting its `journal_chain` as the
+//! MAC-chain anchor for the tail that follows. A tampered blob is
+//! rejected; the replica then falls back to *full-journal catch-up* from a
+//! peer replica that still holds the uncompacted stream.
+//!
 //! **Failover** ([`Cluster::fail_primary`]) is deterministic: among alive,
-//! non-quarantined replicas the one holding the longest journal is
-//! promoted — its bytes are replayed through [`PrecursorServer::recover`],
-//! which re-derives the store evidence (mutation sequence + running state
-//! digest) record by record and rejects any journal that diverges from the
-//! history it claims ([`StoreError::ForkDetected`]). The promoted node
-//! opens a fresh journal epoch (sealed under a new epoch key drawn from the
-//! trusted monotonic counter), so bytes from the dead primary's epoch can
-//! never be replayed into the new one.
+//! non-quarantined replicas the one holding the longest journal coverage
+//! is promoted — its bytes are replayed through
+//! [`PrecursorServer::recover_with_base`], which re-derives the store
+//! evidence (mutation sequence + running state digest) record by record
+//! and rejects any journal that diverges from the history it claims
+//! ([`StoreError::ForkDetected`]). The promoted node opens a fresh journal
+//! epoch (sealed under a new epoch key drawn from the trusted monotonic
+//! counter), so bytes from the dead primary's epoch can never be replayed
+//! into the new one. The *staged* variant
+//! ([`Cluster::fail_primary_staged`]) promotes through
+//! [`PrecursorServer::recover_staged`]: the survivor answers reads
+//! immediately from its applied prefix (never beyond its verified
+//! watermark — mutations answer `Busy`) while [`Cluster::pump`] drains the
+//! catch-up queue in the background; `replica.lag_records` converges to 0
+//! as it drains.
 //!
 //! **Rollback & fork detection.** Every acknowledgement a replica sends is
 //! remembered as its *claimed* durability. A replica later presenting a
@@ -40,17 +62,20 @@
 use precursor_obs::MetricsRegistry;
 use precursor_rdma::replica::ReplicaLink;
 use precursor_sgx::counters::MonotonicCounter;
+use precursor_sgx::sealing;
 use precursor_sim::CostModel;
 
 use crate::config::Config;
 use crate::error::StoreError;
-use crate::server::{PrecursorServer, RecoveryReport};
+use crate::server::{CompactOutcome, PrecursorServer, RecoveryReport};
+use crate::snapshot::SnapshotBody;
 use precursor_journal::GroupCommitPolicy;
 
-// Replication frame tags (primary → replica segments, replica → primary
-// acknowledgements).
+// Replication frame tags (primary → replica segments and compacted
+// snapshots, replica → primary acknowledgements).
 const FRAME_SEGMENT: u8 = 0x01;
 const FRAME_ACK: u8 = 0x02;
+const FRAME_SNAPSHOT: u8 = 0x03;
 
 // One replica's state as tracked by the cluster: the link to it, its
 // journal copy, and the durability it has acknowledged/claimed.
@@ -58,17 +83,87 @@ const FRAME_ACK: u8 = 0x02;
 struct Replica {
     link: ReplicaLink,
     // The replica's durable journal copy (appended from segment frames).
+    // `journal[0]` is logical stream offset `base`.
     journal: Vec<u8>,
-    // Bytes this replica has acknowledged, as received at the primary.
+    // Logical stream offset of the first byte this replica holds: 0 for a
+    // full-epoch copy, the compaction cut for a shipped (snapshot, tail)
+    // pair.
+    base: u64,
+    // Compaction-cut anchor of this copy: records at or before `base_seq`
+    // are covered by `snapshot`, and `base_chain` (read from the
+    // *validated* snapshot body, never from the wire) resumes the MAC
+    // chain for the tail.
+    base_seq: u64,
+    base_chain: [u8; 16],
+    // The validated sealed snapshot covering `[..base]`, when this copy
+    // starts mid-stream.
+    snapshot: Option<Vec<u8>>,
+    // Set when a shipped compacted snapshot failed validation: the
+    // replica refuses the pair and waits for full-journal catch-up from a
+    // peer that still holds the uncompacted stream.
+    needs_full: bool,
+    // Logical bytes this replica has acknowledged, as received at the
+    // primary.
     acked: u64,
     // Highest acknowledgement it ever made — rollback evidence: a replica
-    // whose journal is ever shorter than `claimed` staged a rollback.
+    // whose journal coverage is ever shorter than `claimed` staged a
+    // rollback.
     claimed: u64,
     // Journal record sequence at the last shipped segment it applied.
     last_seq: u64,
     // Quarantined replicas (staged rollback detected) receive no segments
     // and are never promoted.
     quarantined: bool,
+}
+
+impl Replica {
+    fn fresh(quarantined: bool) -> Replica {
+        Replica {
+            link: ReplicaLink::new(),
+            journal: Vec::new(),
+            base: 0,
+            base_seq: 0,
+            base_chain: [0u8; 16],
+            snapshot: None,
+            needs_full: false,
+            acked: 0,
+            claimed: 0,
+            last_seq: 0,
+            quarantined,
+        }
+    }
+
+    // Logical end offset of this replica's journal coverage.
+    fn coverage(&self) -> u64 {
+        self.base + self.journal.len() as u64
+    }
+}
+
+// The compacted (snapshot, cut) pair the primary ships to replicas whose
+// coverage is behind the truncation point. Kept separate from the
+// cluster's own `base_snapshot` so a host tampering with the *shipped*
+// copy (`tamper_compacted_snapshot`) does not also damage the local
+// recovery root.
+#[derive(Debug)]
+struct CompactShip {
+    blob: Vec<u8>,
+    trimmed: u64,
+    base_seq: u64,
+}
+
+/// A deliberately seeded protocol bug for the model checker's self-test:
+/// each variant breaks one invariant the explorer asserts, proving the
+/// checker actually detects violations (and emits a replayable
+/// counterexample) rather than vacuously passing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolBug {
+    /// Failover promotes the first alive replica regardless of its journal
+    /// coverage and reports the promotion as non-stale — acknowledged
+    /// (quorum-committed) state can silently roll back.
+    PromoteWithoutQuorum,
+    /// Failover skips the staged-rollback quarantine scan, so a replica
+    /// that presented less than it acknowledged stays promotable.
+    SkipRollbackQuarantine,
 }
 
 /// Outcome of a [`Cluster::fail_primary`] failover.
@@ -98,13 +193,23 @@ pub struct Cluster {
     // journal epoch designation (recovery reads, promotion increments).
     snap_counter: MonotonicCounter,
     epoch_counter: MonotonicCounter,
-    // Sealed base snapshot of the epoch's starting state: `None` for the
+    // Sealed base snapshot of the epoch's recovery root: `None` for the
     // first epoch (the journal starts at the empty store), refreshed at
-    // every promotion.
+    // every promotion and every compaction commit.
     base_snapshot: Option<Vec<u8>>,
+    // The (snapshot, cut) pair shipped to replicas behind the compaction
+    // point, if the journal was ever compacted this epoch.
+    compact_ship: Option<CompactShip>,
     policy: GroupCommitPolicy,
     quorum: usize,
     committed_bytes: u64,
+    // Staged promotion: records per pump to drain from the catch-up
+    // queue, and whether the new epoch's base snapshot is still owed
+    // (sealed once catch-up drains, so it captures the complete state).
+    catchup_batch: usize,
+    pending_base_snapshot: bool,
+    catchup_error: Option<StoreError>,
+    bug: Option<ProtocolBug>,
     metrics: MetricsRegistry,
 }
 
@@ -123,15 +228,9 @@ impl Cluster {
         let mut primary = PrecursorServer::new(config, cost);
         let mut epoch_counter = MonotonicCounter::new();
         primary.attach_replicated_journal(policy, &mut epoch_counter);
+        primary.set_replication_fanout(replicas);
         let replicas = (0..replicas)
-            .map(|_| Replica {
-                link: ReplicaLink::new(),
-                journal: Vec::new(),
-                acked: 0,
-                claimed: 0,
-                last_seq: 0,
-                quarantined: false,
-            })
+            .map(|_| Replica::fresh(false))
             .collect::<Vec<_>>();
         let nodes = replicas.len() + 1;
         Cluster {
@@ -141,9 +240,14 @@ impl Cluster {
             snap_counter: MonotonicCounter::new(),
             epoch_counter,
             base_snapshot: None,
+            compact_ship: None,
             policy,
             quorum: nodes / 2 + 1,
             committed_bytes: 0,
+            catchup_batch: 0,
+            pending_base_snapshot: false,
+            catchup_error: None,
+            bug: None,
             metrics: MetricsRegistry::default(),
         }
     }
@@ -170,14 +274,35 @@ impl Cluster {
         self.quorum
     }
 
-    /// Journal bytes committed by quorum so far this epoch.
+    /// Journal bytes committed by quorum so far this epoch (logical
+    /// offsets — compaction does not move them).
     pub fn committed_bytes(&self) -> u64 {
         self.committed_bytes
     }
 
-    /// Bytes of journal replica `i` currently holds.
+    /// Bytes of journal replica `i` currently holds (its physical copy;
+    /// see [`replica_coverage`](Self::replica_coverage) for the logical
+    /// end offset).
     pub fn replica_journal_len(&self, i: usize) -> usize {
         self.replicas[i].journal.len()
+    }
+
+    /// Logical end offset of replica `i`'s journal coverage (`base +
+    /// physical length`).
+    pub fn replica_coverage(&self, i: usize) -> u64 {
+        self.replicas[i].coverage()
+    }
+
+    /// Whether replica `i` holds a compacted `(snapshot, tail)` pair
+    /// rather than a full-epoch journal copy.
+    pub fn replica_compacted(&self, i: usize) -> bool {
+        self.replicas[i].base > 0
+    }
+
+    /// Whether replica `i` rejected a shipped compacted snapshot and is
+    /// waiting for full-journal catch-up from a peer.
+    pub fn replica_needs_full(&self, i: usize) -> bool {
+        self.replicas[i].needs_full
     }
 
     /// Whether replica `i` is quarantined (staged rollback detected).
@@ -185,9 +310,19 @@ impl Cluster {
         self.replicas[i].quarantined
     }
 
+    /// Whether replica `i` currently presents less coverage than it ever
+    /// acknowledged — the staged-rollback evidence the failover quarantine
+    /// scan acts on (exposed so the model checker can assert the scan
+    /// actually quarantines every such replica).
+    pub fn replica_rolled_back(&self, i: usize) -> bool {
+        self.replicas[i].coverage() < self.replicas[i].claimed
+    }
+
     /// Cluster-level metrics: `failover.count`,
-    /// `replica.rollback_detected`, and the `replica.lag_records` gauge
-    /// (journal records the slowest live replica trails the primary by).
+    /// `replica.rollback_detected`, `replica.compact_ships`,
+    /// `replica.snapshot_rejected`, `replica.full_catchup_fallbacks`, and
+    /// the `replica.lag_records` gauge (journal records the slowest live
+    /// replica — or a catching-up promoted primary — trails by).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
@@ -213,13 +348,13 @@ impl Cluster {
     }
 
     /// Adversarial hook: replica `i` discards its journal past
-    /// `keep_bytes` while standing by its earlier acknowledgements — the
-    /// staged-rollback attack [`fail_primary`](Self::fail_primary)
-    /// quarantines.
+    /// `keep_bytes` (of its physical copy) while standing by its earlier
+    /// acknowledgements — the staged-rollback attack
+    /// [`fail_primary`](Self::fail_primary) quarantines.
     pub fn rollback_replica(&mut self, i: usize, keep_bytes: usize) {
         let r = &mut self.replicas[i];
         r.journal.truncate(keep_bytes);
-        r.acked = r.acked.min(keep_bytes as u64);
+        r.acked = r.acked.min(r.base + keep_bytes as u64);
         r.last_seq = 0;
     }
 
@@ -237,61 +372,232 @@ impl Cluster {
         }
     }
 
-    /// One cluster tick: a primary sweep, segment shipping, link pumps in
-    /// both directions, replica acknowledgement processing, and the quorum
+    /// Adversarial hook: flips one bit of the *shipped* compacted
+    /// snapshot (the copy [`pump`](Self::pump) sends to lagging replicas)
+    /// without touching the primary's own recovery root. Replicas reject
+    /// the damaged pair and fall back to full-journal catch-up from a
+    /// peer.
+    pub fn tamper_compacted_snapshot(&mut self, byte: usize) {
+        if let Some(ship) = self.compact_ship.as_mut() {
+            if !ship.blob.is_empty() {
+                let b = byte % ship.blob.len();
+                ship.blob[b] ^= 0x40;
+            }
+        }
+    }
+
+    /// Seeds a deliberate protocol bug (model-checker self-test hook).
+    pub fn seed_protocol_bug(&mut self, bug: ProtocolBug) {
+        self.bug = Some(bug);
+    }
+
+    /// Compacts the primary's journal behind the quorum-committed
+    /// watermark (see [`PrecursorServer::compact_journal`] for the
+    /// two-phase seal/commit/truncate and its crash points). On commit the
+    /// sealed snapshot becomes both the cluster's recovery root and the
+    /// pair shipped to replicas behind the cut.
+    pub fn compact(&mut self) -> CompactOutcome {
+        let outcome = self.primary.compact_journal(&mut self.snap_counter);
+        match &outcome {
+            CompactOutcome::Compacted {
+                snapshot, base_seq, ..
+            } => {
+                self.base_snapshot = Some(snapshot.clone());
+                self.compact_ship = Some(CompactShip {
+                    blob: snapshot.clone(),
+                    trimmed: self.primary.journal_trimmed_bytes(),
+                    base_seq: *base_seq,
+                });
+            }
+            CompactOutcome::Wedged { snapshot, .. } => {
+                // The snapshot committed (counter advanced) even though
+                // the truncate never happened: it must become the
+                // recovery root, or the next unseal fails the version
+                // check. The journal is whole, so recovery digests are
+                // unchanged either way.
+                self.base_snapshot = Some(snapshot.clone());
+            }
+            CompactOutcome::Skipped | CompactOutcome::Aborted => {}
+        }
+        outcome
+    }
+
+    /// Recovers a throwaway server from the cluster's current recovery
+    /// root (base snapshot + the primary's durable journal suffix) and
+    /// returns its state digest — lets tests and the model checker assert
+    /// that compaction (including a crash between snapshot-seal and
+    /// truncate) never changes what recovery reconstructs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PrecursorServer::recover_with_base`] failures.
+    pub fn probe_recovery(&self) -> Result<[u8; 16], StoreError> {
+        let journal = self.primary.journal_durable().unwrap_or(&[]);
+        let base_seq = self.primary.journal_base_seq();
+        let base_chain = self
+            .primary
+            .journal_base_chain()
+            .unwrap_or_else(|| precursor_journal::genesis_chain(self.epoch_counter.read()));
+        let (server, _report) = PrecursorServer::recover_with_base(
+            self.primary.config().clone(),
+            &self.cost,
+            self.base_snapshot.as_deref(),
+            &self.snap_counter,
+            journal,
+            base_seq,
+            base_chain,
+            &self.epoch_counter,
+        )?;
+        Ok(server.state_digest())
+    }
+
+    /// Quorum-durable logical byte count computed from the nodes' *actual*
+    /// journal coverage (never from acknowledgements) — the model
+    /// checker's ground truth for the acked-implies-quorum-durable
+    /// invariant.
+    pub fn quorum_durable_bytes(&self) -> u64 {
+        let mut lens: Vec<u64> = self.replicas.iter().map(Replica::coverage).collect();
+        lens.push(self.primary.journal_durable_end());
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        lens.get(self.quorum - 1).copied().unwrap_or(0)
+    }
+
+    /// The first catch-up replay error, if the staged promotion's
+    /// background drain hit one (fork evidence divergence).
+    pub fn catchup_error(&self) -> Option<StoreError> {
+        self.catchup_error
+    }
+
+    /// One cluster tick: a staged-promotion catch-up step (if draining), a
+    /// primary sweep, segment/snapshot shipping, link pumps in both
+    /// directions, replica acknowledgement processing, and the quorum
     /// commit that releases gated replies. Returns the number of requests
     /// the primary sweep processed.
     pub fn pump(&mut self) -> usize {
+        // Background catch-up on a staged promotion: drain a batch before
+        // serving, then seal the deferred epoch-base snapshot once the
+        // queue is empty (it must capture the fully caught-up state).
+        if self.primary.in_catchup() {
+            let batch = self.catchup_batch.max(1);
+            if let Err(e) = self.primary.catchup_step(batch) {
+                self.catchup_error.get_or_insert(e);
+                self.metrics.inc("replica.catchup_errors", 1);
+            }
+        }
+        if self.pending_base_snapshot && !self.primary.in_catchup() {
+            self.base_snapshot = Some(self.primary.snapshot(&mut self.snap_counter));
+            self.pending_base_snapshot = false;
+        }
+
         let processed = self.primary.poll();
 
-        // Ship every byte not yet acknowledged to each live replica. The
-        // window re-ships until acknowledged, which makes loss under
-        // partitions self-repairing: replicas append only the suffix they
-        // are missing and re-acknowledge their length.
+        // Ship every logical byte not yet acknowledged to each live
+        // replica. The window re-ships until acknowledged, which makes
+        // loss under partitions self-repairing: replicas append only the
+        // suffix they are missing and re-acknowledge their coverage. A
+        // replica acknowledged behind the compaction cut gets the
+        // (snapshot, tail) pair instead — segments alone can no longer
+        // reach it.
         let durable = self
             .primary
             .journal_durable()
             .map(<[u8]>::to_vec)
             .unwrap_or_default();
+        let trimmed = self.primary.journal_trimmed_bytes();
+        let durable_end = trimmed + durable.len() as u64;
         let last_seq = self.primary.journal_last_seq();
         for r in &mut self.replicas {
-            if !r.link.is_alive() || r.quarantined {
+            if !r.link.is_alive() || r.quarantined || r.needs_full {
                 continue;
             }
-            let from = r.acked as usize;
-            if from < durable.len() {
-                let mut frame = Vec::with_capacity(17 + durable.len() - from);
+            if r.acked < trimmed {
+                if let Some(ship) = &self.compact_ship {
+                    let mut frame = Vec::with_capacity(17 + ship.blob.len());
+                    frame.push(FRAME_SNAPSHOT);
+                    frame.extend_from_slice(&ship.trimmed.to_le_bytes());
+                    frame.extend_from_slice(&ship.base_seq.to_le_bytes());
+                    frame.extend_from_slice(&ship.blob);
+                    r.link.send_to_replica(&frame);
+                }
+                continue;
+            }
+            if r.acked < durable_end {
+                let phys = (r.acked - trimmed) as usize;
+                let mut frame = Vec::with_capacity(17 + durable.len() - phys);
                 frame.push(FRAME_SEGMENT);
-                frame.extend_from_slice(&(from as u64).to_le_bytes());
+                frame.extend_from_slice(&r.acked.to_le_bytes());
                 frame.extend_from_slice(&last_seq.to_le_bytes());
-                frame.extend_from_slice(&durable[from..]);
+                frame.extend_from_slice(&durable[phys..]);
                 r.link.send_to_replica(&frame);
             }
         }
 
-        // Deliver segments, apply them at the replicas, send and deliver
-        // acknowledgements.
+        // Deliver segments and snapshots, apply them at the replicas,
+        // send and deliver acknowledgements. The sealing key and counter
+        // versions every enclave derives are identical (same attestation
+        // root), so replicas validate shipped snapshots exactly as their
+        // own recovery would.
+        let skey = self.primary.sealing_key();
+        let snap_version = self.snap_counter.read();
+        let epoch = self.primary.journal_epoch().unwrap_or(0);
         for r in &mut self.replicas {
             r.link.pump();
             let mut acked_any = false;
             while let Some(frame) = r.link.recv_at_replica() {
-                if frame.len() < 17 || frame[0] != FRAME_SEGMENT {
+                if frame.len() < 17 {
                     continue;
                 }
-                let offset = u64::from_le_bytes(frame[1..9].try_into().expect("8 bytes")) as usize;
-                let seq = u64::from_le_bytes(frame[9..17].try_into().expect("8 bytes"));
-                let chunk = &frame[17..];
-                if offset <= r.journal.len() && offset + chunk.len() > r.journal.len() {
-                    let skip = r.journal.len() - offset;
-                    r.journal.extend_from_slice(&chunk[skip..]);
-                    r.last_seq = seq;
+                match frame[0] {
+                    FRAME_SEGMENT => {
+                        let offset = u64::from_le_bytes(frame[1..9].try_into().expect("8 bytes"));
+                        let seq = u64::from_le_bytes(frame[9..17].try_into().expect("8 bytes"));
+                        let chunk = &frame[17..];
+                        let end = r.coverage();
+                        if offset >= r.base && offset <= end && offset + chunk.len() as u64 > end {
+                            let skip = (end - offset) as usize;
+                            r.journal.extend_from_slice(&chunk[skip..]);
+                            r.last_seq = seq;
+                        }
+                        acked_any = true;
+                    }
+                    FRAME_SNAPSHOT => {
+                        let base_off = u64::from_le_bytes(frame[1..9].try_into().expect("8 bytes"));
+                        let base_seq =
+                            u64::from_le_bytes(frame[9..17].try_into().expect("8 bytes"));
+                        let blob = &frame[17..];
+                        // Validate before adopting: unseal at the trusted
+                        // counter version, decode, and check the embedded
+                        // watermark matches the cut the primary claims.
+                        // The MAC-chain anchor comes from the *sealed*
+                        // body, never from the untrusted frame header.
+                        let body = sealing::unseal(&skey, snap_version, blob)
+                            .ok()
+                            .and_then(|b| SnapshotBody::decode(&b).ok())
+                            .filter(|b| b.journal_epoch == epoch && b.journal_seq == base_seq);
+                        match body {
+                            Some(body) => {
+                                r.snapshot = Some(blob.to_vec());
+                                r.journal.clear();
+                                r.base = base_off;
+                                r.base_seq = base_seq;
+                                r.base_chain = body.journal_chain;
+                                r.last_seq = base_seq;
+                                acked_any = true;
+                                self.metrics.inc("replica.compact_ships", 1);
+                            }
+                            None => {
+                                r.needs_full = true;
+                                self.metrics.inc("replica.snapshot_rejected", 1);
+                            }
+                        }
+                    }
+                    _ => {}
                 }
-                acked_any = true;
             }
             if acked_any {
                 let mut ack = Vec::with_capacity(17);
                 ack.push(FRAME_ACK);
-                ack.extend_from_slice(&(r.journal.len() as u64).to_le_bytes());
+                ack.extend_from_slice(&r.coverage().to_le_bytes());
                 ack.extend_from_slice(&r.last_seq.to_le_bytes());
                 r.link.send_to_primary(&ack);
             }
@@ -306,38 +612,70 @@ impl Cluster {
             }
         }
 
-        // Quorum commit: the primary holds all durable bytes; a byte is
-        // committed once `quorum - 1` replicas acknowledged it.
+        // Full-journal catch-up fallback: a replica that rejected the
+        // shipped compacted snapshot copies the uncompacted stream from a
+        // peer that still holds it (replica-to-replica repair). Without a
+        // donor it stays lagged — never silently adopts the rejected pair.
+        let donor = self
+            .replicas
+            .iter()
+            .filter(|d| d.link.is_alive() && !d.quarantined && !d.needs_full && d.base == 0)
+            .map(|d| (d.journal.clone(), d.last_seq))
+            .max_by_key(|(j, _)| j.len());
+        if let Some((journal, donor_seq)) = donor {
+            for r in &mut self.replicas {
+                if !r.needs_full || !r.link.is_alive() || r.quarantined {
+                    continue;
+                }
+                if journal.len() as u64 <= r.coverage() {
+                    continue;
+                }
+                r.journal = journal.clone();
+                r.base = 0;
+                r.base_seq = 0;
+                r.base_chain = [0u8; 16];
+                r.snapshot = None;
+                r.last_seq = donor_seq;
+                r.acked = r.acked.max(r.coverage());
+                r.claimed = r.claimed.max(r.acked);
+                r.needs_full = false;
+                self.metrics.inc("replica.full_catchup_fallbacks", 1);
+            }
+        }
+
+        // Quorum commit: the primary holds all durable bytes; a logical
+        // byte is committed once `quorum - 1` replicas acknowledged it.
         let watermark = if self.quorum <= 1 {
-            durable.len() as u64
+            durable_end
         } else {
             let mut acks: Vec<u64> = self.replicas.iter().map(|r| r.acked).collect();
             acks.sort_unstable_by(|a, b| b.cmp(a));
             acks.get(self.quorum - 2)
                 .copied()
                 .unwrap_or(0)
-                .min(durable.len() as u64)
+                .min(durable_end)
         };
         if watermark > self.committed_bytes {
             self.committed_bytes = watermark;
         }
         self.primary.commit_journal_bytes(self.committed_bytes);
 
-        let lag = self
+        let ship_lag = self
             .replicas
             .iter()
             .filter(|r| r.link.is_alive() && !r.quarantined)
             .map(|r| last_seq.saturating_sub(r.last_seq))
             .max()
             .unwrap_or(0);
+        let lag = ship_lag.max(self.primary.catchup_remaining() as u64);
         self.metrics.gauge_set("replica.lag_records", lag);
         processed
     }
 
     /// Cross-replica fork audit: any two replicas' journals must agree on
-    /// their common prefix (the journal is MAC-chained, so byte equality
-    /// is history equality — a forked primary shipping divergent histories
-    /// cannot produce two replicas that agree).
+    /// the overlap of their logical coverage (the journal is MAC-chained,
+    /// so byte equality is history equality — a forked primary shipping
+    /// divergent histories cannot produce two replicas that agree).
     ///
     /// # Errors
     ///
@@ -345,10 +683,15 @@ impl Cluster {
     pub fn audit_replicas(&self) -> Result<(), StoreError> {
         for a in 0..self.replicas.len() {
             for b in a + 1..self.replicas.len() {
-                let ja = &self.replicas[a].journal;
-                let jb = &self.replicas[b].journal;
-                let common = ja.len().min(jb.len());
-                if ja[..common] != jb[..common] {
+                let (ra, rb) = (&self.replicas[a], &self.replicas[b]);
+                let start = ra.base.max(rb.base);
+                let end = ra.coverage().min(rb.coverage());
+                if start >= end {
+                    continue;
+                }
+                let sa = (start - ra.base) as usize..(end - ra.base) as usize;
+                let sb = (start - rb.base) as usize..(end - rb.base) as usize;
+                if ra.journal[sa] != rb.journal[sb] {
                     return Err(StoreError::ForkDetected);
                 }
             }
@@ -358,11 +701,11 @@ impl Cluster {
 
     /// Deterministic failover after a primary crash: quarantines replicas
     /// whose journal rolled back behind their own acknowledgements,
-    /// promotes the longest-journal survivor through
-    /// [`PrecursorServer::recover`], opens a fresh journal epoch on it,
-    /// and rebuilds the replication fan-out over the remaining survivors
-    /// (their journals reset — the new epoch starts from the promoted
-    /// state's snapshot). Clients must
+    /// promotes the longest-coverage survivor through
+    /// [`PrecursorServer::recover_with_base`], opens a fresh journal epoch
+    /// on it, and rebuilds the replication fan-out over the remaining
+    /// survivors (their journals reset — the new epoch starts from the
+    /// promoted state's snapshot). Clients must
     /// [`reconnect`](crate::PrecursorClient::reconnect) (in ascending id
     /// order) and resynchronise their `oid` from the bundle.
     ///
@@ -373,15 +716,36 @@ impl Cluster {
     /// all; [`StoreError::ForkDetected`] when the promoted journal's replay
     /// evidence diverges from what its records sealed.
     pub fn fail_primary(&mut self) -> Result<FailoverReport, StoreError> {
+        self.fail_primary_inner(None)
+    }
+
+    /// Failover with *catch-up reads*: the survivor is promoted through
+    /// [`PrecursorServer::recover_staged`] and serves reads immediately
+    /// from its applied prefix (mutations answer `Busy`), while every
+    /// [`pump`](Self::pump) applies up to `batch` queued records until the
+    /// tail drains. The new epoch's base snapshot is sealed only once
+    /// catch-up completes, so it captures the full state. The
+    /// `replica.lag_records` gauge tracks the remaining queue.
+    ///
+    /// # Errors
+    ///
+    /// As [`fail_primary`](Self::fail_primary).
+    pub fn fail_primary_staged(&mut self, batch: usize) -> Result<FailoverReport, StoreError> {
+        self.fail_primary_inner(Some(batch))
+    }
+
+    fn fail_primary_inner(&mut self, staged: Option<usize>) -> Result<FailoverReport, StoreError> {
         self.metrics.inc("failover.count", 1);
 
         // Staged-rollback quarantine: a replica presenting fewer bytes
         // than it acknowledged lied about durability.
         let mut quarantined = Vec::new();
-        for (i, r) in self.replicas.iter_mut().enumerate() {
-            if !r.quarantined && (r.journal.len() as u64) < r.claimed {
-                r.quarantined = true;
-                quarantined.push(i);
+        if self.bug != Some(ProtocolBug::SkipRollbackQuarantine) {
+            for (i, r) in self.replicas.iter_mut().enumerate() {
+                if !r.quarantined && r.coverage() < r.claimed {
+                    r.quarantined = true;
+                    quarantined.push(i);
+                }
             }
         }
         if !quarantined.is_empty() {
@@ -403,9 +767,12 @@ impl Cluster {
             }
             let better = match candidate {
                 None => true,
-                Some(c) => r.journal.len() > self.replicas[c].journal.len(),
+                Some(c) => r.coverage() > self.replicas[c].coverage(),
             };
-            if better {
+            // Seeded bug: first alive wins regardless of coverage.
+            if better
+                && !(self.bug == Some(ProtocolBug::PromoteWithoutQuorum) && candidate.is_some())
+            {
                 candidate = Some(i);
             }
         }
@@ -417,24 +784,69 @@ impl Cluster {
             });
         };
 
+        let mut stale = self.replicas[promoted].coverage() < self.committed_bytes;
         let journal = std::mem::take(&mut self.replicas[promoted].journal);
-        let stale = (journal.len() as u64) < self.committed_bytes;
-        let (mut server, recovery) = PrecursorServer::recover(
-            self.primary.config().clone(),
-            &self.cost,
-            self.base_snapshot.as_deref(),
-            &self.snap_counter,
-            &journal,
-            &self.epoch_counter,
-        )?;
+        let base_seq = self.replicas[promoted].base_seq;
+        // A full-epoch copy (no compacted base) authenticates its journal
+        // from the epoch's genesis chain, not the zeroed placeholder.
+        let base_chain = if self.replicas[promoted].base > 0 {
+            self.replicas[promoted].base_chain
+        } else {
+            precursor_journal::genesis_chain(self.epoch_counter.read())
+        };
+        let replica_snapshot = self.replicas[promoted].snapshot.take();
+        // A replica holding a compacted pair recovers from its own
+        // validated snapshot; a full-epoch copy uses the cluster root.
+        let snapshot = if self.replicas[promoted].base > 0 {
+            replica_snapshot
+        } else {
+            self.base_snapshot.clone()
+        };
+        if self.bug == Some(ProtocolBug::PromoteWithoutQuorum) {
+            // The seeded bug also lies about staleness — exactly what the
+            // model checker must catch.
+            stale = false;
+        }
+        let (mut server, recovery) = if let Some(batch) = staged {
+            self.catchup_batch = batch;
+            PrecursorServer::recover_staged(
+                self.primary.config().clone(),
+                &self.cost,
+                snapshot.as_deref(),
+                &self.snap_counter,
+                &journal,
+                base_seq,
+                base_chain,
+                &self.epoch_counter,
+            )?
+        } else {
+            PrecursorServer::recover_with_base(
+                self.primary.config().clone(),
+                &self.cost,
+                snapshot.as_deref(),
+                &self.snap_counter,
+                &journal,
+                base_seq,
+                base_chain,
+                &self.epoch_counter,
+            )?
+        };
 
         // Fresh epoch on the promoted node; the new epoch's base state is
         // sealed as a snapshot so later recoveries need not replay across
-        // the epoch boundary.
+        // the epoch boundary. A staged promotion defers the seal until
+        // catch-up drains — the snapshot must capture the complete state.
         server.attach_replicated_journal(self.policy, &mut self.epoch_counter);
-        self.base_snapshot = Some(server.snapshot(&mut self.snap_counter));
         self.primary = server;
         self.committed_bytes = 0;
+        self.compact_ship = None;
+        if self.primary.in_catchup() {
+            self.pending_base_snapshot = true;
+        } else {
+            self.catchup_batch = 0;
+            self.base_snapshot = Some(self.primary.snapshot(&mut self.snap_counter));
+            self.pending_base_snapshot = false;
+        }
 
         // Rebuild the fan-out over the survivors: fresh links (the old
         // ones terminated at the dead primary), journals reset to the new
@@ -444,16 +856,10 @@ impl Cluster {
             if i == promoted || !r.link.is_alive() {
                 continue;
             }
-            survivors.push(Replica {
-                link: ReplicaLink::new(),
-                journal: Vec::new(),
-                acked: 0,
-                claimed: 0,
-                last_seq: 0,
-                quarantined: r.quarantined,
-            });
+            survivors.push(Replica::fresh(r.quarantined));
         }
         self.replicas = survivors;
+        self.primary.set_replication_fanout(self.replicas.len());
         let nodes = self.replicas.len() + 1;
         self.quorum = nodes / 2 + 1;
 

@@ -35,14 +35,14 @@ use precursor_journal::{FlushDamage, GroupCommitPolicy, Journal, JournalRecord, 
 use precursor_rdma::faults::{DurableVerdict, FaultSite};
 use precursor_sgx::counters::MonotonicCounter;
 use precursor_sgx::sealing;
-use precursor_sim::CostModel;
+use precursor_sim::{CostModel, Cycles, Meter, Stage};
 
 use crate::config::Config;
 use crate::error::StoreError;
 use crate::snapshot::{take, SnapshotBody, SnapshotEntry};
 use crate::wire::{Opcode, Status};
 
-use super::exec::ValueStorage;
+use super::exec::{ReplyPlan, ValueStorage};
 use super::seal::StoreEvidence;
 use super::{lock_faults, PrecursorServer};
 
@@ -80,6 +80,11 @@ pub(super) struct Durability {
     // clients time out), and nothing further is appended — recovery is the
     // only way forward.
     failed: bool,
+    // Replication fan-out (number of replicas each flushed byte is
+    // shipped to) — purely a cost-model input: the networking stage of
+    // the per-op meter charges `fanout × segment-ship` cycles per sealed
+    // byte. 0 for a locally-durable journal.
+    fanout: usize,
 }
 
 /// What [`PrecursorServer::recover`] reconstructed.
@@ -98,6 +103,52 @@ pub struct RecoveryReport {
     pub valid_len: usize,
     /// Sequence number of the last authentic journal record (0 if none).
     pub journal_seq: u64,
+    /// Mutation records queued for background catch-up instead of being
+    /// replayed inline (0 for non-staged recovery). The server answers
+    /// reads from its applied prefix while [`PrecursorServer::catchup_step`]
+    /// drains them.
+    pub catchup_pending: usize,
+}
+
+/// Result of [`PrecursorServer::compact_journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactOutcome {
+    /// Nothing to compact: no journal, wedged, uncommitted or pending
+    /// records, or no records past the previous cut.
+    Skipped,
+    /// The host damaged the tentative snapshot seal. The trusted counter
+    /// was not advanced, the previous snapshot is still authoritative, and
+    /// the journal is whole — recovery state is unchanged.
+    Aborted,
+    /// Snapshot committed and prefix truncated.
+    Compacted {
+        /// The sealed snapshot now anchoring recovery (store it where the
+        /// old base snapshot lived).
+        snapshot: Vec<u8>,
+        /// Records removed from the durable stream.
+        truncated_records: u64,
+        /// The cut: first surviving record is `base_seq + 1`.
+        base_seq: u64,
+    },
+    /// Snapshot committed but the process died before the truncate: the
+    /// journal wedged whole. Recovery from (snapshot, full journal)
+    /// reaches the same digest the truncated pair would.
+    Wedged {
+        /// The committed sealed snapshot.
+        snapshot: Vec<u8>,
+        /// Watermark the snapshot covers.
+        base_seq: u64,
+    },
+}
+
+// Mutation records queued by a staged recovery: the promoted replica
+// serves reads from its applied prefix while `catchup_step` drains these
+// in order. At-most-once windows and session records were applied eagerly,
+// so retransmissions of pre-crash operations re-acknowledge from the
+// cached window instead of re-executing against not-yet-replayed state.
+#[derive(Debug, Default)]
+pub(super) struct CatchupState {
+    records: VecDeque<JournalRecord>,
 }
 
 impl PrecursorServer {
@@ -141,8 +192,20 @@ impl PrecursorServer {
             flush_marks: VecDeque::new(),
             gated: VecDeque::new(),
             failed: false,
+            fanout: 0,
         });
         epoch
+    }
+
+    /// Sets the replication fan-out the cost model charges for: each
+    /// sealed journal byte is shipped to this many replicas (networking
+    /// stage of the op meter). The replication layer calls this at
+    /// cluster construction and after every failover; a locally-durable
+    /// journal keeps 0.
+    pub fn set_replication_fanout(&mut self, fanout: usize) {
+        if let Some(d) = self.durability.as_mut() {
+            d.fanout = fanout;
+        }
     }
 
     /// The attached journal's epoch, if any.
@@ -171,6 +234,40 @@ impl PrecursorServer {
     /// Journal flush/byte counters, when a journal is attached.
     pub fn journal_stats(&self) -> Option<JournalStats> {
         self.durability.as_ref().map(|d| d.journal.stats())
+    }
+
+    /// MAC-chain value at the journal head — the anchor a snapshot sealed
+    /// right now would carry for authenticating the tail behind it.
+    pub fn journal_chain(&self) -> Option<[u8; 16]> {
+        self.durability.as_ref().map(|d| d.journal.chain())
+    }
+
+    /// Sequence number of the compaction cut: records at or before it were
+    /// truncated behind a sealed snapshot (0 = never compacted).
+    pub fn journal_base_seq(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.journal.base_seq())
+    }
+
+    /// MAC-chain anchor at the compaction cut (genesis when uncompacted).
+    pub fn journal_base_chain(&self) -> Option<[u8; 16]> {
+        self.durability.as_ref().map(|d| d.journal.base_chain())
+    }
+
+    /// Bytes removed from the durable stream by compaction. Byte offsets
+    /// exchanged with the replication layer stay logical: the surviving
+    /// suffix covers `[trimmed, trimmed + durable.len())` of the epoch's
+    /// whole stream.
+    pub fn journal_trimmed_bytes(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.journal.trimmed_bytes())
+    }
+
+    /// Logical end offset of the durable stream (`trimmed + durable len`).
+    pub fn journal_durable_end(&self) -> u64 {
+        self.durability
+            .as_ref()
+            .map_or(0, |d| d.journal.durable_end())
     }
 
     /// Whether a damaged flush wedged the journal (the modelled process
@@ -205,6 +302,83 @@ impl PrecursorServer {
         self.release_gated();
     }
 
+    /// Compacts the journal: seals a snapshot covering the whole applied
+    /// state, advances the trusted `counter` to commit it, and truncates
+    /// the journal prefix behind the committed watermark. Two-phase:
+    ///
+    /// 1. **Tentative seal** at `counter.read() + 1` — the counter is NOT
+    ///    advanced yet. The host may damage the blob (`SnapshotSeal`
+    ///    fault); the enclave validates what was persisted and, on damage,
+    ///    aborts with the previous snapshot still authoritative and the
+    ///    journal whole ([`CompactOutcome::Aborted`]). Recovery state is
+    ///    unchanged.
+    /// 2. **Commit** — `counter.increment()` makes the new blob the only
+    ///    unsealable snapshot.
+    /// 3. **Truncate** through the [`FaultSite::CompactTruncate`] crash
+    ///    point. A damage verdict there models the process dying between
+    ///    seal and truncate: the journal wedges untruncated
+    ///    ([`CompactOutcome::Wedged`]), and recovery from the committed
+    ///    snapshot plus the *whole* journal reaches the same digest the
+    ///    truncated pair would.
+    ///
+    /// Only a quiescent journal compacts: nothing pending, every record
+    /// committed (locally or by quorum), and at least one record past the
+    /// previous cut. Anything else is [`CompactOutcome::Skipped`].
+    pub fn compact_journal(&mut self, counter: &mut MonotonicCounter) -> CompactOutcome {
+        let Some(d) = self.durability.as_ref() else {
+            return CompactOutcome::Skipped;
+        };
+        if d.failed
+            || d.journal.pending_records() > 0
+            || d.journal.last_seq() == d.journal.base_seq()
+            || d.committed_seq < d.journal.last_seq()
+        {
+            return CompactOutcome::Skipped;
+        }
+        let upto = d.committed_seq;
+        let version = counter.read() + 1;
+        let blob = self.snapshot_at(version);
+        let key = self.sealing_key();
+        let valid = sealing::unseal(&key, version, &blob)
+            .ok()
+            .and_then(|b| SnapshotBody::decode(&b).ok())
+            .is_some();
+        if !valid {
+            self.obs.inc("journal.compaction_aborts", 1);
+            self.trace("journal", "compact_abort", upto, 0);
+            return CompactOutcome::Aborted;
+        }
+        let _ = counter.increment();
+        let durable_len = self
+            .durability
+            .as_ref()
+            .map_or(0, |d| d.journal.durable().len());
+        let verdict = match &self.faults {
+            Some(f) => lock_faults(f).on_durable_write(FaultSite::CompactTruncate, durable_len),
+            None => DurableVerdict::Complete,
+        };
+        let d = self.durability.as_mut().expect("checked above");
+        if !matches!(verdict, DurableVerdict::Complete) {
+            d.failed = true;
+            self.obs.inc("journal.compaction_wedges", 1);
+            self.trace("journal", "compact_wedge", upto, 0);
+            return CompactOutcome::Wedged {
+                snapshot: blob,
+                base_seq: upto,
+            };
+        }
+        let truncated_records = d.journal.truncate_prefix(upto);
+        let base_seq = d.journal.base_seq();
+        self.obs.inc("journal.compactions", 1);
+        self.obs.inc("journal.truncated_records", truncated_records);
+        self.trace("journal", "compact", upto, truncated_records);
+        CompactOutcome::Compacted {
+            snapshot: blob,
+            truncated_records,
+            base_seq,
+        }
+    }
+
     // Appends one sealed record; in immediate local mode the flush (and
     // therefore the commit) happens inline, keeping the reply gate open.
     fn journal_append(&mut self, kind: u8, body: &[u8]) {
@@ -233,6 +407,7 @@ impl PrecursorServer {
         status: Status,
         key: &[u8],
         oid: u64,
+        meter: &mut Meter,
     ) {
         if self.durability.is_none() || status != Status::Ok {
             return;
@@ -248,12 +423,42 @@ impl PrecursorServer {
                     &entry,
                 );
                 self.journal_append(KIND_PUT, &body);
+                self.charge_journal_record(body.len(), meter);
             }
             Opcode::Delete => {
                 let body = encode_delete(idx as u32, oid, self.store.evidence(), key);
                 self.journal_append(KIND_DELETE, &body);
+                self.charge_journal_record(body.len(), meter);
             }
             Opcode::Get => {}
+        }
+    }
+
+    // Durability cost tap: what sealing one journal record and making it
+    // durable costs the operation that appended it. Enclave: the AES-GCM
+    // pass over the body plus the chain hash. ServerOverhead: the durable
+    // append, its fixed (syscall-class) cost amortised over the
+    // group-commit batch. Network: shipping the sealed record to each
+    // replica in the fan-out. Pure meter charges — no RNG, no digested
+    // observable — so seeded golden digests are unchanged.
+    fn charge_journal_record(&self, body_len: usize, meter: &mut Meter) {
+        let Some(d) = self.durability.as_ref() else {
+            return;
+        };
+        let cost = &self.cost;
+        // header 13 + GCM tag 16 + trailing chain tag 16
+        let record_len = body_len + 45;
+        let seal =
+            cost.aes_gcm(body_len).0 + cost.sha256(body_len + 25).0 + cost.journal_seal_fixed;
+        meter.charge(Stage::Enclave, cost.server_time(Cycles(seal)));
+        let batch = d.journal.policy().max_records.max(1) as u64;
+        let write = cost.durable_write_fixed / batch
+            + (record_len as f64 * cost.durable_write_per_byte).round() as u64;
+        meter.charge(Stage::ServerOverhead, cost.server_time(Cycles(write)));
+        if d.fanout > 0 {
+            let ship =
+                (d.fanout as f64 * record_len as f64 * cost.segment_ship_per_byte).round() as u64;
+            meter.charge(Stage::Network, cost.server_time(Cycles(ship)));
         }
     }
 
@@ -424,8 +629,92 @@ impl PrecursorServer {
         journal_bytes: &[u8],
         epoch_counter: &MonotonicCounter,
     ) -> Result<(PrecursorServer, RecoveryReport), StoreError> {
+        Self::recover_inner(
+            config,
+            cost,
+            snapshot,
+            snap_counter,
+            journal_bytes,
+            None,
+            epoch_counter,
+            false,
+        )
+    }
+
+    /// Like [`recover`](Self::recover) but for a compacted journal: the
+    /// durable bytes are a mid-stream suffix starting at the compaction
+    /// cut `base_seq`/`base_chain`. When `base_seq > 0` the snapshot is
+    /// mandatory and must cover at least the cut under this epoch —
+    /// otherwise the truncated records are unrecoverable and the pair is
+    /// rejected with [`StoreError::SnapshotRejected`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_with_base(
+        config: Config,
+        cost: &CostModel,
+        snapshot: Option<&[u8]>,
+        snap_counter: &MonotonicCounter,
+        journal_bytes: &[u8],
+        base_seq: u64,
+        base_chain: [u8; 16],
+        epoch_counter: &MonotonicCounter,
+    ) -> Result<(PrecursorServer, RecoveryReport), StoreError> {
+        Self::recover_inner(
+            config,
+            cost,
+            snapshot,
+            snap_counter,
+            journal_bytes,
+            Some((base_seq, base_chain)),
+            epoch_counter,
+            false,
+        )
+    }
+
+    /// Staged variant of [`recover_with_base`](Self::recover_with_base):
+    /// session records and at-most-once windows are applied eagerly (so
+    /// retransmissions of pre-crash operations re-acknowledge instead of
+    /// re-executing), but data mutations are queued. The caller serves
+    /// reads immediately from the applied prefix — the pipeline answers
+    /// mutations with `Status::Busy` while [`in_catchup`](Self::in_catchup)
+    /// — and drains the queue with [`catchup_step`](Self::catchup_step).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_staged(
+        config: Config,
+        cost: &CostModel,
+        snapshot: Option<&[u8]>,
+        snap_counter: &MonotonicCounter,
+        journal_bytes: &[u8],
+        base_seq: u64,
+        base_chain: [u8; 16],
+        epoch_counter: &MonotonicCounter,
+    ) -> Result<(PrecursorServer, RecoveryReport), StoreError> {
+        Self::recover_inner(
+            config,
+            cost,
+            snapshot,
+            snap_counter,
+            journal_bytes,
+            Some((base_seq, base_chain)),
+            epoch_counter,
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recover_inner(
+        config: Config,
+        cost: &CostModel,
+        snapshot: Option<&[u8]>,
+        snap_counter: &MonotonicCounter,
+        journal_bytes: &[u8],
+        base: Option<(u64, [u8; 16])>,
+        epoch_counter: &MonotonicCounter,
+        staged: bool,
+    ) -> Result<(PrecursorServer, RecoveryReport), StoreError> {
         let mut server = PrecursorServer::new(config, cost);
         let epoch = epoch_counter.read();
+        let (base_seq, base_chain) =
+            base.unwrap_or_else(|| (0, precursor_journal::genesis_chain(epoch)));
         let mut snapshot_restored = false;
         let mut watermark = 0u64;
         if let Some(sealed) = snapshot {
@@ -445,17 +734,31 @@ impl PrecursorServer {
             server.restore_body(body)?;
             snapshot_restored = true;
         }
+        // A mid-stream suffix is only recoverable when a snapshot covers
+        // everything behind the cut under this very epoch.
+        if base_seq > 0 && (!snapshot_restored || watermark < base_seq) {
+            return Err(StoreError::SnapshotRejected);
+        }
         let jkey = sealing::journal_key(&server.sealing_key(), epoch);
-        let recovered = precursor_journal::recover(&jkey, epoch, journal_bytes);
+        let recovered = precursor_journal::recover_from(&jkey, base_seq, base_chain, journal_bytes);
         let mut replayed = 0usize;
         let mut skipped = 0usize;
+        let mut queue = VecDeque::new();
         for record in &recovered.records {
             if record.seq <= watermark {
                 skipped += 1;
                 continue;
             }
-            server.replay_record(record)?;
+            if staged {
+                server.stage_record(record, &mut queue)?;
+            } else {
+                server.replay_record(record)?;
+            }
             replayed += 1;
+        }
+        let catchup_pending = queue.len();
+        if catchup_pending > 0 {
+            server.catchup = Some(CatchupState { records: queue });
         }
         Ok((
             server,
@@ -466,8 +769,122 @@ impl PrecursorServer {
                 truncated: recovered.truncated,
                 valid_len: recovered.valid_len,
                 journal_seq: recovered.records.last().map_or(0, |r| r.seq),
+                catchup_pending,
             },
         ))
+    }
+
+    /// Whether a staged recovery still has queued mutation records: reads
+    /// are served from the applied prefix, mutations answer `Busy`.
+    pub fn in_catchup(&self) -> bool {
+        self.catchup.is_some()
+    }
+
+    /// Queued catch-up records not yet applied.
+    pub fn catchup_remaining(&self) -> usize {
+        self.catchup.as_ref().map_or(0, |c| c.records.len())
+    }
+
+    /// Applies up to `budget` queued catch-up records in order, verifying
+    /// each record's sealed evidence exactly as inline replay would. When
+    /// the queue drains the server leaves catch-up and mutations flow
+    /// again.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`recover`](Self::recover) replay:
+    /// [`StoreError::ForkDetected`] on evidence divergence,
+    /// [`StoreError::MalformedFrame`] on undecodable records.
+    pub fn catchup_step(&mut self, budget: usize) -> Result<usize, StoreError> {
+        let mut applied = 0usize;
+        while applied < budget {
+            let Some(record) = self.catchup.as_mut().and_then(|c| c.records.pop_front()) else {
+                break;
+            };
+            self.apply_catchup_record(&record)?;
+            applied += 1;
+        }
+        if self.catchup.as_ref().is_some_and(|c| c.records.is_empty()) {
+            self.catchup = None;
+        }
+        Ok(applied)
+    }
+
+    // Catch-up reply gate: while a staged recovery is still draining its
+    // queue, only reads execute (served from the verified applied prefix —
+    // never beyond it); mutations answer `Busy` exactly like quota
+    // backpressure, so the client retries once catch-up finishes.
+    // Retransmissions of pre-crash operations never reach this gate: their
+    // at-most-once windows were restored eagerly, so validation
+    // re-acknowledges them from the cached status. Returns the substitute
+    // execution result for intercepted operations.
+    pub(super) fn catchup_gate(
+        &mut self,
+        opcode: Opcode,
+        oid: u64,
+    ) -> Option<(Status, usize, ReplyPlan)> {
+        if !self.in_catchup() {
+            return None;
+        }
+        if opcode == Opcode::Get {
+            self.obs.inc("replica.catchup_reads_served", 1);
+            return None;
+        }
+        self.obs.inc("replica.catchup_mutations_deferred", 1);
+        Some((Status::Busy, 0, ReplyPlan::Busy { oid }))
+    }
+
+    // Staged recovery: apply the at-most-once window / session effects of
+    // one record eagerly, queueing its data mutation for catchup_step.
+    fn stage_record(
+        &mut self,
+        record: &JournalRecord,
+        queue: &mut VecDeque<JournalRecord>,
+    ) -> Result<(), StoreError> {
+        match record.kind {
+            KIND_PUT => {
+                let (client_id, oid, _storage_seq, _ev, _entry) = decode_put(&record.body)?;
+                self.replay_window(client_id, oid);
+                queue.push_back(record.clone());
+            }
+            KIND_DELETE => {
+                let (client_id, oid, _ev, _key) = decode_delete(&record.body)?;
+                self.replay_window(client_id, oid);
+                queue.push_back(record.clone());
+            }
+            KIND_EVICT => queue.push_back(record.clone()),
+            KIND_SESSION => self.replay_record(record)?,
+            _ => return Err(StoreError::MalformedFrame),
+        }
+        Ok(())
+    }
+
+    // Data-only replay for catch-up: identical to `replay_record` except
+    // the at-most-once window was already re-established eagerly at
+    // staged recovery, so it is not touched again.
+    fn apply_catchup_record(&mut self, record: &JournalRecord) -> Result<(), StoreError> {
+        match record.kind {
+            KIND_PUT => {
+                let (_client_id, _oid, storage_seq, ev, entry) = decode_put(&record.body)?;
+                self.store.bump_mutation(Opcode::Put, &entry.key);
+                self.check_evidence(&ev)?;
+                self.install_entry(entry)?;
+                self.store.storage_seq = storage_seq;
+            }
+            KIND_DELETE => {
+                let (_client_id, _oid, ev, key) = decode_delete(&record.body)?;
+                self.replay_remove(&key)?;
+                self.check_evidence(&ev)?;
+            }
+            KIND_EVICT => {
+                let (ev, key) = decode_evict(&record.body)?;
+                self.replay_remove(&key)?;
+                self.check_evidence(&ev)?;
+            }
+            KIND_SESSION => {}
+            _ => return Err(StoreError::MalformedFrame),
+        }
+        Ok(())
     }
 
     // Applies one authenticated journal record. Mutations re-derive the

@@ -639,6 +639,9 @@ impl PrecursorServer {
             // Journal watermark: recovery replays only records past it.
             journal_epoch: self.journal_epoch().unwrap_or(0),
             journal_seq: self.journal_last_seq(),
+            journal_chain: self
+                .journal_chain()
+                .unwrap_or_else(|| precursor_journal::genesis_chain(0)),
         }
     }
 

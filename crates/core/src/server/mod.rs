@@ -42,7 +42,7 @@ mod pipeline;
 mod seal;
 mod session;
 
-pub use durability::RecoveryReport;
+pub use durability::{CompactOutcome, RecoveryReport};
 
 use std::sync::{Arc, Mutex};
 
@@ -147,6 +147,10 @@ pub struct PrecursorServer {
     // durability stage (sealed journal + group-commit reply gate); None
     // until a journal is attached
     durability: Option<durability::Durability>,
+    // staged-recovery catch-up queue: Some while a promoted replica still
+    // has journal records to apply in the background (reads served from
+    // the applied prefix, mutations answered Busy); None otherwise
+    catchup: Option<durability::CatchupState>,
 
     // fault injection (tests/chaos harnesses); None = clean transport
     faults: Option<Arc<Mutex<FaultInjector>>>,
@@ -230,6 +234,7 @@ impl PrecursorServer {
                 handoffs: 0,
             },
             durability: None,
+            catchup: None,
             faults: None,
             adversary: None,
             obs: MetricsRegistry::default(),

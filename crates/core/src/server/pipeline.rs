@@ -301,27 +301,33 @@ impl PrecursorServer {
                     .durability
                     .is_some()
                     .then(|| (control.key.clone(), control.oid));
-                let mut ctx = ExecCtx {
-                    enclave: &mut self.enclave,
-                    config: &self.config,
-                    cost: &self.cost,
-                    adversary: &mut self.adversary,
+                let op_oid = control.oid;
+                let exec_result = if let Some(busy) = self.catchup_gate(opcode, op_oid) {
+                    Ok(busy)
+                } else {
+                    let mut ctx = ExecCtx {
+                        enclave: &mut self.enclave,
+                        config: &self.config,
+                        cost: &self.cost,
+                        adversary: &mut self.adversary,
+                    };
+                    self.store.execute_plan(
+                        &mut ctx,
+                        ExecRequest {
+                            idx,
+                            opcode,
+                            control,
+                            frame: &frame,
+                            session_key: &session_key,
+                        },
+                        &mut slot.meter,
+                    )
                 };
-                slot.kind = match self.store.execute_plan(
-                    &mut ctx,
-                    ExecRequest {
-                        idx,
-                        opcode,
-                        control,
-                        frame: &frame,
-                        session_key: &session_key,
-                    },
-                    &mut slot.meter,
-                ) {
+                slot.kind = match exec_result {
                     Ok((status, value_len, plan)) => {
                         self.trace("exec", super::op_metric(opcode), idx as u64, status as u64);
                         if let Some((key, oid)) = &journal_tap {
-                            self.journal_mutation(idx, opcode, status, key, *oid);
+                            self.journal_mutation(idx, opcode, status, key, *oid, &mut slot.meter);
                         }
                         ActionKind::Seal {
                             status,
@@ -430,27 +436,33 @@ impl PrecursorServer {
                         .durability
                         .is_some()
                         .then(|| (control.key.clone(), control.oid));
-                    let mut ctx = ExecCtx {
-                        enclave: &mut self.enclave,
-                        config: &self.config,
-                        cost: &self.cost,
-                        adversary: &mut self.adversary,
+                    let op_oid = control.oid;
+                    let exec_result = if let Some(busy) = self.catchup_gate(opcode, op_oid) {
+                        Ok(busy)
+                    } else {
+                        let mut ctx = ExecCtx {
+                            enclave: &mut self.enclave,
+                            config: &self.config,
+                            cost: &self.cost,
+                            adversary: &mut self.adversary,
+                        };
+                        self.store.execute_plan(
+                            &mut ctx,
+                            ExecRequest {
+                                idx,
+                                opcode,
+                                control,
+                                frame: &frame,
+                                session_key: &session_key,
+                            },
+                            &mut meter,
+                        )
                     };
-                    match self.store.execute_plan(
-                        &mut ctx,
-                        ExecRequest {
-                            idx,
-                            opcode,
-                            control,
-                            frame: &frame,
-                            session_key: &session_key,
-                        },
-                        &mut meter,
-                    ) {
+                    match exec_result {
                         Ok((status, value_len, plan)) => {
                             self.trace("exec", super::op_metric(opcode), idx as u64, status as u64);
                             if let Some((key, oid)) = &journal_tap {
-                                self.journal_mutation(idx, opcode, status, key, *oid);
+                                self.journal_mutation(idx, opcode, status, key, *oid, &mut meter);
                             }
                             self.sessions.list[idx].last_status = status;
                             let reply = self.seal_for(idx, opcode, plan, &mut meter);

@@ -105,6 +105,11 @@ pub(crate) struct SnapshotBody {
     /// this snapshot already covers. Recovery replays only records past it
     /// (and only when the journal's epoch matches `journal_epoch`).
     pub journal_seq: u64,
+    /// MAC-chain value at the journal head when the snapshot was sealed
+    /// (genesis chain when no journal is attached). After compaction this
+    /// is the trusted anchor for authenticating the shipped journal tail:
+    /// a `(snapshot, tail)` pair carries its own recovery root.
+    pub journal_chain: [u8; 16],
 }
 
 impl SnapshotBody {
@@ -130,6 +135,7 @@ impl SnapshotBody {
         }
         out.extend_from_slice(&self.journal_epoch.to_le_bytes());
         out.extend_from_slice(&self.journal_seq.to_le_bytes());
+        out.extend_from_slice(&self.journal_chain);
         out
     }
 
@@ -162,6 +168,7 @@ impl SnapshotBody {
         }
         let journal_epoch = u64::from_le_bytes(take(buf, &mut pos, 8)?.try_into().expect("8"));
         let journal_seq = u64::from_le_bytes(take(buf, &mut pos, 8)?.try_into().expect("8"));
+        let journal_chain: [u8; 16] = take(buf, &mut pos, 16)?.try_into().expect("16");
         if pos != buf.len() {
             return Err(StoreError::MalformedFrame);
         }
@@ -175,6 +182,7 @@ impl SnapshotBody {
             sessions,
             journal_epoch,
             journal_seq,
+            journal_chain,
         })
     }
 }
@@ -191,6 +199,15 @@ impl PrecursorServer {
     /// fail, so recovery falls back to an older snapshot plus the journal.
     pub fn snapshot(&mut self, counter: &mut MonotonicCounter) -> Vec<u8> {
         let version = counter.increment();
+        self.snapshot_at(version)
+    }
+
+    // Seals at an explicit `version` without touching any counter — the
+    // tentative first phase of journal compaction, which advances the
+    // trusted counter only after the sealed blob validates (so a
+    // host-damaged seal aborts with the previous snapshot still
+    // authoritative).
+    pub(crate) fn snapshot_at(&mut self, version: u64) -> Vec<u8> {
         let body = self.snapshot_body();
         let key = self.sealing_key();
         let mut blob = self.seal_with_rng(&key, version, &body.encode());

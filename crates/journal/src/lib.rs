@@ -81,6 +81,10 @@ pub struct JournalStats {
     pub bytes_sealed: u64,
     /// Records appended (pending + durable).
     pub records: u64,
+    /// Prefix truncations performed ([`Journal::truncate_prefix`]).
+    pub compactions: u64,
+    /// Records removed by prefix truncation across all compactions.
+    pub truncated_records: u64,
 }
 
 /// Damage applied to a flush by the fault-injection layer — models the
@@ -137,11 +141,23 @@ pub struct Journal {
     policy: GroupCommitPolicy,
     stats: JournalStats,
     wedged: bool,
+    // Compaction cut: `durable[0]` is the first byte of record
+    // `base_seq + 1`; everything at or before `base_seq` was truncated
+    // behind a sealed snapshot. `base_chain` is the MAC-chain state at the
+    // cut (the trailing chain tag of record `base_seq`), the anchor
+    // [`recover_from`] resumes the walk at. `trimmed_bytes` keeps byte
+    // offsets logical: replication acknowledgements and flush marks refer
+    // to the epoch's whole stream, not the surviving suffix.
+    base_seq: u64,
+    base_chain: [u8; 16],
+    trimmed_bytes: u64,
 }
 
-// Chain seed for an epoch: journals from different epochs can never be
-// spliced into each other even under the same key-derivation root.
-fn genesis_chain(epoch: u64) -> [u8; 16] {
+/// Chain seed for an epoch: journals from different epochs can never be
+/// spliced into each other even under the same key-derivation root.
+/// Public so snapshot anchors for journal-less servers can use the same
+/// well-known value instead of an ad-hoc zero sentinel.
+pub fn genesis_chain(epoch: u64) -> [u8; 16] {
     let mut msg = Vec::with_capacity(32);
     msg.extend_from_slice(b"precursor-journal-genesis");
     msg.extend_from_slice(&epoch.to_le_bytes());
@@ -190,6 +206,9 @@ impl Journal {
             policy,
             stats: JournalStats::default(),
             wedged: false,
+            base_seq: 0,
+            base_chain: genesis_chain(epoch),
+            trimmed_bytes: 0,
         }
     }
 
@@ -241,7 +260,10 @@ impl Journal {
         if self.pending.is_empty() {
             return None;
         }
-        let offset = self.durable.len() as u64;
+        // Logical stream offset: physical suffix position plus whatever a
+        // compaction trimmed, so replication acks stay stable across cuts.
+        let phys = self.durable.len();
+        let offset = self.trimmed_bytes + phys as u64;
         let group = std::mem::take(&mut self.pending);
         self.pending_records = 0;
         let written = match damage {
@@ -258,7 +280,7 @@ impl Journal {
             FlushDamage::CorruptBit(i) => {
                 self.durable.extend_from_slice(&group);
                 let bit = i % (group.len() * 8);
-                let at = offset as usize + bit / 8;
+                let at = phys + bit / 8;
                 self.durable[at] ^= 1 << (bit % 8);
                 self.wedged = true;
                 group.len()
@@ -269,14 +291,92 @@ impl Journal {
         Some((offset, written))
     }
 
-    /// The durable byte stream (what survives a crash).
+    /// The durable byte stream that survives a crash: the records after the
+    /// compaction cut (`base_seq`), or the whole epoch stream if no
+    /// [`truncate_prefix`](Self::truncate_prefix) ever ran.
     pub fn durable(&self) -> &[u8] {
         &self.durable
     }
 
-    /// Length of the durable byte stream.
+    /// Length of the surviving durable byte suffix (physical bytes of
+    /// [`durable`](Self::durable)).
     pub fn durable_len(&self) -> u64 {
         self.durable.len() as u64
+    }
+
+    /// Logical end offset of the durable stream: trimmed prefix plus the
+    /// surviving suffix. Replication acknowledgements compare against this.
+    pub fn durable_end(&self) -> u64 {
+        self.trimmed_bytes + self.durable.len() as u64
+    }
+
+    /// Logical byte offset at which [`durable`](Self::durable) starts —
+    /// the bytes a compaction truncated behind the snapshot cut.
+    pub fn trimmed_bytes(&self) -> u64 {
+        self.trimmed_bytes
+    }
+
+    /// Sequence number of the compaction cut: the last record truncated
+    /// behind a snapshot (0 if the stream is whole from genesis).
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// MAC-chain state at the compaction cut — what [`recover_from`] needs
+    /// to authenticate the surviving suffix. Equals the epoch genesis chain
+    /// while `base_seq` is 0.
+    pub fn base_chain(&self) -> [u8; 16] {
+        self.base_chain
+    }
+
+    /// Current head of the MAC chain (state after the last appended
+    /// record). Sealed into snapshots so a compacted `(snapshot, tail)`
+    /// pair carries its own trusted recovery anchor.
+    pub fn chain(&self) -> [u8; 16] {
+        self.chain
+    }
+
+    /// Truncates every durable record with sequence number ≤ `upto_seq`
+    /// behind a compaction cut. Only whole, flushed records are removed;
+    /// the MAC chain, sequence counter and logical byte offsets are
+    /// preserved across the cut, so later appends and replication
+    /// acknowledgements continue unchanged. Returns the number of records
+    /// removed (0 when `upto_seq` is at or before the current cut, or the
+    /// journal is wedged).
+    ///
+    /// The caller must hold a sealed snapshot covering at least `upto_seq`
+    /// before truncating — afterwards the prefix is unrecoverable from the
+    /// journal alone.
+    pub fn truncate_prefix(&mut self, upto_seq: u64) -> u64 {
+        if self.wedged || upto_seq <= self.base_seq {
+            return 0;
+        }
+        let mut pos = 0usize;
+        let mut seq = self.base_seq;
+        let mut chain = self.base_chain;
+        while pos + HEADER_LEN <= self.durable.len() {
+            let rest = &self.durable[pos..];
+            let rec_seq = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+            let ct_len = u32::from_le_bytes(rest[9..13].try_into().expect("4 bytes")) as usize;
+            let end = pos + HEADER_LEN + ct_len + CHAIN_TAG_LEN;
+            if rec_seq > upto_seq || end > self.durable.len() {
+                break;
+            }
+            seq = rec_seq;
+            chain.copy_from_slice(&self.durable[end - CHAIN_TAG_LEN..end]);
+            pos = end;
+        }
+        if pos == 0 {
+            return 0;
+        }
+        let removed = seq - self.base_seq;
+        self.durable.drain(..pos);
+        self.trimmed_bytes += pos as u64;
+        self.base_seq = seq;
+        self.base_chain = chain;
+        self.stats.compactions += 1;
+        self.stats.truncated_records += removed;
+        removed
     }
 
     /// Sequence number of the most recently appended record (0 if none).
@@ -320,9 +420,20 @@ impl Journal {
 /// sequence gap or cross-epoch splice terminates the walk, and everything
 /// from that offset on is reported truncated — never replayed.
 pub fn recover(key: &Key128, epoch: u64, bytes: &[u8]) -> Recovered {
+    recover_from(key, 0, genesis_chain(epoch), bytes)
+}
+
+/// Recovers the longest authentic record suffix of a *compacted* journal:
+/// `bytes` starts at the record after `base_seq`, and `base_chain` is the
+/// MAC-chain state at the cut. The anchor must come from a trusted source
+/// — a sealed snapshot's `(journal_seq, journal_chain)` watermark or the
+/// live [`Journal::base_seq`]/[`Journal::base_chain`] — because the chain
+/// walk can only authenticate bytes *relative to* it. `base_seq == 0` with
+/// the epoch genesis chain is exactly [`recover`].
+pub fn recover_from(key: &Key128, base_seq: u64, base_chain: [u8; 16], bytes: &[u8]) -> Recovered {
     let mut records = Vec::new();
-    let mut chain = genesis_chain(epoch);
-    let mut expected_seq = 1u64;
+    let mut chain = base_chain;
+    let mut expected_seq = base_seq + 1;
     let mut pos = 0usize;
     loop {
         let rest = &bytes[pos..];
@@ -467,6 +578,62 @@ mod tests {
                 assert_eq!(rec.body, format!("body-{i}").as_bytes(), "prefix intact");
             }
         }
+    }
+
+    #[test]
+    fn truncate_prefix_preserves_chain_and_offsets() {
+        let mut j = filled(GroupCommitPolicy::batched(4, 10), 12);
+        let full = j.durable().to_vec();
+        let removed = j.truncate_prefix(7);
+        assert_eq!(removed, 7);
+        assert_eq!(j.base_seq(), 7);
+        assert_eq!(j.stats().compactions, 1);
+        assert_eq!(j.stats().truncated_records, 7);
+        assert_eq!(j.durable_end(), full.len() as u64, "logical end unchanged");
+        assert_eq!(
+            j.trimmed_bytes() + j.durable().len() as u64,
+            full.len() as u64
+        );
+        // The surviving suffix is bit-identical to the uncompacted stream's.
+        assert_eq!(j.durable(), &full[j.trimmed_bytes() as usize..]);
+        // The anchored walk authenticates exactly records 8..=12.
+        let r = recover_from(&key(), j.base_seq(), j.base_chain(), j.durable());
+        assert!(!r.truncated);
+        assert_eq!(r.records.len(), 5);
+        for (i, rec) in r.records.iter().enumerate() {
+            assert_eq!(rec.seq, 8 + i as u64);
+            assert_eq!(rec.body, format!("body-{}", 7 + i).as_bytes());
+        }
+        // Appends after the cut keep chaining: flush offsets stay logical.
+        let mut j2 = j.clone();
+        j2.append(1, b"after-cut", 99);
+        let (off, _) = j2.flush().expect("flushes");
+        assert_eq!(off, full.len() as u64, "flush offset is logical");
+        let r = recover_from(&key(), j2.base_seq(), j2.base_chain(), j2.durable());
+        assert_eq!(r.records.last().expect("records").body, b"after-cut");
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn truncate_prefix_cuts_only_at_record_boundaries() {
+        let mut j = filled(GroupCommitPolicy::batched(3, 10), 9);
+        // Watermark 0 / at the cut: nothing removed.
+        assert_eq!(j.truncate_prefix(0), 0);
+        assert_eq!(j.truncate_prefix(4), 4);
+        assert_eq!(j.truncate_prefix(4), 0, "cut is idempotent");
+        // Truncation past the durable end stops at the last whole record.
+        assert_eq!(j.truncate_prefix(u64::MAX), 5);
+        assert_eq!(j.base_seq(), 9);
+        assert!(j.durable().is_empty());
+        let r = recover_from(&key(), j.base_seq(), j.base_chain(), j.durable());
+        assert!(r.records.is_empty() && !r.truncated);
+        // A tampered anchor refuses to authenticate the suffix.
+        let mut k = filled(GroupCommitPolicy::immediate(), 6);
+        k.truncate_prefix(3);
+        let mut bad = k.base_chain();
+        bad[0] ^= 1;
+        let r = recover_from(&key(), k.base_seq(), bad, k.durable());
+        assert!(r.records.is_empty() && r.truncated);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub enum FaultSite {
     /// A journal group-commit flush to untrusted durable storage — same
     /// mid-write kill surface as [`FaultSite::SnapshotSeal`].
     JournalFlush,
+    /// The prefix-truncation step of a journal compaction: the host kills
+    /// the process *after* the snapshot sealed but *before* (or while) the
+    /// journal prefix is cut. Any damage verdict at this site models that
+    /// death — the snapshot and the whole journal both survive, so
+    /// recovery must reach the same state digest either way.
+    CompactTruncate,
 }
 
 /// Which direction of a pair a fault applies to. Endpoint *A* is the first
@@ -369,7 +375,7 @@ impl FaultInjector {
     pub fn on_durable_write(&mut self, site: FaultSite, len: usize) -> DurableVerdict {
         debug_assert!(matches!(
             site,
-            FaultSite::SnapshotSeal | FaultSite::JournalFlush
+            FaultSite::SnapshotSeal | FaultSite::JournalFlush | FaultSite::CompactTruncate
         ));
         match self.pick(site, true) {
             None | Some(FaultAction::Duplicate) | Some(FaultAction::Delay) => {

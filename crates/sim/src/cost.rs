@@ -155,6 +155,23 @@ pub struct CostModel {
     /// working set exceeds the EPC (SGX paging keeps some residency locality;
     /// fitted so Fig. 7's paging CDF diverges from ≈p95).
     pub epc_fault_locality: f64,
+
+    // ---- durability (journal + replication; only charged when a journal
+    // is attached, so unjournaled trajectories are untouched) ----
+    /// Fixed enclave cycles to seal one journal record beyond the AES-GCM
+    /// and chain-hash work (header framing, chain bookkeeping) \[arch\].
+    pub journal_seal_fixed: u64,
+    /// Fixed host cycles per durable journal write (syscall + pwrite
+    /// dispatch, amortised over the group by the group-commit policy)
+    /// \[arch\].
+    pub durable_write_fixed: u64,
+    /// Host cycles per byte moved to durable storage \[arch: NVMe-class
+    /// append bandwidth\].
+    pub durable_write_per_byte: f64,
+    /// Network-side cycles per journal byte shipped to one replica
+    /// (segment framing + NIC doorbell amortised) \[arch\]. Charged
+    /// `fanout ×` per sealed byte.
+    pub segment_ship_per_byte: f64,
 }
 
 impl Default for CostModel {
@@ -210,6 +227,10 @@ impl Default for CostModel {
             poll_scan_baseline: 50,
             shard_handoff_cycles: 600,
             epc_fault_locality: 0.12,
+            journal_seal_fixed: 350,
+            durable_write_fixed: 4_200,
+            durable_write_per_byte: 0.35,
+            segment_ship_per_byte: 0.25,
         }
     }
 }

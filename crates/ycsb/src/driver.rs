@@ -219,6 +219,7 @@ pub struct SessionParams {
     seed: u64,
     shards: Option<usize>,
     journaled: bool,
+    compacted: bool,
 }
 
 impl SessionParams {
@@ -234,6 +235,7 @@ impl SessionParams {
             seed: 0,
             shards: None,
             journaled: false,
+            compacted: false,
         }
     }
 
@@ -279,6 +281,16 @@ impl SessionParams {
         self
     }
 
+    /// Compacts the journal behind the committed watermark every 64 poll
+    /// sweeps during the run, so the measured cost includes periodic
+    /// snapshot-seal + prefix-truncate cycles and journal growth stays
+    /// bounded by the tail since the last cut. Requires
+    /// [`journaled`](Self::journaled). Precursor family only.
+    pub fn compacted(mut self, compacted: bool) -> SessionParams {
+        self.compacted = compacted;
+        self
+    }
+
     /// Builds the system, connects `max_clients` clients, and loads the
     /// warmup records.
     ///
@@ -317,6 +329,10 @@ impl SessionParams {
                 let mut backend = PrecursorBackend::new(config, cost);
                 if self.journaled {
                     backend.enable_durability(precursor::GroupCommitPolicy::batched(32, 0));
+                }
+                if self.compacted {
+                    assert!(self.journaled, "compaction requires the journal");
+                    backend.enable_compaction(64);
                 }
                 Box::new(backend)
             }

@@ -604,6 +604,150 @@ fn chaos_acceptance_10k_mixed_workload() {
     );
 }
 
+// --- crash-during-compaction sweep --------------------------------------
+
+// One seeded journaled run whose compaction is hit by a rotating crash
+// scenario: clean cut (control), a torn snapshot seal (abort before the
+// commit point), or a death between seal-commit and truncate (wedge).
+// Every scenario must leave a recovery root whose digest matches the
+// pre-compaction state exactly; the fold of all observables is returned
+// for run-twice determinism checks.
+fn compaction_crash_run(seed: u64) -> u64 {
+    use precursor::{CompactOutcome, GroupCommitPolicy};
+    use std::fmt::Write as _;
+
+    let cost = CostModel::default();
+    let config = Config::default();
+    let mut epoch_counter = MonotonicCounter::new();
+    let mut snap_counter = MonotonicCounter::new();
+    let mut server = PrecursorServer::new(config.clone(), &cost);
+    server.attach_journal(GroupCommitPolicy::immediate(), &mut epoch_counter);
+    let mut client = PrecursorClient::connect(&mut server, seed ^ 0xfade).expect("connect");
+
+    let mut rng = SimRng::seed_from(seed ^ 0xbeef);
+    let mut trace = String::new();
+    for i in 0..40u32 {
+        let k = (rng.next_u32() % 16) as u8;
+        if rng.gen_range(4) == 0 {
+            let r = client.delete_sync(&mut server, &[k]);
+            let _ = write!(trace, "op{i}:del:{};", r.is_ok());
+        } else {
+            let mut v = vec![0u8; 1 + rng.gen_range(80) as usize];
+            rng.fill_bytes(&mut v);
+            client.put_sync(&mut server, &[k], &v).expect("put");
+            let _ = write!(trace, "op{i}:put;");
+        }
+    }
+    let live = server.state_digest();
+
+    let scenario = seed % 3;
+    let plan = match scenario {
+        0 => FaultPlan::none(),
+        1 => FaultPlan::none().rule(FaultSite::SnapshotSeal, FaultDir::Any, FaultAction::Drop, 1),
+        _ => FaultPlan::none().rule(
+            FaultSite::CompactTruncate,
+            FaultDir::Any,
+            FaultAction::Drop,
+            1,
+        ),
+    };
+    server.set_fault_plan(plan, seed);
+
+    // The recovery root after the (possibly crashed) compaction: the
+    // snapshot that survives, plus the journal bytes left on disk.
+    let (snapshot, counter_after) = match server.compact_journal(&mut snap_counter) {
+        CompactOutcome::Compacted {
+            snapshot,
+            truncated_records,
+            base_seq,
+        } => {
+            assert_eq!(scenario, 0, "seed {seed}: clean run only");
+            assert!(truncated_records > 0 && base_seq > 0);
+            let _ = write!(trace, "compacted:{truncated_records}:{base_seq};");
+            (Some(snapshot), 1)
+        }
+        CompactOutcome::Aborted => {
+            assert_eq!(scenario, 1, "seed {seed}: torn seal aborts");
+            assert!(!server.journal_wedged(), "abort keeps the journal live");
+            let _ = write!(trace, "aborted;");
+            (None, 0)
+        }
+        CompactOutcome::Wedged { snapshot, base_seq } => {
+            assert_eq!(scenario, 2, "seed {seed}: torn truncate wedges");
+            assert!(server.journal_wedged());
+            assert_eq!(server.journal_trimmed_bytes(), 0, "prefix never cut");
+            let _ = write!(trace, "wedged:{base_seq};");
+            (Some(snapshot), 1)
+        }
+        CompactOutcome::Skipped => panic!("seed {seed}: quiescent journal must not skip"),
+    };
+    assert_eq!(
+        snap_counter.read(),
+        counter_after,
+        "seed {seed}: counter advances exactly at the commit point"
+    );
+
+    // Restart from what survived: the digest must match the pre-crash
+    // state no matter which scenario hit.
+    let journal = server.journal_durable().expect("journal").to_vec();
+    let base_chain = server
+        .journal_base_chain()
+        .unwrap_or_else(|| precursor_journal::genesis_chain(epoch_counter.read()));
+    let (recovered, report) = PrecursorServer::recover_with_base(
+        config,
+        &cost,
+        snapshot.as_deref(),
+        &snap_counter,
+        &journal,
+        server.journal_base_seq(),
+        base_chain,
+        &epoch_counter,
+    )
+    .expect("surviving root recovers");
+    assert_eq!(
+        recovered.state_digest(),
+        live,
+        "seed {seed}: crash point changed what recovery reconstructs"
+    );
+    let _ = write!(
+        trace,
+        "recover:{}:{}:{};digest:{:?}",
+        report.replayed,
+        report.skipped,
+        report.snapshot_restored,
+        recovered.state_digest()
+    );
+    precursor_storage::stable_key_hash(&trace)
+}
+
+#[test]
+fn compaction_crash_sweep_20_seeds() {
+    // ≥20 seeds rotating the three compaction crash scenarios; the
+    // nightly widens through PRECURSOR_SWEEP_SEEDS like the chaos sweep.
+    let seeds = std::env::var("PRECURSOR_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    for seed in 0..seeds {
+        let digest = compaction_crash_run(seed);
+        println!(
+            "compaction-crash seed={seed} scenario={} digest={digest:#018x}",
+            seed % 3
+        );
+    }
+}
+
+#[test]
+fn compaction_crash_runs_are_deterministic() {
+    for seed in [0u64, 1, 2, 5] {
+        assert_eq!(
+            compaction_crash_run(seed),
+            compaction_crash_run(seed),
+            "seed {seed} must replay bit-identically"
+        );
+    }
+}
+
 // --- durable-write crash points (journal flush, snapshot seal) ----------
 
 #[test]

@@ -1,0 +1,443 @@
+//! Log-compaction suite: the journal prefix behind the committed
+//! watermark is replaced by a sealed snapshot without ever changing what
+//! recovery reconstructs.
+//!
+//! The oracles, checked across seeds and crash points:
+//!
+//! * **Cut-invariance** — recovery from the compacted `(snapshot, tail)`
+//!   pair reproduces, bit for bit, the digest that recovery from the
+//!   uncompacted journal produces, no matter where the watermark fell.
+//! * **Crash-safety** — a host crash at either durable-write point inside
+//!   compaction (snapshot seal, prefix truncate) leaves a state whose
+//!   recovery digest is unchanged: an unreadable seal aborts the cut with
+//!   the counter untouched; a death between seal-commit and truncate
+//!   leaves the committed snapshot plus the whole journal.
+//! * **No stale pairs** — a replica offered a bit-flipped compacted
+//!   snapshot rejects it (seal + embedded watermark check) and falls back
+//!   to copying the full journal from a peer; it never serves from an
+//!   unverifiable base.
+//! * **Bounded growth** — after a 10k-op compacting run the journal holds
+//!   exactly the tail appended since the last cut.
+
+use std::collections::HashMap;
+
+use precursor::{
+    Cluster, CompactOutcome, Config, FaultAction, FaultDir, FaultPlan, FaultSite,
+    GroupCommitPolicy, PrecursorClient, PrecursorServer, StoreError,
+};
+use precursor_sgx::counters::MonotonicCounter;
+use precursor_sim::rng::SimRng;
+use precursor_sim::CostModel;
+
+const PUMP_BOUND: usize = 400;
+
+fn complete(
+    cluster: &mut Cluster,
+    client: &mut PrecursorClient,
+    oid: u64,
+) -> Result<precursor::CompletedOp, StoreError> {
+    for _ in 0..PUMP_BOUND {
+        cluster.pump();
+        client.poll_replies();
+        if let Some(e) = client.poisoned() {
+            return Err(e);
+        }
+        if let Some(c) = client.take_completed(oid) {
+            return Ok(c);
+        }
+    }
+    Err(StoreError::Timeout)
+}
+
+fn put(
+    cluster: &mut Cluster,
+    client: &mut PrecursorClient,
+    key: &[u8],
+    value: &[u8],
+) -> Result<precursor::CompletedOp, StoreError> {
+    let oid = client.put(key, value)?;
+    complete(cluster, client, oid)
+}
+
+// Digest of a throwaway recovery from a server's current recovery root
+// (snapshot + durable journal suffix + compaction base).
+fn recovered_digest(
+    server: &PrecursorServer,
+    snapshot: Option<&[u8]>,
+    snap_counter: &MonotonicCounter,
+    epoch_counter: &MonotonicCounter,
+    cost: &CostModel,
+) -> [u8; 16] {
+    let journal = server.journal_durable().expect("journal attached");
+    let base_chain = server
+        .journal_base_chain()
+        .unwrap_or_else(|| precursor_journal::genesis_chain(epoch_counter.read()));
+    let (recovered, _report) = PrecursorServer::recover_with_base(
+        server.config().clone(),
+        cost,
+        snapshot,
+        snap_counter,
+        journal,
+        server.journal_base_seq(),
+        base_chain,
+        epoch_counter,
+    )
+    .expect("recovery from current root");
+    recovered.state_digest()
+}
+
+// --- cut-invariance: random watermarks -----------------------------------
+
+// Two servers absorb the same seeded op stream; one compacts at random
+// points, the other never does. Recovery from the compacted pair must
+// always reproduce the uncompacted reference digest (and the live state).
+#[test]
+fn compaction_at_random_watermarks_reproduces_uncompacted_recovery_digest() {
+    let cost = CostModel::default();
+    for seed in 0..10u64 {
+        let config = Config::default();
+        let mut epoch_a = MonotonicCounter::new();
+        let mut snap_a = MonotonicCounter::new();
+        let mut a = PrecursorServer::new(config.clone(), &cost);
+        a.attach_journal(GroupCommitPolicy::immediate(), &mut epoch_a);
+        let mut ca = PrecursorClient::connect(&mut a, seed ^ 0xaaaa).expect("connect a");
+
+        let mut epoch_b = MonotonicCounter::new();
+        let snap_b = MonotonicCounter::new();
+        let mut b = PrecursorServer::new(config.clone(), &cost);
+        b.attach_journal(GroupCommitPolicy::immediate(), &mut epoch_b);
+        let mut cb = PrecursorClient::connect(&mut b, seed ^ 0xaaaa).expect("connect b");
+
+        let mut rng = SimRng::seed_from(seed ^ 0xc0ffee);
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        let mut snapshot: Option<Vec<u8>> = None;
+        let mut compactions = 0u64;
+        for _ in 0..120 {
+            let k = (rng.next_u32() % 16) as u8;
+            match rng.gen_range(4) {
+                0 | 1 => {
+                    let mut v = vec![0u8; 1 + rng.gen_range(96) as usize];
+                    rng.fill_bytes(&mut v);
+                    ca.put_sync(&mut a, &[k], &v).expect("put a");
+                    cb.put_sync(&mut b, &[k], &v).expect("put b");
+                    model.insert(k, v);
+                }
+                2 => {
+                    let _ = ca.get_sync(&mut a, &[k]);
+                    let _ = cb.get_sync(&mut b, &[k]);
+                }
+                _ => {
+                    let _ = ca.delete_sync(&mut a, &[k]);
+                    let _ = cb.delete_sync(&mut b, &[k]);
+                    model.remove(&k);
+                }
+            }
+            // Random watermark: with the immediate policy every applied op
+            // is committed, so compaction cuts wherever this lands.
+            if rng.gen_range(8) == 0 {
+                match a.compact_journal(&mut snap_a) {
+                    CompactOutcome::Compacted {
+                        snapshot: blob,
+                        truncated_records,
+                        ..
+                    } => {
+                        assert!(truncated_records > 0, "seed {seed}");
+                        snapshot = Some(blob);
+                        compactions += 1;
+                    }
+                    CompactOutcome::Skipped => {}
+                    other => panic!("seed {seed}: unexpected {other:?}"),
+                }
+            }
+        }
+
+        let digest_a = recovered_digest(&a, snapshot.as_deref(), &snap_a, &epoch_a, &cost);
+        let journal_b = b.journal_durable().expect("journal b");
+        let (reference, _) =
+            PrecursorServer::recover(config, &cost, None, &snap_b, journal_b, &epoch_b)
+                .expect("uncompacted reference recovery");
+        assert_eq!(
+            digest_a,
+            reference.state_digest(),
+            "seed {seed}: compacted pair diverged from uncompacted replay"
+        );
+        assert_eq!(digest_a, a.state_digest(), "seed {seed}: live state");
+        assert_eq!(a.len(), model.len(), "seed {seed}");
+        assert_eq!(a.metrics().counter("journal.compactions"), compactions);
+        if compactions > 0 {
+            assert!(a.metrics().counter("journal.truncated_records") > 0);
+            assert!(a.journal_trimmed_bytes() > 0);
+        }
+    }
+}
+
+// --- crash points inside compaction --------------------------------------
+
+#[test]
+fn torn_seal_aborts_compaction_with_counter_and_recovery_unchanged() {
+    let cost = CostModel::default();
+    let mut epoch_counter = MonotonicCounter::new();
+    let mut snap_counter = MonotonicCounter::new();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    server.attach_journal(GroupCommitPolicy::immediate(), &mut epoch_counter);
+    let mut client = PrecursorClient::connect(&mut server, 47).expect("connect");
+    for i in 0u8..8 {
+        client.put_sync(&mut server, &[i], &[i; 32]).expect("put");
+    }
+    let before = recovered_digest(&server, None, &snap_counter, &epoch_counter, &cost);
+
+    // The compaction's snapshot seal is torn mid-write: the enclave
+    // cannot read back what it wrote and aborts before the commit point.
+    server.set_fault_plan(
+        FaultPlan::none().rule(FaultSite::SnapshotSeal, FaultDir::Any, FaultAction::Drop, 1),
+        47,
+    );
+    assert!(matches!(
+        server.compact_journal(&mut snap_counter),
+        CompactOutcome::Aborted
+    ));
+    assert_eq!(snap_counter.read(), 0, "abort never advances the counter");
+    assert_eq!(server.journal_trimmed_bytes(), 0, "journal untouched");
+    assert!(!server.journal_wedged(), "abort is recoverable in place");
+    assert_eq!(server.metrics().counter("journal.compaction_aborts"), 1);
+    let after = recovered_digest(&server, None, &snap_counter, &epoch_counter, &cost);
+    assert_eq!(before, after, "aborted compaction changed recovery");
+
+    // With the fault gone the same cut commits cleanly.
+    server.set_fault_plan(FaultPlan::none(), 47);
+    let CompactOutcome::Compacted { snapshot, .. } = server.compact_journal(&mut snap_counter)
+    else {
+        panic!("clean retry must compact");
+    };
+    let compacted = recovered_digest(
+        &server,
+        Some(&snapshot),
+        &snap_counter,
+        &epoch_counter,
+        &cost,
+    );
+    assert_eq!(before, compacted);
+}
+
+#[test]
+fn crash_between_seal_commit_and_truncate_recovers_to_same_digest() {
+    let cost = CostModel::default();
+    let mut epoch_counter = MonotonicCounter::new();
+    let mut snap_counter = MonotonicCounter::new();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    server.attach_journal(GroupCommitPolicy::immediate(), &mut epoch_counter);
+    let mut client = PrecursorClient::connect(&mut server, 53).expect("connect");
+    for i in 0u8..8 {
+        client
+            .put_sync(&mut server, &[i], &[i ^ 0x11; 32])
+            .expect("put");
+    }
+    let before = recovered_digest(&server, None, &snap_counter, &epoch_counter, &cost);
+
+    // The process dies after the counter advanced but before (or while)
+    // the prefix cut hit disk: the journal wedges untruncated and the
+    // committed snapshot is now the only unsealable one.
+    server.set_fault_plan(
+        FaultPlan::none().rule(
+            FaultSite::CompactTruncate,
+            FaultDir::Any,
+            FaultAction::Drop,
+            1,
+        ),
+        53,
+    );
+    let CompactOutcome::Wedged { snapshot, base_seq } = server.compact_journal(&mut snap_counter)
+    else {
+        panic!("truncate crash must wedge");
+    };
+    assert_eq!(snap_counter.read(), 1, "seal committed before the crash");
+    assert!(server.journal_wedged(), "no appends after a torn truncate");
+    assert_eq!(server.journal_trimmed_bytes(), 0, "prefix never cut");
+    assert!(base_seq > 0);
+    assert_eq!(server.metrics().counter("journal.compaction_wedges"), 1);
+
+    // Recovery from the committed snapshot plus the *whole* journal —
+    // exactly what the restarting host finds — reaches the pre-crash
+    // digest: records at or below the snapshot watermark are skipped.
+    let journal = server.journal_durable().expect("journal").to_vec();
+    let (recovered, report) = PrecursorServer::recover(
+        server.config().clone(),
+        &cost,
+        Some(&snapshot),
+        &snap_counter,
+        &journal,
+        &epoch_counter,
+    )
+    .expect("snapshot + whole journal recovers");
+    assert!(report.snapshot_restored);
+    assert!(report.skipped > 0, "pre-watermark records skipped");
+    assert_eq!(recovered.state_digest(), before);
+    assert_eq!(recovered.state_digest(), server.state_digest());
+}
+
+// --- shipped compacted pairs ---------------------------------------------
+
+// A replica that lagged behind the cut receives the (snapshot, tail) pair
+// and adopts it after validating seal, version, epoch and watermark; a
+// later failover promotes it and recovers from its own validated base.
+#[test]
+fn lagging_replica_adopts_compacted_pair_and_failover_recovers_from_it() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(Config::default(), &cost, 3, GroupCommitPolicy::immediate());
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 59).expect("connect");
+    for i in 0u8..8 {
+        put(&mut cluster, &mut client, &[i], &[i; 24]).expect("put");
+    }
+    // Replica 0 partitions; the remaining quorum keeps committing.
+    cluster.partition_replica(0);
+    for i in 8u8..24 {
+        put(&mut cluster, &mut client, &[i], &[i; 24]).expect("put past partition");
+    }
+    for _ in 0..8 {
+        cluster.pump();
+    }
+    let CompactOutcome::Compacted { .. } = cluster.compact() else {
+        panic!("drained journal must compact");
+    };
+
+    cluster.heal_replica(0);
+    for _ in 0..PUMP_BOUND {
+        cluster.pump();
+    }
+    assert!(
+        cluster.replica_compacted(0),
+        "healed replica adopted the shipped pair"
+    );
+    assert!(cluster.metrics().counter("replica.compact_ships") >= 1);
+    assert_eq!(cluster.metrics().gauge("replica.lag_records"), 0);
+    assert_eq!(
+        cluster.replica_coverage(0),
+        cluster.primary().journal_durable_end(),
+        "pair + tail covers the full logical stream"
+    );
+
+    let pre_digest = cluster.primary().state_digest();
+    let report = cluster.fail_primary().expect("failover succeeds");
+    assert_eq!(report.promoted, 0, "equal coverage, first candidate wins");
+    assert!(report.recovery.snapshot_restored, "recovered from own base");
+    assert!(!report.stale);
+    assert_eq!(cluster.primary().state_digest(), pre_digest);
+
+    client.reconnect(cluster.primary_mut()).expect("reconnect");
+    let oid = client.get(&[20]).expect("submit");
+    let c = complete(&mut cluster, &mut client, oid).expect("read after failover");
+    assert_eq!(c.value.as_deref(), Some(&[20u8; 24][..]));
+}
+
+#[test]
+fn bit_flipped_compacted_snapshot_is_rejected_and_replica_falls_back_to_full_journal() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(Config::default(), &cost, 3, GroupCommitPolicy::immediate());
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 61).expect("connect");
+    for i in 0u8..8 {
+        put(&mut cluster, &mut client, &[i], &[i; 24]).expect("put");
+    }
+    cluster.partition_replica(0);
+    for i in 8u8..24 {
+        put(&mut cluster, &mut client, &[i], &[i; 24]).expect("put past partition");
+    }
+    for _ in 0..8 {
+        cluster.pump();
+    }
+    let CompactOutcome::Compacted { .. } = cluster.compact() else {
+        panic!("drained journal must compact");
+    };
+    // The untrusted host flips one bit in the copy it ships — the sealed
+    // blob held by the enclave is untouched.
+    cluster.tamper_compacted_snapshot(9);
+
+    cluster.heal_replica(0);
+    for _ in 0..PUMP_BOUND {
+        cluster.pump();
+    }
+    assert!(
+        cluster.metrics().counter("replica.snapshot_rejected") >= 1,
+        "tampered pair rejected at the seal"
+    );
+    assert!(
+        cluster.metrics().counter("replica.full_catchup_fallbacks") >= 1,
+        "peer repair copied the uncompacted stream"
+    );
+    assert!(
+        !cluster.replica_compacted(0),
+        "replica never adopted the tampered pair"
+    );
+    assert!(!cluster.replica_needs_full(0), "fallback completed");
+    assert_eq!(cluster.metrics().gauge("replica.lag_records"), 0);
+    assert_eq!(
+        cluster.replica_coverage(0),
+        cluster.primary().journal_durable_end()
+    );
+
+    // The fallen-back replica is a fully valid promotion target.
+    let pre_digest = cluster.primary().state_digest();
+    let report = cluster.fail_primary().expect("failover succeeds");
+    assert!(!report.stale);
+    assert_eq!(cluster.primary().state_digest(), pre_digest);
+}
+
+// --- bounded growth ------------------------------------------------------
+
+#[test]
+fn ten_thousand_op_compacting_run_bounds_journal_to_tail_since_last_cut() {
+    let cost = CostModel::default();
+    let mut epoch_counter = MonotonicCounter::new();
+    let mut snap_counter = MonotonicCounter::new();
+    let mut server = PrecursorServer::new(Config::default(), &cost);
+    server.attach_journal(GroupCommitPolicy::immediate(), &mut epoch_counter);
+    let mut client = PrecursorClient::connect(&mut server, 67).expect("connect");
+
+    let mut rng = SimRng::seed_from(0x7777);
+    let mut compactions = 0u64;
+    let mut end_at_last_cut = 0u64;
+    for i in 0..10_000u64 {
+        let k = [(i % 64) as u8, (i / 64 % 64) as u8];
+        let mut v = vec![0u8; 16 + (rng.next_u32() % 48) as usize];
+        rng.fill_bytes(&mut v);
+        client.put_sync(&mut server, &k, &v).expect("put");
+        if (i + 1) % 512 == 0 {
+            match server.compact_journal(&mut snap_counter) {
+                CompactOutcome::Compacted { .. } => {
+                    compactions += 1;
+                    end_at_last_cut = server.journal_durable_end();
+                }
+                other => panic!("op {i}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    let physical = server.journal_durable().expect("journal").len() as u64;
+    let logical_end = server.journal_durable_end();
+    assert_eq!(compactions, 10_000 / 512);
+    assert_eq!(
+        physical,
+        logical_end - end_at_last_cut,
+        "journal holds exactly the tail appended since the last cut"
+    );
+    assert_eq!(server.journal_trimmed_bytes(), end_at_last_cut);
+    assert!(
+        physical < logical_end / 10,
+        "bounded: {physical} physical vs {logical_end} logical bytes"
+    );
+    assert_eq!(server.metrics().counter("journal.compactions"), compactions);
+    assert!(server.metrics().counter("journal.truncated_records") >= 9_000);
+
+    // The bounded journal still recovers the full state.
+    let snapshot = match server.compact_journal(&mut snap_counter) {
+        CompactOutcome::Compacted { snapshot, .. } => snapshot,
+        other => panic!("final cut: unexpected {other:?}"),
+    };
+    let digest = recovered_digest(
+        &server,
+        Some(&snapshot),
+        &snap_counter,
+        &epoch_counter,
+        &cost,
+    );
+    assert_eq!(digest, server.state_digest());
+}

@@ -325,6 +325,89 @@ fn stale_promotion_after_majority_loss_is_flagged_and_caught_by_client() {
 }
 
 #[test]
+fn staged_promotion_serves_reads_during_catchup_and_mutations_get_busy() {
+    let cost = CostModel::default();
+    let mut cluster = Cluster::new(Config::default(), &cost, 3, GroupCommitPolicy::immediate());
+    let mut client = PrecursorClient::connect(cluster.primary_mut(), 41).expect("connect");
+    for i in 0u8..24 {
+        put(&mut cluster, &mut client, &[i], &[i ^ 0x33; 40]).expect("put");
+    }
+    let pre_digest = cluster.primary().state_digest();
+
+    // Staged promotion: one catch-up record per pump tick, so the window
+    // where the survivor serves while still draining is wide.
+    let report = cluster.fail_primary_staged(1).expect("staged promotion");
+    assert!(
+        report.recovery.catchup_pending > 0,
+        "tail queued for background replay"
+    );
+    assert!(cluster.primary().in_catchup());
+    client.reconnect(cluster.primary_mut()).expect("reconnect");
+
+    // Let a few records apply, then read from the applied prefix while
+    // the queue is still draining.
+    for _ in 0..6 {
+        cluster.pump();
+    }
+    assert!(cluster.primary().in_catchup(), "queue still draining");
+
+    // The pre-crash client observed the full history: its own
+    // `max_store_seq` check must reject the partially-replayed prefix.
+    let stale_read = get(&mut cluster, &mut client, &[0]);
+    assert_eq!(
+        stale_read.unwrap_err(),
+        StoreError::RollbackDetected,
+        "old client sees past its watermark only after the drain"
+    );
+
+    // A fresh client has no such watermark and is served immediately
+    // from the applied prefix.
+    let mut fresh = PrecursorClient::connect(cluster.primary_mut(), 43).expect("fresh connect");
+    let c = get(&mut cluster, &mut fresh, &[0]).expect("read during catch-up");
+    assert_eq!(c.value.as_deref(), Some(&[0x33u8; 40][..]));
+    assert!(
+        cluster
+            .primary()
+            .metrics()
+            .counter("replica.catchup_reads_served")
+            >= 1,
+        "catch-up read counted"
+    );
+
+    // Mutations are refused with Busy backpressure until the drain ends:
+    // accepting one would interleave new writes with the unreplayed tail.
+    assert!(cluster.primary().in_catchup(), "still draining");
+    let oid = fresh.put(b"early", b"write").expect("submit");
+    let c = complete(&mut cluster, &mut fresh, oid).expect("busy reply released");
+    assert_eq!(c.status, precursor::wire::Status::Busy);
+    assert_eq!(c.error, Some(StoreError::Busy));
+
+    // Drain fully: lag hits zero and the replayed state matches the
+    // pre-crash digest bit-identically.
+    for _ in 0..PUMP_BOUND {
+        if !cluster.primary().in_catchup() {
+            break;
+        }
+        cluster.pump();
+    }
+    assert!(!cluster.primary().in_catchup(), "catch-up drains");
+    assert_eq!(cluster.metrics().gauge("replica.lag_records"), 0);
+    assert_eq!(cluster.primary().state_digest(), pre_digest);
+    assert!(cluster.catchup_error().is_none());
+
+    // The refused mutation now succeeds with a fresh oid, and the old
+    // client (poisoned by its staleness check) re-attests and reads the
+    // complete history.
+    let c = put(&mut cluster, &mut fresh, b"early", b"write").expect("retry after drain");
+    assert_eq!(c.status, precursor::wire::Status::Ok);
+    assert!(fresh.poisoned().is_none());
+    client.reconnect(cluster.primary_mut()).expect("re-attest");
+    let c = get(&mut cluster, &mut client, &[5]).expect("full history visible");
+    assert_eq!(c.value.as_deref(), Some(&[5u8 ^ 0x33; 40][..]));
+    assert!(client.poisoned().is_none());
+}
+
+#[test]
 fn journal_replay_recovery_reproduces_live_state_without_snapshot() {
     let cost = CostModel::default();
     let config = Config::default();
@@ -357,9 +440,10 @@ fn journal_replay_recovery_reproduces_live_state_without_snapshot() {
 // --- the ≥20-seed failover-under-load sweep -----------------------------
 
 // One seeded end-to-end run: mixed workload under a scenario chosen by the
-// seed (plain primary crash / lagging replica / staged rollback), then
-// failover, reconnect, and full model verification. Folds every observable
-// into a stable digest so runs can be compared bit-for-bit.
+// seed (plain primary crash / lagging replica / staged rollback / mid-run
+// log compaction), then failover, reconnect, and full model verification.
+// Folds every observable into a stable digest so runs can be compared
+// bit-for-bit.
 fn sweep_run(seed: u64) -> u64 {
     let cost = CostModel::default();
     let mut cluster = Cluster::new(
@@ -373,7 +457,7 @@ fn sweep_run(seed: u64) -> u64 {
     let mut rng = SimRng::seed_from(seed ^ 0x5eed);
     let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
     let mut trace = String::new();
-    let scenario = seed % 3;
+    let scenario = seed % 4;
 
     for i in 0..48u64 {
         if scenario == 1 && i == 12 {
@@ -381,6 +465,28 @@ fn sweep_run(seed: u64) -> u64 {
         }
         if scenario == 1 && i == 36 {
             cluster.heal_replica(0);
+        }
+        if scenario == 3 && i == 24 {
+            // Mid-run compaction: drain the pipeline so the tail is
+            // committed, then cut the journal behind the watermark and
+            // check the recovery digest is unchanged by the cut.
+            for _ in 0..8 {
+                cluster.pump();
+            }
+            let before = cluster.probe_recovery().expect("probe before compaction");
+            let outcome = cluster.compact();
+            let after = cluster.probe_recovery().expect("probe after compaction");
+            assert_eq!(before, after, "seed {seed}: compaction changed recovery");
+            let precursor::CompactOutcome::Compacted {
+                truncated_records,
+                base_seq,
+                ..
+            } = outcome
+            else {
+                panic!("seed {seed}: drained journal must compact, got {outcome:?}");
+            };
+            assert!(truncated_records > 0, "seed {seed}");
+            let _ = write!(trace, "compact:{truncated_records}:{base_seq};");
         }
         let k = (rng.next_u32() % 24) as u8;
         let outcome = match rng.gen_range(3) {
@@ -475,7 +581,7 @@ fn sweep_run(seed: u64) -> u64 {
 
 #[test]
 fn failover_chaos_sweep_20_seeds() {
-    // ≥20 seeds rotating the three scenarios; the CI failover-chaos job
+    // ≥20 seeds rotating the four scenarios; the CI failover-chaos job
     // captures the per-seed digest lines as its failure artifact, and the
     // nightly widens the sweep through PRECURSOR_FAILOVER_SEEDS.
     let seeds = std::env::var("PRECURSOR_FAILOVER_SEEDS")
@@ -486,7 +592,7 @@ fn failover_chaos_sweep_20_seeds() {
         let digest = sweep_run(seed);
         println!(
             "failover-sweep seed={seed} scenario={} digest={digest:#018x}",
-            seed % 3
+            seed % 4
         );
     }
 }

@@ -13,109 +13,21 @@
 //! * `PRECURSOR_SWEEP_SEEDS` — seeds per shard count (default 20).
 //! * `PRECURSOR_SHARDS` — an extra shard count to sweep beyond {1, 2, 4}.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use precursor::wire::Status;
 use precursor::{Config, PrecursorClient, PrecursorServer};
 use precursor_sim::rng::SimRng;
 use precursor_sim::CostModel;
 
+// The Wing–Gong checker, shared with the failover model checker.
+#[path = "wing_gong/mod.rs"]
+mod wing_gong;
+use wing_gong::{check_history, HistOp, Kind};
+
 const CLIENTS: usize = 4;
 const ROUNDS: usize = 10;
 const KEYS: u64 = 6;
-
-// --- history model ------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Kind {
-    /// Put of a globally unique value (so reads identify their writer).
-    Put(Vec<u8>),
-    /// Get observing `Some(value)` or `None` (NotFound).
-    Get(Option<Vec<u8>>),
-    /// Delete observing whether the key existed (Ok vs NotFound).
-    Delete(bool),
-}
-
-#[derive(Debug, Clone)]
-struct HistOp {
-    key: u8,
-    kind: Kind,
-    invoke: u64,
-    response: u64,
-}
-
-// Applies `kind` to the per-key sequential model state; `None` = the
-// observation is impossible in that state.
-#[allow(clippy::option_option)]
-fn apply(state: &Option<Vec<u8>>, kind: &Kind) -> Option<Option<Vec<u8>>> {
-    match kind {
-        Kind::Put(v) => Some(Some(v.clone())),
-        Kind::Get(obs) => (obs == state).then(|| state.clone()),
-        Kind::Delete(existed) => (*existed == state.is_some()).then_some(None),
-    }
-}
-
-// Wing–Gong search: repeatedly linearize one *minimal* operation (no other
-// pending op responded before it was invoked) that the model accepts,
-// memoizing failed (done-set, state) pairs.
-fn linearizable(ops: &[&HistOp]) -> bool {
-    assert!(ops.len() <= 128, "mask width");
-    let all: u128 = if ops.len() == 128 {
-        u128::MAX
-    } else {
-        (1u128 << ops.len()) - 1
-    };
-    let mut failed: HashSet<(u128, Option<Vec<u8>>)> = HashSet::new();
-    search(ops, 0, all, None, &mut failed)
-}
-
-fn search(
-    ops: &[&HistOp],
-    done: u128,
-    all: u128,
-    state: Option<Vec<u8>>,
-    failed: &mut HashSet<(u128, Option<Vec<u8>>)>,
-) -> bool {
-    if done == all {
-        return true;
-    }
-    if failed.contains(&(done, state.clone())) {
-        return false;
-    }
-    let min_resp = ops
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| done & (1 << i) == 0)
-        .map(|(_, o)| o.response)
-        .min()
-        .expect("undone op exists");
-    for (i, op) in ops.iter().enumerate() {
-        if done & (1 << i) != 0 || op.invoke > min_resp {
-            continue;
-        }
-        if let Some(next) = apply(&state, &op.kind) {
-            if search(ops, done | (1 << i), all, next, failed) {
-                return true;
-            }
-        }
-    }
-    failed.insert((done, state));
-    false
-}
-
-fn check_history(history: &[HistOp]) -> Result<(), String> {
-    let keys: HashSet<u8> = history.iter().map(|o| o.key).collect();
-    for key in keys {
-        let ops: Vec<&HistOp> = history.iter().filter(|o| o.key == key).collect();
-        if !linearizable(&ops) {
-            return Err(format!(
-                "key {key}: no linearization of {} ops: {ops:?}",
-                ops.len()
-            ));
-        }
-    }
-    Ok(())
-}
 
 // --- execution ----------------------------------------------------------
 
