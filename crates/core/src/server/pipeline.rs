@@ -136,7 +136,6 @@ impl PrecursorServer {
     // operation-for-operation identical so seeded runs reproduce).
     fn poll_single(&mut self) -> usize {
         let n = self.ingress.ports.len();
-        let budget = self.config.poll_budget_per_client;
         let start = self.ingress.rr_cursor % n;
         self.ingress.rr_cursor = (start + 1) % n;
         let mut processed = 0;
@@ -145,7 +144,12 @@ impl PrecursorServer {
             if self.ingress.ports[idx].is_none() || !self.sessions.list[idx].active {
                 continue;
             }
+            let budget = self.sweep_budget(idx);
             let mut taken = 0usize;
+            // Whether the current per-client run already sealed a fresh
+            // reply — later replies in the run ride the same batched
+            // crypto pass (`Config::batched_sealing`).
+            let mut run_sealed = false;
             loop {
                 if budget != 0 && taken >= budget {
                     break;
@@ -161,11 +165,12 @@ impl PrecursorServer {
                     ring.with_mut(|buf| port.request_consumer.pop(buf))
                 };
                 let Some(record) = record else { break };
-                self.process_record(idx, record);
+                run_sealed = self.process_record(idx, record, run_sealed);
                 processed += 1;
                 taken += 1;
             }
-            self.post_credit_update(idx);
+            self.adapt_budget(idx, taken, budget);
+            self.post_credit_update(idx, taken > 0);
         }
         processed
     }
@@ -188,7 +193,6 @@ impl PrecursorServer {
     fn poll_sharded(&mut self) -> usize {
         let n = self.ingress.ports.len();
         let shards = self.config.shards;
-        let budget = self.config.poll_budget_per_client;
         let cost = self.cost.clone();
         if self.ingress.rr_cursors.len() < shards {
             self.ingress.rr_cursors.resize(shards, 0);
@@ -197,7 +201,10 @@ impl PrecursorServer {
         let mut actions: Vec<Vec<Option<PendingAction>>> = (0..n).map(|_| Vec::new()).collect();
         let mut exec_queues: Vec<VecDeque<(usize, usize)>> =
             (0..shards).map(|_| VecDeque::new()).collect();
-        let mut swept: Vec<usize> = Vec::new();
+        // Swept clients with the record count each one's run popped (the
+        // count feeds the budget controller and the credit-elision flush
+        // rule in phase C).
+        let mut swept: Vec<(usize, usize)> = Vec::new();
         let mut processed = 0usize;
 
         // Phase A — worker sweeps: pop + validate, route to owning shard.
@@ -213,7 +220,7 @@ impl PrecursorServer {
             self.ingress.rr_cursors[w] = (start + 1) % owned.len();
             for step in 0..owned.len() {
                 let idx = owned[(start + step) % owned.len()];
-                swept.push(idx);
+                let budget = self.sweep_budget(idx);
                 let mut taken = 0usize;
                 loop {
                     if budget != 0 && taken >= budget {
@@ -281,6 +288,8 @@ impl PrecursorServer {
                     };
                     actions[idx].push(Some(PendingAction { meter, kind }));
                 }
+                self.adapt_budget(idx, taken, budget);
+                swept.push((idx, taken));
             }
         }
 
@@ -358,8 +367,13 @@ impl PrecursorServer {
 
         // Phase C — per-client in-order sealing + batched reply WRITEs +
         // one credit write-back per swept client.
-        for &idx in &swept {
+        for &(idx, taken) in &swept {
             let mut batch = ReplyBatch::default();
+            // The client's run so far has sealed a fresh reply: later
+            // seals ride the same batched crypto pass. A retransmit
+            // interrupts the run (its WRITEs flush first), so the pass
+            // restarts after it.
+            let mut run_sealed = false;
             for ai in 0..actions[idx].len() {
                 let mut slot = actions[idx][ai].take().expect("sealed once");
                 let (status, opcode, value_len, shard) = match slot.kind {
@@ -375,7 +389,8 @@ impl PrecursorServer {
                         if set_last {
                             self.sessions.list[idx].last_status = status;
                         }
-                        let reply = self.seal_for(idx, opcode, plan, &mut slot.meter);
+                        let reply = self.seal_for(idx, opcode, plan, run_sealed, &mut slot.meter);
+                        run_sealed = true;
                         self.charge_fixed_occupancy(opcode, &mut slot.meter);
                         self.emit_fresh_batched(idx, reply, remember, &mut batch, &mut slot.meter);
                         (status, opcode, value_len, shard)
@@ -384,6 +399,7 @@ impl PrecursorServer {
                         // Preserve WRITE ordering: everything batched so
                         // far lands before the retransmitted bytes.
                         self.flush_reply_batch(idx, &mut batch);
+                        run_sealed = false;
                         self.charge_fixed_occupancy(opcode, &mut slot.meter);
                         self.emit_retransmit(idx, &mut slot.meter);
                         (status, opcode, 0, (idx % shards) as u32)
@@ -400,14 +416,18 @@ impl PrecursorServer {
                 });
             }
             self.flush_reply_batch(idx, &mut batch);
-            self.post_credit_update(idx);
+            self.post_credit_update(idx, taken > 0);
         }
         processed
     }
 
     // The single-shard path's per-record processing: validate → execute →
-    // seal → emit, all in the client's pop order.
-    fn process_record(&mut self, idx: usize, record: Vec<u8>) {
+    // seal → emit, all in the client's pop order. `run_sealed` says the
+    // client's current sweep run already sealed a fresh reply, so this
+    // record's seal (if any) rides the same batched crypto pass; returns
+    // whether the run has an open pass after this record (retransmits
+    // interrupt it).
+    fn process_record(&mut self, idx: usize, record: Vec<u8>, run_sealed: bool) -> bool {
         let mut meter = Meter::new();
 
         let (status, opcode, value_len, shard, out) =
@@ -418,8 +438,13 @@ impl PrecursorServer {
                     oid,
                     remember,
                 } => {
-                    let reply =
-                        self.seal_for(idx, opcode, ReplyPlan::Control { status, oid }, &mut meter);
+                    let reply = self.seal_for(
+                        idx,
+                        opcode,
+                        ReplyPlan::Control { status, oid },
+                        run_sealed,
+                        &mut meter,
+                    );
                     (status, opcode, 0, 0u32, ReplyOut::Fresh { reply, remember })
                 }
                 Validated::Retransmit { status, opcode } => {
@@ -465,7 +490,7 @@ impl PrecursorServer {
                                 self.journal_mutation(idx, opcode, status, key, *oid, &mut meter);
                             }
                             self.sessions.list[idx].last_status = status;
-                            let reply = self.seal_for(idx, opcode, plan, &mut meter);
+                            let reply = self.seal_for(idx, opcode, plan, run_sealed, &mut meter);
                             (
                                 status,
                                 opcode,
@@ -489,6 +514,7 @@ impl PrecursorServer {
                                     status: Status::Error,
                                     oid: 0,
                                 },
+                                run_sealed,
                                 &mut meter,
                             );
                             (
@@ -510,6 +536,7 @@ impl PrecursorServer {
 
         // Write the reply into the client's reply ring (one-sided WRITE by
         // the untrusted worker, §3.8).
+        let sealed_fresh = matches!(out, ReplyOut::Fresh { .. });
         match out {
             ReplyOut::Fresh { reply, remember } => {
                 self.emit_fresh(idx, reply, remember, &mut meter)
@@ -525,22 +552,34 @@ impl PrecursorServer {
             shard,
             meter,
         });
+        sealed_fresh
     }
 
     // Seals one [`ReplyPlan`] for client `idx` by assembling the narrow
-    // [`SealCtx`] out of disjoint borrows of the stage states.
+    // [`SealCtx`] out of disjoint borrows of the stage states. With
+    // `Config::batched_sealing` on and `in_run` set (a fresh reply was
+    // already sealed this run), the seal joins the run's batched crypto
+    // pass: the fixed AES-GCM setup is paid once by the run's first reply
+    // and this op's meter only carries the per-byte work — the amortised
+    // cycles are attributed to the batch's ops, never dropped.
     fn seal_for(
         &mut self,
         idx: usize,
         opcode: Opcode,
         plan: ReplyPlan,
+        in_run: bool,
         meter: &mut Meter,
     ) -> crate::wire::ReplyFrame {
+        let batched = in_run && self.config.batched_sealing;
+        if batched {
+            self.obs.inc("seal.batched_ops", 1);
+        }
         let mut ctx = SealCtx {
             enclave: &mut self.enclave,
             cost: &self.cost,
             busy_retry_ns: self.config.busy_retry_ns,
             evidence: self.store.evidence(),
+            batched,
         };
         let reply = seal::seal_plan(&mut ctx, &mut self.sessions.list[idx], opcode, plan, meter);
         self.trace(
@@ -554,6 +593,11 @@ impl PrecursorServer {
 
     // Fixed per-op occupancy (fitted constants; DESIGN.md §4): part of it
     // is on the request's critical path, the rest is polling overhead.
+    // With any fast-path knob on, the overhead share shrinks by the
+    // calibrated `fast_overhead_factor` — the polling/bookkeeping that
+    // adaptive sweeps, elided credit WRITEs, coalesced doorbells, and the
+    // reply arena no longer spend per op. The critical share is never
+    // scaled: the request still waits for the same work.
     fn charge_fixed_occupancy(&mut self, opcode: Opcode, meter: &mut Meter) {
         let cost = self.cost.clone();
         let mut fixed = cost.precursor_get_fixed;
@@ -564,11 +608,12 @@ impl PrecursorServer {
             fixed += cost.server_enc_extra;
         }
         let critical = cost.critical_part(Cycles(fixed));
+        let mut overhead = fixed - critical.0;
+        if self.config.fast_path_enabled() {
+            overhead = (overhead as f64 * cost.fast_overhead_factor).round() as u64;
+        }
         meter.charge(Stage::ServerCritical, cost.server_time(critical));
-        meter.charge(
-            Stage::ServerOverhead,
-            cost.server_time(Cycles(fixed - critical.0)),
-        );
+        meter.charge(Stage::ServerOverhead, cost.server_time(Cycles(overhead)));
     }
 
     // Observability wrapper around validation: counts each outcome class

@@ -220,6 +220,7 @@ pub struct SessionParams {
     shards: Option<usize>,
     journaled: bool,
     compacted: bool,
+    fast: bool,
 }
 
 impl SessionParams {
@@ -236,6 +237,7 @@ impl SessionParams {
             shards: None,
             journaled: false,
             compacted: false,
+            fast: false,
         }
     }
 
@@ -291,6 +293,15 @@ impl SessionParams {
         self
     }
 
+    /// Turns on every hot-path knob ([`Config::with_fast_path`]): adaptive
+    /// per-client poll budgets, batched seal/MAC passes, lazy credit
+    /// write-back, and reply-frame arena reuse — the fig4 `+fast`
+    /// configuration. Precursor family only.
+    pub fn fast(mut self, fast: bool) -> SessionParams {
+        self.fast = fast;
+        self
+    }
+
     /// Builds the system, connects `max_clients` clients, and loads the
     /// warmup records.
     ///
@@ -319,12 +330,17 @@ impl SessionParams {
                 } else {
                     EncryptionMode::ServerSide
                 };
+                let base = if self.fast {
+                    Config::fast()
+                } else {
+                    Config::default()
+                };
                 let config = Config {
                     mode,
                     max_clients: self.max_clients + 1,
                     pool_bytes: pool_size_for(self.value_size, self.warmup_keys),
                     shards: self.shards.unwrap_or(1),
-                    ..Config::default()
+                    ..base
                 };
                 let mut backend = PrecursorBackend::new(config, cost);
                 if self.journaled {
@@ -338,6 +354,7 @@ impl SessionParams {
             }
             SystemKind::ShieldStore => {
                 assert!(!self.journaled, "ShieldStore has no durability journal");
+                assert!(!self.fast, "ShieldStore has no Precursor fast path");
                 Box::new(ShieldBackend::new(ShieldConfig::default(), cost))
             }
         };
@@ -827,6 +844,34 @@ mod tests {
         // Transport legs are replayed on the contended links, not charged
         // to the functional meters: the Network stage stays zero here.
         assert_eq!(r.stages.get(Stage::Network), Nanos::ZERO);
+    }
+
+    #[test]
+    fn fast_path_lowers_server_overhead_and_conserves_stages() {
+        let cost = CostModel::default();
+        let spec = WorkloadSpec::workload_c(32, 500);
+        let params = SessionParams::new(SystemKind::Precursor)
+            .value_size(32)
+            .keys(500, 500)
+            .max_clients(4)
+            .seed(9);
+        let mut plain = params.clone().build(&cost);
+        let mut fast = params.fast(true).build(&cost);
+        let rp = plain.measure(&spec, 4, 1_000);
+        let rf = fast.measure(&spec, 4, 1_000);
+        let over_plain = rp.stages.mean(Stage::ServerOverhead);
+        let over_fast = rf.stages.mean(Stage::ServerOverhead);
+        assert!(
+            over_fast < over_plain / 3,
+            "plain {over_plain:?} fast {over_fast:?}"
+        );
+        // ≤ 3 µs/op server overhead — the fig4 `+fast` target.
+        assert!(over_fast <= Nanos(3_000), "fast overhead {over_fast:?}");
+        // Exact conservation survives batched sealing: the per-stage sums
+        // still add up to the total with no residual.
+        let sum: Nanos = Stage::ALL.iter().map(|&s| rf.stages.get(s)).sum();
+        assert_eq!(sum, rf.stages.total());
+        assert!(rf.throughput_ops > 0.0);
     }
 
     #[test]

@@ -25,6 +25,20 @@ use precursor_sim::rng::SimRng;
 use precursor_sim::CostModel;
 use precursor_storage::stable_key_hash;
 
+// `PRECURSOR_FAST=1` re-runs the whole suite with every hot-path knob on
+// (adaptive poll budgets, batched sealing, lazy credit write-back, reply
+// arena reuse) — the CI matrix leg that keeps the fast path honest across
+// replication and failover. Knobs change cost attribution and WRITE
+// timing, never outcomes, so every oracle below must hold unchanged.
+fn base_config() -> Config {
+    let config = Config::default();
+    if std::env::var("PRECURSOR_FAST").as_deref() == Ok("1") {
+        config.with_fast_path()
+    } else {
+        config
+    }
+}
+
 const PUMP_BOUND: usize = 400;
 
 // Drives one issued operation to completion through cluster pumps.
@@ -68,12 +82,7 @@ fn get(
 #[test]
 fn quorum_commit_releases_replies_and_replicas_converge() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        3,
-        GroupCommitPolicy::batched(4, 2),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 3, GroupCommitPolicy::batched(4, 2));
     assert_eq!(cluster.quorum(), 3, "majority of 4 nodes (primary + 3)");
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 7).expect("connect");
 
@@ -120,12 +129,7 @@ fn quorum_commit_releases_replies_and_replicas_converge() {
 #[test]
 fn replies_stay_gated_without_quorum_and_release_on_heal() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        2,
-        GroupCommitPolicy::batched(1, 0),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 2, GroupCommitPolicy::batched(1, 0));
     assert_eq!(cluster.quorum(), 2, "2 replicas + primary → quorum 2");
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 11).expect("connect");
     put(&mut cluster, &mut client, b"warm", b"up").expect("healthy put");
@@ -151,12 +155,7 @@ fn replies_stay_gated_without_quorum_and_release_on_heal() {
 #[test]
 fn lagging_replica_does_not_stall_quorum() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        3,
-        GroupCommitPolicy::batched(2, 1),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 3, GroupCommitPolicy::batched(2, 1));
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 13).expect("connect");
     cluster.lag_replica(0, 50);
     for i in 0u8..10 {
@@ -172,12 +171,7 @@ fn lagging_replica_does_not_stall_quorum() {
 #[test]
 fn failover_preserves_state_at_most_once_and_client_checks_pass() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        3,
-        GroupCommitPolicy::batched(4, 2),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 3, GroupCommitPolicy::batched(4, 2));
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 17).expect("connect");
     let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
     for i in 0u8..16 {
@@ -222,12 +216,7 @@ fn failover_preserves_state_at_most_once_and_client_checks_pass() {
 #[test]
 fn staged_rollback_replica_is_quarantined_and_never_promoted() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        3,
-        GroupCommitPolicy::batched(2, 1),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 3, GroupCommitPolicy::batched(2, 1));
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 19).expect("connect");
     for i in 0u8..12 {
         put(&mut cluster, &mut client, &[i], &[i; 40]).expect("put");
@@ -247,12 +236,7 @@ fn staged_rollback_replica_is_quarantined_and_never_promoted() {
 #[test]
 fn all_rolled_back_survivors_fail_failover_with_rollback_detected() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        2,
-        GroupCommitPolicy::batched(1, 0),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 2, GroupCommitPolicy::batched(1, 0));
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 23).expect("connect");
     for i in 0u8..6 {
         put(&mut cluster, &mut client, &[i], &[i; 16]).expect("put");
@@ -269,12 +253,7 @@ fn all_rolled_back_survivors_fail_failover_with_rollback_detected() {
 #[test]
 fn tampered_replica_journal_fails_cross_replica_audit() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        3,
-        GroupCommitPolicy::batched(2, 1),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 3, GroupCommitPolicy::batched(2, 1));
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 29).expect("connect");
     for i in 0u8..8 {
         put(&mut cluster, &mut client, &[i], &[i; 32]).expect("put");
@@ -291,12 +270,7 @@ fn tampered_replica_journal_fails_cross_replica_audit() {
 #[test]
 fn stale_promotion_after_majority_loss_is_flagged_and_caught_by_client() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        3,
-        GroupCommitPolicy::batched(1, 0),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 3, GroupCommitPolicy::batched(1, 0));
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 31).expect("connect");
     for i in 0u8..6 {
         put(&mut cluster, &mut client, &[i], &[i; 24]).expect("put");
@@ -327,7 +301,7 @@ fn stale_promotion_after_majority_loss_is_flagged_and_caught_by_client() {
 #[test]
 fn staged_promotion_serves_reads_during_catchup_and_mutations_get_busy() {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(Config::default(), &cost, 3, GroupCommitPolicy::immediate());
+    let mut cluster = Cluster::new(base_config(), &cost, 3, GroupCommitPolicy::immediate());
     let mut client = PrecursorClient::connect(cluster.primary_mut(), 41).expect("connect");
     for i in 0u8..24 {
         put(&mut cluster, &mut client, &[i], &[i ^ 0x33; 40]).expect("put");
@@ -410,7 +384,7 @@ fn staged_promotion_serves_reads_during_catchup_and_mutations_get_busy() {
 #[test]
 fn journal_replay_recovery_reproduces_live_state_without_snapshot() {
     let cost = CostModel::default();
-    let config = Config::default();
+    let config = base_config();
     let mut server = PrecursorServer::new(config.clone(), &cost);
     let mut epoch_counter = MonotonicCounter::new();
     server.attach_journal(GroupCommitPolicy::immediate(), &mut epoch_counter);
@@ -446,12 +420,7 @@ fn journal_replay_recovery_reproduces_live_state_without_snapshot() {
 // bit-for-bit.
 fn sweep_run(seed: u64) -> u64 {
     let cost = CostModel::default();
-    let mut cluster = Cluster::new(
-        Config::default(),
-        &cost,
-        3,
-        GroupCommitPolicy::batched(4, 2),
-    );
+    let mut cluster = Cluster::new(base_config(), &cost, 3, GroupCommitPolicy::batched(4, 2));
     let mut client =
         PrecursorClient::connect(cluster.primary_mut(), seed ^ 0xc11e).expect("connect");
     let mut rng = SimRng::seed_from(seed ^ 0x5eed);

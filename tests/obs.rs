@@ -217,3 +217,78 @@ const GOLDEN_SERVER_CRITICAL_NS: u64 = 26_330;
 const GOLDEN_SERVER_OVERHEAD_NS: u64 = 177_434;
 const GOLDEN_ENCLAVE_NS: u64 = 84_882;
 const GOLDEN_NETWORK_NS: u64 = 0;
+
+const STAGE_SUMS: [&str; 5] = [
+    "stage.client_cpu_ns",
+    "stage.server_critical_ns",
+    "stage.server_overhead_ns",
+    "stage.enclave_ns",
+    "stage.network_ns",
+];
+
+// A pipelined single-client workload: each round submits 8 puts before
+// any polling, so a fast-path sweep seals them as one batched crypto run.
+fn pipelined_run(config: Config) -> MetricsRegistry {
+    let cost = CostModel::default();
+    let mut server = PrecursorServer::new(config, &cost);
+    let mut client = PrecursorClient::connect(&mut server, 0xFA57).expect("connect");
+    for round in 0u8..6 {
+        for i in 0u8..8 {
+            client.put(&[round * 8 + i], &[i; 48]).expect("put send");
+        }
+        loop {
+            let n = server.poll();
+            client.poll_replies();
+            if n == 0 {
+                break;
+            }
+        }
+        client.take_all_completed();
+        server.take_reports();
+    }
+    server.metrics().clone()
+}
+
+#[test]
+fn batched_sealing_keeps_stage_sums_conserved() {
+    // The fast path re-attributes cycles (batch amortisation, the fitted
+    // overhead factor) but must stay inside the meter algebra: per-stage
+    // sums add up to the total with no residual — batched crypto cycles
+    // land on the batch's own ops (Enclave), never in a slush stage.
+    let plain = pipelined_run(Config::default());
+    let fast = pipelined_run(Config::fast());
+    let sum = |m: &MetricsRegistry, n: &str| m.histogram(n).expect(n).sum();
+    for m in [&plain, &fast] {
+        let stage_total: u64 = STAGE_SUMS.iter().map(|n| sum(m, n)).sum();
+        assert_eq!(
+            stage_total,
+            sum(m, "stage.total_ns"),
+            "stage sums must equal the total exactly"
+        );
+    }
+    assert!(
+        fast.counter("seal.batched_ops") > 0,
+        "pipelined rounds must form seal batches"
+    );
+    assert_eq!(plain.counter("seal.batched_ops"), 0);
+    // Same ops on both sides; only the attribution may differ.
+    assert_eq!(
+        fast.histogram("stage.total_ns").expect("total").count(),
+        plain.histogram("stage.total_ns").expect("total").count()
+    );
+    // Batching amortises the fixed AES-GCM setup out of the Enclave stage
+    // and the fast factor scales the overhead share; the critical share is
+    // never touched.
+    assert!(sum(&fast, "stage.enclave_ns") < sum(&plain, "stage.enclave_ns"));
+    assert_eq!(
+        sum(&fast, "stage.server_critical_ns"),
+        sum(&plain, "stage.server_critical_ns"),
+        "fast path must never rescale the critical share"
+    );
+    assert!(
+        sum(&fast, "stage.server_overhead_ns") * 4 < sum(&plain, "stage.server_overhead_ns"),
+        "the fitted factor must cut the overhead share at least 4x: {} vs {}",
+        sum(&fast, "stage.server_overhead_ns"),
+        sum(&plain, "stage.server_overhead_ns")
+    );
+}
