@@ -249,6 +249,40 @@ pub fn collect(seed: u64) -> Vec<SummaryPoint> {
         ));
     }
 
+    // fig6, scale extension: dirty-ring sweeps, 1 KiB rings and lazy
+    // driver state at fleet sizes far beyond the testbed's 100 clients.
+    // One warmed 10k-client session per shard count; the 1k-client point
+    // measures a subset of the same fleet. The full 1k→10k→100k decade
+    // sweep with wall-clock asserts lives in the `fig6_scale_sweep`
+    // bench (CI `scale-smoke`); these two decades are the points the >5%
+    // trajectory gate pins.
+    for shards in [4usize, 8] {
+        let mut session = SessionParams::new(SystemKind::Precursor)
+            .value_size(VALUE_BYTES)
+            .keys(WARMUP_KEYS, WARMUP_KEYS)
+            .max_clients(10_000)
+            .ring_bytes(1 << 10)
+            .dirty_sweep(true)
+            .seed(seed)
+            .shards(shards)
+            .build(&cost);
+        let spec = WorkloadSpec::workload_c(VALUE_BYTES, WARMUP_KEYS);
+        for clients in [1_000usize, 10_000] {
+            let r = session.measure(&spec, clients, MEASURE_OPS);
+            assert_eq!(
+                session.metrics().gauge("server.reports_dropped_total"),
+                0,
+                "scale points must not shed op reports"
+            );
+            points.push(point(
+                "fig6",
+                format!("clients={clients}/shards={shards}"),
+                SystemKind::Precursor,
+                &r,
+            ));
+        }
+    }
+
     // fig8: per-stage breakdown at 128 B, read-only, both systems.
     for system in [SystemKind::Precursor, SystemKind::ShieldStore] {
         let mut session = SessionParams::new(system)

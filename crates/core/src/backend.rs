@@ -188,6 +188,16 @@ pub trait TrustedKv {
     /// for stream-based ones.
     fn warmup_batch(&self, frame_bytes: usize) -> usize;
 
+    /// Cumulative ring visits performed by the backend's poll sweeps, for
+    /// backends whose poller scans per-client rings. The closed-loop
+    /// driver charges the per-ring scan cost against the *delta* of this
+    /// counter when dirty-ring sweeps are on, instead of assuming every
+    /// sweep touches every connected client. Backends without a ring
+    /// scanner return 0 (the driver then keeps its analytic estimate).
+    fn rings_swept(&self) -> u64 {
+        0
+    }
+
     /// A snapshot of the backend's metrics registry: the shared
     /// backend-neutral namespace (`ops.*`, `status.*`, `stage.*_ns`,
     /// `meter.*`) merged from the server-side per-stage taps, plus any
@@ -384,6 +394,10 @@ impl TrustedKv for PrecursorBackend {
         // Half the request ring: the in-flight window the credit protocol
         // sustains without a drain.
         (self.server.config().ring_bytes / (2 * frame_bytes)).max(1)
+    }
+
+    fn rings_swept(&self) -> u64 {
+        self.server.rings_swept()
     }
 
     fn metrics(&self) -> MetricsRegistry {

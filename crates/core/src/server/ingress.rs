@@ -7,11 +7,11 @@
 //! (per-record or coalesced into per-sweep [`ReplyBatch`]es), re-issuing
 //! remembered replies on retransmission, and the credit write-backs.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use precursor_crypto::keys::Key128;
-use precursor_rdma::mr::{Memory, RemoteKey};
+use precursor_rdma::mr::{Memory, RemoteKey, WriteBoard};
 use precursor_rdma::qp::{connect_pair, connect_pair_faulty, QueuePair};
 use precursor_sim::meter::{Meter, Stage};
 use precursor_sim::time::Cycles;
@@ -90,6 +90,21 @@ pub(super) struct Ingress {
     // buffers that carried a non-remembered reply come back here instead
     // of being dropped, so the steady state encodes into reused capacity.
     pub(super) arena: Vec<Vec<u8>>,
+    // Doorbell board for dirty-ring sweeps (`Config::dirty_ring_sweep`):
+    // request rings are registered with a write-watch that marks the
+    // owning client's index here on every *delivered* WRITE, so sweeps can
+    // drain the board instead of scanning every idle ring.
+    pub(super) dirty_board: WriteBoard,
+    // Clients owed a deferred (elided) credit write-back. Dirty-mode
+    // sweeps must keep visiting them until the flush — the first visit
+    // that pops nothing posts the deferred WRITE — or a producer parked
+    // on `RingFull` would never unblock (the `tests/fastpath.rs` liveness
+    // rule).
+    pub(super) credit_pending: BTreeSet<usize>,
+    // Ring visits performed by poll sweeps (all modes): what the driver's
+    // cost model charges `poll_scan_per_client` against in dirty mode,
+    // instead of assuming `clients × polls`.
+    pub(super) rings_swept: u64,
 }
 
 // Bound on pooled arena buffers — enough for every client of a wide sweep
@@ -109,9 +124,21 @@ impl PrecursorServer {
             None => connect_pair(self.cost.rdma_inline_max),
         };
 
-        // Server-side request ring, remotely writable by the client.
+        // Server-side request ring, remotely writable by the client. With
+        // dirty-ring sweeps on, the registration carries a write-watch:
+        // every delivered client WRITE rings the doorbell board, which is
+        // what lets sweeps skip idle rings entirely.
         let request_ring = Memory::zeroed(self.config.ring_bytes);
-        let request_ring_rkey = server_end.register(request_ring.clone(), true);
+        let request_ring_rkey = if self.config.dirty_ring_sweep {
+            server_end.register_watched(
+                request_ring.clone(),
+                true,
+                self.ingress.dirty_board.clone(),
+                u64::from(client_id),
+            )
+        } else {
+            server_end.register(request_ring.clone(), true)
+        };
         // Server-side reply-credit word, remotely writable by the client.
         let reply_credit = Memory::zeroed(8);
         let reply_credit_rkey = server_end.register(reply_credit.clone(), true);
@@ -170,13 +197,25 @@ impl PrecursorServer {
             (port.request_consumer.consumed(), port.last_credit)
         };
         if consumed == last {
+            if self.config.dirty_ring_sweep {
+                self.ingress.credit_pending.remove(&idx);
+            }
             return;
         }
         if lazy > 0 && took_any && consumed - last < lazy {
             self.ingress.credits_elided += 1;
             self.obs.inc("server.credits_elided", 1);
             self.trace("ingress", "credit_elided", idx as u64, consumed);
+            if self.config.dirty_ring_sweep {
+                // Dirty-mode sweeps would otherwise never return to a
+                // quiet ring: remember the deferred write-back so the
+                // client keeps getting (idle) visits until it flushes.
+                self.ingress.credit_pending.insert(idx);
+            }
             return;
+        }
+        if self.config.dirty_ring_sweep {
+            self.ingress.credit_pending.remove(&idx);
         }
         let port = self.ingress.ports[idx].as_mut().expect("live port");
         port.last_credit = consumed;

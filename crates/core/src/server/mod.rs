@@ -236,6 +236,9 @@ impl PrecursorServer {
                 budget_adjustments: 0,
                 credits_elided: 0,
                 arena: Vec::new(),
+                dirty_board: precursor_rdma::WriteBoard::new(),
+                credit_pending: std::collections::BTreeSet::new(),
+                rings_swept: 0,
             },
             durability: None,
             catchup: None,
@@ -371,6 +374,22 @@ impl PrecursorServer {
     /// whose shard did not own the key (sharded mode only).
     pub fn handoffs(&self) -> u64 {
         self.ingress.handoffs
+    }
+
+    /// Ring visits performed by poll sweeps so far (all modes). With
+    /// [`Config::dirty_ring_sweep`] on this stays proportional to the
+    /// *dirty* rings, not the connected clients — it is what the
+    /// closed-loop driver's cost model charges the per-ring scan cost
+    /// against.
+    pub fn rings_swept(&self) -> u64 {
+        self.ingress.rings_swept
+    }
+
+    /// Clients currently owed a deferred credit write-back — the set
+    /// dirty-mode sweeps keep visiting until the flush (diagnostic
+    /// surface for the [`Config::dirty_ring_sweep`] liveness rule).
+    pub fn credit_pending(&self) -> usize {
+        self.ingress.credit_pending.len()
     }
 
     /// Credit WRITEs elided so far under the

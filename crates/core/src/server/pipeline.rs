@@ -135,6 +135,9 @@ impl PrecursorServer {
     // The single trusted polling thread (the pre-sharding code path, kept
     // operation-for-operation identical so seeded runs reproduce).
     fn poll_single(&mut self) -> usize {
+        if self.config.dirty_ring_sweep {
+            return self.poll_single_dirty();
+        }
         let n = self.ingress.ports.len();
         let start = self.ingress.rr_cursor % n;
         self.ingress.rr_cursor = (start + 1) % n;
@@ -144,35 +147,97 @@ impl PrecursorServer {
             if self.ingress.ports[idx].is_none() || !self.sessions.list[idx].active {
                 continue;
             }
-            let budget = self.sweep_budget(idx);
-            let mut taken = 0usize;
-            // Whether the current per-client run already sealed a fresh
-            // reply — later replies in the run ride the same batched
-            // crypto pass (`Config::batched_sealing`).
-            let mut run_sealed = false;
-            loop {
-                if budget != 0 && taken >= budget {
-                    break;
-                }
-                // Update reply credits from the client-written word.
-                let port = self.ingress.ports[idx].as_mut().expect("live port");
-                let consumed =
-                    u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
-                port.reply_producer.update_credits(consumed);
-
-                let record = {
-                    let ring = port.request_ring.clone();
-                    ring.with_mut(|buf| port.request_consumer.pop(buf))
-                };
-                let Some(record) = record else { break };
-                run_sealed = self.process_record(idx, record, run_sealed);
-                processed += 1;
-                taken += 1;
-            }
-            self.adapt_budget(idx, taken, budget);
-            self.post_credit_update(idx, taken > 0);
+            let (taken, _) = self.sweep_ring_once(idx);
+            processed += taken;
         }
         processed
+    }
+
+    // Dirty-set variant of the single-shard sweep (`Config::
+    // dirty_ring_sweep`): instead of scanning every connected ring, the
+    // sweep visits only rings marked by a delivered client WRITE since the
+    // last drain, plus clients owed a deferred credit write-back. The
+    // per-client drain is the exact same body as the full scan.
+    fn poll_single_dirty(&mut self) -> usize {
+        let n = self.ingress.ports.len();
+        let start = self.ingress.rr_cursor % n;
+        self.ingress.rr_cursor = (start + 1) % n;
+        let mut due = self.dirty_due();
+        // Visit in index order starting from the rotating cursor — the
+        // same fairness rotation as the full scan.
+        due.sort_unstable_by_key(|&idx| (idx < start, idx));
+        let mut processed = 0;
+        for idx in due {
+            if self.ingress.ports[idx].is_none() || !self.sessions.list[idx].active {
+                continue;
+            }
+            let (taken, budget) = self.sweep_ring_once(idx);
+            if budget != 0 && taken >= budget {
+                // Budget-capped run: records may remain — re-mark so the
+                // next sweep returns without waiting for another WRITE.
+                self.ingress.dirty_board.mark(idx as u64);
+            }
+            processed += taken;
+        }
+        processed
+    }
+
+    // The rings due a dirty-mode visit: the drained doorbell board (rings
+    // remotely written since the last sweep) unioned with the clients owed
+    // a deferred credit write-back, deduplicated, ascending. Also prunes
+    // revoked/inactive clients from the pending set — their rings are
+    // gone, there is nothing left to flush.
+    fn dirty_due(&mut self) -> Vec<usize> {
+        let n = self.ingress.ports.len();
+        let mut pending = std::mem::take(&mut self.ingress.credit_pending);
+        pending.retain(|&idx| {
+            self.ingress.ports.get(idx).is_some_and(Option::is_some)
+                && self.sessions.list[idx].active
+        });
+        let mut due: Vec<usize> = pending.iter().copied().collect();
+        for tag in self.ingress.dirty_board.drain() {
+            let idx = tag as usize;
+            if idx < n && !pending.contains(&idx) {
+                due.push(idx);
+            }
+        }
+        self.ingress.credit_pending = pending;
+        due.sort_unstable();
+        due
+    }
+
+    // One budgeted drain of client `idx`'s request ring — the per-client
+    // body of the single-shard sweep, shared verbatim by the full-scan and
+    // dirty-set paths. Returns `(taken, budget)`.
+    fn sweep_ring_once(&mut self, idx: usize) -> (usize, usize) {
+        self.ingress.rings_swept += 1;
+        let budget = self.sweep_budget(idx);
+        let mut taken = 0usize;
+        // Whether the current per-client run already sealed a fresh
+        // reply — later replies in the run ride the same batched
+        // crypto pass (`Config::batched_sealing`).
+        let mut run_sealed = false;
+        loop {
+            if budget != 0 && taken >= budget {
+                break;
+            }
+            // Update reply credits from the client-written word.
+            let port = self.ingress.ports[idx].as_mut().expect("live port");
+            let consumed =
+                u64::from_le_bytes(port.reply_credit.read(0, 8).try_into().expect("8 bytes"));
+            port.reply_producer.update_credits(consumed);
+
+            let record = {
+                let ring = port.request_ring.clone();
+                ring.with_mut(|buf| port.request_consumer.pop(buf))
+            };
+            let Some(record) = record else { break };
+            run_sealed = self.process_record(idx, record, run_sealed);
+            taken += 1;
+        }
+        self.adapt_budget(idx, taken, budget);
+        self.post_credit_update(idx, taken > 0);
+        (taken, budget)
     }
 
     // N trusted polling workers (§3.8: "multiple trusted polling
@@ -197,22 +262,40 @@ impl PrecursorServer {
         if self.ingress.rr_cursors.len() < shards {
             self.ingress.rr_cursors.resize(shards, 0);
         }
+        // Dirty-set mode: phase A visits only rings marked since the last
+        // drain (plus deferred-credit clients) instead of every owned
+        // ring. Phases B and C are untouched — they already operate only
+        // on what phase A swept.
+        let dirty: Option<Vec<usize>> = self.config.dirty_ring_sweep.then(|| self.dirty_due());
 
-        let mut actions: Vec<Vec<Option<PendingAction>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut exec_queues: Vec<VecDeque<(usize, usize)>> =
+        // Pending actions are stored per dense *visit slot* (assigned in
+        // phase-A visit order), not per client id: a sweep's bookkeeping
+        // then costs memory proportional to the clients it visited, never
+        // the connected fleet — what makes dirty-set sweeps O(dirty) at
+        // 100k clients.
+        let mut actions: Vec<Vec<Option<PendingAction>>> = Vec::new();
+        let mut exec_queues: Vec<VecDeque<(usize, usize, usize)>> =
             (0..shards).map(|_| VecDeque::new()).collect();
-        // Swept clients with the record count each one's run popped (the
-        // count feeds the budget controller and the credit-elision flush
-        // rule in phase C).
-        let mut swept: Vec<(usize, usize)> = Vec::new();
+        // Swept clients in visit order: (client idx, action slot, records
+        // popped). The count feeds the budget controller and the
+        // credit-elision flush rule in phase C.
+        let mut swept: Vec<(usize, usize, usize)> = Vec::new();
         let mut processed = 0usize;
 
         // Phase A — worker sweeps: pop + validate, route to owning shard.
         for w in 0..shards {
-            let owned: Vec<usize> = (w..n)
-                .step_by(shards)
-                .filter(|&i| self.ingress.ports[i].is_some() && self.sessions.list[i].active)
-                .collect();
+            let owned: Vec<usize> = match &dirty {
+                Some(due) => due
+                    .iter()
+                    .copied()
+                    .filter(|&i| i % shards == w)
+                    .filter(|&i| self.ingress.ports[i].is_some() && self.sessions.list[i].active)
+                    .collect(),
+                None => (w..n)
+                    .step_by(shards)
+                    .filter(|&i| self.ingress.ports[i].is_some() && self.sessions.list[i].active)
+                    .collect(),
+            };
             if owned.is_empty() {
                 continue;
             }
@@ -220,6 +303,9 @@ impl PrecursorServer {
             self.ingress.rr_cursors[w] = (start + 1) % owned.len();
             for step in 0..owned.len() {
                 let idx = owned[(start + step) % owned.len()];
+                self.ingress.rings_swept += 1;
+                let slot = actions.len();
+                actions.push(Vec::new());
                 let budget = self.sweep_budget(idx);
                 let mut taken = 0usize;
                 loop {
@@ -278,7 +364,7 @@ impl PrecursorServer {
                                     cost.server_time(Cycles(cost.shard_handoff_cycles)),
                                 );
                             }
-                            exec_queues[target].push_back((idx, actions[idx].len()));
+                            exec_queues[target].push_back((idx, slot, actions[slot].len()));
                             ActionKind::AwaitExec {
                                 opcode,
                                 control,
@@ -286,22 +372,27 @@ impl PrecursorServer {
                             }
                         }
                     };
-                    actions[idx].push(Some(PendingAction { meter, kind }));
+                    actions[slot].push(Some(PendingAction { meter, kind }));
                 }
                 self.adapt_budget(idx, taken, budget);
-                swept.push((idx, taken));
+                if dirty.is_some() && budget != 0 && taken >= budget {
+                    // Budget-capped run: records may remain — re-mark so
+                    // the next sweep returns without another WRITE.
+                    self.ingress.dirty_board.mark(idx as u64);
+                }
+                swept.push((idx, slot, taken));
             }
         }
 
         // Phase B — per-shard FIFO execution against the owned partition.
         for (s, queue) in exec_queues.iter_mut().enumerate() {
-            while let Some((idx, ai)) = queue.pop_front() {
-                let mut slot = actions[idx][ai].take().expect("pending action");
+            while let Some((idx, slot, ai)) = queue.pop_front() {
+                let mut act = actions[slot][ai].take().expect("pending action");
                 let ActionKind::AwaitExec {
                     opcode,
                     control,
                     frame,
-                } = slot.kind
+                } = act.kind
                 else {
                     unreachable!("execution queues hold AwaitExec entries");
                 };
@@ -329,14 +420,14 @@ impl PrecursorServer {
                             frame: &frame,
                             session_key: &session_key,
                         },
-                        &mut slot.meter,
+                        &mut act.meter,
                     )
                 };
-                slot.kind = match exec_result {
+                act.kind = match exec_result {
                     Ok((status, value_len, plan)) => {
                         self.trace("exec", super::op_metric(opcode), idx as u64, status as u64);
                         if let Some((key, oid)) = &journal_tap {
-                            self.journal_mutation(idx, opcode, status, key, *oid, &mut slot.meter);
+                            self.journal_mutation(idx, opcode, status, key, *oid, &mut act.meter);
                         }
                         ActionKind::Seal {
                             status,
@@ -361,22 +452,22 @@ impl PrecursorServer {
                         shard: s as u32,
                     },
                 };
-                actions[idx][ai] = Some(slot);
+                actions[slot][ai] = Some(act);
             }
         }
 
         // Phase C — per-client in-order sealing + batched reply WRITEs +
         // one credit write-back per swept client.
-        for &(idx, taken) in &swept {
+        for &(idx, slot, taken) in &swept {
             let mut batch = ReplyBatch::default();
             // The client's run so far has sealed a fresh reply: later
             // seals ride the same batched crypto pass. A retransmit
             // interrupts the run (its WRITEs flush first), so the pass
             // restarts after it.
             let mut run_sealed = false;
-            for ai in 0..actions[idx].len() {
-                let mut slot = actions[idx][ai].take().expect("sealed once");
-                let (status, opcode, value_len, shard) = match slot.kind {
+            for ai in 0..actions[slot].len() {
+                let mut act = actions[slot][ai].take().expect("sealed once");
+                let (status, opcode, value_len, shard) = match act.kind {
                     ActionKind::Seal {
                         status,
                         opcode,
@@ -389,10 +480,10 @@ impl PrecursorServer {
                         if set_last {
                             self.sessions.list[idx].last_status = status;
                         }
-                        let reply = self.seal_for(idx, opcode, plan, run_sealed, &mut slot.meter);
+                        let reply = self.seal_for(idx, opcode, plan, run_sealed, &mut act.meter);
                         run_sealed = true;
-                        self.charge_fixed_occupancy(opcode, &mut slot.meter);
-                        self.emit_fresh_batched(idx, reply, remember, &mut batch, &mut slot.meter);
+                        self.charge_fixed_occupancy(opcode, &mut act.meter);
+                        self.emit_fresh_batched(idx, reply, remember, &mut batch, &mut act.meter);
                         (status, opcode, value_len, shard)
                     }
                     ActionKind::Retransmit { status, opcode } => {
@@ -400,8 +491,8 @@ impl PrecursorServer {
                         // far lands before the retransmitted bytes.
                         self.flush_reply_batch(idx, &mut batch);
                         run_sealed = false;
-                        self.charge_fixed_occupancy(opcode, &mut slot.meter);
-                        self.emit_retransmit(idx, &mut slot.meter);
+                        self.charge_fixed_occupancy(opcode, &mut act.meter);
+                        self.emit_retransmit(idx, &mut act.meter);
                         (status, opcode, 0, (idx % shards) as u32)
                     }
                     ActionKind::AwaitExec { .. } => unreachable!("executed in phase B"),
@@ -412,7 +503,7 @@ impl PrecursorServer {
                     status,
                     value_len,
                     shard,
-                    meter: slot.meter,
+                    meter: act.meter,
                 });
             }
             self.flush_reply_batch(idx, &mut batch);

@@ -55,7 +55,7 @@ pub mod tcp;
 
 pub use adversary::{AdversaryInjector, AdversaryPlan, AttackClass, MountedAttack};
 pub use faults::{DurableVerdict, FaultAction, FaultDir, FaultInjector, FaultPlan, FaultSite};
-pub use mr::{Memory, RemoteKey};
+pub use mr::{Memory, RemoteKey, WriteBoard};
 pub use nic::RnicCache;
 pub use qp::{connect_pair, connect_pair_faulty, QueuePair, RdmaError, WcStatus, WorkCompletion};
 pub use replica::{LinkMode, LinkStats, ReplicaLink};

@@ -8,6 +8,7 @@
 //! (simulated) NIC refuses to touch it, which is why Precursor must place
 //! payload data in *untrusted* memory (§1).
 
+use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
 use crate::plock;
@@ -95,6 +96,81 @@ pub(crate) struct Registration {
     /// Remote peers may WRITE (and READ). False models registration of
     /// read-only windows.
     pub remote_write: bool,
+    /// Optional write-watch: every remote WRITE *delivered* into this
+    /// region marks `(board, tag)` — the doorbell feeding dirty-ring poll
+    /// sweeps. Dropped WRITEs (fault injection) do not mark, exactly as a
+    /// lost packet leaves no trace in host memory.
+    pub watch: Option<(WriteBoard, u64)>,
+}
+
+/// A shared set of "this region was remotely written" marks, deduplicated
+/// by tag until drained.
+///
+/// In real Precursor the trusted poller discovers new requests only by
+/// scanning rings; at 100k connected clients an all-rings scan per sweep is
+/// the dominant cost even when almost every ring is idle. The simulator's
+/// write board plays the role of the RNIC's observable side effect (bytes
+/// landing in host memory): regions registered with a watch push their tag
+/// here on every delivered remote WRITE, and the server's sweep drains the
+/// board instead of touching idle rings. Determinism: marks are recorded in
+/// delivery order, which is itself deterministic under the seeded
+/// simulation.
+///
+/// # Example
+///
+/// ```
+/// use precursor_rdma::mr::WriteBoard;
+///
+/// let board = WriteBoard::new();
+/// board.mark(7);
+/// board.mark(3);
+/// board.mark(7); // deduplicated until drained
+/// assert_eq!(board.drain(), vec![7, 3]);
+/// assert!(board.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteBoard {
+    inner: Arc<Mutex<BoardInner>>,
+}
+
+#[derive(Debug, Default)]
+struct BoardInner {
+    order: Vec<u64>,
+    queued: HashSet<u64>,
+}
+
+impl WriteBoard {
+    /// Creates an empty board.
+    pub fn new() -> WriteBoard {
+        WriteBoard::default()
+    }
+
+    /// Records that the region tagged `tag` was written. Idempotent until
+    /// the next [`drain`](Self::drain).
+    pub fn mark(&self, tag: u64) {
+        let mut b = plock(&self.inner);
+        if b.queued.insert(tag) {
+            b.order.push(tag);
+        }
+    }
+
+    /// Takes all marks accumulated since the last drain, in first-mark
+    /// order.
+    pub fn drain(&self) -> Vec<u64> {
+        let mut b = plock(&self.inner);
+        b.queued.clear();
+        std::mem::take(&mut b.order)
+    }
+
+    /// Whether no marks are pending.
+    pub fn is_empty(&self) -> bool {
+        plock(&self.inner).order.is_empty()
+    }
+
+    /// Number of distinct tags currently marked.
+    pub fn len(&self) -> usize {
+        plock(&self.inner).order.len()
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use crate::faults::{FaultInjector, FaultSite, WriteVerdict};
-use crate::mr::{Memory, Registration, RemoteKey};
+use crate::mr::{Memory, Registration, RemoteKey, WriteBoard};
 use crate::plock;
 
 /// Errors from posting verbs.
@@ -178,6 +178,29 @@ impl QueuePair {
     /// `remote_write` (remote reads are always allowed in the model). The
     /// returned key is what the peer presents with one-sided ops.
     pub fn register(&self, mem: Memory, remote_write: bool) -> RemoteKey {
+        self.register_inner(mem, remote_write, None)
+    }
+
+    /// Like [`register`](Self::register), with a write-watch attached:
+    /// every remote WRITE delivered into the region marks `tag` on `board`
+    /// (the doorbell feeding dirty-ring poll sweeps). WRITEs dropped by
+    /// fault injection leave no mark — exactly like a lost packet.
+    pub fn register_watched(
+        &self,
+        mem: Memory,
+        remote_write: bool,
+        board: WriteBoard,
+        tag: u64,
+    ) -> RemoteKey {
+        self.register_inner(mem, remote_write, Some((board, tag)))
+    }
+
+    fn register_inner(
+        &self,
+        mem: Memory,
+        remote_write: bool,
+        watch: Option<(WriteBoard, u64)>,
+    ) -> RemoteKey {
         let mut s = plock(&self.shared);
         s.next_rkey += 1;
         let key = s.next_rkey;
@@ -186,7 +209,14 @@ impl QueuePair {
         } else {
             &mut s.regs_b
         };
-        regs.insert(key, Registration { mem, remote_write });
+        regs.insert(
+            key,
+            Registration {
+                mem,
+                remote_write,
+                watch,
+            },
+        );
         RemoteKey(key)
     }
 
@@ -328,6 +358,9 @@ impl QueuePair {
         }
         if deliver {
             reg.mem.write(offset, &buf);
+            if let Some((board, tag)) = &reg.watch {
+                board.mark(*tag);
+            }
         }
         let inline = data.len() <= self.inline_max;
         self.account(data.len(), inline, signaled, WrKind::Write);

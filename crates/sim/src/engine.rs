@@ -1,14 +1,23 @@
 //! A minimal token-based event queue.
 //!
 //! The closed-loop drivers process *tokens* (e.g. "client 7 issues its next
-//! operation") in virtual-time order. [`EventQueue`] is a thin wrapper over a
-//! binary heap that breaks ties deterministically by insertion sequence, so
-//! identical seeds always produce identical schedules.
+//! operation") in virtual-time order. [`EventQueue`] is the queue every call
+//! site uses; since the 100k-client refactor it is a thin adapter over the
+//! hierarchical [`TimingWheel`] — O(1) schedule
+//! and pop instead of the heap's O(log n) — with ties at equal times still
+//! broken deterministically by insertion sequence, so identical seeds always
+//! produce identical schedules.
+//!
+//! [`HeapQueue`] is the original `BinaryHeap`-backed implementation, kept as
+//! the executable ordering specification: the equivalence suite replays
+//! random schedules through both and requires identical `(time, token)` pop
+//! sequences.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::time::Nanos;
+use crate::wheel::TimingWheel;
 
 /// A time-ordered queue of tokens of type `T`.
 ///
@@ -27,6 +36,55 @@ use crate::time::Nanos;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
+    wheel: TimingWheel<T>,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            wheel: TimingWheel::new(),
+        }
+    }
+
+    /// Schedules `token` at virtual time `at`. O(1).
+    pub fn push(&mut self, at: Nanos, token: T) {
+        self.wheel.push(at, token);
+    }
+
+    /// Removes and returns the earliest token (FIFO among equal times).
+    /// Amortized O(1).
+    pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        self.wheel.pop()
+    }
+
+    /// The time of the earliest token without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.wheel.peek_time()
+    }
+
+    /// Number of pending tokens.
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Whether no tokens are pending.
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// The heap-backed reference queue: O(log n) per operation, trivially
+/// correct ordering by `(time, insertion sequence)`. Kept as the oracle the
+/// timing wheel is proptested against.
+#[derive(Debug, Clone)]
+pub struct HeapQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
     seq: u64,
 }
@@ -55,10 +113,10 @@ impl<T> Ord for Entry<T> {
     }
 }
 
-impl<T> EventQueue<T> {
+impl<T> HeapQueue<T> {
     /// Creates an empty queue.
-    pub fn new() -> EventQueue<T> {
-        EventQueue {
+    pub fn new() -> HeapQueue<T> {
+        HeapQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -92,9 +150,9 @@ impl<T> EventQueue<T> {
     }
 }
 
-impl<T> Default for EventQueue<T> {
+impl<T> Default for HeapQueue<T> {
     fn default() -> Self {
-        EventQueue::new()
+        HeapQueue::new()
     }
 }
 
@@ -144,5 +202,24 @@ mod tests {
         q.push(Nanos(5), "mid");
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn heap_reference_matches_wheel_on_a_closed_loop() {
+        // The shape the drivers produce: pop one, reschedule it later.
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        for c in 0..32u64 {
+            wheel.push(Nanos(c * 120), c);
+            heap.push(Nanos(c * 120), c);
+        }
+        for step in 0..10_000u64 {
+            let a = wheel.pop().unwrap();
+            let b = heap.pop().unwrap();
+            assert_eq!(a, b, "diverged at step {step}");
+            let next = a.0 + Nanos(1 + (a.1 * 7 + step * 13) % 40_000);
+            wheel.push(next, a.1);
+            heap.push(next, a.1);
+        }
     }
 }

@@ -20,7 +20,8 @@
 //! * [`histogram`] — log-bucketed latency histograms with percentile and CDF
 //!   extraction.
 //! * [`stats`] — running summary statistics.
-//! * [`engine`] — a tiny generic event queue for token-based simulations.
+//! * [`engine`] — a tiny generic event queue for token-based simulations,
+//!   backed by the [`wheel`] hierarchical timing wheel (O(1) schedule/pop).
 //!
 //! # Example
 //!
@@ -49,6 +50,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timer;
+pub mod wheel;
 
 pub use cost::CostModel;
 pub use histogram::Histogram;

@@ -190,6 +190,12 @@ pub struct RunResult {
     pub ops: u64,
     /// Virtual duration of the measured window.
     pub duration: Nanos,
+    /// Clients that issued at least one operation during the window —
+    /// exactly the number of lazily allocated per-client driver states
+    /// (a wide mostly-idle fleet stays cheap; see `clients_connected`).
+    pub clients_active: u64,
+    /// Clients connected to the system under test when the window ran.
+    pub clients_connected: u64,
 }
 
 // Per-op functional costs extracted from the meters.
@@ -202,9 +208,21 @@ struct OpCosts {
     server_occupancy: Nanos,
     // Trusted polling shard that executed the op (0 outside sharded mode).
     shard: usize,
+    // Ring visits the op's poll sweep performed (dirty-sweep cost basis;
+    // 0 for backends without a ring scanner).
+    rings_swept: u64,
     // Combined (client pre + post + server report) meter charge per stage,
     // in `Stage::ALL` order — feeds the exact `StageBreakdown`.
     stages: [Nanos; 5],
+}
+
+// Per-client driver state, boxed and allocated on the client's first
+// scheduled op. Everything a closed-loop client needs between ops lives
+// here; the RNG stream is owned by the generator and derived from the
+// client id, so allocation order never perturbs determinism.
+struct ClientState {
+    gen: OpGenerator,
+    version: u64,
 }
 
 /// Everything needed to build a [`BenchSession`], gathered into a builder
@@ -221,6 +239,8 @@ pub struct SessionParams {
     journaled: bool,
     compacted: bool,
     fast: bool,
+    ring_bytes: Option<usize>,
+    dirty_sweep: bool,
 }
 
 impl SessionParams {
@@ -238,6 +258,8 @@ impl SessionParams {
             journaled: false,
             compacted: false,
             fast: false,
+            ring_bytes: None,
+            dirty_sweep: false,
         }
     }
 
@@ -293,6 +315,27 @@ impl SessionParams {
         self
     }
 
+    /// Overrides the per-client request/reply ring size. The default
+    /// (1 MiB each way) is sized for bulk loads; a 100k-client scale sweep
+    /// would pin ~200 GB of rings, so wide fleets shrink them to a few
+    /// frames — a closed-loop client keeps at most one op in flight.
+    /// Precursor family only.
+    pub fn ring_bytes(mut self, bytes: usize) -> SessionParams {
+        self.ring_bytes = Some(bytes);
+        self
+    }
+
+    /// Drives poll sweeps from the dirty-ring doorbell board
+    /// ([`Config::dirty_ring_sweep`]): sweeps visit only rings a delivered
+    /// client WRITE marked since the last drain, so an idle ring costs
+    /// nothing and the driver charges scan occupancy against the rings
+    /// *actually* swept instead of all connected clients. Precursor
+    /// family only.
+    pub fn dirty_sweep(mut self, dirty: bool) -> SessionParams {
+        self.dirty_sweep = dirty;
+        self
+    }
+
     /// Turns on every hot-path knob ([`Config::with_fast_path`]): adaptive
     /// per-client poll budgets, batched seal/MAC passes, lazy credit
     /// write-back, and reply-frame arena reuse — the fig4 `+fast`
@@ -340,6 +383,8 @@ impl SessionParams {
                     max_clients: self.max_clients + 1,
                     pool_bytes: pool_size_for(self.value_size, self.warmup_keys),
                     shards: self.shards.unwrap_or(1),
+                    ring_bytes: self.ring_bytes.unwrap_or(base.ring_bytes),
+                    dirty_ring_sweep: self.dirty_sweep,
                     ..base
                 };
                 let mut backend = PrecursorBackend::new(config, cost);
@@ -355,6 +400,10 @@ impl SessionParams {
             SystemKind::ShieldStore => {
                 assert!(!self.journaled, "ShieldStore has no durability journal");
                 assert!(!self.fast, "ShieldStore has no Precursor fast path");
+                assert!(
+                    !self.dirty_sweep && self.ring_bytes.is_none(),
+                    "ShieldStore has no client rings"
+                );
                 Box::new(ShieldBackend::new(ShieldConfig::default(), cost))
             }
         };
@@ -369,6 +418,7 @@ impl SessionParams {
             seed: self.seed,
             measurements: 0,
             shards: self.shards,
+            dirty_sweep: self.dirty_sweep,
         };
         if self.warmup_keys > 0 {
             session.load_more(0, self.warmup_keys);
@@ -389,6 +439,10 @@ pub struct BenchSession {
     // pins each op to its shard's dedicated poller core instead of the
     // legacy any-of-12-threads pool (fig6 shard-scaling mode).
     shards: Option<usize>,
+    // Dirty-ring sweeps are on: scan occupancy is charged against the
+    // rings each op's sweep actually visited (measured through
+    // `TrustedKv::rings_swept`) instead of the connected-client count.
+    dirty_sweep: bool,
 }
 
 impl BenchSession {
@@ -522,18 +576,21 @@ impl BenchSession {
         // scales with the client count relative to the calibration baseline
         // (§5.2: "the necessary polling in the enclave ... might incur much
         // CPU overhead"). ShieldStore's socket loop is epoll-driven and not
-        // affected.
+        // affected. With dirty-ring sweeps on, the static estimate is
+        // replaced per op by the rings the sweep *actually* visited.
+        // Saturating i64 arithmetic throughout: a million-client fleet must
+        // degrade into clamped costs, never wrap.
+        let per_ring_cycles = i64::try_from(cost.poll_scan_per_client).unwrap_or(i64::MAX);
+        let baseline_rings = i64::try_from(cost.poll_scan_baseline).unwrap_or(i64::MAX);
+        let measured_scan = self.dirty_sweep && !is_tcp;
         let scan_adjust_cycles: i64 = if is_tcp {
             0
         } else {
-            cost.poll_scan_per_client as i64 * (clients as i64 - cost.poll_scan_baseline as i64)
+            let extra_rings = i64::try_from(clients)
+                .unwrap_or(i64::MAX)
+                .saturating_sub(baseline_rings);
+            per_ring_cycles.saturating_mul(extra_rings)
         };
-        let scan_adjust = Nanos(
-            cost.server_time(precursor_sim::time::Cycles(
-                scan_adjust_cycles.unsigned_abs(),
-            ))
-            .0,
-        );
         // Sharded mode: each poller core sweeps only the rings it owns —
         // ceil(clients / shards) of them — so per-op scan occupancy shrinks
         // with the shard count (the fig6 scaling effect). Charged in full
@@ -542,21 +599,29 @@ impl BenchSession {
         let shard_scan: Option<Nanos> = self.shards.map(|s| {
             let owned_rings = clients.div_ceil(s) as u64;
             cost.server_time(precursor_sim::time::Cycles(
-                cost.poll_scan_per_client * owned_rings,
+                cost.poll_scan_per_client.saturating_mul(owned_rings),
             ))
         });
 
-        let mut gens: Vec<OpGenerator> = (0..clients)
-            .map(|_| OpGenerator::new(workload.clone(), rng.fork()))
-            .collect();
-        let mut versions: Vec<u64> = vec![1; clients];
+        // Per-client driver state is allocated on a client's first
+        // scheduled op, so a measurement that touches only part of a wide
+        // fleet costs memory proportional to the *active* clients. Each
+        // client's RNG stream is derived from (seed, measurement, id) —
+        // not forked sequentially from the driver RNG — so streams do not
+        // depend on activation order.
+        let base_seed = self.seed ^ (self.measurements << 32);
+        let mut states: Vec<Option<Box<ClientState>>> = (0..clients).map(|_| None).collect();
+        let mut activated = 0u64;
 
         let mut queue: EventQueue<usize> = EventQueue::new();
         for c in 0..clients {
             queue.push(Nanos(c as u64 * 120), c);
         }
 
-        let mut latency = Histogram::new();
+        // Latency is aggregated per client-machine cohort (six machines,
+        // §5.1) and merged at the end — per-client histograms would make a
+        // 100k-client sweep's memory O(connected).
+        let mut cohort_lat: [Option<Box<Histogram>>; 6] = Default::default();
         let mut stages = StageBreakdown::default();
         let mut net_sum = Nanos::ZERO;
         let mut server_sum = Nanos::ZERO;
@@ -567,9 +632,20 @@ impl BenchSession {
 
         while completed < measure_ops {
             let (t0, c) = queue.pop().expect("closed loop never drains");
-            let (kind, key_id) = gens[c].next_op();
-            versions[c] += 1;
-            let costs = self.execute_op(workload, c, kind, key_id, versions[c]);
+            let state = states[c].get_or_insert_with(|| {
+                activated += 1;
+                let stream = SimRng::seed_from(
+                    base_seed.wrapping_add((c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                Box::new(ClientState {
+                    gen: OpGenerator::new(workload.clone(), stream),
+                    version: 1,
+                })
+            });
+            let (kind, key_id) = state.gen.next_op();
+            state.version += 1;
+            let version = state.version;
+            let costs = self.execute_op(workload, c, kind, key_id, version);
 
             // --- compose the timeline through the contended resources ---
             let m = machine_of(c);
@@ -589,6 +665,16 @@ impl BenchSession {
 
             let (t_depart, _busy_until) = match (self.shards, shard_scan) {
                 (Some(s), Some(scan)) => {
+                    let scan = if measured_scan {
+                        // Measured basis: the sweep's ring visits, spread
+                        // over the `s` parallel poller cores.
+                        cost.server_time(precursor_sim::time::Cycles(
+                            cost.poll_scan_per_client
+                                .saturating_mul(costs.rings_swept.div_ceil(s as u64)),
+                        ))
+                    } else {
+                        scan
+                    };
                     let occupancy = costs.server_occupancy + scan;
                     // The op is served by the poller core owning its shard
                     // — a hot shard queues on its own core while the others
@@ -601,12 +687,26 @@ impl BenchSession {
                     )
                 }
                 _ => {
-                    let occupancy = if scan_adjust_cycles >= 0 {
-                        costs.server_occupancy + scan_adjust
+                    let adjust_cycles = if measured_scan {
+                        // Measured basis: rings this op's sweep actually
+                        // visited, relative to the calibration baseline.
+                        let extra = i64::try_from(costs.rings_swept)
+                            .unwrap_or(i64::MAX)
+                            .saturating_sub(baseline_rings);
+                        per_ring_cycles.saturating_mul(extra)
+                    } else {
+                        scan_adjust_cycles
+                    };
+                    let adjust = Nanos(
+                        cost.server_time(precursor_sim::time::Cycles(adjust_cycles.unsigned_abs()))
+                            .0,
+                    );
+                    let occupancy = if adjust_cycles >= 0 {
+                        costs.server_occupancy + adjust
                     } else {
                         costs
                             .server_occupancy
-                            .saturating_sub(scan_adjust)
+                            .saturating_sub(adjust)
                             .max(costs.server_critical)
                     };
                     server_cpu.acquire_partial(t_arrive, costs.server_critical, occupancy)
@@ -627,7 +727,9 @@ impl BenchSession {
             let op_latency = t_done - t0;
             completed += 1;
             if completed > skip {
-                latency.record(op_latency);
+                cohort_lat[m]
+                    .get_or_insert_with(|| Box::new(Histogram::new()))
+                    .record(op_latency);
                 // Figure-8 style attribution: "server" is the request's
                 // processing time proper (what the paper instruments);
                 // queueing and transport fall under "networking".
@@ -647,6 +749,11 @@ impl BenchSession {
 
         let measured = measure_ops - skip;
         let duration = last_completion;
+        // Fold the cohort histograms into the session-wide distribution.
+        let mut latency = Histogram::new();
+        for cohort in cohort_lat.into_iter().flatten() {
+            latency.merge(&cohort);
+        }
         RunResult {
             throughput_ops: precursor_sim::stats::throughput_ops_per_sec(measure_ops, duration),
             latency,
@@ -658,6 +765,8 @@ impl BenchSession {
             epc: self.sut.sgx_report(),
             ops: measure_ops,
             duration,
+            clients_active: activated,
+            clients_connected: self.sut.clients() as u64,
         }
     }
 
@@ -681,7 +790,9 @@ impl BenchSession {
         }
         .expect("op send");
         let pre = sut.take_client_meter(c);
+        let rings_before = sut.rings_swept();
         sut.poll();
+        let rings_swept = sut.rings_swept().saturating_sub(rings_before);
         let report = sut.take_reports().pop().expect("one op processed");
         debug_assert_ne!(report.status, KvStatus::Replay);
         sut.poll_replies(c);
@@ -702,6 +813,7 @@ impl BenchSession {
             server_critical,
             server_occupancy: server_critical + report.meter.get(Stage::ServerOverhead),
             shard: report.shard as usize,
+            rings_swept,
             stages,
         }
     }
@@ -886,6 +998,79 @@ mod tests {
         // Warmup puts plus the measured gets are all accounted for.
         assert!(puts >= 500, "puts {puts}");
         assert!(gets >= r.ops, "gets {gets} ops {}", r.ops);
+    }
+
+    #[test]
+    fn lazy_state_allocates_only_active_clients() {
+        // 64 connected clients, but the window ends after 16 ops: the
+        // first 16 pops are 16 distinct clients (initial schedule spacing
+        // is far below latency + think time), so exactly 16 driver states
+        // are ever allocated.
+        let cost = CostModel::default();
+        let mut session = BenchSession::new(SystemKind::Precursor, 32, 500, 500, 64, 5, &cost);
+        let r = session.measure(&WorkloadSpec::workload_c(32, 500), 64, 16);
+        assert_eq!(r.clients_connected, 64);
+        assert_eq!(r.clients_active, 16, "active {}", r.clients_active);
+    }
+
+    #[test]
+    fn lazy_streams_do_not_depend_on_fleet_size() {
+        // The per-client RNG streams are derived from (seed, measurement,
+        // client id), so the same clients issue the same ops regardless of
+        // how many other clients exist in the fleet. Magnitudes must agree
+        // closely; exact timings differ through resource contention.
+        let cost = CostModel::default();
+        let spec = WorkloadSpec::workload_c(32, 500);
+        let mut small = BenchSession::new(SystemKind::Precursor, 32, 500, 500, 4, 5, &cost);
+        let mut big = BenchSession::new(SystemKind::Precursor, 32, 500, 500, 32, 5, &cost);
+        let rs = small.measure(&spec, 4, 800);
+        let rb = big.measure(&spec, 4, 800);
+        let ratio = rs.throughput_ops / rb.throughput_ops;
+        assert!(ratio > 0.7 && ratio < 1.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dirty_sweep_is_deterministic_and_equivalent() {
+        let cost = CostModel::default();
+        let spec = WorkloadSpec::workload_c(32, 500);
+        let params = SessionParams::new(SystemKind::Precursor)
+            .value_size(32)
+            .keys(500, 500)
+            .max_clients(4)
+            .seed(13);
+        let run = |p: SessionParams| p.build(&cost).measure(&spec, 4, 1_000);
+        let plain = run(params.clone());
+        let dirty_a = run(params.clone().dirty_sweep(true));
+        let dirty_b = run(params.dirty_sweep(true));
+        // Deterministic replay under the doorbell-driven sweep.
+        assert_eq!(dirty_a.throughput_ops, dirty_b.throughput_ops);
+        assert_eq!(
+            dirty_a.latency.percentile(99.0),
+            dirty_b.latency.percentile(99.0)
+        );
+        // Same functional work, only the scan-cost basis differs: the two
+        // modes must stay in the same performance regime.
+        let ratio = dirty_a.throughput_ops / plain.throughput_ops;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_rings_sustain_the_closed_loop() {
+        // The 100k-client sweeps shrink rings to ~1 KiB (a closed-loop
+        // client keeps one op in flight); the protocol must still run.
+        let cost = CostModel::default();
+        let spec = WorkloadSpec::workload_c(32, 200);
+        let mut session = SessionParams::new(SystemKind::Precursor)
+            .value_size(32)
+            .keys(200, 200)
+            .max_clients(4)
+            .ring_bytes(1 << 10)
+            .dirty_sweep(true)
+            .seed(3)
+            .build(&cost);
+        let r = session.measure(&spec, 4, 600);
+        assert!(r.throughput_ops > 0.0);
+        assert!(r.latency.count() > 0);
     }
 
     #[test]

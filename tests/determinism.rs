@@ -207,6 +207,41 @@ fn journal_replay_reproduces_the_golden_run_state() {
 }
 
 #[test]
+fn dirty_sweep_single_shard_matches_golden_digest() {
+    // Doorbell-driven sweeps (`dirty_ring_sweep`) change which rings a
+    // poll *visits*, never what happens to a visited ring: records pop in
+    // the same order, credits flush at the same polls (an elided client
+    // sits in `credit_pending` and gets exactly the idle visit the full
+    // scan would have given it), and fault-dropped doorbells are covered
+    // by the client's retransmission. The whole chaos run must therefore
+    // stay bit-identical to the full-scan golden digest.
+    const GOLDEN: u64 = 12_986_051_342_204_127_709;
+    let config = Config {
+        dirty_ring_sweep: true,
+        ..Config::default()
+    };
+    assert_eq!(run_digest(config, 7), GOLDEN);
+}
+
+#[test]
+fn dirty_sweep_sharded_runs_reproduce_per_seed() {
+    for shards in [2usize, 4] {
+        let config = || Config {
+            dirty_ring_sweep: true,
+            ..Config::sharded(shards)
+        };
+        let a = run_digest(config(), 21);
+        let b = run_digest(config(), 21);
+        assert_eq!(a, b, "dirty sweeps at shards={shards} must replay");
+        assert_eq!(
+            run_digest(config(), 22),
+            run_digest(config(), 22),
+            "dirty sweeps at shards={shards} must replay (seed 22)"
+        );
+    }
+}
+
+#[test]
 fn multi_shard_chaos_runs_reproduce_per_seed() {
     // Sharded mode makes no bit-identity promise *across* shard counts,
     // but any fixed (shards, seed) pair must still replay exactly.
