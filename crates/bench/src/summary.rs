@@ -296,7 +296,69 @@ pub fn collect(seed: u64) -> Vec<SummaryPoint> {
         points.push(point("fig8", format!("{VALUE_BYTES}B"), system, &r));
     }
 
+    // fig9: cluster scaling under the virtual-time model — every node an
+    // independent trusted poller, throughput = ops over the busiest
+    // node's server-side meter charge. Multi-node points fence a live
+    // key-range migration five sixths into the window; the gate pins
+    // both the scaling ratio and the stale-routing overhead staying
+    // under 1 %. The full 1k/10k-client decade sweep with its ≥1.7×
+    // 4-node floor lives in the `fig9_cluster_sweep` bench (CI
+    // `cluster-chaos`); these three points are what the >5% trajectory
+    // gate watches.
+    for nodes in [1usize, 2, 4] {
+        points.push(fig9_cluster_point(seed, nodes, &cost));
+    }
+
     points
+}
+
+// One fig9 trajectory point: a 64-client cluster window at `nodes` nodes
+// with a migration fenced in-window on multi-node runs. Cluster pumps and
+// routing happen in functional (zero-cost) steps, so the latency
+// percentiles all report the mean server-side charge per op — the
+// quantity the virtual-time throughput inverts — and the stage fields
+// stay zero (per-node attribution lives in the fig9 CSV, not here).
+fn fig9_cluster_point(seed: u64, nodes: usize, cost: &CostModel) -> SummaryPoint {
+    use precursor_ycsb::cluster::{ClusterParams, ClusterSession};
+    const FIG9_CLIENTS: usize = 64;
+    const FIG9_KEYS: u64 = 2_000;
+    const FIG9_OPS: u64 = 4_000;
+    let mut session = ClusterSession::build(
+        &ClusterParams {
+            nodes,
+            clients: FIG9_CLIENTS,
+            value_size: VALUE_BYTES,
+            key_count: FIG9_KEYS,
+            seed,
+        },
+        cost,
+    );
+    let spec = WorkloadSpec::workload_b(VALUE_BYTES, FIG9_KEYS);
+    let r = session.measure(&spec, FIG9_OPS, nodes > 1);
+    if nodes > 1 {
+        assert_eq!(r.migrations_fenced, 1, "fig9 migration fences in-window");
+        assert!(r.redirects > 0, "fig9 fence must be observed by a redirect");
+        assert!(
+            r.redirect_rate < 0.01,
+            "fig9 redirect rate {:.3}% breaches 1% (nodes={nodes})",
+            r.redirect_rate * 100.0
+        );
+    }
+    let mean_ns_per_op = r.duration.0 / r.ops.max(1);
+    SummaryPoint {
+        fig: "fig9",
+        label: format!("nodes={nodes}"),
+        system: SystemKind::Precursor.name(),
+        throughput_ops: r.throughput_ops,
+        p50_ns: mean_ns_per_op,
+        p95_ns: mean_ns_per_op,
+        p99_ns: mean_ns_per_op,
+        stage_ns_per_op: [0; 5],
+        stage_total_ns_per_op: 0,
+        epc_working_set_pages: 0,
+        epc_faults: 0,
+        ops: r.ops,
+    }
 }
 
 // The staged-promotion catch-up measurement behind the `failover/catchup`

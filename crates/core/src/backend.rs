@@ -64,6 +64,9 @@ pub enum KvStatus {
     Error,
     /// The server is shedding load; retry later.
     Busy,
+    /// The addressed node does not own the key; refresh routing and retry
+    /// at the hinted owner.
+    NotMine,
 }
 
 impl From<Status> for KvStatus {
@@ -74,6 +77,7 @@ impl From<Status> for KvStatus {
             Status::Replay => KvStatus::Replay,
             Status::Error => KvStatus::Error,
             Status::Busy => KvStatus::Busy,
+            Status::NotMine => KvStatus::NotMine,
         }
     }
 }

@@ -88,6 +88,9 @@ pub struct SecurityAudit {
     pub rollback_regressions: u64,
     /// Replies carrying [`Status::Busy`] backpressure.
     pub busy_replies: u64,
+    /// Replies carrying a sealed [`Status::NotMine`] routing redirect —
+    /// the addressed node does not own the key (stale location cache).
+    pub not_mine_replies: u64,
 }
 
 /// A finished operation, as observed by the client.
@@ -106,6 +109,11 @@ pub struct CompletedOp {
     /// match (§3.7 "Query data"), or [`StoreError::RetriesExhausted`] /
     /// [`StoreError::Timeout`] when the operation was given up on.
     pub error: Option<StoreError>,
+    /// The sealed owner hint from a [`Status::NotMine`] redirect (routing
+    /// epoch + owner node, see `cluster::decode_owner_hint`); `None` for
+    /// every other status. Authenticated by the reply MAC chain, so acting
+    /// on it cannot be a host-forged misroute.
+    pub redirect: Option<u64>,
 }
 
 // What one transmission put on the wire: the exact ring WRITEs issued and
@@ -298,6 +306,7 @@ impl PrecursorClient {
             self.audit.rollback_regressions,
         );
         m.inc("client.audit.busy_replies", self.audit.busy_replies);
+        m.inc("client.audit.not_mine_replies", self.audit.not_mine_replies);
         m.inc("client.retransmits", self.retransmits);
         m
     }
@@ -753,6 +762,7 @@ impl PrecursorClient {
                 status: Status::Error,
                 value: None,
                 error: Some(error),
+                redirect: None,
             },
         );
     }
@@ -997,6 +1007,7 @@ impl PrecursorClient {
             status: frame.status,
             value: None,
             error: None,
+            redirect: None,
         };
 
         if frame.status == Status::Busy {
@@ -1005,6 +1016,16 @@ impl PrecursorClient {
             // with a fresh oid.
             self.audit.busy_replies += 1;
             completed.error = Some(StoreError::Busy);
+        }
+
+        if frame.status == Status::NotMine {
+            // Routing redirect: the op did not execute here. The sealed
+            // control's retry hint carries the authoritative owner (epoch +
+            // node); surface it so a cluster-aware caller can refresh its
+            // location cache and retry at the owner with a fresh oid.
+            self.audit.not_mine_replies += 1;
+            completed.error = Some(StoreError::NotMine);
+            completed.redirect = Some(control.retry_after_ns);
         }
 
         if frame.status == Status::Ok && pending.opcode == Opcode::Get {
@@ -1116,6 +1137,7 @@ impl PrecursorClient {
             Status::Replay => Err(c.error.unwrap_or(StoreError::ReplayDetected)),
             Status::NotFound => Err(c.error.unwrap_or(StoreError::NotFound)),
             Status::Busy => Err(StoreError::Busy),
+            Status::NotMine => Err(StoreError::NotMine),
             _ => Err(c.error.unwrap_or(StoreError::MalformedFrame)),
         }
     }
@@ -1141,6 +1163,7 @@ impl PrecursorClient {
             Status::NotFound => Err(StoreError::NotFound),
             Status::Replay => Err(StoreError::ReplayDetected),
             Status::Busy => Err(StoreError::Busy),
+            Status::NotMine => Err(StoreError::NotMine),
             Status::Error => Err(StoreError::MalformedFrame),
         }
     }
@@ -1161,6 +1184,7 @@ impl PrecursorClient {
             Status::Ok => Ok(()),
             Status::NotFound => Err(StoreError::NotFound),
             Status::Busy => Err(StoreError::Busy),
+            Status::NotMine => Err(StoreError::NotMine),
             _ => Err(c.error.unwrap_or(StoreError::MalformedFrame)),
         }
     }

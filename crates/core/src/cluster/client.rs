@@ -1,0 +1,358 @@
+//! The cluster-aware client facade: one [`PrecursorClient`] session per
+//! node (created lazily), routed through a [`LocationCache`].
+//!
+//! Redirect handling is the at-most-once-safe retry: a sealed
+//! [`Status::NotMine`] completion consumed its `oid` on the stale node
+//! without executing, and the retry is a *fresh* `oid` on the owner's
+//! independent session — so no per-node window is ever violated, and an
+//! operation executes at most once cluster-wide.
+
+use crate::client::PrecursorClient;
+use crate::config::RetryPolicy;
+use crate::error::StoreError;
+use crate::wire::Status;
+use crate::CompletedOp;
+
+use super::{decode_owner_hint, LocationCache, PrecursorCluster};
+
+// A redirect chain longer than this means routing is livelocked (every
+// hop disagrees); surface it instead of spinning.
+const MAX_REDIRECTS: usize = 4;
+
+/// Routing counters for one [`ClusterClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteStats {
+    /// Operations routed (sync ops and async submissions).
+    pub ops: u64,
+    /// Sealed `NotMine` redirects received (stale-cache hits).
+    pub redirects: u64,
+    /// Ring snapshots re-fetched from the metadata service after a
+    /// redirect proved the cache stale.
+    pub refreshes: u64,
+}
+
+/// A client of the whole cluster: per-node sessions behind one routing
+/// facade. See the [module docs](super).
+#[derive(Debug)]
+pub struct ClusterClient {
+    base_seed: u64,
+    sessions: Vec<Option<PrecursorClient>>,
+    cache: LocationCache,
+    stats: RouteStats,
+    retry: Option<RetryPolicy>,
+    trace_cap: Option<usize>,
+}
+
+impl ClusterClient {
+    /// Connects to the cluster: fetches the initial ring snapshot and
+    /// eagerly attests to node 0 (with `seed` itself, so a nodes=1 cluster
+    /// run is bit-identical to a standalone `PrecursorClient::connect`);
+    /// sessions to other nodes are attested lazily on first route.
+    ///
+    /// # Errors
+    ///
+    /// Attestation failures from the node-0 connect.
+    pub fn connect(cluster: &mut PrecursorCluster, seed: u64) -> Result<ClusterClient, StoreError> {
+        let mut sessions: Vec<Option<PrecursorClient>> =
+            (0..cluster.node_count()).map(|_| None).collect();
+        let mut cache = LocationCache::new();
+        cache.learn(cluster.meta().snapshot());
+        sessions[0] = Some(PrecursorClient::connect(cluster.node_mut(0), seed)?);
+        Ok(ClusterClient {
+            base_seed: seed,
+            sessions,
+            cache,
+            stats: RouteStats::default(),
+            retry: None,
+            trace_cap: None,
+        })
+    }
+
+    fn seed_for(&self, node: u16) -> u64 {
+        // Node 0 uses the base seed verbatim (the nodes=1 determinism
+        // pin); other nodes get independent streams.
+        self.base_seed ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Enables client-side tracing on every session (current and future).
+    pub fn enable_tracing(&mut self, cap: usize) {
+        self.trace_cap = Some(cap);
+        for s in self.sessions.iter_mut().flatten() {
+            s.enable_tracing(cap);
+        }
+    }
+
+    /// Sets the retry policy on every session (current and future).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+        for s in self.sessions.iter_mut().flatten() {
+            s.set_retry_policy(policy);
+        }
+    }
+
+    /// Routing counters.
+    pub fn stats(&self) -> RouteStats {
+        self.stats
+    }
+
+    /// The location cache.
+    pub fn cache(&self) -> &LocationCache {
+        &self.cache
+    }
+
+    /// Routes `key` through the location cache (learning the ring from the
+    /// metadata service if the cache is empty).
+    pub fn route(&mut self, cluster: &PrecursorCluster, key: &[u8]) -> u16 {
+        if let Some(node) = self.cache.route(key) {
+            return node;
+        }
+        self.cache.learn(cluster.meta().snapshot());
+        self.cache.route(key).expect("fresh ring routes every key")
+    }
+
+    /// Ensures a session to `node` exists (lazy attestation).
+    ///
+    /// # Errors
+    ///
+    /// Attestation failures from the underlying connect.
+    pub fn ensure_session(
+        &mut self,
+        cluster: &mut PrecursorCluster,
+        node: u16,
+    ) -> Result<(), StoreError> {
+        if self.sessions[node as usize].is_none() {
+            let seed = self.seed_for(node);
+            let mut s = PrecursorClient::connect(cluster.node_mut(node as usize), seed)?;
+            if let Some(cap) = self.trace_cap {
+                s.enable_tracing(cap);
+            }
+            if let Some(p) = self.retry {
+                s.set_retry_policy(p);
+            }
+            self.sessions[node as usize] = Some(s);
+        }
+        Ok(())
+    }
+
+    /// The session to `node`, if one was attested.
+    pub fn session_mut(&mut self, node: u16) -> Option<&mut PrecursorClient> {
+        self.sessions[node as usize].as_mut()
+    }
+
+    /// Re-attests the session to `node` (after a node crash/recovery).
+    ///
+    /// # Errors
+    ///
+    /// Attestation failures from the underlying reconnect.
+    pub fn reconnect_node(
+        &mut self,
+        cluster: &mut PrecursorCluster,
+        node: u16,
+    ) -> Result<(), StoreError> {
+        if let Some(s) = self.sessions[node as usize].as_mut() {
+            s.reconnect(cluster.node_mut(node as usize))?;
+        }
+        Ok(())
+    }
+
+    // Processes a sealed NotMine hint: count it, and refresh the ring
+    // snapshot iff the hint's epoch proves the cache stale (an older or
+    // equal epoch is a replayed pre-migration redirect — ignored).
+    fn apply_redirect(&mut self, cluster: &PrecursorCluster, hint: u64) {
+        self.stats.redirects += 1;
+        if self.cache.is_stale_for(hint) {
+            self.cache.learn(cluster.meta().snapshot());
+            self.stats.refreshes += 1;
+        }
+    }
+
+    /// Handles an asynchronously-observed `NotMine` completion: applies the
+    /// hint to the cache and returns the node the operation should be
+    /// re-issued to (with a fresh oid). Used by pipelined harnesses that
+    /// drive sessions directly.
+    pub fn note_redirect(&mut self, cluster: &PrecursorCluster, c: &CompletedOp) -> Option<u16> {
+        let hint = c.redirect?;
+        self.apply_redirect(cluster, hint);
+        let (_, owner) = decode_owner_hint(hint);
+        Some(owner)
+    }
+
+    /// Cluster-routed put: route, execute at the owner, follow sealed
+    /// redirects with fresh oids.
+    ///
+    /// # Errors
+    ///
+    /// As [`PrecursorClient::put_sync`], plus [`StoreError::NotMine`] if
+    /// the redirect chain exceeds the retry bound.
+    pub fn put_sync(
+        &mut self,
+        cluster: &mut PrecursorCluster,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), StoreError> {
+        self.stats.ops += 1;
+        for _ in 0..MAX_REDIRECTS {
+            let node = self.route(cluster, key);
+            self.ensure_session(cluster, node)?;
+            let session = self.sessions[node as usize].as_mut().expect("ensured");
+            let oid = session.put(key, value)?;
+            let c = session.complete_sync(cluster.node_mut(node as usize), oid)?;
+            if c.status == Status::NotMine {
+                self.apply_redirect(cluster, c.redirect.unwrap_or_default());
+                continue;
+            }
+            return match c.status {
+                Status::Ok => Ok(()),
+                Status::Replay => Err(c.error.unwrap_or(StoreError::ReplayDetected)),
+                Status::NotFound => Err(c.error.unwrap_or(StoreError::NotFound)),
+                Status::Busy => Err(StoreError::Busy),
+                _ => Err(c.error.unwrap_or(StoreError::MalformedFrame)),
+            };
+        }
+        Err(StoreError::NotMine)
+    }
+
+    /// Cluster-routed get (verified value), following sealed redirects.
+    ///
+    /// # Errors
+    ///
+    /// As [`PrecursorClient::get_sync`], plus [`StoreError::NotMine`] if
+    /// the redirect chain exceeds the retry bound.
+    pub fn get_sync(
+        &mut self,
+        cluster: &mut PrecursorCluster,
+        key: &[u8],
+    ) -> Result<Vec<u8>, StoreError> {
+        self.stats.ops += 1;
+        for _ in 0..MAX_REDIRECTS {
+            let node = self.route(cluster, key);
+            self.ensure_session(cluster, node)?;
+            let session = self.sessions[node as usize].as_mut().expect("ensured");
+            let oid = session.get(key)?;
+            let c = session.complete_sync(cluster.node_mut(node as usize), oid)?;
+            if c.status == Status::NotMine {
+                self.apply_redirect(cluster, c.redirect.unwrap_or_default());
+                continue;
+            }
+            if let Some(e) = c.error {
+                return Err(e);
+            }
+            return match c.status {
+                Status::Ok => Ok(c.value.expect("ok get carries a value")),
+                Status::NotFound => Err(StoreError::NotFound),
+                Status::Replay => Err(StoreError::ReplayDetected),
+                Status::Busy => Err(StoreError::Busy),
+                Status::NotMine => Err(StoreError::NotMine),
+                Status::Error => Err(StoreError::MalformedFrame),
+            };
+        }
+        Err(StoreError::NotMine)
+    }
+
+    /// Cluster-routed delete, following sealed redirects.
+    ///
+    /// # Errors
+    ///
+    /// As [`PrecursorClient::delete_sync`], plus [`StoreError::NotMine`]
+    /// if the redirect chain exceeds the retry bound.
+    pub fn delete_sync(
+        &mut self,
+        cluster: &mut PrecursorCluster,
+        key: &[u8],
+    ) -> Result<(), StoreError> {
+        self.stats.ops += 1;
+        for _ in 0..MAX_REDIRECTS {
+            let node = self.route(cluster, key);
+            self.ensure_session(cluster, node)?;
+            let session = self.sessions[node as usize].as_mut().expect("ensured");
+            let oid = session.delete(key)?;
+            let c = session.complete_sync(cluster.node_mut(node as usize), oid)?;
+            if c.status == Status::NotMine {
+                self.apply_redirect(cluster, c.redirect.unwrap_or_default());
+                continue;
+            }
+            return match c.status {
+                Status::Ok => Ok(()),
+                Status::NotFound => Err(StoreError::NotFound),
+                Status::Busy => Err(StoreError::Busy),
+                _ => Err(c.error.unwrap_or(StoreError::MalformedFrame)),
+            };
+        }
+        Err(StoreError::NotMine)
+    }
+
+    /// Submits a put without waiting: returns `(node, oid)` for pipelined
+    /// harnesses. Redirect completions must be handled by the caller via
+    /// [`note_redirect`](Self::note_redirect).
+    ///
+    /// # Errors
+    ///
+    /// Send failures from the underlying submit.
+    pub fn submit_put(
+        &mut self,
+        cluster: &mut PrecursorCluster,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(u16, u64), StoreError> {
+        self.stats.ops += 1;
+        let node = self.route(cluster, key);
+        self.ensure_session(cluster, node)?;
+        let session = self.sessions[node as usize].as_mut().expect("ensured");
+        Ok((node, session.put(key, value)?))
+    }
+
+    /// Submits a get without waiting: returns `(node, oid)`.
+    ///
+    /// # Errors
+    ///
+    /// Send failures from the underlying submit.
+    pub fn submit_get(
+        &mut self,
+        cluster: &mut PrecursorCluster,
+        key: &[u8],
+    ) -> Result<(u16, u64), StoreError> {
+        self.stats.ops += 1;
+        let node = self.route(cluster, key);
+        self.ensure_session(cluster, node)?;
+        let session = self.sessions[node as usize].as_mut().expect("ensured");
+        Ok((node, session.get(key)?))
+    }
+
+    /// Submits a delete without waiting: returns `(node, oid)`.
+    ///
+    /// # Errors
+    ///
+    /// Send failures from the underlying submit.
+    pub fn submit_delete(
+        &mut self,
+        cluster: &mut PrecursorCluster,
+        key: &[u8],
+    ) -> Result<(u16, u64), StoreError> {
+        self.stats.ops += 1;
+        let node = self.route(cluster, key);
+        self.ensure_session(cluster, node)?;
+        let session = self.sessions[node as usize].as_mut().expect("ensured");
+        Ok((node, session.delete(key)?))
+    }
+
+    /// Polls replies on every attested session, in node order.
+    pub fn poll_all_replies(&mut self) {
+        for s in self.sessions.iter_mut().flatten() {
+            s.poll_replies();
+        }
+    }
+
+    /// Drains completed operations from every session as
+    /// `(node, completion)`, in node order.
+    pub fn take_all_completed(&mut self) -> Vec<(u16, CompletedOp)> {
+        let mut out = Vec::new();
+        for (i, s) in self.sessions.iter_mut().enumerate() {
+            if let Some(s) = s {
+                for c in s.take_all_completed() {
+                    out.push((i as u16, c));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,605 @@
+//! Multi-node Precursor: placement metadata, client-side location caching,
+//! and live key-range migration (DESIGN.md §18).
+//!
+//! The cluster is a set of full [`PrecursorServer`] nodes — each with its
+//! own shards, rings, and (optionally) journal — plus a metadata plane:
+//!
+//! * [`PlacementRing`] — weighted consistent-hash placement; each mutation
+//!   bumps a ring **epoch**.
+//! * [`MetaService`] — the authoritative ring. Clients fetch snapshots
+//!   from it; nodes get their view installed by the cluster.
+//! * [`LocationCache`] — the client's possibly-stale ring copy. A request
+//!   routed by a stale cache reaches a node that no longer owns the key
+//!   and is answered with a sealed [`Status::NotMine`] redirect whose
+//!   owner hint (epoch + node) rides the reply MAC chain — the host
+//!   cannot forge a redirect to misroute a client, and a replayed stale
+//!   redirect carries an old epoch the cache ignores.
+//! * [`ClusterClient`] — per-node [`PrecursorClient`] sessions behind one
+//!   routing facade; redirect retries use a fresh `oid` on the owner's
+//!   session, so the per-node at-most-once windows are never violated.
+//!
+//! Live migration is push-model: the source streams sealed range segments
+//! (GCM under the attested inter-node transfer key) over a
+//! [`ReplicaLink`] while it keeps serving the range; the destination
+//! stages decoded entries without serving them (its own routing view still
+//! assigns the range to the source). The **fence** is the single commit
+//! point: the source re-ships the delta (keys mutated since their segment
+//! shipped), the authoritative fence key-list drops deletions, the staged
+//! entries install at the destination, and the reassigned ring (epoch+1)
+//! is applied to the metadata service and every node view in one step.
+//! A source crash mid-transfer ([`FaultSite::MigrateShip`]) aborts before
+//! the fence: the destination discards its staging and the source remains
+//! the sole owner, so no key is ever unowned or dual-owned.
+
+mod client;
+mod ring;
+
+pub use client::{ClusterClient, RouteStats};
+pub use ring::PlacementRing;
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use precursor_crypto::keys::Key128;
+use precursor_crypto::{gcm, Nonce12};
+use precursor_rdma::faults::{DurableVerdict, FaultInjector, FaultPlan, FaultSite};
+use precursor_rdma::replica::ReplicaLink;
+use precursor_sim::rng::SimRng;
+use precursor_sim::CostModel;
+
+use crate::config::Config;
+use crate::error::StoreError;
+use crate::server::PrecursorServer;
+use crate::snapshot::SnapshotEntry;
+#[allow(unused_imports)] // doc links
+use crate::wire::Status;
+#[allow(unused_imports)] // doc links
+use crate::PrecursorClient;
+
+// A node's installed routing view: its id plus the ring it believes
+// authoritative. Owned by PrecursorServer (see `install_routing`).
+#[derive(Debug)]
+pub(crate) struct NodeRouting {
+    pub(crate) node: u16,
+    pub(crate) ring: PlacementRing,
+}
+
+/// Packs a routing-epoch + owner-node pair into the `retry_after_ns` slot
+/// of a sealed `NotMine` reply: epoch in the high 48 bits, node in the low
+/// 16. The field is covered by `chain_input`, so the hint inherits the
+/// reply MAC chain's authenticity.
+pub fn encode_owner_hint(epoch: u64, owner: u16) -> u64 {
+    debug_assert!(epoch < 1 << 48, "ring epoch overflows the hint encoding");
+    (epoch << 16) | owner as u64
+}
+
+/// Unpacks an owner hint into `(ring_epoch, owner_node)`.
+pub fn decode_owner_hint(hint: u64) -> (u64, u16) {
+    (hint >> 16, (hint & 0xffff) as u16)
+}
+
+/// The authoritative metadata service: owns the placement ring. Clients
+/// fetch snapshots; the cluster applies ring mutations (migration fences,
+/// joins, leaves) here and to every node view in the same step.
+#[derive(Debug)]
+pub struct MetaService {
+    ring: PlacementRing,
+}
+
+impl MetaService {
+    /// Wraps an initial ring.
+    pub fn new(ring: PlacementRing) -> MetaService {
+        MetaService { ring }
+    }
+
+    /// Authoritative lookup: `key → (owner node, ring epoch)`.
+    pub fn lookup(&self, key: &[u8]) -> (u16, u64) {
+        (self.ring.owner_of(key), self.ring.epoch())
+    }
+
+    /// The authoritative ring.
+    pub fn ring(&self) -> &PlacementRing {
+        &self.ring
+    }
+
+    /// A snapshot of the ring for a client location cache.
+    pub fn snapshot(&self) -> PlacementRing {
+        self.ring.clone()
+    }
+
+    // Applies a mutated ring (the migration fence's commit step).
+    pub(crate) fn apply(&mut self, ring: PlacementRing) {
+        debug_assert!(ring.epoch() > self.ring.epoch());
+        self.ring = ring;
+    }
+}
+
+/// A client's possibly-stale copy of the placement ring, stamped with the
+/// epoch it was fetched at. Sealed `NotMine` hints carrying a newer epoch
+/// invalidate it; hints carrying an older epoch (replays of pre-migration
+/// redirects) are ignored.
+#[derive(Debug, Default)]
+pub struct LocationCache {
+    ring: Option<PlacementRing>,
+}
+
+impl LocationCache {
+    /// An empty cache (routes nothing until it learns a ring).
+    pub fn new() -> LocationCache {
+        LocationCache::default()
+    }
+
+    /// The epoch of the cached ring, or 0 when empty.
+    pub fn epoch(&self) -> u64 {
+        self.ring.as_ref().map_or(0, PlacementRing::epoch)
+    }
+
+    /// Adopts `ring` if it is newer than the cached one.
+    pub fn learn(&mut self, ring: PlacementRing) {
+        if ring.epoch() > self.epoch() {
+            self.ring = Some(ring);
+        }
+    }
+
+    /// Routes `key` through the cached ring, if any.
+    pub fn route(&self, key: &[u8]) -> Option<u16> {
+        self.ring.as_ref().map(|r| r.owner_of(key))
+    }
+
+    /// Whether a sealed owner hint proves this cache stale (the hint's
+    /// epoch is newer than the cached ring's).
+    pub fn is_stale_for(&self, hint: u64) -> bool {
+        let (epoch, _) = decode_owner_hint(hint);
+        epoch > self.epoch()
+    }
+
+    /// Drops the cached ring.
+    pub fn invalidate(&mut self) {
+        self.ring = None;
+    }
+}
+
+/// What one [`PrecursorCluster::pump_migration`] call observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// No migration in flight.
+    Idle,
+    /// Still streaming segments: `shipped` of `total` keys sent so far.
+    Shipping {
+        /// Keys shipped so far (including this pump).
+        shipped: usize,
+        /// Keys in the range snapshot taken at migration start.
+        total: usize,
+    },
+    /// The fence committed: the destination is now authoritative.
+    Fenced(MigrationReport),
+    /// The migration aborted before its fence (source crash or tampered
+    /// segment); the source remains the sole owner.
+    Aborted(MigrationReport),
+}
+
+/// Summary of one finished (fenced or aborted) migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Source node.
+    pub from: u16,
+    /// Destination node.
+    pub to: u16,
+    /// Ring point (segment) being moved.
+    pub point: usize,
+    /// Keys installed at the destination by the fence (0 if aborted).
+    pub keys_moved: usize,
+    /// Sealed segments shipped (bulk stream + fence delta).
+    pub segments: u64,
+    /// Keys the fence had to re-ship because they mutated (or appeared)
+    /// after their bulk segment was sent.
+    pub delta_reshipped: usize,
+    /// Whether the migration aborted before the fence.
+    pub aborted: bool,
+}
+
+// In-flight migration state. `staged` lives at the destination side of the
+// link but is keyed here for determinism (BTreeMap: sorted iteration).
+#[derive(Debug)]
+struct Migration {
+    from: u16,
+    to: u16,
+    point: usize,
+    keys: Vec<Vec<u8>>, // range snapshot at start, sorted
+    next: usize,
+    staged: BTreeMap<Vec<u8>, SnapshotEntry>,
+    link: ReplicaLink,
+    segments: u64,
+}
+
+impl Migration {
+    fn report(&self, aborted: bool) -> MigrationReport {
+        MigrationReport {
+            from: self.from,
+            to: self.to,
+            point: self.point,
+            keys_moved: if aborted { 0 } else { self.staged.len() },
+            segments: self.segments,
+            delta_reshipped: 0,
+            aborted,
+        }
+    }
+}
+
+/// N simulated Precursor nodes behind one placement/metadata plane, with
+/// live key-range migration between them. See the [module docs](self).
+#[derive(Debug)]
+pub struct PrecursorCluster {
+    nodes: Vec<PrecursorServer>,
+    meta: MetaService,
+    migration: Option<Migration>,
+    // Attested node-to-node session key sealing migration segments
+    // (modelled: in the real system it comes out of mutual enclave
+    // attestation between source and destination).
+    transfer_key: Key128,
+    transfer_seq: u64,
+    migrate_faults: Option<Arc<Mutex<FaultInjector>>>,
+    migrations_completed: u64,
+    migrations_aborted: u64,
+}
+
+// Poison-tolerant lock (mirrors the server's helper).
+fn lock_faults(f: &Arc<Mutex<FaultInjector>>) -> std::sync::MutexGuard<'_, FaultInjector> {
+    f.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn segment_aad(from: u16, to: u16, epoch: u64) -> [u8; 12] {
+    let mut aad = [0u8; 12];
+    aad[..2].copy_from_slice(&from.to_le_bytes());
+    aad[2..4].copy_from_slice(&to.to_le_bytes());
+    aad[4..].copy_from_slice(&epoch.to_le_bytes());
+    aad
+}
+
+impl PrecursorCluster {
+    /// Default virtual points per node on the placement ring.
+    pub const DEFAULT_VNODES: u32 = 32;
+
+    /// Builds a cluster of `nodes` servers sharing `config` (cloned per
+    /// node) over an equally-weighted ring. With `nodes == 1` the single
+    /// node owns the whole ring, the `NotMine` gate never fires, and every
+    /// observable is bit-identical to a standalone [`PrecursorServer`]
+    /// (pinned by the golden digest in `tests/determinism.rs`).
+    ///
+    /// # Panics
+    ///
+    /// If `nodes` is 0 or exceeds `u16::MAX`.
+    pub fn new(nodes: usize, config: Config, cost: &CostModel) -> PrecursorCluster {
+        assert!(nodes > 0 && nodes <= u16::MAX as usize);
+        let ring = PlacementRing::new(nodes as u16, Self::DEFAULT_VNODES);
+        let mut servers = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let mut s = PrecursorServer::new(config.clone(), cost);
+            s.install_routing(i as u16, ring.clone());
+            servers.push(s);
+        }
+        // Deterministic attested transfer key: seeded independently of
+        // every other RNG stream in the simulation.
+        let mut rng = SimRng::seed_from(0x7472_616e_7366_6572);
+        PrecursorCluster {
+            nodes: servers,
+            meta: MetaService::new(ring),
+            migration: None,
+            transfer_key: Key128::generate(&mut rng),
+            transfer_seq: 0,
+            migrate_faults: None,
+            migrations_completed: 0,
+            migrations_aborted: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Shared reference to node `i`.
+    pub fn node(&self, i: usize) -> &PrecursorServer {
+        &self.nodes[i]
+    }
+
+    /// Mutable reference to node `i` (clients pump their own node).
+    pub fn node_mut(&mut self, i: usize) -> &mut PrecursorServer {
+        &mut self.nodes[i]
+    }
+
+    /// The metadata service.
+    pub fn meta(&self) -> &MetaService {
+        &self.meta
+    }
+
+    /// Polls every node once, in node order; returns records processed.
+    pub fn poll_all(&mut self) -> usize {
+        self.nodes.iter_mut().map(PrecursorServer::poll).sum()
+    }
+
+    /// Replaces node `i` (e.g. with a journal-recovered server after a
+    /// crash) and installs the current authoritative routing view on it.
+    pub fn replace_node(&mut self, i: usize, mut server: PrecursorServer) {
+        server.install_routing(i as u16, self.meta.snapshot());
+        self.nodes[i] = server;
+    }
+
+    /// Installs a fault plan driving [`FaultSite::MigrateShip`] — the
+    /// chaos hook modelling a source crash (Drop → torn transfer) or host
+    /// tampering (Corrupt) during segment shipping.
+    pub fn set_migrate_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        self.migrate_faults = Some(FaultInjector::shared(plan, seed));
+    }
+
+    /// Fenced migrations so far.
+    pub fn migrations_completed(&self) -> u64 {
+        self.migrations_completed
+    }
+
+    /// Aborted migrations so far.
+    pub fn migrations_aborted(&self) -> u64 {
+        self.migrations_aborted
+    }
+
+    /// Whether a migration is currently streaming.
+    pub fn migration_in_flight(&self) -> bool {
+        self.migration.is_some()
+    }
+
+    /// Starts migrating the ring segment owning `key` from its current
+    /// owner to node `to`. Returns `Ok(false)` if `to` already owns the
+    /// segment (no-op).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Busy`] if a migration is already in flight;
+    /// [`StoreError::MalformedFrame`] if `to` is not a cluster node.
+    pub fn start_migration(&mut self, key: &[u8], to: u16) -> Result<bool, StoreError> {
+        if self.migration.is_some() {
+            return Err(StoreError::Busy);
+        }
+        if to as usize >= self.nodes.len() {
+            return Err(StoreError::MalformedFrame);
+        }
+        let point = self.meta.ring().point_of(key);
+        let from = self.meta.ring().point_owner(point);
+        if from == to {
+            return Ok(false);
+        }
+        // Range snapshot: the segment's keys as they exist at the source
+        // right now. Keys created later are picked up by the fence delta;
+        // keys deleted later are dropped by the fence list.
+        let keys: Vec<Vec<u8>> = self.nodes[from as usize]
+            .live_keys()
+            .into_iter()
+            .filter(|k| self.meta.ring().point_of(k) == point)
+            .collect();
+        let link = match &self.migrate_faults {
+            Some(f) => ReplicaLink::new_faulty(Arc::clone(f)),
+            None => ReplicaLink::new(),
+        };
+        self.migration = Some(Migration {
+            from,
+            to,
+            point,
+            keys,
+            next: 0,
+            staged: BTreeMap::new(),
+            link,
+            segments: 0,
+        });
+        Ok(true)
+    }
+
+    /// Streams up to `batch` sealed segments; once the bulk stream is
+    /// done, commits the fence (delta re-ship + staged install + ring
+    /// flip on the metadata service and every node view, in one step).
+    /// The source keeps serving the range the whole time; only the fence
+    /// changes ownership.
+    pub fn pump_migration(&mut self, batch: usize) -> MigrationOutcome {
+        let Some(mut m) = self.migration.take() else {
+            return MigrationOutcome::Idle;
+        };
+        let mut shipped_now = 0usize;
+        while shipped_now < batch && m.next < m.keys.len() {
+            let key = m.keys[m.next].clone();
+            m.next += 1;
+            let Some(entry) = self.nodes[m.from as usize].export_entry(&key) else {
+                continue; // deleted since the range snapshot
+            };
+            match self.ship_segment(&mut m, &entry) {
+                ShipResult::Delivered => {
+                    shipped_now += 1;
+                }
+                ShipResult::SourceCrashed | ShipResult::Tampered => {
+                    // No fence was written: the source remains the sole
+                    // owner, the destination discards its staging.
+                    let report = m.report(true);
+                    self.migrations_aborted += 1;
+                    return MigrationOutcome::Aborted(report);
+                }
+            }
+        }
+        if m.next < m.keys.len() {
+            let out = MigrationOutcome::Shipping {
+                shipped: m.next,
+                total: m.keys.len(),
+            };
+            self.migration = Some(m);
+            return out;
+        }
+        match self.fence(m) {
+            Ok(report) => {
+                self.migrations_completed += 1;
+                MigrationOutcome::Fenced(report)
+            }
+            Err(report) => {
+                self.migrations_aborted += 1;
+                MigrationOutcome::Aborted(report)
+            }
+        }
+    }
+
+    /// Aborts an in-flight migration (chaos harness hook): the staged
+    /// entries are discarded and the source stays the sole owner.
+    pub fn abort_migration(&mut self) -> Option<MigrationReport> {
+        let m = self.migration.take()?;
+        self.migrations_aborted += 1;
+        Some(m.report(true))
+    }
+
+    // Seals one entry and pushes it through the inter-node link, applying
+    // the MigrateShip fault site to the sealed bytes.
+    fn ship_segment(&mut self, m: &mut Migration, entry: &SnapshotEntry) -> ShipResult {
+        let mut plain = Vec::new();
+        entry.encode_into(&mut plain);
+        let seq = self.transfer_seq;
+        self.transfer_seq += 1;
+        let aad = segment_aad(m.from, m.to, self.meta.ring().epoch());
+        let mut sealed = gcm::seal(
+            &self.transfer_key,
+            &Nonce12::from_counter(seq),
+            &aad,
+            &plain,
+        );
+        if let Some(f) = &self.migrate_faults {
+            match lock_faults(f).on_durable_write(FaultSite::MigrateShip, sealed.len()) {
+                DurableVerdict::Complete => {}
+                DurableVerdict::Torn(_) => return ShipResult::SourceCrashed,
+                DurableVerdict::Corrupt(bit) => {
+                    let byte = bit / 8;
+                    if byte < sealed.len() {
+                        sealed[byte] ^= 1 << (bit % 8);
+                    }
+                }
+            }
+        }
+        let mut frame = Vec::with_capacity(8 + sealed.len());
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(&sealed);
+        m.link.send_to_replica(&frame);
+        m.link.pump();
+        m.segments += 1;
+        while let Some(rx) = m.link.recv_at_replica() {
+            if rx.len() < 8 {
+                return ShipResult::Tampered;
+            }
+            let rx_seq = u64::from_le_bytes(rx[..8].try_into().expect("8 bytes"));
+            let opened = gcm::open(
+                &self.transfer_key,
+                &Nonce12::from_counter(rx_seq),
+                &aad,
+                &rx[8..],
+            );
+            let Ok(bytes) = opened else {
+                // Authentication failure: a tampered segment never
+                // installs; the migration aborts and can be retried.
+                return ShipResult::Tampered;
+            };
+            let mut pos = 0usize;
+            let Ok(decoded) = SnapshotEntry::decode_from(&bytes, &mut pos) else {
+                return ShipResult::Tampered;
+            };
+            m.staged.insert(decoded.key.clone(), decoded);
+        }
+        ShipResult::Delivered
+    }
+
+    // The fence: re-ship the mutation delta, reconcile deletions against
+    // the authoritative fence key-list, install the staged entries at the
+    // destination, and flip ownership everywhere in one step.
+    fn fence(&mut self, mut m: Migration) -> Result<MigrationReport, MigrationReport> {
+        let current: Vec<Vec<u8>> = self.nodes[m.from as usize]
+            .live_keys()
+            .into_iter()
+            .filter(|k| self.meta.ring().point_of(k) == m.point)
+            .collect();
+        // Delta: keys that mutated (or appeared) after their bulk segment
+        // shipped go through the same sealed-segment path, so the fault
+        // site also covers the fence window.
+        let mut delta = 0usize;
+        for key in &current {
+            let entry = self.nodes[m.from as usize]
+                .export_entry(key)
+                .expect("live key exports");
+            let changed = match m.staged.get(key) {
+                Some(staged) => {
+                    staged.stored_bytes != entry.stored_bytes
+                        || staged.storage_seq != entry.storage_seq
+                }
+                None => true,
+            };
+            if changed {
+                delta += 1;
+                match self.ship_segment(&mut m, &entry) {
+                    ShipResult::Delivered => {}
+                    ShipResult::SourceCrashed | ShipResult::Tampered => {
+                        return Err(m.report(true));
+                    }
+                }
+            }
+        }
+        // Deletions since the range snapshot: the fence list is
+        // authoritative, staged leftovers are dropped.
+        m.staged.retain(|k, _| current.binary_search(k).is_ok());
+
+        // Install at the destination (sorted order: BTreeMap), then flip.
+        let moved = m.staged.len();
+        for (_, entry) in std::mem::take(&mut m.staged) {
+            self.nodes[m.to as usize]
+                .install_entry(entry)
+                .expect("staged entry installs");
+        }
+        let mut ring = self.meta.snapshot();
+        ring.reassign_point(m.point, m.to);
+        self.meta.apply(ring.clone());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.install_routing(i as u16, ring.clone());
+        }
+        Ok(MigrationReport {
+            from: m.from,
+            to: m.to,
+            point: m.point,
+            keys_moved: moved,
+            segments: m.segments,
+            delta_reshipped: delta,
+            aborted: false,
+        })
+    }
+}
+
+enum ShipResult {
+    Delivered,
+    SourceCrashed,
+    Tampered,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_hint_roundtrips() {
+        for (epoch, owner) in [(1u64, 0u16), (7, 3), (0xffff_ffff, 65535)] {
+            let hint = encode_owner_hint(epoch, owner);
+            assert_eq!(decode_owner_hint(hint), (epoch, owner));
+        }
+    }
+
+    #[test]
+    fn location_cache_ignores_stale_hints() {
+        let mut cache = LocationCache::new();
+        cache.learn(PlacementRing::new(2, 8)); // epoch 1
+        assert_eq!(cache.epoch(), 1);
+        assert!(!cache.is_stale_for(encode_owner_hint(1, 0)));
+        assert!(cache.is_stale_for(encode_owner_hint(2, 1)));
+        // An older ring never replaces a newer cache entry.
+        let mut newer = PlacementRing::new(2, 8);
+        newer.reassign_point(0, 1); // epoch 2
+        cache.learn(newer);
+        assert_eq!(cache.epoch(), 2);
+        cache.learn(PlacementRing::new(2, 8));
+        assert_eq!(cache.epoch(), 2);
+    }
+}

@@ -57,6 +57,10 @@ pub enum StoreError {
     /// The server is shedding load for this client (memory quota or
     /// backpressure); back off and retry.
     Busy,
+    /// The addressed node does not own the key (stale location cache); the
+    /// sealed reply carries the authoritative owner hint. Refresh routing
+    /// and retry against the hinted owner.
+    NotMine,
 }
 
 impl fmt::Display for StoreError {
@@ -90,6 +94,9 @@ impl fmt::Display for StoreError {
                 f.write_str("forked server views detected (digest divergence)")
             }
             StoreError::Busy => f.write_str("server busy; back off and retry"),
+            StoreError::NotMine => {
+                f.write_str("key not owned by this node; refresh routing and retry")
+            }
         }
     }
 }
@@ -156,6 +163,7 @@ mod tests {
             .contains("rollback"));
         assert!(StoreError::ForkDetected.to_string().contains("forked"));
         assert!(StoreError::Busy.to_string().contains("busy"));
+        assert!(StoreError::NotMine.to_string().contains("not owned"));
         assert!(StoreError::SessionPoisoned.source().is_none());
     }
 

@@ -68,6 +68,7 @@
 
 pub mod backend;
 pub mod client;
+pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod replication;
@@ -79,6 +80,10 @@ pub use backend::{
     KvCompleted, KvOp, KvOpReport, KvStatus, PrecursorBackend, Transport, TrustedKv,
 };
 pub use client::{fork_audit, CompletedOp, PrecursorClient, SecurityAudit};
+pub use cluster::{
+    decode_owner_hint, ClusterClient, LocationCache, MetaService, MigrationOutcome,
+    MigrationReport, PlacementRing, PrecursorCluster,
+};
 pub use config::{Config, EncryptionMode, RetryPolicy};
 pub use error::StoreError;
 pub use replication::{Cluster, FailoverReport, ProtocolBug};

@@ -56,6 +56,11 @@ pub(super) enum ReplyPlan {
     Control { status: Status, oid: u64 },
     /// Busy backpressure (carries the configured retry hint).
     Busy { oid: u64 },
+    /// The key routed to a node that does not own it: a sealed redirect
+    /// carrying the authoritative owner hint (routing epoch + node id) in
+    /// `retry_after_ns`, folded into the reply MAC chain like every other
+    /// control field so the host cannot forge or replay it to misroute.
+    NotMine { oid: u64, hint: u64 },
     /// A client-side-encryption get hit: key material + payload + MAC.
     GetHit {
         entry: EntryMeta,
@@ -737,6 +742,15 @@ impl PrecursorServer {
             payload_len: meta.payload_len,
             stored_bytes,
         })
+    }
+
+    /// Every key currently stored, sorted. Used by cluster migration to
+    /// enumerate the keys of a range (and by tests as an oracle); sorting
+    /// keeps the enumeration independent of table iteration order.
+    pub fn live_keys(&self) -> Vec<Vec<u8>> {
+        let mut keys: Vec<Vec<u8>> = self.store.table.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Tamper hook for security tests: flips a bit of the *untrusted* stored

@@ -152,6 +152,12 @@ pub struct PrecursorServer {
     // the applied prefix, mutations answered Busy); None otherwise
     catchup: Option<durability::CatchupState>,
 
+    // cluster routing view: this node's id plus the placement ring it
+    // believes authoritative; None for standalone servers, in which case
+    // the NotMine gate never fires and the pipeline is byte-identical to
+    // the pre-cluster behaviour
+    routing: Option<crate::cluster::NodeRouting>,
+
     // fault injection (tests/chaos harnesses); None = clean transport
     faults: Option<Arc<Mutex<FaultInjector>>>,
     // Byzantine-host injection (tests); None = honest host software
@@ -242,6 +248,7 @@ impl PrecursorServer {
             },
             durability: None,
             catchup: None,
+            routing: None,
             faults: None,
             adversary: None,
             obs: MetricsRegistry::default(),
@@ -437,6 +444,49 @@ impl PrecursorServer {
         self.store.pool.stats()
     }
 
+    // --- cluster routing (see crate::cluster) ---
+
+    /// Installs (or replaces) this node's routing view: its node id and the
+    /// placement ring it treats as authoritative. Requests for keys the
+    /// ring assigns elsewhere are answered with a sealed
+    /// [`Status::NotMine`] redirect instead of executing. Standalone
+    /// servers (no view installed) never redirect.
+    pub fn install_routing(&mut self, node: u16, ring: crate::cluster::PlacementRing) {
+        self.routing = Some(crate::cluster::NodeRouting { node, ring });
+    }
+
+    /// This node's installed routing view as `(node, ring_epoch)`, if any.
+    pub fn routing_view(&self) -> Option<(u16, u64)> {
+        self.routing.as_ref().map(|r| (r.node, r.ring.epoch()))
+    }
+
+    /// Whether this node's installed routing view claims ownership of
+    /// `key`. Standalone servers own everything.
+    pub fn owns_key(&self, key: &[u8]) -> bool {
+        match &self.routing {
+            Some(r) => r.ring.owner_of(key) == r.node,
+            None => true,
+        }
+    }
+
+    // The ownership gate, checked by the pipeline before execution (after
+    // the catch-up gate): a key the ring assigns to another node is
+    // answered with a sealed NotMine redirect carrying the authoritative
+    // owner hint. The redirect consumes the request's oid (the at-most-once
+    // window advances; the client's retry at the real owner is a fresh oid
+    // on an independent per-node session) and is never journalled
+    // (journal_mutation requires Status::Ok).
+    fn routing_gate(&mut self, key: &[u8], oid: u64) -> Option<(Status, usize, exec::ReplyPlan)> {
+        let routing = self.routing.as_ref()?;
+        let owner = routing.ring.owner_of(key);
+        if owner == routing.node {
+            return None;
+        }
+        let hint = crate::cluster::encode_owner_hint(routing.ring.epoch(), owner);
+        self.obs.inc("server.not_mine_redirects", 1);
+        Some((Status::NotMine, 0, exec::ReplyPlan::NotMine { oid, hint }))
+    }
+
     // --- snapshot/restore plumbing (see crate::snapshot) ---
 
     pub(crate) fn sealing_key(&self) -> Key128 {
@@ -466,6 +516,7 @@ pub(super) fn status_metric(status: Status) -> &'static str {
         Status::Replay => "status.replay",
         Status::Error => "status.error",
         Status::Busy => "status.busy",
+        Status::NotMine => "status.not_mine",
     }
 }
 

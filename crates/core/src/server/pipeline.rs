@@ -404,6 +404,8 @@ impl PrecursorServer {
                 let op_oid = control.oid;
                 let exec_result = if let Some(busy) = self.catchup_gate(opcode, op_oid) {
                     Ok(busy)
+                } else if let Some(redirect) = self.routing_gate(&control.key, op_oid) {
+                    Ok(redirect)
                 } else {
                     let mut ctx = ExecCtx {
                         enclave: &mut self.enclave,
@@ -555,6 +557,8 @@ impl PrecursorServer {
                     let op_oid = control.oid;
                     let exec_result = if let Some(busy) = self.catchup_gate(opcode, op_oid) {
                         Ok(busy)
+                    } else if let Some(redirect) = self.routing_gate(&control.key, op_oid) {
+                        Ok(redirect)
                     } else {
                         let mut ctx = ExecCtx {
                             enclave: &mut self.enclave,

@@ -80,6 +80,24 @@ pub(super) fn seal_plan(
                 meter,
             )
         }
+        ReplyPlan::NotMine { oid, hint } => {
+            // A sealed routing redirect: the owner hint rides the
+            // `retry_after_ns` field, which `chain_input` already binds
+            // into the per-session MAC chain.
+            let control = ReplyControl {
+                retry_after_ns: hint,
+                ..ReplyControl::basic(oid)
+            };
+            finish_reply(
+                ctx,
+                session,
+                Status::NotMine,
+                opcode,
+                control,
+                Vec::new(),
+                meter,
+            )
+        }
         ReplyPlan::GetHit {
             entry,
             payload,

@@ -27,6 +27,7 @@ use crate::wire::Status;
 // One serialized entry of the snapshot body. The same framing carries a
 // single entry inside a journal `Put` record, so snapshot restore and
 // journal replay install entries through one codec.
+#[derive(Debug)]
 pub(crate) struct SnapshotEntry {
     pub key: Vec<u8>,
     pub k_op: Key256,

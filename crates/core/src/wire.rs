@@ -55,6 +55,12 @@ pub enum Status {
     /// The server is shedding load for this client (per-client memory quota
     /// or backpressure); retry after the control segment's `retry_after_ns`.
     Busy = 4,
+    /// The key is not owned by this node: the request hit a stale location
+    /// cache. The sealed control segment carries the authoritative owner
+    /// hint in `retry_after_ns` (routing epoch in the high bits, owner node
+    /// in the low 16); the hint is folded into the reply MAC chain, so a
+    /// malicious host cannot forge a redirect to misroute clients.
+    NotMine = 5,
 }
 
 impl Status {
@@ -65,6 +71,7 @@ impl Status {
             2 => Some(Status::Replay),
             3 => Some(Status::Error),
             4 => Some(Status::Busy),
+            5 => Some(Status::NotMine),
             _ => None,
         }
     }

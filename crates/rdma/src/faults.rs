@@ -47,6 +47,12 @@ pub enum FaultSite {
     /// death — the snapshot and the whole journal both survive, so
     /// recovery must reach the same state digest either way.
     CompactTruncate,
+    /// A cluster migration segment being shipped from the source node to
+    /// the destination. `Drop` models the source process dying mid-transfer
+    /// (the segment never lands, the migration aborts before its fence);
+    /// `Corrupt` models host tampering with the sealed segment in transit
+    /// (the destination's GCM open rejects it).
+    MigrateShip,
 }
 
 /// Which direction of a pair a fault applies to. Endpoint *A* is the first
@@ -375,7 +381,10 @@ impl FaultInjector {
     pub fn on_durable_write(&mut self, site: FaultSite, len: usize) -> DurableVerdict {
         debug_assert!(matches!(
             site,
-            FaultSite::SnapshotSeal | FaultSite::JournalFlush | FaultSite::CompactTruncate
+            FaultSite::SnapshotSeal
+                | FaultSite::JournalFlush
+                | FaultSite::CompactTruncate
+                | FaultSite::MigrateShip
         ));
         match self.pick(site, true) {
             None | Some(FaultAction::Duplicate) | Some(FaultAction::Delay) => {

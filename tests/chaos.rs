@@ -921,3 +921,262 @@ fn crashed_snapshot_seal_is_rejected_and_journal_covers_recovery() {
     assert_eq!(recovered.mutation_seq(), server.mutation_seq());
     assert_eq!(recovered.state_digest(), server.state_digest());
 }
+
+// ---------------------------------------------------------------------------
+// Migration chaos: the source of a live key-range migration is killed (or
+// its host tampers with a sealed segment) mid-transfer. The abort must
+// leave the source the sole owner of the range, a journal-recovered
+// replacement must serve every previously-acked write, and a clean retry
+// must fence. Oracles: exactly one owner per key at every settle point,
+// zero lost acked writes, `reports_dropped == 0` on every node.
+// ---------------------------------------------------------------------------
+
+// One seeded migration-chaos run; returns the observable digest for
+// run-twice determinism. Scenario rotation (seed % 3): 0 = source crash
+// on the first shipped segment (Drop → torn transfer → journal recovery),
+// 1 = host tampering (Corrupt → GCM reject at the destination), 2 = clean
+// control (the fence commits on the first attempt).
+fn migration_crash_run(seed: u64) -> u64 {
+    use precursor::cluster::MigrationOutcome;
+    use precursor::{ClusterClient, GroupCommitPolicy, PrecursorCluster};
+    use std::fmt::Write as _;
+
+    let cost = CostModel::default();
+    let nodes = 2 + (seed % 2) as usize;
+    let config = Config {
+        max_clients: 3,
+        ..base_config()
+    };
+    let mut cluster = PrecursorCluster::new(nodes, config.clone(), &cost);
+    let mut epoch_counters: Vec<MonotonicCounter> =
+        (0..nodes).map(|_| MonotonicCounter::new()).collect();
+    for (i, counter) in epoch_counters.iter_mut().enumerate() {
+        cluster
+            .node_mut(i)
+            .attach_journal(GroupCommitPolicy::immediate(), counter);
+    }
+    let mut client = ClusterClient::connect(&mut cluster, seed ^ 0x919).expect("connect");
+    let mut rng = SimRng::seed_from(seed ^ 0x6a7e);
+    let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+    let mut trace = String::new();
+
+    let apply = |op: Op,
+                 cluster: &mut PrecursorCluster,
+                 client: &mut ClusterClient,
+                 model: &mut HashMap<u8, Vec<u8>>,
+                 trace: &mut String| {
+        match op {
+            Op::Put(k, v) => {
+                client.put_sync(cluster, &[k], &v).expect("put");
+                model.insert(k, v);
+                let _ = write!(trace, "p{k};");
+            }
+            Op::Get(k) => {
+                let got = client.get_sync(cluster, &[k]);
+                match model.get(&k) {
+                    Some(v) => assert_eq!(&got.expect("acked write readable"), v),
+                    None => assert_eq!(got, Err(StoreError::NotFound)),
+                }
+                let _ = write!(trace, "g{k};");
+            }
+            Op::Delete(k) => {
+                let got = client.delete_sync(cluster, &[k]);
+                if model.remove(&k).is_some() {
+                    assert!(got.is_ok(), "acked key must delete");
+                } else {
+                    assert_eq!(got, Err(StoreError::NotFound));
+                }
+                let _ = write!(trace, "d{k};");
+            }
+        }
+    };
+
+    // Seed the store so the migrated range is non-empty.
+    for _ in 0..30 {
+        apply(
+            random_op(&mut rng),
+            &mut cluster,
+            &mut client,
+            &mut model,
+            &mut trace,
+        );
+    }
+    let settle = |cluster: &PrecursorCluster, model: &HashMap<u8, Vec<u8>>| {
+        for k in model.keys() {
+            let owners = (0..cluster.node_count())
+                .filter(|&n| cluster.node(n).owns_key(&[*k]))
+                .count();
+            assert_eq!(owners, 1, "key {k} owned by {owners} nodes");
+        }
+    };
+    settle(&cluster, &model);
+
+    // Migrate the range of a live key; scenarios 0/1 kill the first
+    // sealed segment (the picked key is live at the source, so the bulk
+    // stream always ships at least one).
+    let mut live: Vec<u8> = model.keys().copied().collect();
+    live.sort_unstable();
+    let hot = live[rng.gen_range(live.len() as u64) as usize];
+    let from = cluster.meta().lookup(&[hot]).0;
+    let to = (from + 1) % nodes as u16;
+    let scenario = seed % 3;
+    match scenario {
+        0 => cluster.set_migrate_fault_plan(
+            FaultPlan::none().rule(FaultSite::MigrateShip, FaultDir::Any, FaultAction::Drop, 1),
+            seed,
+        ),
+        1 => cluster.set_migrate_fault_plan(
+            FaultPlan::none().rule(
+                FaultSite::MigrateShip,
+                FaultDir::Any,
+                FaultAction::Corrupt,
+                1,
+            ),
+            seed,
+        ),
+        _ => {}
+    }
+    assert!(cluster.start_migration(&[hot], to).expect("start"));
+
+    // Serve traffic while the stream pumps; faulted scenarios abort on
+    // the first pump, the control scenario fences under load.
+    let mut fenced = 0u64;
+    let mut aborted = 0u64;
+    while cluster.migration_in_flight() {
+        for _ in 0..2 {
+            apply(
+                random_op(&mut rng),
+                &mut cluster,
+                &mut client,
+                &mut model,
+                &mut trace,
+            );
+        }
+        match cluster.pump_migration(1 + rng.gen_range(2) as usize) {
+            MigrationOutcome::Fenced(r) => {
+                fenced += 1;
+                let _ = write!(trace, "fence:{}:{};", r.keys_moved, r.delta_reshipped);
+            }
+            MigrationOutcome::Aborted(r) => {
+                aborted += 1;
+                assert!(r.aborted && r.keys_moved == 0);
+                let _ = write!(trace, "abort:{};", r.segments);
+            }
+            MigrationOutcome::Idle | MigrationOutcome::Shipping { .. } => {}
+        }
+    }
+    assert_eq!(aborted, u64::from(scenario != 2), "seed {seed}: abort rota");
+    settle(&cluster, &model);
+
+    if scenario == 0 {
+        // The torn transfer was a source crash: rebuild the source from
+        // its journal and drop it back into the cluster. Every acked
+        // write it held must survive.
+        let journal = cluster
+            .node(from as usize)
+            .journal_durable()
+            .expect("journaled")
+            .to_vec();
+        let snap_counter = MonotonicCounter::new();
+        let (recovered, report) = PrecursorServer::recover(
+            config,
+            &cost,
+            None,
+            &snap_counter,
+            &journal,
+            &epoch_counters[from as usize],
+        )
+        .expect("source recovers from its journal");
+        let _ = write!(trace, "recover:{}:{};", report.replayed, report.skipped);
+        cluster.replace_node(from as usize, recovered);
+        client
+            .reconnect_node(&mut cluster, from)
+            .expect("reattest source");
+    }
+    if aborted > 0 {
+        // Retry without faults: the migration is restartable after any
+        // abort and must fence this time, still under load.
+        cluster.set_migrate_fault_plan(FaultPlan::none(), seed);
+        let retry = live[rng.gen_range(live.len() as u64) as usize];
+        let rfrom = cluster.meta().lookup(&[retry]).0;
+        let rto = (rfrom + 1) % nodes as u16;
+        assert!(cluster.start_migration(&[retry], rto).expect("restart"));
+        while cluster.migration_in_flight() {
+            apply(
+                random_op(&mut rng),
+                &mut cluster,
+                &mut client,
+                &mut model,
+                &mut trace,
+            );
+            match cluster.pump_migration(2) {
+                MigrationOutcome::Fenced(r) => {
+                    fenced += 1;
+                    let _ = write!(trace, "refence:{}:{};", r.keys_moved, r.delta_reshipped);
+                }
+                MigrationOutcome::Aborted(_) => panic!("seed {seed}: clean retry aborted"),
+                MigrationOutcome::Idle | MigrationOutcome::Shipping { .. } => {}
+            }
+        }
+    }
+    assert_eq!(fenced, 1, "seed {seed}: exactly one fence per run");
+    settle(&cluster, &model);
+
+    // Zero lost acked writes: every model entry reads back through fresh
+    // routing, every deleted/absent key is NotFound, on whatever node now
+    // owns it.
+    for k in 0..24u8 {
+        let got = client.get_sync(&mut cluster, &[k]);
+        match model.get(&k) {
+            Some(v) => assert_eq!(&got.expect("acked write survived"), v, "key {k}"),
+            None => assert_eq!(got, Err(StoreError::NotFound), "key {k}"),
+        }
+    }
+    for i in 0..nodes {
+        assert_eq!(
+            cluster.node(i).metrics().counter("server.reports_dropped"),
+            0,
+            "node {i} dropped reply reports"
+        );
+        let _ = write!(trace, "n{i}:{:?};", cluster.node(i).state_digest());
+    }
+    let stats = client.stats();
+    let _ = write!(
+        trace,
+        "stats:{}:{}:{};migs:{}:{}",
+        stats.ops,
+        stats.redirects,
+        stats.refreshes,
+        cluster.migrations_completed(),
+        cluster.migrations_aborted(),
+    );
+    precursor_storage::stable_key_hash(&trace)
+}
+
+#[test]
+fn migration_crash_sweep_20_seeds() {
+    // ≥20 seeds rotating the three migration-chaos scenarios; the nightly
+    // widens through PRECURSOR_SWEEP_SEEDS like the other sweeps.
+    let seeds = std::env::var("PRECURSOR_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    for seed in 0..seeds {
+        let digest = migration_crash_run(seed);
+        println!(
+            "migration-crash seed={seed} scenario={} digest={digest:#018x}",
+            seed % 3
+        );
+    }
+}
+
+#[test]
+fn migration_crash_runs_are_deterministic() {
+    for seed in [0u64, 1, 2] {
+        assert_eq!(
+            migration_crash_run(seed),
+            migration_crash_run(seed),
+            "seed {seed} must replay bit-identically"
+        );
+    }
+}

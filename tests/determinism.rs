@@ -11,8 +11,8 @@
 use std::fmt::Write as _;
 
 use precursor::{
-    AdversaryPlan, AttackClass, Config, FaultAction, FaultDir, FaultPlan, FaultSite,
-    PrecursorClient, PrecursorServer, RetryPolicy,
+    AdversaryPlan, AttackClass, ClusterClient, Config, FaultAction, FaultDir, FaultPlan, FaultSite,
+    PrecursorClient, PrecursorCluster, PrecursorServer, RetryPolicy,
 };
 use precursor_sim::rng::SimRng;
 use precursor_sim::CostModel;
@@ -238,6 +238,110 @@ fn dirty_sweep_sharded_runs_reproduce_per_seed() {
             run_digest(config(), 22),
             "dirty sweeps at shards={shards} must replay (seed 22)"
         );
+    }
+}
+
+// The cluster flavour of `run_digest`: the identical seeded workload
+// driven through `PrecursorCluster` + `ClusterClient`. With a mid-run
+// migration when `migrate` is set (nodes ≥ 2), exercising the NotMine
+// redirect path inside the digested run.
+fn cluster_run_digest(nodes: usize, seed: u64, migrate: bool) -> u64 {
+    let cost = CostModel::default();
+    let mut cluster = PrecursorCluster::new(nodes, Config::default(), &cost);
+    cluster.node_mut(0).set_fault_plan(fault_plan(), seed);
+    cluster
+        .node_mut(0)
+        .set_adversary_plan(adversary_plan(), seed ^ 0xad);
+    cluster.node_mut(0).enable_tracing(256);
+    let mut client = ClusterClient::connect(&mut cluster, seed ^ 0xc11e).expect("connect");
+    client.enable_tracing(256);
+    client.set_retry_policy(RetryPolicy {
+        jitter: 0.0,
+        ..RetryPolicy::default()
+    });
+
+    let mut rng = SimRng::seed_from(seed ^ 0x5eed);
+    let mut trace = String::new();
+    for i in 0..OPS {
+        if migrate && i == OPS / 3 {
+            let hot = [0u8];
+            let from = cluster.meta().lookup(&hot).0;
+            let to = (from + 1) % nodes as u16;
+            cluster.start_migration(&hot, to).expect("start");
+        }
+        if migrate && i % 7 == 0 {
+            let outcome = cluster.pump_migration(3);
+            let _ = write!(trace, "mig{i}:{outcome:?};");
+        }
+        let key = [(rng.gen_range(24)) as u8];
+        let outcome = match rng.gen_range(3) {
+            0 => {
+                let mut v = vec![0u8; 1 + rng.gen_range(96) as usize];
+                rng.fill_bytes(&mut v);
+                format!("{:?}", client.put_sync(&mut cluster, &key, &v))
+            }
+            1 => format!("{:?}", client.get_sync(&mut cluster, &key)),
+            _ => format!("{:?}", client.delete_sync(&mut cluster, &key)),
+        };
+        let _ = write!(trace, "op{i}:{outcome};");
+    }
+
+    let _ = write!(trace, "faults:{:?};", cluster.node(0).fault_log());
+    let _ = write!(trace, "attacks:{:?};", cluster.node(0).adversary_log());
+    for n in 0..nodes {
+        for r in cluster.node_mut(n).take_reports() {
+            let _ = write!(
+                trace,
+                "report:{}:{:?}:{:?}:{}:{};",
+                r.client_id, r.opcode, r.status, r.value_len, r.shard
+            );
+        }
+    }
+    let _ = write!(
+        trace,
+        "credits:{};handoffs:{};len:{}",
+        cluster.node(0).credit_writes(),
+        cluster.node(0).handoffs(),
+        cluster.node(0).len()
+    );
+    if nodes > 1 {
+        // Cluster-only observables (absent from the nodes=1 trace, which
+        // must stay byte-identical to the single-server golden trace).
+        let stats = client.stats();
+        let _ = write!(
+            trace,
+            ";redirects:{};refreshes:{};epoch:{}",
+            stats.redirects,
+            stats.refreshes,
+            cluster.meta().ring().epoch()
+        );
+    }
+    stable_key_hash(&trace)
+}
+
+#[test]
+fn single_node_cluster_matches_the_single_server_golden_digest() {
+    // The whole cluster plane — routing gate installed on the node, the
+    // location cache, the ClusterClient facade — must be invisible when
+    // one node owns the whole ring: bit-identical to the shards=1 golden
+    // digest recorded before the cluster existed.
+    const GOLDEN: u64 = 12_986_051_342_204_127_709;
+    assert_eq!(cluster_run_digest(1, 7, false), GOLDEN);
+}
+
+#[test]
+fn cluster_runs_reproduce_per_seed() {
+    // Multi-node runs (with a migration in flight) make no bit-identity
+    // promise across node counts, but any fixed (nodes, seed) pair must
+    // replay exactly.
+    for nodes in [2usize, 4] {
+        for seed in [21u64, 22] {
+            assert_eq!(
+                cluster_run_digest(nodes, seed, true),
+                cluster_run_digest(nodes, seed, true),
+                "nodes={nodes} seed={seed} must replay bit-identically"
+            );
+        }
     }
 }
 

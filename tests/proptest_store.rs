@@ -539,3 +539,216 @@ mod journal_framing {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Placement-ring properties (the cluster metadata plane): the client's
+// location cache may lag the authoritative ring arbitrarily but, after any
+// invalidation/learn sequence, agrees with it the moment it refreshes;
+// node join/leave moves only the expected share of keys (and only to/from
+// the joining/leaving node); and across every interleaving of a live
+// migration no key is ever unowned or dual-owned.
+// ---------------------------------------------------------------------------
+
+mod placement_ring {
+    use precursor::cluster::{encode_owner_hint, MigrationOutcome};
+    use precursor::{ClusterClient, Config, LocationCache, PlacementRing, PrecursorCluster};
+    use precursor_sim::rng::SimRng;
+    use precursor_sim::CostModel;
+
+    fn sample_keys(rng: &mut SimRng, n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|_| {
+                let mut k = vec![0u8; 1 + rng.gen_range(24) as usize];
+                rng.fill_bytes(&mut k);
+                k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cache_agrees_with_meta_after_any_invalidation_sequence() {
+        // The authoritative ring mutates randomly (join / leave / point
+        // reassignment); the cache randomly learns snapshots, sees sealed
+        // hints (fresh and replayed-stale), or is dropped entirely. The
+        // cache epoch never runs ahead of the authority, stale hints never
+        // regress it, and whenever it refreshes (or its epoch matches) its
+        // routing agrees with the authority on every sampled key.
+        let mut rng = SimRng::seed_from(0x9_1a6);
+        let keys = sample_keys(&mut rng, 48);
+        for _case in 0..12 {
+            let mut ring = PlacementRing::new(3, 8);
+            let mut next_node: u16 = 3;
+            let mut cache = LocationCache::new();
+            cache.learn(ring.clone());
+            for _step in 0..160 {
+                match rng.gen_range(6) {
+                    0 => {
+                        ring.join(next_node, 1 + rng.gen_range(8) as u32);
+                        next_node += 1;
+                    }
+                    1 => {
+                        let owners = ring.owners();
+                        if owners.len() > 1 {
+                            let victim = owners[rng.gen_range(owners.len() as u64) as usize];
+                            ring.leave(victim);
+                        }
+                    }
+                    2 => {
+                        let idx = rng.gen_range(ring.point_count() as u64) as usize;
+                        let owners = ring.owners();
+                        let to = owners[rng.gen_range(owners.len() as u64) as usize];
+                        ring.reassign_point(idx, to);
+                    }
+                    3 => cache.learn(ring.clone()),
+                    4 => cache.invalidate(),
+                    _ => {
+                        // A sealed hint: current epoch, or a replayed old
+                        // one. A hint at most reports staleness — only a
+                        // learn changes routing — and a stale hint must
+                        // not look newer than the cache.
+                        let current = encode_owner_hint(ring.epoch(), 0);
+                        let old_epoch = 1 + rng.gen_range(ring.epoch());
+                        let replay = encode_owner_hint(old_epoch, 0);
+                        assert_eq!(cache.is_stale_for(current), cache.epoch() < ring.epoch());
+                        if old_epoch <= cache.epoch() {
+                            assert!(!cache.is_stale_for(replay));
+                        }
+                    }
+                }
+                assert!(cache.epoch() <= ring.epoch(), "cache ran ahead");
+                if cache.epoch() == ring.epoch() {
+                    for key in &keys {
+                        assert_eq!(cache.route(key), Some(ring.owner_of(key)));
+                    }
+                }
+            }
+            // Final refresh: total agreement, always.
+            cache.learn(ring.clone());
+            for key in &keys {
+                assert_eq!(cache.route(key), Some(ring.owner_of(key)));
+            }
+        }
+    }
+
+    #[test]
+    fn join_and_leave_move_only_the_expected_share() {
+        let mut rng = SimRng::seed_from(0x10_ca7e);
+        let keys = sample_keys(&mut rng, 600);
+        for nodes in [2u16, 3, 5, 8] {
+            let vnodes = 32u32;
+            let mut ring = PlacementRing::new(nodes, vnodes);
+            let before: Vec<u16> = keys.iter().map(|k| ring.owner_of(k)).collect();
+
+            // Join: keys may move only TO the new node, and the moved
+            // share stays near K/(N+1) (generous 3x bound, and > 0).
+            ring.join(nodes, vnodes);
+            let mut moved = 0usize;
+            for (key, prev) in keys.iter().zip(&before) {
+                let now = ring.owner_of(key);
+                if now != *prev {
+                    assert_eq!(now, nodes, "join moved a key between old nodes");
+                    moved += 1;
+                }
+            }
+            assert!(moved > 0, "join of an equal-weight node must take keys");
+            let expected = keys.len() / (nodes as usize + 1);
+            assert!(
+                moved <= 3 * expected,
+                "join moved {moved} keys, expected about {expected} (nodes={nodes})"
+            );
+
+            // Leave of that node: exactly its keys move, each to some
+            // surviving node; everything else stays put.
+            let at_join: Vec<u16> = keys.iter().map(|k| ring.owner_of(k)).collect();
+            ring.leave(nodes);
+            let mut returned = 0usize;
+            for (key, prev) in keys.iter().zip(&at_join) {
+                let now = ring.owner_of(key);
+                if *prev == nodes {
+                    assert_ne!(now, nodes, "leave left a key on the departed node");
+                    returned += 1;
+                } else {
+                    assert_eq!(now, *prev, "leave moved a surviving node's key");
+                }
+            }
+            assert_eq!(
+                returned, moved,
+                "leave must orphan exactly the join's share"
+            );
+        }
+    }
+
+    #[test]
+    fn no_key_is_unowned_or_dual_owned_across_migration_interleavings() {
+        // Drive real migrations over a live cluster with random pump batch
+        // sizes (including mid-stream aborts); between every step, every
+        // sampled key must be owned by exactly one node — that node's
+        // routing gate accepts it — and that node is the one the metadata
+        // service names.
+        let cost = CostModel::default();
+        for seed in 0..6u64 {
+            let mut rng = SimRng::seed_from(seed ^ 0x0e_11e5);
+            let config = Config {
+                max_clients: 2,
+                ..Config::default()
+            };
+            let mut cluster = PrecursorCluster::new(3, config, &cost);
+            let mut client = ClusterClient::connect(&mut cluster, seed ^ 0xc1).expect("connect");
+            let keys = sample_keys(&mut rng, 40);
+            for (i, key) in keys.iter().enumerate() {
+                client
+                    .put_sync(&mut cluster, key, &(i as u64).to_le_bytes())
+                    .expect("seed put");
+            }
+            let check = |cluster: &PrecursorCluster, keys: &[Vec<u8>]| {
+                for key in keys {
+                    let owners: Vec<u16> = (0..cluster.node_count())
+                        .filter(|&n| cluster.node(n).owns_key(key))
+                        .map(|n| n as u16)
+                        .collect();
+                    assert_eq!(owners.len(), 1, "key owned by {owners:?}");
+                    assert_eq!(owners[0], cluster.meta().lookup(key).0);
+                }
+            };
+            check(&cluster, &keys);
+            for round in 0..4 {
+                let pick = &keys[rng.gen_range(keys.len() as u64) as usize];
+                let from = cluster.meta().lookup(pick).0;
+                let to = (from + 1 + rng.gen_range(2) as u16) % 3;
+                if from == to {
+                    continue;
+                }
+                assert!(cluster.start_migration(pick, to).expect("start"));
+                check(&cluster, &keys); // streaming has not moved ownership
+                let abort_at = if round == 1 {
+                    Some(rng.gen_range(3))
+                } else {
+                    None
+                };
+                let mut pumps = 0u64;
+                while cluster.migration_in_flight() {
+                    if abort_at == Some(pumps) {
+                        cluster.abort_migration().expect("in flight");
+                        break;
+                    }
+                    let batch = 1 + rng.gen_range(3) as usize;
+                    match cluster.pump_migration(batch) {
+                        MigrationOutcome::Aborted(_) => panic!("fault-free pump aborted"),
+                        MigrationOutcome::Idle
+                        | MigrationOutcome::Shipping { .. }
+                        | MigrationOutcome::Fenced(_) => {}
+                    }
+                    pumps += 1;
+                    check(&cluster, &keys); // never unowned/dual-owned mid-flight
+                }
+                check(&cluster, &keys);
+            }
+            // The data survived every fence: reads through fresh routing
+            // return the seeded values.
+            for (i, key) in keys.iter().enumerate() {
+                let got = client.get_sync(&mut cluster, key).expect("read back");
+                assert_eq!(got, (i as u64).to_le_bytes());
+            }
+        }
+    }
+}
